@@ -1,0 +1,653 @@
+//! The compute-node front-end: the **computation API** (memory management
+//! and kernel launches on remote accelerators, Listing 1 of the paper)
+//! and the **resource-management API** (`AC_Init`, `AC_Get`, `AC_Free`,
+//! `AC_Finalize`, §II-C/III).
+
+use std::fmt;
+
+use darms_mpi::{data, Comm, MpiError, MpiProc, Rank};
+use darms_net::{Address, HostId, Network};
+use darms_rms::proto::{DynGrant, DynReject};
+use darms_rms::{ifl, ClientId, JobCtx, JobId, PseudoFs};
+use darms_sim::Recorder;
+
+use crate::device::DevPtr;
+use crate::kernel::KernelArgs;
+use crate::runtime::{DacReply, DacRequest, DacRuntime, RepBody, ReqBody, DAEMON_EXE, TAG_REP, TAG_REQ};
+
+/// Opaque handle to one associated accelerator (the paper's `ac_handle`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AcHandle(pub(crate) usize);
+
+impl fmt::Display for AcHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ac{}", self.0)
+    }
+}
+
+/// A dynamically obtained accelerator set; released as a unit through
+/// [`AcSession::ac_free`] (the paper's client-id semantics, §III-D).
+#[derive(Clone, Debug)]
+pub struct AcSet {
+    /// The batch system's set identifier.
+    pub client_id: ClientId,
+    /// Handles of the accelerators in the set.
+    pub handles: Vec<AcHandle>,
+}
+
+/// Errors from the DAC front-end.
+#[derive(Clone, Debug)]
+pub enum DacError {
+    /// Device-side failure (allocation, bounds, kernel).
+    Device(String),
+    /// Handle is not live (released or finalized).
+    BadHandle(AcHandle),
+    /// MPI-level failure.
+    Mpi(MpiError),
+    /// The batch system rejected the dynamic request; the application
+    /// continues with its current accelerators (§II-B).
+    Rejected(DynReject),
+    /// A daemon did not answer within the configured request timeout —
+    /// typically a failed accelerator host. The handle should be treated
+    /// as lost.
+    Timeout(AcHandle),
+}
+
+impl fmt::Display for DacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DacError::Device(e) => write!(f, "device error: {e}"),
+            DacError::BadHandle(h) => write!(f, "handle {h} is not live"),
+            DacError::Mpi(e) => write!(f, "mpi error: {e}"),
+            DacError::Rejected(r) => write!(f, "dynamic request rejected: {r:?}"),
+            DacError::Timeout(h) => write!(f, "accelerator {h} did not respond (timed out)"),
+        }
+    }
+}
+
+impl std::error::Error for DacError {}
+
+impl From<MpiError> for DacError {
+    fn from(e: MpiError) -> Self {
+        DacError::Mpi(e)
+    }
+}
+
+/// A pending asynchronous kernel launch; redeem with
+/// [`AcSession::kernel_wait`]. Launching work on several accelerators and
+/// waiting afterwards is how applications overlap kernels across the set
+/// (the latency-hiding usage the paper's introduction motivates).
+#[derive(Debug)]
+#[must_use = "a launched kernel must be waited on"]
+pub struct Launch {
+    handle: AcHandle,
+    req: u64,
+}
+
+struct HandleRec {
+    rank: Rank,
+    live: bool,
+    set: Option<ClientId>,
+}
+
+/// One compute node's session with its accelerators. Created by
+/// [`AcSession::init`] (the `AC_Init()` of the paper).
+pub struct AcSession {
+    mpi: MpiProc,
+    dac: DacRuntime,
+    job: JobId,
+    cn_index: usize,
+    host: HostId,
+    net: Network,
+    server: Address,
+    /// The merged intra-communicator (compute node = rank 0). `None`
+    /// until the first accelerators are associated.
+    comm: Option<Comm>,
+    handles: Vec<HandleRec>,
+    next_req: u64,
+    /// Replies that arrived while waiting for a different request id
+    /// (multiple asynchronous operations may be in flight per handle).
+    stashed: std::collections::HashMap<(Rank, u64), RepBodyOwned>,
+    recorder: Option<Recorder>,
+}
+
+impl AcSession {
+    /// `AC_Init()`: wait for this compute node's statically allocated
+    /// accelerator daemons, connect to them through the published port,
+    /// and merge into the session communicator (compute node rank 0,
+    /// accelerators 1..=x). Returns the session and the handles of the
+    /// static accelerators.
+    ///
+    /// With a [`Recorder`] attached, records `acinit.wait` (time until the
+    /// daemons were ready — the dark region of the paper's Fig. 7(a)) and
+    /// `acinit.connect` (communicator construction — the light region).
+    pub fn init(jc: &JobCtx, dac: &DacRuntime, recorder: Option<Recorder>) -> (Self, Vec<AcHandle>) {
+        let x = jc.acc_hosts.len();
+        let t0 = jc.proc.now();
+        let mut session = AcSession {
+            mpi: dac.mpi.attach(jc.proc.clone(), jc.host),
+            dac: dac.clone(),
+            job: jc.job,
+            cn_index: jc.node_index,
+            host: jc.host,
+            net: jc.net.clone(),
+            server: jc.server,
+            comm: None,
+            handles: Vec::new(),
+            next_req: 1,
+            stashed: std::collections::HashMap::new(),
+            recorder,
+        };
+        if x == 0 {
+            return (session, Vec::new());
+        }
+        // Wait for the port file the daemon root publishes once every
+        // daemon of the set is up (the paper's port-information file).
+        let port_file = PseudoFs::ac_port_file(jc.node_index);
+        let port = loop {
+            if let Some(p) = dac.fs.read(jc.job, &port_file) {
+                break p;
+            }
+            jc.proc.sleep(dac.cost.port_poll);
+        };
+        let t1 = jc.proc.now();
+        let self_comm = session.mpi.self_comm();
+        let inter = session.mpi.comm_connect(&port, self_comm).expect("AC_Init connect");
+        let merged = session.mpi.intercomm_merge(inter, false).expect("AC_Init merge");
+        session.mpi.comm_disconnect(inter);
+        session.mpi.comm_disconnect(self_comm);
+        debug_assert_eq!(merged.rank(), 0, "compute node holds rank 0 (§III-C)");
+        let t2 = jc.proc.now();
+        session.comm = Some(merged);
+        let mut out = Vec::with_capacity(x);
+        for i in 0..x {
+            session.handles.push(HandleRec { rank: (i + 1) as Rank, live: true, set: None });
+            out.push(AcHandle(i));
+        }
+        if let Some(rec) = &session.recorder {
+            rec.record_duration("acinit.wait", t2, t1 - t0);
+            rec.record_duration("acinit.connect", t2, t2 - t1);
+        }
+        (session, out)
+    }
+
+    /// Number of currently associated (live) accelerators.
+    pub fn live_count(&self) -> usize {
+        self.handles.iter().filter(|h| h.live).count()
+    }
+
+    /// Handles of all live accelerators.
+    pub fn live_handles(&self) -> Vec<AcHandle> {
+        self.handles
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.live)
+            .map(|(i, _)| AcHandle(i))
+            .collect()
+    }
+
+    fn rank_of(&self, h: AcHandle) -> Result<Rank, DacError> {
+        match self.handles.get(h.0) {
+            Some(rec) if rec.live => Ok(rec.rank),
+            _ => Err(DacError::BadHandle(h)),
+        }
+    }
+
+    fn comm(&self) -> Result<Comm, DacError> {
+        self.comm.ok_or(DacError::BadHandle(AcHandle(usize::MAX)))
+    }
+
+    fn send_req(&mut self, h: AcHandle, body: ReqBody, bytes: u64) -> Result<u64, DacError> {
+        let rank = self.rank_of(h)?;
+        let comm = self.comm()?;
+        let req = self.next_req;
+        self.next_req += 1;
+        if !self.dac.cost.frontend_overhead.is_zero() {
+            self.mpi.proc().sleep(self.dac.cost.frontend_overhead);
+        }
+        match self.mpi.send(comm, rank, TAG_REQ, data(DacRequest { req, body }), bytes) {
+            Ok(()) => Ok(req),
+            Err(darms_mpi::MpiError::NetworkFailure) => {
+                // The accelerator host is unreachable (failed): treat it
+                // like a reply timeout — mark the handle lost so later
+                // calls fail fast.
+                if let Some(rec) = self.handles.get_mut(h.0) {
+                    rec.live = false;
+                }
+                Err(DacError::Timeout(h))
+            }
+            Err(e) => Err(DacError::Mpi(e)),
+        }
+    }
+
+    fn wait_reply(&mut self, h: AcHandle, req: u64) -> Result<RepBodyOwned, DacError> {
+        let rank = self.rank_of(h)?;
+        let comm = self.comm()?;
+        let timeout = self.dac.cost.request_timeout;
+        if let Some(body) = self.stashed.remove(&(rank, req)) {
+            return Ok(body);
+        }
+        loop {
+            let msg = match self.mpi.recv_timeout(comm, Some(rank), Some(TAG_REP), timeout) {
+                Some(m) => m,
+                None => {
+                    // A dead accelerator (failed host): mark the handle
+                    // lost so later calls fail fast.
+                    if let Some(rec) = self.handles.get_mut(h.0) {
+                        rec.live = false;
+                    }
+                    return Err(DacError::Timeout(h));
+                }
+            };
+            let rep = msg.data.downcast_ref::<DacReply>().expect("TAG_REP carries DacReply");
+            let body = match &rep.body {
+                RepBody::Ptr(r) => RepBodyOwned::Ptr(r.clone()),
+                RepBody::Ack(r) => RepBodyOwned::Ack(r.clone()),
+                RepBody::Data(r) => RepBodyOwned::Data(r.clone()),
+            };
+            if rep.req != req {
+                // A different in-flight operation's reply: keep it for
+                // its own wait call.
+                self.stashed.insert((rank, rep.req), body);
+                continue;
+            }
+            return Ok(body);
+        }
+    }
+
+    // ----- computation API (acMemAlloc / acMemCpy / acKernel*) ----------
+
+    /// `acMemAlloc`: allocate `size` bytes on the accelerator.
+    pub fn mem_alloc(&mut self, h: AcHandle, size: u64) -> Result<DevPtr, DacError> {
+        let req = self.send_req(h, ReqBody::MemAlloc { size }, self.dac.cost.ctl_bytes)?;
+        match self.wait_reply(h, req)? {
+            RepBodyOwned::Ptr(r) => r.map_err(DacError::Device),
+            _ => unreachable!("MemAlloc replies with Ptr"),
+        }
+    }
+
+    /// `acMemFree`: free device memory.
+    pub fn mem_free(&mut self, h: AcHandle, ptr: DevPtr) -> Result<(), DacError> {
+        let req = self.send_req(h, ReqBody::MemFree { ptr }, self.dac.cost.ctl_bytes)?;
+        match self.wait_reply(h, req)? {
+            RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
+            _ => unreachable!("MemFree replies with Ack"),
+        }
+    }
+
+    /// `acMemCpy` host→device: transfer `bytes` into device memory at
+    /// `ptr`. Uses the pipelined protocol: the device-side copy overlaps
+    /// the wire transfer, so the added device time is only the excess
+    /// over the wire time (\[7\]).
+    pub fn mem_write(&mut self, h: AcHandle, ptr: DevPtr, bytes: Vec<u8>) -> Result<(), DacError> {
+        let l = self.mem_write_async(h, ptr, bytes)?;
+        self.op_wait(l)
+    }
+
+    /// `acMemCpy` device→host: read `len` bytes from device memory.
+    pub fn mem_read(&mut self, h: AcHandle, ptr: DevPtr, len: u64) -> Result<Vec<u8>, DacError> {
+        self.mem_read_at(h, ptr, 0, len)
+    }
+
+    /// `acMemCpy` device→host at an offset within the allocation.
+    pub fn mem_read_at(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, DacError> {
+        let req = self.send_req(h, ReqBody::CopyD2H { ptr, offset, len }, self.dac.cost.ctl_bytes)?;
+        match self.wait_reply(h, req)? {
+            RepBodyOwned::Data(r) => r.map_err(DacError::Device),
+            _ => unreachable!("CopyD2H replies with Data"),
+        }
+    }
+
+    /// `acMemCpy` host→device at an offset within the allocation.
+    pub fn mem_write_at(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        offset: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), DacError> {
+        let l = self.mem_write_async_at(h, ptr, offset, bytes)?;
+        self.op_wait(l)
+    }
+
+    /// Asynchronous host→device transfer (the double-buffering building
+    /// block from the paper's §I: hide the interconnect penalty by
+    /// overlapping transfers with compute). Redeem with
+    /// [`AcSession::op_wait`].
+    pub fn mem_write_async(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        bytes: Vec<u8>,
+    ) -> Result<Launch, DacError> {
+        self.mem_write_async_at(h, ptr, 0, bytes)
+    }
+
+    /// Asynchronous host→device transfer at an offset.
+    pub fn mem_write_async_at(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        offset: u64,
+        bytes: Vec<u8>,
+    ) -> Result<Launch, DacError> {
+        let len = bytes.len() as u64;
+        let credit = if self.dac.cost.pipelined {
+            let model = self.net.latency_model();
+            model.base_delay(false, len) - model.base_delay(false, 0)
+        } else {
+            darms_sim::SimDuration::ZERO
+        };
+        let body = ReqBody::CopyH2D {
+            ptr,
+            offset,
+            payload: std::sync::Arc::new(bytes),
+            overlap_credit: credit,
+        };
+        let req = self.send_req(h, body, self.dac.cost.ctl_bytes + len)?;
+        Ok(Launch { handle: h, req })
+    }
+
+    /// Wait for an asynchronous memory operation (acknowledgement only).
+    pub fn op_wait(&mut self, launch: Launch) -> Result<(), DacError> {
+        match self.wait_reply(launch.handle, launch.req)? {
+            RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
+            _ => unreachable!("memory operations reply with Ack"),
+        }
+    }
+
+    /// `acKernelRun` (asynchronous): launch a registered kernel; redeem
+    /// the [`Launch`] with [`AcSession::kernel_wait`].
+    pub fn kernel_launch(
+        &mut self,
+        h: AcHandle,
+        name: &str,
+        args: KernelArgs,
+    ) -> Result<Launch, DacError> {
+        let body = ReqBody::KernelRun { name: name.to_string(), args };
+        let req = self.send_req(h, body, self.dac.cost.ctl_bytes)?;
+        Ok(Launch { handle: h, req })
+    }
+
+    /// Wait for an asynchronous kernel launch to complete.
+    pub fn kernel_wait(&mut self, launch: Launch) -> Result<(), DacError> {
+        match self.wait_reply(launch.handle, launch.req)? {
+            RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
+            _ => unreachable!("KernelRun replies with Ack"),
+        }
+    }
+
+    /// Synchronous kernel execution: launch and wait.
+    pub fn kernel_run(&mut self, h: AcHandle, name: &str, args: KernelArgs) -> Result<(), DacError> {
+        let l = self.kernel_launch(h, name, args)?;
+        self.kernel_wait(l)
+    }
+
+    /// Host-free group reduction across a set of accelerators: each
+    /// participant `(handle, ptr)` holds `elems` f64 values; the daemons
+    /// combine their partial sums **directly with each other** over the
+    /// session communicator (the paper's §I scenario of network-attached
+    /// accelerators communicating via MPI without the host) and the group
+    /// root stores the total at `out` on the first handle's device. The
+    /// host only dispatches the operation and collects completion.
+    pub fn group_reduce_sum(
+        &mut self,
+        parts: &[(AcHandle, DevPtr)],
+        elems: u64,
+        out: DevPtr,
+    ) -> Result<f64, DacError> {
+        if parts.is_empty() {
+            return Err(DacError::BadHandle(AcHandle(usize::MAX)));
+        }
+        let mut peers: Vec<Rank> = Vec::with_capacity(parts.len());
+        for (h, _) in parts {
+            peers.push(self.rank_of(*h)?);
+        }
+        peers.sort_unstable();
+        let root_handle = parts
+            .iter()
+            .find(|(h, _)| self.rank_of(*h).ok() == Some(peers[0]))
+            .expect("root present")
+            .0;
+        // Dispatch to every participant; each computes its partial and
+        // the peers exchange directly.
+        let mut pending = Vec::with_capacity(parts.len());
+        for &(h, ptr) in parts {
+            let body = ReqBody::GroupReduceSum { ptr, elems, out, peers: peers.clone() };
+            let req = self.send_req(h, body, self.dac.cost.ctl_bytes)?;
+            pending.push((h, req));
+        }
+        for (h, req) in pending {
+            match self.wait_reply(h, req)? {
+                RepBodyOwned::Ack(r) => r.map_err(DacError::Device)?,
+                _ => unreachable!("GroupReduceSum replies with Ack"),
+            }
+        }
+        // Fetch the total from the group root's device.
+        let bytes = self.mem_read(root_handle, out, 8)?;
+        Ok(crate::device::as_f64s(&bytes)[0])
+    }
+
+    // ----- resource-management API (AC_Get / AC_Free / AC_Finalize) ------
+
+    /// `AC_Get()`: request `count` additional accelerators from the batch
+    /// system at runtime. On success the new daemons are spawned via
+    /// `MPI_Comm_spawn` over the current session communicator and merged
+    /// in (old accelerators keep their ranks; new ones follow, §III-D).
+    ///
+    /// With a [`Recorder`] attached, records `acget.batch` (the batch
+    /// system portion — the dark region of the paper's Fig. 7(b)) and
+    /// `acget.mpi` (spawn + communicator construction — the light
+    /// region); rejections record `acget.rejected`.
+    pub fn ac_get(&mut self, count: u32) -> Result<AcSet, DacError> {
+        self.ac_get_range(count, count)
+    }
+
+    /// `AC_Get()` accepting a *partial* grant: at least `min_count`, at
+    /// most `count` accelerators (the policy the paper lists as future
+    /// work, §VI: "allocating less number of accelerators in the case
+    /// where enough accelerators were not available"). The returned set
+    /// reports how many were actually granted.
+    pub fn ac_get_range(&mut self, count: u32, min_count: u32) -> Result<AcSet, DacError> {
+        let t0 = self.mpi.proc().now();
+        let grant: Result<DynGrant, DynReject> = ifl::pbs_dynget_range(
+            self.mpi.proc(),
+            &self.net,
+            self.host,
+            self.server,
+            self.job,
+            self.host,
+            count,
+            min_count,
+        );
+        let t1 = self.mpi.proc().now();
+        let grant = match grant {
+            Ok(g) => g,
+            Err(r) => {
+                if let Some(rec) = &self.recorder {
+                    rec.record_duration("acget.rejected", t1, t1 - t0);
+                }
+                return Err(DacError::Rejected(r));
+            }
+        };
+        let set = self.adopt_grant(grant.client_id, grant.accs)?;
+        let t2 = self.mpi.proc().now();
+        if let Some(rec) = &self.recorder {
+            rec.record_duration("acget.batch", t2, t1 - t0);
+            rec.record_duration("acget.mpi", t2, t2 - t1);
+        }
+        Ok(set)
+    }
+
+    /// Associate an already-granted accelerator set with this session:
+    /// grow the communicator (existing daemons join the collective spawn,
+    /// everyone merges with the new daemons high) and mint handles. Used
+    /// by [`AcSession::ac_get`] and by the collective variant, where the
+    /// grant was obtained by the collector node.
+    pub(crate) fn adopt_grant(
+        &mut self,
+        client_id: ClientId,
+        accs: Vec<darms_net::HostId>,
+    ) -> Result<AcSet, DacError> {
+        let local = match self.comm {
+            Some(c) => {
+                for h in self.live_handles() {
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    let rank = self.rank_of(h).expect("live");
+                    self.mpi
+                        .send(c, rank, TAG_REQ, data(DacRequest { req, body: ReqBody::Grow }), self.dac.cost.ctl_bytes)
+                        .map_err(DacError::Mpi)?;
+                }
+                c
+            }
+            None => self.mpi.self_comm(),
+        };
+        let args = vec![self.job.0.to_string(), self.cn_index.to_string(), "dyn".to_string()];
+        let inter = self.mpi.comm_spawn(local, DAEMON_EXE, &args, &accs)?;
+        let merged = self.mpi.intercomm_merge(inter, false)?;
+        self.mpi.comm_disconnect(inter);
+        self.mpi.comm_disconnect(local); // superseded session (or self) comm
+        debug_assert_eq!(merged.rank(), 0);
+        self.comm = Some(merged);
+        let base = self.handles.iter().filter(|h| h.live).count() as Rank;
+        let mut handles = Vec::with_capacity(accs.len());
+        for i in 0..accs.len() as Rank {
+            let ix = self.handles.len();
+            self.handles.push(HandleRec { rank: base + 1 + i, live: true, set: Some(client_id) });
+            handles.push(AcHandle(ix));
+        }
+        Ok(AcSet { client_id, handles })
+    }
+
+    /// `AC_Free()`: release a dynamically obtained accelerator set. The
+    /// compute node disconnects from the released daemons (shrinking the
+    /// session communicator) and then notifies the batch system via
+    /// `pbs_dynfree`; the application continues immediately (§III-D).
+    pub fn ac_free(&mut self, set: &AcSet) -> Result<(), DacError> {
+        self.release_local(set)?;
+        // Tell the batch system; the reply is positive immediately.
+        let ok = ifl::pbs_dynfree(
+            self.mpi.proc(),
+            &self.net,
+            self.host,
+            self.server,
+            self.job,
+            set.client_id,
+        );
+        debug_assert!(ok, "server lost track of {:?}", set.client_id);
+        Ok(())
+    }
+
+    /// Tear down a dynamic set locally (release daemons, shrink the
+    /// communicator, remap handles) **without** notifying the server.
+    /// `ac_free` adds the `pbs_dynfree`; the collective release lets the
+    /// collector node send the single notification for the shared set.
+    pub(crate) fn release_local(&mut self, set: &AcSet) -> Result<(), DacError> {
+        let comm = self.comm()?;
+        // The set is released as a unit identified by its client-id; every
+        // handle must belong to it and still be live.
+        for h in &set.handles {
+            match self.handles.get(h.0) {
+                Some(rec) if rec.live && rec.set == Some(set.client_id) => {}
+                _ => return Err(DacError::BadHandle(*h)),
+            }
+        }
+        let removed: Vec<Rank> =
+            set.handles.iter().filter_map(|h| self.rank_of(*h).ok()).collect();
+        if removed.is_empty() {
+            return Err(DacError::BadHandle(*set.handles.first().unwrap_or(&AcHandle(usize::MAX))));
+        }
+        // Survivors first join the shrink, the released daemons exit.
+        let survivors: Vec<AcHandle> = self
+            .live_handles()
+            .into_iter()
+            .filter(|h| !set.handles.contains(h))
+            .collect();
+        for h in &survivors {
+            let rank = self.rank_of(*h).expect("live");
+            let req = self.next_req;
+            self.next_req += 1;
+            self.mpi
+                .send(
+                    comm,
+                    rank,
+                    TAG_REQ,
+                    data(DacRequest { req, body: ReqBody::Shrink { removed: removed.clone() } }),
+                    self.dac.cost.ctl_bytes,
+                )
+                .map_err(DacError::Mpi)?;
+        }
+        for h in &set.handles {
+            if let Ok(rank) = self.rank_of(*h) {
+                let req = self.next_req;
+                self.next_req += 1;
+                self.mpi
+                    .send(
+                        comm,
+                        rank,
+                        TAG_REQ,
+                        data(DacRequest { req, body: ReqBody::Release }),
+                        self.dac.cost.ctl_bytes,
+                    )
+                    .map_err(DacError::Mpi)?;
+            }
+        }
+        let new_comm = self.mpi.comm_shrink(comm, &removed)?;
+        self.mpi.comm_disconnect(comm); // superseded session comm
+        self.comm = Some(new_comm);
+        // Remap surviving handle ranks: rank 0 stays the compute node;
+        // survivors keep their relative order.
+        let mut old_ranks: Vec<Rank> = vec![0];
+        old_ranks.extend(survivors.iter().map(|h| self.handles[h.0].rank));
+        old_ranks.sort_unstable();
+        for h in &survivors {
+            let old = self.handles[h.0].rank;
+            let new = old_ranks.iter().position(|r| *r == old).expect("survivor") as Rank;
+            self.handles[h.0].rank = new;
+        }
+        for h in &set.handles {
+            if let Some(rec) = self.handles.get_mut(h.0) {
+                rec.live = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// `AC_Finalize()`: release every associated accelerator and tear the
+    /// session down. Static accelerator nodes are returned to the pool by
+    /// the batch system at job exit.
+    pub fn finalize(mut self) {
+        if let Some(comm) = self.comm {
+            for h in self.live_handles() {
+                let rank = self.rank_of(h).expect("live");
+                let req = self.next_req;
+                self.next_req += 1;
+                let _ = self.mpi.send(
+                    comm,
+                    rank,
+                    TAG_REQ,
+                    data(DacRequest { req, body: ReqBody::Release }),
+                    self.dac.cost.ctl_bytes,
+                );
+            }
+            self.mpi.comm_disconnect(comm);
+        }
+        for rec in &mut self.handles {
+            rec.live = false;
+        }
+    }
+}
+
+/// Owned reply body (decoupled from the shared `Arc` message).
+enum RepBodyOwned {
+    Ptr(Result<DevPtr, String>),
+    Ack(Result<(), String>),
+    Data(Result<Vec<u8>, String>),
+}

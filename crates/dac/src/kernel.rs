@@ -1,0 +1,406 @@
+//! Compute kernels: named, registered functions with a timing model and a
+//! *functional* effect on device memory, so offloaded computations return
+//! real results (the examples verify them numerically).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use darms_sim::SimDuration;
+use parking_lot::RwLock;
+
+use crate::device::{as_f64s, f64s_to_bytes, AccDevice, DevPtr, DeviceProps};
+
+/// A kernel launch parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Param {
+    /// A device pointer.
+    Ptr(DevPtr),
+    /// An integer scalar.
+    U64(u64),
+    /// A float scalar.
+    F64(f64),
+}
+
+impl Param {
+    /// The pointer, or an error naming the parameter index.
+    pub fn ptr(&self, ix: usize) -> Result<DevPtr, String> {
+        match self {
+            Param::Ptr(p) => Ok(*p),
+            other => Err(format!("param {ix}: expected pointer, got {other:?}")),
+        }
+    }
+
+    /// The integer, or an error naming the parameter index.
+    pub fn u64(&self, ix: usize) -> Result<u64, String> {
+        match self {
+            Param::U64(v) => Ok(*v),
+            other => Err(format!("param {ix}: expected u64, got {other:?}")),
+        }
+    }
+
+    /// The float, or an error naming the parameter index.
+    pub fn f64(&self, ix: usize) -> Result<f64, String> {
+        match self {
+            Param::F64(v) => Ok(*v),
+            other => Err(format!("param {ix}: expected f64, got {other:?}")),
+        }
+    }
+}
+
+/// Arguments of one kernel launch (grid/block mirror the CUDA-style API
+/// of the paper's Listing 1).
+#[derive(Clone, Debug)]
+pub struct KernelArgs {
+    /// Number of blocks.
+    pub grid: u64,
+    /// Threads per block.
+    pub block: u64,
+    /// Positional parameters.
+    pub params: Vec<Param>,
+}
+
+impl KernelArgs {
+    /// Convenience constructor.
+    pub fn new(grid: u64, block: u64, params: Vec<Param>) -> Self {
+        KernelArgs { grid, block, params }
+    }
+}
+
+/// Timing model of a kernel: duration as a function of arguments and the
+/// device executing it.
+pub type KernelCost = Arc<dyn Fn(&KernelArgs, &DeviceProps) -> SimDuration + Send + Sync>;
+
+/// Functional effect of a kernel on device memory.
+pub type KernelBody = Arc<dyn Fn(&mut AccDevice, &KernelArgs) -> Result<(), String> + Send + Sync>;
+
+/// A registered kernel.
+#[derive(Clone)]
+pub struct Kernel {
+    /// Timing model.
+    pub cost: KernelCost,
+    /// Functional effect.
+    pub body: KernelBody,
+}
+
+/// Thread-safe kernel registry shared by all daemons.
+#[derive(Clone, Default)]
+pub struct KernelRegistry {
+    inner: Arc<RwLock<HashMap<String, Kernel>>>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the built-in kernels.
+    pub fn with_builtins() -> Self {
+        let r = Self::new();
+        register_builtins(&r);
+        r
+    }
+
+    /// Register (or replace) a kernel.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        cost: impl Fn(&KernelArgs, &DeviceProps) -> SimDuration + Send + Sync + 'static,
+        body: impl Fn(&mut AccDevice, &KernelArgs) -> Result<(), String> + Send + Sync + 'static,
+    ) {
+        self.inner
+            .write()
+            .insert(name.into(), Kernel { cost: Arc::new(cost), body: Arc::new(body) });
+    }
+
+    /// Look up a kernel.
+    pub fn get(&self, name: &str) -> Option<Kernel> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Registered kernel names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// FLOP-proportional cost helper for builtin kernels: a fixed launch
+/// overhead plus compute time at an effective rate well below peak, as
+/// real kernels achieve.
+fn flop_cost(flops: f64, props: &DeviceProps) -> SimDuration {
+    SimDuration::from_micros(5)
+        + SimDuration::from_secs_f64(flops / (props.flops * 0.3).max(1.0))
+}
+
+/// Register the built-in kernels:
+///
+/// - `vector_add(a, b, c, n)`: `c[i] = a[i] + b[i]` over `n` f64s;
+/// - `scale(x, n, alpha)`: `x[i] *= alpha`;
+/// - `saxpy(x, y, n, alpha)`: `y[i] += alpha * x[i]`;
+/// - `matmul(a, b, c, m, k, n)`: row-major f64 GEMM, `C = A×B`;
+/// - `reduce_sum(x, out, n)`: `out[0] = Σ x[i]`;
+/// - `stencil3(src, dst, n, alpha)`: one Jacobi step of the 1-D heat
+///   equation, `dst[i] = src[i] + alpha*(src[i-1] - 2 src[i] + src[i+1])`
+///   over the interior `1..n-1`; the two boundary values pass through
+///   (halo cells, exchanged by the host between steps).
+pub fn register_builtins(reg: &KernelRegistry) {
+    reg.register(
+        "vector_add",
+        |args, props| flop_cost(args.params[3].u64(3).unwrap_or(0) as f64, props),
+        |dev, args| {
+            let (a, b, c) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
+            let n = args.params[3].u64(3)? as usize;
+            let av = as_f64s(dev.buffer(a).map_err(|e| e.to_string())?);
+            let bv = as_f64s(dev.buffer(b).map_err(|e| e.to_string())?);
+            if av.len() < n || bv.len() < n {
+                return Err("vector_add: inputs shorter than n".into());
+            }
+            let cv: Vec<f64> = (0..n).map(|i| av[i] + bv[i]).collect();
+            dev.write(c, 0, &f64s_to_bytes(&cv)).map_err(|e| e.to_string())
+        },
+    );
+    reg.register(
+        "scale",
+        |args, props| flop_cost(args.params[1].u64(1).unwrap_or(0) as f64, props),
+        |dev, args| {
+            let x = args.params[0].ptr(0)?;
+            let n = args.params[1].u64(1)? as usize;
+            let alpha = args.params[2].f64(2)?;
+            let mut xv = as_f64s(dev.buffer(x).map_err(|e| e.to_string())?);
+            if xv.len() < n {
+                return Err("scale: input shorter than n".into());
+            }
+            for v in xv.iter_mut().take(n) {
+                *v *= alpha;
+            }
+            dev.write(x, 0, &f64s_to_bytes(&xv)).map_err(|e| e.to_string())
+        },
+    );
+    reg.register(
+        "saxpy",
+        |args, props| flop_cost(2.0 * args.params[2].u64(2).unwrap_or(0) as f64, props),
+        |dev, args| {
+            let (x, y) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?);
+            let n = args.params[2].u64(2)? as usize;
+            let alpha = args.params[3].f64(3)?;
+            let xv = as_f64s(dev.buffer(x).map_err(|e| e.to_string())?);
+            let mut yv = as_f64s(dev.buffer(y).map_err(|e| e.to_string())?);
+            if xv.len() < n || yv.len() < n {
+                return Err("saxpy: inputs shorter than n".into());
+            }
+            for i in 0..n {
+                yv[i] += alpha * xv[i];
+            }
+            dev.write(y, 0, &f64s_to_bytes(&yv)).map_err(|e| e.to_string())
+        },
+    );
+    reg.register(
+        "matmul",
+        |args, props| {
+            let m = args.params[3].u64(3).unwrap_or(0) as f64;
+            let k = args.params[4].u64(4).unwrap_or(0) as f64;
+            let n = args.params[5].u64(5).unwrap_or(0) as f64;
+            flop_cost(2.0 * m * k * n, props)
+        },
+        |dev, args| {
+            let (a, b, c) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
+            let m = args.params[3].u64(3)? as usize;
+            let k = args.params[4].u64(4)? as usize;
+            let n = args.params[5].u64(5)? as usize;
+            let av = as_f64s(dev.buffer(a).map_err(|e| e.to_string())?);
+            let bv = as_f64s(dev.buffer(b).map_err(|e| e.to_string())?);
+            if av.len() < m * k || bv.len() < k * n {
+                return Err("matmul: inputs too small".into());
+            }
+            let mut cv = vec![0.0f64; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let aip = av[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        cv[i * n + j] += aip * bv[p * n + j];
+                    }
+                }
+            }
+            dev.write(c, 0, &f64s_to_bytes(&cv)).map_err(|e| e.to_string())
+        },
+    );
+    reg.register(
+        "stencil3",
+        |args, props| flop_cost(4.0 * args.params[2].u64(2).unwrap_or(0) as f64, props),
+        |dev, args| {
+            let (src, dst) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?);
+            let n = args.params[2].u64(2)? as usize;
+            let alpha = args.params[3].f64(3)?;
+            let sv = as_f64s(dev.buffer(src).map_err(|e| e.to_string())?);
+            if sv.len() < n || n < 2 {
+                return Err("stencil3: need at least 2 points".into());
+            }
+            let mut dv = sv[..n].to_vec();
+            for i in 1..n - 1 {
+                dv[i] = sv[i] + alpha * (sv[i - 1] - 2.0 * sv[i] + sv[i + 1]);
+            }
+            dev.write(dst, 0, &f64s_to_bytes(&dv)).map_err(|e| e.to_string())
+        },
+    );
+    reg.register(
+        "reduce_sum",
+        |args, props| flop_cost(args.params[2].u64(2).unwrap_or(0) as f64, props),
+        |dev, args| {
+            let (x, out) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?);
+            let n = args.params[2].u64(2)? as usize;
+            let xv = as_f64s(dev.buffer(x).map_err(|e| e.to_string())?);
+            if xv.len() < n {
+                return Err("reduce_sum: input shorter than n".into());
+            }
+            let s: f64 = xv.iter().take(n).sum();
+            dev.write(out, 0, &f64s_to_bytes(&[s])).map_err(|e| e.to_string())
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev_with(values: &[f64]) -> (AccDevice, DevPtr) {
+        let mut d = AccDevice::new(DeviceProps::gpu_2013());
+        let p = d.malloc((values.len() * 8) as u64).unwrap();
+        d.write(p, 0, &f64s_to_bytes(values)).unwrap();
+        (d, p)
+    }
+
+    #[test]
+    fn vector_add_computes() {
+        let reg = KernelRegistry::with_builtins();
+        let (mut d, a) = dev_with(&[1.0, 2.0, 3.0]);
+        let b = d.malloc(24).unwrap();
+        d.write(b, 0, &f64s_to_bytes(&[10.0, 20.0, 30.0])).unwrap();
+        let c = d.malloc(24).unwrap();
+        let k = reg.get("vector_add").unwrap();
+        let args = KernelArgs::new(1, 3, vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(3)]);
+        (k.body)(&mut d, &args).unwrap();
+        assert_eq!(as_f64s(&d.read(c, 0, 24).unwrap()), vec![11.0, 22.0, 33.0]);
+        assert!((k.cost)(&args, &d.props()) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saxpy_and_scale_compute() {
+        let reg = KernelRegistry::with_builtins();
+        let (mut d, x) = dev_with(&[1.0, 2.0]);
+        let y = d.malloc(16).unwrap();
+        d.write(y, 0, &f64s_to_bytes(&[5.0, 5.0])).unwrap();
+        let saxpy = reg.get("saxpy").unwrap();
+        (saxpy.body)(
+            &mut d,
+            &KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(3.0)]),
+        )
+        .unwrap();
+        assert_eq!(as_f64s(&d.read(y, 0, 16).unwrap()), vec![8.0, 11.0]);
+        let scale = reg.get("scale").unwrap();
+        (scale.body)(&mut d, &KernelArgs::new(1, 2, vec![Param::Ptr(y), Param::U64(2), Param::F64(0.5)]))
+            .unwrap();
+        assert_eq!(as_f64s(&d.read(y, 0, 16).unwrap()), vec![4.0, 5.5]);
+    }
+
+    #[test]
+    fn matmul_computes() {
+        let reg = KernelRegistry::with_builtins();
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => C = [[19,22],[43,50]]
+        let (mut d, a) = dev_with(&[1.0, 2.0, 3.0, 4.0]);
+        let b = d.malloc(32).unwrap();
+        d.write(b, 0, &f64s_to_bytes(&[5.0, 6.0, 7.0, 8.0])).unwrap();
+        let c = d.malloc(32).unwrap();
+        let k = reg.get("matmul").unwrap();
+        (k.body)(
+            &mut d,
+            &KernelArgs::new(
+                1,
+                4,
+                vec![
+                    Param::Ptr(a),
+                    Param::Ptr(b),
+                    Param::Ptr(c),
+                    Param::U64(2),
+                    Param::U64(2),
+                    Param::U64(2),
+                ],
+            ),
+        )
+        .unwrap();
+        assert_eq!(as_f64s(&d.read(c, 0, 32).unwrap()), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn reduce_sum_computes() {
+        let reg = KernelRegistry::with_builtins();
+        let (mut d, x) = dev_with(&[1.0, 2.0, 3.5]);
+        let out = d.malloc(8).unwrap();
+        let k = reg.get("reduce_sum").unwrap();
+        (k.body)(&mut d, &KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(out), Param::U64(3)]))
+            .unwrap();
+        assert_eq!(as_f64s(&d.read(out, 0, 8).unwrap()), vec![6.5]);
+    }
+
+    #[test]
+    fn bad_params_are_reported() {
+        let reg = KernelRegistry::with_builtins();
+        let (mut d, x) = dev_with(&[1.0]);
+        let k = reg.get("vector_add").unwrap();
+        let err = (k.body)(
+            &mut d,
+            &KernelArgs::new(1, 1, vec![Param::U64(1), Param::Ptr(x), Param::Ptr(x), Param::U64(1)]),
+        )
+        .unwrap_err();
+        assert!(err.contains("expected pointer"), "{err}");
+    }
+
+    #[test]
+    fn stencil3_computes_one_jacobi_step() {
+        let reg = KernelRegistry::with_builtins();
+        let (mut d, src) = dev_with(&[0.0, 0.0, 4.0, 0.0, 0.0]);
+        let dst = d.malloc(40).unwrap();
+        let k = reg.get("stencil3").unwrap();
+        (k.body)(
+            &mut d,
+            &KernelArgs::new(1, 5, vec![
+                Param::Ptr(src), Param::Ptr(dst), Param::U64(5), Param::F64(0.25),
+            ]),
+        )
+        .unwrap();
+        let out = as_f64s(&d.read(dst, 0, 40).unwrap());
+        // boundaries pass through; heat spreads from the spike
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn registry_register_and_names() {
+        let reg = KernelRegistry::new();
+        assert!(reg.get("custom").is_none());
+        reg.register("custom", |_, _| SimDuration::from_micros(1), |_, _| Ok(()));
+        assert!(reg.get("custom").is_some());
+        assert_eq!(reg.names(), vec!["custom".to_string()]);
+        let full = KernelRegistry::with_builtins();
+        assert!(full.names().len() >= 6);
+    }
+
+    #[test]
+    fn matmul_cost_grows_with_size() {
+        let reg = KernelRegistry::with_builtins();
+        let k = reg.get("matmul").unwrap();
+        let props = DeviceProps::gpu_2013();
+        let args_small = KernelArgs::new(1, 1, vec![
+            Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)),
+            Param::U64(16), Param::U64(16), Param::U64(16),
+        ]);
+        let args_big = KernelArgs::new(1, 1, vec![
+            Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)),
+            Param::U64(256), Param::U64(256), Param::U64(256),
+        ]);
+        assert!((k.cost)(&args_big, &props) > (k.cost)(&args_small, &props));
+    }
+}

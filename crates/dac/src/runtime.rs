@@ -1,0 +1,344 @@
+//! The DAC runtime: shared handles (pseudo-FS, kernel registry, device
+//! pool) and the accelerator **back-end daemon** — the per-accelerator
+//! process of the paper's Fig. 3 that receives computation requests over
+//! MPI and executes them on the device through the driver API.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use darms_mpi::{data, Comm, MpiProc, MpiRuntime, Rank};
+use darms_net::HostId;
+use darms_rms::{JobId, PseudoFs};
+use darms_sim::SimDuration;
+use parking_lot::Mutex;
+
+use crate::cost::DacCostModel;
+use crate::device::{AccDevice, DevPtr, DeviceProps};
+use crate::kernel::{KernelArgs, KernelRegistry};
+
+/// MPI tag of front-end → daemon requests.
+pub(crate) const TAG_REQ: i32 = 10;
+/// MPI tag of daemon → front-end replies.
+pub(crate) const TAG_REP: i32 = 11;
+/// MPI tag of daemon ↔ daemon traffic during group operations — the
+/// paper's "accelerators that communicate directly with each other"
+/// scenario (§I): kernels running across the set without the host.
+pub(crate) const TAG_PEER: i32 = 12;
+
+/// Name under which the back-end daemon executable is registered.
+pub const DAEMON_EXE: &str = "ac-daemon";
+
+/// A front-end request to one daemon.
+pub(crate) struct DacRequest {
+    pub req: u64,
+    pub body: ReqBody,
+}
+
+pub(crate) enum ReqBody {
+    /// Allocate device memory.
+    MemAlloc { size: u64 },
+    /// Free device memory.
+    MemFree { ptr: DevPtr },
+    /// Host-to-device transfer. `overlap_credit` is the wire time already
+    /// spent moving the bytes; under the pipelined protocol the device
+    /// copy overlaps it.
+    CopyH2D { ptr: DevPtr, offset: u64, payload: Arc<Vec<u8>>, overlap_credit: SimDuration },
+    /// Device-to-host transfer.
+    CopyD2H { ptr: DevPtr, offset: u64, len: u64 },
+    /// Launch a named kernel.
+    KernelRun { name: String, args: KernelArgs },
+    /// Participate in a host-free group reduction: every listed daemon
+    /// sums `elems` f64 values at `ptr` locally, the peers combine the
+    /// partials **among themselves** over the session communicator
+    /// (daemon-to-daemon MPI, no host involvement), and the group root
+    /// (lowest participating rank) stores the total back at `out` and
+    /// replies to the front end. Other participants reply with a bare
+    /// ack once their partial has been handed off.
+    GroupReduceSum {
+        ptr: DevPtr,
+        elems: u64,
+        out: DevPtr,
+        /// Participating daemon ranks in the session communicator,
+        /// sorted ascending; the first is the group root.
+        peers: Vec<Rank>,
+    },
+    /// Participate in a collective spawn+merge (no reply; the front-end
+    /// is growing the communicator for a dynamic allocation).
+    Grow,
+    /// Participate in a communicator shrink (no reply; a sibling set is
+    /// being released).
+    Shrink { removed: Vec<Rank> },
+    /// Free everything, disconnect and exit (no reply).
+    Release,
+}
+
+/// A daemon's reply.
+pub(crate) struct DacReply {
+    pub req: u64,
+    pub body: RepBody,
+}
+
+pub(crate) enum RepBody {
+    Ptr(Result<DevPtr, String>),
+    Ack(Result<(), String>),
+    Data(Result<Vec<u8>, String>),
+}
+
+/// Cloneable handle to everything the DAC layer shares: the MPI runtime,
+/// the pseudo-FS (port files), the kernel registry, the device pool and
+/// the cost model. Creating it registers the daemon executable.
+#[derive(Clone)]
+pub struct DacRuntime {
+    pub(crate) mpi: MpiRuntime,
+    pub(crate) fs: PseudoFs,
+    pub(crate) cost: DacCostModel,
+    pub(crate) kernels: KernelRegistry,
+    pub(crate) device_props: DeviceProps,
+    devices: Arc<Mutex<std::collections::HashMap<usize, Arc<Mutex<AccDevice>>>>>,
+}
+
+impl DacRuntime {
+    /// Create the runtime and register the daemon executable with the MPI
+    /// runtime.
+    pub fn new(
+        mpi: MpiRuntime,
+        fs: PseudoFs,
+        cost: DacCostModel,
+        kernels: KernelRegistry,
+        device_props: DeviceProps,
+    ) -> Self {
+        let rt = DacRuntime {
+            mpi,
+            fs,
+            cost,
+            kernels,
+            device_props,
+            devices: Arc::new(Mutex::new(Default::default())),
+        };
+        let rt2 = rt.clone();
+        rt.mpi.register_exe(DAEMON_EXE, move |mpi_proc, args| {
+            daemon_main(mpi_proc, rt2.clone(), args);
+        });
+        rt
+    }
+
+    /// The MPI runtime used by daemons and front-ends.
+    pub fn mpi(&self) -> &MpiRuntime {
+        &self.mpi
+    }
+
+    /// The shared pseudo-filesystem.
+    pub fn fs(&self) -> &PseudoFs {
+        &self.fs
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &DacCostModel {
+        &self.cost
+    }
+
+    /// The kernel registry (register custom kernels here).
+    pub fn kernels(&self) -> &KernelRegistry {
+        &self.kernels
+    }
+
+    /// The device attached to `host` (created on first use). One device
+    /// per accelerator host, matching Fig. 1(b).
+    pub fn device_for(&self, host: HostId) -> Arc<Mutex<AccDevice>> {
+        self.devices
+            .lock()
+            .entry(host.index())
+            .or_insert_with(|| Arc::new(Mutex::new(AccDevice::new(self.device_props))))
+            .clone()
+    }
+}
+
+/// Entry point of the accelerator daemon.
+///
+/// Args: `[job_id, cn_index, mode]` where mode is `static` (started by the
+/// mother superior; rendezvous through a port file) or `dyn` (spawned by
+/// the front-end via `MPI_Comm_spawn`).
+fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
+    let job = JobId(args[0].parse().expect("daemon arg 0: job id"));
+    let cn_index: usize = args[1].parse().expect("daemon arg 1: cn index");
+    let mode = args.get(2).map(String::as_str).unwrap_or("static");
+
+    let comm = match mode {
+        "static" => {
+            let world = mpi.world().expect("static daemons are launched as a world");
+            // All daemons of the set synchronise, then the root opens the
+            // port and publishes it for AC_Init (§III-C).
+            mpi.barrier(world).expect("daemon world barrier");
+            let merged = if world.rank() == 0 {
+                let port = mpi.open_port();
+                dac.fs.write(job, PseudoFs::ac_port_file(cn_index), port.clone());
+                let inter = mpi.comm_accept(&port, world).expect("daemon accept");
+                mpi.close_port(&port);
+                let merged = mpi.intercomm_merge(inter, true).expect("daemon merge");
+                mpi.comm_disconnect(inter);
+                merged
+            } else {
+                let inter = mpi.comm_accept("", world).expect("daemon accept (non-root)");
+                let merged = mpi.intercomm_merge(inter, true).expect("daemon merge");
+                mpi.comm_disconnect(inter);
+                merged
+            };
+            // The world communicator is not used once the session
+            // communicator exists.
+            mpi.comm_disconnect(world);
+            merged
+        }
+        "dyn" => {
+            let parent = mpi.parent().expect("dynamic daemons are spawned");
+            let merged = mpi.intercomm_merge(parent, true).expect("daemon merge");
+            if let Some(world) = mpi.world() {
+                mpi.comm_disconnect(world);
+            }
+            mpi.comm_disconnect(parent);
+            merged
+        }
+        other => panic!("unknown daemon mode {other}"),
+    };
+    serve(mpi, dac, comm);
+}
+
+/// The daemon service loop: execute computation requests from the compute
+/// node (rank 0 of the merged communicator) until released.
+fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
+    let device = dac.device_for(mpi.host());
+    let mut my_ptrs: HashSet<DevPtr> = HashSet::new();
+    let overhead = dac.cost.request_overhead;
+    loop {
+        let msg = mpi.recv(comm, Some(0), Some(TAG_REQ));
+        let request = msg
+            .data
+            .downcast_ref::<DacRequest>()
+            .expect("TAG_REQ messages carry DacRequest");
+        let req = request.req;
+        match &request.body {
+            ReqBody::Grow => {
+                let inter = mpi
+                    .comm_spawn(comm, DAEMON_EXE, &[], &[])
+                    .expect("daemon joins collective spawn");
+                let merged = mpi.intercomm_merge(inter, false).expect("daemon joins merge");
+                mpi.comm_disconnect(inter);
+                mpi.comm_disconnect(comm); // superseded session comm
+                comm = merged;
+            }
+            ReqBody::Shrink { removed } => {
+                let shrunk = mpi.comm_shrink(comm, removed).expect("daemon joins shrink");
+                mpi.comm_disconnect(comm); // superseded session comm
+                comm = shrunk;
+            }
+            ReqBody::Release => {
+                for p in my_ptrs.drain() {
+                    let _ = device.lock().mem_free(p);
+                }
+                mpi.comm_disconnect(comm);
+                break;
+            }
+            ReqBody::MemAlloc { size } => {
+                if !overhead.is_zero() {
+                    mpi.proc().sleep(overhead);
+                }
+                let r = device.lock().malloc(*size);
+                if let Ok(p) = &r {
+                    my_ptrs.insert(*p);
+                }
+                reply(&mpi, comm, req, RepBody::Ptr(r.map_err(|e| e.to_string())), &dac);
+            }
+            ReqBody::MemFree { ptr } => {
+                if !overhead.is_zero() {
+                    mpi.proc().sleep(overhead);
+                }
+                let r = device.lock().mem_free(*ptr);
+                my_ptrs.remove(ptr);
+                reply(&mpi, comm, req, RepBody::Ack(r.map_err(|e| e.to_string())), &dac);
+            }
+            ReqBody::CopyH2D { ptr, offset, payload, overlap_credit } => {
+                let dev_time = device.lock().props().h2d_time(payload.len() as u64);
+                let effective = dev_time.saturating_sub(*overlap_credit);
+                let d = overhead + effective;
+                if !d.is_zero() {
+                    mpi.proc().sleep(d);
+                }
+                let r = device.lock().write(*ptr, *offset, payload);
+                reply(&mpi, comm, req, RepBody::Ack(r.map_err(|e| e.to_string())), &dac);
+            }
+            ReqBody::CopyD2H { ptr, offset, len } => {
+                let d = overhead + device.lock().props().d2h_time(*len);
+                if !d.is_zero() {
+                    mpi.proc().sleep(d);
+                }
+                let r = device.lock().read(*ptr, *offset, *len);
+                let bytes = r.as_ref().map(|v| v.len() as u64).unwrap_or(0);
+                let rep = DacReply { req, body: RepBody::Data(r.map_err(|e| e.to_string())) };
+                let _ = mpi.send(comm, 0, TAG_REP, data(rep), dac.cost.ctl_bytes + bytes);
+            }
+            ReqBody::GroupReduceSum { ptr, elems, out, peers } => {
+                let result = group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers);
+                reply(&mpi, comm, req, RepBody::Ack(result), &dac);
+            }
+            ReqBody::KernelRun { name, args } => {
+                let result = match dac.kernels.get(name) {
+                    Some(k) => {
+                        let props = device.lock().props();
+                        let cost = (k.cost)(args, &props);
+                        let d = overhead + cost;
+                        if !d.is_zero() {
+                            mpi.proc().sleep(d);
+                        }
+                        (k.body)(&mut device.lock(), args)
+                    }
+                    None => Err(format!("unknown kernel '{name}'")),
+                };
+                reply(&mpi, comm, req, RepBody::Ack(result), &dac);
+            }
+        }
+    }
+}
+
+fn reply(mpi: &MpiProc, comm: Comm, req: u64, body: RepBody, dac: &DacRuntime) {
+    let rep = DacReply { req, body };
+    let _ = mpi.send(comm, 0, TAG_REP, data(rep), dac.cost.ctl_bytes);
+}
+
+/// Daemon-side group reduction: partial sums travel peer-to-peer over the
+/// session communicator (a star on the group root), never through the
+/// compute node — the extended host-free kernel pattern of §I.
+#[allow(clippy::too_many_arguments)]
+fn group_reduce_sum(
+    mpi: &mut MpiProc,
+    dac: &DacRuntime,
+    comm: Comm,
+    device: &Arc<Mutex<AccDevice>>,
+    ptr: DevPtr,
+    elems: u64,
+    out: DevPtr,
+    peers: &[Rank],
+) -> Result<(), String> {
+    use crate::device::{as_f64s, f64s_to_bytes};
+    let me = comm.rank();
+    let root = *peers.first().ok_or("empty peer group")?;
+    // Local partial sum (with a modelled compute cost).
+    let props = device.lock().props();
+    let cost = dac.cost.request_overhead
+        + darms_sim::SimDuration::from_secs_f64(elems as f64 / (props.flops * 0.3).max(1.0));
+    if !cost.is_zero() {
+        mpi.proc().sleep(cost);
+    }
+    let bytes = device.lock().read(ptr, 0, elems * 8).map_err(|e| e.to_string())?;
+    let partial: f64 = as_f64s(&bytes).iter().sum();
+    if me == root {
+        let mut total = partial;
+        for _ in 1..peers.len() {
+            let msg = mpi.recv(comm, None, Some(TAG_PEER));
+            total += *msg.data.downcast_ref::<f64>().ok_or("peer partial must be f64")?;
+        }
+        device.lock().write(out, 0, &f64s_to_bytes(&[total])).map_err(|e| e.to_string())?;
+        Ok(())
+    } else {
+        mpi.send(comm, root, TAG_PEER, data(partial), 8).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}

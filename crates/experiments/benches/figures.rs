@@ -1,0 +1,69 @@
+//! Criterion benches: one per figure of the paper's evaluation. Each
+//! bench runs the complete simulated scenario (cluster boot, batch
+//! system, MPI, daemons) for one data point, measuring the *simulator's*
+//! real cost of regenerating that figure; the virtual-time results
+//! themselves are printed by the `fig7a`/`fig7b`/`fig8`/`fig9` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darms_experiments::figures::{fig7a_trial, fig7b_trial, fig8_trial, fig9_trial};
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_acinit");
+    g.sample_size(20);
+    for x in [1usize, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fig7a_trial(x, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7b_dynamic_request");
+    g.sample_size(20);
+    for y in [1usize, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(y), &y, |b, &y| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fig7b_trial(y, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_loaded_scheduler");
+    g.sample_size(10);
+    for load in [0usize, 16, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &load| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fig8_trial(load, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_concurrent_requests");
+    g.sample_size(10);
+    g.bench_function("three_jobs", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig9_trial(seed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7a, bench_fig7b, bench_fig8, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Micro-benchmarks of the substrates: engine event throughput, MPI
+//! primitive latency (in real time per simulated operation), scheduler
+//! iteration cost scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darms_mpi::{data, launch_world, MpiCostModel, MpiRuntime, WorldSpec};
+use darms_net::{HostKind, LatencyModel, Network};
+use darms_sim::{Engine, SimDuration};
+
+/// Engine throughput: a ping-pong pair exchanging N messages.
+fn bench_engine_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_pingpong");
+    for n in [1_000u32, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Engine::with_seed(1);
+                let pong = sim.spawn_process("pong", move |p| {
+                    for _ in 0..n {
+                        let (v, src) = p.recv_as::<u32>();
+                        p.send(src.unwrap(), v + 1, SimDuration::from_micros(1));
+                    }
+                });
+                sim.spawn_process("ping", move |p| {
+                    for i in 0..n {
+                        p.send(pong.into(), i, SimDuration::from_micros(1));
+                        let _ = p.recv_as::<u32>();
+                    }
+                });
+                sim.run()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// MPI world launch + barrier + gather across 6 simulated hosts.
+fn bench_mpi_collectives(c: &mut Criterion) {
+    c.bench_function("mpi_world_barrier_gather", |b| {
+        b.iter(|| {
+            let mut sim = Engine::with_seed(2);
+            let net = Network::new(LatencyModel::ideal(), 3);
+            let hosts: Vec<_> =
+                (0..6).map(|i| net.add_host(format!("h{i}"), HostKind::Generic)).collect();
+            let rt = MpiRuntime::new(net, MpiCostModel::instant());
+            rt.register_exe("work", |mut mpi, _| {
+                let world = mpi.world().unwrap();
+                for _ in 0..10 {
+                    mpi.barrier(world).unwrap();
+                    let me = world.rank() as u64;
+                    let _ = mpi.gather(world, 0, data(me), 8).unwrap();
+                }
+            });
+            let specs = hosts
+                .iter()
+                .map(|&h| WorldSpec {
+                    host: h,
+                    exe: "work".into(),
+                    args: vec![],
+                    start_delay: SimDuration::ZERO,
+                })
+                .collect();
+            launch_world(&mut sim, &rt, specs).unwrap();
+            sim.run()
+        });
+    });
+}
+
+/// Whole-cluster boot + one synthetic job end-to-end.
+fn bench_cluster_boot_job(c: &mut Criterion) {
+    use darms::prelude::*;
+    c.bench_function("cluster_boot_and_one_job", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut cluster = Cluster::build(ClusterConfig::fast(seed).with_split(2, 2));
+            cluster.qsub(JobSpec::synthetic("j", SimDuration::from_secs(1)).acpn(1));
+            cluster.run()
+        });
+    });
+}
+
+/// Pure scheduler logic: priority ordering + allocation over a synthetic
+/// snapshot, scaling with queue depth (the computational kernel behind
+/// Fig. 8's per-job cost).
+fn bench_scheduler_logic(c: &mut Criterion) {
+    use darms_net::HostId;
+    use darms_rms::proto::{ClusterSnapshot, NodeSnap, QueuedJobSnap};
+    use darms_rms::{JobId, NodeRole};
+    use darms_sched::{order_queue, AllocPolicy, Fairshare, FreeTracker, Policy};
+    use darms_sim::SimTime;
+
+    let mut g = c.benchmark_group("scheduler_logic");
+    for depth in [16usize, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let nodes: Vec<NodeSnap> = (0..64)
+                .map(|i| NodeSnap {
+                    host: HostId::from_raw(i),
+                    role: if i < 32 { NodeRole::Compute } else { NodeRole::Accelerator },
+                    cores_total: 8,
+                    cores_free: 8,
+                    offline: false,
+                })
+                .collect();
+            let snap = ClusterSnapshot { nodes, queued: vec![], running: vec![], dyn_pending: None };
+            let queued: Vec<QueuedJobSnap> = (0..depth)
+                .map(|i| QueuedJobSnap {
+                    job: JobId(i as u64),
+                    owner: format!("user{}", i % 7),
+                    submitted: SimTime::from_nanos((depth - i) as u64 * 1_000_000),
+                    nodes: 1 + i % 3,
+                    ppn: 1 + (i % 8) as u32,
+                    acpn: (i % 3) as u32,
+                    walltime_estimate: SimDuration::from_secs(60 + i as u64),
+                })
+                .collect();
+            let fairshare = Fairshare::new(SimDuration::from_secs(3600));
+            b.iter(|| {
+                let ordered = order_queue(
+                    queued.clone(),
+                    SimTime::from_nanos(10_000_000_000),
+                    &Policy::Priority(Default::default()),
+                    &fairshare,
+                );
+                let mut tracker = FreeTracker::from_snapshot(&snap);
+                let mut started = 0;
+                for j in &ordered {
+                    if tracker.fits(j) {
+                        tracker.take_compute(j.nodes, j.ppn, AllocPolicy::FirstFit);
+                        tracker.take_accelerators(j.nodes * j.acpn as usize);
+                        started += 1;
+                    }
+                }
+                started
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Device + kernel execution throughput (the functional GPU model).
+fn bench_device_kernels(c: &mut Criterion) {
+    use darms_dac::{f64s_to_bytes, AccDevice, DeviceProps, KernelArgs, KernelRegistry, Param};
+    let reg = KernelRegistry::with_builtins();
+    let mut g = c.benchmark_group("device_kernels");
+    for n in [1usize << 10, 1 << 14] {
+        g.bench_with_input(BenchmarkId::new("vector_add", n), &n, |b, &n| {
+            let mut dev = AccDevice::new(DeviceProps::gpu_2013());
+            let bytes = (n * 8) as u64;
+            let a = dev.malloc(bytes).unwrap();
+            let bb = dev.malloc(bytes).unwrap();
+            let cc = dev.malloc(bytes).unwrap();
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            dev.write(a, 0, &f64s_to_bytes(&xs)).unwrap();
+            dev.write(bb, 0, &f64s_to_bytes(&xs)).unwrap();
+            let k = reg.get("vector_add").unwrap();
+            let args = KernelArgs::new(
+                64,
+                256,
+                vec![Param::Ptr(a), Param::Ptr(bb), Param::Ptr(cc), Param::U64(n as u64)],
+            );
+            b.iter(|| (k.body)(&mut dev, &args).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_pingpong,
+    bench_mpi_collectives,
+    bench_cluster_boot_job,
+    bench_scheduler_logic,
+    bench_device_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! EXT-5: EASY backfill on/off on a blocked-queue workload (a wide job
+//! stuck behind a long hog, short jobs able to slip in).
+
+use darms_experiments::extended::ext5_backfill;
+use darms_workload::{secs, Table};
+
+fn main() {
+    let trials = 5;
+    let mut with = 0.0;
+    let mut without = 0.0;
+    for t in 0..trials {
+        let (w, wo) = ext5_backfill(9000 + t as u64);
+        with += w;
+        without += wo;
+    }
+    let n = trials as f64;
+    let mut table = Table::new(
+        format!("EXT-5: EASY backfill ablation (1 hog + 1 wide + 6 short on 2 CN, mean of {trials} trials)"),
+        &["backfill", "makespan[s]"],
+    );
+    table.row(vec!["on".into(), secs(with / n)]);
+    table.row(vec!["off".into(), secs(without / n)]);
+    println!("{}", table.render());
+    assert!(with < without, "backfill must shorten the makespan");
+    println!("backfill shortens the makespan by {:.2}x", (without / n) / (with / n));
+}

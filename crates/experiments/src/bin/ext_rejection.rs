@@ -1,0 +1,29 @@
+//! EXT-2: dynamic-request rejection rate vs accelerator pool size.
+//! Because the scheduler rejects immediately when the pool cannot satisfy
+//! a request (§III-E), undersized pools translate straight into rejected
+//! `AC_Get` calls.
+
+use darms_experiments::extended::ext2_rejection_sweep;
+use darms_workload::Table;
+
+fn main() {
+    let trials = 5;
+    let pools = [2usize, 3, 4, 5, 6];
+    let mut sums = vec![0.0; pools.len()];
+    for t in 0..trials {
+        for (i, (_, frac)) in ext2_rejection_sweep(6000 + t as u64).into_iter().enumerate() {
+            sums[i] += frac;
+        }
+    }
+    let mut table = Table::new(
+        format!("EXT-2: AC_Get rejection rate vs pool size (6 jobs × 3 bursts of 2, mean of {trials} trials)"),
+        &["pool_size", "rejection_rate"],
+    );
+    let rates: Vec<f64> = sums.iter().map(|s| s / trials as f64).collect();
+    for (i, &pool) in pools.iter().enumerate() {
+        table.row(vec![pool.to_string(), format!("{:.1}%", 100.0 * rates[i])]);
+    }
+    println!("{}", table.render());
+    assert!(rates[0] > rates[pools.len() - 1], "bigger pools must reject less: {rates:?}");
+    println!("monotonic trend check: larger pools reject less — OK");
+}

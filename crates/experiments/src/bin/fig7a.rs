@@ -1,0 +1,31 @@
+//! Regenerate Fig. 7(a): time for completion of `AC_Init()` for 1..=6
+//! statically allocated accelerators, split into waiting time (until the
+//! daemons were ready) and connect time (communicator construction).
+//!
+//! Paper reference values (read off the figure): total grows from about
+//! 0.12 s at 1 accelerator to about 0.3 s at 6, with waiting dominating.
+
+use darms_experiments::{fig7a, TRIALS};
+use darms_workload::{secs, Table};
+
+fn main() {
+    let rows = fig7a(TRIALS);
+    let mut t = Table::new(
+        format!("Fig 7(a): AC_Init() completion, mean of {TRIALS} trials"),
+        &["accelerators", "waiting[s]", "connect[s]", "total[s]", "stddev[s]", "paper_total[s]"],
+    );
+    let paper = [0.12, 0.16, 0.20, 0.23, 0.27, 0.30];
+    for r in &rows {
+        t.row(vec![
+            r.count.to_string(),
+            secs(r.dominant),
+            secs(r.secondary),
+            secs(r.total()),
+            secs(r.stddev),
+            format!("~{}", paper[r.count - 1]),
+        ]);
+    }
+    println!("{}", t.render());
+    darms_experiments::figures::shape::check_fig7a(&rows);
+    println!("shape check: waiting dominates and grows with the accelerator count — OK");
+}

@@ -1,0 +1,32 @@
+//! Regenerate Fig. 7(b): time for completion of a dynamic request for
+//! 1..=6 accelerators, split into the batch-system portion and the
+//! resource-management library (MPI) portion.
+//!
+//! Paper reference values (read off the figure): total grows from about
+//! 0.35 s at 1 accelerator to about 0.9 s at 6; the batch-system part
+//! dominates and grows, the MPI part stays roughly constant.
+
+use darms_experiments::{fig7b, TRIALS};
+use darms_workload::{secs, Table};
+
+fn main() {
+    let rows = fig7b(TRIALS);
+    let mut t = Table::new(
+        format!("Fig 7(b): dynamic request completion, mean of {TRIALS} trials"),
+        &["accelerators", "batch[s]", "mpi[s]", "total[s]", "stddev[s]", "paper_total[s]"],
+    );
+    let paper = [0.35, 0.45, 0.55, 0.65, 0.78, 0.90];
+    for r in &rows {
+        t.row(vec![
+            r.count.to_string(),
+            secs(r.dominant),
+            secs(r.secondary),
+            secs(r.total()),
+            secs(r.stddev),
+            format!("~{}", paper[r.count - 1]),
+        ]);
+    }
+    println!("{}", t.render());
+    darms_experiments::figures::shape::check_fig7b(&rows);
+    println!("shape check: batch system dominates and grows; MPI roughly flat — OK");
+}

@@ -1,0 +1,32 @@
+//! Regenerate Fig. 8: time to dynamically allocate one accelerator while
+//! the Maui scheduler is busy scheduling 0 / 16 / 20 other qsub requests,
+//! split into the time the scheduler spent on the other requests and the
+//! time servicing the dynamic request itself.
+//!
+//! Paper reference values (read off the figure): total ≈ 0.35 s at load
+//! 0, ≈ 0.75 s at 16, ≈ 0.9 s at 20; the added time is scheduler work on
+//! the other requests.
+
+use darms_experiments::{fig8, TRIALS};
+use darms_workload::{secs, Table};
+
+fn main() {
+    let rows = fig8(TRIALS);
+    let mut t = Table::new(
+        format!("Fig 8: dynamic allocation under scheduler load, mean of {TRIALS} trials"),
+        &["jobs_on_load", "sched_others[s]", "service[s]", "total[s]", "paper_total[s]"],
+    );
+    let paper = [0.35, 0.75, 0.90];
+    for (i, r) in rows.iter().enumerate() {
+        t.row(vec![
+            r.load.to_string(),
+            secs(r.sched_others),
+            secs(r.service),
+            secs(r.total()),
+            format!("~{}", paper[i]),
+        ]);
+    }
+    println!("{}", t.render());
+    darms_experiments::figures::shape::check_fig8(&rows);
+    println!("shape check: waiting grows with scheduler load; service stays similar — OK");
+}

@@ -1,0 +1,106 @@
+//! Replay a Standard Workload Format trace through the batch system.
+//! With no argument, a bundled 30-job SWF snippet (generated, then
+//! round-tripped through the SWF printer/parser) is replayed with a
+//! synthetic accelerator-demand overlay — demonstrating how a real
+//! Parallel Workloads Archive trace would drive this system:
+//!
+//! `cargo run --release -p darms-experiments --bin swf_replay [trace.swf]`
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_workload::{
+    overlay_accelerator_demand, parse_swf, to_swf, Dist, JobOutcome, Table, WorkloadConfig,
+    WorkloadReport,
+};
+use parking_lot::Mutex;
+
+fn main() {
+    let cores_per_node = 8;
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).expect("readable SWF file"),
+        None => {
+            // Bundled demo trace: a generated workload exported to SWF.
+            let mut jobs = WorkloadConfig::cpu_only().generate(30, 4242);
+            for j in &mut jobs {
+                j.nodes = j.nodes.min(3);
+                j.ppn = j.ppn.min(cores_per_node);
+            }
+            to_swf(&jobs, cores_per_node)
+        }
+    };
+    let mut jobs = parse_swf(&text, cores_per_node).expect("valid SWF");
+    // SWF predates network-attached accelerators: overlay demand so the
+    // DAC path is exercised (40% of jobs, 1-2 accelerators per node).
+    overlay_accelerator_demand(
+        &mut jobs,
+        0.4,
+        &Dist::Choice(vec![(2.0, 1.0), (1.0, 2.0)]),
+        7,
+    );
+
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(4242).with_split(3, 4));
+    let dac = cluster.dac.clone();
+    let pool = cluster.accs.len();
+    let n_jobs = jobs.len();
+    println!("replaying {} SWF jobs ({} with accelerator demand) on 3 CN + {pool} AC\n",
+        n_jobs, jobs.iter().filter(|j| j.acpn > 0).count());
+
+    for (i, t) in jobs.iter().enumerate() {
+        let nodes = t.nodes.min(3);
+        let acpn = t.acpn.min((pool / nodes) as u32);
+        let runtime = t.runtime;
+        let d = dac.clone();
+        let spec = JobSpec::synthetic(format!("swf{i:03}"), runtime)
+            .owner(&t.owner)
+            .nodes(nodes)
+            .ppn(t.ppn.min(cores_per_node))
+            .acpn(acpn)
+            .walltime(t.walltime_estimate)
+            .script(script(move |jc| {
+                let (ses, handles) = AcSession::init(jc, &d, None);
+                assert_eq!(handles.len(), jc.acc_hosts.len());
+                let _ = jc.sleep_interruptible(runtime);
+                ses.finalize();
+            }));
+        cluster.qsub_after(t.arrival, spec);
+    }
+
+    let statuses = Arc::new(Mutex::new(Vec::new()));
+    let out = statuses.clone();
+    cluster.client_after("watch", SimDuration::from_secs(1), move |c| loop {
+        let st = c.qstat();
+        if st.len() == n_jobs && st.iter().all(|s| s.state.is_terminal()) {
+            *out.lock() = st;
+            break;
+        }
+        c.proc.sleep(SimDuration::from_secs(30));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let statuses = statuses.lock().clone();
+    let outcomes: Vec<JobOutcome> = statuses
+        .iter()
+        .map(|s| JobOutcome {
+            submitted: s.submitted,
+            started: s.started,
+            completed: s.completed,
+            nodes: s.compute_hosts.len(),
+            accs: s.static_accs.iter().map(Vec::len).sum(),
+        })
+        .collect();
+    let report = WorkloadReport::from_outcomes(&outcomes).expect("jobs completed");
+    let mut t = Table::new("SWF replay summary", &["metric", "value"]);
+    t.row(vec!["jobs completed".into(), report.finished.to_string()]);
+    t.row(vec!["mean wait [s]".into(), format!("{:.1}", report.mean_wait)]);
+    t.row(vec!["p95 wait [s]".into(), format!("{:.1}", report.p95_wait)]);
+    t.row(vec!["mean turnaround [s]".into(), format!("{:.1}", report.mean_turnaround)]);
+    t.row(vec!["makespan [s]".into(), format!("{:.1}", report.makespan.as_secs_f64())]);
+    t.row(vec![
+        "acc pool utilisation".into(),
+        format!("{:.1}%", 100.0 * report.acc_utilisation(pool)),
+    ]);
+    println!("{}", t.render());
+    println!("simulated {:.0} virtual seconds in {} events", stats.end_time.as_secs_f64(), stats.events);
+}

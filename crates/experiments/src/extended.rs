@@ -1,0 +1,274 @@
+//! Extended studies beyond the paper's four figures: the design-choice
+//! ablations DESIGN.md calls out (EXT-1..EXT-5). The paper names several
+//! of these as future work (fairness of top-priority dynamic scheduling,
+//! better policies); here they are measured.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_sched::SchedConfig;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// Outcome of one provisioning-strategy run (EXT-1).
+#[derive(Clone, Copy, Debug)]
+pub struct ProvisioningOutcome {
+    /// Time from first submission to last completion (seconds).
+    pub makespan: f64,
+    /// Mean job wait (seconds).
+    pub mean_wait: f64,
+    /// Dynamic requests rejected (0 for the static strategy).
+    pub rejections: usize,
+}
+
+/// EXT-1: static-peak provisioning vs dynamic growth.
+///
+/// Eight two-phase jobs on 2 CN + 4 AC. Each job computes a long base
+/// phase needing 1 accelerator and a short burst phase needing 3.
+/// *Static-peak* requests 3 accelerators for the whole runtime (classic
+/// batch systems force this); *dynamic* requests 1 statically and grows
+/// by 2 only for the burst (the paper's contribution). Dynamic
+/// provisioning should pack far better.
+pub fn ext1_static_vs_dynamic(seed: u64) -> (ProvisioningOutcome, ProvisioningOutcome) {
+    (provisioning_run(seed, false), provisioning_run(seed, true))
+}
+
+fn provisioning_run(seed: u64, dynamic: bool) -> ProvisioningOutcome {
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    let rejections = Arc::new(Mutex::new(0usize));
+    let n_jobs = 8;
+    for i in 0..n_jobs {
+        let d = dac.clone();
+        let rj = rejections.clone();
+        let base = secs(40);
+        let burst = secs(10);
+        let acpn = if dynamic { 1 } else { 3 };
+        let spec = JobSpec::synthetic(format!("j{i}"), base + burst)
+            .acpn(acpn)
+            .ppn(4)
+            .walltime((base + burst) * 2)
+            .script(script(move |jc| {
+                let (mut ses, _) = AcSession::init(jc, &d, None);
+                jc.proc.sleep(base);
+                if dynamic {
+                    match ses.ac_get(2) {
+                        Ok(set) => {
+                            jc.proc.sleep(burst);
+                            ses.ac_free(&set).unwrap();
+                        }
+                        Err(_) => {
+                            *rj.lock() += 1;
+                            // degrade: run the burst on the single static
+                            // accelerator, three times slower
+                            jc.proc.sleep(burst * 3);
+                        }
+                    }
+                } else {
+                    jc.proc.sleep(burst);
+                }
+                ses.finalize();
+            }));
+        cluster.qsub_after(secs(2 * i as u64), spec);
+    }
+    let statuses = Arc::new(Mutex::new(Vec::new()));
+    let out = statuses.clone();
+    cluster.client_after("watch", secs(1), move |c| loop {
+        let st = c.qstat();
+        if st.len() == n_jobs as usize && st.iter().all(|s| s.state.is_terminal()) {
+            *out.lock() = st;
+            break;
+        }
+        c.proc.sleep(secs(5));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let st = statuses.lock().clone();
+    let first = st.iter().map(|s| s.submitted).min().expect("jobs ran");
+    let last = st.iter().filter_map(|s| s.completed).max().expect("jobs finished");
+    let mean_wait = st
+        .iter()
+        .filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64()))
+        .sum::<f64>()
+        / st.len() as f64;
+    let rejections = *rejections.lock();
+    ProvisioningOutcome { makespan: (last - first).as_secs_f64(), mean_wait, rejections }
+}
+
+/// EXT-2: dynamic-request rejection rate as a function of pool size.
+/// Twelve jobs each issue `AC_Get(2)` bursts at random times; returns
+/// `(pool_size, rejection_fraction)` per configuration.
+pub fn ext2_rejection_sweep(seed: u64) -> Vec<(usize, f64)> {
+    [2usize, 3, 4, 5, 6]
+        .iter()
+        .map(|&pool| (pool, rejection_run(seed, pool)))
+        .collect()
+}
+
+fn rejection_run(seed: u64, pool: usize) -> f64 {
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, pool));
+    let dac = cluster.dac.clone();
+    let granted = Arc::new(Mutex::new(0usize));
+    let rejected = Arc::new(Mutex::new(0usize));
+    let n_jobs = 6;
+    for i in 0..n_jobs {
+        let d = dac.clone();
+        let g = granted.clone();
+        let r = rejected.clone();
+        let spec = JobSpec::synthetic(format!("j{i}"), secs(60)).ppn(2).script(script(move |jc| {
+            let (mut ses, _) = AcSession::init(jc, &d, None);
+            // Three bursts per job at staggered offsets.
+            for b in 0..3u64 {
+                jc.proc.sleep(secs(5 + 3 * b));
+                match ses.ac_get(2) {
+                    Ok(set) => {
+                        *g.lock() += 1;
+                        jc.proc.sleep(secs(6));
+                        ses.ac_free(&set).unwrap();
+                    }
+                    Err(_) => *r.lock() += 1,
+                }
+            }
+            ses.finalize();
+        }));
+        cluster.qsub_after(secs(i as u64), spec);
+    }
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let g = *granted.lock();
+    let r = *rejected.lock();
+    r as f64 / (g + r).max(1) as f64
+}
+
+/// EXT-3: the fairness cost of top-priority dynamic scheduling. A stream
+/// of queued accelerator jobs competes with a running job that issues
+/// frequent dynamic requests. Returns mean queued-job wait seconds for
+/// `(top_priority, low_priority)` dynamic scheduling.
+pub fn ext3_fairness(seed: u64) -> (f64, f64) {
+    (fairness_run(seed, true), fairness_run(seed, false))
+}
+
+fn fairness_run(seed: u64, dyn_top: bool) -> f64 {
+    let mut sched = SchedConfig::paper_testbed();
+    sched.dyn_top_priority = dyn_top;
+    let mut cluster =
+        Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 2).with_sched(sched));
+    let dac = cluster.dac.clone();
+
+    // The greedy running job grabs and releases both accelerators in a
+    // tight loop for 200 s.
+    let spec = JobSpec::synthetic("greedy", secs(200)).ppn(8).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let end = SimTime::ZERO + secs(200);
+        while jc.proc.now() < end {
+            if let Ok(set) = ses.ac_get(2) {
+                jc.proc.sleep(secs(8));
+                ses.ac_free(&set).unwrap();
+                jc.proc.sleep(secs(2));
+            } else {
+                jc.proc.sleep(secs(2));
+            }
+        }
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+
+    // Queued competitors each want one accelerator briefly.
+    let n_comp = 6;
+    for i in 0..n_comp {
+        let spec = JobSpec::synthetic(format!("comp{i}"), secs(5))
+            .acpn(1)
+            .walltime(secs(10));
+        cluster.qsub_after(secs(10 + 5 * i as u64), spec);
+    }
+    let statuses = Arc::new(Mutex::new(Vec::new()));
+    let out = statuses.clone();
+    cluster.client_after("watch", secs(1), move |c| loop {
+        let st = c.qstat();
+        let comps: Vec<_> = st.iter().filter(|s| s.name.starts_with("comp")).cloned().collect();
+        if comps.len() == n_comp as usize && comps.iter().all(|s| s.state.is_terminal()) {
+            *out.lock() = comps;
+            break;
+        }
+        c.proc.sleep(secs(5));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let st = statuses.lock().clone();
+    st.iter()
+        .filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64()))
+        .sum::<f64>()
+        / st.len() as f64
+}
+
+/// EXT-5: EASY backfill on/off under a blocked-queue workload. Returns
+/// `(makespan_with_backfill, makespan_without)` in seconds.
+pub fn ext5_backfill(seed: u64) -> (f64, f64) {
+    (backfill_run(seed, true), backfill_run(seed, false))
+}
+
+fn backfill_run(seed: u64, backfill: bool) -> f64 {
+    let mut sched = SchedConfig::paper_testbed();
+    sched.backfill = backfill;
+    sched.policy = darms_sched::Policy::Fifo;
+    let mut cluster =
+        Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 0).with_sched(sched));
+    // hog: 1 node 120 s; wide: 2 nodes (blocked); then 6 short jobs that
+    // can backfill.
+    cluster.qsub(JobSpec::synthetic("hog", secs(120)).ppn(8).walltime(secs(130)));
+    cluster.qsub(JobSpec::synthetic("wide", secs(20)).nodes(2).ppn(8).walltime(secs(25)));
+    for i in 0..6 {
+        cluster.qsub(JobSpec::synthetic(format!("short{i}"), secs(15)).ppn(8).walltime(secs(18)));
+    }
+    let statuses = Arc::new(Mutex::new(Vec::new()));
+    let out = statuses.clone();
+    cluster.client_after("watch", secs(1), move |c| loop {
+        let st = c.qstat();
+        if st.len() == 8 && st.iter().all(|s| s.state.is_terminal()) {
+            *out.lock() = st;
+            break;
+        }
+        c.proc.sleep(secs(5));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let st = statuses.lock().clone();
+    let first = st.iter().map(|s| s.submitted).min().expect("ran");
+    let last = st.iter().filter_map(|s| s.completed).max().expect("finished");
+    (last - first).as_secs_f64()
+}
+
+/// EXT-4: pipelined vs store-and-forward transfers. Returns the virtual
+/// time (seconds) to upload `mb` megabytes to one accelerator with the
+/// pipelined protocol on and off.
+pub fn ext4_pipelining(seed: u64, mb: usize) -> (f64, f64) {
+    (transfer_run(seed, mb, true), transfer_run(seed, mb, false))
+}
+
+fn transfer_run(seed: u64, mb: usize, pipelined: bool) -> f64 {
+    let mut config = ClusterConfig::paper_testbed(seed).with_split(1, 1);
+    config.dac_cost.pipelined = pipelined;
+    let mut cluster = Cluster::build(config);
+    let dac = cluster.dac.clone();
+    let elapsed = Arc::new(Mutex::new(0.0f64));
+    let out = elapsed.clone();
+    let spec = JobSpec::synthetic("xfer", secs(10)).acpn(1).script(script(move |jc| {
+        let (mut ses, handles) = AcSession::init(jc, &dac, None);
+        let h = handles[0];
+        let bytes = (mb * (1 << 20)) as u64;
+        let p = ses.mem_alloc(h, bytes).unwrap();
+        let payload = vec![0xabu8; bytes as usize];
+        let t0 = jc.proc.now();
+        ses.mem_write(h, p, payload).unwrap();
+        *out.lock() = (jc.proc.now() - t0).as_secs_f64();
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = *elapsed.lock();
+    v
+}

@@ -1,0 +1,14 @@
+//! # darms-experiments — the paper's evaluation, regenerated
+//!
+//! One scenario function per figure of §IV, each runnable standalone
+//! (`cargo run -p darms-experiments --bin fig7a` etc.) and shared by the
+//! criterion benches. All scenarios run on the paper-calibrated cost
+//! models and average over multiple seeded trials, mirroring the paper's
+//! "average over 10 trials".
+
+#![warn(missing_docs)]
+
+pub mod extended;
+pub mod figures;
+
+pub use figures::{fig7a, fig7b, fig8, fig9, Fig7Row, Fig8Row, Fig9Row, TRIALS};

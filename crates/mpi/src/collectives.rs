@@ -1,0 +1,173 @@
+//! Collective operations over intra-communicators: barrier, broadcast,
+//! gather. The topology is a flat star rooted at the coordinating rank —
+//! adequate for the single-digit group sizes of the DAC architecture (the
+//! paper's testbed has 8 hosts); the message count is what matters for the
+//! modelled timings.
+
+use crate::proc::MpiProc;
+use crate::runtime::wire::{Ctl, CtlBody};
+use crate::types::{Comm, Data, MpiError, Rank, GROUP_A};
+
+impl MpiProc {
+    /// Internal: send a control message to a member of `comm`'s group
+    /// `group`, sized per the cost model.
+    pub(crate) fn send_ctl(
+        &self,
+        comm: Comm,
+        group: u8,
+        rank: Rank,
+        token: u64,
+        body: CtlBody,
+    ) -> Result<(), MpiError> {
+        let member = self.rt.lookup(comm.id, group, rank)?;
+        let bytes = self.rt.cost.ctl_bytes;
+        let out = self
+            .rt
+            .net
+            .send_from_proc(&self.p, self.host, member.addr, Ctl { token, body }, bytes);
+        if out.is_sent() {
+            Ok(())
+        } else {
+            Err(MpiError::NetworkFailure)
+        }
+    }
+
+    /// Internal: send a control message directly to an address.
+    pub(crate) fn send_ctl_addr(
+        &self,
+        addr: darms_net::Address,
+        token: u64,
+        body: CtlBody,
+    ) -> Result<(), MpiError> {
+        let bytes = self.rt.cost.ctl_bytes;
+        let out = self.rt.net.send_from_proc(&self.p, self.host, addr, Ctl { token, body }, bytes);
+        if out.is_sent() {
+            Ok(())
+        } else {
+            Err(MpiError::NetworkFailure)
+        }
+    }
+
+    /// Block until every member of the intra-communicator has arrived.
+    pub fn barrier(&mut self, comm: Comm) -> Result<(), MpiError> {
+        let seq = self.next_seq(comm.id);
+        let n = self.rt.group_size(comm);
+        if n <= 1 {
+            return Ok(());
+        }
+        if comm.rank == 0 {
+            let mut seen = 0usize;
+            while seen < n - 1 {
+                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
+                        *c == comm.id && *s == seq
+                    }
+                    _ => false,
+                });
+                drop(env);
+                seen += 1;
+            }
+            for r in 1..n as Rank {
+                self.send_ctl(comm, GROUP_A, r, seq, CtlBody::Release { comm: comm.id, seq })?;
+            }
+        } else {
+            self.send_ctl(
+                comm,
+                GROUP_A,
+                0,
+                seq,
+                CtlBody::Arrive { comm: comm.id, seq, rank: comm.rank, group: comm.group, high: false },
+            )?;
+            self.p.recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { body: CtlBody::Release { comm: c, seq: s }, .. }) => {
+                    *c == comm.id && *s == seq
+                }
+                _ => false,
+            });
+        }
+        Ok(())
+    }
+
+    /// Broadcast from `root` to all members of the intra-communicator.
+    /// `data` is the payload at the root (ignored elsewhere); every caller
+    /// receives the broadcast value.
+    pub fn bcast(
+        &mut self,
+        comm: Comm,
+        root: Rank,
+        data: Option<(Data, u64)>,
+    ) -> Result<Data, MpiError> {
+        let seq = self.next_seq(comm.id);
+        let n = self.rt.group_size(comm);
+        if comm.rank == root {
+            let (data, bytes) = data.ok_or(MpiError::InvalidComm("bcast root needs data"))?;
+            for r in 0..n as Rank {
+                if r == root {
+                    continue;
+                }
+                self.send_ctl(
+                    comm,
+                    GROUP_A,
+                    r,
+                    seq,
+                    CtlBody::Bcast { comm: comm.id, seq, bytes, data: data.clone() },
+                )?;
+            }
+            Ok(data)
+        } else {
+            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { body: CtlBody::Bcast { comm: c, seq: s, .. }, .. }) => {
+                    *c == comm.id && *s == seq
+                }
+                _ => false,
+            });
+            match env.downcast::<Ctl>().expect("matched").body {
+                CtlBody::Bcast { data, .. } => Ok(data),
+                _ => unreachable!("predicate matched Bcast"),
+            }
+        }
+    }
+
+    /// Gather every member's contribution at `root`. Returns
+    /// `Some(values ordered by rank)` at the root, `None` elsewhere.
+    pub fn gather(
+        &mut self,
+        comm: Comm,
+        root: Rank,
+        data: Data,
+        bytes: u64,
+    ) -> Result<Option<Vec<Data>>, MpiError> {
+        let seq = self.next_seq(comm.id);
+        let n = self.rt.group_size(comm);
+        if comm.rank == root {
+            let mut slots: Vec<Option<Data>> = vec![None; n];
+            slots[root as usize] = Some(data);
+            let mut seen = 1usize;
+            while seen < n {
+                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Gather { comm: c, seq: s, .. }, .. }) => {
+                        *c == comm.id && *s == seq
+                    }
+                    _ => false,
+                });
+                match env.downcast::<Ctl>().expect("matched").body {
+                    CtlBody::Gather { rank, data, .. } => {
+                        slots[rank as usize] = Some(data);
+                        seen += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Ok(Some(slots.into_iter().map(|s| s.expect("all ranks gathered")).collect()))
+        } else {
+            self.send_ctl(
+                comm,
+                GROUP_A,
+                root,
+                seq,
+                CtlBody::Gather { comm: comm.id, seq, rank: comm.rank, bytes, data },
+            )?;
+            Ok(None)
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Processing-time constants for MPI runtime operations.
+//!
+//! Network transit time is modelled by `darms-net`; the constants here are
+//! the *local* costs the paper's measurements attribute to MPI itself:
+//! process launch + `MPI_Init` for spawned daemons, communicator
+//! construction, and port rendezvous.
+
+use darms_sim::SimDuration;
+
+/// Local processing costs of MPI operations.
+#[derive(Clone, Debug)]
+pub struct MpiCostModel {
+    /// Singleton attach (`MPI_Init` for an already-running process).
+    pub attach: SimDuration,
+    /// Root-side one-time overhead of `MPI_Comm_spawn` (launcher setup,
+    /// roughly independent of the number of children — the reason the
+    /// light region of the paper's Fig. 7(b) is flat).
+    pub spawn_setup: SimDuration,
+    /// Delay from spawn to a child's entry running (process start +
+    /// `MPI_Init` inside the child), per child but overlapping.
+    pub child_launch: SimDuration,
+    /// Additional stagger between consecutive child launches (children of
+    /// one spawn start nearly concurrently).
+    pub child_stagger: SimDuration,
+    /// Relative jitter on child launch delay (process creation variance).
+    pub launch_jitter: f64,
+    /// Coordinator-side cost of building a merged intra-communicator.
+    pub merge: SimDuration,
+    /// Port rendezvous cost (accept/connect handshake processing).
+    pub connect: SimDuration,
+    /// Wire size modelled for control messages.
+    pub ctl_bytes: u64,
+}
+
+impl MpiCostModel {
+    /// Constants calibrated against the paper's Open MPI 1.6.2 testbed.
+    pub fn paper_testbed() -> Self {
+        MpiCostModel {
+            attach: SimDuration::from_millis(1),
+            spawn_setup: SimDuration::from_millis(120),
+            child_launch: SimDuration::from_millis(30),
+            child_stagger: SimDuration::from_millis(2),
+            launch_jitter: 0.15,
+            merge: SimDuration::from_millis(8),
+            connect: SimDuration::from_millis(6),
+            ctl_bytes: 64,
+        }
+    }
+
+    /// Near-zero costs for fast logic-focused unit tests.
+    pub fn instant() -> Self {
+        MpiCostModel {
+            attach: SimDuration::ZERO,
+            spawn_setup: SimDuration::ZERO,
+            child_launch: SimDuration::ZERO,
+            child_stagger: SimDuration::ZERO,
+            launch_jitter: 0.0,
+            merge: SimDuration::ZERO,
+            connect: SimDuration::ZERO,
+            ctl_bytes: 0,
+        }
+    }
+}
+
+impl Default for MpiCostModel {
+    fn default() -> Self {
+        MpiCostModel::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = MpiCostModel::paper_testbed();
+        assert!(p.spawn_setup > p.child_launch);
+        assert!(p.child_launch > p.merge);
+        let i = MpiCostModel::instant();
+        assert!(i.spawn_setup.is_zero() && i.attach.is_zero());
+    }
+}

@@ -1,0 +1,492 @@
+//! MPI-2 dynamic process management: ports with connect/accept,
+//! `MPI_Comm_spawn`, `MPI_Intercomm_merge`, disconnect, and a world
+//! launcher for daemon sets started by the batch system.
+//!
+//! These are exactly the primitives the paper's resource-management
+//! library is built on (§II-C, §III-C/D): static allocation uses
+//! `MPI_Open_port` + `MPI_Comm_connect`/`MPI_Comm_accept` followed by
+//! `MPI_Intercomm_merge`; dynamic allocation uses `MPI_Comm_spawn`
+//! followed by a merge over the compute node, its existing accelerators,
+//! and the newly spawned daemons.
+
+use darms_net::HostId;
+use darms_sim::{Proc, ProcessId, SimDuration};
+
+use crate::proc::MpiProc;
+use crate::runtime::wire::{Ctl, CtlBody};
+use crate::runtime::MpiRuntime;
+use crate::types::{Comm, Member, MpiError, Rank, GROUP_A, GROUP_B};
+
+/// Anything that can start a simulation process: the engine (setup code),
+/// an actor context (daemons starting daemons), or a process (MPI spawn).
+pub trait Spawner {
+    /// Start a process whose entry runs after `delay`.
+    fn spawn_boxed(
+        &mut self,
+        name: String,
+        delay: SimDuration,
+        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+    ) -> ProcessId;
+}
+
+impl Spawner for darms_sim::Engine {
+    fn spawn_boxed(
+        &mut self,
+        name: String,
+        delay: SimDuration,
+        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+    ) -> ProcessId {
+        self.spawn_process_after(name, delay, entry)
+    }
+}
+
+impl Spawner for darms_sim::Ctx<'_> {
+    fn spawn_boxed(
+        &mut self,
+        name: String,
+        delay: SimDuration,
+        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+    ) -> ProcessId {
+        self.spawn_process_after(name, delay, entry)
+    }
+}
+
+impl Spawner for Proc {
+    fn spawn_boxed(
+        &mut self,
+        name: String,
+        delay: SimDuration,
+        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+    ) -> ProcessId {
+        self.spawn_after(name, delay, entry)
+    }
+}
+
+/// Specification of one process of a launched world.
+pub struct WorldSpec {
+    /// Host to place the process on.
+    pub host: HostId,
+    /// Registered executable name.
+    pub exe: String,
+    /// Arguments passed to the executable.
+    pub args: Vec<String>,
+    /// Delay before the process entry runs (models daemon startup cost;
+    /// the batch system decides this, e.g. staggered starts).
+    pub start_delay: SimDuration,
+}
+
+/// Launch a set of MPI processes sharing a fresh `MPI_COMM_WORLD` — the
+/// equivalent of `mpirun` as used by the moms to start the accelerator
+/// daemons for a static allocation. Returns the world communicator id's
+/// members (rank order = spec order).
+///
+/// The world communicator is registered immediately; the processes start
+/// after their configured delays. Peers can already address them —
+/// messages queue in their mailboxes.
+pub fn launch_world(
+    spawner: &mut dyn Spawner,
+    rt: &MpiRuntime,
+    specs: Vec<WorldSpec>,
+) -> Result<Vec<Member>, MpiError> {
+    let world_id = rt.fresh_comm_id();
+    // Resolve executables up front so a bad name fails fast.
+    let exes: Vec<_> = specs.iter().map(|s| rt.exe(&s.exe)).collect::<Result<_, _>>()?;
+
+    let mut members = Vec::with_capacity(specs.len());
+    let mut launches = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.into_iter().enumerate() {
+        let name = format!("{}@host{}#w{}r{}", spec.exe, spec.host.index(), world_id.0, i);
+        launches.push((name, spec, exes[i].clone()));
+    }
+    // Create processes and bind their endpoints so the world membership
+    // is complete before any entry runs.
+    for (i, (name, spec, exe)) in launches.into_iter().enumerate() {
+        let rt2 = rt.clone();
+        let host = spec.host;
+        let args = spec.args.clone();
+        let rank = i as Rank;
+        // Placeholder: the closure needs the member list, which includes
+        // addresses we only know after binding. Bind first using the pid.
+        let (tx_member, rx_member) = std::sync::mpsc::channel::<(Member, Comm)>();
+        let pid = spawner.spawn_boxed(
+            name,
+            spec.start_delay,
+            Box::new(move |p: Proc| {
+                let (member, world) = rx_member.recv().expect("launcher sends membership");
+                let mpi = MpiProc {
+                    p,
+                    rt: rt2.clone(),
+                    host,
+                    addr: member.addr,
+                    coll_seq: Default::default(),
+                    world: Some(world),
+                    parent: None,
+                };
+                exe(mpi, args);
+            }),
+        );
+        let addr = rt.net.bind_auto(host, pid.into());
+        let member = Member { pid, host, addr };
+        tx_member
+            .send((member, Comm { id: world_id, group: GROUP_A, rank }))
+            .expect("entry not yet running");
+        members.push(member);
+    }
+    rt.register_intra(world_id, members.clone());
+    Ok(members)
+}
+
+impl MpiProc {
+    /// Open a port (`MPI_Open_port`); peers connect to it by name.
+    pub fn open_port(&self) -> String {
+        self.rt.open_port_at(self.addr)
+    }
+
+    /// Close a previously opened port.
+    pub fn close_port(&self, name: &str) {
+        self.rt.close_port(name);
+    }
+
+    /// Accept a connection on `port` (`MPI_Comm_accept`), collective over
+    /// `local`. Blocks until a connector arrives. Returns the
+    /// inter-communicator (this side is group A).
+    pub fn comm_accept(&mut self, port: &str, local: Comm) -> Result<Comm, MpiError> {
+        let seq = self.next_seq(local.id);
+        let n = self.rt.group_size(local);
+        if local.rank == 0 {
+            // Wait for a connector on this port.
+            let port_name = port.to_string();
+            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { body: CtlBody::ConnectReq { port, .. }, .. }) => *port == port_name,
+                _ => false,
+            });
+            let (token, connector, reply) = match env.downcast::<Ctl>().expect("matched") {
+                Ctl { token, body: CtlBody::ConnectReq { connector, reply, .. } } => {
+                    (token, connector, reply)
+                }
+                _ => unreachable!(),
+            };
+            if !self.rt.cost.connect.is_zero() {
+                self.p.sleep(self.rt.cost.connect);
+            }
+            let inter = self.rt.fresh_comm_id();
+            let locals = self.rt.group_members(local.id, local.group)?;
+            self.rt.register_inter(inter, locals.clone(), connector);
+            self.send_ctl_addr(reply, token, CtlBody::ConnectAck { comm: inter })?;
+            for r in 1..n as Rank {
+                self.send_ctl(
+                    local,
+                    GROUP_A,
+                    r,
+                    seq,
+                    CtlBody::Announce { ctx: local.id, comm: Comm { id: inter, group: GROUP_A, rank: r } },
+                )?;
+            }
+            Ok(Comm { id: inter, group: GROUP_A, rank: 0 })
+        } else {
+            self.wait_announce(local, seq)
+        }
+    }
+
+    /// Connect to the port `name` (`MPI_Comm_connect`), collective over
+    /// `local`. Returns the inter-communicator (this side is group B).
+    pub fn comm_connect(&mut self, name: &str, local: Comm) -> Result<Comm, MpiError> {
+        let seq = self.next_seq(local.id);
+        let n = self.rt.group_size(local);
+        if local.rank == 0 {
+            let acceptor = self.rt.port_addr(name)?;
+            let token = self.rt.fresh_token();
+            let connector = self.rt.group_members(local.id, local.group)?;
+            self.send_ctl_addr(
+                acceptor,
+                token,
+                CtlBody::ConnectReq {
+                    port: name.to_string(),
+                    connector,
+                    reply: self.addr,
+                },
+            )?;
+            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { token: t, body: CtlBody::ConnectAck { .. } }) => *t == token,
+                _ => false,
+            });
+            let inter = match env.downcast::<Ctl>().expect("matched").body {
+                CtlBody::ConnectAck { comm } => comm,
+                _ => unreachable!(),
+            };
+            for r in 1..n as Rank {
+                self.send_ctl(
+                    local,
+                    GROUP_A,
+                    r,
+                    seq,
+                    CtlBody::Announce { ctx: local.id, comm: Comm { id: inter, group: GROUP_B, rank: r } },
+                )?;
+            }
+            Ok(Comm { id: inter, group: GROUP_B, rank: 0 })
+        } else {
+            self.wait_announce(local, seq)
+        }
+    }
+
+    /// Merge an inter-communicator into an intra-communicator
+    /// (`MPI_Intercomm_merge`). The group whose members pass
+    /// `high = false` receives the low ranks; on a tie, group A does.
+    /// Collective over *both* groups.
+    pub fn intercomm_merge(&mut self, inter: Comm, high: bool) -> Result<Comm, MpiError> {
+        let seq = self.next_seq(inter.id);
+        let a = self.rt.group_members(inter.id, GROUP_A)?;
+        let b = self.rt.group_members(inter.id, GROUP_B)?;
+        let coordinator_is_me = inter.group == GROUP_A && inter.rank == 0;
+        if coordinator_is_me {
+            let total = a.len() + b.len();
+            let mut my_high = high;
+            let mut b_high = None;
+            let mut seen = 1usize; // me
+            while seen < total {
+                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Arrive { comm, seq: s, .. }, .. }) => {
+                        *comm == inter.id && *s == seq
+                    }
+                    _ => false,
+                });
+                match env.downcast::<Ctl>().expect("matched").body {
+                    CtlBody::Arrive { group, high: h, .. } => {
+                        if group == GROUP_B {
+                            b_high = Some(h);
+                        } else {
+                            my_high = h || my_high;
+                        }
+                        seen += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if !self.rt.cost.merge.is_zero() {
+                self.p.sleep(self.rt.cost.merge);
+            }
+            // Decide ordering from the two groups' flags.
+            let a_first = match (my_high, b_high.unwrap_or(true)) {
+                (false, true) => true,
+                (true, false) => false,
+                _ => true, // tie: group A first (deterministic choice)
+            };
+            let merged: Vec<Member> = if a_first {
+                a.iter().chain(b.iter()).copied().collect()
+            } else {
+                b.iter().chain(a.iter()).copied().collect()
+            };
+            let new_id = self.rt.fresh_comm_id();
+            self.rt.register_intra(new_id, merged.clone());
+            let mut my_rank = 0;
+            for (new_rank, m) in merged.iter().enumerate() {
+                if m.pid == self.p.id() {
+                    my_rank = new_rank as Rank;
+                    continue;
+                }
+                let ctl = CtlBody::Announce {
+                    ctx: inter.id,
+                    comm: Comm { id: new_id, group: GROUP_A, rank: new_rank as Rank },
+                };
+                let bytes = self.rt.cost.ctl_bytes;
+                let out =
+                    self.rt.net.send_from_proc(&self.p, self.host, m.addr, Ctl { token: seq, body: ctl }, bytes);
+                if !out.is_sent() {
+                    return Err(MpiError::NetworkFailure);
+                }
+            }
+            Ok(Comm { id: new_id, group: GROUP_A, rank: my_rank })
+        } else {
+            // Send arrival to the coordinator (group A rank 0).
+            let coord = a.first().copied().ok_or(MpiError::NoSuchRank(0))?;
+            let body = CtlBody::Arrive {
+                comm: inter.id,
+                seq,
+                rank: inter.rank,
+                group: inter.group,
+                high,
+            };
+            self.send_ctl_addr(coord.addr, seq, body)?;
+            self.wait_merge_announce(inter, seq)
+        }
+    }
+
+    /// Spawn `count` copies of the registered executable `exe` on the
+    /// given hosts (`MPI_Comm_spawn`), collective over `local`. The root
+    /// (rank 0 of `local`) provides the spawn specification; other
+    /// members' `exe`/`args`/`hosts` are ignored. Returns the
+    /// inter-communicator whose group A is `local` and group B the
+    /// children. The call returns once every child has initialised.
+    pub fn comm_spawn(
+        &mut self,
+        local: Comm,
+        exe: &str,
+        args: &[String],
+        hosts: &[HostId],
+    ) -> Result<Comm, MpiError> {
+        let seq = self.next_seq(local.id);
+        if local.rank != 0 {
+            return self.wait_announce(local, seq);
+        }
+        let exe_fn = self.rt.exe(exe)?;
+        if !self.rt.cost.spawn_setup.is_zero() {
+            self.p.sleep(self.rt.cost.spawn_setup);
+        }
+        let world_id = self.rt.fresh_comm_id();
+        let inter_id = self.rt.fresh_comm_id();
+        let spawn_token = self.rt.fresh_token();
+        let my_addr = self.addr;
+
+        let mut children = Vec::with_capacity(hosts.len());
+        for (i, &host) in hosts.iter().enumerate() {
+            let rt2 = self.rt.clone();
+            let exe_fn = exe_fn.clone();
+            let args = args.to_vec();
+            let rank = i as Rank;
+            let nominal = self.rt.cost.child_launch + self.rt.cost.child_stagger * i as u64;
+            let jitter = self.rt.cost.launch_jitter;
+            let delay = if jitter > 0.0 {
+                let f = self.p.with_rng(|r| rand::Rng::gen_range(r, -jitter..=jitter));
+                nominal.mul_f64(1.0 + f)
+            } else {
+                nominal
+            };
+            let (tx, rx) = std::sync::mpsc::channel::<Member>();
+            let name = format!("{exe}@host{}#w{}r{}", host.index(), world_id.0, i);
+            let pid = self.p.spawn_after(name, delay, move |p: Proc| {
+                let member = rx.recv().expect("spawner sends membership");
+                let mpi = MpiProc {
+                    p,
+                    rt: rt2.clone(),
+                    host,
+                    addr: member.addr,
+                    coll_seq: Default::default(),
+                    world: Some(Comm { id: world_id, group: GROUP_A, rank }),
+                    parent: Some(Comm { id: inter_id, group: GROUP_B, rank }),
+                };
+                // Report MPI_Init completion to the spawning root.
+                let _ = mpi.send_ctl_addr(my_addr, spawn_token, CtlBody::Ready);
+                exe_fn(mpi, args);
+            });
+            let addr = self.rt.net.bind_auto(host, pid.into());
+            let member = Member { pid, host, addr };
+            tx.send(member).expect("entry not yet running");
+            children.push(member);
+        }
+        let locals = self.rt.group_members(local.id, local.group)?;
+        self.rt.register_intra(world_id, children.clone());
+        self.rt.register_inter(inter_id, locals.clone(), children);
+
+        // MPI_Comm_spawn returns after the children have called MPI_Init.
+        let mut ready = 0usize;
+        while ready < hosts.len() {
+            self.p.recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { token, body: CtlBody::Ready }) => *token == spawn_token,
+                _ => false,
+            });
+            ready += 1;
+        }
+        for r in 1..locals.len() as Rank {
+            self.send_ctl(
+                local,
+                GROUP_A,
+                r,
+                seq,
+                CtlBody::Announce { ctx: local.id, comm: Comm { id: inter_id, group: GROUP_A, rank: r } },
+            )?;
+        }
+        Ok(Comm { id: inter_id, group: GROUP_A, rank: 0 })
+    }
+
+    /// Build a new intra-communicator from `comm` with the given ranks
+    /// removed, preserving the relative order of survivors. Collective
+    /// over the *survivors* only; removed members must not call it (they
+    /// disconnect instead). Not a standard MPI call — it stands in for
+    /// the disconnect-and-re-merge sequence the paper's release protocol
+    /// performs, with the same message pattern (survivor arrivals at the
+    /// lowest surviving rank, then announcements).
+    pub fn comm_shrink(&mut self, comm: Comm, removed: &[Rank]) -> Result<Comm, MpiError> {
+        let seq = self.next_seq(comm.id);
+        let members = self.rt.group_members(comm.id, GROUP_A)?;
+        let survivors: Vec<(Rank, Member)> = members
+            .iter()
+            .enumerate()
+            .map(|(r, m)| (r as Rank, *m))
+            .filter(|(r, _)| !removed.contains(r))
+            .collect();
+        let coord_rank = survivors.first().map(|(r, _)| *r).ok_or(MpiError::NoSuchRank(0))?;
+        if comm.rank == coord_rank {
+            let mut seen = 1usize;
+            while seen < survivors.len() {
+                self.p.recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
+                        *c == comm.id && *s == seq
+                    }
+                    _ => false,
+                });
+                seen += 1;
+            }
+            let new_id = self.rt.fresh_comm_id();
+            let new_members: Vec<Member> = survivors.iter().map(|(_, m)| *m).collect();
+            self.rt.register_intra(new_id, new_members);
+            let mut my_rank = 0;
+            for (new_rank, (_, m)) in survivors.iter().enumerate() {
+                if m.pid == self.p.id() {
+                    my_rank = new_rank as Rank;
+                    continue;
+                }
+                let body = CtlBody::Announce {
+                    ctx: comm.id,
+                    comm: Comm { id: new_id, group: GROUP_A, rank: new_rank as Rank },
+                };
+                let bytes = self.rt.cost.ctl_bytes;
+                let out = self
+                    .rt
+                    .net
+                    .send_from_proc(&self.p, self.host, m.addr, Ctl { token: seq, body }, bytes);
+                if !out.is_sent() {
+                    return Err(MpiError::NetworkFailure);
+                }
+            }
+            Ok(Comm { id: new_id, group: GROUP_A, rank: my_rank })
+        } else {
+            let coord = members[coord_rank as usize];
+            self.send_ctl_addr(
+                coord.addr,
+                seq,
+                CtlBody::Arrive { comm: comm.id, seq, rank: comm.rank, group: GROUP_A, high: false },
+            )?;
+            self.wait_merge_announce(comm, seq)
+        }
+    }
+
+    /// Detach from a communicator (`MPI_Comm_disconnect`). Unlike the
+    /// standard, this does not synchronise with other members — the
+    /// release protocol in the paper tears daemons down asynchronously
+    /// while the application continues (§III-D).
+    pub fn comm_disconnect(&mut self, comm: Comm) {
+        self.coll_seq.remove(&comm.id);
+        self.rt.detach(comm.id);
+    }
+
+    /// Wait for an `Announce` carrying my handle for a collective that
+    /// ran over `local` with sequence number `seq`.
+    fn wait_announce(&mut self, local: Comm, seq: u64) -> Result<Comm, MpiError> {
+        let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
+            Some(Ctl { token, body: CtlBody::Announce { ctx, .. } }) => {
+                *token == seq && *ctx == local.id
+            }
+            _ => false,
+        });
+        match env.downcast::<Ctl>().expect("matched").body {
+            CtlBody::Announce { comm, .. } => Ok(comm),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Same as [`wait_announce`] but used where the announcement token is
+    /// the collective sequence of the communicator being merged/shrunk.
+    fn wait_merge_announce(&mut self, over: Comm, seq: u64) -> Result<Comm, MpiError> {
+        self.wait_announce(over, seq)
+    }
+}

@@ -1,0 +1,73 @@
+//! # darms-mpi — an MPI-like runtime over the simulated interconnect
+//!
+//! Implements the subset of MPI (including the MPI-2 dynamic process
+//! management chapter) that the paper's resource-management library is
+//! built on:
+//!
+//! - communicators with ranks, intra and inter ([`Comm`]);
+//! - blocking point-to-point `send`/`recv` with `(comm, source, tag)`
+//!   matching and wildcards;
+//! - collectives: `barrier`, `bcast`, `gather`;
+//! - `MPI_Open_port` / `MPI_Comm_connect` / `MPI_Comm_accept` rendezvous
+//!   (used by the static allocation path, paper §III-C);
+//! - `MPI_Comm_spawn` returning a parent/child inter-communicator (used
+//!   by the dynamic allocation path, §III-D);
+//! - `MPI_Intercomm_merge` producing the compute-node-rank-0 intra
+//!   communicator the computation API addresses accelerators through;
+//! - `MPI_Comm_disconnect` plus a `comm_shrink` convenience standing in
+//!   for the disconnect-and-re-merge sequence of the release protocol.
+//!
+//! All blocking behaviour is realised with messages over [`darms_net`], so
+//! operation latencies (spawn, merge, connect) contribute to the modelled
+//! end-to-end times exactly where the paper's measurements place them.
+//!
+//! ## Example: spawn, merge, reduce
+//!
+//! ```
+//! use darms_mpi::{data, MpiCostModel, MpiRuntime, ANY_SOURCE, ANY_TAG};
+//! use darms_net::{HostKind, LatencyModel, Network};
+//! use darms_sim::Engine;
+//! use std::sync::Arc;
+//! use parking_lot::Mutex;
+//!
+//! let mut sim = Engine::with_seed(1);
+//! let net = Network::new(LatencyModel::ideal(), 1);
+//! let h0 = net.add_host("h0", HostKind::Generic);
+//! let h1 = net.add_host("h1", HostKind::Generic);
+//! let rt = MpiRuntime::new(net, MpiCostModel::instant());
+//! rt.register_exe("worker", |mut mpi, _args| {
+//!     let parent = mpi.parent().unwrap();
+//!     let merged = mpi.intercomm_merge(parent, true).unwrap();
+//!     mpi.send(merged, 0, 0, data(21u64), 8).unwrap();
+//! });
+//! let out = Arc::new(Mutex::new(0u64));
+//! let o = out.clone();
+//! let rt2 = rt.clone();
+//! sim.spawn_process("root", move |p| {
+//!     let mut mpi = rt2.attach(p, h0);
+//!     let self_comm = mpi.self_comm();
+//!     let inter = mpi.comm_spawn(self_comm, "worker", &[], &[h1]).unwrap();
+//!     let merged = mpi.intercomm_merge(inter, false).unwrap();
+//!     let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+//!     *o.lock() = msg.expect::<u64>() * 2;
+//! });
+//! sim.run();
+//! assert_eq!(*out.lock(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod cost;
+mod dpm;
+mod proc;
+mod runtime;
+mod types;
+
+pub use cost::MpiCostModel;
+pub use dpm::{launch_world, Spawner, WorldSpec};
+pub use proc::MpiProc;
+pub use runtime::MpiRuntime;
+pub use types::{
+    data, Comm, CommId, Data, Member, MpiError, Rank, RecvMsg, Tag, ANY_SOURCE, ANY_TAG,
+};

@@ -1,0 +1,188 @@
+//! Per-process MPI state and point-to-point operations.
+
+use std::collections::HashMap;
+
+use darms_net::{Address, HostId};
+use darms_sim::{Proc, SimDuration};
+
+use crate::runtime::wire::P2p;
+use crate::runtime::MpiRuntime;
+use crate::types::{Comm, CommId, Data, Member, MpiError, Rank, RecvMsg, Tag, GROUP_A, GROUP_B};
+
+/// An MPI process: a simulation process plus its MPI identity.
+///
+/// Obtained either from [`MpiRuntime::attach`] (singleton init, used by
+/// user applications before they connect to accelerator daemons) or
+/// implicitly by being launched via [`launch_world`](crate::launch_world) /
+/// [`comm_spawn`](MpiProc::comm_spawn).
+pub struct MpiProc {
+    pub(crate) p: Proc,
+    pub(crate) rt: MpiRuntime,
+    pub(crate) host: HostId,
+    pub(crate) addr: Address,
+    pub(crate) coll_seq: HashMap<CommId, u64>,
+    pub(crate) world: Option<Comm>,
+    pub(crate) parent: Option<Comm>,
+}
+
+impl MpiRuntime {
+    /// Attach an already-running simulation process to the MPI runtime
+    /// (the equivalent of a singleton `MPI_Init`). Binds an ephemeral
+    /// network endpoint for the process.
+    pub fn attach(&self, p: Proc, host: HostId) -> MpiProc {
+        let addr = self.net.bind_auto(host, p.endpoint());
+        if !self.cost.attach.is_zero() {
+            p.sleep(self.cost.attach);
+        }
+        MpiProc {
+            p,
+            rt: self.clone(),
+            host,
+            addr,
+            coll_seq: HashMap::new(),
+            world: None,
+            parent: None,
+        }
+    }
+}
+
+impl MpiProc {
+    /// The underlying simulation process (for `sleep`, tracing, and
+    /// non-MPI protocol traffic such as IFL calls).
+    pub fn proc(&self) -> &Proc {
+        &self.p
+    }
+
+    /// Host this process runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Network address of this process's MPI endpoint.
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// The runtime handle.
+    pub fn runtime(&self) -> &MpiRuntime {
+        &self.rt
+    }
+
+    /// `MPI_COMM_WORLD` for processes started as part of a world
+    /// (launched or spawned); `None` for singleton attaches.
+    pub fn world(&self) -> Option<Comm> {
+        self.world
+    }
+
+    /// The parent inter-communicator (`MPI_Comm_get_parent`); `Some` only
+    /// for processes created by [`MpiProc::comm_spawn`].
+    pub fn parent(&self) -> Option<Comm> {
+        self.parent
+    }
+
+    /// Size of this process's group in `comm`.
+    pub fn size(&self, comm: Comm) -> usize {
+        self.rt.group_size(comm)
+    }
+
+    /// Size of the remote group of an inter-communicator.
+    pub fn remote_size(&self, comm: Comm) -> usize {
+        self.rt.remote_size(comm)
+    }
+
+    /// Create (and register) an intra-communicator containing only this
+    /// process — the analogue of `MPI_COMM_SELF`, used as the parent
+    /// communicator for spawns from standalone processes.
+    pub fn self_comm(&mut self) -> Comm {
+        let id = self.rt.fresh_comm_id();
+        self.rt.register_intra(id, vec![self.member()]);
+        Comm { id, group: GROUP_A, rank: 0 }
+    }
+
+    /// This process's membership record.
+    pub fn member(&self) -> Member {
+        Member { pid: self.p.id(), host: self.host, addr: self.addr }
+    }
+
+    /// Next collective sequence number for `comm` (each member calls
+    /// collectives on a communicator in the same order, as in MPI).
+    pub(crate) fn next_seq(&mut self, comm: CommId) -> u64 {
+        let c = self.coll_seq.entry(comm).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// The group a message sent on `comm` is addressed to: the remote
+    /// group for inter-communicators, the single group otherwise.
+    pub(crate) fn peer_group(&self, comm: Comm) -> u8 {
+        match self.rt.group_members(comm.id, GROUP_B) {
+            Ok(_) => {
+                if comm.group == GROUP_A {
+                    GROUP_B
+                } else {
+                    GROUP_A
+                }
+            }
+            Err(_) => GROUP_A,
+        }
+    }
+
+    /// Send `data` (modelled as `bytes` on the wire) to `dst` in `comm`
+    /// with `tag`. For inter-communicators `dst` is a remote-group rank.
+    pub fn send(
+        &self,
+        comm: Comm,
+        dst: Rank,
+        tag: Tag,
+        data: Data,
+        bytes: u64,
+    ) -> Result<(), MpiError> {
+        let group = self.peer_group(comm);
+        let member = self.rt.lookup(comm.id, group, dst)?;
+        let msg = P2p { comm: comm.id, src_rank: comm.rank, tag, bytes, data };
+        let out = self.rt.net.send_from_proc(&self.p, self.host, member.addr, msg, bytes);
+        if out.is_sent() {
+            Ok(())
+        } else {
+            Err(MpiError::NetworkFailure)
+        }
+    }
+
+    /// Blocking receive on `comm`, optionally filtered by source rank
+    /// and/or tag (``None`` = wildcard).
+    pub fn recv(&self, comm: Comm, src: Option<Rank>, tag: Option<Tag>) -> RecvMsg {
+        let env = self.p.recv_where(|e| match e.peek::<P2p>() {
+            Some(m) => {
+                m.comm == comm.id
+                    && src.is_none_or(|s| s == m.src_rank)
+                    && tag.is_none_or(|t| t == m.tag)
+            }
+            None => false,
+        });
+        let m = env.downcast::<P2p>().expect("matched by predicate");
+        RecvMsg { src: m.src_rank, tag: m.tag, bytes: m.bytes, data: m.data }
+    }
+
+    /// Like [`MpiProc::recv`] but gives up after `timeout`.
+    pub fn recv_timeout(
+        &self,
+        comm: Comm,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: SimDuration,
+    ) -> Option<RecvMsg> {
+        let env = self.p.recv_where_timeout(
+            |e| match e.peek::<P2p>() {
+                Some(m) => {
+                    m.comm == comm.id
+                        && src.is_none_or(|s| s == m.src_rank)
+                        && tag.is_none_or(|t| t == m.tag)
+                }
+                None => false,
+            },
+            timeout,
+        )?;
+        let m = env.downcast::<P2p>().expect("matched by predicate");
+        Some(RecvMsg { src: m.src_rank, tag: m.tag, bytes: m.bytes, data: m.data })
+    }
+}

@@ -1,0 +1,150 @@
+//! Core MPI-like types: ranks, tags, communicator identifiers, members.
+
+use std::fmt;
+use std::sync::Arc;
+
+use darms_net::{Address, HostId};
+use darms_sim::ProcessId;
+
+/// Rank of a process within one communicator group.
+pub type Rank = u32;
+
+/// Message tag for point-to-point matching.
+pub type Tag = i32;
+
+/// Any-source wildcard for [`recv`](crate::MpiProc::recv).
+pub const ANY_SOURCE: Option<Rank> = None;
+
+/// Any-tag wildcard for [`recv`](crate::MpiProc::recv).
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Globally unique communicator instance id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommId(pub(crate) u64);
+
+/// One participant in a communicator group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Member {
+    /// The simulation process backing this MPI process.
+    pub pid: ProcessId,
+    /// Host the process runs on (determines network latency).
+    pub host: HostId,
+    /// Network address its MPI endpoint is bound at.
+    pub addr: Address,
+}
+
+/// Which side of an inter-communicator a handle belongs to.
+pub(crate) const GROUP_A: u8 = 0;
+pub(crate) const GROUP_B: u8 = 1;
+
+/// A communicator handle as seen by one process: the instance id plus this
+/// process's group and rank. Intra-communicators use group 0 only.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Comm {
+    pub(crate) id: CommId,
+    pub(crate) group: u8,
+    pub(crate) rank: Rank,
+}
+
+impl Comm {
+    /// This process's rank in its group.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// The communicator instance id (diagnostics only).
+    pub fn id(&self) -> u64 {
+        self.id.0
+    }
+}
+
+impl fmt::Display for Comm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comm{}[g{} r{}]", self.id.0, self.group, self.rank)
+    }
+}
+
+/// Reference-counted, type-erased message data. Collectives clone the
+/// `Arc`, never the underlying value.
+pub type Data = Arc<dyn std::any::Any + Send + Sync>;
+
+/// Build a [`Data`] from a value.
+pub fn data<T: std::any::Any + Send + Sync>(value: T) -> Data {
+    Arc::new(value)
+}
+
+/// A received point-to-point message.
+pub struct RecvMsg {
+    /// Sender's rank (in the sender's group for inter-communicators).
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Modelled wire size in bytes.
+    pub bytes: u64,
+    /// The payload.
+    pub data: Data,
+}
+
+impl RecvMsg {
+    /// Downcast the payload, panicking with a clear message on mismatch.
+    pub fn expect<T: std::any::Any + Send + Sync + Clone>(&self) -> T {
+        self.data
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("MPI payload type mismatch (tag {})", self.tag))
+            .clone()
+    }
+}
+
+/// Errors surfaced by the MPI-like runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// The destination rank does not exist in the communicator.
+    NoSuchRank(Rank),
+    /// The named port is not open.
+    NoSuchPort(String),
+    /// The named executable was never registered.
+    NoSuchExecutable(String),
+    /// The operation is invalid on this communicator kind.
+    InvalidComm(&'static str),
+    /// The network refused the message (host down / unbound).
+    NetworkFailure,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::NoSuchRank(r) => write!(f, "no such rank {r}"),
+            MpiError::NoSuchPort(p) => write!(f, "no such port {p}"),
+            MpiError::NoSuchExecutable(e) => write!(f, "no such executable {e}"),
+            MpiError::InvalidComm(why) => write!(f, "invalid communicator: {why}"),
+            MpiError::NetworkFailure => write!(f, "network failure"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let d = data(vec![1u8, 2, 3]);
+        let msg = RecvMsg { src: 0, tag: 0, bytes: 3, data: d };
+        assert_eq!(msg.expect::<Vec<u8>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn expect_panics_on_wrong_type() {
+        let msg = RecvMsg { src: 0, tag: 5, bytes: 0, data: data(1u32) };
+        let _: String = msg.expect();
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(MpiError::NoSuchRank(3).to_string(), "no such rank 3");
+        assert_eq!(MpiError::NoSuchPort("p1".into()).to_string(), "no such port p1");
+    }
+}

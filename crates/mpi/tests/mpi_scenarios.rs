@@ -1,0 +1,319 @@
+//! End-to-end scenarios for the MPI-like runtime: world launch, P2P,
+//! collectives, port rendezvous, spawn, merge, shrink — the exact
+//! primitive sequences the DAC resource-management library performs.
+
+use std::sync::Arc;
+
+use darms_mpi::{data, launch_world, MpiCostModel, MpiRuntime, WorldSpec, ANY_SOURCE, ANY_TAG};
+use darms_net::{HostId, HostKind, LatencyModel, Network};
+use darms_sim::{Engine, SimDuration};
+use parking_lot::Mutex;
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+struct World {
+    sim: Engine,
+    net: Network,
+    rt: MpiRuntime,
+    hosts: Vec<HostId>,
+}
+
+fn setup(nhosts: usize) -> World {
+    let sim = Engine::with_seed(42);
+    let net = Network::new(LatencyModel::ideal(), 7);
+    let hosts: Vec<HostId> =
+        (0..nhosts).map(|i| net.add_host(format!("h{i}"), HostKind::Generic)).collect();
+    let rt = MpiRuntime::new(net.clone(), MpiCostModel::instant());
+    World { sim, net, rt, hosts }
+}
+
+#[test]
+fn launched_world_p2p_ring() {
+    let mut w = setup(4);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o = out.clone();
+    w.rt.register_exe("ring", move |mut mpi, _args| {
+        let world = mpi.world().unwrap();
+        let n = mpi.size(world) as u32;
+        let me = world.rank();
+        if me == 0 {
+            mpi.send(world, 1, 0, data(0u32), 8).unwrap();
+            let msg = mpi.recv(world, Some(n - 1), Some(0));
+            o.lock().push(msg.expect::<u32>());
+        } else {
+            let msg = mpi.recv(world, Some(me - 1), Some(0));
+            let v = msg.expect::<u32>() + 1;
+            mpi.send(world, (me + 1) % n, 0, data(v), 8).unwrap();
+        }
+        let _ = mpi.barrier(world); // everyone syncs at the end
+    });
+    let specs = w
+        .hosts
+        .iter()
+        .map(|&h| WorldSpec {
+            host: h,
+            exe: "ring".into(),
+            args: vec![],
+            start_delay: SimDuration::ZERO,
+        })
+        .collect();
+    launch_world(&mut w.sim, &w.rt, specs).unwrap();
+    let stats = w.sim.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*out.lock(), vec![3]); // 0 -> 1 -> 2 -> 3 -> 0, incremented thrice
+}
+
+#[test]
+fn bcast_and_gather() {
+    let mut w = setup(3);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o = out.clone();
+    w.rt.register_exe("coll", move |mut mpi, _| {
+        let world = mpi.world().unwrap();
+        let me = world.rank();
+        // Broadcast a vector from rank 0.
+        let payload =
+            if me == 0 { Some((data(vec![5u64, 6, 7]), 24)) } else { None };
+        let got = mpi.bcast(world, 0, payload).unwrap();
+        let v = got.downcast_ref::<Vec<u64>>().unwrap().clone();
+        // Gather each rank's contribution (rank * first broadcast value).
+        let contribution = v[0] * me as u64;
+        let gathered = mpi.gather(world, 0, data(contribution), 8).unwrap();
+        if let Some(values) = gathered {
+            let nums: Vec<u64> =
+                values.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
+            o.lock().push(nums);
+        }
+    });
+    let specs = w
+        .hosts
+        .iter()
+        .map(|&h| WorldSpec {
+            host: h,
+            exe: "coll".into(),
+            args: vec![],
+            start_delay: SimDuration::ZERO,
+        })
+        .collect();
+    launch_world(&mut w.sim, &w.rt, specs).unwrap();
+    let stats = w.sim.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*out.lock(), vec![vec![0, 5, 10]]);
+}
+
+#[test]
+fn port_connect_accept_then_merge() {
+    // The paper's static-allocation pattern: a daemon world opens a port,
+    // a singleton compute-node process connects, both sides merge with the
+    // connector low (compute node becomes rank 0).
+    let mut w = setup(4);
+    let rt = w.rt.clone();
+    let port_box: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let out = Arc::new(Mutex::new(Vec::new()));
+
+    let pb = port_box.clone();
+    let o = out.clone();
+    w.rt.register_exe("daemon", move |mut mpi, _| {
+        let world = mpi.world().unwrap();
+        if world.rank() == 0 {
+            let port = mpi.open_port();
+            *pb.lock() = Some(port.clone());
+            let inter = mpi.comm_accept(&port, world).unwrap();
+            let merged = mpi.intercomm_merge(inter, true).unwrap();
+            o.lock().push(("daemon0", merged.rank()));
+        } else {
+            let inter = mpi.comm_accept("", world).unwrap(); // non-root: announced
+            let merged = mpi.intercomm_merge(inter, true).unwrap();
+            o.lock().push(("daemon1", merged.rank()));
+        }
+    });
+    // Daemons on hosts 1 and 2.
+    let specs = vec![
+        WorldSpec { host: w.hosts[1], exe: "daemon".into(), args: vec![], start_delay: ms(5) },
+        WorldSpec { host: w.hosts[2], exe: "daemon".into(), args: vec![], start_delay: ms(5) },
+    ];
+    launch_world(&mut w.sim, &w.rt, specs).unwrap();
+
+    // Compute node: singleton attach, connect through the port, merge low.
+    let cn_host = w.hosts[0];
+    let o2 = out.clone();
+    let pb2 = port_box.clone();
+    w.sim.spawn_process("cn", move |p| {
+        let mut mpi = rt.attach(p, cn_host);
+        // Poll for the port file (the RM library reads it from a file in
+        // the paper; here the test polls the shared box).
+        let port = loop {
+            if let Some(port) = pb2.lock().clone() {
+                break port;
+            }
+            mpi.proc().sleep(ms(1));
+        };
+        let self_comm = mpi.self_comm();
+        let inter = mpi.comm_connect(&port, self_comm).unwrap();
+        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        o2.lock().push(("cn", merged.rank()));
+        // Address the daemons by their merged ranks 1 and 2.
+        for r in 1..=2 {
+            mpi.send(merged, r, 9, data(r), 8).unwrap();
+        }
+    });
+    let stats = w.sim.run();
+    assert_eq!(stats.process_panics, 0);
+    let mut v = out.lock().clone();
+    v.sort();
+    // Connector passed high=false => rank 0; daemons get 1 and 2.
+    assert!(v.contains(&("cn", 0)));
+    assert!(v.contains(&("daemon0", 1)));
+    assert!(v.contains(&("daemon1", 2)));
+}
+
+#[test]
+fn spawn_merge_then_shrink() {
+    // The paper's dynamic-allocation pattern: a compute node spawns y new
+    // daemons over its current communicator, merges (new daemons high),
+    // later releases a subset (shrink back). Protocol used here:
+    //   tag 98 + removed set  => participate in a shrink of the current comm
+    //   tag 99                => disconnect and exit
+    let mut w = setup(4);
+    let rt = w.rt.clone();
+    let out = Arc::new(Mutex::new(Vec::new()));
+
+    let o = out.clone();
+    w.rt.register_exe("dyn-daemon", move |mut mpi, _| {
+        let parent = mpi.parent().expect("spawned daemon has a parent intercomm");
+        let mut merged = mpi.intercomm_merge(parent, true).unwrap();
+        o.lock().push(("daemon-merged", merged.rank()));
+        loop {
+            let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+            match msg.tag {
+                99 => {
+                    mpi.comm_disconnect(merged);
+                    break;
+                }
+                98 => {
+                    let removed = msg.expect::<Vec<u32>>();
+                    merged = mpi.comm_shrink(merged, &removed).unwrap();
+                    o.lock().push(("daemon-shrunk", merged.rank()));
+                }
+                _ => {}
+            }
+        }
+    });
+
+    let cn_host = w.hosts[0];
+    let spawn_hosts = vec![w.hosts[1], w.hosts[2], w.hosts[3]];
+    let o2 = out.clone();
+    w.sim.spawn_process("cn", move |p| {
+        let mut mpi = rt.attach(p, cn_host);
+        let self_comm = mpi.self_comm();
+        let inter = mpi.comm_spawn(self_comm, "dyn-daemon", &[], &spawn_hosts).unwrap();
+        assert_eq!(mpi.remote_size(inter), 3);
+        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        assert_eq!(merged.rank(), 0);
+        assert_eq!(mpi.size(merged), 4);
+        o2.lock().push(("cn-merged", merged.rank()));
+        // Release daemons 2 and 3 (a "client-id set"), keep daemon 1:
+        // survivor is told to join the shrink, released ones to exit.
+        let removed = vec![2u32, 3];
+        mpi.send(merged, 1, 98, data(removed.clone()), 16).unwrap();
+        for r in removed.iter() {
+            mpi.send(merged, *r, 99, data(()), 8).unwrap();
+        }
+        let shrunk = mpi.comm_shrink(merged, &removed).unwrap();
+        assert_eq!(mpi.size(shrunk), 2);
+        assert_eq!(shrunk.rank(), 0);
+        o2.lock().push(("cn-shrunk", shrunk.rank()));
+        // Finally release the surviving daemon too.
+        mpi.send(shrunk, 1, 99, data(()), 8).unwrap();
+    });
+
+    let stats = w.sim.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = out.lock().clone();
+    let merged_ranks: Vec<u32> =
+        v.iter().filter(|(who, _)| *who == "daemon-merged").map(|(_, r)| *r).collect();
+    assert_eq!(merged_ranks.len(), 3);
+    for r in [1, 2, 3] {
+        assert!(merged_ranks.contains(&r), "daemon ranks {merged_ranks:?}");
+    }
+    // Survivor kept rank 1 after the shrink; CN observed the shrunk comm.
+    assert!(v.contains(&("daemon-shrunk", 1)));
+    assert!(v.contains(&("cn-shrunk", 0)));
+    let _ = w.net;
+}
+
+#[test]
+fn spawn_timing_includes_setup_and_launch() {
+    // With the paper cost model, comm_spawn takes at least
+    // spawn_setup + child_launch.
+    let sim = Engine::with_seed(1);
+    let net = Network::new(LatencyModel::ideal(), 7);
+    let h0 = net.add_host("h0", HostKind::Generic);
+    let h1 = net.add_host("h1", HostKind::Generic);
+    let cost = MpiCostModel::paper_testbed();
+    let min_expected = cost.spawn_setup + cost.child_launch;
+    let rt = MpiRuntime::new(net, cost);
+    rt.register_exe("noop", |mut mpi, _| {
+        if let Some(parent) = mpi.parent() {
+            let _ = mpi.intercomm_merge(parent, true);
+        }
+    });
+    let out = Arc::new(Mutex::new(None));
+    let o = out.clone();
+    let rt2 = rt.clone();
+    let mut sim = sim;
+    sim.spawn_process("cn", move |p| {
+        let mut mpi = rt2.attach(p, h0);
+        let self_comm = mpi.self_comm();
+        let t0 = mpi.proc().now();
+        let inter = mpi.comm_spawn(self_comm, "noop", &[], &[h1]).unwrap();
+        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        assert_eq!(merged.rank(), 0);
+        *o.lock() = Some(mpi.proc().now() - t0);
+    });
+    let stats = sim.run();
+    assert_eq!(stats.process_panics, 0);
+    let elapsed = out.lock().unwrap();
+    assert!(
+        elapsed >= min_expected,
+        "spawn+merge took {elapsed}, expected at least {min_expected}"
+    );
+    // And it should stay within the sub-second envelope the paper reports.
+    assert!(elapsed < SimDuration::from_secs(1), "took {elapsed}");
+}
+
+#[test]
+fn comm_leak_free_after_disconnects() {
+    let mut w = setup(2);
+    let rt = w.rt.clone();
+    w.rt.register_exe("peer", |mut mpi, _| {
+        let parent = mpi.parent().unwrap();
+        let merged = mpi.intercomm_merge(parent, true).unwrap();
+        let _ = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+        mpi.comm_disconnect(merged);
+        // also detach from world and parent
+        let world = mpi.world().unwrap();
+        mpi.comm_disconnect(world);
+        mpi.comm_disconnect(parent);
+    });
+    let h0 = w.hosts[0];
+    let h1 = w.hosts[1];
+    let rt_probe = w.rt.clone();
+    w.sim.spawn_process("cn", move |p| {
+        let mut mpi = rt.attach(p, h0);
+        let self_comm = mpi.self_comm();
+        let inter = mpi.comm_spawn(self_comm, "peer", &[], &[h1]).unwrap();
+        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        mpi.send(merged, 1, 0, data(()), 8).unwrap();
+        mpi.comm_disconnect(merged);
+        mpi.comm_disconnect(inter);
+        mpi.comm_disconnect(self_comm);
+    });
+    let stats = w.sim.run();
+    assert_eq!(stats.process_panics, 0);
+    // world comm: child detached once but it had 1 member only => freed;
+    // every other comm had all members detach.
+    assert_eq!(rt_probe.live_comms(), 0);
+}

@@ -1,0 +1,101 @@
+//! Host and address types for the simulated cluster.
+
+use std::fmt;
+
+/// Identifier of a host in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub(crate) usize);
+
+impl HostId {
+    /// Raw index (stable for the lifetime of the cluster).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Fabricate an id from a raw index. Only meaningful for ids that the
+    /// network actually handed out; intended for tests and serialisation.
+    pub fn from_raw(index: usize) -> Self {
+        HostId(index)
+    }
+}
+
+/// Role a host plays in the DAC architecture. The network layer treats all
+/// hosts alike; the label exists so the RMS and experiments can partition
+/// the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HostKind {
+    /// Runs `pbs_server` and the scheduler (also the front end).
+    Head,
+    /// A compute node (runs a `pbs_mom` and user applications).
+    Compute,
+    /// A network-attached accelerator (host CPU + device, runs a mom and
+    /// accelerator daemons).
+    Accelerator,
+    /// Anything else.
+    Generic,
+}
+
+impl fmt::Display for HostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HostKind::Head => "head",
+            HostKind::Compute => "compute",
+            HostKind::Accelerator => "accelerator",
+            HostKind::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata for one host.
+#[derive(Clone, Debug)]
+pub struct Host {
+    /// Unique hostname, e.g. `node03`.
+    pub name: String,
+    /// Cluster role.
+    pub kind: HostKind,
+    /// True if the host has been failed by fault injection.
+    pub down: bool,
+}
+
+/// A well-known or ephemeral service port on a host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Port(pub u32);
+
+/// Well-known ports used by the batch system (mirrors the TORQUE defaults
+/// in spirit, not in numeric value).
+pub mod ports {
+    use super::Port;
+    /// `pbs_server` listens here on the head node.
+    pub const PBS_SERVER: Port = Port(15001);
+    /// Every `pbs_mom` listens here on its host.
+    pub const PBS_MOM: Port = Port(15002);
+    /// The Maui-like scheduler listens here on the head node.
+    pub const SCHEDULER: Port = Port(15004);
+    /// The health monitor listens here on the head node.
+    pub const MONITOR: Port = Port(15005);
+    /// First ephemeral port handed out by [`Network::bind_auto`](crate::Network::bind_auto).
+    pub const EPHEMERAL_BASE: u32 = 40000;
+}
+
+/// A network address: `(host, port)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Address {
+    /// Destination host.
+    pub host: HostId,
+    /// Destination service port.
+    pub port: Port,
+}
+
+impl Address {
+    /// Construct an address.
+    pub fn new(host: HostId, port: Port) -> Self {
+        Address { host, port }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}:{}", self.host.0, self.port.0)
+    }
+}

@@ -1,0 +1,108 @@
+//! Message-delay model for the simulated interconnect.
+
+use darms_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters of the interconnect delay model. The delay of a message of
+/// `n` bytes between two distinct hosts is
+///
+/// ```text
+/// base_remote + n / bandwidth ± jitter
+/// ```
+///
+/// and `base_local` for messages that stay on one host (loopback). Jitter
+/// is uniform in `[-jitter_frac, +jitter_frac]` relative to the
+/// deterministic part, drawn from the model's seeded RNG.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// One-way latency between two distinct hosts.
+    pub base_remote: SimDuration,
+    /// One-way latency for host-local (loopback) messages.
+    pub base_local: SimDuration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Relative jitter amplitude (0.0 disables jitter).
+    pub jitter_frac: f64,
+}
+
+impl LatencyModel {
+    /// Gigabit-Ethernet-class interconnect of the paper's 2013 testbed:
+    /// ~60 µs one-way message latency, ~1 GiB/s effective bandwidth,
+    /// 5 % jitter.
+    pub fn paper_testbed() -> Self {
+        LatencyModel {
+            base_remote: SimDuration::from_micros(60),
+            base_local: SimDuration::from_micros(5),
+            bandwidth_bps: 1.0 * 1024.0 * 1024.0 * 1024.0,
+            jitter_frac: 0.05,
+        }
+    }
+
+    /// An idealised zero-jitter model, handy for exact-value unit tests.
+    pub fn ideal() -> Self {
+        LatencyModel {
+            base_remote: SimDuration::from_micros(50),
+            base_local: SimDuration::from_micros(5),
+            bandwidth_bps: 1e9,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Deterministic part of the delay (no jitter applied).
+    pub fn base_delay(&self, local: bool, bytes: u64) -> SimDuration {
+        let base = if local { self.base_local } else { self.base_remote };
+        let ser = SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps.max(1.0));
+        base + ser
+    }
+
+    /// Full delay including jitter drawn from `rng`.
+    pub fn delay(&self, local: bool, bytes: u64, rng: &mut SmallRng) -> SimDuration {
+        let det = self.base_delay(local, bytes);
+        if self.jitter_frac <= 0.0 {
+            return det;
+        }
+        let f = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+        det.mul_f64(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn base_delay_adds_serialisation() {
+        let m = LatencyModel::ideal();
+        let d0 = m.base_delay(false, 0);
+        let d1 = m.base_delay(false, 1_000_000); // 1 MB at 1 GB/s = 1 ms
+        assert_eq!(d0, SimDuration::from_micros(50));
+        assert_eq!(d1 - d0, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn local_is_cheaper_than_remote() {
+        let m = LatencyModel::paper_testbed();
+        assert!(m.base_delay(true, 0) < m.base_delay(false, 0));
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let m = LatencyModel::ideal();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(m.delay(false, 100, &mut rng), m.base_delay(false, 100));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel::paper_testbed();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let det = m.base_delay(false, 4096).as_secs_f64();
+        for _ in 0..200 {
+            let d = m.delay(false, 4096, &mut rng).as_secs_f64();
+            assert!(d >= det * (1.0 - m.jitter_frac) - 1e-12);
+            assert!(d <= det * (1.0 + m.jitter_frac) + 1e-12);
+        }
+    }
+}

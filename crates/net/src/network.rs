@@ -1,0 +1,375 @@
+//! The cluster network: host registry, service bindings, message routing
+//! with the latency model, fault injection, and traffic statistics.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use darms_sim::{Ctx, Endpoint, Envelope, Proc, SimDuration};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::host::{ports, Address, Host, HostId, HostKind, Port};
+use crate::latency::LatencyModel;
+
+/// Traffic counters, readable after (or during) a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages successfully handed to the event queue.
+    pub messages: u64,
+    /// Payload bytes carried by those messages.
+    pub bytes: u64,
+    /// Messages dropped (down host, missing binding, or injected loss).
+    pub dropped: u64,
+}
+
+struct NetState {
+    hosts: Vec<Host>,
+    bindings: HashMap<Address, Endpoint>,
+    next_ephemeral: HashMap<HostId, u32>,
+    latency: LatencyModel,
+    rng: SmallRng,
+    drop_prob: f64,
+    stats: NetStats,
+}
+
+/// Cloneable handle to the shared cluster network.
+#[derive(Clone)]
+pub struct Network {
+    state: Arc<Mutex<NetState>>,
+}
+
+/// Outcome of a send attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendOutcome {
+    /// Message scheduled for delivery after the returned delay.
+    Sent(SimDuration),
+    /// Source or destination host is down.
+    HostDown,
+    /// Nothing is bound at the destination address.
+    NoBinding,
+    /// Message lost to injected packet loss.
+    Lost,
+}
+
+impl SendOutcome {
+    /// True if the message was scheduled.
+    pub fn is_sent(&self) -> bool {
+        matches!(self, SendOutcome::Sent(_))
+    }
+}
+
+impl Network {
+    /// Create an empty network with the given latency model. The jitter
+    /// and loss RNG is seeded independently of the engine RNG so that the
+    /// two sample streams do not perturb each other.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            state: Arc::new(Mutex::new(NetState {
+                hosts: Vec::new(),
+                bindings: HashMap::new(),
+                next_ephemeral: HashMap::new(),
+                latency,
+                rng: SmallRng::seed_from_u64(seed),
+                drop_prob: 0.0,
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// Register a host; returns its id.
+    pub fn add_host(&self, name: impl Into<String>, kind: HostKind) -> HostId {
+        let mut s = self.state.lock();
+        let id = HostId(s.hosts.len());
+        s.hosts.push(Host { name: name.into(), kind, down: false });
+        id
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.state.lock().hosts.len()
+    }
+
+    /// Metadata of a host.
+    pub fn host(&self, id: HostId) -> Host {
+        self.state.lock().hosts[id.0].clone()
+    }
+
+    /// All hosts of a given kind.
+    pub fn hosts_of_kind(&self, kind: HostKind) -> Vec<HostId> {
+        let s = self.state.lock();
+        (0..s.hosts.len()).filter(|&i| s.hosts[i].kind == kind).map(HostId).collect()
+    }
+
+    /// Fail or recover a host. Messages from/to a down host are dropped.
+    pub fn set_host_down(&self, id: HostId, down: bool) {
+        self.state.lock().hosts[id.0].down = down;
+    }
+
+    /// Probability in `[0, 1]` that any message is silently lost.
+    pub fn set_drop_probability(&self, p: f64) {
+        self.state.lock().drop_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Bind an endpoint at a fixed address (e.g. a daemon's well-known
+    /// port). Re-binding an address replaces the previous binding.
+    pub fn bind(&self, addr: Address, ep: Endpoint) {
+        self.state.lock().bindings.insert(addr, ep);
+    }
+
+    /// Bind at an ephemeral port on `host`; returns the full address.
+    pub fn bind_auto(&self, host: HostId, ep: Endpoint) -> Address {
+        let mut s = self.state.lock();
+        let next = s.next_ephemeral.entry(host).or_insert(ports::EPHEMERAL_BASE);
+        let port = Port(*next);
+        *next += 1;
+        let addr = Address::new(host, port);
+        s.bindings.insert(addr, ep);
+        addr
+    }
+
+    /// Remove a binding.
+    pub fn unbind(&self, addr: Address) {
+        self.state.lock().bindings.remove(&addr);
+    }
+
+    /// Resolve an address to its bound endpoint.
+    pub fn resolve(&self, addr: Address) -> Option<Endpoint> {
+        self.state.lock().bindings.get(&addr).copied()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.state.lock().stats
+    }
+
+    /// The latency model in effect (read-only copy; layers above use it
+    /// to reason about overlap, e.g. pipelined transfers).
+    pub fn latency_model(&self) -> LatencyModel {
+        self.state.lock().latency.clone()
+    }
+
+    /// Compute the delay for a message and update counters, or decide to
+    /// drop it. Returns the resolved endpoint on success.
+    fn route(
+        &self,
+        from: HostId,
+        to: Address,
+        bytes: u64,
+    ) -> Result<(Endpoint, SimDuration), SendOutcome> {
+        let mut s = self.state.lock();
+        if s.hosts.get(from.0).is_none_or(|h| h.down)
+            || s.hosts.get(to.host.0).is_none_or(|h| h.down)
+        {
+            s.stats.dropped += 1;
+            return Err(SendOutcome::HostDown);
+        }
+        let Some(ep) = s.bindings.get(&to).copied() else {
+            s.stats.dropped += 1;
+            return Err(SendOutcome::NoBinding);
+        };
+        if s.drop_prob > 0.0 {
+            let roll: f64 = rand::Rng::gen(&mut s.rng);
+            if roll < s.drop_prob {
+                s.stats.dropped += 1;
+                return Err(SendOutcome::Lost);
+            }
+        }
+        let local = from == to.host;
+        let latency = s.latency.clone();
+        let delay = latency.delay(local, bytes, &mut s.rng);
+        s.stats.messages += 1;
+        s.stats.bytes += bytes;
+        Ok((ep, delay))
+    }
+
+    /// Send `payload` from a process residing on `from` to the service at
+    /// `to`, modelling a wire size of `bytes`.
+    pub fn send_from_proc<T: Any + Send>(
+        &self,
+        p: &Proc,
+        from: HostId,
+        to: Address,
+        payload: T,
+        bytes: u64,
+    ) -> SendOutcome {
+        match self.route(from, to, bytes) {
+            Ok((ep, delay)) => {
+                p.send(ep, payload, delay);
+                SendOutcome::Sent(delay)
+            }
+            Err(o) => o,
+        }
+    }
+
+    /// Send `payload` from an actor residing on `from` to the service at
+    /// `to`, modelling a wire size of `bytes`.
+    pub fn send_from_ctx<T: Any + Send>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: HostId,
+        to: Address,
+        payload: T,
+        bytes: u64,
+    ) -> SendOutcome {
+        match self.route(from, to, bytes) {
+            Ok((ep, delay)) => {
+                ctx.send(ep, payload, delay);
+                SendOutcome::Sent(delay)
+            }
+            Err(o) => o,
+        }
+    }
+
+    /// Send a pre-built envelope (keeps an existing `src`).
+    pub fn send_env_from_proc(
+        &self,
+        p: &Proc,
+        from: HostId,
+        to: Address,
+        env: Envelope,
+        bytes: u64,
+    ) -> SendOutcome {
+        match self.route(from, to, bytes) {
+            Ok((ep, delay)) => {
+                p.send_env(ep, env, delay);
+                SendOutcome::Sent(delay)
+            }
+            Err(o) => o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darms_sim::{Engine, SimTime};
+
+    fn net() -> Network {
+        Network::new(LatencyModel::ideal(), 7)
+    }
+
+    #[test]
+    fn host_registry_and_kinds() {
+        let n = net();
+        let h = n.add_host("head", HostKind::Head);
+        let c = n.add_host("cn01", HostKind::Compute);
+        let a = n.add_host("ac01", HostKind::Accelerator);
+        assert_eq!(n.host_count(), 3);
+        assert_eq!(n.host(h).name, "head");
+        assert_eq!(n.hosts_of_kind(HostKind::Compute), vec![c]);
+        assert_eq!(n.hosts_of_kind(HostKind::Accelerator), vec![a]);
+    }
+
+    #[test]
+    fn ephemeral_ports_are_unique_per_host() {
+        let n = net();
+        let h = n.add_host("h", HostKind::Generic);
+        let mut sim = Engine::with_seed(1);
+        let pid = sim.spawn_process("x", |_| {});
+        let a1 = n.bind_auto(h, pid.into());
+        let a2 = n.bind_auto(h, pid.into());
+        assert_ne!(a1, a2);
+        assert_eq!(n.resolve(a1), Some(Endpoint::Process(pid)));
+        n.unbind(a1);
+        assert_eq!(n.resolve(a1), None);
+        assert_eq!(n.resolve(a2), Some(Endpoint::Process(pid)));
+    }
+
+    #[test]
+    fn message_crosses_network_with_latency() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let h2 = n.add_host("h2", HostKind::Compute);
+        let mut sim = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        let rx = sim.spawn_process("rx", move |p| {
+            let (v, _) = p.recv_as::<u64>();
+            *o.lock() = Some((v, p.now()));
+        });
+        let addr = Address::new(h2, Port(9));
+        n.bind(addr, rx.into());
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| {
+            let outcome = n2.send_from_proc(&p, h1, addr, 123u64, 1_000_000);
+            assert!(outcome.is_sent());
+        });
+        sim.run();
+        let (v, at) = out.lock().unwrap();
+        assert_eq!(v, 123);
+        // ideal model: 50us base + 1ms serialisation
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(1050));
+        assert_eq!(n.stats().messages, 1);
+        assert_eq!(n.stats().bytes, 1_000_000);
+    }
+
+    #[test]
+    fn down_host_drops_messages() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let h2 = n.add_host("h2", HostKind::Compute);
+        let mut sim = Engine::with_seed(1);
+        let rx = sim.spawn_process("rx", |p| {
+            assert!(p.recv_timeout(SimDuration::from_secs(1)).is_none());
+        });
+        let addr = Address::new(h2, Port(1));
+        n.bind(addr, rx.into());
+        n.set_host_down(h2, true);
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| {
+            assert_eq!(n2.send_from_proc(&p, h1, addr, 1u8, 8), SendOutcome::HostDown);
+        });
+        sim.run();
+        assert_eq!(n.stats().dropped, 1);
+        assert_eq!(n.stats().messages, 0);
+    }
+
+    #[test]
+    fn unbound_address_reports_no_binding() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let mut sim = Engine::with_seed(1);
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| {
+            let out = n2.send_from_proc(&p, h1, Address::new(h1, Port(404)), 1u8, 8);
+            assert_eq!(out, SendOutcome::NoBinding);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn injected_loss_drops_roughly_that_fraction() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let h2 = n.add_host("h2", HostKind::Compute);
+        n.set_drop_probability(0.5);
+        let mut sim = Engine::with_seed(1);
+        let rx = sim.spawn_process("rx", |p| loop {
+            let _ = p.recv();
+        });
+        let addr = Address::new(h2, Port(1));
+        n.bind(addr, rx.into());
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| {
+            for _ in 0..400 {
+                let _ = n2.send_from_proc(&p, h1, addr, 0u8, 8);
+            }
+        });
+        sim.run();
+        let s = n.stats();
+        assert_eq!(s.messages + s.dropped, 400);
+        assert!(s.dropped > 120 && s.dropped < 280, "dropped={}", s.dropped);
+    }
+
+    #[test]
+    fn host_down_recovery() {
+        let n = net();
+        let h = n.add_host("h", HostKind::Compute);
+        n.set_host_down(h, true);
+        assert!(n.host(h).down);
+        n.set_host_down(h, false);
+        assert!(!n.host(h).down);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests of the network model.
+
+use darms_net::{Address, HostKind, LatencyModel, Network, Port};
+use darms_sim::{Engine, SimDuration};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Delay is monotone in message size and bounded by the jitter band.
+    #[test]
+    fn delay_monotone_and_bounded(a in 0u64..10_000_000, b in 0u64..10_000_000, seed in 0u64..1000) {
+        let m = LatencyModel::paper_testbed();
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.base_delay(false, small) <= m.base_delay(false, large));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let det = m.base_delay(false, large).as_secs_f64();
+        let d = m.delay(false, large, &mut rng).as_secs_f64();
+        prop_assert!(d >= det * (1.0 - m.jitter_frac) - 1e-12);
+        prop_assert!(d <= det * (1.0 + m.jitter_frac) + 1e-12);
+    }
+
+    /// With loss probability 0 nothing drops; with 1 everything drops.
+    #[test]
+    fn loss_extremes(n in 1usize..50) {
+        for &(p, expect_all) in &[(0.0, true), (1.0, false)] {
+            let net = Network::new(LatencyModel::ideal(), 5);
+            let h1 = net.add_host("a", HostKind::Generic);
+            let h2 = net.add_host("b", HostKind::Generic);
+            net.set_drop_probability(p);
+            let mut sim = Engine::with_seed(1);
+            let rx = sim.spawn_process("rx", |p| loop {
+                let _ = p.recv();
+            });
+            let addr = Address::new(h2, Port(1));
+            net.bind(addr, rx.into());
+            let n2 = net.clone();
+            sim.spawn_process("tx", move |proc| {
+                for _ in 0..n {
+                    let _ = n2.send_from_proc(&proc, h1, addr, 0u8, 8);
+                }
+            });
+            sim.run();
+            let s = net.stats();
+            if expect_all {
+                prop_assert_eq!(s.messages as usize, n);
+                prop_assert_eq!(s.dropped, 0);
+            } else {
+                prop_assert_eq!(s.messages, 0);
+                prop_assert_eq!(s.dropped as usize, n);
+            }
+        }
+    }
+
+    /// Ephemeral binds never collide, across any number of hosts/binds.
+    #[test]
+    fn ephemeral_ports_unique(hosts in 1usize..5, binds in 1usize..30) {
+        let net = Network::new(LatencyModel::ideal(), 5);
+        let hs: Vec<_> = (0..hosts).map(|i| net.add_host(format!("h{i}"), HostKind::Generic)).collect();
+        let mut sim = Engine::with_seed(1);
+        let pid = sim.spawn_process("x", |_| {});
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..binds {
+            let h = hs[i % hs.len()];
+            let addr = net.bind_auto(h, pid.into());
+            prop_assert!(seen.insert(addr), "duplicate address {addr}");
+        }
+    }
+}
+
+#[test]
+fn zero_byte_message_has_base_latency_only() {
+    let m = LatencyModel::ideal();
+    assert_eq!(m.base_delay(false, 0), SimDuration::from_micros(50));
+    assert_eq!(m.base_delay(true, 0), SimDuration::from_micros(5));
+}

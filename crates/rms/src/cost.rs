@@ -1,0 +1,91 @@
+//! Processing-time constants for the batch-system daemons.
+
+use darms_sim::SimDuration;
+
+/// Local processing costs of the TORQUE-like server and moms. Network
+/// transit comes from `darms-net` on top of these.
+#[derive(Clone, Debug)]
+pub struct RmsCostModel {
+    /// Server handling of a `qsub` (validate, store attributes, enqueue).
+    pub qsub_handling: SimDuration,
+    /// Server handling of a dynamic request before it is exposed to the
+    /// scheduler (re-enqueue with the `dynqueued` state, §III-D).
+    pub dyn_request_handling: SimDuration,
+    /// Server bookkeeping after the scheduler allocates resources for a
+    /// dynamic request (client-id assignment, node marking).
+    pub dyn_grant_handling: SimDuration,
+    /// Server handling of a `pbs_dynfree` (positive reply is immediate,
+    /// disassociation continues in the background).
+    pub dyn_free_handling: SimDuration,
+    /// Server handling of a `RunJob` decision (select mother superior,
+    /// forward the job).
+    pub run_job_handling: SimDuration,
+    /// Mom processing of a `JOIN_JOB` / `DYNJOIN_JOB` request.
+    pub join_handling: SimDuration,
+    /// Mother superior per-sister cost of issuing joins (TORQUE contacts
+    /// moms sequentially; this drives the growth of the batch-system part
+    /// of Fig. 7(b) with the number of accelerators).
+    pub join_issue_stagger: SimDuration,
+    /// Mom processing of a `DISJOIN_JOB` (kill tasks, free resources).
+    pub disjoin_handling: SimDuration,
+    /// Mother superior cost of starting one task (job script process).
+    pub task_start: SimDuration,
+    /// Wire size modelled for batch-system control messages.
+    pub ctl_bytes: u64,
+}
+
+impl RmsCostModel {
+    /// Calibrated against the paper's testbed (Intel X5570 nodes, 2013-era
+    /// TORQUE): server-side costs of a few milliseconds, mom joins of a
+    /// few tens of milliseconds.
+    pub fn paper_testbed() -> Self {
+        RmsCostModel {
+            qsub_handling: SimDuration::from_millis(3),
+            dyn_request_handling: SimDuration::from_millis(30),
+            dyn_grant_handling: SimDuration::from_millis(15),
+            dyn_free_handling: SimDuration::from_millis(5),
+            run_job_handling: SimDuration::from_millis(5),
+            join_handling: SimDuration::from_millis(18),
+            join_issue_stagger: SimDuration::from_millis(35),
+            disjoin_handling: SimDuration::from_millis(10),
+            task_start: SimDuration::from_millis(8),
+            ctl_bytes: 256,
+        }
+    }
+
+    /// Near-zero costs for logic-focused unit tests.
+    pub fn instant() -> Self {
+        RmsCostModel {
+            qsub_handling: SimDuration::ZERO,
+            dyn_request_handling: SimDuration::ZERO,
+            dyn_grant_handling: SimDuration::ZERO,
+            dyn_free_handling: SimDuration::ZERO,
+            run_job_handling: SimDuration::ZERO,
+            join_handling: SimDuration::ZERO,
+            join_issue_stagger: SimDuration::ZERO,
+            disjoin_handling: SimDuration::ZERO,
+            task_start: SimDuration::ZERO,
+            ctl_bytes: 0,
+        }
+    }
+}
+
+impl Default for RmsCostModel {
+    fn default() -> Self {
+        RmsCostModel::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = RmsCostModel::paper_testbed();
+        assert!(p.join_handling > p.qsub_handling);
+        assert!(p.dyn_request_handling > p.dyn_free_handling);
+        let i = RmsCostModel::instant();
+        assert!(i.qsub_handling.is_zero());
+    }
+}

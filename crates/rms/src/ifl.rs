@@ -1,0 +1,198 @@
+//! The Interface Library: blocking client calls into the server, usable
+//! from any simulation process (front-end submitters and job tasks alike).
+//!
+//! Mirrors TORQUE's IFL plus the paper's two extensions, `pbs_dynget`
+//! and `pbs_dynfree` (§III-B).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use darms_net::{Address, HostId, Network};
+use darms_sim::Proc;
+
+use crate::job::{ClientId, JobId, JobSpec, JobStatus};
+use crate::proto::*;
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Wire size modelled for IFL requests.
+const IFL_BYTES: u64 = 256;
+
+fn fresh_token() -> u64 {
+    NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Generic blocking request/response exchange with the server.
+fn call<Req, Resp>(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    build: impl FnOnce(u64, Address) -> Req,
+    token_of: impl Fn(&Resp) -> u64,
+) -> Resp
+where
+    Req: std::any::Any + Send,
+    Resp: std::any::Any + Send,
+{
+    let token = fresh_token();
+    let reply = net.bind_auto(from, p.endpoint());
+    let req = build(token, reply);
+    let outcome = net.send_from_proc(p, from, server, req, IFL_BYTES);
+    assert!(outcome.is_sent(), "IFL request could not reach the server: {outcome:?}");
+    let env = p.recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token));
+    net.unbind(reply);
+    env.downcast::<Resp>().expect("matched by predicate")
+}
+
+/// Submit a job; returns its id once the server has enqueued it.
+pub fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpec) -> JobId {
+    let resp: QsubResp =
+        call(p, net, from, server, |token, reply| QsubReq { token, spec, reply }, |r: &QsubResp| r.token);
+    resp.job
+}
+
+/// Query the status of all jobs.
+pub fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobStatus> {
+    let resp: QstatResp =
+        call(p, net, from, server, |token, reply| QstatReq { token, reply }, |r: &QstatResp| r.token);
+    resp.jobs
+}
+
+/// Cancel a job; true if the server knew it and acted.
+pub fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+    let resp: QdelResp =
+        call(p, net, from, server, |token, reply| QdelReq { token, job, reply }, |r: &QdelResp| r.token);
+    resp.ok
+}
+
+/// Hold a queued job (`qhold`): the scheduler skips it until released.
+pub fn qhold(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+    let resp: QholdResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| QholdReq { token, job, hold: true, reply },
+        |r: &QholdResp| r.token,
+    );
+    resp.ok
+}
+
+/// Release a held job back into the queue (`qrls`).
+pub fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+    let resp: QholdResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| QholdReq { token, job, hold: false, reply },
+        |r: &QholdResp| r.token,
+    );
+    resp.ok
+}
+
+/// Request `count` additional network-attached accelerators for a running
+/// job. Blocks until the batch system grants or rejects (the paper's
+/// `pbs_dynget`). On rejection the application simply continues with its
+/// current allocation.
+pub fn pbs_dynget(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    job: JobId,
+    cn: HostId,
+    count: u32,
+) -> Result<DynGrant, DynReject> {
+    pbs_dynget_range(p, net, from, server, job, cn, count, count)
+}
+
+/// Dynamically request `count` additional **compute nodes** with `ppn`
+/// cores each — the malleable-job generalisation the paper sketches in
+/// §V (Cera et al.'s dynamic MPI). Same serial servicing and scheduling
+/// path as accelerator requests.
+#[allow(clippy::too_many_arguments)]
+pub fn pbs_dynget_nodes(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    job: JobId,
+    cn: HostId,
+    count: u32,
+    ppn: u32,
+) -> Result<DynGrant, DynReject> {
+    let resp: DynGetResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| DynGetReq {
+            token,
+            job,
+            cn,
+            count,
+            min_count: count,
+            kind: DynResource::ComputeNodes { ppn },
+            reply,
+        },
+        |r: &DynGetResp| r.token,
+    );
+    resp.result
+}
+
+/// Like [`pbs_dynget`] but accepting any grant of at least `min_count`
+/// accelerators (the partial-grant policy the paper lists as future
+/// work, §VI). The scheduler grants `min(count, free)` when at least
+/// `min_count` are free, and rejects otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn pbs_dynget_range(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    job: JobId,
+    cn: HostId,
+    count: u32,
+    min_count: u32,
+) -> Result<DynGrant, DynReject> {
+    let resp: DynGetResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| DynGetReq {
+            token,
+            job,
+            cn,
+            count,
+            min_count,
+            kind: DynResource::Accelerators,
+            reply,
+        },
+        |r: &DynGetResp| r.token,
+    );
+    resp.result
+}
+
+/// Release a dynamically allocated accelerator set (the paper's
+/// `pbs_dynfree`). Returns as soon as the server accepts; the
+/// disassociation continues in the background.
+pub fn pbs_dynfree(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    job: JobId,
+    client_id: ClientId,
+) -> bool {
+    let resp: DynFreeResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| DynFreeReq { token, job, client_id, reply },
+        |r: &DynFreeResp| r.token,
+    );
+    resp.ok
+}

@@ -1,0 +1,61 @@
+//! # darms-rms — a TORQUE-like resource management system
+//!
+//! The substrate half of the paper's contribution: a batch-system resource
+//! manager with a head-node server ([`PbsServer`]) and per-host moms
+//! ([`PbsMom`]), extended exactly as §III describes:
+//!
+//! - the `acpn` job attribute requesting network-attached accelerators;
+//! - `pbs_dynget` / `pbs_dynfree` IFL calls for runtime (de)allocation;
+//! - a `dynqueued` job state and *serial* server-side servicing of
+//!   dynamic requests (the behaviour behind Fig. 9);
+//! - `DYNJOIN_JOB` / `DISJOIN_JOB` mom protocols for dynamic
+//!   (dis)association of hosts with a running job, including database
+//!   updates at the existing sister moms;
+//! - mother-superior-driven accelerator daemon startup via the
+//!   [`AcDaemonStarter`] hook (implemented by `darms-dac`), keeping the
+//!   RMS accelerator-architecture agnostic.
+//!
+//! The scheduler (Maui analogue) lives in `darms-sched` and talks to the
+//! server through the messages in [`proto`].
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fs;
+pub mod ifl;
+pub mod job;
+pub mod mom;
+pub mod monitor;
+pub mod nodes;
+pub mod proto;
+pub mod server;
+
+pub use cost::RmsCostModel;
+pub use fs::PseudoFs;
+pub use job::{script, ClientId, DynSet, JobId, JobScript, JobSpec, JobState, JobStatus};
+pub use mom::{AcDaemonStarter, JobCtx, PbsMom, StaticDaemonRequest};
+pub use monitor::{HealthMonitor, MonitorConfig};
+pub use nodes::{NodeDb, NodeRecord, NodeRole};
+pub use server::PbsServer;
+
+use darms_net::{ports, Address, HostId};
+
+/// The server's well-known address on the head node.
+pub fn server_addr(head: HostId) -> Address {
+    Address::new(head, ports::PBS_SERVER)
+}
+
+/// A mom's well-known address on its host.
+pub fn mom_addr(host: HostId) -> Address {
+    Address::new(host, ports::PBS_MOM)
+}
+
+/// The scheduler's well-known address on the head node.
+pub fn sched_addr(head: HostId) -> Address {
+    Address::new(head, ports::SCHEDULER)
+}
+
+/// The health monitor's well-known address on the head node.
+pub fn monitor_addr(head: HostId) -> Address {
+    Address::new(head, ports::MONITOR)
+}

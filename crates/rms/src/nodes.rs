@@ -1,0 +1,290 @@
+//! The server's node database: compute nodes with core counts and
+//! exclusively-allocated accelerator nodes, with allocation bookkeeping.
+
+use std::collections::HashMap;
+
+use darms_net::HostId;
+
+use crate::job::JobId;
+
+/// Role of a node in the database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeRole {
+    /// Compute node with a number of cores; multiple jobs may share it if
+    /// cores remain.
+    Compute,
+    /// Network-attached accelerator; allocated exclusively to one job at
+    /// a time (the ARM pool of the DAC architecture).
+    Accelerator,
+}
+
+/// One node's record.
+#[derive(Clone, Debug)]
+pub struct NodeRecord {
+    /// The host backing this node.
+    pub host: HostId,
+    /// Role.
+    pub role: NodeRole,
+    /// Total cores (1 for accelerators).
+    pub cores_total: u32,
+    /// Currently unallocated cores.
+    pub cores_free: u32,
+    /// Jobs holding cores here, with counts.
+    pub jobs: HashMap<JobId, u32>,
+    /// Administratively offline (fault injection / maintenance).
+    pub offline: bool,
+}
+
+impl NodeRecord {
+    /// True if nothing is allocated here.
+    pub fn is_free(&self) -> bool {
+        self.cores_free == self.cores_total && !self.offline
+    }
+}
+
+/// In-memory node database.
+#[derive(Clone, Debug, Default)]
+pub struct NodeDb {
+    nodes: Vec<NodeRecord>,
+    by_host: HashMap<HostId, usize>,
+}
+
+impl NodeDb {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a compute node with `cores` cores.
+    pub fn add_compute(&mut self, host: HostId, cores: u32) {
+        self.add(host, NodeRole::Compute, cores.max(1));
+    }
+
+    /// Register an accelerator node.
+    pub fn add_accelerator(&mut self, host: HostId) {
+        self.add(host, NodeRole::Accelerator, 1);
+    }
+
+    fn add(&mut self, host: HostId, role: NodeRole, cores: u32) {
+        assert!(
+            !self.by_host.contains_key(&host),
+            "host {host:?} registered twice in the node database"
+        );
+        self.by_host.insert(host, self.nodes.len());
+        self.nodes.push(NodeRecord {
+            host,
+            role,
+            cores_total: cores,
+            cores_free: cores,
+            jobs: HashMap::new(),
+            offline: false,
+        });
+    }
+
+    /// All node records.
+    pub fn nodes(&self) -> &[NodeRecord] {
+        &self.nodes
+    }
+
+    /// Record for one host.
+    pub fn get(&self, host: HostId) -> Option<&NodeRecord> {
+        self.by_host.get(&host).map(|&i| &self.nodes[i])
+    }
+
+    fn get_mut(&mut self, host: HostId) -> Option<&mut NodeRecord> {
+        let i = *self.by_host.get(&host)?;
+        Some(&mut self.nodes[i])
+    }
+
+    /// Take or release a node administratively.
+    pub fn set_offline(&mut self, host: HostId, offline: bool) {
+        if let Some(n) = self.get_mut(host) {
+            n.offline = offline;
+        }
+    }
+
+    /// Compute hosts with at least `ppn` free cores, in registration order.
+    pub fn free_compute(&self, ppn: u32) -> Vec<HostId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Compute && !n.offline && n.cores_free >= ppn)
+            .map(|n| n.host)
+            .collect()
+    }
+
+    /// Fully free accelerator hosts, in registration order.
+    pub fn free_accelerators(&self) -> Vec<HostId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Accelerator && n.is_free())
+            .map(|n| n.host)
+            .collect()
+    }
+
+    /// Allocate `ppn` cores on a compute node to a job. Panics if the
+    /// node cannot satisfy it — the scheduler must only hand out feasible
+    /// allocations (this invariant is property-tested).
+    pub fn allocate_compute(&mut self, host: HostId, job: JobId, ppn: u32) {
+        let n = self.get_mut(host).expect("allocating unknown host");
+        assert_eq!(n.role, NodeRole::Compute, "allocate_compute on an accelerator");
+        assert!(!n.offline, "allocate on offline node");
+        assert!(n.cores_free >= ppn, "over-allocation of {host:?}");
+        n.cores_free -= ppn;
+        *n.jobs.entry(job).or_insert(0) += ppn;
+    }
+
+    /// Allocate an accelerator node exclusively to a job.
+    pub fn allocate_accelerator(&mut self, host: HostId, job: JobId) {
+        let n = self.get_mut(host).expect("allocating unknown host");
+        assert_eq!(n.role, NodeRole::Accelerator, "allocate_accelerator on a compute node");
+        assert!(n.is_free(), "accelerator {host:?} double-allocated");
+        n.cores_free = 0;
+        n.jobs.insert(job, 1);
+    }
+
+    /// Release everything `job` holds on `host`.
+    pub fn release(&mut self, host: HostId, job: JobId) {
+        let n = self.get_mut(host).expect("releasing unknown host");
+        if let Some(held) = n.jobs.remove(&job) {
+            match n.role {
+                NodeRole::Compute => n.cores_free += held,
+                NodeRole::Accelerator => n.cores_free = n.cores_total,
+            }
+            debug_assert!(n.cores_free <= n.cores_total, "release overflow on {host:?}");
+        }
+    }
+
+    /// Release everything `job` holds anywhere.
+    pub fn release_job(&mut self, job: JobId) {
+        let hosts: Vec<HostId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.jobs.contains_key(&job))
+            .map(|n| n.host)
+            .collect();
+        for h in hosts {
+            self.release(h, job);
+        }
+    }
+
+    /// Total free / total cores over compute nodes (utilisation metrics).
+    pub fn compute_core_usage(&self) -> (u32, u32) {
+        let mut free = 0;
+        let mut total = 0;
+        for n in &self.nodes {
+            if n.role == NodeRole::Compute {
+                free += n.cores_free;
+                total += n.cores_total;
+            }
+        }
+        (free, total)
+    }
+
+    /// (free, total) accelerator node counts.
+    pub fn accelerator_usage(&self) -> (usize, usize) {
+        let mut free = 0;
+        let mut total = 0;
+        for n in &self.nodes {
+            if n.role == NodeRole::Accelerator {
+                total += 1;
+                if n.is_free() {
+                    free += 1;
+                }
+            }
+        }
+        (free, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::from_raw(i)
+    }
+
+    fn db() -> NodeDb {
+        let mut db = NodeDb::new();
+        db.add_compute(h(0), 8);
+        db.add_compute(h(1), 8);
+        db.add_accelerator(h(2));
+        db.add_accelerator(h(3));
+        db
+    }
+
+    #[test]
+    fn free_lists_respect_roles() {
+        let db = db();
+        assert_eq!(db.free_compute(1), vec![h(0), h(1)]);
+        assert_eq!(db.free_accelerators(), vec![h(2), h(3)]);
+    }
+
+    #[test]
+    fn compute_allocation_shares_cores() {
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 6);
+        assert_eq!(db.free_compute(4), vec![h(1)]);
+        assert_eq!(db.free_compute(2), vec![h(0), h(1)]);
+        db.allocate_compute(h(0), JobId(2), 2);
+        assert_eq!(db.free_compute(1), vec![h(1)]);
+        db.release(h(0), JobId(1));
+        assert_eq!(db.free_compute(6), vec![h(0), h(1)]);
+    }
+
+    #[test]
+    fn accelerator_allocation_is_exclusive() {
+        let mut db = db();
+        db.allocate_accelerator(h(2), JobId(1));
+        assert_eq!(db.free_accelerators(), vec![h(3)]);
+        db.release(h(2), JobId(1));
+        assert_eq!(db.free_accelerators(), vec![h(2), h(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-allocated")]
+    fn double_accelerator_allocation_panics() {
+        let mut db = db();
+        db.allocate_accelerator(h(2), JobId(1));
+        db.allocate_accelerator(h(2), JobId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-allocation")]
+    fn core_overallocation_panics() {
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 8);
+        db.allocate_compute(h(0), JobId(2), 1);
+    }
+
+    #[test]
+    fn release_job_clears_everywhere() {
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 2);
+        db.allocate_compute(h(1), JobId(1), 2);
+        db.allocate_accelerator(h(2), JobId(1));
+        db.release_job(JobId(1));
+        assert_eq!(db.compute_core_usage(), (16, 16));
+        assert_eq!(db.accelerator_usage(), (2, 2));
+    }
+
+    #[test]
+    fn offline_nodes_are_hidden() {
+        let mut db = db();
+        db.set_offline(h(1), true);
+        db.set_offline(h(3), true);
+        assert_eq!(db.free_compute(1), vec![h(0)]);
+        assert_eq!(db.free_accelerators(), vec![h(2)]);
+        db.set_offline(h(1), false);
+        assert_eq!(db.free_compute(1), vec![h(0), h(1)]);
+    }
+
+    #[test]
+    fn usage_counters() {
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 3);
+        db.allocate_accelerator(h(2), JobId(1));
+        assert_eq!(db.compute_core_usage(), (13, 16));
+        assert_eq!(db.accelerator_usage(), (1, 2));
+    }
+}

@@ -1,0 +1,508 @@
+//! Wire protocol of the batch system: client ⇄ server (IFL), server ⇄
+//! scheduler, and server ⇄ mom traffic, including the paper's extensions
+//! (`pbs_dynget`/`pbs_dynfree`, `DYNJOIN_JOB`, `DISJOIN_JOB`).
+
+use darms_net::{Address, HostId};
+use darms_sim::{SimDuration, SimTime};
+
+use crate::job::{ClientId, DynSet, JobId, JobSpec, JobStatus};
+use crate::nodes::NodeRole;
+
+// ---------------------------------------------------------------------
+// Client (IFL) -> server
+// ---------------------------------------------------------------------
+
+/// `qsub`: submit a job.
+pub struct QsubReq {
+    /// Correlation token chosen by the client.
+    pub token: u64,
+    /// The job specification.
+    pub spec: JobSpec,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Response to [`QsubReq`].
+pub struct QsubResp {
+    /// Echoed token.
+    pub token: u64,
+    /// The assigned job id.
+    pub job: JobId,
+}
+
+/// `qstat`: query all job statuses.
+pub struct QstatReq {
+    /// Correlation token.
+    pub token: u64,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Response to [`QstatReq`].
+pub struct QstatResp {
+    /// Echoed token.
+    pub token: u64,
+    /// Status of every known job.
+    pub jobs: Vec<JobStatus>,
+}
+
+/// `qhold` / `qrls`: hold a queued job (hide it from the scheduler) or
+/// release a held one back into the queue.
+pub struct QholdReq {
+    /// Correlation token.
+    pub token: u64,
+    /// The job to hold or release.
+    pub job: JobId,
+    /// True = hold, false = release.
+    pub hold: bool,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Response to [`QholdReq`].
+pub struct QholdResp {
+    /// Echoed token.
+    pub token: u64,
+    /// False if the job was unknown or not in a holdable/releasable state.
+    pub ok: bool,
+}
+
+/// `qdel`: cancel a job.
+pub struct QdelReq {
+    /// Correlation token.
+    pub token: u64,
+    /// Job to cancel.
+    pub job: JobId,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Response to [`QdelReq`].
+pub struct QdelResp {
+    /// Echoed token.
+    pub token: u64,
+    /// False if the job was unknown or already complete.
+    pub ok: bool,
+}
+
+/// Which resource a dynamic request asks for. The paper's mechanism is
+/// accelerator-specific; `ComputeNodes` generalises it to malleable jobs
+/// ("with little extensions ... any malleable application could be
+/// supported", §V) using the same DYNJOIN/DISJOIN machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DynResource {
+    /// Network-attached accelerators (the paper's case).
+    Accelerators,
+    /// Whole compute-node core slices for malleable applications.
+    ComputeNodes {
+        /// Cores per granted node.
+        ppn: u32,
+    },
+}
+
+/// `pbs_dynget`: request `count` additional accelerators for a running
+/// job (the paper's IFL extension, §III-B). Blocks the caller until the
+/// server responds.
+pub struct DynGetReq {
+    /// Correlation token.
+    pub token: u64,
+    /// The requesting job.
+    pub job: JobId,
+    /// The compute node issuing the request.
+    pub cn: HostId,
+    /// Number of accelerators requested.
+    pub count: u32,
+    /// Smallest acceptable grant (== `count` for the paper's strict
+    /// all-or-nothing semantics; smaller values enable the partial-grant
+    /// policy the paper names as future work, §VI).
+    pub min_count: u32,
+    /// Resource kind requested.
+    pub kind: DynResource,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Why a dynamic request failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DynReject {
+    /// Not enough free accelerators; the application continues with its
+    /// current set (the paper's immediate-reject semantics, §III-E).
+    Unavailable,
+    /// The job is unknown or not running.
+    BadJob,
+}
+
+/// Successful dynamic allocation.
+#[derive(Clone, Debug)]
+pub struct DynGrant {
+    /// Handle identifying this accelerator set for later release.
+    pub client_id: ClientId,
+    /// The granted accelerator hosts.
+    pub accs: Vec<HostId>,
+}
+
+/// Response to [`DynGetReq`].
+pub struct DynGetResp {
+    /// Echoed token.
+    pub token: u64,
+    /// The grant, or the rejection reason.
+    pub result: Result<DynGrant, DynReject>,
+}
+
+/// `pbs_dynfree`: release a dynamically allocated set.
+pub struct DynFreeReq {
+    /// Correlation token.
+    pub token: u64,
+    /// The owning job.
+    pub job: JobId,
+    /// The set to release.
+    pub client_id: ClientId,
+    /// Where to deliver the response.
+    pub reply: Address,
+}
+
+/// Response to [`DynFreeReq`]. Positive as soon as the server accepts the
+/// release; disassociation continues in the background (§III-D).
+pub struct DynFreeResp {
+    /// Echoed token.
+    pub token: u64,
+    /// False if the job/set was unknown.
+    pub ok: bool,
+}
+
+// ---------------------------------------------------------------------
+// Server <-> scheduler
+// ---------------------------------------------------------------------
+
+/// Server -> scheduler: the queue or resource state changed.
+pub struct SchedWake;
+
+/// Scheduler -> server: request a cluster snapshot.
+pub struct ClusterQueryReq {
+    /// Correlation token.
+    pub token: u64,
+    /// Where to deliver the snapshot.
+    pub reply: Address,
+}
+
+/// One node as seen by the scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeSnap {
+    /// Host.
+    pub host: HostId,
+    /// Role.
+    pub role: NodeRole,
+    /// Total cores.
+    pub cores_total: u32,
+    /// Free cores.
+    pub cores_free: u32,
+    /// Offline flag.
+    pub offline: bool,
+}
+
+/// One queued job as seen by the scheduler.
+#[derive(Clone, Debug)]
+pub struct QueuedJobSnap {
+    /// Job id.
+    pub job: JobId,
+    /// Owner (fairshare key).
+    pub owner: String,
+    /// Submission time (queue-time priority).
+    pub submitted: SimTime,
+    /// Compute nodes requested.
+    pub nodes: usize,
+    /// Cores per node requested.
+    pub ppn: u32,
+    /// Accelerators per node requested.
+    pub acpn: u32,
+    /// Walltime estimate (backfill).
+    pub walltime_estimate: SimDuration,
+}
+
+/// One running job as seen by the scheduler (fairshare and backfill).
+#[derive(Clone, Debug)]
+pub struct RunningJobSnap {
+    /// Job id.
+    pub job: JobId,
+    /// Owner.
+    pub owner: String,
+    /// Start time.
+    pub started: SimTime,
+    /// Walltime estimate.
+    pub walltime_estimate: SimDuration,
+    /// Compute hosts held.
+    pub compute_hosts: Vec<HostId>,
+    /// Cores per node held.
+    pub ppn: u32,
+    /// Accelerator hosts held (static and dynamic), for backfill shadow
+    /// computation.
+    pub acc_hosts: Vec<HostId>,
+}
+
+/// The (single) dynamic request currently exposed to the scheduler. The
+/// server services dynamic requests serially (the effect measured in the
+/// paper's Fig. 9), so at most one is visible at a time.
+#[derive(Clone, Debug)]
+pub struct DynPendingSnap {
+    /// Server-side token identifying this request.
+    pub token: u64,
+    /// The requesting job.
+    pub job: JobId,
+    /// The compute node that asked.
+    pub cn: HostId,
+    /// Accelerators requested.
+    pub count: u32,
+    /// Smallest acceptable grant.
+    pub min_count: u32,
+    /// Resource kind requested.
+    pub kind: DynResource,
+    /// When the request entered the dynqueued state.
+    pub queued_at: SimTime,
+}
+
+/// Snapshot of everything the scheduler needs for one iteration.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterSnapshot {
+    /// Node states.
+    pub nodes: Vec<NodeSnap>,
+    /// Jobs waiting for initial allocation, submission order.
+    pub queued: Vec<QueuedJobSnap>,
+    /// Running jobs.
+    pub running: Vec<RunningJobSnap>,
+    /// The dynamic request awaiting scheduling, if any.
+    pub dyn_pending: Option<DynPendingSnap>,
+}
+
+impl ClusterSnapshot {
+    /// Blank snapshot (used by `Default` scheduler tests).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Response to [`ClusterQueryReq`].
+pub struct ClusterQueryResp {
+    /// Echoed token.
+    pub token: u64,
+    /// The snapshot.
+    pub snapshot: ClusterSnapshot,
+}
+
+/// Scheduler -> server: start a queued job on these resources.
+pub struct RunJobCmd {
+    /// The job to start.
+    pub job: JobId,
+    /// Compute hosts, one per requested node; index 0 becomes the mother
+    /// superior.
+    pub compute: Vec<HostId>,
+    /// Static accelerators, one set per compute host (same indexing).
+    pub accs: Vec<Vec<HostId>>,
+}
+
+/// Scheduler -> server: satisfy the exposed dynamic request.
+pub struct RunDynCmd {
+    /// Echo of [`DynPendingSnap::token`].
+    pub token: u64,
+    /// Granted accelerator hosts.
+    pub accs: Vec<HostId>,
+}
+
+/// Scheduler -> server: reject the exposed dynamic request.
+pub struct RejectDynCmd {
+    /// Echo of [`DynPendingSnap::token`].
+    pub token: u64,
+}
+
+// ---------------------------------------------------------------------
+// Server <-> mom
+// ---------------------------------------------------------------------
+
+/// Everything a mom needs to run (its part of) a job.
+#[derive(Clone)]
+pub struct JobLaunch {
+    /// Job id.
+    pub job: JobId,
+    /// The spec (script, runtime, owner...).
+    pub spec: JobSpec,
+    /// Compute hosts; index 0 is the mother superior.
+    pub compute: Vec<HostId>,
+    /// Static accelerator hosts per compute node.
+    pub accs: Vec<Vec<HostId>>,
+}
+
+/// Server -> mother superior: run this job.
+pub struct SendJob {
+    /// Launch information.
+    pub launch: JobLaunch,
+}
+
+/// Mother superior -> sister mom: `JOIN_JOB`.
+pub struct JoinJob {
+    /// Launch information (sisters keep the full picture, as in TORQUE).
+    pub launch: JobLaunch,
+    /// Where to acknowledge.
+    pub reply: Address,
+}
+
+/// Sister -> mother superior: join complete.
+pub struct JoinAck {
+    /// The joined job.
+    pub job: JobId,
+    /// The acknowledging host.
+    pub host: HostId,
+}
+
+/// Mother superior -> server: job script started.
+pub struct JobStarted {
+    /// The job.
+    pub job: JobId,
+}
+
+/// Server -> mother superior: associate dynamically allocated
+/// accelerators with the job (triggers `DYNJOIN_JOB`s).
+pub struct DynJoinCmd {
+    /// The job.
+    pub job: JobId,
+    /// Server token of the dynamic request (echoed in [`DynReady`]).
+    pub token: u64,
+    /// The set handle.
+    pub client_id: ClientId,
+    /// The requesting compute node.
+    pub cn: HostId,
+    /// The new accelerator hosts.
+    pub accs: Vec<HostId>,
+}
+
+/// Mother superior -> new accelerator mom: `DYNJOIN_JOB`.
+pub struct DynJoinJob {
+    /// The job.
+    pub job: JobId,
+    /// Full launch info (so late joiners know the job).
+    pub launch: JobLaunch,
+    /// Where to acknowledge.
+    pub reply: Address,
+}
+
+/// New mom -> mother superior: dynamic join complete.
+pub struct DynJoinAck {
+    /// The job.
+    pub job: JobId,
+    /// The acknowledging host.
+    pub host: HostId,
+}
+
+/// Mother superior -> existing sisters: the job's resource set changed
+/// (additions or removals); keep your database current (§III-D).
+pub struct UpdateJobRes {
+    /// The job.
+    pub job: JobId,
+    /// Hosts added to the job.
+    pub added: Vec<HostId>,
+    /// Hosts removed from the job.
+    pub removed: Vec<HostId>,
+}
+
+/// Mother superior -> server: the dynamic set has joined; the client can
+/// be answered.
+pub struct DynReady {
+    /// The job.
+    pub job: JobId,
+    /// Echo of [`DynJoinCmd::token`].
+    pub token: u64,
+}
+
+/// Server -> mother superior: disassociate a dynamic set
+/// (triggers `DISJOIN_JOB`s).
+pub struct DisjoinCmd {
+    /// The job.
+    pub job: JobId,
+    /// The set being released.
+    pub client_id: ClientId,
+    /// The hosts to disassociate.
+    pub accs: Vec<HostId>,
+    /// Cores held per host (0 = exclusive accelerator node).
+    pub ppn: u32,
+}
+
+/// Mother superior -> released mom: `DISJOIN_JOB`.
+pub struct DisjoinJob {
+    /// The job.
+    pub job: JobId,
+    /// Where to acknowledge.
+    pub reply: Address,
+}
+
+/// Released mom -> mother superior: disassociation complete (local tasks
+/// killed, resources free).
+pub struct DisjoinAck {
+    /// The job.
+    pub job: JobId,
+    /// The acknowledging host.
+    pub host: HostId,
+}
+
+/// Mother superior -> server: a dynamic set has been fully released.
+pub struct FreeDone {
+    /// The job.
+    pub job: JobId,
+    /// The released set (server frees its nodes now).
+    pub set: DynSet,
+}
+
+/// Application task -> mother superior: this compute node's part of the
+/// script finished.
+pub struct TaskDone {
+    /// The job.
+    pub job: JobId,
+    /// Which compute node finished (index into `compute`).
+    pub node_index: usize,
+}
+
+/// Mother superior -> server: the whole job script finished.
+pub struct JobExit {
+    /// The job.
+    pub job: JobId,
+    /// True if the batch system killed the job for exceeding its
+    /// walltime estimate (TORQUE's walltime enforcement).
+    pub timed_out: bool,
+}
+
+/// Server/mother superior -> mom: tear the job down (job end or qdel).
+pub struct CleanupJob {
+    /// The job.
+    pub job: JobId,
+}
+
+/// Mom -> application task process: the job was cancelled; finish up.
+/// Delivery is cooperative — tasks observe it via
+/// [`JobCtx::killed`](crate::mom::JobCtx::killed) or
+/// [`JobCtx::sleep_interruptible`](crate::mom::JobCtx::sleep_interruptible).
+pub struct TaskKill {
+    /// The cancelled job.
+    pub job: JobId,
+}
+
+/// Admin / health monitor -> server: mark a node offline (failed or
+/// drained) or back online. Offline nodes are hidden from the scheduler.
+pub struct SetNodeOffline {
+    /// The node.
+    pub host: HostId,
+    /// True = offline.
+    pub offline: bool,
+}
+
+/// Health monitor -> mom: liveness probe.
+pub struct MomPing {
+    /// Probe sequence number.
+    pub seq: u64,
+    /// Where to reply.
+    pub reply: Address,
+}
+
+/// Mom -> health monitor: liveness reply.
+pub struct MomPong {
+    /// Echoed sequence number.
+    pub seq: u64,
+    /// The replying host.
+    pub host: HostId,
+}

@@ -1,0 +1,697 @@
+//! The `pbs_server` actor: job intake, node accounting, scheduler
+//! liaison, and the paper's serial dynamic-request servicing.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use darms_net::{Address, HostId, Network};
+use darms_sim::{Actor, Ctx, Envelope, SimTime};
+
+use crate::cost::RmsCostModel;
+use crate::fs::PseudoFs;
+use crate::job::{ClientId, DynSet, JobId, JobSpec, JobState, JobStatus};
+use crate::nodes::{NodeDb, NodeRole};
+use crate::proto::*;
+use crate::{mom_addr, sched_addr};
+
+/// Internal job record.
+struct JobRecord {
+    id: JobId,
+    spec: JobSpec,
+    state: JobState,
+    submitted: SimTime,
+    started: Option<SimTime>,
+    completed: Option<SimTime>,
+    compute: Vec<HostId>,
+    accs: Vec<Vec<HostId>>,
+    dyn_sets: Vec<DynSet>,
+}
+
+impl JobRecord {
+    fn status(&self) -> JobStatus {
+        JobStatus {
+            id: self.id,
+            name: self.spec.name.clone(),
+            owner: self.spec.owner.clone(),
+            state: self.state,
+            submitted: self.submitted,
+            started: self.started,
+            completed: self.completed,
+            compute_hosts: self.compute.clone(),
+            static_accs: self.accs.clone(),
+            dyn_sets: self.dyn_sets.clone(),
+        }
+    }
+}
+
+/// A dynamic request waiting at (or being serviced by) the server.
+struct PendingDyn {
+    /// Server-side token (echoed by the scheduler).
+    token: u64,
+    job: JobId,
+    cn: HostId,
+    count: u32,
+    min_count: u32,
+    kind: DynResource,
+    /// Client correlation token + endpoint for the final response.
+    client_token: u64,
+    reply: Address,
+    /// Set once the request is exposed to the scheduler.
+    queued_at: Option<SimTime>,
+    /// Granted hosts, filled when the scheduler allocates.
+    granted: Vec<HostId>,
+    client_id: Option<ClientId>,
+}
+
+/// Deferred actions driven by processing-cost timers.
+enum Deferred {
+    QsubDone { token: u64, spec: JobSpec, reply: Address },
+    RunJobDo { cmd: RunJobCmd },
+    DynExpose,
+    DynGrantDo,
+    DynFreeDo { job: JobId, client_id: ClientId, token: u64, reply: Address },
+}
+
+/// The `pbs_server` daemon.
+pub struct PbsServer {
+    net: Network,
+    fs: PseudoFs,
+    host: HostId,
+    cost: RmsCostModel,
+    jobs: BTreeMap<JobId, JobRecord>,
+    queue_order: Vec<JobId>,
+    db: NodeDb,
+    next_job: u64,
+    next_client: u64,
+    next_dyn_token: u64,
+    /// Requests waiting behind the active one (global FIFO — the server
+    /// services dynamic requests serially; see Fig. 9).
+    dyn_fifo: VecDeque<PendingDyn>,
+    /// The request currently being serviced, if any.
+    dyn_active: Option<PendingDyn>,
+    deferred: HashMap<u64, Deferred>,
+    next_timer: u64,
+}
+
+impl PbsServer {
+    /// Create a server on `host` managing the given nodes.
+    pub fn new(net: Network, fs: PseudoFs, host: HostId, cost: RmsCostModel, db: NodeDb) -> Self {
+        PbsServer {
+            net,
+            fs,
+            host,
+            cost,
+            jobs: BTreeMap::new(),
+            queue_order: Vec::new(),
+            db,
+            next_job: 1,
+            next_client: 1,
+            next_dyn_token: 1,
+            dyn_fifo: VecDeque::new(),
+            dyn_active: None,
+            deferred: HashMap::new(),
+            next_timer: 1,
+        }
+    }
+
+    fn defer(&mut self, ctx: &mut Ctx<'_>, after: darms_sim::SimDuration, d: Deferred) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.deferred.insert(token, d);
+        ctx.set_timer(after, token);
+    }
+
+    fn wake_scheduler(&mut self, ctx: &mut Ctx<'_>) {
+        let to = sched_addr(self.host);
+        let bytes = self.cost.ctl_bytes;
+        self.net.send_from_ctx(ctx, self.host, to, SchedWake, bytes);
+    }
+
+    fn send_mom<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, host: HostId, msg: T) {
+        let bytes = self.cost.ctl_bytes;
+        self.net.send_from_ctx(ctx, self.host, mom_addr(host), msg, bytes);
+    }
+
+    fn reply<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
+        let bytes = self.cost.ctl_bytes;
+        self.net.send_from_ctx(ctx, self.host, to, msg, bytes);
+    }
+
+    // -- qsub ----------------------------------------------------------
+
+    fn handle_qsub(&mut self, ctx: &mut Ctx<'_>, req: QsubReq) {
+        self.defer(
+            ctx,
+            self.cost.qsub_handling,
+            Deferred::QsubDone { token: req.token, spec: req.spec, reply: req.reply },
+        );
+    }
+
+    fn finish_qsub(&mut self, ctx: &mut Ctx<'_>, token: u64, spec: JobSpec, reply: Address) {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let rec = JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            submitted: ctx.now(),
+            started: None,
+            completed: None,
+            compute: Vec::new(),
+            accs: Vec::new(),
+            dyn_sets: Vec::new(),
+        };
+        ctx.trace(format!("{id} queued ({})", rec.spec.name));
+        self.jobs.insert(id, rec);
+        self.queue_order.push(id);
+        self.reply(ctx, reply, QsubResp { token, job: id });
+        self.wake_scheduler(ctx);
+    }
+
+    // -- scheduler liaison ----------------------------------------------
+
+    fn snapshot(&self) -> ClusterSnapshot {
+        let nodes = self
+            .db
+            .nodes()
+            .iter()
+            .map(|n| NodeSnap {
+                host: n.host,
+                role: n.role,
+                cores_total: n.cores_total,
+                cores_free: n.cores_free,
+                offline: n.offline,
+            })
+            .collect();
+        let queued = self
+            .queue_order
+            .iter()
+            .filter_map(|id| self.jobs.get(id))
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| QueuedJobSnap {
+                job: j.id,
+                owner: j.spec.owner.clone(),
+                submitted: j.submitted,
+                nodes: j.spec.nodes,
+                ppn: j.spec.ppn,
+                acpn: j.spec.acpn,
+                walltime_estimate: j.spec.walltime_estimate,
+            })
+            .collect();
+        let running = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running | JobState::DynQueued))
+            .map(|j| RunningJobSnap {
+                job: j.id,
+                owner: j.spec.owner.clone(),
+                started: j.started.unwrap_or(j.submitted),
+                walltime_estimate: j.spec.walltime_estimate,
+                compute_hosts: j.compute.clone(),
+                ppn: j.spec.ppn,
+                acc_hosts: j
+                    .accs
+                    .iter()
+                    .flatten()
+                    .chain(j.dyn_sets.iter().flat_map(|s| s.accs.iter()))
+                    .copied()
+                    .collect(),
+            })
+            .collect();
+        let dyn_pending = self.dyn_active.as_ref().and_then(|p| {
+            p.queued_at.map(|t| DynPendingSnap {
+                token: p.token,
+                job: p.job,
+                cn: p.cn,
+                count: p.count,
+                min_count: p.min_count,
+                kind: p.kind,
+                queued_at: t,
+            })
+        });
+        ClusterSnapshot { nodes, queued, running, dyn_pending }
+    }
+
+    fn handle_run_job(&mut self, ctx: &mut Ctx<'_>, cmd: RunJobCmd) {
+        // Validate against the live state; the scheduler may have raced a
+        // qdel. Infeasible commands are dropped and the scheduler re-woken.
+        let feasible = match self.jobs.get(&cmd.job) {
+            Some(j) if j.state == JobState::Queued => {
+                cmd.compute.iter().all(|h| {
+                    self.db
+                        .get(*h)
+                        .is_some_and(|n| n.role == NodeRole::Compute && n.cores_free >= j.spec.ppn)
+                }) && cmd.accs.iter().flatten().all(|h| {
+                    self.db.get(*h).is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free())
+                })
+            }
+            _ => false,
+        };
+        if !feasible {
+            ctx.trace(format!("dropping infeasible RunJob for {}", cmd.job));
+            self.wake_scheduler(ctx);
+            return;
+        }
+        self.defer(ctx, self.cost.run_job_handling, Deferred::RunJobDo { cmd });
+    }
+
+    fn finish_run_job(&mut self, ctx: &mut Ctx<'_>, cmd: RunJobCmd) {
+        let Some(job) = self.jobs.get_mut(&cmd.job) else { return };
+        if job.state != JobState::Queued {
+            return;
+        }
+        let ppn = job.spec.ppn;
+        job.state = JobState::Running;
+        job.compute = cmd.compute.clone();
+        job.accs = cmd.accs.clone();
+        let id = job.id;
+        for h in &cmd.compute {
+            self.db.allocate_compute(*h, id, ppn);
+        }
+        for h in cmd.accs.iter().flatten() {
+            self.db.allocate_accelerator(*h, id);
+        }
+        self.queue_order.retain(|j| *j != id);
+        let ms = cmd.compute[0];
+        ctx.trace(format!("{id} -> mother superior on host{}", ms.index()));
+        let launch = JobLaunch {
+            job: id,
+            spec: self.jobs[&id].spec.clone(),
+            compute: cmd.compute,
+            accs: cmd.accs,
+        };
+        self.send_mom(ctx, ms, SendJob { launch });
+    }
+
+    // -- dynamic requests (the paper's extension) ------------------------
+
+    fn handle_dynget(&mut self, ctx: &mut Ctx<'_>, req: DynGetReq) {
+        let valid = self
+            .jobs
+            .get(&req.job)
+            .is_some_and(|j| matches!(j.state, JobState::Running | JobState::DynQueued));
+        if !valid || req.count == 0 {
+            let resp = DynGetResp { token: req.token, result: Err(DynReject::BadJob) };
+            self.reply(ctx, req.reply, resp);
+            return;
+        }
+        let token = self.next_dyn_token;
+        self.next_dyn_token += 1;
+        self.dyn_fifo.push_back(PendingDyn {
+            token,
+            job: req.job,
+            cn: req.cn,
+            count: req.count,
+            min_count: req.min_count.clamp(1, req.count),
+            kind: req.kind,
+            client_token: req.token,
+            reply: req.reply,
+            queued_at: None,
+            granted: Vec::new(),
+            client_id: None,
+        });
+        self.maybe_start_dyn(ctx);
+    }
+
+    /// Begin servicing the next dynamic request if none is active.
+    fn maybe_start_dyn(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dyn_active.is_some() {
+            return;
+        }
+        let Some(p) = self.dyn_fifo.pop_front() else { return };
+        ctx.trace(format!("servicing dynamic request of {} (count {})", p.job, p.count));
+        self.dyn_active = Some(p);
+        self.defer(ctx, self.cost.dyn_request_handling, Deferred::DynExpose);
+    }
+
+    fn expose_dyn(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        if let Some(p) = self.dyn_active.as_mut() {
+            p.queued_at = Some(now);
+            if let Some(job) = self.jobs.get_mut(&p.job) {
+                job.state = JobState::DynQueued;
+            }
+            self.wake_scheduler(ctx);
+        }
+    }
+
+    fn handle_run_dyn(&mut self, ctx: &mut Ctx<'_>, cmd: RunDynCmd) {
+        let valid = self
+            .dyn_active
+            .as_ref()
+            .is_some_and(|p| p.token == cmd.token && p.queued_at.is_some());
+        if !valid {
+            return; // stale command
+        }
+        // Validate the grant against the live node state.
+        let kind = self.dyn_active.as_ref().expect("checked above").kind;
+        let ok = cmd.accs.iter().all(|h| match kind {
+            DynResource::Accelerators => self
+                .db
+                .get(*h)
+                .is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free()),
+            DynResource::ComputeNodes { ppn } => self
+                .db
+                .get(*h)
+                .is_some_and(|n| n.role == NodeRole::Compute && !n.offline && n.cores_free >= ppn),
+        });
+        let p = self.dyn_active.as_mut().expect("checked above");
+        let n = cmd.accs.len();
+        if !ok || n < p.min_count as usize || n > p.count as usize {
+            ctx.trace(format!("dropping infeasible dyn grant for {}", p.job));
+            let p = self.dyn_active.take().expect("active");
+            self.finish_dyn_reject(ctx, p);
+            return;
+        }
+        p.granted = cmd.accs;
+        let client_id = ClientId(self.next_client);
+        self.next_client += 1;
+        let p = self.dyn_active.as_mut().expect("active");
+        p.client_id = Some(client_id);
+        let job = p.job;
+        let kind = p.kind;
+        let granted = p.granted.clone();
+        for h in &granted {
+            match kind {
+                DynResource::Accelerators => self.db.allocate_accelerator(*h, job),
+                DynResource::ComputeNodes { ppn } => self.db.allocate_compute(*h, job, ppn),
+            }
+        }
+        self.defer(ctx, self.cost.dyn_grant_handling, Deferred::DynGrantDo);
+    }
+
+    fn finish_dyn_grant(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(p) = self.dyn_active.as_ref() else { return };
+        let Some(job) = self.jobs.get(&p.job) else { return };
+        let ms = job.compute.first().copied();
+        let cmd = DynJoinCmd {
+            job: p.job,
+            token: p.token,
+            client_id: p.client_id.expect("granted"),
+            cn: p.cn,
+            accs: p.granted.clone(),
+        };
+        match ms {
+            Some(ms) => self.send_mom(ctx, ms, cmd),
+            None => {
+                // Job lost its nodes (qdel race): abort the grant.
+                let p = self.dyn_active.take().expect("active");
+                for h in &p.granted {
+                    self.db.release(*h, p.job);
+                }
+                self.finish_dyn_reject(ctx, p);
+            }
+        }
+    }
+
+    fn handle_dyn_ready(&mut self, ctx: &mut Ctx<'_>, msg: DynReady) {
+        let done = self
+            .dyn_active
+            .as_ref()
+            .is_some_and(|p| p.token == msg.token && p.job == msg.job);
+        if !done {
+            return;
+        }
+        let p = self.dyn_active.take().expect("checked");
+        if let Some(job) = self.jobs.get_mut(&p.job) {
+            job.state = JobState::Running;
+            job.dyn_sets.push(DynSet {
+                client_id: p.client_id.expect("granted"),
+                cn: p.cn,
+                accs: p.granted.clone(),
+                ppn: match p.kind {
+                    DynResource::Accelerators => 0,
+                    DynResource::ComputeNodes { ppn } => ppn,
+                },
+            });
+        }
+        ctx.trace(format!(
+            "{} granted {} accelerator(s) as {}",
+            p.job,
+            p.granted.len(),
+            p.client_id.expect("granted")
+        ));
+        let resp = DynGetResp {
+            token: p.client_token,
+            result: Ok(DynGrant { client_id: p.client_id.expect("granted"), accs: p.granted.clone() }),
+        };
+        self.reply(ctx, p.reply, resp);
+        self.maybe_start_dyn(ctx);
+    }
+
+    fn handle_reject_dyn(&mut self, ctx: &mut Ctx<'_>, cmd: RejectDynCmd) {
+        let matched = self.dyn_active.as_ref().is_some_and(|p| p.token == cmd.token);
+        if !matched {
+            return;
+        }
+        let p = self.dyn_active.take().expect("checked");
+        self.finish_dyn_reject(ctx, p);
+    }
+
+    fn finish_dyn_reject(&mut self, ctx: &mut Ctx<'_>, p: PendingDyn) {
+        if let Some(job) = self.jobs.get_mut(&p.job) {
+            if job.state == JobState::DynQueued {
+                job.state = JobState::Running;
+            }
+        }
+        ctx.trace(format!("{} dynamic request rejected", p.job));
+        let resp =
+            DynGetResp { token: p.client_token, result: Err(DynReject::Unavailable) };
+        self.reply(ctx, p.reply, resp);
+        self.maybe_start_dyn(ctx);
+    }
+
+    // -- release ---------------------------------------------------------
+
+    fn handle_dynfree(&mut self, ctx: &mut Ctx<'_>, req: DynFreeReq) {
+        let known = self
+            .jobs
+            .get(&req.job)
+            .is_some_and(|j| j.dyn_sets.iter().any(|s| s.client_id == req.client_id));
+        if !known {
+            self.reply(ctx, req.reply, DynFreeResp { token: req.token, ok: false });
+            return;
+        }
+        self.defer(
+            ctx,
+            self.cost.dyn_free_handling,
+            Deferred::DynFreeDo {
+                job: req.job,
+                client_id: req.client_id,
+                token: req.token,
+                reply: req.reply,
+            },
+        );
+    }
+
+    fn finish_dynfree(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: JobId,
+        client_id: ClientId,
+        token: u64,
+        reply: Address,
+    ) {
+        // Positive reply immediately; disassociation continues behind the
+        // application's back (§III-D).
+        self.reply(ctx, reply, DynFreeResp { token, ok: true });
+        let Some(rec) = self.jobs.get(&job) else { return };
+        let Some(set) = rec.dyn_sets.iter().find(|s| s.client_id == client_id).cloned() else {
+            return;
+        };
+        let ms = rec.compute.first().copied();
+        ctx.trace(format!("{job} dynfree of {client_id}: instructing mother superior"));
+        if let Some(ms) = ms {
+            self.send_mom(ctx, ms, DisjoinCmd { job, client_id, accs: set.accs, ppn: set.ppn });
+        }
+    }
+
+    fn handle_free_done(&mut self, ctx: &mut Ctx<'_>, msg: FreeDone) {
+        if let Some(rec) = self.jobs.get_mut(&msg.job) {
+            rec.dyn_sets.retain(|s| s.client_id != msg.set.client_id);
+        }
+        for h in &msg.set.accs {
+            self.db.release(*h, msg.job);
+        }
+        ctx.trace(format!("{} released set {}", msg.job, msg.set.client_id));
+        self.wake_scheduler(ctx);
+    }
+
+    // -- job end ----------------------------------------------------------
+
+    fn handle_job_exit(&mut self, ctx: &mut Ctx<'_>, msg: JobExit) {
+        let Some(rec) = self.jobs.get_mut(&msg.job) else { return };
+        if matches!(rec.state, JobState::Complete | JobState::Cancelled | JobState::TimedOut) {
+            return;
+        }
+        rec.state = if msg.timed_out { JobState::TimedOut } else { JobState::Complete };
+        rec.completed = Some(ctx.now());
+        self.db.release_job(msg.job);
+        self.fs.remove_job(msg.job);
+        ctx.trace(format!(
+            "{} {}",
+            msg.job,
+            if msg.timed_out { "killed: walltime exceeded" } else { "complete" }
+        ));
+        self.wake_scheduler(ctx);
+    }
+
+    /// `qhold`/`qrls`: only queued jobs can be held (TORQUE holds running
+    /// jobs only via checkpointing, which the DAC architecture does not
+    /// model); only held jobs can be released.
+    fn handle_qhold(&mut self, ctx: &mut Ctx<'_>, req: QholdReq) {
+        let ok = match self.jobs.get_mut(&req.job) {
+            Some(rec) if req.hold && rec.state == JobState::Queued => {
+                rec.state = JobState::Held;
+                ctx.trace(format!("{} held", req.job));
+                true
+            }
+            Some(rec) if !req.hold && rec.state == JobState::Held => {
+                rec.state = JobState::Queued;
+                ctx.trace(format!("{} released from hold", req.job));
+                true
+            }
+            _ => false,
+        };
+        self.reply(ctx, req.reply, QholdResp { token: req.token, ok });
+        if ok && !req.hold {
+            self.wake_scheduler(ctx);
+        }
+    }
+
+    fn handle_qdel(&mut self, ctx: &mut Ctx<'_>, req: QdelReq) {
+        let ok = match self.jobs.get_mut(&req.job) {
+            Some(rec) if matches!(rec.state, JobState::Queued | JobState::Held) => {
+                rec.state = JobState::Cancelled;
+                rec.completed = Some(ctx.now());
+                self.queue_order.retain(|j| *j != req.job);
+                true
+            }
+            Some(rec)
+                if matches!(rec.state, JobState::Running | JobState::DynQueued) =>
+            {
+                rec.state = JobState::Cancelled;
+                rec.completed = Some(ctx.now());
+                let ms = rec.compute.first().copied();
+                self.db.release_job(req.job);
+                self.fs.remove_job(req.job);
+                if let Some(ms) = ms {
+                    self.send_mom(ctx, ms, CleanupJob { job: req.job });
+                }
+                true
+            }
+            _ => false,
+        };
+        self.reply(ctx, req.reply, QdelResp { token: req.token, ok });
+        if ok {
+            self.wake_scheduler(ctx);
+        }
+    }
+}
+
+impl Actor for PbsServer {
+    fn name(&self) -> &str {
+        "pbs_server"
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        let env = match env.downcast::<QsubReq>() {
+            Ok(m) => return self.handle_qsub(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<QstatReq>() {
+            Ok(m) => {
+                let jobs = self.jobs.values().map(|j| j.status()).collect();
+                let resp = QstatResp { token: m.token, jobs };
+                return self.reply(ctx, m.reply, resp);
+            }
+            Err(e) => e,
+        };
+        let env = match env.downcast::<QdelReq>() {
+            Ok(m) => return self.handle_qdel(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<QholdReq>() {
+            Ok(m) => return self.handle_qhold(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<DynGetReq>() {
+            Ok(m) => return self.handle_dynget(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<DynFreeReq>() {
+            Ok(m) => return self.handle_dynfree(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<ClusterQueryReq>() {
+            Ok(m) => {
+                let resp = ClusterQueryResp { token: m.token, snapshot: self.snapshot() };
+                return self.reply(ctx, m.reply, resp);
+            }
+            Err(e) => e,
+        };
+        let env = match env.downcast::<RunJobCmd>() {
+            Ok(m) => return self.handle_run_job(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<RunDynCmd>() {
+            Ok(m) => return self.handle_run_dyn(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<RejectDynCmd>() {
+            Ok(m) => return self.handle_reject_dyn(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<DynReady>() {
+            Ok(m) => return self.handle_dyn_ready(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<FreeDone>() {
+            Ok(m) => return self.handle_free_done(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<JobStarted>() {
+            Ok(m) => {
+                if let Some(rec) = self.jobs.get_mut(&m.job) {
+                    if rec.started.is_none() {
+                        rec.started = Some(ctx.now());
+                    }
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let env = match env.downcast::<JobExit>() {
+            Ok(m) => return self.handle_job_exit(ctx, m),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<SetNodeOffline>() {
+            Ok(m) => {
+                self.db.set_offline(m.host, m.offline);
+                ctx.trace(format!(
+                    "node host{} marked {}",
+                    m.host.index(),
+                    if m.offline { "offline" } else { "online" }
+                ));
+                self.wake_scheduler(ctx);
+                return;
+            }
+            Err(e) => e,
+        };
+        ctx.trace(format!("pbs_server: unhandled message {env:?}"));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match self.deferred.remove(&token) {
+            Some(Deferred::QsubDone { token, spec, reply }) => {
+                self.finish_qsub(ctx, token, spec, reply)
+            }
+            Some(Deferred::RunJobDo { cmd }) => self.finish_run_job(ctx, cmd),
+            Some(Deferred::DynExpose) => self.expose_dyn(ctx),
+            Some(Deferred::DynGrantDo) => self.finish_dyn_grant(ctx),
+            Some(Deferred::DynFreeDo { job, client_id, token, reply }) => {
+                self.finish_dynfree(ctx, job, client_id, token, reply)
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Node selection: tracking free resources during an iteration and
+//! picking compute/accelerator nodes for a job.
+
+use std::collections::HashMap;
+
+use darms_net::HostId;
+use darms_rms::proto::{ClusterSnapshot, QueuedJobSnap};
+use darms_rms::NodeRole;
+
+/// How compute nodes are chosen among those that fit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocPolicy {
+    /// First fitting node in registration order.
+    FirstFit,
+    /// Node with the fewest free cores that still fits (reduces
+    /// fragmentation for mixed ppn workloads).
+    BestFit,
+}
+
+/// Free-resource view maintained by the scheduler during one iteration,
+/// decremented as it hands out allocations so that later decisions in the
+/// same iteration never double-book (the server re-validates anyway).
+#[derive(Clone, Debug)]
+pub struct FreeTracker {
+    /// (host, free cores, total cores) per compute host, registration order.
+    compute: Vec<(HostId, u32, u32)>,
+    /// Free accelerator hosts, in registration order.
+    accs: Vec<HostId>,
+    index: HashMap<HostId, usize>,
+}
+
+impl FreeTracker {
+    /// Build from a snapshot, skipping offline nodes.
+    pub fn from_snapshot(snap: &ClusterSnapshot) -> Self {
+        let mut compute = Vec::new();
+        let mut accs = Vec::new();
+        let mut index = HashMap::new();
+        for n in &snap.nodes {
+            if n.offline {
+                continue;
+            }
+            match n.role {
+                NodeRole::Compute => {
+                    index.insert(n.host, compute.len());
+                    compute.push((n.host, n.cores_free, n.cores_total));
+                }
+                NodeRole::Accelerator => {
+                    if n.cores_free == n.cores_total {
+                        accs.push(n.host);
+                    }
+                }
+            }
+        }
+        FreeTracker { compute, accs, index }
+    }
+
+    /// Number of currently free accelerator nodes.
+    pub fn free_acc_count(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Free cores on one compute host.
+    pub fn free_cores(&self, host: HostId) -> u32 {
+        self.index.get(&host).map_or(0, |&i| self.compute[i].1)
+    }
+
+    /// Pick `k` compute hosts with at least `ppn` free cores each.
+    /// Returns `None` (and changes nothing) if impossible.
+    pub fn take_compute(&mut self, k: usize, ppn: u32, policy: AllocPolicy) -> Option<Vec<HostId>> {
+        let mut fitting: Vec<usize> = (0..self.compute.len())
+            .filter(|&i| self.compute[i].1 >= ppn)
+            .collect();
+        if fitting.len() < k {
+            return None;
+        }
+        if policy == AllocPolicy::BestFit {
+            fitting.sort_by_key(|&i| (self.compute[i].1, i));
+        }
+        let chosen: Vec<usize> = fitting.into_iter().take(k).collect();
+        let hosts = chosen.iter().map(|&i| self.compute[i].0).collect();
+        for i in chosen {
+            self.compute[i].1 -= ppn;
+        }
+        Some(hosts)
+    }
+
+    /// Return a running job's resources to the pool (used by the backfill
+    /// shadow-time simulation, never against the live snapshot).
+    pub fn give_back(&mut self, compute_hosts: &[HostId], ppn: u32, accs: &[HostId]) {
+        for h in compute_hosts {
+            if let Some(&i) = self.index.get(h) {
+                let (_, free, total) = &mut self.compute[i];
+                *free = (*free + ppn).min(*total);
+            }
+        }
+        for h in accs {
+            if !self.accs.contains(h) {
+                self.accs.push(*h);
+            }
+        }
+    }
+
+    /// Pick `n` free accelerator hosts. Returns `None` (and changes
+    /// nothing) if fewer are free — the all-or-nothing semantics of both
+    /// the static `acpn` request and the dynamic `AC_Get`.
+    pub fn take_accelerators(&mut self, n: usize) -> Option<Vec<HostId>> {
+        if self.accs.len() < n {
+            return None;
+        }
+        Some(self.accs.drain(..n).collect())
+    }
+
+    /// Whether `job` could start right now (without taking anything).
+    pub fn fits(&self, job: &QueuedJobSnap) -> bool {
+        let fitting = self.compute.iter().filter(|(_, free, _)| *free >= job.ppn).count();
+        fitting >= job.nodes && self.accs.len() >= job.nodes * job.acpn as usize
+    }
+}
+
+/// Split a flat accelerator grant into per-compute-node sets of `acpn`.
+pub fn split_accs(accs: &[HostId], nodes: usize, acpn: u32) -> Vec<Vec<HostId>> {
+    assert_eq!(accs.len(), nodes * acpn as usize, "grant size mismatch");
+    accs.chunks(acpn.max(1) as usize)
+        .map(|c| c.to_vec())
+        .take(nodes)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .chain(std::iter::repeat(Vec::new()))
+        .take(nodes)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darms_rms::proto::NodeSnap;
+    use darms_rms::JobId;
+    use darms_sim::{SimDuration, SimTime};
+
+    fn h(i: usize) -> HostId {
+        HostId::from_raw(i)
+    }
+
+    fn snap() -> ClusterSnapshot {
+        let mk = |i, role, total, free| NodeSnap {
+            host: h(i),
+            role,
+            cores_total: total,
+            cores_free: free,
+            offline: false,
+        };
+        ClusterSnapshot {
+            nodes: vec![
+                mk(0, NodeRole::Compute, 8, 8),
+                mk(1, NodeRole::Compute, 8, 4),
+                mk(2, NodeRole::Compute, 8, 2),
+                mk(3, NodeRole::Accelerator, 1, 1),
+                mk(4, NodeRole::Accelerator, 1, 0),
+                mk(5, NodeRole::Accelerator, 1, 1),
+            ],
+            queued: vec![],
+            running: vec![],
+            dyn_pending: None,
+        }
+    }
+
+    #[test]
+    fn first_fit_takes_registration_order() {
+        let mut t = FreeTracker::from_snapshot(&snap());
+        let hosts = t.take_compute(2, 2, AllocPolicy::FirstFit).unwrap();
+        assert_eq!(hosts, vec![h(0), h(1)]);
+        assert_eq!(t.free_cores(h(0)), 6);
+    }
+
+    #[test]
+    fn best_fit_prefers_fullest_fitting_node() {
+        let mut t = FreeTracker::from_snapshot(&snap());
+        let hosts = t.take_compute(1, 2, AllocPolicy::BestFit).unwrap();
+        assert_eq!(hosts, vec![h(2)]); // 2 free cores, tightest fit
+    }
+
+    #[test]
+    fn compute_allocation_is_all_or_nothing() {
+        let mut t = FreeTracker::from_snapshot(&snap());
+        assert!(t.take_compute(3, 6, AllocPolicy::FirstFit).is_none());
+        // nothing was consumed
+        assert_eq!(t.free_cores(h(0)), 8);
+    }
+
+    #[test]
+    fn accelerator_pool_excludes_busy_nodes() {
+        let mut t = FreeTracker::from_snapshot(&snap());
+        assert_eq!(t.free_acc_count(), 2); // host 4 is busy
+        assert!(t.take_accelerators(3).is_none());
+        let got = t.take_accelerators(2).unwrap();
+        assert_eq!(got, vec![h(3), h(5)]);
+        assert_eq!(t.free_acc_count(), 0);
+    }
+
+    #[test]
+    fn fits_checks_both_resources() {
+        let t = FreeTracker::from_snapshot(&snap());
+        let job = |nodes, ppn, acpn| QueuedJobSnap {
+            job: JobId(1),
+            owner: "u".into(),
+            submitted: SimTime::ZERO,
+            nodes,
+            ppn,
+            acpn,
+            walltime_estimate: SimDuration::from_secs(1),
+        };
+        assert!(t.fits(&job(2, 4, 1)));
+        assert!(!t.fits(&job(2, 4, 2))); // needs 4 accs, only 2 free
+        assert!(!t.fits(&job(3, 8, 0))); // only one node has 8 free cores
+    }
+
+    #[test]
+    fn split_accs_chunks_per_node() {
+        let flat = vec![h(1), h(2), h(3), h(4)];
+        let per_cn = split_accs(&flat, 2, 2);
+        assert_eq!(per_cn, vec![vec![h(1), h(2)], vec![h(3), h(4)]]);
+    }
+
+    #[test]
+    fn split_accs_zero_acpn() {
+        let per_cn = split_accs(&[], 3, 0);
+        assert_eq!(per_cn, vec![Vec::<HostId>::new(), vec![], vec![]]);
+    }
+
+    #[test]
+    fn offline_nodes_are_excluded() {
+        let mut s = snap();
+        s.nodes[0].offline = true;
+        let t = FreeTracker::from_snapshot(&s);
+        assert_eq!(t.free_cores(h(0)), 0);
+    }
+}

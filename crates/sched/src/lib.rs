@@ -1,0 +1,27 @@
+//! # darms-sched — a Maui-like scheduler for the darms batch system
+//!
+//! Implements the scheduling half of the paper's batch system: weighted
+//! job prioritisation (queue time, expansion factor, fairshare), FIFO,
+//! EASY backfill with walltime-estimate reservations, first/best-fit node
+//! selection over compute nodes and the network-attached accelerator
+//! pool — plus the paper's extension (§III-E): dynamic requests are
+//! scheduled **before** all queued jobs (FIFO among themselves) and are
+//! rejected immediately when the pool cannot satisfy them, with no
+//! reservations or queuing.
+//!
+//! Per-item scheduling costs are modelled explicitly, which is what makes
+//! the scheduler-busy waiting of the paper's Fig. 8 reproducible.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod backfill;
+pub mod fairshare;
+pub mod priority;
+pub mod scheduler;
+
+pub use alloc::{split_accs, AllocPolicy, FreeTracker};
+pub use backfill::{may_backfill, shadow_time};
+pub use fairshare::Fairshare;
+pub use priority::{job_priority, order_queue, Policy, PriorityWeights};
+pub use scheduler::{MauiScheduler, SchedConfig};

@@ -1,0 +1,162 @@
+//! Job prioritisation: the weighted component sum Maui uses, reduced to
+//! the components that matter for this reproduction (queue time, expansion
+//! factor, fairshare), plus plain FIFO.
+
+use darms_rms::proto::QueuedJobSnap;
+use darms_sim::SimTime;
+
+use crate::fairshare::Fairshare;
+
+/// Weights of the priority components.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityWeights {
+    /// Points per second of queue wait.
+    pub queue_time: f64,
+    /// Weight of the expansion factor `wait / walltime_estimate`.
+    pub xfactor: f64,
+    /// Penalty weight applied to the owner's normalised fairshare usage.
+    pub fairshare: f64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> Self {
+        // Queue time dominates; xfactor boosts short jobs; fairshare
+        // demotes heavy users. Mirrors a common Maui configuration.
+        PriorityWeights { queue_time: 1.0, xfactor: 100.0, fairshare: 1000.0 }
+    }
+}
+
+/// Ordering policy for the static (qsub) queue.
+#[derive(Clone, Copy, Debug)]
+pub enum Policy {
+    /// Strict submission order (TORQUE's built-in scheduler).
+    Fifo,
+    /// Weighted component priority (Maui).
+    Priority(PriorityWeights),
+}
+
+/// Compute one job's priority under the weighted policy.
+pub fn job_priority(
+    job: &QueuedJobSnap,
+    now: SimTime,
+    weights: &PriorityWeights,
+    fairshare: &Fairshare,
+) -> f64 {
+    let wait = (now - job.submitted).as_secs_f64();
+    let walltime = job.walltime_estimate.as_secs_f64().max(1.0);
+    let xfactor = wait / walltime;
+    weights.queue_time * wait + weights.xfactor * xfactor
+        - weights.fairshare * fairshare.normalised(&job.owner)
+}
+
+/// Order the queue according to the policy; highest priority first.
+/// Ties (and FIFO) preserve submission order.
+pub fn order_queue(
+    mut queued: Vec<QueuedJobSnap>,
+    now: SimTime,
+    policy: &Policy,
+    fairshare: &Fairshare,
+) -> Vec<QueuedJobSnap> {
+    match policy {
+        Policy::Fifo => {
+            queued.sort_by_key(|j| (j.submitted, j.job));
+            queued
+        }
+        Policy::Priority(w) => {
+            let mut keyed: Vec<(f64, usize, QueuedJobSnap)> = queued
+                .drain(..)
+                .enumerate()
+                .map(|(i, j)| (job_priority(&j, now, w, fairshare), i, j))
+                .collect();
+            keyed.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            });
+            keyed.into_iter().map(|(_, _, j)| j).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darms_rms::JobId;
+    use darms_sim::SimDuration;
+
+    fn q(id: u64, submitted_s: u64, walltime_s: u64, owner: &str) -> QueuedJobSnap {
+        QueuedJobSnap {
+            job: JobId(id),
+            owner: owner.into(),
+            submitted: SimTime::ZERO + SimDuration::from_secs(submitted_s),
+            nodes: 1,
+            ppn: 1,
+            acpn: 0,
+            walltime_estimate: SimDuration::from_secs(walltime_s),
+        }
+    }
+
+    fn fs() -> Fairshare {
+        Fairshare::new(SimDuration::from_secs(3600))
+    }
+
+    #[test]
+    fn fifo_orders_by_submission() {
+        let jobs = vec![q(2, 50, 10, "a"), q(1, 10, 10, "a"), q(3, 90, 10, "a")];
+        let ordered = order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Fifo, &fs());
+        let ids: Vec<u64> = ordered.iter().map(|j| j.job.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn longer_wait_wins_under_priority() {
+        let w = PriorityWeights { queue_time: 1.0, xfactor: 0.0, fairshare: 0.0 };
+        let jobs = vec![q(1, 90, 10, "a"), q(2, 10, 10, "a")];
+        let ordered =
+            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        assert_eq!(ordered[0].job.0, 2); // waited 90s vs 10s
+    }
+
+    #[test]
+    fn xfactor_boosts_short_jobs() {
+        let w = PriorityWeights { queue_time: 0.0, xfactor: 1.0, fairshare: 0.0 };
+        // Same wait, different walltime estimates.
+        let jobs = vec![q(1, 0, 1000, "a"), q(2, 0, 10, "a")];
+        let ordered =
+            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        assert_eq!(ordered[0].job.0, 2);
+    }
+
+    #[test]
+    fn fairshare_demotes_heavy_users() {
+        use darms_net::HostId;
+        use darms_rms::proto::RunningJobSnap;
+        let mut share = fs();
+        share.update(
+            SimTime::ZERO + SimDuration::from_secs(50),
+            &[RunningJobSnap {
+                job: JobId(9),
+                owner: "heavy".into(),
+                started: SimTime::ZERO,
+                walltime_estimate: SimDuration::from_secs(1000),
+                compute_hosts: vec![HostId::from_raw(0)],
+                ppn: 8,
+                acc_hosts: vec![],
+            }],
+        );
+        let w = PriorityWeights { queue_time: 1.0, xfactor: 0.0, fairshare: 1000.0 };
+        // Heavy's job submitted earlier but fairshare should demote it.
+        let jobs = vec![q(1, 0, 10, "heavy"), q(2, 20, 10, "light")];
+        let ordered =
+            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &share);
+        assert_eq!(ordered[0].job.0, 2);
+    }
+
+    #[test]
+    fn equal_priority_preserves_submission_order() {
+        let w = PriorityWeights { queue_time: 0.0, xfactor: 0.0, fairshare: 0.0 };
+        let jobs = vec![q(1, 10, 10, "a"), q(2, 10, 10, "a"), q(3, 10, 10, "a")];
+        let ordered =
+            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        let ids: Vec<u64> = ordered.iter().map(|j| j.job.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,422 @@
+//! The Maui-like scheduler actor.
+//!
+//! Iteration model: on a wake-up from the server the scheduler fetches a
+//! cluster snapshot, orders the work (the exposed dynamic request first —
+//! the paper's top-priority extension, §III-E — then the static queue by
+//! policy priority), and processes items one at a time, each charging its
+//! modelled scheduling cost. A dynamic request arriving mid-iteration is
+//! therefore serviced only after the iteration completes — exactly the
+//! waiting the paper measures in Fig. 8.
+
+use std::collections::VecDeque;
+
+use darms_net::{HostId, Network};
+use darms_rms::proto::*;
+use darms_rms::{sched_addr, server_addr};
+use darms_sim::{Actor, Ctx, Envelope, Recorder, SimDuration, SimTime};
+
+use crate::alloc::{split_accs, AllocPolicy, FreeTracker};
+use crate::backfill::{may_backfill, shadow_time};
+use crate::fairshare::Fairshare;
+use crate::priority::{order_queue, Policy};
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Static-queue ordering policy.
+    pub policy: Policy,
+    /// Node selection policy.
+    pub allocation: AllocPolicy,
+    /// EASY backfill on the static queue.
+    pub backfill: bool,
+    /// Schedule dynamic requests before everything else (the paper's
+    /// policy). Disabled by the EXT-3 fairness ablation.
+    pub dyn_top_priority: bool,
+    /// Cost of examining/allocating one queued job.
+    pub per_job_cost: SimDuration,
+    /// Base cost of scheduling a dynamic request.
+    pub dyn_base_cost: SimDuration,
+    /// Additional cost per requested accelerator in a dynamic request.
+    pub dyn_per_acc_cost: SimDuration,
+    /// How long an unsatisfiable dynamic request may stay queued before
+    /// rejection. `None` (the paper's policy, §III-E) rejects
+    /// immediately; `Some(w)` keeps it exposed and retries until `w`
+    /// elapses — an ablation of the no-reservation design choice.
+    pub dyn_queue_wait: Option<SimDuration>,
+    /// Retry interval while an unsatisfiable dynamic request is queued.
+    pub dyn_retry: SimDuration,
+    /// Fixed per-iteration overhead (queue fetch, priority pass).
+    pub iteration_overhead: SimDuration,
+    /// Optional periodic iteration (Maui's RMPOLLINTERVAL); event-driven
+    /// wake-ups happen regardless.
+    pub poll_interval: Option<SimDuration>,
+    /// Fairshare decay half-life.
+    pub fairshare_half_life: SimDuration,
+    /// Wire size of scheduler control messages.
+    pub ctl_bytes: u64,
+}
+
+impl SchedConfig {
+    /// Calibrated against the paper's testbed.
+    pub fn paper_testbed() -> Self {
+        SchedConfig {
+            policy: Policy::Priority(Default::default()),
+            allocation: AllocPolicy::FirstFit,
+            backfill: true,
+            dyn_top_priority: true,
+            per_job_cost: SimDuration::from_millis(22),
+            dyn_base_cost: SimDuration::from_millis(55),
+            dyn_per_acc_cost: SimDuration::from_millis(70),
+            dyn_queue_wait: None,
+            dyn_retry: SimDuration::from_millis(500),
+            iteration_overhead: SimDuration::from_millis(6),
+            poll_interval: Some(SimDuration::from_secs(10)),
+            fairshare_half_life: SimDuration::from_secs(3600),
+            ctl_bytes: 512,
+        }
+    }
+
+    /// Near-zero costs for logic-focused tests.
+    pub fn instant() -> Self {
+        SchedConfig {
+            policy: Policy::Fifo,
+            allocation: AllocPolicy::FirstFit,
+            backfill: false,
+            dyn_top_priority: true,
+            per_job_cost: SimDuration::ZERO,
+            dyn_base_cost: SimDuration::ZERO,
+            dyn_per_acc_cost: SimDuration::ZERO,
+            dyn_queue_wait: None,
+            dyn_retry: SimDuration::from_millis(100),
+            iteration_overhead: SimDuration::ZERO,
+            poll_interval: None,
+            fairshare_half_life: SimDuration::from_secs(3600),
+            ctl_bytes: 0,
+        }
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig::paper_testbed()
+    }
+}
+
+enum WorkItem {
+    Dyn(DynPendingSnap),
+    Job(QueuedJobSnap),
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Phase {
+    Idle,
+    AwaitSnapshot,
+    Busy,
+}
+
+const TOKEN_STEP: u64 = 1;
+const TOKEN_POLL: u64 = 2;
+
+/// The Maui-like scheduler daemon.
+pub struct MauiScheduler {
+    net: Network,
+    head: HostId,
+    config: SchedConfig,
+    fairshare: Fairshare,
+    phase: Phase,
+    dirty: bool,
+    query_token: u64,
+    worklist: VecDeque<WorkItem>,
+    tracker: Option<FreeTracker>,
+    running: Vec<RunningJobSnap>,
+    /// Jobs started earlier in the *current* iteration; they are not in
+    /// the snapshot's running list yet but must count for backfill shadow
+    /// computation.
+    iter_started: Vec<RunningJobSnap>,
+    shadow: Option<SimTime>,
+    blocked_no_backfill: bool,
+    /// Whether the last snapshot contained any work (queued, running, or
+    /// dynamic). When the cluster is fully idle the poll timer is not
+    /// re-armed — event-driven wake-ups restart iterations — so an idle
+    /// simulation can quiesce.
+    last_snapshot_active: bool,
+    recorder: Option<Recorder>,
+    /// Iterations completed (observability for tests).
+    pub iterations: u64,
+}
+
+impl MauiScheduler {
+    /// Create the scheduler for the head node.
+    pub fn new(net: Network, head: HostId, config: SchedConfig) -> Self {
+        let fairshare = Fairshare::new(config.fairshare_half_life);
+        MauiScheduler {
+            net,
+            head,
+            config,
+            fairshare,
+            phase: Phase::Idle,
+            dirty: false,
+            query_token: 0,
+            worklist: VecDeque::new(),
+            tracker: None,
+            running: Vec::new(),
+            iter_started: Vec::new(),
+            shadow: None,
+            blocked_no_backfill: false,
+            last_snapshot_active: false,
+            recorder: None,
+            iterations: 0,
+        }
+    }
+
+    /// Attach a recorder; the scheduler then records `sched.dyn_wait`
+    /// samples (seconds a dynamic request spent waiting on scheduling of
+    /// other work — the light region of the paper's Fig. 8).
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    fn send_server<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, msg: T) {
+        let to = server_addr(self.head);
+        let bytes = self.config.ctl_bytes;
+        self.net.send_from_ctx(ctx, self.head, to, msg, bytes);
+    }
+
+    fn start_iteration(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::AwaitSnapshot;
+        self.query_token += 1;
+        let req = ClusterQueryReq { token: self.query_token, reply: sched_addr(self.head) };
+        self.send_server(ctx, req);
+    }
+
+    fn item_cost(&self, item: &WorkItem) -> SimDuration {
+        match item {
+            WorkItem::Dyn(d) => {
+                self.config.dyn_base_cost + self.config.dyn_per_acc_cost * d.count as u64
+            }
+            WorkItem::Job(_) => self.config.per_job_cost,
+        }
+    }
+
+    fn handle_snapshot(&mut self, ctx: &mut Ctx<'_>, resp: ClusterQueryResp) {
+        if self.phase != Phase::AwaitSnapshot || resp.token != self.query_token {
+            return; // stale snapshot
+        }
+        let mut snap = resp.snapshot;
+        let now = ctx.now();
+        self.fairshare.update(now, &snap.running);
+        let queued = std::mem::take(&mut snap.queued);
+        let ordered = order_queue(queued, now, &self.config.policy, &self.fairshare);
+        let mut worklist: VecDeque<WorkItem> = VecDeque::new();
+        if let Some(d) = snap.dyn_pending.clone() {
+            if self.config.dyn_top_priority {
+                worklist.push_back(WorkItem::Dyn(d));
+                worklist.extend(ordered.into_iter().map(WorkItem::Job));
+            } else {
+                worklist.extend(ordered.into_iter().map(WorkItem::Job));
+                worklist.push_back(WorkItem::Dyn(d));
+            }
+        } else {
+            worklist.extend(ordered.into_iter().map(WorkItem::Job));
+        }
+        self.tracker = Some(FreeTracker::from_snapshot(&snap));
+        self.last_snapshot_active =
+            !snap.running.is_empty() || !worklist.is_empty() || snap.dyn_pending.is_some();
+        self.running = std::mem::take(&mut snap.running);
+        self.iter_started.clear();
+        self.shadow = None;
+        self.blocked_no_backfill = false;
+        self.worklist = worklist;
+        self.phase = Phase::Busy;
+        match self.worklist.front() {
+            Some(first) => {
+                let delay = self.config.iteration_overhead + self.item_cost(first);
+                ctx.set_timer(delay, TOKEN_STEP);
+            }
+            None => {
+                let overhead = self.config.iteration_overhead;
+                if overhead.is_zero() {
+                    self.finish_iteration(ctx);
+                } else {
+                    ctx.set_timer(overhead, TOKEN_STEP);
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Busy {
+            return;
+        }
+        if let Some(item) = self.worklist.pop_front() {
+            self.process_item(ctx, item);
+        }
+        match self.worklist.front() {
+            Some(next) => {
+                let delay = self.item_cost(next);
+                ctx.set_timer(delay, TOKEN_STEP);
+            }
+            None => self.finish_iteration(ctx),
+        }
+    }
+
+    fn process_item(&mut self, ctx: &mut Ctx<'_>, item: WorkItem) {
+        let now = ctx.now();
+        let tracker = self.tracker.as_mut().expect("tracker set with worklist");
+        match item {
+            WorkItem::Dyn(d) => {
+                // Record how long this request waited behind other
+                // scheduling work (decision started item_cost ago).
+                if let Some(rec) = &self.recorder {
+                    let cost = self.config.dyn_base_cost
+                        + self.config.dyn_per_acc_cost * d.count as u64;
+                    let decision_start = now - cost;
+                    let wait = decision_start.since(d.queued_at);
+                    rec.record_duration("sched.dyn_wait", now, wait);
+                }
+                // Grant up to `count`, at least `min_count` (partial
+                // grants; min_count == count restores the paper's strict
+                // semantics).
+                let granted = match d.kind {
+                    DynResource::Accelerators => {
+                        let free = tracker.free_acc_count();
+                        let give = free.min(d.count as usize);
+                        if give >= d.min_count.max(1) as usize {
+                            Some(tracker.take_accelerators(give).expect("counted"))
+                        } else {
+                            None
+                        }
+                    }
+                    DynResource::ComputeNodes { ppn } => {
+                        tracker.take_compute(d.count as usize, ppn, self.config.allocation)
+                    }
+                };
+                match granted {
+                    Some(accs) => {
+                        ctx.trace(format!(
+                            "dyn request of {} granted {} of {} node(s)",
+                            d.job,
+                            accs.len(),
+                            d.count
+                        ));
+                        self.send_server(ctx, RunDynCmd { token: d.token, accs });
+                    }
+                    None => {
+                        let waited = now.since(d.queued_at);
+                        match self.config.dyn_queue_wait {
+                            Some(limit) if waited < limit => {
+                                // Ablation of §III-E: keep the request
+                                // queued and retry instead of rejecting.
+                                ctx.trace(format!(
+                                    "dyn request of {} still waiting ({waited})",
+                                    d.job
+                                ));
+                                ctx.set_timer(self.config.dyn_retry, TOKEN_POLL);
+                            }
+                            _ => {
+                                // The paper's policy: no reservations for
+                                // dynamic requests; reject immediately.
+                                ctx.trace(format!("dyn request of {} rejected", d.job));
+                                self.send_server(ctx, RejectDynCmd { token: d.token });
+                            }
+                        }
+                    }
+                }
+            }
+            WorkItem::Job(j) => {
+                if self.blocked_no_backfill {
+                    return; // strict queue: head is blocked
+                }
+                if let Some(shadow) = self.shadow {
+                    if !may_backfill(&j, tracker, shadow, now) {
+                        return;
+                    }
+                }
+                let total_accs = j.nodes * j.acpn as usize;
+                let can = tracker.fits(&j);
+                if can {
+                    let compute = tracker
+                        .take_compute(j.nodes, j.ppn, self.config.allocation)
+                        .expect("fits() checked");
+                    let flat = tracker.take_accelerators(total_accs).expect("fits() checked");
+                    let accs = split_accs(&flat, j.nodes, j.acpn);
+                    ctx.trace(format!("starting {} on {} node(s)", j.job, compute.len()));
+                    self.iter_started.push(RunningJobSnap {
+                        job: j.job,
+                        owner: j.owner.clone(),
+                        started: now,
+                        walltime_estimate: j.walltime_estimate,
+                        compute_hosts: compute.clone(),
+                        ppn: j.ppn,
+                        acc_hosts: flat.clone(),
+                    });
+                    self.send_server(ctx, RunJobCmd { job: j.job, compute, accs });
+                } else if self.shadow.is_none() {
+                    if self.config.backfill {
+                        let mut running = self.running.clone();
+                        running.extend(self.iter_started.iter().cloned());
+                        self.shadow = shadow_time(&j, tracker, &running, now);
+                    } else {
+                        self.blocked_no_backfill = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_iteration(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Idle;
+        self.tracker = None;
+        self.iterations += 1;
+        if self.dirty {
+            self.dirty = false;
+            self.start_iteration(ctx);
+        } else if self.last_snapshot_active {
+            if let Some(poll) = self.config.poll_interval {
+                ctx.set_timer(poll, TOKEN_POLL);
+            }
+        }
+    }
+}
+
+impl Actor for MauiScheduler {
+    fn name(&self) -> &str {
+        "maui"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(poll) = self.config.poll_interval {
+            ctx.set_timer(poll, TOKEN_POLL);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        let env = match env.downcast::<SchedWake>() {
+            Ok(_) => {
+                match self.phase {
+                    Phase::Idle => self.start_iteration(ctx),
+                    _ => self.dirty = true,
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let env = match env.downcast::<ClusterQueryResp>() {
+            Ok(m) => return self.handle_snapshot(ctx, m),
+            Err(e) => e,
+        };
+        ctx.trace(format!("maui: unhandled message {env:?}"));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_STEP => self.step(ctx),
+            TOKEN_POLL
+                if self.phase == Phase::Idle => {
+                    self.start_iteration(ctx);
+                }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Reactive actors: daemon-style state machines dispatched inline by the
+//! engine (no thread, no stack to park). The `pbs_server`, `pbs_mom`s and
+//! the Maui scheduler are actors; sequential application logic uses
+//! threaded [processes](crate::process::Proc) instead.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+
+use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
+use crate::kernel::{EventKind, Kernel};
+use crate::process::spawn_process;
+use crate::time::{SimDuration, SimTime};
+
+/// A reactive component. Handlers run to completion with exclusive access
+/// to the kernel via [`Ctx`]; all outbound effects are scheduled events.
+pub trait Actor: Send {
+    /// Handle a delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope);
+
+    /// Handle a timer set via [`Ctx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Called once at t = 0 before the event loop starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Name used in traces.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+/// Capability handle passed to actor callbacks.
+pub struct Ctx<'a> {
+    pub(crate) k: &'a mut Kernel,
+    pub(crate) arc: Arc<Mutex<Kernel>>,
+    pub(crate) me: ActorId,
+}
+
+impl Ctx<'_> {
+    /// This actor's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// This actor's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::Actor(self.me)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.k.now()
+    }
+
+    /// Send a payload to `dst`, arriving after `delay`.
+    pub fn send<T: std::any::Any + Send>(&mut self, dst: Endpoint, payload: T, delay: SimDuration) {
+        let env = Envelope::from_src(self.endpoint(), payload);
+        self.k.send(dst, env, delay);
+    }
+
+    /// Send a pre-built envelope.
+    pub fn send_env(&mut self, dst: Endpoint, env: Envelope, delay: SimDuration) {
+        self.k.send(dst, env, delay);
+    }
+
+    /// Schedule `on_timer(token)` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.k.now() + delay;
+        let me = self.me;
+        // Re-arming a token revives it if it was previously cancelled.
+        self.k.cancelled_timers.remove(&(me.index(), token));
+        self.k.schedule(at, EventKind::Timer { actor: me, token });
+    }
+
+    /// Cancel a pending timer: when its event fires it is discarded
+    /// without advancing the virtual clock (so abandoned deadlines, e.g.
+    /// a walltime kill for a job that finished, cannot inflate the
+    /// simulation's end time).
+    pub fn cancel_timer(&mut self, token: u64) {
+        let me = self.me;
+        self.k.cancelled_timers.insert((me.index(), token));
+    }
+
+    /// Spawn a threaded process whose entry runs after `delay`.
+    pub fn spawn_process_after(
+        &mut self,
+        name: impl Into<String>,
+        delay: SimDuration,
+        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
+    ) -> ProcessId {
+        spawn_process(self.k, &self.arc, name.into(), delay, entry)
+    }
+
+    /// Spawn a threaded process starting now.
+    pub fn spawn_process(
+        &mut self,
+        name: impl Into<String>,
+        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
+    ) -> ProcessId {
+        self.spawn_process_after(name, SimDuration::ZERO, entry)
+    }
+
+    /// Record a trace line attributed to this actor.
+    pub fn trace(&mut self, event: impl Into<String>) {
+        let name = self
+            .k
+            .actor_names
+            .get(self.me.0)
+            .cloned()
+            .unwrap_or_else(|| format!("actor#{}", self.me.0));
+        self.k.trace(&name, event);
+    }
+
+    /// Draw from the deterministic RNG.
+    pub fn with_rng<R>(&mut self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        self.k.with_rng(f)
+    }
+
+    /// Resolve an endpoint to its registered name (for diagnostics).
+    pub fn endpoint_name(&self, ep: Endpoint) -> String {
+        self.k.endpoint_name(ep)
+    }
+}

@@ -1,0 +1,531 @@
+//! The event loop: pops `(time, seq)`-ordered events, advances the virtual
+//! clock, dispatches to actors, and hands the single execution token to
+//! process threads one at a time.
+
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::actor::{Actor, Ctx};
+use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
+use crate::kernel::{EventKind, Kernel, ProcState, SimConfig, SimStats, TraceRecord};
+use crate::process::{install_shutdown_hook, spawn_process};
+use crate::time::{SimDuration, SimTime};
+
+/// A complete simulation: kernel + registered actors + event loop.
+pub struct Engine {
+    kernel: Arc<Mutex<Kernel>>,
+    actors: Vec<Box<dyn Actor>>,
+    started: bool,
+    finished: bool,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        install_shutdown_hook();
+        Engine {
+            kernel: Arc::new(Mutex::new(Kernel::new(config))),
+            actors: Vec::new(),
+            started: false,
+            finished: false,
+        }
+    }
+
+    /// Create an engine with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Engine::new(SimConfig { seed, ..Default::default() })
+    }
+
+    /// Register a reactive actor; returns its id. Must be called before
+    /// [`Engine::run`].
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        assert!(!self.started, "actors must be registered before run()");
+        let id = ActorId(self.actors.len());
+        self.kernel.lock().actor_names.push(actor.name().to_string());
+        self.actors.push(actor);
+        id
+    }
+
+    /// Spawn a threaded process whose entry runs at the given virtual-time
+    /// offset from now.
+    pub fn spawn_process_after(
+        &mut self,
+        name: impl Into<String>,
+        delay: SimDuration,
+        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
+    ) -> ProcessId {
+        let mut k = self.kernel.lock();
+        spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
+    }
+
+    /// Spawn a threaded process starting at the current virtual time.
+    pub fn spawn_process(
+        &mut self,
+        name: impl Into<String>,
+        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
+    ) -> ProcessId {
+        self.spawn_process_after(name, SimDuration::ZERO, entry)
+    }
+
+    /// Shared handle to the kernel (for composing subsystems at setup time).
+    pub fn kernel(&self) -> Arc<Mutex<Kernel>> {
+        self.kernel.clone()
+    }
+
+    /// Run to completion: until the event queue drains, the horizon or
+    /// event cap is reached. Afterwards all process threads are unwound
+    /// and joined. Returns run statistics.
+    pub fn run(&mut self) -> SimStats {
+        self.run_until(SimTime::MAX);
+        self.finish()
+    }
+
+    /// Process events up to and including virtual time `until` (bounded
+    /// also by the configured horizon and event cap). The engine can be
+    /// resumed with further `run_until` calls.
+    pub fn run_until(&mut self, until: SimTime) {
+        assert!(!self.finished, "engine already finished");
+        if !self.started {
+            self.started = true;
+            self.start_actors();
+        }
+        loop {
+            // Decide what to do while holding the lock, then act on it
+            // with the lock released (resuming a process must not hold it).
+            enum Step {
+                Done,
+                Deliver(Endpoint, Envelope),
+                WakeProc(ProcessId),
+                Timer(ActorId, u64),
+            }
+            let step = {
+                let mut k = self.kernel.lock();
+                let horizon = k.config.horizon.min(until);
+                match k.queue.peek() {
+                    None => Step::Done,
+                    Some(Reverse(ev)) if ev.time > horizon => {
+                        if ev.time > k.config.horizon {
+                            k.stats.hit_horizon = true;
+                        }
+                        Step::Done
+                    }
+                    Some(_) => {
+                        if k.stats.events >= k.config.max_events {
+                            k.stats.hit_event_cap = true;
+                            Step::Done
+                        } else {
+                            let Reverse(ev) = k.queue.pop().expect("peeked");
+                            // Stale wakes (e.g. the deadline of a timed
+                            // recv that was satisfied by a message) are
+                            // discarded without advancing the clock, so
+                            // abandoned timeouts cannot inflate the
+                            // simulation's end time.
+                            if let EventKind::Wake { pid, epoch } = &ev.kind {
+                                let stale = k
+                                    .procs
+                                    .get(pid.0)
+                                    .is_none_or(|slot| {
+                                        slot.epoch != *epoch
+                                            || !matches!(
+                                                slot.state,
+                                                ProcState::ParkedRecv
+                                                    | ProcState::ParkedSleep
+                                                    | ProcState::NotStarted
+                                            )
+                                    });
+                                if stale {
+                                    continue;
+                                }
+                            }
+                            if let EventKind::Timer { actor, token } = &ev.kind {
+                                if k.cancelled_timers.remove(&(actor.index(), *token)) {
+                                    continue; // cancelled before firing
+                                }
+                            }
+                            k.now = ev.time;
+                            k.stats.events += 1;
+                            match ev.kind {
+                                EventKind::Deliver { dst, env } => match dst {
+                                    Endpoint::Actor(_) => Step::Deliver(dst, env),
+                                    Endpoint::Process(pid) => {
+                                        match self.deliver_to_process(&mut k, pid, env) {
+                                            Some(p) => Step::WakeProc(p),
+                                            None => continue,
+                                        }
+                                    }
+                                },
+                                EventKind::Wake { pid, epoch } => {
+                                    let slot = &mut k.procs[pid.0];
+                                    let parked = matches!(
+                                        slot.state,
+                                        ProcState::ParkedRecv
+                                            | ProcState::ParkedSleep
+                                            | ProcState::NotStarted
+                                    );
+                                    if parked && slot.epoch == epoch {
+                                        slot.state = ProcState::Active;
+                                        slot.epoch += 1;
+                                        Step::WakeProc(pid)
+                                    } else {
+                                        continue; // stale wake
+                                    }
+                                }
+                                EventKind::Timer { actor, token } => Step::Timer(actor, token),
+                            }
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Done => break,
+                Step::Deliver(Endpoint::Actor(aid), env) => self.dispatch_actor(aid, env),
+                Step::Deliver(_, _) => unreachable!("process deliveries resolved above"),
+                Step::WakeProc(pid) => self.resume(pid),
+                Step::Timer(aid, token) => self.dispatch_timer(aid, token),
+            }
+        }
+    }
+
+    /// Deliver to a process mailbox; returns `Some(pid)` if the process
+    /// must be resumed (it was parked in `recv`).
+    fn deliver_to_process(&self, k: &mut Kernel, pid: ProcessId, env: Envelope) -> Option<ProcessId> {
+        let slot = k.procs.get_mut(pid.0)?;
+        if slot.state == ProcState::Finished {
+            return None; // message to a dead process is dropped
+        }
+        slot.mailbox.push_back(env);
+        if slot.state == ProcState::ParkedRecv {
+            slot.state = ProcState::Active;
+            slot.epoch += 1; // invalidate any pending recv-timeout wake
+            Some(pid)
+        } else {
+            None
+        }
+    }
+
+    fn dispatch_actor(&mut self, aid: ActorId, env: Envelope) {
+        let actor = &mut self.actors[aid.0];
+        let mut k = self.kernel.lock();
+        let arc = self.kernel.clone();
+        let mut ctx = Ctx { k: &mut k, arc, me: aid };
+        actor.on_message(&mut ctx, env);
+    }
+
+    fn dispatch_timer(&mut self, aid: ActorId, token: u64) {
+        let actor = &mut self.actors[aid.0];
+        let mut k = self.kernel.lock();
+        let arc = self.kernel.clone();
+        let mut ctx = Ctx { k: &mut k, arc, me: aid };
+        actor.on_timer(&mut ctx, token);
+    }
+
+    fn start_actors(&mut self) {
+        for i in 0..self.actors.len() {
+            let actor = &mut self.actors[i];
+            let mut k = self.kernel.lock();
+            let arc = self.kernel.clone();
+            let mut ctx = Ctx { k: &mut k, arc, me: ActorId(i) };
+            actor.on_start(&mut ctx);
+        }
+    }
+
+    /// Give the execution token to a process and wait for it to yield.
+    fn resume(&self, pid: ProcessId) {
+        let ctl = {
+            let k = self.kernel.lock();
+            k.procs[pid.0].ctl.clone()
+        };
+        let done = ctl.resume_and_wait();
+        if done {
+            let mut k = self.kernel.lock();
+            let slot = &mut k.procs[pid.0];
+            if slot.state != ProcState::Finished {
+                slot.state = ProcState::Finished;
+                slot.epoch += 1;
+                k.stats.processes_finished += 1;
+            }
+        }
+    }
+
+    /// Unwind every still-parked process thread and join all threads.
+    /// Returns final statistics. Idempotent.
+    pub fn finish(&mut self) -> SimStats {
+        if !self.finished {
+            self.finished = true;
+            {
+                let mut k = self.kernel.lock();
+                k.shutdown = true;
+            }
+            // Resume every unfinished process so its thread unwinds.
+            let pids: Vec<ProcessId> = {
+                let k = self.kernel.lock();
+                (0..k.procs.len())
+                    .filter(|&i| k.procs[i].state != ProcState::Finished)
+                    .map(ProcessId)
+                    .collect()
+            };
+            for pid in pids {
+                self.resume(pid);
+            }
+            let threads = {
+                let mut k = self.kernel.lock();
+                std::mem::take(&mut k.threads)
+            };
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+        let mut k = self.kernel.lock();
+        k.stats.end_time = k.now;
+        k.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.lock().now()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.kernel.lock().stats
+    }
+
+    /// Take the accumulated trace (empty unless tracing was enabled).
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.kernel.lock().trace)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn empty_engine_runs_to_zero() {
+        let mut e = Engine::with_seed(1);
+        let stats = e.run();
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn process_sleep_advances_clock() {
+        let mut e = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = out.clone();
+        e.spawn_process("sleeper", move |p| {
+            p.sleep(ms(5));
+            o.lock().push(p.now());
+            p.sleep(ms(7));
+            o.lock().push(p.now());
+        });
+        let stats = e.run();
+        assert_eq!(stats.processes_finished, 1);
+        let v = out.lock();
+        assert_eq!(v[0], SimTime::ZERO + ms(5));
+        assert_eq!(v[1], SimTime::ZERO + ms(12));
+    }
+
+    #[test]
+    fn ping_pong_between_processes() {
+        let mut e = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = out.clone();
+        let ponger = e.spawn_process("ponger", move |p| {
+            let (n, src) = p.recv_as::<u32>();
+            p.send(src.unwrap(), n + 1, ms(3));
+        });
+        let o2 = out.clone();
+        e.spawn_process("pinger", move |p| {
+            p.send(ponger.into(), 41u32, ms(2));
+            let (n, _) = p.recv_as::<u32>();
+            o2.lock().push((p.now(), n));
+        });
+        e.run();
+        let v = out.lock();
+        assert_eq!(v[0], (SimTime::ZERO + ms(5), 42));
+        drop(v);
+        let _ = o;
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mut e = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        e.spawn_process("waiter", move |p| {
+            let r = p.recv_timeout(ms(10));
+            *o.lock() = Some((r.is_none(), p.now()));
+        });
+        e.run();
+        let (timed_out, at) = out.lock().unwrap();
+        assert!(timed_out);
+        assert_eq!(at, SimTime::ZERO + ms(10));
+    }
+
+    #[test]
+    fn recv_where_skips_non_matching() {
+        let mut e = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = out.clone();
+        let rx = e.spawn_process("rx", move |p| {
+            let env = p.recv_where(|e| e.peek::<u32>().is_some_and(|v| *v == 7));
+            o.lock().push(env.downcast::<u32>().unwrap());
+            // earlier non-matching message still queued
+            let env = p.recv();
+            o.lock().push(env.downcast::<u32>().unwrap());
+        });
+        e.spawn_process("tx", move |p| {
+            p.send(rx.into(), 3u32, ms(1));
+            p.send(rx.into(), 7u32, ms(2));
+        });
+        e.run();
+        assert_eq!(*out.lock(), vec![7, 3]);
+    }
+
+    #[test]
+    fn actor_timer_and_message() {
+        struct Echo {
+            fired: Arc<AtomicU64>,
+        }
+        impl Actor for Echo {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(ms(4), 99);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+                if let Some(src) = env.src {
+                    let n = env.downcast::<u32>().unwrap();
+                    ctx.send(src, n * 2, ms(1));
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.store(token, Ordering::SeqCst);
+            }
+            fn name(&self) -> &str {
+                "echo"
+            }
+        }
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut e = Engine::with_seed(1);
+        let echo = e.add_actor(Box::new(Echo { fired: fired.clone() }));
+        let out = Arc::new(Mutex::new(0u32));
+        let o = out.clone();
+        e.spawn_process("client", move |p| {
+            p.send(echo.into(), 21u32, ms(1));
+            let (n, _) = p.recv_as::<u32>();
+            *o.lock() = n;
+        });
+        e.run();
+        assert_eq!(*out.lock(), 42);
+        assert_eq!(fired.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn spawned_processes_run() {
+        let mut e = Engine::with_seed(1);
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        e.spawn_process("parent", move |p| {
+            for i in 0..4 {
+                let c2 = c.clone();
+                p.spawn_after(format!("child{i}"), ms(i), move |cp| {
+                    cp.sleep(ms(1));
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let stats = e.run();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert_eq!(stats.processes_finished, 5);
+    }
+
+    #[test]
+    fn horizon_stops_engine_and_parked_threads_unwind() {
+        let mut e = Engine::new(SimConfig {
+            horizon: SimTime::from_nanos(5_000_000),
+            ..Default::default()
+        });
+        e.spawn_process("forever", move |p| loop {
+            p.sleep(ms(1));
+        });
+        let stats = e.run();
+        assert!(stats.hit_horizon);
+        assert!(stats.end_time <= SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn event_cap_stops_livelock() {
+        let mut e = Engine::new(SimConfig { max_events: 100, ..Default::default() });
+        e.spawn_process("spin", move |p| loop {
+            p.sleep(SimDuration::ZERO);
+        });
+        let stats = e.run();
+        assert!(stats.hit_event_cap);
+    }
+
+    #[test]
+    fn message_to_finished_process_is_dropped() {
+        let mut e = Engine::with_seed(1);
+        let dead = e.spawn_process("dead", |_p| {});
+        e.spawn_process("tx", move |p| {
+            p.sleep(ms(5));
+            p.send(dead.into(), 1u32, ms(1));
+        });
+        let stats = e.run(); // must not hang or panic
+        assert_eq!(stats.processes_finished, 2);
+    }
+
+    #[test]
+    fn deterministic_trace_across_runs() {
+        fn run_once(seed: u64) -> Vec<(u64, String)> {
+            let mut e = Engine::new(SimConfig { seed, trace: true, ..Default::default() });
+            let a = e.spawn_process("a", move |p| {
+                let jitter = p.with_rng(|r| rand::Rng::gen_range(r, 0..1000u64));
+                p.sleep(SimDuration::from_micros(jitter));
+                p.trace(format!("slept {jitter}"));
+                let (v, src) = p.recv_as::<u32>();
+                p.send(src.unwrap(), v + 1, ms(1));
+            });
+            e.spawn_process("b", move |p| {
+                p.send(a.into(), 10u32, ms(2));
+                let (v, _) = p.recv_as::<u32>();
+                p.trace(format!("got {v}"));
+            });
+            e.run();
+            e.take_trace().into_iter().map(|r| (r.time.as_nanos(), r.event)).collect()
+        }
+        let t1 = run_once(77);
+        let t2 = run_once(77);
+        assert_eq!(t1, t2);
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn process_panic_is_counted_and_run_continues() {
+        let mut e = Engine::with_seed(1);
+        e.spawn_process("bad", |_p| panic!("intentional test panic"));
+        let ok = Arc::new(AtomicU64::new(0));
+        let o = ok.clone();
+        e.spawn_process("good", move |p| {
+            p.sleep(ms(1));
+            o.fetch_add(1, Ordering::SeqCst);
+        });
+        let stats = e.run();
+        assert_eq!(stats.process_panics, 1);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+}

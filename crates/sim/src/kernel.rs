@@ -1,0 +1,289 @@
+//! The simulation kernel: virtual clock, event heap, process table, RNG,
+//! and trace buffer.
+//!
+//! The kernel is shared between the engine thread and the (at most one)
+//! currently-active process thread behind a `Mutex`. Because the engine
+//! resumes exactly one process at a time and waits for it to yield, the
+//! lock is never contended; it exists to make the hand-off sound.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
+use crate::process::ProcCtl;
+use crate::time::{SimDuration, SimTime};
+
+/// What a scheduled event does when it fires.
+pub(crate) enum EventKind {
+    /// Deliver a message to an endpoint.
+    Deliver { dst: Endpoint, env: Envelope },
+    /// Wake a parked process. Stale wakes (epoch mismatch) are ignored,
+    /// which is how sleep timeouts and message arrivals coexist safely.
+    Wake { pid: ProcessId, epoch: u64 },
+    /// Fire a timer registered by a reactive actor.
+    Timer { actor: ActorId, token: u64 },
+}
+
+/// An entry in the event heap, ordered by `(time, seq)` so that
+/// simultaneous events fire in scheduling order (deterministic).
+pub(crate) struct Scheduled {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Why a process is not currently running.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ProcState {
+    /// Thread created, entry not yet invoked.
+    NotStarted,
+    /// Currently executing (it is the active thread).
+    Active,
+    /// Blocked in `recv`; a message delivery wakes it.
+    ParkedRecv,
+    /// Blocked in `sleep`; only the matching `Wake` event resumes it.
+    ParkedSleep,
+    /// Entry function returned (or unwound on shutdown).
+    Finished,
+}
+
+/// Bookkeeping for one threaded process.
+pub(crate) struct ProcSlot {
+    pub name: String,
+    pub ctl: Arc<ProcCtl>,
+    pub mailbox: VecDeque<Envelope>,
+    pub state: ProcState,
+    /// Park epoch; bumped every time the process parks or is woken so
+    /// stale `Wake` events can be discarded.
+    pub epoch: u64,
+}
+
+/// One line of the simulation trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Component that produced the record.
+    pub source: String,
+    /// Human-readable description.
+    pub event: String,
+}
+
+/// Engine configuration knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the deterministic RNG.
+    pub seed: u64,
+    /// Hard cap on processed events (guards against livelock).
+    pub max_events: u64,
+    /// Virtual-time horizon; events after it are not processed.
+    pub horizon: SimTime,
+    /// Record trace lines.
+    pub trace: bool,
+    /// Echo trace lines to stderr as they happen (debugging aid).
+    pub trace_echo: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x5eed_dac5,
+            max_events: 50_000_000,
+            horizon: SimTime::MAX,
+            trace: false,
+            trace_echo: false,
+        }
+    }
+}
+
+/// Aggregate statistics returned by [`Engine::run`](crate::engine::Engine::run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of events dispatched.
+    pub events: u64,
+    /// Final virtual time.
+    pub end_time: SimTime,
+    /// Processes spawned over the run.
+    pub processes_spawned: u64,
+    /// Processes that ran to completion.
+    pub processes_finished: u64,
+    /// True if the run stopped because `max_events` was hit.
+    pub hit_event_cap: bool,
+    /// True if the run stopped at the virtual-time horizon.
+    pub hit_horizon: bool,
+    /// Process bodies that terminated by a genuine panic.
+    pub process_panics: u64,
+}
+
+/// The mutable heart of the simulation. See module docs for the locking
+/// discipline.
+pub struct Kernel {
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: BinaryHeap<Reverse<Scheduled>>,
+    pub(crate) procs: Vec<ProcSlot>,
+    pub(crate) shutdown: bool,
+    pub(crate) rng: SmallRng,
+    pub(crate) config: SimConfig,
+    pub(crate) trace: Vec<TraceRecord>,
+    pub(crate) stats: SimStats,
+    pub(crate) actor_names: Vec<String>,
+    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
+    /// Actor timers cancelled before firing; the engine discards them
+    /// without advancing the clock.
+    pub(crate) cancelled_timers: std::collections::HashSet<(usize, u64)>,
+}
+
+impl Kernel {
+    pub(crate) fn new(config: SimConfig) -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            shutdown: false,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            trace: Vec::new(),
+            stats: SimStats::default(),
+            actor_names: Vec::new(),
+            threads: Vec::new(),
+            cancelled_timers: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Mutable access to run statistics (engine and process internals).
+    pub(crate) fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Push an event onto the heap at absolute time `at` (clamped to now).
+    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time: at, seq, kind }));
+    }
+
+    /// Schedule delivery of `env` to `dst` after `delay`.
+    pub fn send(&mut self, dst: Endpoint, env: Envelope, delay: SimDuration) {
+        let at = self.now + delay;
+        self.schedule(at, EventKind::Deliver { dst, env });
+    }
+
+    /// Bump a process's park epoch and return the new value.
+    pub(crate) fn bump_epoch(&mut self, pid: ProcessId) -> u64 {
+        let slot = &mut self.procs[pid.0];
+        slot.epoch += 1;
+        slot.epoch
+    }
+
+    /// Record a trace line (no-op unless tracing is enabled).
+    pub fn trace(&mut self, source: &str, event: impl Into<String>) {
+        if !self.config.trace {
+            return;
+        }
+        let rec = TraceRecord { time: self.now, source: source.to_string(), event: event.into() };
+        if self.config.trace_echo {
+            eprintln!("[{}] {}: {}", rec.time, rec.source, rec.event);
+        }
+        self.trace.push(rec);
+    }
+
+    /// Draw from the deterministic RNG.
+    pub fn with_rng<R>(&mut self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        f(&mut self.rng)
+    }
+
+    /// Human-readable name of an endpoint (for traces and errors).
+    pub fn endpoint_name(&self, ep: Endpoint) -> String {
+        match ep {
+            Endpoint::Actor(a) => self
+                .actor_names
+                .get(a.0)
+                .cloned()
+                .unwrap_or_else(|| format!("actor#{}", a.0)),
+            Endpoint::Process(p) => self
+                .procs
+                .get(p.0)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| format!("proc#{}", p.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_orders_by_time_then_seq() {
+        let mut k = Kernel::new(SimConfig::default());
+        k.schedule(SimTime::from_nanos(20), EventKind::Wake { pid: ProcessId(0), epoch: 0 });
+        k.schedule(SimTime::from_nanos(10), EventKind::Wake { pid: ProcessId(1), epoch: 0 });
+        k.schedule(SimTime::from_nanos(10), EventKind::Wake { pid: ProcessId(2), epoch: 0 });
+        let order: Vec<usize> = std::iter::from_fn(|| k.queue.pop())
+            .map(|Reverse(s)| match s.kind {
+                EventKind::Wake { pid, .. } => pid.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]); // same-time ties broken by schedule order
+    }
+
+    #[test]
+    fn schedule_clamps_to_now() {
+        let mut k = Kernel::new(SimConfig::default());
+        k.now = SimTime::from_nanos(100);
+        k.schedule(SimTime::from_nanos(5), EventKind::Timer { actor: ActorId(0), token: 0 });
+        let Reverse(s) = k.queue.pop().unwrap();
+        assert_eq!(s.time, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut k = Kernel::new(SimConfig::default());
+        k.trace("x", "hello");
+        assert!(k.trace.is_empty());
+        k.config.trace = true;
+        k.trace("x", "hello");
+        assert_eq!(k.trace.len(), 1);
+        assert_eq!(k.trace[0].event, "hello");
+    }
+
+    #[test]
+    fn rng_is_seed_deterministic() {
+        use rand::Rng;
+        let mut a = Kernel::new(SimConfig { seed: 42, ..Default::default() });
+        let mut b = Kernel::new(SimConfig { seed: 42, ..Default::default() });
+        let xa: Vec<u32> = (0..8).map(|_| a.with_rng(|r| r.gen())).collect();
+        let xb: Vec<u32> = (0..8).map(|_| b.with_rng(|r| r.gen())).collect();
+        assert_eq!(xa, xb);
+    }
+}

@@ -1,0 +1,57 @@
+//! # darms-sim — deterministic process-oriented discrete-event simulation
+//!
+//! The substrate every other `darms` crate runs on. It provides:
+//!
+//! - a virtual clock ([`SimTime`], [`SimDuration`]);
+//! - an event heap ordered by `(time, sequence)` for deterministic
+//!   simultaneous-event handling;
+//! - **reactive actors** ([`Actor`]) — state machines dispatched inline,
+//!   used for daemons such as `pbs_server`, `pbs_mom` and the scheduler;
+//! - **threaded processes** ([`Proc`]) — ordinary Rust closures with
+//!   blocking `sleep`/`recv`, used for sequential logic such as user
+//!   applications and MPI ranks. The engine resumes at most one process
+//!   thread at a time and waits for it to yield, so runs are bit-for-bit
+//!   reproducible for a given seed;
+//! - a seeded RNG, an optional event trace, and a [`Recorder`] for
+//!   collecting experiment measurements.
+//!
+//! ## Example
+//!
+//! ```
+//! use darms_sim::{Engine, SimDuration};
+//! use std::sync::Arc;
+//! use parking_lot::Mutex;
+//!
+//! let mut sim = Engine::with_seed(7);
+//! let out = Arc::new(Mutex::new(0u32));
+//! let o = out.clone();
+//! let server = sim.spawn_process("server", |p| {
+//!     let (n, src) = p.recv_as::<u32>();
+//!     p.send(src.unwrap(), n + 1, SimDuration::from_millis(1));
+//! });
+//! sim.spawn_process("client", move |p| {
+//!     p.send(server.into(), 41u32, SimDuration::from_millis(1));
+//!     let (n, _) = p.recv_as::<u32>();
+//!     *o.lock() = n;
+//! });
+//! sim.run();
+//! assert_eq!(*out.lock(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod actor;
+mod engine;
+mod envelope;
+mod kernel;
+mod process;
+mod recorder;
+mod time;
+
+pub use actor::{Actor, Ctx};
+pub use engine::Engine;
+pub use envelope::{ActorId, Endpoint, Envelope, ProcessId};
+pub use kernel::{Kernel, SimConfig, SimStats, TraceRecord};
+pub use process::Proc;
+pub use recorder::{percentile, Recorder, Sample, Summary};
+pub use time::{SimDuration, SimTime};

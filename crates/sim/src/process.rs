@@ -1,0 +1,344 @@
+//! Threaded simulation processes with blocking `sleep`/`recv` semantics.
+//!
+//! Daemons with sequential logic (user applications, MPI ranks, accelerator
+//! back-ends) are written as ordinary Rust closures taking a [`Proc`]
+//! handle. Under the hood each process is an OS thread, but the engine
+//! resumes **at most one** thread at a time and waits for it to yield, so
+//! execution is fully deterministic — the threads exist only to give
+//! blocking calls a stack to park on.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+
+use crate::envelope::{Endpoint, Envelope, ProcessId};
+use crate::kernel::{EventKind, Kernel, ProcSlot, ProcState};
+use crate::time::{SimDuration, SimTime};
+
+/// Whose turn it is to run: the engine or this process's thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Turn {
+    Engine,
+    Process,
+    Done,
+}
+
+/// The hand-off primitive between the engine thread and a process thread.
+pub(crate) struct ProcCtl {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+impl ProcCtl {
+    pub(crate) fn new() -> Self {
+        ProcCtl { turn: Mutex::new(Turn::Engine), cv: Condvar::new() }
+    }
+
+    /// Engine side: give the process the turn and block until it yields.
+    /// Returns true if the process finished.
+    pub(crate) fn resume_and_wait(&self) -> bool {
+        let mut turn = self.turn.lock();
+        debug_assert_ne!(*turn, Turn::Process, "double resume");
+        if *turn == Turn::Done {
+            return true;
+        }
+        *turn = Turn::Process;
+        self.cv.notify_all();
+        while *turn == Turn::Process {
+            self.cv.wait(&mut turn);
+        }
+        *turn == Turn::Done
+    }
+
+    /// Process side: yield to the engine and block until resumed.
+    fn yield_to_engine(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Engine;
+        self.cv.notify_all();
+        while *turn == Turn::Engine {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Process side: wait for the very first resume (before entry runs).
+    fn wait_first_turn(&self) {
+        let mut turn = self.turn.lock();
+        while *turn == Turn::Engine {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Process side: mark completion and hand control back permanently.
+    fn finish(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Done;
+        self.cv.notify_all();
+    }
+}
+
+/// Panic payload used to unwind process threads on simulation shutdown.
+/// The engine installs a panic hook that silences it.
+pub(crate) struct SimShutdown;
+
+/// Install (once) a panic hook that suppresses the internal shutdown
+/// unwind while delegating real panics to the previous hook.
+pub(crate) fn install_shutdown_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<SimShutdown>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Handle given to a process closure; all interaction with the simulated
+/// world goes through it.
+///
+/// The handle is cloneable so that layered libraries (MPI runtime, job
+/// context, resource-management library) can each hold one. All clones
+/// refer to the same process and **must only be used from that process's
+/// own closure** — blocking on another thread's handle would corrupt the
+/// engine hand-off. The engine's single-active-thread discipline makes
+/// this easy to satisfy: simulation code only ever sees its own handle.
+#[derive(Clone)]
+pub struct Proc {
+    pub(crate) pid: ProcessId,
+    pub(crate) kernel: Arc<Mutex<Kernel>>,
+    pub(crate) ctl: Arc<ProcCtl>,
+    pub(crate) name: String,
+}
+
+impl Proc {
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// This process's endpoint (give it to peers so they can reply).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::Process(self.pid)
+    }
+
+    /// The name the process was spawned with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.lock().now()
+    }
+
+    /// Record a trace line attributed to this process.
+    pub fn trace(&self, event: impl Into<String>) {
+        let mut k = self.kernel.lock();
+        let name = self.name.clone();
+        k.trace(&name, event);
+    }
+
+    /// Draw from the deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        self.kernel.lock().with_rng(f)
+    }
+
+    /// Advance virtual time by `d` (models compute or I/O work).
+    /// Messages arriving meanwhile queue up in the mailbox.
+    pub fn sleep(&self, d: SimDuration) {
+        let epoch = {
+            let mut k = self.kernel.lock();
+            self.check_shutdown(&k);
+            let at = k.now() + d;
+            let epoch = k.bump_epoch(self.pid);
+            k.procs[self.pid.0].state = ProcState::ParkedSleep;
+            k.schedule(at, EventKind::Wake { pid: self.pid, epoch });
+            epoch
+        };
+        let _ = epoch;
+        self.ctl.yield_to_engine();
+        let k = self.kernel.lock();
+        self.check_shutdown(&k);
+    }
+
+    /// Send a payload to `dst`, arriving after `delay`.
+    pub fn send<T: std::any::Any + Send>(&self, dst: Endpoint, payload: T, delay: SimDuration) {
+        self.send_env(dst, Envelope::from_src(self.endpoint(), payload), delay);
+    }
+
+    /// Send a pre-built envelope.
+    pub fn send_env(&self, dst: Endpoint, env: Envelope, delay: SimDuration) {
+        let mut k = self.kernel.lock();
+        self.check_shutdown(&k);
+        k.send(dst, env, delay);
+    }
+
+    /// Pop the next mailbox message without blocking.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        let mut k = self.kernel.lock();
+        self.check_shutdown(&k);
+        k.procs[self.pid.0].mailbox.pop_front()
+    }
+
+    /// Pop the first mailbox message satisfying `pred` without blocking;
+    /// earlier non-matching messages stay queued in order.
+    pub fn try_recv_where(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<Envelope> {
+        let mut k = self.kernel.lock();
+        self.check_shutdown(&k);
+        let slot = &mut k.procs[self.pid.0];
+        let ix = slot.mailbox.iter().position(&mut pred)?;
+        slot.mailbox.remove(ix)
+    }
+
+    /// Block until a message arrives, then return it (FIFO).
+    pub fn recv(&self) -> Envelope {
+        self.recv_where_deadline(|_| true, None)
+            .expect("recv without deadline cannot time out")
+    }
+
+    /// Block until a message satisfying `pred` arrives; earlier
+    /// non-matching messages stay queued in order. This is the matching
+    /// primitive the MPI layer builds tag/source matching on.
+    pub fn recv_where(&self, pred: impl FnMut(&Envelope) -> bool) -> Envelope {
+        self.recv_where_deadline(pred, None)
+            .expect("recv_where without deadline cannot time out")
+    }
+
+    /// Like [`Proc::recv`] but gives up after `d`, returning `None`.
+    pub fn recv_timeout(&self, d: SimDuration) -> Option<Envelope> {
+        let deadline = self.now() + d;
+        self.recv_where_deadline(|_| true, Some(deadline))
+    }
+
+    /// Like [`Proc::recv_where`] but gives up at `deadline`.
+    pub fn recv_where_timeout(
+        &self,
+        pred: impl FnMut(&Envelope) -> bool,
+        d: SimDuration,
+    ) -> Option<Envelope> {
+        let deadline = self.now() + d;
+        self.recv_where_deadline(pred, Some(deadline))
+    }
+
+    /// Block until a message whose payload is a `T` arrives; returns the
+    /// downcast payload and the source endpoint.
+    pub fn recv_as<T: std::any::Any + Send>(&self) -> (T, Option<Endpoint>) {
+        let env = self.recv_where(|e| e.is::<T>());
+        let src = env.src;
+        (env.downcast::<T>().expect("type matched by predicate"), src)
+    }
+
+    fn recv_where_deadline(
+        &self,
+        mut pred: impl FnMut(&Envelope) -> bool,
+        deadline: Option<SimTime>,
+    ) -> Option<Envelope> {
+        loop {
+            {
+                let mut k = self.kernel.lock();
+                self.check_shutdown(&k);
+                let slot = &mut k.procs[self.pid.0];
+                if let Some(ix) = slot.mailbox.iter().position(&mut pred) {
+                    return slot.mailbox.remove(ix);
+                }
+                if let Some(dl) = deadline {
+                    if k.now() >= dl {
+                        return None;
+                    }
+                }
+                let epoch = k.bump_epoch(self.pid);
+                k.procs[self.pid.0].state = ProcState::ParkedRecv;
+                if let Some(dl) = deadline {
+                    k.schedule(dl, EventKind::Wake { pid: self.pid, epoch });
+                }
+            }
+            self.ctl.yield_to_engine();
+            // Woken either by a delivery or the timeout; loop re-checks.
+        }
+    }
+
+    /// Spawn a new process whose entry runs after `delay`.
+    pub fn spawn_after(
+        &self,
+        name: impl Into<String>,
+        delay: SimDuration,
+        entry: impl FnOnce(Proc) + Send + 'static,
+    ) -> ProcessId {
+        let mut k = self.kernel.lock();
+        self.check_shutdown(&k);
+        spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
+    }
+
+    /// Spawn a new process starting now.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        entry: impl FnOnce(Proc) + Send + 'static,
+    ) -> ProcessId {
+        self.spawn_after(name, SimDuration::ZERO, entry)
+    }
+
+    fn check_shutdown(&self, k: &Kernel) {
+        if k.shutdown {
+            drop_lock_and_unwind();
+        }
+        fn drop_lock_and_unwind() -> ! {
+            // The MutexGuard is released by unwinding through the caller.
+            panic::panic_any(SimShutdown)
+        }
+    }
+}
+
+/// Engine-internal: allocate a slot, create the (initially parked) thread,
+/// and schedule its first wake. Also used by actor contexts.
+pub(crate) fn spawn_process(
+    k: &mut Kernel,
+    arc: &Arc<Mutex<Kernel>>,
+    name: String,
+    delay: SimDuration,
+    entry: impl FnOnce(Proc) + Send + 'static,
+) -> ProcessId {
+    let pid = ProcessId(k.procs.len());
+    let ctl = Arc::new(ProcCtl::new());
+    k.procs.push(ProcSlot {
+        name: name.clone(),
+        ctl: ctl.clone(),
+        mailbox: Default::default(),
+        state: ProcState::NotStarted,
+        epoch: 0,
+    });
+    k.stats.processes_spawned += 1;
+    let at = k.now() + delay;
+    k.schedule(at, EventKind::Wake { pid, epoch: 0 });
+
+    let proc = Proc { pid, kernel: arc.clone(), ctl: ctl.clone(), name };
+    let kernel_for_thread = arc.clone();
+    let handle = std::thread::Builder::new()
+        .name(proc.name.clone())
+        .spawn(move || {
+            proc.ctl.wait_first_turn();
+            // Shutdown may arrive before the first wake fires.
+            let run = !proc.kernel.lock().shutdown;
+            let ctl = proc.ctl.clone();
+            if run {
+                let result = panic::catch_unwind(AssertUnwindSafe(move || entry(proc)));
+                if let Err(payload) = result {
+                    if !payload.is::<SimShutdown>() {
+                        // A genuine panic inside a process body: the engine
+                        // is blocked in resume_and_wait and does not hold
+                        // the kernel lock, so recording the failure is safe.
+                        kernel_for_thread.lock().stats_mut().process_panics += 1;
+                    }
+                }
+            }
+            ctl.finish();
+        })
+        .expect("spawn simulation process thread");
+    k.threads.push(handle);
+    pid
+}

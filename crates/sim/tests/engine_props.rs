@@ -1,0 +1,81 @@
+//! Property tests of the engine: virtual-time ordering, determinism, and
+//! timeout semantics under arbitrary schedules.
+
+use std::sync::Arc;
+
+use darms_sim::{Engine, SimDuration, SimTime};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Sleepers with arbitrary durations always wake in duration order,
+    /// and the clock never runs backwards.
+    #[test]
+    fn sleepers_wake_in_order(mut durations in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let mut sim = Engine::with_seed(1);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        for (i, &d) in durations.iter().enumerate() {
+            let o = out.clone();
+            sim.spawn_process(format!("s{i}"), move |p| {
+                p.sleep(SimDuration::from_nanos(d));
+                o.lock().push((p.now(), d));
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(stats.processes_finished as usize, durations.len());
+        let woke = out.lock().clone();
+        // Wake times are the durations themselves (all started at t=0)...
+        for (at, d) in &woke {
+            prop_assert_eq!(at.as_nanos(), *d);
+        }
+        // ...and observed in non-decreasing time order.
+        for w in woke.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        durations.sort();
+    }
+
+    /// recv_timeout returns at exactly the deadline when nothing arrives,
+    /// and before it when a message lands earlier.
+    #[test]
+    fn recv_timeout_deadline_is_exact(timeout_ns in 1u64..1_000_000, msg_ns in 1u64..2_000_000) {
+        let mut sim = Engine::with_seed(2);
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        let rx = sim.spawn_process("rx", move |p| {
+            let r = p.recv_timeout(SimDuration::from_nanos(timeout_ns));
+            *o.lock() = Some((r.is_some(), p.now()));
+        });
+        sim.spawn_process("tx", move |p| {
+            p.send(rx.into(), 1u8, SimDuration::from_nanos(msg_ns));
+        });
+        sim.run();
+        let (got, at) = out.lock().unwrap();
+        if msg_ns <= timeout_ns {
+            prop_assert!(got);
+            prop_assert_eq!(at, SimTime::from_nanos(msg_ns));
+        } else {
+            prop_assert!(!got);
+            prop_assert_eq!(at, SimTime::from_nanos(timeout_ns));
+        }
+    }
+
+    /// Determinism: the same random scenario produces the same stats.
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..10_000, n in 1usize..10) {
+        fn run(seed: u64, n: usize) -> (u64, u64) {
+            let mut sim = Engine::with_seed(seed);
+            for i in 0..n {
+                sim.spawn_process(format!("p{i}"), move |p| {
+                    let jitter = p.with_rng(|r| rand::Rng::gen_range(r, 1..1000u64));
+                    p.sleep(SimDuration::from_nanos(jitter * (i as u64 + 1)));
+                });
+            }
+            let stats = sim.run();
+            (stats.events, stats.end_time.as_nanos())
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+}

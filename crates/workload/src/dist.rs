@@ -1,0 +1,149 @@
+//! Sampling distributions for synthetic workloads.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A one-dimensional sampling distribution.
+#[derive(Clone, Debug)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (inter-arrival times).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Log-normal parameterised by the underlying normal's `mu`/`sigma`
+    /// (job runtimes are classically log-normal).
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Weighted discrete choice.
+    Choice(Vec<(f64, f64)>),
+}
+
+impl Dist {
+    /// Draw one sample (clamped to be non-negative).
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..*hi)
+                }
+            }
+            Dist::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+            Dist::LogNormal { mu, sigma } => {
+                // Box-Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp()
+            }
+            Dist::Choice(items) => {
+                let total: f64 = items.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let mut roll = rng.gen_range(0.0..total);
+                for (w, v) in items {
+                    roll -= w.max(0.0);
+                    if roll <= 0.0 {
+                        return *v;
+                    }
+                }
+                items.last().map(|(_, v)| *v).unwrap_or(0.0)
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Draw an integer sample (rounded, floored at `min`).
+    pub fn sample_int(&self, rng: &mut SmallRng, min: u64) -> u64 {
+        (self.sample(rng).round() as u64).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        assert_eq!(Dist::Constant(4.0).sample(&mut r), 4.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        let d = Dist::Uniform { lo: 2.0, hi: 5.0 };
+        for _ in 0..500 {
+            let v = d.sample(&mut r);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let mut r = rng();
+        assert_eq!(Dist::Uniform { lo: 3.0, hi: 3.0 }.sample(&mut r), 3.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let d = Dist::Exponential { mean: 10.0 };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = rng();
+        let d = Dist::LogNormal { mu: 1.0, sigma: 1.0 };
+        for _ in 0..500 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn choice_respects_weights() {
+        let mut r = rng();
+        let d = Dist::Choice(vec![(0.0, 1.0), (1.0, 2.0)]);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 2.0);
+        }
+        let d = Dist::Choice(vec![(3.0, 1.0), (1.0, 2.0)]);
+        let ones = (0..4000).filter(|_| d.sample(&mut r) == 1.0).count();
+        assert!(ones > 2700 && ones < 3300, "ones {ones}");
+    }
+
+    #[test]
+    fn sample_int_floors_at_min() {
+        let mut r = rng();
+        assert_eq!(Dist::Constant(0.2).sample_int(&mut r, 1), 1);
+        assert_eq!(Dist::Constant(3.6).sample_int(&mut r, 1), 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! # darms-workload — synthetic workloads and batch-system metrics
+//!
+//! The paper evaluated its batch system with sample programs because real
+//! network-attached-accelerator applications did not exist yet (§IV).
+//! This crate provides the synthetic equivalents the experiment harness
+//! drives: deterministic job-trace generation (arrival processes, job-mix
+//! distributions) and the aggregate metrics (wait, turnaround, makespan,
+//! accelerator-pool utilisation) used by the extended studies, plus the
+//! plain-text tables every experiment binary prints.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod metrics;
+pub mod swf;
+pub mod table;
+pub mod trace;
+
+pub use dist::Dist;
+pub use metrics::{JobOutcome, WorkloadReport};
+pub use swf::{overlay_accelerator_demand, parse_swf, to_swf, SwfError};
+pub use table::{secs, Table};
+pub use trace::{TraceJob, WorkloadConfig};

@@ -1,0 +1,163 @@
+//! Batch-system metrics computed from final job statuses.
+
+use darms_sim::{SimDuration, SimTime};
+
+/// A minimal view of one finished job (decoupled from the RMS types so
+/// this crate stays dependency-light).
+#[derive(Clone, Copy, Debug)]
+pub struct JobOutcome {
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Start time (None = never started).
+    pub started: Option<SimTime>,
+    /// Completion time (None = never finished).
+    pub completed: Option<SimTime>,
+    /// Compute nodes held while running.
+    pub nodes: usize,
+    /// Accelerator nodes held while running (static; dynamic usage is
+    /// tracked separately by the experiments).
+    pub accs: usize,
+}
+
+/// Aggregate metrics over a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadReport {
+    /// Jobs that completed.
+    pub finished: usize,
+    /// Jobs that never started.
+    pub unstarted: usize,
+    /// Mean wait (submission → start) in seconds.
+    pub mean_wait: f64,
+    /// 95th-percentile wait in seconds.
+    pub p95_wait: f64,
+    /// Mean turnaround (submission → completion) in seconds.
+    pub mean_turnaround: f64,
+    /// Time from first submission to last completion.
+    pub makespan: SimDuration,
+    /// Compute-node-seconds consumed.
+    pub node_seconds: f64,
+    /// Accelerator-node-seconds consumed (static allocations).
+    pub acc_seconds: f64,
+}
+
+impl WorkloadReport {
+    /// Compute the report; returns `None` if no job completed.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Option<WorkloadReport> {
+        let finished: Vec<&JobOutcome> =
+            outcomes.iter().filter(|o| o.completed.is_some()).collect();
+        if finished.is_empty() {
+            return None;
+        }
+        let mut waits: Vec<f64> = finished
+            .iter()
+            .filter_map(|o| o.started.map(|s| (s - o.submitted).as_secs_f64()))
+            .collect();
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean_wait = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
+        let p95_wait = if waits.is_empty() {
+            0.0
+        } else {
+            darms_sim::percentile(&waits, 0.95)
+        };
+        let turnarounds: Vec<f64> = finished
+            .iter()
+            .map(|o| (o.completed.expect("filtered") - o.submitted).as_secs_f64())
+            .collect();
+        let mean_turnaround = turnarounds.iter().sum::<f64>() / turnarounds.len() as f64;
+        let first_submit = finished.iter().map(|o| o.submitted).min().expect("non-empty");
+        let last_complete =
+            finished.iter().map(|o| o.completed.expect("filtered")).max().expect("non-empty");
+        let mut node_seconds = 0.0;
+        let mut acc_seconds = 0.0;
+        for o in &finished {
+            if let (Some(s), Some(c)) = (o.started, o.completed) {
+                let dur = (c - s).as_secs_f64();
+                node_seconds += dur * o.nodes as f64;
+                acc_seconds += dur * o.accs as f64;
+            }
+        }
+        Some(WorkloadReport {
+            finished: finished.len(),
+            unstarted: outcomes.len() - finished.len(),
+            mean_wait,
+            p95_wait,
+            mean_turnaround,
+            makespan: last_complete - first_submit,
+            node_seconds,
+            acc_seconds,
+        })
+    }
+
+    /// Average accelerator-pool utilisation over the makespan, given the
+    /// pool size (0..=1).
+    pub fn acc_utilisation(&self, pool: usize) -> f64 {
+        let denom = self.makespan.as_secs_f64() * pool as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.acc_seconds / denom).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn outcome(sub: u64, start: u64, end: u64, nodes: usize, accs: usize) -> JobOutcome {
+        JobOutcome {
+            submitted: t(sub),
+            started: Some(t(start)),
+            completed: Some(t(end)),
+            nodes,
+            accs,
+        }
+    }
+
+    #[test]
+    fn empty_has_no_report() {
+        assert!(WorkloadReport::from_outcomes(&[]).is_none());
+        let unfinished =
+            [JobOutcome { submitted: t(0), started: None, completed: None, nodes: 1, accs: 0 }];
+        assert!(WorkloadReport::from_outcomes(&unfinished).is_none());
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let r = WorkloadReport::from_outcomes(&[
+            outcome(0, 10, 110, 2, 1),
+            outcome(5, 15, 65, 1, 0),
+        ])
+        .unwrap();
+        assert_eq!(r.finished, 2);
+        assert_eq!(r.unstarted, 0);
+        assert!((r.mean_wait - 10.0).abs() < 1e-9);
+        assert!((r.mean_turnaround - ((110.0 - 0.0) + (65.0 - 5.0)) / 2.0).abs() < 1e-9);
+        assert_eq!(r.makespan, SimDuration::from_secs(110));
+        assert!((r.node_seconds - (100.0 * 2.0 + 50.0)).abs() < 1e-9);
+        assert!((r.acc_seconds - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstarted_jobs_are_counted() {
+        let r = WorkloadReport::from_outcomes(&[
+            outcome(0, 1, 2, 1, 0),
+            JobOutcome { submitted: t(0), started: None, completed: None, nodes: 1, accs: 0 },
+        ])
+        .unwrap();
+        assert_eq!(r.finished, 1);
+        assert_eq!(r.unstarted, 1);
+    }
+
+    #[test]
+    fn utilisation_is_bounded() {
+        let r = WorkloadReport::from_outcomes(&[outcome(0, 0, 100, 1, 2)]).unwrap();
+        let u = r.acc_utilisation(4);
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+        assert_eq!(r.acc_utilisation(0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic job-trace generation: arrival processes and job mixes.
+
+use darms_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Dist;
+
+/// One job of a generated trace (batch-system-agnostic description; the
+/// experiment harness turns it into a `JobSpec`).
+#[derive(Clone, Debug)]
+pub struct TraceJob {
+    /// Arrival offset from trace start.
+    pub arrival: SimDuration,
+    /// Owner (fairshare key).
+    pub owner: String,
+    /// Compute nodes requested.
+    pub nodes: usize,
+    /// Cores per node requested.
+    pub ppn: u32,
+    /// Static accelerators per node requested.
+    pub acpn: u32,
+    /// Actual runtime.
+    pub runtime: SimDuration,
+    /// User-supplied walltime estimate (≥ runtime).
+    pub walltime_estimate: SimDuration,
+}
+
+/// Configuration of the synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Inter-arrival time distribution (seconds).
+    pub interarrival: Dist,
+    /// Compute nodes per job.
+    pub nodes: Dist,
+    /// Cores per node.
+    pub ppn: Dist,
+    /// Static accelerators per node (0 = CPU-only job).
+    pub acpn: Dist,
+    /// Runtime in seconds.
+    pub runtime: Dist,
+    /// Walltime estimate as a multiple of runtime (≥ 1).
+    pub estimate_factor: Dist,
+    /// Owners to round-robin-sample from.
+    pub owners: Vec<String>,
+}
+
+impl WorkloadConfig {
+    /// A mixed workload in the spirit of the paper's motivation: mostly
+    /// small CPU jobs, some requesting one or two network-attached
+    /// accelerators per node.
+    pub fn mixed() -> Self {
+        WorkloadConfig {
+            interarrival: Dist::Exponential { mean: 30.0 },
+            nodes: Dist::Choice(vec![(6.0, 1.0), (3.0, 2.0), (1.0, 3.0)]),
+            ppn: Dist::Choice(vec![(1.0, 1.0), (1.0, 2.0), (1.0, 4.0)]),
+            acpn: Dist::Choice(vec![(5.0, 0.0), (3.0, 1.0), (2.0, 2.0)]),
+            runtime: Dist::LogNormal { mu: 4.0, sigma: 0.8 },
+            estimate_factor: Dist::Uniform { lo: 1.1, hi: 2.5 },
+            owners: vec!["alice".into(), "bob".into(), "carol".into(), "dave".into()],
+        }
+    }
+
+    /// A CPU-only workload (no accelerator requests).
+    pub fn cpu_only() -> Self {
+        let mut c = Self::mixed();
+        c.acpn = Dist::Constant(0.0);
+        c
+    }
+
+    /// Generate `n` jobs deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<TraceJob> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            t += self.interarrival.sample(&mut rng);
+            let runtime_s = self.runtime.sample(&mut rng).max(1.0);
+            let factor = self.estimate_factor.sample(&mut rng).max(1.0);
+            let owner = self.owners[i % self.owners.len().max(1)].clone();
+            jobs.push(TraceJob {
+                arrival: SimDuration::from_secs_f64(t),
+                owner,
+                nodes: self.nodes.sample_int(&mut rng, 1) as usize,
+                ppn: self.ppn.sample_int(&mut rng, 1) as u32,
+                acpn: self.acpn.sample_int(&mut rng, 0) as u32,
+                runtime: SimDuration::from_secs_f64(runtime_s),
+                walltime_estimate: SimDuration::from_secs_f64(runtime_s * factor),
+            });
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = WorkloadConfig::mixed();
+        let a = c.generate(50, 9);
+        let b = c.generate(50, 9);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.acpn, y.acpn);
+            assert_eq!(x.runtime, y.runtime);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let jobs = WorkloadConfig::mixed().generate(100, 3);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn estimates_dominate_runtimes() {
+        for j in WorkloadConfig::mixed().generate(200, 5) {
+            assert!(j.walltime_estimate >= j.runtime);
+            assert!(j.nodes >= 1);
+            assert!(j.ppn >= 1);
+        }
+    }
+
+    #[test]
+    fn cpu_only_has_no_accelerators() {
+        assert!(WorkloadConfig::cpu_only().generate(100, 1).iter().all(|j| j.acpn == 0));
+    }
+
+    #[test]
+    fn mixed_has_some_accelerator_jobs() {
+        let jobs = WorkloadConfig::mixed().generate(200, 1);
+        let acc = jobs.iter().filter(|j| j.acpn > 0).count();
+        assert!(acc > 40, "accelerator jobs: {acc}/200");
+    }
+}

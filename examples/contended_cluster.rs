@@ -1,0 +1,119 @@
+//! A contended cluster: a generated mixed workload (CPU-only jobs plus
+//! jobs with static accelerator requests and runtime `AC_Get` bursts)
+//! pushed through the batch system; prints per-job outcomes and pool
+//! statistics.
+//!
+//! Run with: `cargo run --release --example contended_cluster`
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_workload::{secs as fmt_secs, JobOutcome, Table, WorkloadConfig, WorkloadReport};
+use parking_lot::Mutex;
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(2013).with_split(3, 4));
+    let dac = cluster.dac.clone();
+    let pool = cluster.accs.len();
+
+    // Generate a 20-job mixed trace.
+    let trace = WorkloadConfig::mixed().generate(20, 99);
+    let grants = Arc::new(Mutex::new(0usize));
+    let rejections = Arc::new(Mutex::new(0usize));
+
+    for (i, t) in trace.iter().enumerate() {
+        // Clamp to this cluster's capacity.
+        let nodes = t.nodes.min(3);
+        let acpn = t.acpn.min((pool / nodes) as u32);
+        let runtime = t.runtime;
+        let d = dac.clone();
+        let g = grants.clone();
+        let r = rejections.clone();
+        let wants_dynamic = i % 3 == 0; // every third job grows at runtime
+        let spec = JobSpec::synthetic(format!("job{i:02}"), runtime)
+            .owner(&t.owner)
+            .nodes(nodes)
+            .ppn(t.ppn.min(8))
+            .acpn(acpn)
+            .walltime(t.walltime_estimate)
+            .script(script(move |jc| {
+                let (mut ses, _) = AcSession::init(jc, &d, None);
+                jc.proc.sleep(runtime / 2);
+                if wants_dynamic && jc.node_index == 0 {
+                    match ses.ac_get(1) {
+                        Ok(set) => {
+                            *g.lock() += 1;
+                            jc.proc.sleep(runtime / 4);
+                            ses.ac_free(&set).unwrap();
+                            jc.proc.sleep(runtime / 4);
+                        }
+                        Err(_) => {
+                            *r.lock() += 1;
+                            jc.proc.sleep(runtime / 2);
+                        }
+                    }
+                } else {
+                    jc.proc.sleep(runtime / 2);
+                }
+                ses.finalize();
+            }));
+        cluster.qsub_after(t.arrival, spec);
+    }
+
+    // A watcher collects the final statuses.
+    let statuses = Arc::new(Mutex::new(Vec::new()));
+    let out = statuses.clone();
+    cluster.client_after("watcher", SimDuration::from_secs(1), move |c| {
+        loop {
+            let st = c.qstat();
+            if st.len() == 20 && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(SimDuration::from_secs(10));
+        }
+    });
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let statuses = statuses.lock().clone();
+    let mut table = Table::new(
+        "contended cluster: 20-job mixed workload on 3 CN + 4 AC",
+        &["job", "owner", "nodes", "acpn", "wait[s]", "turnaround[s]"],
+    );
+    let mut outcomes = Vec::new();
+    for s in &statuses {
+        let wait = match (s.started, s.submitted) {
+            (Some(st), sub) => (st - sub).as_secs_f64(),
+            _ => f64::NAN,
+        };
+        let turn = match (s.completed, s.submitted) {
+            (Some(c), sub) => (c - sub).as_secs_f64(),
+            _ => f64::NAN,
+        };
+        table.row(vec![
+            s.name.clone(),
+            s.owner.clone(),
+            s.compute_hosts.len().to_string(),
+            s.static_accs.first().map(|a| a.len()).unwrap_or(0).to_string(),
+            fmt_secs(wait),
+            fmt_secs(turn),
+        ]);
+        outcomes.push(JobOutcome {
+            submitted: s.submitted,
+            started: s.started,
+            completed: s.completed,
+            nodes: s.compute_hosts.len(),
+            accs: s.static_accs.iter().map(Vec::len).sum(),
+        });
+    }
+    println!("{}", table.render());
+    let report = WorkloadReport::from_outcomes(&outcomes).expect("jobs completed");
+    println!("finished {} jobs; mean wait {:.1}s (p95 {:.1}s), mean turnaround {:.1}s",
+        report.finished, report.mean_wait, report.p95_wait, report.mean_turnaround);
+    println!("makespan {:.1}s; static accelerator utilisation {:.1}%",
+        report.makespan.as_secs_f64(), 100.0 * report.acc_utilisation(pool));
+    println!("dynamic requests: {} granted, {} rejected", grants.lock(), rejections.lock());
+    println!("\nsimulation: {} events, virtual time {:.1} s", stats.events, stats.end_time.as_secs_f64());
+}

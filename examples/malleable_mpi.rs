@@ -1,0 +1,106 @@
+//! A malleable MPI application: the generalisation the paper sketches in
+//! §V — "with little extensions to our modified TORQUE resource manager,
+//! any malleable application could be supported" (citing Cera et al.'s
+//! dynamic-MPI work). The job starts on one compute node, dynamically
+//! acquires two more through `pbs_dynget` for compute nodes, spawns MPI
+//! workers there with `MPI_Comm_spawn`, reduces a result across them, and
+//! releases the nodes again.
+//!
+//! Run with: `cargo run --example malleable_mpi`
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_mpi::{data, ANY_SOURCE, ANY_TAG};
+use darms_net::HostId;
+use parking_lot::Mutex;
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(31).with_split(3, 0));
+    let mpi_rt = cluster.mpi.clone();
+    let log = Arc::new(Mutex::new(Vec::<String>::new()));
+
+    // The worker executable spawned on dynamically acquired nodes: sums a
+    // slice of work and reports to the parent.
+    mpi_rt.register_exe("worker", |mut mpi, args| {
+        let lo: u64 = args[0].parse().unwrap();
+        let hi: u64 = args[1].parse().unwrap();
+        let parent = mpi.parent().expect("spawned worker");
+        let merged = mpi.intercomm_merge(parent, true).unwrap();
+        // Model some compute time, then do the real sum.
+        mpi.proc().sleep(SimDuration::from_millis(200));
+        let me = merged.rank() as u64;
+        let base = lo + (hi - lo) * (me - 1) / 2;
+        let end = lo + (hi - lo) * me / 2;
+        let partial: u64 = (base..end).sum();
+        mpi.send(merged, 0, 1, data(partial), 8).unwrap();
+        mpi.comm_disconnect(merged);
+    });
+
+    let out = log.clone();
+    let rt = mpi_rt.clone();
+    let spec = JobSpec::synthetic("malleable", SimDuration::from_secs(30))
+        .ppn(8)
+        .script(script(move |jc| {
+            let say = |jc: &JobCtx, s: String| {
+                out.lock().push(format!("[t={:>6.3}s] {s}", jc.proc.now().as_secs_f64()));
+            };
+            say(jc, format!("started on 1 node (host{})", jc.host.index()));
+
+            // Grow: two more compute nodes with 8 cores each.
+            let grant = jc.dynget_nodes(2, 8).expect("two nodes free");
+            let hosts: Vec<HostId> = grant.accs.clone();
+            say(jc, format!("granted {} extra node(s) as {}", hosts.len(), grant.client_id));
+
+            // Spawn MPI workers on the new nodes and merge.
+            let mut mpi = rt.attach(jc.proc.clone(), jc.host);
+            let self_comm = mpi.self_comm();
+            let (lo, hi) = (0u64, 1000u64);
+            let args = vec![lo.to_string(), hi.to_string()];
+            let inter = mpi.comm_spawn(self_comm, "worker", &args, &hosts).unwrap();
+            let merged = mpi.intercomm_merge(inter, false).unwrap();
+            say(jc, format!("workers joined; communicator size {}", rt.group_size(merged)));
+
+            // Reduce the partial sums.
+            let mut total = 0u64;
+            for _ in 0..hosts.len() {
+                let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+                total += msg.expect::<u64>();
+            }
+            let expect: u64 = (lo..hi).sum();
+            assert_eq!(total, expect, "distributed sum must match");
+            say(jc, format!("distributed sum over [{lo}, {hi}) = {total} — verified"));
+
+            // Shrink: release the nodes.
+            mpi.comm_disconnect(merged);
+            assert!(jc.dynfree(grant.client_id));
+            say(jc, "released the extra nodes".into());
+        }));
+
+    // A competitor that needs 2 whole nodes: it can only run after the
+    // malleable job shrinks.
+    let out2 = log.clone();
+    let competitor = JobSpec::synthetic("competitor", SimDuration::from_secs(2))
+        .nodes(2)
+        .ppn(8)
+        .script(script(move |jc| {
+            if jc.node_index == 0 {
+                out2.lock().push(format!(
+                    "[t={:>6.3}s] competitor started on the released nodes",
+                    jc.proc.now().as_secs_f64()
+                ));
+            }
+            jc.proc.sleep(SimDuration::from_secs(2));
+        }));
+
+    cluster.qsub(spec);
+    cluster.qsub_after(SimDuration::from_millis(500), competitor);
+    let stats = cluster.run();
+
+    println!("== malleable_mpi: dynamic compute-node allocation for an MPI application ==\n");
+    for line in log.lock().iter() {
+        println!("{line}");
+    }
+    println!("\nsimulation: {} events, virtual time {:.3} s", stats.events, stats.end_time.as_secs_f64());
+    assert_eq!(stats.process_panics, 0);
+}

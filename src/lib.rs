@@ -1,0 +1,6 @@
+//! Root crate of the reproduction repository: re-exports the [`darms`]
+//! facade so the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`) have a single import root. The actual
+//! implementation lives in the `crates/` workspace members.
+
+pub use darms::*;

@@ -1,0 +1,101 @@
+//! Job cancellation (`qdel`): queued jobs disappear, running jobs are
+//! killed cooperatively (tasks observe `TaskKill` at their next
+//! cancellation point), and resources return to the pool.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn qdel_of_queued_job_removes_it() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(60).with_split(1, 0));
+    // Hog the node, then queue a second job and qdel it before it starts.
+    cluster.qsub(JobSpec::synthetic("hog", secs(50)).ppn(8));
+    let victim = cluster.qsub_after(secs(1), JobSpec::synthetic("victim", secs(5)).ppn(8));
+    let outcome = Arc::new(Mutex::new(None));
+    let out = outcome.clone();
+    cluster.client_after("killer", secs(3), move |c| {
+        let job = victim.lock().expect("submitted");
+        let ok = c.qdel(job);
+        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(50));
+        *out.lock() = Some((ok, st.state, st.started));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let (ok, state, started) = (*outcome.lock()).unwrap();
+    assert!(ok);
+    assert_eq!(state, JobState::Cancelled);
+    assert!(started.is_none(), "cancelled before it ever started");
+}
+
+#[test]
+fn qdel_of_running_synthetic_job_stops_it_early_and_frees_nodes() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(61).with_split(1, 0));
+    // A long synthetic job (600 s) killed at t=5: without cooperative
+    // cancellation the simulation would run to 600 s.
+    let victim = cluster.qsub(JobSpec::synthetic("victim", secs(600)).ppn(8));
+    let follow_started = Arc::new(Mutex::new(None));
+    let out = follow_started.clone();
+    let spec = JobSpec::synthetic("next", secs(1)).ppn(8).script(script(move |jc| {
+        *out.lock() = Some(jc.proc.now());
+    }));
+    cluster.qsub_after(secs(2), spec);
+    cluster.client_after("killer", secs(5), move |c| {
+        let job = victim.lock().expect("submitted");
+        assert!(c.qdel(job));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    // The whole simulation ends long before the victim's 600 s runtime.
+    assert!(
+        stats.end_time < SimTime::ZERO + secs(60),
+        "victim wound down early (ended at {})",
+        stats.end_time
+    );
+    let started = follow_started.lock().unwrap();
+    assert!(started > SimTime::ZERO + secs(5) && started < SimTime::ZERO + secs(60),
+        "freed node let the next job run at {started}");
+}
+
+#[test]
+fn custom_scripts_observe_cancellation() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(62).with_split(1, 0));
+    let phases = Arc::new(Mutex::new(Vec::new()));
+    let out = phases.clone();
+    let spec = JobSpec::synthetic("loop", secs(300)).ppn(8).script(script(move |jc| {
+        for i in 0.. {
+            if jc.sleep_interruptible(secs(2)) {
+                out.lock().push(format!("cancelled-at-iter-{i}"));
+                return;
+            }
+            out.lock().push(format!("iter-{i}"));
+        }
+    }));
+    let victim = cluster.qsub(spec);
+    cluster.client_after("killer", secs(7), move |c| {
+        let job = victim.lock().expect("submitted");
+        assert!(c.qdel(job));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = phases.lock().clone();
+    assert!(v.iter().any(|s| s.starts_with("cancelled-at-iter-")), "observed the kill: {v:?}");
+    assert!(v.len() <= 5, "stopped promptly: {v:?}");
+}
+
+#[test]
+fn qdel_unknown_job_returns_false() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(63).with_split(1, 0));
+    let outcome = Arc::new(Mutex::new(None));
+    let out = outcome.clone();
+    cluster.client("c", move |c| {
+        *out.lock() = Some(c.qdel(JobId(999)));
+    });
+    cluster.run();
+    assert_eq!(*outcome.lock(), Some(false));
+}

@@ -1,0 +1,149 @@
+//! Integration: collective `AC_Get`/`AC_Free` over a multi-compute-node
+//! job (§III-D): single request for the total, all-or-nothing grant,
+//! shared client-id, collective-only release, per-CN communicator
+//! isolation.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn collective_acget_grants_each_node_its_share() {
+    // 3 CNs ask for 2, 1, 1 accelerators => one request for 4.
+    let mut cluster = Cluster::build(ClusterConfig::fast(50).with_split(3, 4));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let out = log.clone();
+    let spec = JobSpec::synthetic("coll", secs(10)).nodes(3).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let tc = TaskComm::establish(jc);
+        let count = match jc.node_index {
+            0 => 2,
+            _ => 1,
+        };
+        let set = ses.ac_get_collective(jc, &tc, count).expect("pool of 4 covers 2+1+1");
+        out.lock().push((jc.node_index, set.client_id, set.handles.len()));
+        // Each node can actually use its share.
+        for &h in &set.handles {
+            let p = ses.mem_alloc(h, 64).unwrap();
+            ses.mem_write(h, p, vec![1u8; 64]).unwrap();
+        }
+        ses.ac_free_collective(jc, &tc, &set).expect("collective release");
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let mut got = log.lock().clone();
+    got.sort();
+    assert_eq!(got.len(), 3);
+    // Shares match the per-node counts.
+    assert_eq!(got[0].2, 2);
+    assert_eq!(got[1].2, 1);
+    assert_eq!(got[2].2, 1);
+    // All participants share one client-id (the paper's semantics).
+    assert_eq!(got[0].1, got[1].1);
+    assert_eq!(got[1].1, got[2].1);
+}
+
+#[test]
+fn collective_acget_is_all_or_nothing() {
+    // 2 CNs ask for 2 + 2 = 4 but only 3 are free: both must be rejected
+    // even though node 1's individual request of 2 could have succeeded.
+    let mut cluster = Cluster::build(ClusterConfig::fast(51).with_split(2, 3));
+    let dac = cluster.dac.clone();
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+
+    let out = outcomes.clone();
+    let spec = JobSpec::synthetic("aon", secs(5)).nodes(2).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let tc = TaskComm::establish(jc);
+        let r = ses.ac_get_collective(jc, &tc, 2);
+        out.lock().push((jc.node_index, r.is_ok()));
+        assert!(matches!(r, Err(DacError::Rejected(_))));
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let got = outcomes.lock().clone();
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().all(|(_, ok)| !ok), "all-or-nothing: {got:?}");
+}
+
+#[test]
+fn collective_release_returns_whole_set_to_pool() {
+    // After a collective get+free by job A, job B can take the whole pool.
+    let mut cluster = Cluster::build(ClusterConfig::fast(52).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    let order = Arc::new(Mutex::new(Vec::new()));
+
+    let d = dac.clone();
+    let o = order.clone();
+    let spec_a = JobSpec::synthetic("a", secs(20)).nodes(2).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &d, None);
+        let tc = TaskComm::establish(jc);
+        let set = ses.ac_get_collective(jc, &tc, 2).expect("4 free");
+        jc.proc.sleep(secs(5));
+        ses.ac_free_collective(jc, &tc, &set).unwrap();
+        if jc.node_index == 0 {
+            o.lock().push(("a-freed", jc.proc.now()));
+        }
+        jc.proc.sleep(secs(5));
+        ses.finalize();
+    }));
+    cluster.qsub(spec_a);
+
+    let o = order.clone();
+    let spec_b = JobSpec::synthetic("b", secs(20)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        jc.proc.sleep(secs(2));
+        // While A holds all 4 dynamically, B is rejected.
+        assert!(matches!(ses.ac_get(4), Err(DacError::Rejected(_))));
+        jc.proc.sleep(secs(6)); // past A's release
+        let set = ses.ac_get(4).expect("whole pool back");
+        o.lock().push(("b-got-4", jc.proc.now()));
+        ses.ac_free(&set).unwrap();
+        ses.finalize();
+    }));
+    cluster.qsub(spec_b);
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = order.lock().clone();
+    let freed = v.iter().find(|(n, _)| *n == "a-freed").expect("A freed").1;
+    let got = v.iter().find(|(n, _)| *n == "b-got-4").expect("B got").1;
+    assert!(got > freed);
+}
+
+#[test]
+fn zero_count_participants_join_the_collective() {
+    // A node may participate with count 0 (it needs no accelerators but
+    // must still take part in the collective call).
+    let mut cluster = Cluster::build(ClusterConfig::fast(53).with_split(2, 2));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let out = log.clone();
+    let spec = JobSpec::synthetic("zero", secs(5)).nodes(2).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let tc = TaskComm::establish(jc);
+        let count = if jc.node_index == 0 { 2 } else { 0 };
+        let set = ses.ac_get_collective(jc, &tc, count).expect("2 free");
+        out.lock().push((jc.node_index, set.handles.len()));
+        ses.ac_free_collective(jc, &tc, &set).unwrap();
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let mut got = log.lock().clone();
+    got.sort();
+    assert_eq!(got, vec![(0, 2), (1, 0)]);
+}

@@ -1,0 +1,226 @@
+//! Scheduling under contention: priorities, backfill, and dynamic
+//! requests competing with a busy queue.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_sched::{AllocPolicy, Policy, SchedConfig};
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// Record job start times through a script hook.
+fn starts_recorder(
+    cluster: &mut Cluster,
+    name: &str,
+    runtime: u64,
+    nodes: usize,
+    ppn: u32,
+    walltime: u64,
+    log: Arc<Mutex<Vec<(String, SimTime)>>>,
+) {
+    let tag = name.to_string();
+    let spec = JobSpec::synthetic(name, secs(runtime))
+        .nodes(nodes)
+        .ppn(ppn)
+        .walltime(secs(walltime))
+        .script(script(move |jc| {
+            if jc.node_index == 0 {
+                log.lock().push((tag.clone(), jc.proc.now()));
+            }
+            jc.proc.sleep(secs(runtime));
+        }));
+    cluster.qsub(spec);
+}
+
+#[test]
+fn easy_backfill_lets_short_jobs_jump_blocked_wide_jobs() {
+    fn run(backfill: bool) -> Vec<(String, SimTime)> {
+        let mut sched = SchedConfig::instant();
+        sched.policy = Policy::Fifo;
+        sched.backfill = backfill;
+        sched.allocation = AllocPolicy::FirstFit;
+        let mut cluster =
+            Cluster::build(ClusterConfig::fast(33).with_split(2, 0).with_sched(sched));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // "hog" takes both nodes for 100 s; "wide" (2 nodes) must wait;
+        // "quick" (1 node, 10 s) can backfill into... wait: hog holds both
+        // nodes. Use: hog takes ONE node (100s). wide needs 2 => blocked.
+        // quick needs 1 node for 10s: under EASY it may run now because
+        // it finishes before hog releases (shadow time = 100 s).
+        starts_recorder(&mut cluster, "hog", 100, 1, 8, 100, log.clone());
+        starts_recorder(&mut cluster, "wide", 20, 2, 8, 20, log.clone());
+        starts_recorder(&mut cluster, "quick", 10, 1, 8, 10, log.clone());
+        let stats = cluster.run();
+        assert_eq!(stats.process_panics, 0);
+        let v = log.lock().clone();
+        v
+    }
+
+    let with = run(true);
+    let find = |v: &[(String, SimTime)], n: &str| {
+        v.iter().find(|(name, _)| name == n).map(|(_, t)| *t).unwrap()
+    };
+    // With backfill: quick starts almost immediately (well before wide).
+    assert!(find(&with, "quick") < find(&with, "wide"));
+    assert!(find(&with, "quick") - find(&with, "hog") < secs(5), "quick backfilled: {with:?}");
+
+    let without = run(false);
+    // Without backfill the strict queue holds quick behind wide.
+    assert!(
+        find(&without, "quick") >= find(&without, "wide"),
+        "no backfill => strict order: {without:?}"
+    );
+}
+
+#[test]
+fn too_long_jobs_do_not_backfill_past_the_reservation() {
+    let mut sched = SchedConfig::instant();
+    sched.policy = Policy::Fifo;
+    sched.backfill = true;
+    let mut cluster = Cluster::build(ClusterConfig::fast(34).with_split(2, 0).with_sched(sched));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    starts_recorder(&mut cluster, "hog", 100, 1, 8, 100, log.clone());
+    starts_recorder(&mut cluster, "wide", 20, 2, 8, 20, log.clone());
+    // "long" would fit now but its walltime (500) exceeds the shadow
+    // time; conservative EASY must hold it back.
+    starts_recorder(&mut cluster, "long", 500, 1, 8, 500, log.clone());
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = log.lock().clone();
+    let find = |n: &str| v.iter().find(|(name, _)| name == n).map(|(_, t)| *t).unwrap();
+    assert!(
+        find("long") >= find("wide"),
+        "long job must not delay the reservation: {v:?}"
+    );
+}
+
+#[test]
+fn dynamic_request_beats_queued_jobs_to_accelerators() {
+    // One accelerator; a queued job wants it statically, a running job
+    // asks dynamically at the same time. Top-priority dynamic scheduling
+    // must serve the dynamic request first (§III-E).
+    let mut cluster = Cluster::build(ClusterConfig::fast(35).with_split(2, 1));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let l1 = log.clone();
+    let runner = JobSpec::synthetic("runner", secs(60)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        jc.proc.sleep(secs(5));
+        let set = ses.ac_get(1);
+        l1.lock().push(("dyn-result", set.is_ok(), jc.proc.now()));
+        if let Ok(s) = set {
+            jc.proc.sleep(secs(10));
+            ses.ac_free(&s).unwrap();
+        }
+        ses.finalize();
+    }));
+    cluster.qsub(runner);
+    // The static competitor arrives just after the dynamic grant; the
+    // accelerator is held by the runner, so the competitor queues until
+    // the runner's AC_Free.
+    let l2 = log.clone();
+    let competitor = JobSpec::synthetic("competitor", secs(1)).acpn(1).script(script(move |jc| {
+        l2.lock().push(("competitor-start", true, jc.proc.now()));
+    }));
+    cluster.qsub_after(secs(6), competitor);
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = log.lock().clone();
+    let dyn_at = v.iter().find(|(n, _, _)| *n == "dyn-result").expect("dyn ran");
+    assert!(dyn_at.1, "dynamic request won the accelerator");
+    let comp = v.iter().find(|(n, _, _)| *n == "competitor-start").expect("competitor ran");
+    assert!(comp.2 > dyn_at.2, "competitor only after the dynamic grant");
+}
+
+#[test]
+fn fifo_vs_priority_ordering_under_load() {
+    // Two owners; "heavy" has accumulated usage. Under the priority
+    // policy with fairshare, light's later job overtakes heavy's earlier
+    // one once heavy is running work.
+    use darms_sched::PriorityWeights;
+    let mut sched = SchedConfig::instant();
+    sched.policy = Policy::Priority(PriorityWeights {
+        queue_time: 1.0,
+        xfactor: 0.0,
+        fairshare: 1_000_000.0,
+    });
+    let mut cluster = Cluster::build(ClusterConfig::fast(36).with_split(1, 0).with_sched(sched));
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    // heavy occupies the node first.
+    let l = log.clone();
+    let spec = JobSpec::synthetic("heavy-1", secs(30))
+        .owner("heavy")
+        .ppn(8)
+        .script(script(move |jc| {
+            l.lock().push(("heavy-1", jc.proc.now()));
+            jc.proc.sleep(secs(30));
+        }));
+    cluster.qsub(spec);
+    // Then heavy submits another, followed by light.
+    let l = log.clone();
+    let spec = JobSpec::synthetic("heavy-2", secs(5))
+        .owner("heavy")
+        .ppn(8)
+        .script(script(move |jc| {
+            l.lock().push(("heavy-2", jc.proc.now()));
+            jc.proc.sleep(secs(5));
+        }));
+    cluster.qsub_after(secs(1), spec);
+    let l = log.clone();
+    let spec = JobSpec::synthetic("light-1", secs(5))
+        .owner("light")
+        .ppn(8)
+        .script(script(move |jc| {
+            l.lock().push(("light-1", jc.proc.now()));
+            jc.proc.sleep(secs(5));
+        }));
+    cluster.qsub_after(secs(2), spec);
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = log.lock().clone();
+    let order: Vec<&str> = v.iter().map(|(n, _)| *n).collect();
+    assert_eq!(order, vec!["heavy-1", "light-1", "heavy-2"], "fairshare reorders: {v:?}");
+}
+
+#[test]
+fn full_pool_request_proves_everything_was_freed() {
+    // Run a churny workload, then submit a job requiring every
+    // accelerator: it can only start if the pool was fully returned.
+    let mut cluster = Cluster::build(ClusterConfig::fast(37).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    for i in 0..4 {
+        let d = dac.clone();
+        let spec = JobSpec::synthetic(format!("churn{i}"), secs(3)).acpn(1).script(script(
+            move |jc| {
+                let (mut ses, _) = AcSession::init(jc, &d, None);
+                if let Ok(set) = ses.ac_get(1) {
+                    ses.ac_free(&set).unwrap();
+                }
+                ses.finalize();
+            },
+        ));
+        cluster.qsub_after(secs(i), spec);
+    }
+    let done = Arc::new(Mutex::new(false));
+    let out = done.clone();
+    let d = dac.clone();
+    let spec = JobSpec::synthetic("sweeper", secs(1)).nodes(2).acpn(2).script(script(move |jc| {
+        let (ses, handles) = AcSession::init(jc, &d, None);
+        assert_eq!(handles.len(), 2);
+        if jc.node_index == 0 {
+            *out.lock() = true;
+        }
+        ses.finalize();
+    }));
+    cluster.qsub_after(secs(30), spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert!(*done.lock(), "the all-accelerator job ran: the pool was conserved");
+}

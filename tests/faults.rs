@@ -1,0 +1,183 @@
+//! Fault tolerance (the paper's §VI future work, implemented here):
+//! health monitoring marks failed nodes offline, the scheduler avoids
+//! them, front-end requests to dead daemons time out, and releases of
+//! sets on dead hosts do not wedge the batch system. Plus the
+//! partial-grant policy (`AC_Get` with a minimum).
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use darms_rms::MonitorConfig;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn partial_grant_when_pool_is_short() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(70).with_split(1, 3));
+    let dac = cluster.dac.clone();
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let out = got.clone();
+    let spec = JobSpec::synthetic("partial", secs(5)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        // Want 5, accept >= 2: only 3 are free => grant of 3.
+        let set = ses.ac_get_range(5, 2).expect("partial grant of 3");
+        out.lock().push(set.handles.len());
+        // Strict request for 5 still rejects.
+        assert!(matches!(ses.ac_get(5), Err(DacError::Rejected(_))));
+        ses.ac_free(&set).unwrap();
+        // Min greater than the free pool rejects too.
+        let r = ses.ac_get_range(5, 4);
+        assert!(matches!(r, Err(DacError::Rejected(_))));
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*got.lock(), vec![3]);
+}
+
+#[test]
+fn monitor_marks_dead_node_offline_and_scheduler_avoids_it() {
+    let horizon = SimTime::ZERO + secs(300);
+    let config = ClusterConfig::fast(71)
+        .with_split(1, 2)
+        .with_monitor(MonitorConfig::default(), horizon);
+    let mut cluster = Cluster::build(config);
+    let net = cluster.net.clone();
+    let dac = cluster.dac.clone();
+    let victim = cluster.accs[0];
+    let survivor = cluster.accs[1];
+
+    // Fail the victim accelerator host at t = 10 s.
+    let n2 = net.clone();
+    cluster.client_after("chaos", secs(10), move |c| {
+        n2.set_host_down(victim, true);
+        c.proc.sleep(secs(1));
+    });
+
+    // At t = 30 s (well past detection) a job asks for one accelerator:
+    // it must receive the survivor, never the dead node.
+    let got = Arc::new(Mutex::new(None));
+    let out = got.clone();
+    let spec = JobSpec::synthetic("careful", secs(40)).walltime(secs(120)).script(script(move |jc| {
+        let target = SimTime::ZERO + secs(30);
+        let now = jc.proc.now();
+        if target > now {
+            jc.proc.sleep(target - now);
+        }
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        match ses.ac_get(1) {
+            Ok(set) => {
+                *out.lock() = Some("granted");
+                ses.ac_free(&set).unwrap();
+            }
+            Err(_) => *out.lock() = Some("rejected"),
+        }
+        // Asking for two must fail: only one healthy accelerator remains.
+        assert!(matches!(ses.ac_get(2), Err(DacError::Rejected(_))));
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*got.lock(), Some("granted"));
+    let _ = survivor;
+}
+
+#[test]
+fn requests_to_dead_daemon_time_out_and_release_does_not_wedge() {
+    let mut config = ClusterConfig::fast(72).with_split(1, 2);
+    config.dac_cost.request_timeout = secs(2);
+    let mut cluster = Cluster::build(config);
+    let net = cluster.net.clone();
+    let dac = cluster.dac.clone();
+    let victim = cluster.accs[0];
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let out = log.clone();
+    let spec = JobSpec::synthetic("unlucky", secs(60)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let set = ses.ac_get(2).expect("both free");
+        // Find the handle living on the victim: try an op on each.
+        jc.proc.sleep(secs(1));
+        net.set_host_down(victim, true);
+        let mut lost = None;
+        for &h in &set.handles {
+            match ses.mem_alloc(h, 64) {
+                Ok(_) => {}
+                Err(DacError::Timeout(th)) => {
+                    out.lock().push("timeout");
+                    lost = Some(th);
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(lost.is_some(), "one handle must have timed out");
+        // The dead handle is marked lost; further use fails fast.
+        let h = lost.unwrap();
+        assert!(matches!(ses.mem_alloc(h, 1), Err(DacError::BadHandle(_))));
+        out.lock().push("fail-fast");
+        // Releasing the whole set must not hang even though one member
+        // is dead (the mom short-circuits the DISJOIN to the dead host).
+        // NOTE: the dead daemon cannot participate in the shrink; only
+        // the live one is asked to. The release still completes.
+        ses.finalize();
+        out.lock().push("finalized");
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert!(!stats.hit_event_cap);
+    let v = log.lock().clone();
+    assert_eq!(v, vec!["timeout", "fail-fast", "finalized"]);
+}
+
+#[test]
+fn recovered_node_returns_to_service() {
+    let horizon = SimTime::ZERO + secs(400);
+    let config = ClusterConfig::fast(73)
+        .with_split(1, 1)
+        .with_monitor(MonitorConfig::default(), horizon);
+    let mut cluster = Cluster::build(config);
+    let net = cluster.net.clone();
+    let dac = cluster.dac.clone();
+    let acc = cluster.accs[0];
+
+    // Down from t=10 to t=40.
+    let n2 = net.clone();
+    cluster.client_after("chaos", secs(10), move |c| {
+        n2.set_host_down(acc, true);
+        c.proc.sleep(secs(30));
+        n2.set_host_down(acc, false);
+    });
+
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let out = results.clone();
+    let spec = JobSpec::synthetic("patient", secs(120)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        // While the node is down (and detected): rejected.
+        let target = SimTime::ZERO + secs(25);
+        let now = jc.proc.now();
+        if target > now {
+            jc.proc.sleep(target - now);
+        }
+        out.lock().push(("down", ses.ac_get(1).is_ok()));
+        // After recovery (and detection): granted.
+        jc.proc.sleep(secs(40));
+        match ses.ac_get(1) {
+            Ok(set) => {
+                out.lock().push(("up", true));
+                ses.ac_free(&set).unwrap();
+            }
+            Err(_) => out.lock().push(("up", false)),
+        }
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*results.lock(), vec![("down", false), ("up", true)]);
+}

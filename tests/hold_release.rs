@@ -1,0 +1,95 @@
+//! `qhold` / `qrls`: held jobs are invisible to the scheduler; releasing
+//! puts them back in the queue; holding is only valid while queued.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn held_job_is_skipped_until_released() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(130).with_split(1, 0));
+    let started = Arc::new(Mutex::new(Vec::new()));
+
+    // Occupy the node briefly so both competitors start queued.
+    cluster.qsub(JobSpec::synthetic("warmup", secs(5)).ppn(8));
+    let s1 = started.clone();
+    let spec_a = JobSpec::synthetic("a", secs(2)).ppn(8).script(script(move |jc| {
+        s1.lock().push(("a", jc.proc.now()));
+        jc.proc.sleep(secs(2));
+    }));
+    let a = cluster.qsub_after(secs(1), spec_a);
+    let s2 = started.clone();
+    let spec_b = JobSpec::synthetic("b", secs(2)).ppn(8).script(script(move |jc| {
+        s2.lock().push(("b", jc.proc.now()));
+        jc.proc.sleep(secs(2));
+    }));
+    cluster.qsub_after(secs(1), spec_b);
+
+    // Hold A while everything is still queued; release it at t = 20.
+    let a2 = a.clone();
+    cluster.client_after("holder", secs(2), move |c| {
+        let job = a2.lock().expect("submitted");
+        assert!(c.qhold(job), "queued job can be held");
+        let st = c.qstat();
+        let a_state = st.iter().find(|s| s.name == "a").unwrap().state;
+        assert_eq!(a_state, JobState::Held);
+        c.proc.sleep(secs(18));
+        assert!(c.qrls(job), "held job can be released");
+    });
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = started.lock().clone();
+    let b_at = v.iter().find(|(n, _)| *n == "b").expect("b ran").1;
+    let a_at = v.iter().find(|(n, _)| *n == "a").expect("a ran").1;
+    // B (submitted after A) overtook the held A; A ran only after qrls.
+    assert!(b_at < a_at, "hold let B overtake: b={b_at}, a={a_at}");
+    assert!(a_at >= SimTime::ZERO + secs(20), "A started only after release: {a_at}");
+}
+
+#[test]
+fn invalid_hold_transitions_are_rejected() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(131).with_split(1, 0));
+    let running = cluster.qsub(JobSpec::synthetic("running", secs(30)).ppn(8));
+    let outcome = Arc::new(Mutex::new(Vec::new()));
+    let out = outcome.clone();
+    cluster.client_after("admin", secs(2), move |c| {
+        let job = running.lock().expect("submitted");
+        // Running jobs cannot be held.
+        out.lock().push(("hold-running", c.qhold(job)));
+        // Releasing a job that is not held fails.
+        out.lock().push(("rls-running", c.qrls(job)));
+        // Unknown job ids fail.
+        out.lock().push(("hold-unknown", c.qhold(JobId(999))));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(
+        *outcome.lock(),
+        vec![("hold-running", false), ("rls-running", false), ("hold-unknown", false)]
+    );
+}
+
+#[test]
+fn held_job_can_be_deleted() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(132).with_split(1, 0));
+    cluster.qsub(JobSpec::synthetic("warmup", secs(5)).ppn(8));
+    let victim = cluster.qsub_after(secs(1), JobSpec::synthetic("victim", secs(2)).ppn(8));
+    let outcome = Arc::new(Mutex::new(None));
+    let out = outcome.clone();
+    cluster.client_after("admin", secs(2), move |c| {
+        let job = victim.lock().expect("submitted");
+        assert!(c.qhold(job));
+        assert!(c.qdel(job), "held jobs are deletable");
+        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(100));
+        *out.lock() = Some(st.state);
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(outcome.lock().unwrap(), JobState::Cancelled);
+}

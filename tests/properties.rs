@@ -1,0 +1,149 @@
+//! Property-based tests over whole-cluster runs: for arbitrary small
+//! workloads the batch system must terminate cleanly, never panic (the
+//! server's node database asserts against double allocation internally),
+//! conserve the accelerator pool, and complete every feasible job.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct PJob {
+    nodes: usize,
+    ppn: u32,
+    acpn: u32,
+    runtime_ms: u64,
+    arrival_ms: u64,
+    dynget: u32,
+}
+
+fn pjob() -> impl Strategy<Value = PJob> {
+    (1usize..=2, 1u32..=4, 0u32..=2, 50u64..3000, 0u64..2000, 0u32..=2).prop_map(
+        |(nodes, ppn, acpn, runtime_ms, arrival_ms, dynget)| PJob {
+            nodes,
+            ppn,
+            acpn,
+            runtime_ms,
+            arrival_ms,
+            dynget,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_workloads_terminate_cleanly(jobs in prop::collection::vec(pjob(), 1..6), seed in 0u64..1000) {
+        // 2 compute nodes (4 cores each) + 3 accelerators: every generated
+        // job is feasible (nodes<=2, ppn<=4, nodes*acpn<=4? acpn<=2,nodes<=2
+        // => up to 4 > 3! clamp acpn so nodes*acpn <= 3).
+        let mut cluster = Cluster::build(ClusterConfig::fast(seed).with_split(2, 3));
+        let dac = cluster.dac.clone();
+        let completed = Arc::new(Mutex::new(0usize));
+        let njobs = jobs.len();
+        for (i, j) in jobs.into_iter().enumerate() {
+            let acpn = j.acpn.min((3 / j.nodes) as u32);
+            let d = dac.clone();
+            let done = completed.clone();
+            let runtime = SimDuration::from_millis(j.runtime_ms);
+            let dynget = j.dynget;
+            let spec = JobSpec::synthetic(format!("p{i}"), runtime)
+                .nodes(j.nodes)
+                .ppn(j.ppn)
+                .acpn(acpn)
+                .script(script(move |jc| {
+                    let (mut ses, handles) = AcSession::init(jc, &d, None);
+                    prop_assert_eq_soft(handles.len(), jc.acc_hosts.len());
+                    jc.proc.sleep(runtime / 2);
+                    if jc.node_index == 0 && dynget > 0 {
+                        // Dynamic requests may be granted or rejected;
+                        // either way the run must stay consistent.
+                        if let Ok(set) = ses.ac_get(dynget) {
+                            jc.proc.sleep(runtime / 4);
+                            ses.ac_free(&set).unwrap();
+                        }
+                    }
+                    jc.proc.sleep(runtime / 2);
+                    ses.finalize();
+                    if jc.node_index == 0 {
+                        *done.lock() += 1;
+                    }
+                }));
+            cluster.qsub_after(SimDuration::from_millis(j.arrival_ms), spec);
+        }
+        let stats = cluster.run();
+        prop_assert_eq!(stats.process_panics, 0, "no process may panic");
+        prop_assert!(!stats.hit_event_cap, "simulation must quiesce");
+        prop_assert_eq!(*completed.lock(), njobs, "every feasible job completes");
+        // Pool conservation: after everything completed, all
+        // communicators are gone (daemons exited).
+        prop_assert_eq!(cluster.mpi.live_comms(), 0, "no leaked communicators");
+    }
+}
+
+/// proptest's `prop_assert!` cannot be used inside the job script (which
+/// runs on another thread); a plain assert propagates through the panic
+/// counter instead.
+fn prop_assert_eq_soft(a: usize, b: usize) {
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn node_db_conserves_resources(ops in prop::collection::vec((0usize..4, 0u32..9), 1..40)) {
+        use darms_rms::{NodeDb, JobId};
+        use darms_net::HostId;
+        let mut db = NodeDb::new();
+        let hosts: Vec<HostId> = (0..4).map(HostId::from_raw).collect();
+        db.add_compute(hosts[0], 8);
+        db.add_compute(hosts[1], 8);
+        db.add_accelerator(hosts[2]);
+        db.add_accelerator(hosts[3]);
+        let mut live: Vec<(HostId, JobId)> = Vec::new();
+        let mut next_job = 0u64;
+        for (k, amount) in ops {
+            match k {
+                0 => {
+                    // allocate compute if possible
+                    let ppn = (amount % 8) + 1;
+                    if let Some(h) = db.free_compute(ppn).first().copied() {
+                        let job = JobId(next_job);
+                        next_job += 1;
+                        db.allocate_compute(h, job, ppn);
+                        live.push((h, job));
+                    }
+                }
+                1 => {
+                    if let Some(h) = db.free_accelerators().first().copied() {
+                        let job = JobId(next_job);
+                        next_job += 1;
+                        db.allocate_accelerator(h, job);
+                        live.push((h, job));
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let ix = (amount as usize) % live.len();
+                        let (h, job) = live.swap_remove(ix);
+                        db.release(h, job);
+                    }
+                }
+            }
+            // invariants
+            let (free, total) = db.compute_core_usage();
+            prop_assert!(free <= total);
+            let (afree, atotal) = db.accelerator_usage();
+            prop_assert!(afree <= atotal);
+        }
+        for (h, job) in live.drain(..) {
+            db.release(h, job);
+        }
+        prop_assert_eq!(db.compute_core_usage(), (16, 16));
+        prop_assert_eq!(db.accelerator_usage(), (2, 2));
+    }
+}

@@ -1,0 +1,91 @@
+//! §III-D: "each compute node may use its own AC_Get() ... However, the
+//! server is able to service only one request at a time per job. This may
+//! lead to long waiting time ... for some compute nodes of the job."
+//! Two compute nodes of one job issue individual dynamic requests at the
+//! same instant; servicing serialises, both succeed, and the sets are
+//! independently releasable (distinct client-ids).
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn same_job_individual_requests_serialise_but_both_succeed() {
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(140).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let out = log.clone();
+    let spec = JobSpec::synthetic("twin", secs(30)).nodes(2).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        // Align both compute nodes at the same virtual instant.
+        let target = SimTime::ZERO + secs(5);
+        let now = jc.proc.now();
+        if target > now {
+            jc.proc.sleep(target - now);
+        }
+        let t0 = jc.proc.now();
+        let set = ses.ac_get(2).expect("pool of 4 covers 2+2");
+        let latency = (jc.proc.now() - t0).as_secs_f64();
+        out.lock().push((jc.node_index, set.client_id, latency));
+        jc.proc.sleep(secs(2));
+        ses.ac_free(&set).unwrap();
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let mut v = log.lock().clone();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(v.len(), 2, "both compute nodes got their accelerators");
+    // Individual requests yield distinct set handles (unlike the
+    // collective call's shared client-id).
+    assert_ne!(v[0].1, v[1].1, "individual requests => distinct client-ids");
+    // Serial servicing: one node waited roughly one extra service window.
+    let (fast, slow) = if v[0].2 < v[1].2 { (v[0].2, v[1].2) } else { (v[1].2, v[0].2) };
+    assert!(
+        slow > fast + 0.15,
+        "second request waited behind the first: fast={fast:.3}s slow={slow:.3}s"
+    );
+    assert!(slow < 3.0, "still sub-second-scale: {slow:.3}s");
+}
+
+#[test]
+fn same_job_sets_release_independently() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(141).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let out = log.clone();
+    let spec = JobSpec::synthetic("indep", secs(20)).nodes(2).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let set = ses.ac_get(2).expect("4 free, 2 each");
+        if jc.node_index == 0 {
+            // Node 0 releases early; node 1 keeps its set and can still
+            // use it afterwards.
+            ses.ac_free(&set).unwrap();
+            out.lock().push(("released-early", jc.proc.now()));
+        } else {
+            jc.proc.sleep(secs(5));
+            let h = set.handles[0];
+            let p = ses.mem_alloc(h, 64).unwrap();
+            ses.mem_write(h, p, vec![9u8; 64]).unwrap();
+            assert_eq!(ses.mem_read(h, p, 64).unwrap(), vec![9u8; 64]);
+            out.lock().push(("used-after-sibling-release", jc.proc.now()));
+            ses.ac_free(&set).unwrap();
+        }
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let v = log.lock().clone();
+    assert!(v.iter().any(|(n, _)| *n == "released-early"));
+    assert!(v.iter().any(|(n, _)| *n == "used-after-sibling-release"));
+}

@@ -1,0 +1,78 @@
+//! Walltime enforcement (TORQUE semantics): jobs exceeding their
+//! walltime estimate (plus a grace allowance) are killed by the mother
+//! superior and reported as timed out; their resources return to the pool.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn overrunning_job_is_killed_at_walltime() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(110).with_split(1, 0));
+    // Claims 10 s, actually "runs" 1000 s.
+    let spec = JobSpec::synthetic("liar", secs(1000)).ppn(8).walltime(secs(10));
+    let job_slot = cluster.qsub(spec);
+    let outcome = Arc::new(Mutex::new(None));
+    let out = outcome.clone();
+    cluster.client_after("watch", secs(1), move |c| {
+        let job = job_slot.lock().expect("submitted");
+        let st = c.wait_for_state(job, JobState::TimedOut, SimDuration::from_millis(250));
+        *out.lock() = Some((st.state, st.completed));
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let (state, completed) = (*outcome.lock()).unwrap();
+    assert_eq!(state, JobState::TimedOut);
+    let killed_at = completed.expect("terminal");
+    // Walltime 10 s + grace (max(5 s, 5%)) => killed around 15 s.
+    assert!(killed_at >= SimTime::ZERO + secs(10));
+    assert!(killed_at < SimTime::ZERO + secs(20), "killed at {killed_at}");
+    // The whole simulation ends far before the claimed 1000 s.
+    assert!(stats.end_time < SimTime::ZERO + secs(60));
+}
+
+#[test]
+fn killed_job_frees_resources_for_successor() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(111).with_split(1, 2));
+    let dac = cluster.dac.clone();
+    // The liar holds both accelerators; the successor gets them after
+    // the walltime kill.
+    let liar = JobSpec::synthetic("liar", secs(1000)).ppn(4).acpn(2).walltime(secs(10));
+    cluster.qsub(liar);
+    let got = Arc::new(Mutex::new(None));
+    let out = got.clone();
+    let succ = JobSpec::synthetic("succ", secs(1)).ppn(4).acpn(2).script(script(move |jc| {
+        let (ses, handles) = AcSession::init(jc, &dac, None);
+        *out.lock() = Some((handles.len(), jc.proc.now()));
+        ses.finalize();
+    }));
+    cluster.qsub_after(secs(2), succ);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let (n, at) = (*got.lock()).expect("successor ran");
+    assert_eq!(n, 2);
+    assert!(at > SimTime::ZERO + secs(10), "only after the kill: {at}");
+    assert!(at < SimTime::ZERO + secs(40));
+}
+
+#[test]
+fn honest_jobs_are_not_killed() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(112).with_split(1, 0));
+    let spec = JobSpec::synthetic("honest", secs(30)).ppn(8).walltime(secs(60));
+    let job_slot = cluster.qsub(spec);
+    let outcome = Arc::new(Mutex::new(None));
+    let out = outcome.clone();
+    cluster.client_after("watch", secs(1), move |c| {
+        let job = job_slot.lock().expect("submitted");
+        let st = c.wait_complete(job, SimDuration::from_millis(500));
+        *out.lock() = Some(st.state);
+    });
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(outcome.lock().unwrap(), JobState::Complete);
+}

@@ -1,0 +1,224 @@
+//! Integration: the dynamic allocation workflow of the paper's Fig. 6 —
+//! `AC_Get()` → `pbs_dynget` → top-priority scheduling → `DYNJOIN_JOB` →
+//! `MPI_Comm_spawn` + merge; and the release path `AC_Free()` →
+//! disconnect → `pbs_dynfree` → `DISJOIN_JOB`.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn ac_get_grants_and_new_accelerators_compute() {
+    // 1 static + pool for 2 more.
+    let mut cluster = Cluster::build(ClusterConfig::fast(10).with_split(1, 3));
+    let dac = cluster.dac.clone();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let out = results.clone();
+
+    let spec = JobSpec::synthetic("dyn", secs(1)).acpn(1).script(script(move |jc| {
+        let (mut ses, statics) = AcSession::init(jc, &dac, None);
+        assert_eq!(statics.len(), 1);
+        let set = ses.ac_get(2).expect("pool has 2 free accelerators");
+        assert_eq!(set.handles.len(), 2);
+        assert_eq!(ses.live_count(), 3);
+        // Old handle still works, new handles work too.
+        for &h in statics.iter().chain(set.handles.iter()) {
+            let x = ses.mem_alloc(h, 24).unwrap();
+            let o = ses.mem_alloc(h, 8).unwrap();
+            ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0, 4.0])).unwrap();
+            ses.kernel_run(
+                h,
+                "reduce_sum",
+                KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(o), Param::U64(3)]),
+            )
+            .unwrap();
+            out.lock().push(as_f64s(&ses.mem_read(h, o, 8).unwrap())[0]);
+        }
+        ses.ac_free(&set).unwrap();
+        assert_eq!(ses.live_count(), 1);
+        // Static accelerator still reachable after the shrink.
+        let h = statics[0];
+        let x = ses.mem_alloc(h, 16).unwrap();
+        ses.mem_write(h, x, f64s_to_bytes(&[2.0, 3.0])).unwrap();
+        ses.kernel_run(h, "scale", KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::U64(2), Param::F64(10.0)]))
+            .unwrap();
+        out.lock().push(as_f64s(&ses.mem_read(h, x, 16).unwrap())[1]);
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*results.lock(), vec![7.0, 7.0, 7.0, 30.0]);
+}
+
+#[test]
+fn ac_get_rejected_when_pool_exhausted_and_app_continues() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(11).with_split(1, 2));
+    let dac = cluster.dac.clone();
+    let outcome = Arc::new(Mutex::new(Vec::new()));
+    let out = outcome.clone();
+
+    // Job takes both accelerators statically; the dynamic request must be
+    // rejected immediately (no reservation, §III-E).
+    let spec = JobSpec::synthetic("greedy", secs(1)).acpn(2).script(script(move |jc| {
+        let (mut ses, statics) = AcSession::init(jc, &dac, None);
+        match ses.ac_get(1) {
+            Err(DacError::Rejected(_)) => out.lock().push("rejected"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Application continues with its existing accelerators.
+        assert_eq!(ses.live_count(), 2);
+        let h = statics[0];
+        let p = ses.mem_alloc(h, 8).unwrap();
+        ses.mem_write(h, p, f64s_to_bytes(&[1.0])).unwrap();
+        out.lock().push("continued");
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert_eq!(*outcome.lock(), vec!["rejected", "continued"]);
+}
+
+#[test]
+fn released_set_becomes_available_to_other_jobs() {
+    // Job A grabs both accelerators dynamically, releases them; job B's
+    // dynamic request (issued while A holds them) is rejected, but a
+    // retry after the release succeeds.
+    let mut cluster = Cluster::build(ClusterConfig::fast(12).with_split(2, 2));
+    let dac = cluster.dac.clone();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let l1 = log.clone();
+    let d1 = dac.clone();
+    let spec_a = JobSpec::synthetic("a", secs(30)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &d1, None);
+        let set = ses.ac_get(2).expect("both accelerators free");
+        l1.lock().push(("a-got", jc.proc.now()));
+        jc.proc.sleep(secs(10));
+        ses.ac_free(&set).unwrap();
+        l1.lock().push(("a-freed", jc.proc.now()));
+        jc.proc.sleep(secs(5));
+        ses.finalize();
+    }));
+
+    let l2 = log.clone();
+    let spec_b = JobSpec::synthetic("b", secs(30)).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        jc.proc.sleep(secs(5)); // A holds both
+        assert!(matches!(ses.ac_get(1), Err(DacError::Rejected(_))));
+        l2.lock().push(("b-rejected", jc.proc.now()));
+        jc.proc.sleep(secs(10)); // past A's release
+        let set = ses.ac_get(1).expect("freed by A");
+        l2.lock().push(("b-got", jc.proc.now()));
+        ses.ac_free(&set).unwrap();
+        ses.finalize();
+    }));
+
+    cluster.qsub(spec_a);
+    cluster.qsub(spec_b);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let log = log.lock().clone();
+    let names: Vec<&str> = log.iter().map(|(n, _)| *n).collect();
+    assert!(names.contains(&"a-got"));
+    assert!(names.contains(&"b-rejected"));
+    assert!(names.contains(&"b-got"));
+    let freed = log.iter().find(|(n, _)| *n == "a-freed").unwrap().1;
+    let got = log.iter().find(|(n, _)| *n == "b-got").unwrap().1;
+    assert!(got > freed, "B's grant only after A's release");
+}
+
+#[test]
+fn dynfree_reply_is_immediate_while_disassociation_continues() {
+    // With the paper cost model, pbs_dynfree returns long before the
+    // DISJOIN round-trip completes (§III-D).
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(13).with_split(1, 3));
+    let dac = cluster.dac.clone();
+    let timing = Arc::new(Mutex::new(None));
+    let out = timing.clone();
+
+    let spec = JobSpec::synthetic("freefast", secs(5)).acpn(1).script(script(move |jc| {
+        let (mut ses, _) = AcSession::init(jc, &dac, None);
+        let set = ses.ac_get(2).expect("two free");
+        let t0 = jc.proc.now();
+        ses.ac_free(&set).unwrap();
+        let t1 = jc.proc.now();
+        *out.lock() = Some(t1 - t0);
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let free_latency = timing.lock().unwrap();
+    // The client-visible latency is the shrink + one request/response,
+    // well under the full disjoin handling of multiple moms.
+    assert!(
+        free_latency < SimDuration::from_millis(100),
+        "AC_Free returned in {free_latency}, expected well under 100ms"
+    );
+}
+
+#[test]
+fn serial_dynamic_servicing_produces_staircase() {
+    // Three single-CN jobs issue AC_Get(1) at the same instant; the
+    // server's serial processing makes their batch-system latencies a
+    // staircase (the paper's Fig. 9).
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(14).with_split(3, 4));
+    let dac = cluster.dac.clone();
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+
+    for i in 0..3 {
+        let d = dac.clone();
+        let l = latencies.clone();
+        let spec = JobSpec::synthetic(format!("cn{i}"), secs(20)).script(script(move |jc| {
+            let (mut ses, _) = AcSession::init(jc, &d, None);
+            // Align the three requests at the same virtual instant.
+            let now = jc.proc.now();
+            let target = SimTime::ZERO + secs(5);
+            if target > now {
+                jc.proc.sleep(target - now);
+            }
+            let t0 = jc.proc.now();
+            let set = ses.ac_get(1).expect("pool of 4 covers 3 requests");
+            let t1 = jc.proc.now();
+            l.lock().push((t1 - t0).as_secs_f64());
+            ses.ac_free(&set).unwrap();
+            ses.finalize();
+        }));
+        cluster.qsub(spec);
+    }
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let mut lat = latencies.lock().clone();
+    assert_eq!(lat.len(), 3);
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Distinct, increasing service completion: each later request waited
+    // for the earlier ones (C > B > A as in Fig. 9).
+    assert!(lat[1] > lat[0] * 1.3, "staircase: {lat:?}");
+    assert!(lat[2] > lat[1] * 1.15, "staircase: {lat:?}");
+    // And everything stays sub-second-ish as the paper reports.
+    assert!(lat[2] < 3.0, "absolute scale: {lat:?}");
+}
+
+#[test]
+fn finalize_releases_all_daemons() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(15).with_split(1, 2));
+    let dac = cluster.dac.clone();
+    let mpi = cluster.mpi.clone();
+    let spec = JobSpec::synthetic("fin", secs(1)).acpn(2).script(script(move |jc| {
+        let (ses, handles) = AcSession::init(jc, &dac, None);
+        assert_eq!(handles.len(), 2);
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    // All communicators torn down: the daemons disconnected and exited.
+    assert_eq!(mpi.live_comms(), 0, "no leaked communicators after finalize");
+}

@@ -1,0 +1,169 @@
+//! Integration: the static allocation workflow of the paper's Fig. 5 —
+//! qsub with `acpn`, scheduling, JOIN_JOB, daemon startup, `AC_Init()`,
+//! offloaded computation, job exit and resource release.
+
+use std::sync::Arc;
+
+use darms::prelude::*;
+use parking_lot::Mutex;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn single_cn_static_allocation_runs_and_computes() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(1).with_split(1, 3));
+    let dac = cluster.dac.clone();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let out = results.clone();
+
+    let spec = JobSpec::synthetic("static3", secs(1)).acpn(3).script(script(move |jc| {
+        assert_eq!(jc.acc_hosts.len(), 3, "three accelerators per the acpn request");
+        let (mut ses, handles) = AcSession::init(jc, &dac, None);
+        assert_eq!(handles.len(), 3);
+        assert_eq!(ses.live_count(), 3);
+        // Offload a saxpy to every accelerator, each with its own data.
+        for (i, &h) in handles.iter().enumerate() {
+            let scale = (i + 1) as f64;
+            let x = ses.mem_alloc(h, 16).unwrap();
+            let y = ses.mem_alloc(h, 16).unwrap();
+            ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0])).unwrap();
+            ses.mem_write(h, y, f64s_to_bytes(&[0.5, 0.5])).unwrap();
+            ses.kernel_run(
+                h,
+                "saxpy",
+                KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(scale)]),
+            )
+            .unwrap();
+            let r = as_f64s(&ses.mem_read(h, y, 16).unwrap());
+            out.lock().push(r);
+        }
+        ses.finalize();
+    }));
+
+    let job_slot = cluster.qsub(spec);
+    let done = Arc::new(Mutex::new(None));
+    let d2 = done.clone();
+    cluster.client_after("watcher", SimDuration::from_millis(1), move |c| {
+        // Wait for the job to appear, then to complete.
+        let job = loop {
+            if let Some(j) = c.qstat().first().map(|s| s.id) {
+                break j;
+            }
+            c.proc.sleep(SimDuration::from_millis(5));
+        };
+        let st = c.wait_complete(job, SimDuration::from_millis(20));
+        *d2.lock() = Some(st);
+    });
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    assert!(job_slot.lock().is_some());
+    let st = done.lock().clone().expect("watcher saw completion");
+    assert_eq!(st.state, JobState::Complete);
+    assert_eq!(st.compute_hosts.len(), 1);
+    assert_eq!(st.static_accs[0].len(), 3);
+    assert!(st.started.is_some() && st.completed.is_some());
+    // saxpy results: y = alpha*x + y with alpha = 1, 2, 3
+    let r = results.lock().clone();
+    assert_eq!(r, vec![vec![1.5, 2.5], vec![2.5, 4.5], vec![3.5, 6.5]]);
+}
+
+#[test]
+fn multi_cn_job_gets_distinct_accelerator_sets() {
+    // 2 compute nodes with acpn=2 => 4 accelerators, disjoint per CN.
+    let mut cluster = Cluster::build(ClusterConfig::fast(2).with_split(2, 4));
+    let dac = cluster.dac.clone();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let out = seen.clone();
+
+    let spec = JobSpec::synthetic("multi", secs(1)).nodes(2).acpn(2).script(script(move |jc| {
+        let (ses, handles) = AcSession::init(jc, &dac, None);
+        assert_eq!(handles.len(), 2);
+        out.lock().push((jc.node_index, jc.acc_hosts.clone()));
+        ses.finalize();
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let seen = seen.lock().clone();
+    assert_eq!(seen.len(), 2, "one task per compute node");
+    let (a, b) = (&seen[0].1, &seen[1].1);
+    assert_eq!(a.len(), 2);
+    assert_eq!(b.len(), 2);
+    for h in a {
+        assert!(!b.contains(h), "per-CN accelerator sets must be disjoint (§III-C)");
+    }
+}
+
+#[test]
+fn job_waits_until_accelerators_available() {
+    // Pool of 2; first job takes both for a while, second job (also
+    // needing 2) must wait for release.
+    let mut cluster = Cluster::build(ClusterConfig::fast(3).with_split(2, 2));
+    let order = Arc::new(Mutex::new(Vec::new()));
+
+    let o1 = order.clone();
+    let spec1 = JobSpec::synthetic("first", secs(10)).acpn(2).script(script(move |jc| {
+        o1.lock().push(("first-start", jc.proc.now()));
+        jc.proc.sleep(secs(10));
+    }));
+    let o2 = order.clone();
+    let spec2 = JobSpec::synthetic("second", secs(1)).acpn(2).script(script(move |jc| {
+        o2.lock().push(("second-start", jc.proc.now()));
+    }));
+    cluster.qsub(spec1);
+    cluster.qsub_after(SimDuration::from_millis(50), spec2);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+
+    let order = order.lock().clone();
+    assert_eq!(order.len(), 2);
+    assert_eq!(order[0].0, "first-start");
+    assert_eq!(order[1].0, "second-start");
+    let gap = order[1].1 - order[0].1;
+    assert!(gap >= secs(10), "second started only after first released (gap {gap})");
+}
+
+#[test]
+fn nodefile_is_published_and_cleaned_up() {
+    let mut cluster = Cluster::build(ClusterConfig::fast(4).with_split(2, 0));
+    let fs = cluster.fs.clone();
+    let observed = Arc::new(Mutex::new(None));
+    let out = observed.clone();
+    let spec = JobSpec::synthetic("nf", secs(1)).nodes(2).script(script(move |jc| {
+        *out.lock() = jc.fs.read(jc.job, "PBS_NODEFILE");
+    }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let content = observed.lock().clone().expect("nodefile existed during the job");
+    assert_eq!(content.lines().count(), 2);
+    // end-of-job cleanup removed the job's files
+    assert!(fs.is_empty(), "job files are removed at exit");
+}
+
+#[test]
+fn cpu_only_jobs_share_compute_node_cores() {
+    // One 8-core node; two 4-core jobs run concurrently, a third waits.
+    let mut cluster = Cluster::build(ClusterConfig::fast(5).with_split(1, 0));
+    let starts = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..3 {
+        let s = starts.clone();
+        let spec = JobSpec::synthetic(format!("cpu{i}"), secs(5)).ppn(4).script(script(move |jc| {
+            s.lock().push(jc.proc.now());
+            jc.proc.sleep(secs(5));
+        }));
+        cluster.qsub(spec);
+    }
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let mut starts = starts.lock().clone();
+    starts.sort();
+    assert_eq!(starts.len(), 3);
+    // First two start together (same node, 4+4 cores); third waits ~5s.
+    assert!(starts[1] - starts[0] < secs(1), "first two overlap");
+    assert!(starts[2] - starts[0] >= secs(5), "third waited for cores");
+}
