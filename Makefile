@@ -1,0 +1,19 @@
+# Developer convenience targets. `make verify` is the full pre-merge
+# gate: formatting, lints as errors, a release build, and the quiet
+# test suite — the same sequence CI runs.
+
+.PHONY: verify fmt lint build test
+
+verify: fmt lint build test
+
+fmt:
+	cargo fmt --all --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q

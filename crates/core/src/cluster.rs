@@ -12,7 +12,7 @@ use darms_rms::{
     JobStatus, NodeDb, PbsMom, PbsServer, PseudoFs,
 };
 use darms_sched::MauiScheduler;
-use darms_sim::{Endpoint, Engine, Proc, Recorder, SimDuration, SimStats};
+use darms_sim::{Endpoint, Engine, MetricsRegistry, Proc, Recorder, SimDuration, SimStats, Tracer};
 use parking_lot::Mutex;
 
 use crate::config::ClusterConfig;
@@ -37,6 +37,11 @@ pub struct Cluster {
     pub accs: Vec<HostId>,
     /// Measurement sink shared with the scheduler and DAC front ends.
     pub recorder: Recorder,
+    /// The engine's metrics registry; every instrumented subsystem
+    /// (server, scheduler, DAC front ends, network) writes into it.
+    pub metrics: MetricsRegistry,
+    /// The engine's structured event tracer.
+    pub tracer: Tracer,
     config: ClusterConfig,
 }
 
@@ -47,6 +52,9 @@ impl Cluster {
         let net = Network::new(config.latency.clone(), config.sim.seed ^ 0x6e65_7477);
         let fs = PseudoFs::new();
         let recorder = Recorder::new();
+        let metrics = sim.metrics();
+        let tracer = sim.tracer();
+        net.attach_metrics(metrics.clone());
 
         let head = net.add_host("head", HostKind::Head);
         let compute: Vec<HostId> = (0..config.compute_nodes)
@@ -73,8 +81,7 @@ impl Cluster {
             db.add_accelerator(h);
         }
 
-        let server =
-            PbsServer::new(net.clone(), fs.clone(), head, config.rms_cost.clone(), db);
+        let server = PbsServer::new(net.clone(), fs.clone(), head, config.rms_cost.clone(), db);
         let server_id = sim.add_actor(Box::new(server));
         net.bind(server_addr(head), Endpoint::Actor(server_id));
 
@@ -85,8 +92,7 @@ impl Cluster {
 
         if let Some(mc) = config.monitor.clone() {
             let watched: Vec<HostId> = compute.iter().chain(accs.iter()).copied().collect();
-            let monitor =
-                HealthMonitor::new(net.clone(), head, monitor_addr(head), watched, mc);
+            let monitor = HealthMonitor::new(net.clone(), head, monitor_addr(head), watched, mc);
             let monitor_id = sim.add_actor(Box::new(monitor));
             net.bind(monitor_addr(head), Endpoint::Actor(monitor_id));
         }
@@ -105,7 +111,7 @@ impl Cluster {
             net.bind(mom_addr(h), Endpoint::Actor(mom_id));
         }
 
-        Cluster { sim, net, fs, mpi, dac, head, compute, accs, recorder, config }
+        Cluster { sim, net, fs, mpi, dac, head, compute, accs, recorder, metrics, tracer, config }
     }
 
     /// The server's address (for custom front-end processes).

@@ -69,8 +69,10 @@ pub mod prelude {
         as_f64s, f64s_to_bytes, AcHandle, AcSession, AcSet, DacError, DevPtr, KernelArgs, Param,
         TaskComm,
     };
-    pub use darms_rms::{
-        script, ClientId, JobCtx, JobId, JobSpec, JobState, JobStatus,
+    pub use darms_rms::{script, ClientId, JobCtx, JobId, JobSpec, JobState, JobStatus};
+    pub use darms_sim::{
+        metrics_to_json, to_chrome_trace, to_json_lines, write_chrome_trace, write_json_lines,
+        HistogramSummary, MetricsRegistry, Recorder, SimDuration, SimStats, SimTime, Summary,
+        TraceEvent, TraceEventKind, TraceSource, Tracer,
     };
-    pub use darms_sim::{Recorder, SimDuration, SimStats, SimTime, Summary};
 }

@@ -137,15 +137,8 @@ impl AcSession {
             let total: u32 = counts.iter().sum();
             // One request for the grand total (the paper's single-request
             // semantics).
-            let grant = ifl::pbs_dynget(
-                &jc.proc,
-                &jc.net,
-                jc.host,
-                jc.server,
-                jc.job,
-                jc.host,
-                total,
-            );
+            let grant =
+                ifl::pbs_dynget(&jc.proc, &jc.net, jc.host, jc.server, jc.job, jc.host, total);
             match grant {
                 Ok(g) => {
                     // Slice the grant per participant, in node order.

@@ -35,12 +35,7 @@ impl DeviceProps {
     /// A 2013-era CUDA GPU (Fermi/Kepler class): 6 GiB, ~6 GB/s PCIe
     /// copies, ~1 TFLOP/s single precision.
     pub fn gpu_2013() -> Self {
-        DeviceProps {
-            mem_bytes: 6 << 30,
-            h2d_bw: 6.0e9,
-            d2h_bw: 6.0e9,
-            flops: 1.0e12,
-        }
+        DeviceProps { mem_bytes: 6 << 30, h2d_bw: 6.0e9, d2h_bw: 6.0e9, flops: 1.0e12 }
     }
 
     /// A tiny device for allocator stress tests.
@@ -165,11 +160,8 @@ impl AccDevice {
     }
 
     fn check(&self, ptr: DevPtr, offset: u64, len: u64) -> Result<(), DevError> {
-        let size = self
-            .buffers
-            .get(&ptr.0)
-            .map(|b| b.len() as u64)
-            .ok_or(DevError::BadPointer(ptr))?;
+        let size =
+            self.buffers.get(&ptr.0).map(|b| b.len() as u64).ok_or(DevError::BadPointer(ptr))?;
         if offset.saturating_add(len) > size {
             return Err(DevError::OutOfBounds { ptr, offset, len, size });
         }

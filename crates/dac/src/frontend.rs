@@ -13,7 +13,9 @@ use darms_sim::Recorder;
 
 use crate::device::DevPtr;
 use crate::kernel::KernelArgs;
-use crate::runtime::{DacReply, DacRequest, DacRuntime, RepBody, ReqBody, DAEMON_EXE, TAG_REP, TAG_REQ};
+use crate::runtime::{
+    DacReply, DacRequest, DacRuntime, RepBody, ReqBody, DAEMON_EXE, TAG_REP, TAG_REQ,
+};
 
 /// Opaque handle to one associated accelerator (the paper's `ac_handle`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -121,7 +123,11 @@ impl AcSession {
     /// With a [`Recorder`] attached, records `acinit.wait` (time until the
     /// daemons were ready — the dark region of the paper's Fig. 7(a)) and
     /// `acinit.connect` (communicator construction — the light region).
-    pub fn init(jc: &JobCtx, dac: &DacRuntime, recorder: Option<Recorder>) -> (Self, Vec<AcHandle>) {
+    pub fn init(
+        jc: &JobCtx,
+        dac: &DacRuntime,
+        recorder: Option<Recorder>,
+    ) -> (Self, Vec<AcHandle>) {
         let x = jc.acc_hosts.len();
         let t0 = jc.proc.now();
         let mut session = AcSession {
@@ -178,12 +184,7 @@ impl AcSession {
 
     /// Handles of all live accelerators.
     pub fn live_handles(&self) -> Vec<AcHandle> {
-        self.handles
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| h.live)
-            .map(|(i, _)| AcHandle(i))
-            .collect()
+        self.handles.iter().enumerate().filter(|(_, h)| h.live).map(|(i, _)| AcHandle(i)).collect()
     }
 
     fn rank_of(&self, h: AcHandle) -> Result<Rank, DacError> {
@@ -297,7 +298,8 @@ impl AcSession {
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>, DacError> {
-        let req = self.send_req(h, ReqBody::CopyD2H { ptr, offset, len }, self.dac.cost.ctl_bytes)?;
+        let req =
+            self.send_req(h, ReqBody::CopyD2H { ptr, offset, len }, self.dac.cost.ctl_bytes)?;
         match self.wait_reply(h, req)? {
             RepBodyOwned::Data(r) => r.map_err(DacError::Device),
             _ => unreachable!("CopyD2H replies with Data"),
@@ -384,7 +386,12 @@ impl AcSession {
     }
 
     /// Synchronous kernel execution: launch and wait.
-    pub fn kernel_run(&mut self, h: AcHandle, name: &str, args: KernelArgs) -> Result<(), DacError> {
+    pub fn kernel_run(
+        &mut self,
+        h: AcHandle,
+        name: &str,
+        args: KernelArgs,
+    ) -> Result<(), DacError> {
         let l = self.kernel_launch(h, name, args)?;
         self.kernel_wait(l)
     }
@@ -467,12 +474,15 @@ impl AcSession {
             min_count,
         );
         let t1 = self.mpi.proc().now();
+        let metrics = self.mpi.proc().metrics();
         let grant = match grant {
             Ok(g) => g,
             Err(r) => {
                 if let Some(rec) = &self.recorder {
                     rec.record_duration("acget.rejected", t1, t1 - t0);
                 }
+                metrics.counter_inc("dac.acget_rejected");
+                metrics.observe_duration("dac.acget_latency", t1 - t0);
                 return Err(DacError::Rejected(r));
             }
         };
@@ -482,6 +492,8 @@ impl AcSession {
             rec.record_duration("acget.batch", t2, t1 - t0);
             rec.record_duration("acget.mpi", t2, t2 - t1);
         }
+        metrics.counter_inc("dac.acget_granted");
+        metrics.observe_duration("dac.acget_latency", t2 - t0);
         Ok(set)
     }
 
@@ -502,7 +514,13 @@ impl AcSession {
                     self.next_req += 1;
                     let rank = self.rank_of(h).expect("live");
                     self.mpi
-                        .send(c, rank, TAG_REQ, data(DacRequest { req, body: ReqBody::Grow }), self.dac.cost.ctl_bytes)
+                        .send(
+                            c,
+                            rank,
+                            TAG_REQ,
+                            data(DacRequest { req, body: ReqBody::Grow }),
+                            self.dac.cost.ctl_bytes,
+                        )
                         .map_err(DacError::Mpi)?;
                 }
                 c
@@ -531,6 +549,7 @@ impl AcSession {
     /// session communicator) and then notifies the batch system via
     /// `pbs_dynfree`; the application continues immediately (§III-D).
     pub fn ac_free(&mut self, set: &AcSet) -> Result<(), DacError> {
+        let t0 = self.mpi.proc().now();
         self.release_local(set)?;
         // Tell the batch system; the reply is positive immediately.
         let ok = ifl::pbs_dynfree(
@@ -542,6 +561,8 @@ impl AcSession {
             set.client_id,
         );
         debug_assert!(ok, "server lost track of {:?}", set.client_id);
+        let t1 = self.mpi.proc().now();
+        self.mpi.proc().metrics().observe_duration("dac.acfree_latency", t1 - t0);
         Ok(())
     }
 
@@ -559,17 +580,13 @@ impl AcSession {
                 _ => return Err(DacError::BadHandle(*h)),
             }
         }
-        let removed: Vec<Rank> =
-            set.handles.iter().filter_map(|h| self.rank_of(*h).ok()).collect();
+        let removed: Vec<Rank> = set.handles.iter().filter_map(|h| self.rank_of(*h).ok()).collect();
         if removed.is_empty() {
             return Err(DacError::BadHandle(*set.handles.first().unwrap_or(&AcHandle(usize::MAX))));
         }
         // Survivors first join the shrink, the released daemons exit.
-        let survivors: Vec<AcHandle> = self
-            .live_handles()
-            .into_iter()
-            .filter(|h| !set.handles.contains(h))
-            .collect();
+        let survivors: Vec<AcHandle> =
+            self.live_handles().into_iter().filter(|h| !set.handles.contains(h)).collect();
         for h in &survivors {
             let rank = self.rank_of(*h).expect("live");
             let req = self.next_req;

@@ -130,8 +130,7 @@ impl KernelRegistry {
 /// overhead plus compute time at an effective rate well below peak, as
 /// real kernels achieve.
 fn flop_cost(flops: f64, props: &DeviceProps) -> SimDuration {
-    SimDuration::from_micros(5)
-        + SimDuration::from_secs_f64(flops / (props.flops * 0.3).max(1.0))
+    SimDuration::from_micros(5) + SimDuration::from_secs_f64(flops / (props.flops * 0.3).max(1.0))
 }
 
 /// Register the built-in kernels:
@@ -150,7 +149,8 @@ pub fn register_builtins(reg: &KernelRegistry) {
         "vector_add",
         |args, props| flop_cost(args.params[3].u64(3).unwrap_or(0) as f64, props),
         |dev, args| {
-            let (a, b, c) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
+            let (a, b, c) =
+                (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
             let n = args.params[3].u64(3)? as usize;
             let av = as_f64s(dev.buffer(a).map_err(|e| e.to_string())?);
             let bv = as_f64s(dev.buffer(b).map_err(|e| e.to_string())?);
@@ -205,7 +205,8 @@ pub fn register_builtins(reg: &KernelRegistry) {
             flop_cost(2.0 * m * k * n, props)
         },
         |dev, args| {
-            let (a, b, c) = (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
+            let (a, b, c) =
+                (args.params[0].ptr(0)?, args.params[1].ptr(1)?, args.params[2].ptr(2)?);
             let m = args.params[3].u64(3)? as usize;
             let k = args.params[4].u64(4)? as usize;
             let n = args.params[5].u64(5)? as usize;
@@ -282,7 +283,8 @@ mod tests {
         d.write(b, 0, &f64s_to_bytes(&[10.0, 20.0, 30.0])).unwrap();
         let c = d.malloc(24).unwrap();
         let k = reg.get("vector_add").unwrap();
-        let args = KernelArgs::new(1, 3, vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(3)]);
+        let args =
+            KernelArgs::new(1, 3, vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(3)]);
         (k.body)(&mut d, &args).unwrap();
         assert_eq!(as_f64s(&d.read(c, 0, 24).unwrap()), vec![11.0, 22.0, 33.0]);
         assert!((k.cost)(&args, &d.props()) > SimDuration::ZERO);
@@ -297,13 +299,20 @@ mod tests {
         let saxpy = reg.get("saxpy").unwrap();
         (saxpy.body)(
             &mut d,
-            &KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(3.0)]),
+            &KernelArgs::new(
+                1,
+                2,
+                vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(3.0)],
+            ),
         )
         .unwrap();
         assert_eq!(as_f64s(&d.read(y, 0, 16).unwrap()), vec![8.0, 11.0]);
         let scale = reg.get("scale").unwrap();
-        (scale.body)(&mut d, &KernelArgs::new(1, 2, vec![Param::Ptr(y), Param::U64(2), Param::F64(0.5)]))
-            .unwrap();
+        (scale.body)(
+            &mut d,
+            &KernelArgs::new(1, 2, vec![Param::Ptr(y), Param::U64(2), Param::F64(0.5)]),
+        )
+        .unwrap();
         assert_eq!(as_f64s(&d.read(y, 0, 16).unwrap()), vec![4.0, 5.5]);
     }
 
@@ -341,8 +350,11 @@ mod tests {
         let (mut d, x) = dev_with(&[1.0, 2.0, 3.5]);
         let out = d.malloc(8).unwrap();
         let k = reg.get("reduce_sum").unwrap();
-        (k.body)(&mut d, &KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(out), Param::U64(3)]))
-            .unwrap();
+        (k.body)(
+            &mut d,
+            &KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(out), Param::U64(3)]),
+        )
+        .unwrap();
         assert_eq!(as_f64s(&d.read(out, 0, 8).unwrap()), vec![6.5]);
     }
 
@@ -353,7 +365,11 @@ mod tests {
         let k = reg.get("vector_add").unwrap();
         let err = (k.body)(
             &mut d,
-            &KernelArgs::new(1, 1, vec![Param::U64(1), Param::Ptr(x), Param::Ptr(x), Param::U64(1)]),
+            &KernelArgs::new(
+                1,
+                1,
+                vec![Param::U64(1), Param::Ptr(x), Param::Ptr(x), Param::U64(1)],
+            ),
         )
         .unwrap_err();
         assert!(err.contains("expected pointer"), "{err}");
@@ -367,9 +383,11 @@ mod tests {
         let k = reg.get("stencil3").unwrap();
         (k.body)(
             &mut d,
-            &KernelArgs::new(1, 5, vec![
-                Param::Ptr(src), Param::Ptr(dst), Param::U64(5), Param::F64(0.25),
-            ]),
+            &KernelArgs::new(
+                1,
+                5,
+                vec![Param::Ptr(src), Param::Ptr(dst), Param::U64(5), Param::F64(0.25)],
+            ),
         )
         .unwrap();
         let out = as_f64s(&d.read(dst, 0, 40).unwrap());
@@ -393,14 +411,30 @@ mod tests {
         let reg = KernelRegistry::with_builtins();
         let k = reg.get("matmul").unwrap();
         let props = DeviceProps::gpu_2013();
-        let args_small = KernelArgs::new(1, 1, vec![
-            Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)),
-            Param::U64(16), Param::U64(16), Param::U64(16),
-        ]);
-        let args_big = KernelArgs::new(1, 1, vec![
-            Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)), Param::Ptr(DevPtr(0)),
-            Param::U64(256), Param::U64(256), Param::U64(256),
-        ]);
+        let args_small = KernelArgs::new(
+            1,
+            1,
+            vec![
+                Param::Ptr(DevPtr(0)),
+                Param::Ptr(DevPtr(0)),
+                Param::Ptr(DevPtr(0)),
+                Param::U64(16),
+                Param::U64(16),
+                Param::U64(16),
+            ],
+        );
+        let args_big = KernelArgs::new(
+            1,
+            1,
+            vec![
+                Param::Ptr(DevPtr(0)),
+                Param::Ptr(DevPtr(0)),
+                Param::Ptr(DevPtr(0)),
+                Param::U64(256),
+                Param::U64(256),
+                Param::U64(256),
+            ],
+        );
         assert!((k.cost)(&args_big, &props) > (k.cost)(&args_small, &props));
     }
 }

@@ -27,9 +27,9 @@ pub mod kernel;
 pub mod runtime;
 pub mod starter;
 
+pub use collective::TaskComm;
 pub use cost::DacCostModel;
 pub use device::{as_f64s, f64s_to_bytes, AccDevice, DevError, DevPtr, DeviceProps};
-pub use collective::TaskComm;
 pub use frontend::{AcHandle, AcSession, AcSet, DacError, Launch};
 pub use kernel::{register_builtins, Kernel, KernelArgs, KernelRegistry, Param};
 pub use runtime::{DacRuntime, DAEMON_EXE};

@@ -210,10 +210,8 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
     let overhead = dac.cost.request_overhead;
     loop {
         let msg = mpi.recv(comm, Some(0), Some(TAG_REQ));
-        let request = msg
-            .data
-            .downcast_ref::<DacRequest>()
-            .expect("TAG_REQ messages carry DacRequest");
+        let request =
+            msg.data.downcast_ref::<DacRequest>().expect("TAG_REQ messages carry DacRequest");
         let req = request.req;
         match &request.body {
             ReqBody::Grow => {
@@ -276,7 +274,8 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 let _ = mpi.send(comm, 0, TAG_REP, data(rep), dac.cost.ctl_bytes + bytes);
             }
             ReqBody::GroupReduceSum { ptr, elems, out, peers } => {
-                let result = group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers);
+                let result =
+                    group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers);
                 reply(&mpi, comm, req, RepBody::Ack(result), &dac);
             }
             ReqBody::KernelRun { name, args } => {

@@ -79,6 +79,30 @@ fn bench_cluster_boot_job(c: &mut Criterion) {
     });
 }
 
+/// Tracing overhead: the same cluster scenario with the tracer disabled
+/// (default; every instrumented call site is one relaxed atomic load)
+/// vs enabled (events buffered). Disabled must be indistinguishable from
+/// the pre-instrumentation baseline.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use darms::prelude::*;
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(60);
+    for (label, traced) in [("disabled", false), ("enabled", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &traced, |b, &traced| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ClusterConfig::fast(seed).with_split(2, 2);
+                let cfg = if traced { cfg.with_trace() } else { cfg };
+                let mut cluster = Cluster::build(cfg);
+                cluster.qsub(JobSpec::synthetic("j", SimDuration::from_secs(1)).acpn(1));
+                cluster.run()
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Pure scheduler logic: priority ordering + allocation over a synthetic
 /// snapshot, scaling with queue depth (the computational kernel behind
 /// Fig. 8's per-job cost).
@@ -101,7 +125,8 @@ fn bench_scheduler_logic(c: &mut Criterion) {
                     offline: false,
                 })
                 .collect();
-            let snap = ClusterSnapshot { nodes, queued: vec![], running: vec![], dyn_pending: None };
+            let snap =
+                ClusterSnapshot { nodes, queued: vec![], running: vec![], dyn_pending: None };
             let queued: Vec<QueuedJobSnap> = (0..depth)
                 .map(|i| QueuedJobSnap {
                     job: JobId(i as u64),
@@ -169,6 +194,7 @@ criterion_group!(
     bench_engine_pingpong,
     bench_mpi_collectives,
     bench_cluster_boot_job,
+    bench_trace_overhead,
     bench_scheduler_logic,
     bench_device_kernels
 );

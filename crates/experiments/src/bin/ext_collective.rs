@@ -17,8 +17,7 @@ fn secs(s: u64) -> SimDuration {
 /// Returns (per-node batch latencies, granted-node count).
 fn run(seed: u64, collective: bool, pool: usize) -> (Vec<f64>, usize) {
     let nodes = 3usize;
-    let mut cluster =
-        Cluster::build(ClusterConfig::paper_testbed(seed).with_split(nodes, pool));
+    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(nodes, pool));
     let dac = cluster.dac.clone();
     let lat = Arc::new(Mutex::new(Vec::new()));
     let granted = Arc::new(Mutex::new(0usize));
@@ -95,10 +94,7 @@ fn main() {
     // success; collective: atomic rejection.
     let (_, gi) = run(12000, false, 4);
     let (_, gc) = run(12000, true, 4);
-    let mut t = Table::new(
-        "scarce pool (4 free, 6 wanted)",
-        &["mode", "granted_nodes"],
-    );
+    let mut t = Table::new("scarce pool (4 free, 6 wanted)", &["mode", "granted_nodes"]);
     t.row(vec!["individual".into(), gi.to_string()]);
     t.row(vec!["collective".into(), gc.to_string()]);
     println!("{}", t.render());

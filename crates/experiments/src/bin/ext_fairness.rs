@@ -17,7 +17,9 @@ fn main() {
     }
     let n = trials as f64;
     let mut table = Table::new(
-        format!("EXT-3: queued-job wait under a greedy dynamic requester (mean of {trials} trials)"),
+        format!(
+            "EXT-3: queued-job wait under a greedy dynamic requester (mean of {trials} trials)"
+        ),
         &["dyn_priority", "mean_queued_wait[s]"],
     );
     table.row(vec!["top (paper's policy)".into(), secs(top / n)]);

@@ -15,12 +15,7 @@ fn main() {
     for &mb in &sizes_mb {
         let (pipe, serial) = ext4_pipelining(8000 + mb as u64, mb);
         last_speedup = serial / pipe.max(1e-12);
-        table.row(vec![
-            mb.to_string(),
-            secs(pipe),
-            secs(serial),
-            format!("{last_speedup:.2}x"),
-        ]);
+        table.row(vec![mb.to_string(), secs(pipe), secs(serial), format!("{last_speedup:.2}x")]);
         assert!(pipe <= serial + 1e-12, "pipelining can only help");
     }
     println!("{}", table.render());

@@ -21,8 +21,18 @@ fn main() {
         format!("EXT-1: static-peak vs dynamic provisioning (8 two-phase jobs, 2 CN + 4 AC, mean of {trials} trials)"),
         &["strategy", "makespan[s]", "mean_wait[s]", "dyn_rejections"],
     );
-    t.row(vec!["static-peak".into(), secs(stat.0 / n), secs(stat.1 / n), format!("{:.1}", stat.2 as f64 / n)]);
-    t.row(vec!["dynamic".into(), secs(dynm.0 / n), secs(dynm.1 / n), format!("{:.1}", dynm.2 as f64 / n)]);
+    t.row(vec![
+        "static-peak".into(),
+        secs(stat.0 / n),
+        secs(stat.1 / n),
+        format!("{:.1}", stat.2 as f64 / n),
+    ]);
+    t.row(vec![
+        "dynamic".into(),
+        secs(dynm.0 / n),
+        secs(dynm.1 / n),
+        format!("{:.1}", dynm.2 as f64 / n),
+    ]);
     println!("{}", t.render());
     let speedup = stat.0 / dynm.0.max(1e-9);
     println!("dynamic provisioning shortens the makespan by {:.2}x and cuts queue waits", speedup);

@@ -12,7 +12,9 @@ use darms_workload::{secs, Table};
 fn main() {
     let rows = fig9(TRIALS);
     let mut t = Table::new(
-        format!("Fig 9: concurrent dynamic requests from three compute nodes, mean of {TRIALS} trials"),
+        format!(
+            "Fig 9: concurrent dynamic requests from three compute nodes, mean of {TRIALS} trials"
+        ),
         &["compute_node", "batch[s]", "paper[s]"],
     );
     let paper = [0.33, 0.55, 0.75];

@@ -4,6 +4,11 @@
 //! batch system actually produced.
 //!
 //! Run with: `cargo run --release -p darms-experiments --bin gantt`
+//!
+//! The run collects the structured event stream; set
+//! `DARMS_CHROME_TRACE=/path/to/trace.json` to also write it in Chrome
+//! `trace_event` format (open in `chrome://tracing` or Perfetto), or
+//! `DARMS_JSONL_TRACE=/path` for a JSON-lines dump.
 
 use std::sync::Arc;
 
@@ -15,6 +20,7 @@ const WIDTH: usize = 88;
 
 fn main() {
     let mut cluster = Cluster::build(ClusterConfig::paper_testbed(77).with_split(3, 4));
+    cluster.tracer.set_enabled(true);
     let dac = cluster.dac.clone();
     let pool = cluster.accs.len();
     let trace = WorkloadConfig::mixed().generate(14, 21);
@@ -74,16 +80,15 @@ fn main() {
     assert_eq!(stats.process_panics, 0);
 
     let statuses = statuses.lock().clone();
-    let t_end = statuses
-        .iter()
-        .filter_map(|s| s.completed)
-        .max()
-        .expect("jobs finished")
-        .as_secs_f64();
+    let t_end =
+        statuses.iter().filter_map(|s| s.completed).max().expect("jobs finished").as_secs_f64();
     let scale = |t: f64| ((t / t_end) * (WIDTH as f64 - 1.0)) as usize;
 
-    println!("== schedule replay: 14 jobs on 3 CN + 4 AC (one row per job; · queued, █ running) ==\n");
-    println!("{:<7} {:<6} {}", "job", "owner", format!("0s {:>width$}", format!("{t_end:.0}s"), width = WIDTH - 3));
+    println!(
+        "== schedule replay: 14 jobs on 3 CN + 4 AC (one row per job; · queued, █ running) ==\n"
+    );
+    let axis = format!("0s {:>width$}", format!("{t_end:.0}s"), width = WIDTH - 3);
+    println!("{:<7} {:<6} {axis}", "job", "owner");
     for s in &statuses {
         let sub = scale(s.submitted.as_secs_f64());
         let start = scale(s.started.expect("ran").as_secs_f64());
@@ -114,10 +119,60 @@ fn main() {
         *slot = level.clamp(0, pool as i64);
     }
     let glyphs = [' ', '▁', '▂', '▄', '█'];
-    let line: String = occupancy
-        .iter()
-        .map(|&l| glyphs[(l as usize * (glyphs.len() - 1)) / pool])
-        .collect();
+    let line: String =
+        occupancy.iter().map(|&l| glyphs[(l as usize * (glyphs.len() - 1)) / pool]).collect();
     println!("\n{:<14} {}", format!("AC pool (of {pool})"), line);
-    println!("\nvirtual time simulated: {:.0} s in {} events", stats.end_time.as_secs_f64(), stats.events);
+    println!(
+        "\nvirtual time simulated: {:.0} s in {} events",
+        stats.end_time.as_secs_f64(),
+        stats.events
+    );
+
+    // Structured event stream: summarize, and export on request.
+    let events = cluster.sim.take_events();
+    let (mut from_kernel, mut from_actors, mut from_procs) = (0usize, 0usize, 0usize);
+    for ev in &events {
+        match ev.source {
+            TraceSource::Kernel => from_kernel += 1,
+            TraceSource::Actor(_) => from_actors += 1,
+            TraceSource::Process(_) => from_procs += 1,
+        }
+    }
+    println!(
+        "trace events collected: {} ({from_kernel} kernel, {from_actors} actor, {from_procs} process)",
+        events.len()
+    );
+    if let Ok(path) = std::env::var("DARMS_CHROME_TRACE") {
+        write_chrome_trace(&path, &events).expect("write chrome trace");
+        println!("chrome trace written to {path}");
+    }
+    if let Ok(path) = std::env::var("DARMS_JSONL_TRACE") {
+        write_json_lines(&path, &events).expect("write jsonl trace");
+        println!("json-lines trace written to {path}");
+    }
+
+    // Registry metrics: the batch system's own view of the run.
+    let m = &cluster.metrics;
+    if let Some(h) = m.histogram("rms.qsub_to_run") {
+        println!(
+            "qsub→run latency: n={} p50={:.1}s p95={:.1}s max={:.1}s",
+            h.count, h.p50, h.p95, h.max
+        );
+    }
+    if let Some(util) = m.twg_mean("rms.acc_pool_util", stats.end_time) {
+        println!("mean accelerator-pool utilization: {:.1}%", util * 100.0);
+    }
+    println!(
+        "scheduler iterations: {}; backfill hits: {}; dynjoin: {}; disjoin: {}",
+        m.counter("sched.iterations"),
+        m.counter("sched.backfill_hits"),
+        m.counter("rms.dynjoin"),
+        m.counter("rms.disjoin"),
+    );
+    println!(
+        "network: {} messages, {} bytes, engine overhead {:.2} ms wall per simulated second",
+        m.counter("net.messages"),
+        m.counter("net.bytes"),
+        stats.wall_per_sim_second() * 1e3,
+    );
 }

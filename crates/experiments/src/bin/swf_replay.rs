@@ -32,19 +32,17 @@ fn main() {
     let mut jobs = parse_swf(&text, cores_per_node).expect("valid SWF");
     // SWF predates network-attached accelerators: overlay demand so the
     // DAC path is exercised (40% of jobs, 1-2 accelerators per node).
-    overlay_accelerator_demand(
-        &mut jobs,
-        0.4,
-        &Dist::Choice(vec![(2.0, 1.0), (1.0, 2.0)]),
-        7,
-    );
+    overlay_accelerator_demand(&mut jobs, 0.4, &Dist::Choice(vec![(2.0, 1.0), (1.0, 2.0)]), 7);
 
     let mut cluster = Cluster::build(ClusterConfig::paper_testbed(4242).with_split(3, 4));
     let dac = cluster.dac.clone();
     let pool = cluster.accs.len();
     let n_jobs = jobs.len();
-    println!("replaying {} SWF jobs ({} with accelerator demand) on 3 CN + {pool} AC\n",
-        n_jobs, jobs.iter().filter(|j| j.acpn > 0).count());
+    println!(
+        "replaying {} SWF jobs ({} with accelerator demand) on 3 CN + {pool} AC\n",
+        n_jobs,
+        jobs.iter().filter(|j| j.acpn > 0).count()
+    );
 
     for (i, t) in jobs.iter().enumerate() {
         let nodes = t.nodes.min(3);
@@ -102,5 +100,9 @@ fn main() {
         format!("{:.1}%", 100.0 * report.acc_utilisation(pool)),
     ]);
     println!("{}", t.render());
-    println!("simulated {:.0} virtual seconds in {} events", stats.end_time.as_secs_f64(), stats.events);
+    println!(
+        "simulated {:.0} virtual seconds in {} events",
+        stats.end_time.as_secs_f64(),
+        stats.events
+    );
 }

@@ -89,11 +89,9 @@ fn provisioning_run(seed: u64, dynamic: bool) -> ProvisioningOutcome {
     let st = statuses.lock().clone();
     let first = st.iter().map(|s| s.submitted).min().expect("jobs ran");
     let last = st.iter().filter_map(|s| s.completed).max().expect("jobs finished");
-    let mean_wait = st
-        .iter()
-        .filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64()))
-        .sum::<f64>()
-        / st.len() as f64;
+    let mean_wait =
+        st.iter().filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64())).sum::<f64>()
+            / st.len() as f64;
     let rejections = *rejections.lock();
     ProvisioningOutcome { makespan: (last - first).as_secs_f64(), mean_wait, rejections }
 }
@@ -102,10 +100,7 @@ fn provisioning_run(seed: u64, dynamic: bool) -> ProvisioningOutcome {
 /// Twelve jobs each issue `AC_Get(2)` bursts at random times; returns
 /// `(pool_size, rejection_fraction)` per configuration.
 pub fn ext2_rejection_sweep(seed: u64) -> Vec<(usize, f64)> {
-    [2usize, 3, 4, 5, 6]
-        .iter()
-        .map(|&pool| (pool, rejection_run(seed, pool)))
-        .collect()
+    [2usize, 3, 4, 5, 6].iter().map(|&pool| (pool, rejection_run(seed, pool))).collect()
 }
 
 fn rejection_run(seed: u64, pool: usize) -> f64 {
@@ -179,9 +174,7 @@ fn fairness_run(seed: u64, dyn_top: bool) -> f64 {
     // Queued competitors each want one accelerator briefly.
     let n_comp = 6;
     for i in 0..n_comp {
-        let spec = JobSpec::synthetic(format!("comp{i}"), secs(5))
-            .acpn(1)
-            .walltime(secs(10));
+        let spec = JobSpec::synthetic(format!("comp{i}"), secs(5)).acpn(1).walltime(secs(10));
         cluster.qsub_after(secs(10 + 5 * i as u64), spec);
     }
     let statuses = Arc::new(Mutex::new(Vec::new()));
@@ -198,9 +191,7 @@ fn fairness_run(seed: u64, dyn_top: bool) -> f64 {
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
     let st = statuses.lock().clone();
-    st.iter()
-        .filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64()))
-        .sum::<f64>()
+    st.iter().filter_map(|s| s.started.map(|t| (t - s.submitted).as_secs_f64())).sum::<f64>()
         / st.len() as f64
 }
 

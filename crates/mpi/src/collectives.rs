@@ -21,10 +21,8 @@ impl MpiProc {
     ) -> Result<(), MpiError> {
         let member = self.rt.lookup(comm.id, group, rank)?;
         let bytes = self.rt.cost.ctl_bytes;
-        let out = self
-            .rt
-            .net
-            .send_from_proc(&self.p, self.host, member.addr, Ctl { token, body }, bytes);
+        let out =
+            self.rt.net.send_from_proc(&self.p, self.host, member.addr, Ctl { token, body }, bytes);
         if out.is_sent() {
             Ok(())
         } else {
@@ -76,7 +74,13 @@ impl MpiProc {
                 GROUP_A,
                 0,
                 seq,
-                CtlBody::Arrive { comm: comm.id, seq, rank: comm.rank, group: comm.group, high: false },
+                CtlBody::Arrive {
+                    comm: comm.id,
+                    seq,
+                    rank: comm.rank,
+                    group: comm.group,
+                    high: false,
+                },
             )?;
             self.p.recv_where(|e| match e.peek::<Ctl>() {
                 Some(Ctl { body: CtlBody::Release { comm: c, seq: s }, .. }) => {

@@ -179,7 +179,10 @@ impl MpiProc {
                     GROUP_A,
                     r,
                     seq,
-                    CtlBody::Announce { ctx: local.id, comm: Comm { id: inter, group: GROUP_A, rank: r } },
+                    CtlBody::Announce {
+                        ctx: local.id,
+                        comm: Comm { id: inter, group: GROUP_A, rank: r },
+                    },
                 )?;
             }
             Ok(Comm { id: inter, group: GROUP_A, rank: 0 })
@@ -200,11 +203,7 @@ impl MpiProc {
             self.send_ctl_addr(
                 acceptor,
                 token,
-                CtlBody::ConnectReq {
-                    port: name.to_string(),
-                    connector,
-                    reply: self.addr,
-                },
+                CtlBody::ConnectReq { port: name.to_string(), connector, reply: self.addr },
             )?;
             let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
                 Some(Ctl { token: t, body: CtlBody::ConnectAck { .. } }) => *t == token,
@@ -220,7 +219,10 @@ impl MpiProc {
                     GROUP_A,
                     r,
                     seq,
-                    CtlBody::Announce { ctx: local.id, comm: Comm { id: inter, group: GROUP_B, rank: r } },
+                    CtlBody::Announce {
+                        ctx: local.id,
+                        comm: Comm { id: inter, group: GROUP_B, rank: r },
+                    },
                 )?;
             }
             Ok(Comm { id: inter, group: GROUP_B, rank: 0 })
@@ -289,8 +291,13 @@ impl MpiProc {
                     comm: Comm { id: new_id, group: GROUP_A, rank: new_rank as Rank },
                 };
                 let bytes = self.rt.cost.ctl_bytes;
-                let out =
-                    self.rt.net.send_from_proc(&self.p, self.host, m.addr, Ctl { token: seq, body: ctl }, bytes);
+                let out = self.rt.net.send_from_proc(
+                    &self.p,
+                    self.host,
+                    m.addr,
+                    Ctl { token: seq, body: ctl },
+                    bytes,
+                );
                 if !out.is_sent() {
                     return Err(MpiError::NetworkFailure);
                 }
@@ -299,13 +306,8 @@ impl MpiProc {
         } else {
             // Send arrival to the coordinator (group A rank 0).
             let coord = a.first().copied().ok_or(MpiError::NoSuchRank(0))?;
-            let body = CtlBody::Arrive {
-                comm: inter.id,
-                seq,
-                rank: inter.rank,
-                group: inter.group,
-                high,
-            };
+            let body =
+                CtlBody::Arrive { comm: inter.id, seq, rank: inter.rank, group: inter.group, high };
             self.send_ctl_addr(coord.addr, seq, body)?;
             self.wait_merge_announce(inter, seq)
         }
@@ -392,7 +394,10 @@ impl MpiProc {
                 GROUP_A,
                 r,
                 seq,
-                CtlBody::Announce { ctx: local.id, comm: Comm { id: inter_id, group: GROUP_A, rank: r } },
+                CtlBody::Announce {
+                    ctx: local.id,
+                    comm: Comm { id: inter_id, group: GROUP_A, rank: r },
+                },
             )?;
         }
         Ok(Comm { id: inter_id, group: GROUP_A, rank: 0 })
@@ -440,10 +445,13 @@ impl MpiProc {
                     comm: Comm { id: new_id, group: GROUP_A, rank: new_rank as Rank },
                 };
                 let bytes = self.rt.cost.ctl_bytes;
-                let out = self
-                    .rt
-                    .net
-                    .send_from_proc(&self.p, self.host, m.addr, Ctl { token: seq, body }, bytes);
+                let out = self.rt.net.send_from_proc(
+                    &self.p,
+                    self.host,
+                    m.addr,
+                    Ctl { token: seq, body },
+                    bytes,
+                );
                 if !out.is_sent() {
                     return Err(MpiError::NetworkFailure);
                 }
@@ -454,7 +462,13 @@ impl MpiProc {
             self.send_ctl_addr(
                 coord.addr,
                 seq,
-                CtlBody::Arrive { comm: comm.id, seq, rank: comm.rank, group: GROUP_A, high: false },
+                CtlBody::Arrive {
+                    comm: comm.id,
+                    seq,
+                    rank: comm.rank,
+                    group: GROUP_A,
+                    high: false,
+                },
             )?;
             self.wait_merge_announce(comm, seq)
         }

@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use darms_mpi::{data, launch_world, MpiCostModel, MpiError, MpiRuntime, WorldSpec, ANY_SOURCE, ANY_TAG};
+use darms_mpi::{
+    data, launch_world, MpiCostModel, MpiError, MpiRuntime, WorldSpec, ANY_SOURCE, ANY_TAG,
+};
 use darms_net::{HostKind, LatencyModel, Network};
 use darms_sim::{Engine, SimDuration};
 use parking_lot::Mutex;
@@ -168,9 +170,7 @@ fn two_ports_serve_independent_connectors() {
         sim.spawn_process(format!("client{which}"), move |p| {
             let mut mpi = rtc.attach(p, host);
             let port = loop {
-                if let Some((_, port)) =
-                    pshare.lock().iter().find(|(w, _)| *w == which).cloned()
-                {
+                if let Some((_, port)) = pshare.lock().iter().find(|(w, _)| *w == which).cloned() {
                     break port;
                 }
                 mpi.proc().sleep(SimDuration::from_millis(1));

@@ -74,16 +74,14 @@ fn bcast_and_gather() {
         let world = mpi.world().unwrap();
         let me = world.rank();
         // Broadcast a vector from rank 0.
-        let payload =
-            if me == 0 { Some((data(vec![5u64, 6, 7]), 24)) } else { None };
+        let payload = if me == 0 { Some((data(vec![5u64, 6, 7]), 24)) } else { None };
         let got = mpi.bcast(world, 0, payload).unwrap();
         let v = got.downcast_ref::<Vec<u64>>().unwrap().clone();
         // Gather each rank's contribution (rank * first broadcast value).
         let contribution = v[0] * me as u64;
         let gathered = mpi.gather(world, 0, data(contribution), 8).unwrap();
         if let Some(values) = gathered {
-            let nums: Vec<u64> =
-                values.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
+            let nums: Vec<u64> = values.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
             o.lock().push(nums);
         }
     });

@@ -5,7 +5,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use darms_sim::{Ctx, Endpoint, Envelope, Proc, SimDuration};
+use darms_sim::{Ctx, Endpoint, Envelope, MetricsRegistry, Proc, SimDuration};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -32,6 +32,21 @@ struct NetState {
     rng: SmallRng,
     drop_prob: f64,
     stats: NetStats,
+    /// Per-link `(from, to)` traffic counters.
+    links: HashMap<(HostId, HostId), NetStats>,
+    /// Optional shared registry mirror of the traffic counters
+    /// (`net.messages`, `net.bytes`, `net.dropped`).
+    metrics: Option<MetricsRegistry>,
+}
+
+impl NetState {
+    fn note_dropped(&mut self, from: HostId, to: HostId) {
+        self.stats.dropped += 1;
+        self.links.entry((from, to)).or_default().dropped += 1;
+        if let Some(m) = &self.metrics {
+            m.counter_inc("net.dropped");
+        }
+    }
 }
 
 /// Cloneable handle to the shared cluster network.
@@ -74,8 +89,16 @@ impl Network {
                 rng: SmallRng::seed_from_u64(seed),
                 drop_prob: 0.0,
                 stats: NetStats::default(),
+                links: HashMap::new(),
+                metrics: None,
             })),
         }
+    }
+
+    /// Mirror traffic counters into `m` (`net.messages`, `net.bytes`,
+    /// `net.dropped`) from now on.
+    pub fn attach_metrics(&self, m: MetricsRegistry) {
+        self.state.lock().metrics = Some(m);
     }
 
     /// Register a host; returns its id.
@@ -144,6 +167,19 @@ impl Network {
         self.state.lock().stats
     }
 
+    /// Traffic counters for one directed link.
+    pub fn link_stats(&self, from: HostId, to: HostId) -> NetStats {
+        self.state.lock().links.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// All directed links with traffic, sorted by `(from, to)`.
+    pub fn links(&self) -> Vec<((HostId, HostId), NetStats)> {
+        let s = self.state.lock();
+        let mut v: Vec<_> = s.links.iter().map(|(&k, &st)| (k, st)).collect();
+        v.sort_by_key(|&((f, t), _)| (f.0, t.0));
+        v
+    }
+
     /// The latency model in effect (read-only copy; layers above use it
     /// to reason about overlap, e.g. pipelined transfers).
     pub fn latency_model(&self) -> LatencyModel {
@@ -162,17 +198,17 @@ impl Network {
         if s.hosts.get(from.0).is_none_or(|h| h.down)
             || s.hosts.get(to.host.0).is_none_or(|h| h.down)
         {
-            s.stats.dropped += 1;
+            s.note_dropped(from, to.host);
             return Err(SendOutcome::HostDown);
         }
         let Some(ep) = s.bindings.get(&to).copied() else {
-            s.stats.dropped += 1;
+            s.note_dropped(from, to.host);
             return Err(SendOutcome::NoBinding);
         };
         if s.drop_prob > 0.0 {
             let roll: f64 = rand::Rng::gen(&mut s.rng);
             if roll < s.drop_prob {
-                s.stats.dropped += 1;
+                s.note_dropped(from, to.host);
                 return Err(SendOutcome::Lost);
             }
         }
@@ -181,6 +217,13 @@ impl Network {
         let delay = latency.delay(local, bytes, &mut s.rng);
         s.stats.messages += 1;
         s.stats.bytes += bytes;
+        let link = s.links.entry((from, to.host)).or_default();
+        link.messages += 1;
+        link.bytes += bytes;
+        if let Some(m) = &s.metrics {
+            m.counter_inc("net.messages");
+            m.counter_add("net.bytes", bytes);
+        }
         Ok((ep, delay))
     }
 

@@ -46,22 +46,40 @@ where
 
 /// Submit a job; returns its id once the server has enqueued it.
 pub fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpec) -> JobId {
-    let resp: QsubResp =
-        call(p, net, from, server, |token, reply| QsubReq { token, spec, reply }, |r: &QsubResp| r.token);
+    let resp: QsubResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| QsubReq { token, spec, reply },
+        |r: &QsubResp| r.token,
+    );
     resp.job
 }
 
 /// Query the status of all jobs.
 pub fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobStatus> {
-    let resp: QstatResp =
-        call(p, net, from, server, |token, reply| QstatReq { token, reply }, |r: &QstatResp| r.token);
+    let resp: QstatResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| QstatReq { token, reply },
+        |r: &QstatResp| r.token,
+    );
     resp.jobs
 }
 
 /// Cancel a job; true if the server knew it and acted.
 pub fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
-    let resp: QdelResp =
-        call(p, net, from, server, |token, reply| QdelReq { token, job, reply }, |r: &QdelResp| r.token);
+    let resp: QdelResp = call(
+        p,
+        net,
+        from,
+        server,
+        |token, reply| QdelReq { token, job, reply },
+        |r: &QdelResp| r.token,
+    );
     resp.ok
 }
 

@@ -82,7 +82,14 @@ impl JobCtx {
     /// [`JobCtx::dynfree`].
     pub fn dynget_nodes(&self, count: u32, ppn: u32) -> Result<DynGrant, DynReject> {
         ifl::pbs_dynget_nodes(
-            &self.proc, &self.net, self.host, self.server, self.job, self.host, count, ppn,
+            &self.proc,
+            &self.net,
+            self.host,
+            self.server,
+            self.job,
+            self.host,
+            count,
+            ppn,
         )
     }
 
@@ -147,14 +154,33 @@ struct MomJob {
 }
 
 enum Deferred {
-    IssueJoin { job: JobId, host: HostId },
-    FinishJoin { launch: JobLaunch, reply: Address },
-    StartTasks { job: JobId },
-    IssueDynJoin { job: JobId, host: HostId },
-    FinishDynJoin { launch: JobLaunch, reply: Address },
-    FinishDisjoin { job: JobId, reply: Address },
+    IssueJoin {
+        job: JobId,
+        host: HostId,
+    },
+    FinishJoin {
+        launch: JobLaunch,
+        reply: Address,
+    },
+    StartTasks {
+        job: JobId,
+    },
+    IssueDynJoin {
+        job: JobId,
+        host: HostId,
+    },
+    FinishDynJoin {
+        launch: JobLaunch,
+        reply: Address,
+    },
+    FinishDisjoin {
+        job: JobId,
+        reply: Address,
+    },
     /// Walltime enforcement: kill the job if it is still running.
-    WalltimeExpired { job: JobId },
+    WalltimeExpired {
+        job: JobId,
+    },
 }
 
 /// The `pbs_mom` daemon for one host.
@@ -481,7 +507,12 @@ impl PbsMom {
     fn handle_disjoin_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: DisjoinCmd) {
         ctx.trace(format!("{}: DISJOIN of {} host(s)", cmd.job, cmd.accs.len()));
         let Some(rec) = self.jobs.get_mut(&cmd.job) else { return };
-        let set = DynSet { client_id: cmd.client_id, cn: self.host, accs: cmd.accs.clone(), ppn: cmd.ppn };
+        let set = DynSet {
+            client_id: cmd.client_id,
+            cn: self.host,
+            accs: cmd.accs.clone(),
+            ppn: cmd.ppn,
+        };
         rec.disjoin.insert(
             cmd.client_id,
             DisjoinState { set, pending: cmd.accs.iter().copied().collect() },
@@ -690,4 +721,3 @@ impl Actor for PbsMom {
         }
     }
 }
-

@@ -25,11 +25,7 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig {
-            interval: SimDuration::from_secs(2),
-            miss_threshold: 2,
-            ctl_bytes: 64,
-        }
+        MonitorConfig { interval: SimDuration::from_secs(2), miss_threshold: 2, ctl_bytes: 64 }
     }
 }
 
@@ -91,7 +87,11 @@ impl HealthMonitor {
                 let node = self.nodes.get_mut(&h).expect("watched node");
                 if node.misses >= self.config.miss_threshold && !node.marked_offline {
                     node.marked_offline = true;
-                    ctx.trace(format!("host{} missed {} pings; reporting offline", h.index(), node.misses));
+                    ctx.trace(format!(
+                        "host{} missed {} pings; reporting offline",
+                        h.index(),
+                        node.misses
+                    ));
                     self.report(ctx, h, true);
                 }
             }

@@ -156,12 +156,8 @@ impl NodeDb {
 
     /// Release everything `job` holds anywhere.
     pub fn release_job(&mut self, job: JobId) {
-        let hosts: Vec<HostId> = self
-            .nodes
-            .iter()
-            .filter(|n| n.jobs.contains_key(&job))
-            .map(|n| n.host)
-            .collect();
+        let hosts: Vec<HostId> =
+            self.nodes.iter().filter(|n| n.jobs.contains_key(&job)).map(|n| n.host).collect();
         for h in hosts {
             self.release(h, job);
         }

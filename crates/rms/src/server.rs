@@ -55,6 +55,10 @@ struct PendingDyn {
     /// Client correlation token + endpoint for the final response.
     client_token: u64,
     reply: Address,
+    /// Arrival of the `pbs_dynget` request at the server; the end-to-end
+    /// `rms.dyn_wait` metric (the paper's Fig. 8 quantity as the client
+    /// experiences it) spans from here to the final response.
+    arrived: SimTime,
     /// Set once the request is exposed to the scheduler.
     queued_at: Option<SimTime>,
     /// Granted hosts, filled when the scheduler allocates.
@@ -134,6 +138,22 @@ impl PbsServer {
     fn reply<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
         let bytes = self.cost.ctl_bytes;
         self.net.send_from_ctx(ctx, self.host, to, msg, bytes);
+    }
+
+    /// Sample accelerator-pool utilization (busy fraction) into the
+    /// `rms.acc_pool_util` time-weighted gauge. Called after every node
+    /// (de)allocation that can touch the pool.
+    fn record_pool_util(&self, ctx: &mut Ctx<'_>) {
+        let (total, busy) = self
+            .db
+            .nodes()
+            .iter()
+            .filter(|n| n.role == NodeRole::Accelerator)
+            .fold((0u64, 0u64), |(t, b), n| (t + 1, b + u64::from(!n.is_free())));
+        if total > 0 {
+            let now = ctx.now();
+            ctx.metrics().twg_set("rms.acc_pool_util", now, busy as f64 / total as f64);
+        }
     }
 
     // -- qsub ----------------------------------------------------------
@@ -270,6 +290,7 @@ impl PbsServer {
         for h in cmd.accs.iter().flatten() {
             self.db.allocate_accelerator(*h, id);
         }
+        self.record_pool_util(ctx);
         self.queue_order.retain(|j| *j != id);
         let ms = cmd.compute[0];
         ctx.trace(format!("{id} -> mother superior on host{}", ms.index()));
@@ -305,6 +326,7 @@ impl PbsServer {
             kind: req.kind,
             client_token: req.token,
             reply: req.reply,
+            arrived: ctx.now(),
             queued_at: None,
             granted: Vec::new(),
             client_id: None,
@@ -335,20 +357,17 @@ impl PbsServer {
     }
 
     fn handle_run_dyn(&mut self, ctx: &mut Ctx<'_>, cmd: RunDynCmd) {
-        let valid = self
-            .dyn_active
-            .as_ref()
-            .is_some_and(|p| p.token == cmd.token && p.queued_at.is_some());
+        let valid =
+            self.dyn_active.as_ref().is_some_and(|p| p.token == cmd.token && p.queued_at.is_some());
         if !valid {
             return; // stale command
         }
         // Validate the grant against the live node state.
         let kind = self.dyn_active.as_ref().expect("checked above").kind;
         let ok = cmd.accs.iter().all(|h| match kind {
-            DynResource::Accelerators => self
-                .db
-                .get(*h)
-                .is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free()),
+            DynResource::Accelerators => {
+                self.db.get(*h).is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free())
+            }
             DynResource::ComputeNodes { ppn } => self
                 .db
                 .get(*h)
@@ -376,6 +395,7 @@ impl PbsServer {
                 DynResource::ComputeNodes { ppn } => self.db.allocate_compute(*h, job, ppn),
             }
         }
+        self.record_pool_util(ctx);
         self.defer(ctx, self.cost.dyn_grant_handling, Deferred::DynGrantDo);
     }
 
@@ -404,10 +424,8 @@ impl PbsServer {
     }
 
     fn handle_dyn_ready(&mut self, ctx: &mut Ctx<'_>, msg: DynReady) {
-        let done = self
-            .dyn_active
-            .as_ref()
-            .is_some_and(|p| p.token == msg.token && p.job == msg.job);
+        let done =
+            self.dyn_active.as_ref().is_some_and(|p| p.token == msg.token && p.job == msg.job);
         if !done {
             return;
         }
@@ -424,6 +442,9 @@ impl PbsServer {
                 },
             });
         }
+        let metrics = ctx.metrics();
+        metrics.counter_inc("rms.dynjoin");
+        metrics.observe_duration("rms.dyn_wait", ctx.now().since(p.arrived));
         ctx.trace(format!(
             "{} granted {} accelerator(s) as {}",
             p.job,
@@ -432,7 +453,10 @@ impl PbsServer {
         ));
         let resp = DynGetResp {
             token: p.client_token,
-            result: Ok(DynGrant { client_id: p.client_id.expect("granted"), accs: p.granted.clone() }),
+            result: Ok(DynGrant {
+                client_id: p.client_id.expect("granted"),
+                accs: p.granted.clone(),
+            }),
         };
         self.reply(ctx, p.reply, resp);
         self.maybe_start_dyn(ctx);
@@ -453,9 +477,11 @@ impl PbsServer {
                 job.state = JobState::Running;
             }
         }
+        let metrics = ctx.metrics();
+        metrics.counter_inc("rms.dyn_rejected");
+        metrics.observe_duration("rms.dyn_wait", ctx.now().since(p.arrived));
         ctx.trace(format!("{} dynamic request rejected", p.job));
-        let resp =
-            DynGetResp { token: p.client_token, result: Err(DynReject::Unavailable) };
+        let resp = DynGetResp { token: p.client_token, result: Err(DynReject::Unavailable) };
         self.reply(ctx, p.reply, resp);
         self.maybe_start_dyn(ctx);
     }
@@ -512,6 +538,8 @@ impl PbsServer {
         for h in &msg.set.accs {
             self.db.release(*h, msg.job);
         }
+        self.record_pool_util(ctx);
+        ctx.metrics().counter_inc("rms.disjoin");
         ctx.trace(format!("{} released set {}", msg.job, msg.set.client_id));
         self.wake_scheduler(ctx);
     }
@@ -527,6 +555,7 @@ impl PbsServer {
         rec.completed = Some(ctx.now());
         self.db.release_job(msg.job);
         self.fs.remove_job(msg.job);
+        self.record_pool_util(ctx);
         ctx.trace(format!(
             "{} {}",
             msg.job,
@@ -566,9 +595,7 @@ impl PbsServer {
                 self.queue_order.retain(|j| *j != req.job);
                 true
             }
-            Some(rec)
-                if matches!(rec.state, JobState::Running | JobState::DynQueued) =>
-            {
+            Some(rec) if matches!(rec.state, JobState::Running | JobState::DynQueued) => {
                 rec.state = JobState::Cancelled;
                 rec.completed = Some(ctx.now());
                 let ms = rec.compute.first().copied();
@@ -583,6 +610,7 @@ impl PbsServer {
         };
         self.reply(ctx, req.reply, QdelResp { token: req.token, ok });
         if ok {
+            self.record_pool_util(ctx);
             self.wake_scheduler(ctx);
         }
     }
@@ -653,7 +681,10 @@ impl Actor for PbsServer {
             Ok(m) => {
                 if let Some(rec) = self.jobs.get_mut(&m.job) {
                     if rec.started.is_none() {
-                        rec.started = Some(ctx.now());
+                        let now = ctx.now();
+                        rec.started = Some(now);
+                        let latency = now.since(rec.submitted);
+                        ctx.metrics().observe_duration("rms.qsub_to_run", latency);
                     }
                 }
                 return;

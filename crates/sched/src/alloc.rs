@@ -67,9 +67,8 @@ impl FreeTracker {
     /// Pick `k` compute hosts with at least `ppn` free cores each.
     /// Returns `None` (and changes nothing) if impossible.
     pub fn take_compute(&mut self, k: usize, ppn: u32, policy: AllocPolicy) -> Option<Vec<HostId>> {
-        let mut fitting: Vec<usize> = (0..self.compute.len())
-            .filter(|&i| self.compute[i].1 >= ppn)
-            .collect();
+        let mut fitting: Vec<usize> =
+            (0..self.compute.len()).filter(|&i| self.compute[i].1 >= ppn).collect();
         if fitting.len() < k {
             return None;
         }

@@ -69,9 +69,27 @@ mod tests {
     fn snapshot() -> ClusterSnapshot {
         ClusterSnapshot {
             nodes: vec![
-                NodeSnap { host: h(0), role: NodeRole::Compute, cores_total: 4, cores_free: 0, offline: false },
-                NodeSnap { host: h(1), role: NodeRole::Compute, cores_total: 4, cores_free: 4, offline: false },
-                NodeSnap { host: h(2), role: NodeRole::Accelerator, cores_total: 1, cores_free: 1, offline: false },
+                NodeSnap {
+                    host: h(0),
+                    role: NodeRole::Compute,
+                    cores_total: 4,
+                    cores_free: 0,
+                    offline: false,
+                },
+                NodeSnap {
+                    host: h(1),
+                    role: NodeRole::Compute,
+                    cores_total: 4,
+                    cores_free: 4,
+                    offline: false,
+                },
+                NodeSnap {
+                    host: h(2),
+                    role: NodeRole::Accelerator,
+                    cores_total: 1,
+                    cores_free: 1,
+                    offline: false,
+                },
             ],
             queued: vec![],
             running: vec![],
@@ -130,6 +148,22 @@ mod tests {
         // Running job's estimate already expired (it overran): end=5 < now=50.
         let s = shadow_time(&wide_job(2), &t, &[running(1, 0, 0, 5)], at(50)).unwrap();
         assert_eq!(s, at(50));
+    }
+
+    #[test]
+    fn backfill_exact_fit_boundary() {
+        // Conservative EASY admits a job whose estimated completion lands
+        // exactly on the shadow time — it cannot delay the reservation —
+        // and rejects one that overshoots by a single nanosecond.
+        let t = FreeTracker::from_snapshot(&snapshot());
+        let now = at(10);
+        let shadow = at(60);
+        let mut exact = wide_job(1);
+        exact.walltime_estimate = shadow.since(now);
+        assert!(may_backfill(&exact, &t, shadow, now), "now + walltime == shadow fits");
+        let mut over = wide_job(1);
+        over.walltime_estimate = shadow.since(now) + SimDuration::from_nanos(1);
+        assert!(!may_backfill(&over, &t, shadow, now), "one nanosecond past the shadow");
     }
 
     #[test]

@@ -101,7 +101,8 @@ mod tests {
     #[test]
     fn fifo_orders_by_submission() {
         let jobs = vec![q(2, 50, 10, "a"), q(1, 10, 10, "a"), q(3, 90, 10, "a")];
-        let ordered = order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Fifo, &fs());
+        let ordered =
+            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Fifo, &fs());
         let ids: Vec<u64> = ordered.iter().map(|j| j.job.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
     }
@@ -110,8 +111,12 @@ mod tests {
     fn longer_wait_wins_under_priority() {
         let w = PriorityWeights { queue_time: 1.0, xfactor: 0.0, fairshare: 0.0 };
         let jobs = vec![q(1, 90, 10, "a"), q(2, 10, 10, "a")];
-        let ordered =
-            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        let ordered = order_queue(
+            jobs,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &Policy::Priority(w),
+            &fs(),
+        );
         assert_eq!(ordered[0].job.0, 2); // waited 90s vs 10s
     }
 
@@ -120,8 +125,12 @@ mod tests {
         let w = PriorityWeights { queue_time: 0.0, xfactor: 1.0, fairshare: 0.0 };
         // Same wait, different walltime estimates.
         let jobs = vec![q(1, 0, 1000, "a"), q(2, 0, 10, "a")];
-        let ordered =
-            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        let ordered = order_queue(
+            jobs,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &Policy::Priority(w),
+            &fs(),
+        );
         assert_eq!(ordered[0].job.0, 2);
     }
 
@@ -145,8 +154,12 @@ mod tests {
         let w = PriorityWeights { queue_time: 1.0, xfactor: 0.0, fairshare: 1000.0 };
         // Heavy's job submitted earlier but fairshare should demote it.
         let jobs = vec![q(1, 0, 10, "heavy"), q(2, 20, 10, "light")];
-        let ordered =
-            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &share);
+        let ordered = order_queue(
+            jobs,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &Policy::Priority(w),
+            &share,
+        );
         assert_eq!(ordered[0].job.0, 2);
     }
 
@@ -154,8 +167,12 @@ mod tests {
     fn equal_priority_preserves_submission_order() {
         let w = PriorityWeights { queue_time: 0.0, xfactor: 0.0, fairshare: 0.0 };
         let jobs = vec![q(1, 10, 10, "a"), q(2, 10, 10, "a"), q(3, 10, 10, "a")];
-        let ordered =
-            order_queue(jobs, SimTime::ZERO + SimDuration::from_secs(100), &Policy::Priority(w), &fs());
+        let ordered = order_queue(
+            jobs,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &Policy::Priority(w),
+            &fs(),
+        );
         let ids: Vec<u64> = ordered.iter().map(|j| j.job.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
     }

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use darms_net::{HostId, Network};
 use darms_rms::proto::*;
 use darms_rms::{sched_addr, server_addr};
-use darms_sim::{Actor, Ctx, Envelope, Recorder, SimDuration, SimTime};
+use darms_sim::{Actor, Ctx, Envelope, Recorder, SimDuration, SimTime, TraceSource};
 
 use crate::alloc::{split_accs, AllocPolicy, FreeTracker};
 use crate::backfill::{may_backfill, shadow_time};
@@ -141,6 +141,14 @@ pub struct MauiScheduler {
     /// simulation can quiesce.
     last_snapshot_active: bool,
     recorder: Option<Recorder>,
+    /// Virtual time the current iteration's snapshot arrived (for the
+    /// `sched.iteration_cost` histogram).
+    iter_began: Option<SimTime>,
+    /// Token of the last dynamic request whose wait was recorded. A
+    /// request that is resolved but still in flight back to the server
+    /// can reappear in the next snapshot; dedup so `sched.dyn_wait`
+    /// gets exactly one sample per request.
+    last_dyn_recorded: Option<u64>,
     /// Iterations completed (observability for tests).
     pub iterations: u64,
 }
@@ -165,6 +173,8 @@ impl MauiScheduler {
             blocked_no_backfill: false,
             last_snapshot_active: false,
             recorder: None,
+            iter_began: None,
+            last_dyn_recorded: None,
             iterations: 0,
         }
     }
@@ -229,6 +239,11 @@ impl MauiScheduler {
         self.blocked_no_backfill = false;
         self.worklist = worklist;
         self.phase = Phase::Busy;
+        self.iter_began = Some(now);
+        let metrics = ctx.metrics();
+        metrics.observe("sched.queue_depth", self.worklist.len() as f64);
+        let me = ctx.me();
+        ctx.tracer().span_begin(now, TraceSource::Actor(me), "maui", "sched.iteration");
         match self.worklist.front() {
             Some(first) => {
                 let delay = self.config.iteration_overhead + self.item_cost(first);
@@ -268,13 +283,24 @@ impl MauiScheduler {
             WorkItem::Dyn(d) => {
                 // Record how long this request waited behind other
                 // scheduling work (decision started item_cost ago).
-                if let Some(rec) = &self.recorder {
-                    let cost = self.config.dyn_base_cost
-                        + self.config.dyn_per_acc_cost * d.count as u64;
-                    let decision_start = now - cost;
-                    let wait = decision_start.since(d.queued_at);
-                    rec.record_duration("sched.dyn_wait", now, wait);
-                }
+                let cost =
+                    self.config.dyn_base_cost + self.config.dyn_per_acc_cost * d.count as u64;
+                let decision_start = now - cost;
+                let wait = decision_start.since(d.queued_at);
+                // One `sched.dyn_wait` sample per request, recorded when
+                // the decision *resolves* (grant or reject below, not on
+                // a defer) and deduplicated by token: a resolved request
+                // whose reply is still in flight can reappear in the
+                // next snapshot and be processed again.
+                let record_wait = |me: &mut Self, ctx: &mut Ctx<'_>| {
+                    if me.last_dyn_recorded != Some(d.token) {
+                        me.last_dyn_recorded = Some(d.token);
+                        if let Some(rec) = &me.recorder {
+                            rec.record_duration("sched.dyn_wait", now, wait);
+                        }
+                        ctx.metrics().observe_duration("sched.dyn_wait", wait);
+                    }
+                };
                 // Grant up to `count`, at least `min_count` (partial
                 // grants; min_count == count restores the paper's strict
                 // semantics).
@@ -294,6 +320,7 @@ impl MauiScheduler {
                 };
                 match granted {
                     Some(accs) => {
+                        record_wait(self, ctx);
                         ctx.trace(format!(
                             "dyn request of {} granted {} of {} node(s)",
                             d.job,
@@ -317,6 +344,7 @@ impl MauiScheduler {
                             _ => {
                                 // The paper's policy: no reservations for
                                 // dynamic requests; reject immediately.
+                                record_wait(self, ctx);
                                 ctx.trace(format!("dyn request of {} rejected", d.job));
                                 self.send_server(ctx, RejectDynCmd { token: d.token });
                             }
@@ -336,6 +364,10 @@ impl MauiScheduler {
                 let total_accs = j.nodes * j.acpn as usize;
                 let can = tracker.fits(&j);
                 if can {
+                    if self.shadow.is_some() {
+                        // Started under a shadow reservation: a backfill.
+                        ctx.metrics().counter_inc("sched.backfill_hits");
+                    }
                     let compute = tracker
                         .take_compute(j.nodes, j.ppn, self.config.allocation)
                         .expect("fits() checked");
@@ -369,6 +401,14 @@ impl MauiScheduler {
         self.phase = Phase::Idle;
         self.tracker = None;
         self.iterations += 1;
+        let now = ctx.now();
+        let metrics = ctx.metrics();
+        metrics.counter_inc("sched.iterations");
+        if let Some(began) = self.iter_began.take() {
+            metrics.observe_duration("sched.iteration_cost", now.since(began));
+        }
+        let me = ctx.me();
+        ctx.tracer().span_end(now, TraceSource::Actor(me), "maui", "sched.iteration");
         if self.dirty {
             self.dirty = false;
             self.start_iteration(ctx);
@@ -412,10 +452,9 @@ impl Actor for MauiScheduler {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_STEP => self.step(ctx),
-            TOKEN_POLL
-                if self.phase == Phase::Idle => {
-                    self.start_iteration(ctx);
-                }
+            TOKEN_POLL if self.phase == Phase::Idle => {
+                self.start_iteration(ctx);
+            }
             _ => {}
         }
     }

@@ -102,15 +102,30 @@ impl Ctx<'_> {
         self.spawn_process_after(name, SimDuration::ZERO, entry)
     }
 
-    /// Record a trace line attributed to this actor.
+    /// Record an instant trace event attributed to this actor.
     pub fn trace(&mut self, event: impl Into<String>) {
+        self.trace_detail(event, String::new());
+    }
+
+    /// Record an instant trace event with a detail payload.
+    pub fn trace_detail(&mut self, event: impl Into<String>, detail: impl Into<String>) {
         let name = self
             .k
             .actor_names
             .get(self.me.0)
             .cloned()
             .unwrap_or_else(|| format!("actor#{}", self.me.0));
-        self.k.trace(&name, event);
+        self.k.emit(crate::trace::TraceSource::Actor(self.me), &name, event, detail);
+    }
+
+    /// Cloneable handle to the structured tracer.
+    pub fn tracer(&self) -> crate::trace::Tracer {
+        self.k.tracer()
+    }
+
+    /// Cloneable handle to the shared metrics registry.
+    pub fn metrics(&self) -> crate::metrics::MetricsRegistry {
+        self.k.metrics()
     }
 
     /// Draw from the deterministic RNG.

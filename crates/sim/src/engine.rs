@@ -91,6 +91,7 @@ impl Engine {
             self.started = true;
             self.start_actors();
         }
+        let wall_start = std::time::Instant::now();
         loop {
             // Decide what to do while holding the lock, then act on it
             // with the lock released (resuming a process must not hold it).
@@ -123,18 +124,15 @@ impl Engine {
                             // abandoned timeouts cannot inflate the
                             // simulation's end time.
                             if let EventKind::Wake { pid, epoch } = &ev.kind {
-                                let stale = k
-                                    .procs
-                                    .get(pid.0)
-                                    .is_none_or(|slot| {
-                                        slot.epoch != *epoch
-                                            || !matches!(
-                                                slot.state,
-                                                ProcState::ParkedRecv
-                                                    | ProcState::ParkedSleep
-                                                    | ProcState::NotStarted
-                                            )
-                                    });
+                                let stale = k.procs.get(pid.0).is_none_or(|slot| {
+                                    slot.epoch != *epoch
+                                        || !matches!(
+                                            slot.state,
+                                            ProcState::ParkedRecv
+                                                | ProcState::ParkedSleep
+                                                | ProcState::NotStarted
+                                        )
+                                });
                                 if stale {
                                     continue;
                                 }
@@ -146,6 +144,11 @@ impl Engine {
                             }
                             k.now = ev.time;
                             k.stats.events += 1;
+                            // Queue-depth profile, counting the event
+                            // being dispatched itself.
+                            let depth = k.queue.len() as u64 + 1;
+                            k.stats.peak_queue_depth = k.stats.peak_queue_depth.max(depth);
+                            k.stats.queue_depth_sum += depth;
                             match ev.kind {
                                 EventKind::Deliver { dst, env } => match dst {
                                     Endpoint::Actor(_) => Step::Deliver(dst, env),
@@ -186,11 +189,18 @@ impl Engine {
                 Step::Timer(aid, token) => self.dispatch_timer(aid, token),
             }
         }
+        let wall = wall_start.elapsed().as_nanos() as u64;
+        self.kernel.lock().stats.wall_nanos += wall;
     }
 
     /// Deliver to a process mailbox; returns `Some(pid)` if the process
     /// must be resumed (it was parked in `recv`).
-    fn deliver_to_process(&self, k: &mut Kernel, pid: ProcessId, env: Envelope) -> Option<ProcessId> {
+    fn deliver_to_process(
+        &self,
+        k: &mut Kernel,
+        pid: ProcessId,
+        env: Envelope,
+    ) -> Option<ProcessId> {
         let slot = k.procs.get_mut(pid.0)?;
         if slot.state == ProcState::Finished {
             return None; // message to a dead process is dropped
@@ -234,7 +244,8 @@ impl Engine {
     /// Give the execution token to a process and wait for it to yield.
     fn resume(&self, pid: ProcessId) {
         let ctl = {
-            let k = self.kernel.lock();
+            let mut k = self.kernel.lock();
+            k.stats.context_switches += 1;
             k.procs[pid.0].ctl.clone()
         };
         let done = ctl.resume_and_wait();
@@ -292,9 +303,28 @@ impl Engine {
         self.kernel.lock().stats
     }
 
-    /// Take the accumulated trace (empty unless tracing was enabled).
+    /// Take the accumulated trace as legacy flat records (empty unless
+    /// tracing was enabled). Derived from the structured stream; prefer
+    /// [`Engine::take_events`] for new code.
     pub fn take_trace(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut self.kernel.lock().trace)
+        self.take_events().into_iter().map(TraceRecord::from).collect()
+    }
+
+    /// Drain the structured event stream (empty unless tracing was
+    /// enabled).
+    pub fn take_events(&self) -> Vec<crate::trace::TraceEvent> {
+        self.kernel.lock().tracer.take()
+    }
+
+    /// Cloneable handle to the structured tracer. Collection can be
+    /// toggled at any point, including mid-run.
+    pub fn tracer(&self) -> crate::trace::Tracer {
+        self.kernel.lock().tracer()
+    }
+
+    /// Cloneable handle to the shared metrics registry.
+    pub fn metrics(&self) -> crate::metrics::MetricsRegistry {
+        self.kernel.lock().metrics()
     }
 }
 

@@ -1,5 +1,5 @@
 //! The simulation kernel: virtual clock, event heap, process table, RNG,
-//! and trace buffer.
+//! structured tracer, and metrics registry.
 //!
 //! The kernel is shared between the engine thread and the (at most one)
 //! currently-active process thread behind a `Mutex`. Because the engine
@@ -14,8 +14,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
+use crate::metrics::MetricsRegistry;
 use crate::process::ProcCtl;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};
 
 /// What a scheduled event does when it fires.
 pub(crate) enum EventKind {
@@ -79,7 +81,10 @@ pub(crate) struct ProcSlot {
     pub epoch: u64,
 }
 
-/// One line of the simulation trace.
+/// One line of the simulation trace, in the legacy flat form. The
+/// structured stream ([`TraceEvent`]) is the source of truth; records
+/// are derived from it by [`Engine::take_trace`](crate::Engine::take_trace)
+/// for existing consumers.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceRecord {
     /// Virtual time of the event.
@@ -88,6 +93,17 @@ pub struct TraceRecord {
     pub source: String,
     /// Human-readable description.
     pub event: String,
+}
+
+impl From<TraceEvent> for TraceRecord {
+    fn from(ev: TraceEvent) -> Self {
+        let event = match (&ev.kind, ev.detail.is_empty()) {
+            (TraceEventKind::Counter(v), _) => format!("{} = {v}", ev.name),
+            (_, true) => ev.name,
+            (_, false) => format!("{}: {}", ev.name, ev.detail),
+        };
+        TraceRecord { time: ev.time, source: ev.source_name, event }
+    }
 }
 
 /// Engine configuration knobs.
@@ -118,7 +134,11 @@ impl Default for SimConfig {
 }
 
 /// Aggregate statistics returned by [`Engine::run`](crate::engine::Engine::run).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *deterministic* fields: `wall_nanos`
+/// (real time, varies run to run) is excluded, so two runs of the same
+/// seed still compare equal.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Number of events dispatched.
     pub events: u64,
@@ -134,6 +154,75 @@ pub struct SimStats {
     pub hit_horizon: bool,
     /// Process bodies that terminated by a genuine panic.
     pub process_panics: u64,
+    /// Largest event-queue depth observed at a dispatch (including the
+    /// event being dispatched).
+    pub peak_queue_depth: u64,
+    /// Sum of the queue depth sampled at every dispatch; divide by
+    /// `events` for the mean (see [`SimStats::mean_queue_depth`]).
+    pub queue_depth_sum: u64,
+    /// Engine↔process thread hand-offs (one per process resume).
+    pub context_switches: u64,
+    /// Real (wall-clock) nanoseconds spent inside the event loop.
+    /// **Non-deterministic**; excluded from equality.
+    pub wall_nanos: u64,
+}
+
+impl PartialEq for SimStats {
+    fn eq(&self, other: &Self) -> bool {
+        (
+            self.events,
+            self.end_time,
+            self.processes_spawned,
+            self.processes_finished,
+            self.hit_event_cap,
+            self.hit_horizon,
+            self.process_panics,
+            self.peak_queue_depth,
+            self.queue_depth_sum,
+            self.context_switches,
+        ) == (
+            other.events,
+            other.end_time,
+            other.processes_spawned,
+            other.processes_finished,
+            other.hit_event_cap,
+            other.hit_horizon,
+            other.process_panics,
+            other.peak_queue_depth,
+            other.queue_depth_sum,
+            other.context_switches,
+        )
+    }
+}
+
+impl Eq for SimStats {}
+
+impl SimStats {
+    /// Mean event-queue depth over all dispatches.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.events as f64
+        }
+    }
+
+    /// Real seconds spent inside the event loop.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    /// Real (wall-clock) seconds burned per simulated second — the
+    /// engine's slowdown factor (values below 1.0 mean faster than
+    /// real time). Zero when no virtual time elapsed.
+    pub fn wall_per_sim_second(&self) -> f64 {
+        let sim = self.end_time.as_secs_f64();
+        if sim <= 0.0 {
+            0.0
+        } else {
+            self.wall_secs() / sim
+        }
+    }
 }
 
 /// The mutable heart of the simulation. See module docs for the locking
@@ -146,7 +235,8 @@ pub struct Kernel {
     pub(crate) shutdown: bool,
     pub(crate) rng: SmallRng,
     pub(crate) config: SimConfig,
-    pub(crate) trace: Vec<TraceRecord>,
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: MetricsRegistry,
     pub(crate) stats: SimStats,
     pub(crate) actor_names: Vec<String>,
     pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
@@ -157,6 +247,9 @@ pub struct Kernel {
 
 impl Kernel {
     pub(crate) fn new(config: SimConfig) -> Self {
+        let tracer = Tracer::new();
+        tracer.set_enabled(config.trace);
+        tracer.set_echo(config.trace_echo);
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
@@ -165,7 +258,8 @@ impl Kernel {
             shutdown: false,
             rng: SmallRng::seed_from_u64(config.seed),
             config,
-            trace: Vec::new(),
+            tracer,
+            metrics: MetricsRegistry::new(),
             stats: SimStats::default(),
             actor_names: Vec::new(),
             threads: Vec::new(),
@@ -204,16 +298,41 @@ impl Kernel {
         slot.epoch
     }
 
-    /// Record a trace line (no-op unless tracing is enabled).
+    /// Record an instant trace event attributed to the kernel itself
+    /// (no-op unless tracing is enabled).
     pub fn trace(&mut self, source: &str, event: impl Into<String>) {
-        if !self.config.trace {
-            return;
-        }
-        let rec = TraceRecord { time: self.now, source: source.to_string(), event: event.into() };
-        if self.config.trace_echo {
-            eprintln!("[{}] {}: {}", rec.time, rec.source, rec.event);
-        }
-        self.trace.push(rec);
+        self.emit(TraceSource::Kernel, source, event, String::new());
+    }
+
+    /// Record an instant trace event with a typed source (no-op unless
+    /// tracing is enabled; the strings are only built when it is).
+    pub fn emit(
+        &self,
+        source: TraceSource,
+        source_name: &str,
+        name: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        let now = self.now;
+        self.tracer.emit_with(|| TraceEvent {
+            time: now,
+            source,
+            source_name: source_name.to_string(),
+            name: name.into(),
+            detail: detail.into(),
+            kind: TraceEventKind::Instant,
+        });
+    }
+
+    /// The structured-event tracer handle (cloneable; shared with all
+    /// clones). Enabled iff [`SimConfig::trace`] was set, until toggled.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// The shared metrics registry all instrumented subsystems write to.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
     }
 
     /// Draw from the deterministic RNG.
@@ -224,11 +343,9 @@ impl Kernel {
     /// Human-readable name of an endpoint (for traces and errors).
     pub fn endpoint_name(&self, ep: Endpoint) -> String {
         match ep {
-            Endpoint::Actor(a) => self
-                .actor_names
-                .get(a.0)
-                .cloned()
-                .unwrap_or_else(|| format!("actor#{}", a.0)),
+            Endpoint::Actor(a) => {
+                self.actor_names.get(a.0).cloned().unwrap_or_else(|| format!("actor#{}", a.0))
+            }
             Endpoint::Process(p) => self
                 .procs
                 .get(p.0)
@@ -270,11 +387,14 @@ mod tests {
     fn trace_disabled_by_default() {
         let mut k = Kernel::new(SimConfig::default());
         k.trace("x", "hello");
-        assert!(k.trace.is_empty());
-        k.config.trace = true;
+        assert!(k.tracer.is_empty());
+        k.tracer.set_enabled(true);
         k.trace("x", "hello");
-        assert_eq!(k.trace.len(), 1);
-        assert_eq!(k.trace[0].event, "hello");
+        assert_eq!(k.tracer.len(), 1);
+        let evs = k.tracer.take();
+        assert_eq!(evs[0].name, "hello");
+        assert_eq!(evs[0].source_name, "x");
+        assert_eq!(evs[0].source, TraceSource::Kernel);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   thread at a time and waits for it to yield, so runs are bit-for-bit
 //!   reproducible for a given seed;
 //! - a seeded RNG, an optional event trace, and a [`Recorder`] for
-//!   collecting experiment measurements.
+//!   collecting experiment measurements;
+//! - an observability layer: a structured event stream ([`Tracer`],
+//!   exported as JSON-lines or Chrome `trace_event` via [`export`]), a
+//!   [`MetricsRegistry`] of counters / gauges / time-weighted gauges /
+//!   histograms, and engine profiling counters in [`SimStats`].
 //!
 //! ## Example
 //!
@@ -43,15 +47,23 @@
 mod actor;
 mod engine;
 mod envelope;
+pub mod export;
 mod kernel;
+pub mod metrics;
 mod process;
 mod recorder;
 mod time;
+pub mod trace;
 
 pub use actor::{Actor, Ctx};
 pub use engine::Engine;
 pub use envelope::{ActorId, Endpoint, Envelope, ProcessId};
+pub use export::{
+    metrics_to_json, to_chrome_trace, to_json_lines, write_chrome_trace, write_json_lines,
+};
 pub use kernel::{Kernel, SimConfig, SimStats, TraceRecord};
+pub use metrics::{HistogramSummary, MetricsRegistry};
 pub use process::Proc;
 pub use recorder::{percentile, Recorder, Sample, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};

@@ -1,0 +1,363 @@
+//! A uniform metrics registry: counters, gauges, time-weighted gauges
+//! integrated over *virtual* time, and histograms with quantile
+//! summaries.
+//!
+//! The registry complements the sample-series [`crate::Recorder`]: the
+//! `Recorder` keeps raw named samples for offline analysis, the
+//! `MetricsRegistry` is the uniform instrumentation surface every
+//! subsystem (server, scheduler, DAC, network, engine) writes through.
+//! It is cloneable — all clones share state — and mergeable:
+//! [`MetricsRegistry::merge_from`] folds another registry in such that
+//! the result equals having recorded everything into one registry
+//! (counters sum; histograms pool samples; gauges keep the latest
+//! update; time-weighted gauges merge their update timelines).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::recorder::percentile;
+use crate::time::{SimDuration, SimTime};
+
+/// Quantile summary of a histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (linear interpolation).
+    pub p50: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
+}
+
+#[derive(Default)]
+struct RegState {
+    counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges, with the virtual time of the write so
+    /// merges can keep the later value.
+    gauges: BTreeMap<String, (SimTime, f64)>,
+    /// Full update timelines `(time, value)`, kept sorted by time, so
+    /// time-weighted means are exact and merges are lossless.
+    time_weighted: BTreeMap<String, Vec<(SimTime, f64)>>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+/// Cloneable, shareable metrics registry. See module docs.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegState>>,
+}
+
+impl MetricsRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    // ----- counters ------------------------------------------------------
+
+    /// Add `n` to counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut s = self.inner.lock();
+        let c = s.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of counter `name` (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    // ----- gauges --------------------------------------------------------
+
+    /// Set gauge `name` to `value` as of virtual time `now`.
+    pub fn gauge_set(&self, name: &str, now: SimTime, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), (now, value));
+    }
+
+    /// Last value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).map(|&(_, v)| v)
+    }
+
+    // ----- time-weighted gauges ------------------------------------------
+
+    /// Record that time-weighted gauge `name` changed to `value` at
+    /// virtual time `now`. Updates must be fed in non-decreasing time
+    /// order per registry (the simulator's clock guarantees this);
+    /// out-of-order updates are re-sorted on read.
+    pub fn twg_set(&self, name: &str, now: SimTime, value: f64) {
+        let mut s = self.inner.lock();
+        let series = s.time_weighted.entry(name.to_string()).or_default();
+        match series.last() {
+            Some(&(t, _)) if t > now => {
+                // Rare out-of-order write: insert at the right position
+                // to keep the timeline sorted.
+                let ix = series.partition_point(|&(t, _)| t <= now);
+                series.insert(ix, (now, value));
+            }
+            _ => series.push((now, value)),
+        }
+    }
+
+    /// Last value of time-weighted gauge `name`.
+    pub fn twg_value(&self, name: &str) -> Option<f64> {
+        self.inner.lock().time_weighted.get(name).and_then(|s| s.last()).map(|&(_, v)| v)
+    }
+
+    /// Time-weighted mean of gauge `name` over `[first_update, until]`:
+    /// each value is weighted by how long it was in effect. Returns
+    /// `None` if the gauge has no updates or the window is empty.
+    pub fn twg_mean(&self, name: &str, until: SimTime) -> Option<f64> {
+        let s = self.inner.lock();
+        let series = s.time_weighted.get(name)?;
+        let first = series.first()?.0;
+        let window = until.since(first);
+        if window.is_zero() {
+            return None;
+        }
+        let mut integral = 0.0;
+        for (i, &(t, v)) in series.iter().enumerate() {
+            if t >= until {
+                break;
+            }
+            let end = series.get(i + 1).map_or(until, |&(t2, _)| t2.min(until));
+            integral += v * end.since(t).as_secs_f64();
+        }
+        Some(integral / window.as_secs_f64())
+    }
+
+    /// The raw update timeline of time-weighted gauge `name`.
+    pub fn twg_updates(&self, name: &str) -> Vec<(SimTime, f64)> {
+        self.inner.lock().time_weighted.get(name).cloned().unwrap_or_default()
+    }
+
+    // ----- histograms ----------------------------------------------------
+
+    /// Record one sample into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner.lock().histograms.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// Record a virtual duration (in seconds) into histogram `name`.
+    pub fn observe_duration(&self, name: &str, d: SimDuration) {
+        self.observe(name, d.as_secs_f64());
+    }
+
+    /// Quantile summary of histogram `name`; `None` when the histogram
+    /// is missing or empty.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        let s = self.inner.lock();
+        let samples = s.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram samples must be ordered"));
+        let count = sorted.len() as u64;
+        let sum: f64 = sorted.iter().sum();
+        Some(HistogramSummary {
+            count,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sum / count as f64,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        })
+    }
+
+    /// Raw samples of histogram `name` (recording order).
+    pub fn histogram_samples(&self, name: &str) -> Vec<f64> {
+        self.inner.lock().histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    // ----- introspection & merge -----------------------------------------
+
+    /// Names of all metrics, grouped as (counters, gauges,
+    /// time-weighted gauges, histograms).
+    #[allow(clippy::type_complexity)]
+    pub fn names(&self) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+        let s = self.inner.lock();
+        (
+            s.counters.keys().cloned().collect(),
+            s.gauges.keys().cloned().collect(),
+            s.time_weighted.keys().cloned().collect(),
+            s.histograms.keys().cloned().collect(),
+        )
+    }
+
+    /// Drop all recorded data.
+    pub fn clear(&self) {
+        *self.inner.lock() = RegState::default();
+    }
+
+    /// Fold `other`'s data into `self`, equivalent to having recorded
+    /// both streams into one registry: counters add, histograms pool,
+    /// gauges keep the later-timestamped write (ties: `other` wins),
+    /// time-weighted timelines merge sorted by time. `other` is left
+    /// untouched.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let o = other.inner.lock();
+        let mut s = self.inner.lock();
+        for (k, v) in &o.counters {
+            let c = s.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (k, &(t, v)) in &o.gauges {
+            match s.gauges.get(k) {
+                Some(&(t0, _)) if t0 > t => {}
+                _ => {
+                    s.gauges.insert(k.clone(), (t, v));
+                }
+            }
+        }
+        for (k, updates) in &o.time_weighted {
+            let series = s.time_weighted.entry(k.clone()).or_default();
+            series.extend(updates.iter().copied());
+            series.sort_by_key(|&(t, _)| t);
+        }
+        for (k, samples) in &o.histograms {
+            s.histograms.entry(k.clone()).or_default().extend(samples.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.counter_inc("x");
+        m.counter_add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.gauge_set("g", t(1), 2.0);
+        m.gauge_set("g", t(2), 7.0);
+        assert_eq!(m.gauge("g"), Some(7.0));
+    }
+
+    #[test]
+    fn twg_integrates_over_virtual_time() {
+        let m = MetricsRegistry::new();
+        // 0 for 10s, then 4 for 10s, then 2 for 20s → mean over 40s = 2.0
+        m.twg_set("util", t(0), 0.0);
+        m.twg_set("util", t(10), 4.0);
+        m.twg_set("util", t(20), 2.0);
+        let mean = m.twg_mean("util", t(40)).unwrap();
+        assert!((mean - 2.0).abs() < 1e-12, "(0*10 + 4*10 + 2*20)/40 = 2.0, got {mean}");
+        assert_eq!(m.twg_value("util"), Some(2.0));
+        // Truncated window: only the first value is in effect.
+        let early = m.twg_mean("util", t(10)).unwrap();
+        assert_eq!(early, 0.0);
+        // Empty window.
+        assert_eq!(m.twg_mean("util", t(0)), None);
+        assert_eq!(m.twg_mean("missing", t(1)), None);
+    }
+
+    #[test]
+    fn twg_out_of_order_updates_are_resorted() {
+        let m = MetricsRegistry::new();
+        m.twg_set("g", t(10), 1.0);
+        m.twg_set("g", t(0), 5.0);
+        let updates = m.twg_updates("g");
+        assert_eq!(updates, vec![(t(0), 5.0), (t(10), 1.0)]);
+    }
+
+    #[test]
+    fn histogram_quantile_edges() {
+        let m = MetricsRegistry::new();
+        // Empty / missing.
+        assert!(m.histogram("h").is_none());
+        // Single sample: every quantile is that sample.
+        m.observe("h", 3.0);
+        let s = m.histogram("h").unwrap();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p95, s.p99), (1, 3.0, 3.0, 3.0, 3.0, 3.0));
+        // Ties: all-equal samples keep every quantile at the tied value.
+        let m2 = MetricsRegistry::new();
+        for _ in 0..10 {
+            m2.observe("h", 2.5);
+        }
+        let s2 = m2.histogram("h").unwrap();
+        assert_eq!((s2.p50, s2.p95, s2.p99, s2.mean), (2.5, 2.5, 2.5, 2.5));
+        // Unsorted input is sorted before quantiles.
+        let m3 = MetricsRegistry::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            m3.observe("h", v);
+        }
+        let s3 = m3.histogram("h").unwrap();
+        assert_eq!(s3.p50, 3.0);
+        assert_eq!((s3.min, s3.max), (1.0, 5.0));
+    }
+
+    #[test]
+    fn observe_duration_records_seconds() {
+        let m = MetricsRegistry::new();
+        m.observe_duration("d", SimDuration::from_millis(1500));
+        assert_eq!(m.histogram_samples("d"), vec![1.5]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m.counter_inc("c");
+        assert_eq!(m2.counter("c"), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_pools_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        b.counter_add("c", 3);
+        a.observe("h", 1.0);
+        b.observe("h", 9.0);
+        a.gauge_set("g", t(1), 1.0);
+        b.gauge_set("g", t(2), 2.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert_eq!(a.gauge("g"), Some(2.0), "later-timestamped gauge wins");
+        // b untouched
+        assert_eq!(b.counter("c"), 3);
+    }
+
+    #[test]
+    fn merge_with_self_is_a_no_op() {
+        let a = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        let a2 = a.clone();
+        a.merge_from(&a2);
+        assert_eq!(a.counter("c"), 2);
+    }
+}

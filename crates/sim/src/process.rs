@@ -136,11 +136,25 @@ impl Proc {
         self.kernel.lock().now()
     }
 
-    /// Record a trace line attributed to this process.
+    /// Record an instant trace event attributed to this process.
     pub fn trace(&self, event: impl Into<String>) {
-        let mut k = self.kernel.lock();
-        let name = self.name.clone();
-        k.trace(&name, event);
+        self.trace_detail(event, String::new());
+    }
+
+    /// Record an instant trace event with a detail payload.
+    pub fn trace_detail(&self, event: impl Into<String>, detail: impl Into<String>) {
+        let k = self.kernel.lock();
+        k.emit(crate::trace::TraceSource::Process(self.pid), &self.name, event, detail);
+    }
+
+    /// Cloneable handle to the structured tracer.
+    pub fn tracer(&self) -> crate::trace::Tracer {
+        self.kernel.lock().tracer()
+    }
+
+    /// Cloneable handle to the shared metrics registry.
+    pub fn metrics(&self) -> crate::metrics::MetricsRegistry {
+        self.kernel.lock().metrics()
     }
 
     /// Draw from the deterministic RNG.
@@ -197,16 +211,14 @@ impl Proc {
 
     /// Block until a message arrives, then return it (FIFO).
     pub fn recv(&self) -> Envelope {
-        self.recv_where_deadline(|_| true, None)
-            .expect("recv without deadline cannot time out")
+        self.recv_where_deadline(|_| true, None).expect("recv without deadline cannot time out")
     }
 
     /// Block until a message satisfying `pred` arrives; earlier
     /// non-matching messages stay queued in order. This is the matching
     /// primitive the MPI layer builds tag/source matching on.
     pub fn recv_where(&self, pred: impl FnMut(&Envelope) -> bool) -> Envelope {
-        self.recv_where_deadline(pred, None)
-            .expect("recv_where without deadline cannot time out")
+        self.recv_where_deadline(pred, None).expect("recv_where without deadline cannot time out")
     }
 
     /// Like [`Proc::recv`] but gives up after `d`, returning `None`.

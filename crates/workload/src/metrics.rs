@@ -54,11 +54,7 @@ impl WorkloadReport {
             .collect();
         waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mean_wait = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
-        let p95_wait = if waits.is_empty() {
-            0.0
-        } else {
-            darms_sim::percentile(&waits, 0.95)
-        };
+        let p95_wait = if waits.is_empty() { 0.0 } else { darms_sim::percentile(&waits, 0.95) };
         let turnarounds: Vec<f64> = finished
             .iter()
             .map(|o| (o.completed.expect("filtered") - o.submitted).as_secs_f64())
@@ -128,11 +124,9 @@ mod tests {
 
     #[test]
     fn basic_aggregates() {
-        let r = WorkloadReport::from_outcomes(&[
-            outcome(0, 10, 110, 2, 1),
-            outcome(5, 15, 65, 1, 0),
-        ])
-        .unwrap();
+        let r =
+            WorkloadReport::from_outcomes(&[outcome(0, 10, 110, 2, 1), outcome(5, 15, 65, 1, 0)])
+                .unwrap();
         assert_eq!(r.finished, 2);
         assert_eq!(r.unstarted, 0);
         assert!((r.mean_wait - 10.0).abs() < 1e-9);

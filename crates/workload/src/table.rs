@@ -59,7 +59,8 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ =
+            writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }

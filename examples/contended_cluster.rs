@@ -63,15 +63,13 @@ fn main() {
     // A watcher collects the final statuses.
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watcher", SimDuration::from_secs(1), move |c| {
-        loop {
-            let st = c.qstat();
-            if st.len() == 20 && st.iter().all(|s| s.state.is_terminal()) {
-                *out.lock() = st;
-                break;
-            }
-            c.proc.sleep(SimDuration::from_secs(10));
+    cluster.client_after("watcher", SimDuration::from_secs(1), move |c| loop {
+        let st = c.qstat();
+        if st.len() == 20 && st.iter().all(|s| s.state.is_terminal()) {
+            *out.lock() = st;
+            break;
         }
+        c.proc.sleep(SimDuration::from_secs(10));
     });
 
     let stats = cluster.run();
@@ -110,10 +108,19 @@ fn main() {
     }
     println!("{}", table.render());
     let report = WorkloadReport::from_outcomes(&outcomes).expect("jobs completed");
-    println!("finished {} jobs; mean wait {:.1}s (p95 {:.1}s), mean turnaround {:.1}s",
-        report.finished, report.mean_wait, report.p95_wait, report.mean_turnaround);
-    println!("makespan {:.1}s; static accelerator utilisation {:.1}%",
-        report.makespan.as_secs_f64(), 100.0 * report.acc_utilisation(pool));
+    println!(
+        "finished {} jobs; mean wait {:.1}s (p95 {:.1}s), mean turnaround {:.1}s",
+        report.finished, report.mean_wait, report.p95_wait, report.mean_turnaround
+    );
+    println!(
+        "makespan {:.1}s; static accelerator utilisation {:.1}%",
+        report.makespan.as_secs_f64(),
+        100.0 * report.acc_utilisation(pool)
+    );
     println!("dynamic requests: {} granted, {} rejected", grants.lock(), rejections.lock());
-    println!("\nsimulation: {} events, virtual time {:.1} s", stats.events, stats.end_time.as_secs_f64());
+    println!(
+        "\nsimulation: {} events, virtual time {:.1} s",
+        stats.events,
+        stats.end_time.as_secs_f64()
+    );
 }

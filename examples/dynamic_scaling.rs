@@ -35,7 +35,10 @@ fn main() {
             // Phase 2 needs much more parallelism: grow by 4.
             say(jc, "phase 2: AC_Get(4) — demanding phase begins".into());
             let set = ses.ac_get(4).expect("pool of 6 has 5 free");
-            say(jc, format!("  granted {} ({} accelerators live)", set.client_id, ses.live_count()));
+            say(
+                jc,
+                format!("  granted {} ({} accelerators live)", set.client_id, ses.live_count()),
+            );
             let hs = ses_handles(&ses);
             run_phase(&mut ses, &hs, jc, 1 << 15);
 
@@ -75,7 +78,11 @@ fn main() {
     if let Some(rej) = recorder.summary("acget.rejected") {
         println!("  rejected request latency: mean {:.3} s", rej.mean);
     }
-    println!("\nsimulation: {} events, virtual time {:.3} s", stats.events, stats.end_time.as_secs_f64());
+    println!(
+        "\nsimulation: {} events, virtual time {:.3} s",
+        stats.events,
+        stats.end_time.as_secs_f64()
+    );
     assert_eq!(stats.process_panics, 0);
 }
 
@@ -99,9 +106,15 @@ fn run_phase(ses: &mut AcSession, handles: &[AcHandle], jc: &JobCtx, n: usize) {
     let mut pending = Vec::new();
     for &(h, p) in &allocated {
         let l = ses
-            .kernel_launch(h, "scale", KernelArgs::new(128, 128, vec![
-                Param::Ptr(p), Param::U64(n as u64), Param::F64(2.0),
-            ]))
+            .kernel_launch(
+                h,
+                "scale",
+                KernelArgs::new(
+                    128,
+                    128,
+                    vec![Param::Ptr(p), Param::U64(n as u64), Param::F64(2.0)],
+                ),
+            )
             .unwrap();
         pending.push(l);
     }

@@ -66,9 +66,15 @@ fn distributed_step(
         let halo_hi = (hi + 1).min(N);
         let m = (halo_hi - halo_lo) as u64;
         let l = ses
-            .kernel_launch(h, "stencil3", KernelArgs::new(64, 256, vec![
-                Param::Ptr(src), Param::Ptr(dst), Param::U64(m), Param::F64(ALPHA),
-            ]))
+            .kernel_launch(
+                h,
+                "stencil3",
+                KernelArgs::new(
+                    64,
+                    256,
+                    vec![Param::Ptr(src), Param::Ptr(dst), Param::U64(m), Param::F64(ALPHA)],
+                ),
+            )
             .unwrap();
         launches.push(l);
     }
@@ -110,9 +116,8 @@ fn main() {
 
     let out = log.clone();
     let res = result.clone();
-    let spec = JobSpec::synthetic("heat", SimDuration::from_secs(120))
-        .acpn(2)
-        .script(script(move |jc| {
+    let spec =
+        JobSpec::synthetic("heat", SimDuration::from_secs(120)).acpn(2).script(script(move |jc| {
             let say = |jc: &JobCtx, s: String| {
                 out.lock().push(format!("[t={:>7.3}s] {s}", jc.proc.now().as_secs_f64()));
             };
@@ -122,8 +127,15 @@ fn main() {
             let mut reference = field.clone();
 
             let (mut ses, statics) = AcSession::init(jc, &dac, None);
-            say(jc, format!("phase 1: {} accelerators, {} points, {} steps",
-                statics.len(), N, PHASE1_STEPS));
+            say(
+                jc,
+                format!(
+                    "phase 1: {} accelerators, {} points, {} steps",
+                    statics.len(),
+                    N,
+                    PHASE1_STEPS
+                ),
+            );
             let parts = setup_parts(&mut ses, &statics);
             for _ in 0..PHASE1_STEPS {
                 distributed_step(&mut ses, &parts, &mut field);
@@ -137,8 +149,7 @@ fn main() {
             // Phase 2: the interesting region has grown — double the
             // parallelism by acquiring two more accelerators.
             let set = ses.ac_get(2).expect("pool of 6 has 4 free");
-            let all: Vec<AcHandle> =
-                statics.iter().chain(set.handles.iter()).copied().collect();
+            let all: Vec<AcHandle> = statics.iter().chain(set.handles.iter()).copied().collect();
             say(jc, format!("phase 2: grown to {} accelerators, re-partitioned", all.len()));
             let parts = setup_parts(&mut ses, &all);
             for _ in 0..PHASE2_STEPS {
@@ -159,16 +170,19 @@ fn main() {
         println!("{line}");
     }
     let (field, reference) = result.lock().take().expect("job produced a field");
-    let max_err = field
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = field.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     let total: f64 = field.iter().sum();
-    println!("\nafter {} steps: max |device - reference| = {max_err:e}", PHASE1_STEPS + PHASE2_STEPS);
+    println!(
+        "\nafter {} steps: max |device - reference| = {max_err:e}",
+        PHASE1_STEPS + PHASE2_STEPS
+    );
     println!("heat conservation: Σu = {total:.6} (expected 1000)");
     assert_eq!(max_err, 0.0, "distributed stencil must match the reference exactly");
     assert!((total - 1000.0).abs() < 1e-6, "diffusion conserves heat");
     println!("PASS — re-partitioned mid-run without losing a single bit of state");
-    println!("\nsimulation: {} events, virtual time {:.3} s", stats.events, stats.end_time.as_secs_f64());
+    println!(
+        "\nsimulation: {} events, virtual time {:.3} s",
+        stats.events,
+        stats.end_time.as_secs_f64()
+    );
 }

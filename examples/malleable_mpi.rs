@@ -39,9 +39,8 @@ fn main() {
 
     let out = log.clone();
     let rt = mpi_rt.clone();
-    let spec = JobSpec::synthetic("malleable", SimDuration::from_secs(30))
-        .ppn(8)
-        .script(script(move |jc| {
+    let spec = JobSpec::synthetic("malleable", SimDuration::from_secs(30)).ppn(8).script(script(
+        move |jc| {
             let say = |jc: &JobCtx, s: String| {
                 out.lock().push(format!("[t={:>6.3}s] {s}", jc.proc.now().as_secs_f64()));
             };
@@ -75,7 +74,8 @@ fn main() {
             mpi.comm_disconnect(merged);
             assert!(jc.dynfree(grant.client_id));
             say(jc, "released the extra nodes".into());
-        }));
+        },
+    ));
 
     // A competitor that needs 2 whole nodes: it can only run after the
     // malleable job shrinks.
@@ -101,6 +101,10 @@ fn main() {
     for line in log.lock().iter() {
         println!("{line}");
     }
-    println!("\nsimulation: {} events, virtual time {:.3} s", stats.events, stats.end_time.as_secs_f64());
+    println!(
+        "\nsimulation: {} events, virtual time {:.3} s",
+        stats.events,
+        stats.end_time.as_secs_f64()
+    );
     assert_eq!(stats.process_panics, 0);
 }

@@ -24,9 +24,8 @@ fn main() {
 
     let out = result.clone();
     let tm = timing.clone();
-    let spec = JobSpec::synthetic("matmul", SimDuration::from_secs(30))
-        .acpn(4)
-        .script(script(move |jc| {
+    let spec = JobSpec::synthetic("matmul", SimDuration::from_secs(30)).acpn(4).script(script(
+        move |jc| {
             let (mut ses, handles) = AcSession::init(jc, &dac, None);
             let acc_count = handles.len();
 
@@ -58,10 +57,22 @@ fn main() {
             let mut pending = Vec::new();
             for &(h, pa, pb, pc, _, m_part) in &parts {
                 let l = ses
-                    .kernel_launch(h, "matmul", KernelArgs::new(64, 256, vec![
-                        Param::Ptr(pa), Param::Ptr(pb), Param::Ptr(pc),
-                        Param::U64(m_part as u64), Param::U64(K as u64), Param::U64(N as u64),
-                    ]))
+                    .kernel_launch(
+                        h,
+                        "matmul",
+                        KernelArgs::new(
+                            64,
+                            256,
+                            vec![
+                                Param::Ptr(pa),
+                                Param::Ptr(pb),
+                                Param::Ptr(pc),
+                                Param::U64(m_part as u64),
+                                Param::U64(K as u64),
+                                Param::U64(N as u64),
+                            ],
+                        ),
+                    )
                     .unwrap();
                 pending.push(l);
             }
@@ -83,7 +94,8 @@ fn main() {
             ]);
             *out.lock() = Some((a, b, c, acc_count));
             ses.finalize();
-        }));
+        },
+    ));
     cluster.qsub(spec);
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -99,12 +111,10 @@ fn main() {
             }
         }
     }
-    let max_err = c
-        .iter()
-        .zip(&expect)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
-    println!("== matmul_offload: {M}x{K} × {K}x{N} over {acc_count} network-attached accelerators ==");
+    let max_err = c.iter().zip(&expect).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+    println!(
+        "== matmul_offload: {M}x{K} × {K}x{N} over {acc_count} network-attached accelerators =="
+    );
     for (what, secs) in timing.lock().iter() {
         println!("  {what:>9}: {secs:.4} s (virtual)");
     }

@@ -25,8 +25,13 @@ fn main() {
         .acpn(3)
         .script(script(move |jc| {
             let t = |jc: &JobCtx| format!("[t={:>8.3}s]", jc.proc.now().as_secs_f64());
-            out.lock().push(format!("{} job {} started on host{} with {} static accelerators",
-                t(jc), jc.job, jc.host.index(), jc.acc_hosts.len()));
+            out.lock().push(format!(
+                "{} job {} started on host{} with {} static accelerators",
+                t(jc),
+                jc.job,
+                jc.host.index(),
+                jc.acc_hosts.len()
+            ));
 
             // AC_Init: wait for the daemons, connect, merge (Fig. 5).
             let (mut ses, handles) = AcSession::init(jc, &dac, Some(rec.clone()));
@@ -43,9 +48,16 @@ fn main() {
                 let c = ses.mem_alloc(h, bytes).unwrap();
                 ses.mem_write(h, a, f64s_to_bytes(&a_host)).unwrap();
                 ses.mem_write(h, b, f64s_to_bytes(&b_host)).unwrap();
-                ses.kernel_run(h, "vector_add", KernelArgs::new(256, 256, vec![
-                    Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(n as u64),
-                ])).unwrap();
+                ses.kernel_run(
+                    h,
+                    "vector_add",
+                    KernelArgs::new(
+                        256,
+                        256,
+                        vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(n as u64)],
+                    ),
+                )
+                .unwrap();
                 let result = as_f64s(&ses.mem_read(h, c, bytes).unwrap());
                 assert!(result.iter().enumerate().all(|(i, v)| *v == (3 * i) as f64));
                 ses.mem_free(h, a).unwrap();
@@ -70,7 +82,11 @@ fn main() {
         println!("  waiting for daemons : {:.3} s", wait.mean);
         println!("  communicator setup  : {:.3} s", connect.mean);
     }
-    println!("\nsimulation: {} events, virtual time {:.3} s, {} processes",
-        stats.events, stats.end_time.as_secs_f64(), stats.processes_spawned);
+    println!(
+        "\nsimulation: {} events, virtual time {:.3} s, {} processes",
+        stats.events,
+        stats.end_time.as_secs_f64(),
+        stats.processes_spawned
+    );
     assert_eq!(stats.process_panics, 0);
 }

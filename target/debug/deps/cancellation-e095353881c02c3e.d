@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cancellation-e095353881c02c3e.d: tests/cancellation.rs
+
+/root/repo/target/debug/deps/cancellation-e095353881c02c3e: tests/cancellation.rs
+
+tests/cancellation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cancellation-f7c1d13410d2d765.d: tests/cancellation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcancellation-f7c1d13410d2d765.rmeta: tests/cancellation.rs Cargo.toml
+
+tests/cancellation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collective-3944e3b9948573a1.d: tests/collective.rs
+
+/root/repo/target/debug/deps/collective-3944e3b9948573a1: tests/collective.rs
+
+tests/collective.rs:

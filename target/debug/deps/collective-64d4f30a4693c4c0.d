@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collective-64d4f30a4693c4c0.d: tests/collective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollective-64d4f30a4693c4c0.rmeta: tests/collective.rs Cargo.toml
+
+tests/collective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

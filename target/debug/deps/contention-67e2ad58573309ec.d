@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention-67e2ad58573309ec.d: tests/contention.rs
+
+/root/repo/target/debug/deps/contention-67e2ad58573309ec: tests/contention.rs
+
+tests/contention.rs:

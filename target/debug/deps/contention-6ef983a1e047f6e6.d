@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contention-6ef983a1e047f6e6.d: tests/contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontention-6ef983a1e047f6e6.rmeta: tests/contention.rs Cargo.toml
+
+tests/contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darms-61a910c2cd08f677.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+/root/repo/target/debug/deps/libdarms-61a910c2cd08f677.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+/root/repo/target/debug/deps/libdarms-61a910c2cd08f677.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/darms-80f71d68af6728e5.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms-80f71d68af6728e5.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/darms-81b37e0259dabf6b.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms-81b37e0259dabf6b.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

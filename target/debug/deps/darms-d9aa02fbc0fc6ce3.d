@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/darms-d9aa02fbc0fc6ce3.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+/root/repo/target/debug/deps/darms-d9aa02fbc0fc6ce3: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/darms_dac-6131fb9559373149.d: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+/root/repo/target/debug/deps/libdarms_dac-6131fb9559373149.rlib: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+/root/repo/target/debug/deps/libdarms_dac-6131fb9559373149.rmeta: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+crates/dac/src/lib.rs:
+crates/dac/src/collective.rs:
+crates/dac/src/cost.rs:
+crates/dac/src/device.rs:
+crates/dac/src/frontend.rs:
+crates/dac/src/kernel.rs:
+crates/dac/src/runtime.rs:
+crates/dac/src/starter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darms_dac-89fe1db57dcb9993.d: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+/root/repo/target/debug/deps/darms_dac-89fe1db57dcb9993: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+crates/dac/src/lib.rs:
+crates/dac/src/collective.rs:
+crates/dac/src/cost.rs:
+crates/dac/src/device.rs:
+crates/dac/src/frontend.rs:
+crates/dac/src/kernel.rs:
+crates/dac/src/runtime.rs:
+crates/dac/src/starter.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/darms_dac-98e6286784ca944e.d: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_dac-98e6286784ca944e.rmeta: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs Cargo.toml
+
+crates/dac/src/lib.rs:
+crates/dac/src/collective.rs:
+crates/dac/src/cost.rs:
+crates/dac/src/device.rs:
+crates/dac/src/frontend.rs:
+crates/dac/src/kernel.rs:
+crates/dac/src/runtime.rs:
+crates/dac/src/starter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darms_experiments-18c8b44554f68293.d: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libdarms_experiments-18c8b44554f68293.rlib: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/libdarms_experiments-18c8b44554f68293.rmeta: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/extended.rs:
+crates/experiments/src/figures.rs:

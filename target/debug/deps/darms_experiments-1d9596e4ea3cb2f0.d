@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/darms_experiments-1d9596e4ea3cb2f0.d: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_experiments-1d9596e4ea3cb2f0.rmeta: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/extended.rs:
+crates/experiments/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/darms_experiments-45ec8777da9937e2.d: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_experiments-45ec8777da9937e2.rmeta: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/extended.rs:
+crates/experiments/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

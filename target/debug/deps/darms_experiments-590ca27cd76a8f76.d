@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/darms_experiments-590ca27cd76a8f76.d: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+/root/repo/target/debug/deps/darms_experiments-590ca27cd76a8f76: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/extended.rs:
+crates/experiments/src/figures.rs:

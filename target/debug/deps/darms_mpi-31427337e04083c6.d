@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/darms_mpi-31427337e04083c6.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+/root/repo/target/debug/deps/darms_mpi-31427337e04083c6: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/cost.rs:
+crates/mpi/src/dpm.rs:
+crates/mpi/src/proc.rs:
+crates/mpi/src/runtime.rs:
+crates/mpi/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/darms_mpi-7dcafcac30b5267c.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_mpi-7dcafcac30b5267c.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs Cargo.toml
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/cost.rs:
+crates/mpi/src/dpm.rs:
+crates/mpi/src/proc.rs:
+crates/mpi/src/runtime.rs:
+crates/mpi/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

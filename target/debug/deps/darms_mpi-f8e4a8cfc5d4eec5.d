@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/darms_mpi-f8e4a8cfc5d4eec5.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+/root/repo/target/debug/deps/libdarms_mpi-f8e4a8cfc5d4eec5.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+/root/repo/target/debug/deps/libdarms_mpi-f8e4a8cfc5d4eec5.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/cost.rs:
+crates/mpi/src/dpm.rs:
+crates/mpi/src/proc.rs:
+crates/mpi/src/runtime.rs:
+crates/mpi/src/types.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darms_net-8034230a7b59b6b9.d: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/libdarms_net-8034230a7b59b6b9.rlib: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/libdarms_net-8034230a7b59b6b9.rmeta: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/host.rs:
+crates/net/src/latency.rs:
+crates/net/src/network.rs:

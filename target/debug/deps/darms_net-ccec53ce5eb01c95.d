@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/darms_net-ccec53ce5eb01c95.d: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/darms_net-ccec53ce5eb01c95: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/host.rs:
+crates/net/src/latency.rs:
+crates/net/src/network.rs:

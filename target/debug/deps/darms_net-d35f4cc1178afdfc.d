@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darms_net-d35f4cc1178afdfc.d: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_net-d35f4cc1178afdfc.rmeta: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/host.rs:
+crates/net/src/latency.rs:
+crates/net/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/darms_repro-1ce321b23ca896c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdarms_repro-1ce321b23ca896c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdarms_repro-1ce321b23ca896c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darms_repro-2c78a0b6ed6ea385.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_repro-2c78a0b6ed6ea385.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darms_repro-f80869e1fa36f0b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/darms_repro-f80869e1fa36f0b1: src/lib.rs
+
+src/lib.rs:

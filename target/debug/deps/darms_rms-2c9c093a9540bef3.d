@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/darms_rms-2c9c093a9540bef3.d: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+/root/repo/target/debug/deps/libdarms_rms-2c9c093a9540bef3.rlib: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+/root/repo/target/debug/deps/libdarms_rms-2c9c093a9540bef3.rmeta: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+crates/rms/src/lib.rs:
+crates/rms/src/cost.rs:
+crates/rms/src/fs.rs:
+crates/rms/src/ifl.rs:
+crates/rms/src/job.rs:
+crates/rms/src/mom.rs:
+crates/rms/src/monitor.rs:
+crates/rms/src/nodes.rs:
+crates/rms/src/proto.rs:
+crates/rms/src/server.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/darms_rms-f6082296713c3af3.d: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_rms-f6082296713c3af3.rmeta: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs Cargo.toml
+
+crates/rms/src/lib.rs:
+crates/rms/src/cost.rs:
+crates/rms/src/fs.rs:
+crates/rms/src/ifl.rs:
+crates/rms/src/job.rs:
+crates/rms/src/mom.rs:
+crates/rms/src/monitor.rs:
+crates/rms/src/nodes.rs:
+crates/rms/src/proto.rs:
+crates/rms/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darms_sched-620e40b62577b95d.d: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/darms_sched-620e40b62577b95d: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/alloc.rs:
+crates/sched/src/backfill.rs:
+crates/sched/src/fairshare.rs:
+crates/sched/src/priority.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darms_sched-8ce02f9e40038b51.d: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdarms_sched-8ce02f9e40038b51.rlib: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libdarms_sched-8ce02f9e40038b51.rmeta: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/alloc.rs:
+crates/sched/src/backfill.rs:
+crates/sched/src/fairshare.rs:
+crates/sched/src/priority.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/darms_sched-d114af6c78a9d07b.d: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_sched-d114af6c78a9d07b.rmeta: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/alloc.rs:
+crates/sched/src/backfill.rs:
+crates/sched/src/fairshare.rs:
+crates/sched/src/priority.rs:
+crates/sched/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/darms_sim-5b3b6ec3a3e05557.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/darms_sim-5b3b6ec3a3e05557: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/envelope.rs:
+crates/sim/src/export.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/process.rs:
+crates/sim/src/recorder.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

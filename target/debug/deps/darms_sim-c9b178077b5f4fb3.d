@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/darms_sim-c9b178077b5f4fb3.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_sim-c9b178077b5f4fb3.rmeta: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/envelope.rs:
+crates/sim/src/export.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/process.rs:
+crates/sim/src/recorder.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/darms_workload-81285c574c3ced04.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarms_workload-81285c574c3ced04.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/table.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

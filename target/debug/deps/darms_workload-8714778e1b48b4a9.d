@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darms_workload-8714778e1b48b4a9.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libdarms_workload-8714778e1b48b4a9.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libdarms_workload-8714778e1b48b4a9.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/table.rs:
+crates/workload/src/trace.rs:

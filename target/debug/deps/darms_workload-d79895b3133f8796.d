@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darms_workload-d79895b3133f8796.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/darms_workload-d79895b3133f8796: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/table.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-aba65d8c95e9450c.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-aba65d8c95e9450c: tests/determinism.rs
+
+tests/determinism.rs:

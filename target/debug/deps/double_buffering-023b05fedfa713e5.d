@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/double_buffering-023b05fedfa713e5.d: tests/double_buffering.rs
+
+/root/repo/target/debug/deps/double_buffering-023b05fedfa713e5: tests/double_buffering.rs
+
+tests/double_buffering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/double_buffering-cba37618b4991604.d: tests/double_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdouble_buffering-cba37618b4991604.rmeta: tests/double_buffering.rs Cargo.toml
+
+tests/double_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_props-0f3a7e4f0331e3bd.d: crates/sim/tests/engine_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_props-0f3a7e4f0331e3bd.rmeta: crates/sim/tests/engine_props.rs Cargo.toml
+
+crates/sim/tests/engine_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_props-b6cae5fe43cb98ff.d: crates/sim/tests/engine_props.rs
+
+/root/repo/target/debug/deps/engine_props-b6cae5fe43cb98ff: crates/sim/tests/engine_props.rs
+
+crates/sim/tests/engine_props.rs:

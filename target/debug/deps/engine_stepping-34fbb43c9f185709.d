@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_stepping-34fbb43c9f185709.d: crates/sim/tests/engine_stepping.rs
+
+/root/repo/target/debug/deps/engine_stepping-34fbb43c9f185709: crates/sim/tests/engine_stepping.rs
+
+crates/sim/tests/engine_stepping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_stepping-9a31b75f33417177.d: crates/sim/tests/engine_stepping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_stepping-9a31b75f33417177.rmeta: crates/sim/tests/engine_stepping.rs Cargo.toml
+
+crates/sim/tests/engine_stepping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_backfill-182c424fcf9f0b33.d: crates/experiments/src/bin/ext_backfill.rs
+
+/root/repo/target/debug/deps/ext_backfill-182c424fcf9f0b33: crates/experiments/src/bin/ext_backfill.rs
+
+crates/experiments/src/bin/ext_backfill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_backfill-37fe8f4d12f53462.d: crates/experiments/src/bin/ext_backfill.rs
+
+/root/repo/target/debug/deps/ext_backfill-37fe8f4d12f53462: crates/experiments/src/bin/ext_backfill.rs
+
+crates/experiments/src/bin/ext_backfill.rs:

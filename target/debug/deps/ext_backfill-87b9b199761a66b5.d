@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_backfill-87b9b199761a66b5.d: crates/experiments/src/bin/ext_backfill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_backfill-87b9b199761a66b5.rmeta: crates/experiments/src/bin/ext_backfill.rs Cargo.toml
+
+crates/experiments/src/bin/ext_backfill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_backfill-b9d7a1f7960461cd.d: crates/experiments/src/bin/ext_backfill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_backfill-b9d7a1f7960461cd.rmeta: crates/experiments/src/bin/ext_backfill.rs Cargo.toml
+
+crates/experiments/src/bin/ext_backfill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

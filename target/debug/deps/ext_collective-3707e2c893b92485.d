@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_collective-3707e2c893b92485.d: crates/experiments/src/bin/ext_collective.rs
+
+/root/repo/target/debug/deps/ext_collective-3707e2c893b92485: crates/experiments/src/bin/ext_collective.rs
+
+crates/experiments/src/bin/ext_collective.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_collective-a055ae05f46dd31f.d: crates/experiments/src/bin/ext_collective.rs
+
+/root/repo/target/debug/deps/ext_collective-a055ae05f46dd31f: crates/experiments/src/bin/ext_collective.rs
+
+crates/experiments/src/bin/ext_collective.rs:

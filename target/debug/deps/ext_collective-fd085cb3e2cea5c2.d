@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_collective-fd085cb3e2cea5c2.d: crates/experiments/src/bin/ext_collective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_collective-fd085cb3e2cea5c2.rmeta: crates/experiments/src/bin/ext_collective.rs Cargo.toml
+
+crates/experiments/src/bin/ext_collective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_fairness-612b523c68936f3c.d: crates/experiments/src/bin/ext_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_fairness-612b523c68936f3c.rmeta: crates/experiments/src/bin/ext_fairness.rs Cargo.toml
+
+crates/experiments/src/bin/ext_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_fairness-7e6774d3f0a2a3d5.d: crates/experiments/src/bin/ext_fairness.rs
+
+/root/repo/target/debug/deps/ext_fairness-7e6774d3f0a2a3d5: crates/experiments/src/bin/ext_fairness.rs
+
+crates/experiments/src/bin/ext_fairness.rs:

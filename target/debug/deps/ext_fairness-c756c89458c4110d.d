@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_fairness-c756c89458c4110d.d: crates/experiments/src/bin/ext_fairness.rs
+
+/root/repo/target/debug/deps/ext_fairness-c756c89458c4110d: crates/experiments/src/bin/ext_fairness.rs
+
+crates/experiments/src/bin/ext_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_fairness-cf27b546a82d753e.d: crates/experiments/src/bin/ext_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_fairness-cf27b546a82d753e.rmeta: crates/experiments/src/bin/ext_fairness.rs Cargo.toml
+
+crates/experiments/src/bin/ext_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

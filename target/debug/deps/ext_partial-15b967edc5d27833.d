@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_partial-15b967edc5d27833.d: crates/experiments/src/bin/ext_partial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_partial-15b967edc5d27833.rmeta: crates/experiments/src/bin/ext_partial.rs Cargo.toml
+
+crates/experiments/src/bin/ext_partial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_partial-acf5a555ea2e0f0c.d: crates/experiments/src/bin/ext_partial.rs
+
+/root/repo/target/debug/deps/ext_partial-acf5a555ea2e0f0c: crates/experiments/src/bin/ext_partial.rs
+
+crates/experiments/src/bin/ext_partial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_partial-e6cf64bb44b87a40.d: crates/experiments/src/bin/ext_partial.rs
+
+/root/repo/target/debug/deps/ext_partial-e6cf64bb44b87a40: crates/experiments/src/bin/ext_partial.rs
+
+crates/experiments/src/bin/ext_partial.rs:

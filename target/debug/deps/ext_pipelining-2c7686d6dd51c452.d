@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_pipelining-2c7686d6dd51c452.d: crates/experiments/src/bin/ext_pipelining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_pipelining-2c7686d6dd51c452.rmeta: crates/experiments/src/bin/ext_pipelining.rs Cargo.toml
+
+crates/experiments/src/bin/ext_pipelining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipelining-408d8d8216e6ec56.d: crates/experiments/src/bin/ext_pipelining.rs
+
+/root/repo/target/debug/deps/ext_pipelining-408d8d8216e6ec56: crates/experiments/src/bin/ext_pipelining.rs
+
+crates/experiments/src/bin/ext_pipelining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_pipelining-76d3a6d011a05ba6.d: crates/experiments/src/bin/ext_pipelining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_pipelining-76d3a6d011a05ba6.rmeta: crates/experiments/src/bin/ext_pipelining.rs Cargo.toml
+
+crates/experiments/src/bin/ext_pipelining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

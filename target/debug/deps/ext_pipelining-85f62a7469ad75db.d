@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipelining-85f62a7469ad75db.d: crates/experiments/src/bin/ext_pipelining.rs
+
+/root/repo/target/debug/deps/ext_pipelining-85f62a7469ad75db: crates/experiments/src/bin/ext_pipelining.rs
+
+crates/experiments/src/bin/ext_pipelining.rs:

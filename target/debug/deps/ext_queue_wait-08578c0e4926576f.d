@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_queue_wait-08578c0e4926576f.d: crates/experiments/src/bin/ext_queue_wait.rs
+
+/root/repo/target/debug/deps/ext_queue_wait-08578c0e4926576f: crates/experiments/src/bin/ext_queue_wait.rs
+
+crates/experiments/src/bin/ext_queue_wait.rs:

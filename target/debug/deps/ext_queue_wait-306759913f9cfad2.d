@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_queue_wait-306759913f9cfad2.d: crates/experiments/src/bin/ext_queue_wait.rs
+
+/root/repo/target/debug/deps/ext_queue_wait-306759913f9cfad2: crates/experiments/src/bin/ext_queue_wait.rs
+
+crates/experiments/src/bin/ext_queue_wait.rs:

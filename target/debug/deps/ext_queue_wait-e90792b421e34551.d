@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_queue_wait-e90792b421e34551.d: crates/experiments/src/bin/ext_queue_wait.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_queue_wait-e90792b421e34551.rmeta: crates/experiments/src/bin/ext_queue_wait.rs Cargo.toml
+
+crates/experiments/src/bin/ext_queue_wait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

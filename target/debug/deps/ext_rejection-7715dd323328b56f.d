@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_rejection-7715dd323328b56f.d: crates/experiments/src/bin/ext_rejection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_rejection-7715dd323328b56f.rmeta: crates/experiments/src/bin/ext_rejection.rs Cargo.toml
+
+crates/experiments/src/bin/ext_rejection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_rejection-78c89ea9e0396c5c.d: crates/experiments/src/bin/ext_rejection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_rejection-78c89ea9e0396c5c.rmeta: crates/experiments/src/bin/ext_rejection.rs Cargo.toml
+
+crates/experiments/src/bin/ext_rejection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_rejection-9f0a246d0efa5315.d: crates/experiments/src/bin/ext_rejection.rs
+
+/root/repo/target/debug/deps/ext_rejection-9f0a246d0efa5315: crates/experiments/src/bin/ext_rejection.rs
+
+crates/experiments/src/bin/ext_rejection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_rejection-d35849bf70f6068f.d: crates/experiments/src/bin/ext_rejection.rs
+
+/root/repo/target/debug/deps/ext_rejection-d35849bf70f6068f: crates/experiments/src/bin/ext_rejection.rs
+
+crates/experiments/src/bin/ext_rejection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_static_vs_dynamic-08a6216f4ac062a4.d: crates/experiments/src/bin/ext_static_vs_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_static_vs_dynamic-08a6216f4ac062a4.rmeta: crates/experiments/src/bin/ext_static_vs_dynamic.rs Cargo.toml
+
+crates/experiments/src/bin/ext_static_vs_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

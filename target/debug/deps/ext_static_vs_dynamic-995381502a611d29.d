@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_static_vs_dynamic-995381502a611d29.d: crates/experiments/src/bin/ext_static_vs_dynamic.rs
+
+/root/repo/target/debug/deps/ext_static_vs_dynamic-995381502a611d29: crates/experiments/src/bin/ext_static_vs_dynamic.rs
+
+crates/experiments/src/bin/ext_static_vs_dynamic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-3aba2efcc0094a7e.d: tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-3aba2efcc0094a7e.rmeta: tests/faults.rs Cargo.toml
+
+tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-ccbd56b1c71eabef.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-ccbd56b1c71eabef: tests/faults.rs
+
+tests/faults.rs:

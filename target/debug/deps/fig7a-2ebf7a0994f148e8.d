@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a-2ebf7a0994f148e8.d: crates/experiments/src/bin/fig7a.rs
+
+/root/repo/target/debug/deps/fig7a-2ebf7a0994f148e8: crates/experiments/src/bin/fig7a.rs
+
+crates/experiments/src/bin/fig7a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a-623f81e9c7a91c94.d: crates/experiments/src/bin/fig7a.rs
+
+/root/repo/target/debug/deps/fig7a-623f81e9c7a91c94: crates/experiments/src/bin/fig7a.rs
+
+crates/experiments/src/bin/fig7a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a-7ccfd2241ed04a19.d: crates/experiments/src/bin/fig7a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a-7ccfd2241ed04a19.rmeta: crates/experiments/src/bin/fig7a.rs Cargo.toml
+
+crates/experiments/src/bin/fig7a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a-b25f7260020f56a8.d: crates/experiments/src/bin/fig7a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a-b25f7260020f56a8.rmeta: crates/experiments/src/bin/fig7a.rs Cargo.toml
+
+crates/experiments/src/bin/fig7a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b-3aeb76895aa200fb.d: crates/experiments/src/bin/fig7b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b-3aeb76895aa200fb.rmeta: crates/experiments/src/bin/fig7b.rs Cargo.toml
+
+crates/experiments/src/bin/fig7b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b-98a0191fe6bbd87a.d: crates/experiments/src/bin/fig7b.rs
+
+/root/repo/target/debug/deps/fig7b-98a0191fe6bbd87a: crates/experiments/src/bin/fig7b.rs
+
+crates/experiments/src/bin/fig7b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b-dd6b18e549b7371b.d: crates/experiments/src/bin/fig7b.rs
+
+/root/repo/target/debug/deps/fig7b-dd6b18e549b7371b: crates/experiments/src/bin/fig7b.rs
+
+crates/experiments/src/bin/fig7b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b-fd26c58c82a31290.d: crates/experiments/src/bin/fig7b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b-fd26c58c82a31290.rmeta: crates/experiments/src/bin/fig7b.rs Cargo.toml
+
+crates/experiments/src/bin/fig7b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0aca2ede437acb6d.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0aca2ede437acb6d: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

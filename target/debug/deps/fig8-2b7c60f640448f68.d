@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2b7c60f640448f68.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2b7c60f640448f68: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

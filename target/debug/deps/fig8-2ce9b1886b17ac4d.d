@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-2ce9b1886b17ac4d.d: crates/experiments/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-2ce9b1886b17ac4d.rmeta: crates/experiments/src/bin/fig8.rs Cargo.toml
+
+crates/experiments/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

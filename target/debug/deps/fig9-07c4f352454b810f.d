@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-07c4f352454b810f.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-07c4f352454b810f: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-428819c05d0c0bdf.d: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-428819c05d0c0bdf.rmeta: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+crates/experiments/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-bf06f28b9b5c5d26.d: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-bf06f28b9b5c5d26.rmeta: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+crates/experiments/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fc4790e84d87ea74.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fc4790e84d87ea74: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

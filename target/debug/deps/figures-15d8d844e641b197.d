@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-15d8d844e641b197.d: crates/experiments/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-15d8d844e641b197.rmeta: crates/experiments/benches/figures.rs Cargo.toml
+
+crates/experiments/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

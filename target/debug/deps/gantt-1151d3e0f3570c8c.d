@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gantt-1151d3e0f3570c8c.d: crates/experiments/src/bin/gantt.rs
+
+/root/repo/target/debug/deps/gantt-1151d3e0f3570c8c: crates/experiments/src/bin/gantt.rs
+
+crates/experiments/src/bin/gantt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gantt-41dac3090695728d.d: crates/experiments/src/bin/gantt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgantt-41dac3090695728d.rmeta: crates/experiments/src/bin/gantt.rs Cargo.toml
+
+crates/experiments/src/bin/gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

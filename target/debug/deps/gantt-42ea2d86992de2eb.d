@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gantt-42ea2d86992de2eb.d: crates/experiments/src/bin/gantt.rs
+
+/root/repo/target/debug/deps/gantt-42ea2d86992de2eb: crates/experiments/src/bin/gantt.rs
+
+crates/experiments/src/bin/gantt.rs:

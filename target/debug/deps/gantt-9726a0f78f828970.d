@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gantt-9726a0f78f828970.d: crates/experiments/src/bin/gantt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgantt-9726a0f78f828970.rmeta: crates/experiments/src/bin/gantt.rs Cargo.toml
+
+crates/experiments/src/bin/gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_ops-2e961e3cf65b9f4b.d: tests/group_ops.rs
+
+/root/repo/target/debug/deps/group_ops-2e961e3cf65b9f4b: tests/group_ops.rs
+
+tests/group_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/group_ops-9b9deeef5d90b407.d: tests/group_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgroup_ops-9b9deeef5d90b407.rmeta: tests/group_ops.rs Cargo.toml
+
+tests/group_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

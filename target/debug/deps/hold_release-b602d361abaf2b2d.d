@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hold_release-b602d361abaf2b2d.d: tests/hold_release.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhold_release-b602d361abaf2b2d.rmeta: tests/hold_release.rs Cargo.toml
+
+tests/hold_release.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hold_release-e7195b057a16c4fe.d: tests/hold_release.rs
+
+/root/repo/target/debug/deps/hold_release-e7195b057a16c4fe: tests/hold_release.rs
+
+tests/hold_release.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/malleable-8842a1dd7d0639c7.d: tests/malleable.rs
+
+/root/repo/target/debug/deps/malleable-8842a1dd7d0639c7: tests/malleable.rs
+
+tests/malleable.rs:

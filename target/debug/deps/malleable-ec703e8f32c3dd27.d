@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/malleable-ec703e8f32c3dd27.d: tests/malleable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmalleable-ec703e8f32c3dd27.rmeta: tests/malleable.rs Cargo.toml
+
+tests/malleable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_registry-229f5e2879cbada4.d: tests/metrics_registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_registry-229f5e2879cbada4.rmeta: tests/metrics_registry.rs Cargo.toml
+
+tests/metrics_registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

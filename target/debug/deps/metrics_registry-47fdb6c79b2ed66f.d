@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_registry-47fdb6c79b2ed66f.d: tests/metrics_registry.rs
+
+/root/repo/target/debug/deps/metrics_registry-47fdb6c79b2ed66f: tests/metrics_registry.rs
+
+tests/metrics_registry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-63bd4de0ef8a103a.d: crates/experiments/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-63bd4de0ef8a103a.rmeta: crates/experiments/benches/micro.rs Cargo.toml
+
+crates/experiments/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

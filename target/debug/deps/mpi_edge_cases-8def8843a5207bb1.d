@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_edge_cases-8def8843a5207bb1.d: crates/mpi/tests/mpi_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_edge_cases-8def8843a5207bb1.rmeta: crates/mpi/tests/mpi_edge_cases.rs Cargo.toml
+
+crates/mpi/tests/mpi_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

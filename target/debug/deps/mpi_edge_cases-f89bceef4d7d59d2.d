@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_edge_cases-f89bceef4d7d59d2.d: crates/mpi/tests/mpi_edge_cases.rs
+
+/root/repo/target/debug/deps/mpi_edge_cases-f89bceef4d7d59d2: crates/mpi/tests/mpi_edge_cases.rs
+
+crates/mpi/tests/mpi_edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_scenarios-b58c7d48143e0681.d: crates/mpi/tests/mpi_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_scenarios-b58c7d48143e0681.rmeta: crates/mpi/tests/mpi_scenarios.rs Cargo.toml
+
+crates/mpi/tests/mpi_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

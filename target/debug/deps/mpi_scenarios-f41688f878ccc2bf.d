@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_scenarios-f41688f878ccc2bf.d: crates/mpi/tests/mpi_scenarios.rs
+
+/root/repo/target/debug/deps/mpi_scenarios-f41688f878ccc2bf: crates/mpi/tests/mpi_scenarios.rs
+
+crates/mpi/tests/mpi_scenarios.rs:

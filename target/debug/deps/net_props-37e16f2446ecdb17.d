@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_props-37e16f2446ecdb17.d: crates/net/tests/net_props.rs
+
+/root/repo/target/debug/deps/net_props-37e16f2446ecdb17: crates/net/tests/net_props.rs
+
+crates/net/tests/net_props.rs:

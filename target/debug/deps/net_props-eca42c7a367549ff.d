@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_props-eca42c7a367549ff.d: crates/net/tests/net_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_props-eca42c7a367549ff.rmeta: crates/net/tests/net_props.rs Cargo.toml
+
+crates/net/tests/net_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dcfc02d7c7edd2e2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dcfc02d7c7edd2e2: tests/properties.rs
+
+tests/properties.rs:

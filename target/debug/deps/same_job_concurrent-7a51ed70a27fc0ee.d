@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/same_job_concurrent-7a51ed70a27fc0ee.d: tests/same_job_concurrent.rs
+
+/root/repo/target/debug/deps/same_job_concurrent-7a51ed70a27fc0ee: tests/same_job_concurrent.rs
+
+tests/same_job_concurrent.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/same_job_concurrent-fb1312af496d12f6.d: tests/same_job_concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsame_job_concurrent-fb1312af496d12f6.rmeta: tests/same_job_concurrent.rs Cargo.toml
+
+tests/same_job_concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swf_replay-01ce853c86715fff.d: crates/experiments/src/bin/swf_replay.rs
+
+/root/repo/target/debug/deps/swf_replay-01ce853c86715fff: crates/experiments/src/bin/swf_replay.rs
+
+crates/experiments/src/bin/swf_replay.rs:

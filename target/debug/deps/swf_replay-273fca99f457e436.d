@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swf_replay-273fca99f457e436.d: crates/experiments/src/bin/swf_replay.rs
+
+/root/repo/target/debug/deps/swf_replay-273fca99f457e436: crates/experiments/src/bin/swf_replay.rs
+
+crates/experiments/src/bin/swf_replay.rs:

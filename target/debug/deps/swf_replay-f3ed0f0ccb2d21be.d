@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swf_replay-f3ed0f0ccb2d21be.d: crates/experiments/src/bin/swf_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswf_replay-f3ed0f0ccb2d21be.rmeta: crates/experiments/src/bin/swf_replay.rs Cargo.toml
+
+crates/experiments/src/bin/swf_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walltime-6b1df9bd4216e397.d: tests/walltime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalltime-6b1df9bd4216e397.rmeta: tests/walltime.rs Cargo.toml
+
+tests/walltime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/walltime-7d214cea0395e74b.d: tests/walltime.rs
+
+/root/repo/target/debug/deps/walltime-7d214cea0395e74b: tests/walltime.rs
+
+tests/walltime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workflow_dynamic-c4399b49ae1601da.d: tests/workflow_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow_dynamic-c4399b49ae1601da.rmeta: tests/workflow_dynamic.rs Cargo.toml
+
+tests/workflow_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

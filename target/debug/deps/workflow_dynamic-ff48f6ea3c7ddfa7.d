@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_dynamic-ff48f6ea3c7ddfa7.d: tests/workflow_dynamic.rs
+
+/root/repo/target/debug/deps/workflow_dynamic-ff48f6ea3c7ddfa7: tests/workflow_dynamic.rs
+
+tests/workflow_dynamic.rs:

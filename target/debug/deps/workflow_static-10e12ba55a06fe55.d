@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_static-10e12ba55a06fe55.d: tests/workflow_static.rs
+
+/root/repo/target/debug/deps/workflow_static-10e12ba55a06fe55: tests/workflow_static.rs
+
+tests/workflow_static.rs:

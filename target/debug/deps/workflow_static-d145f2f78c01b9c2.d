@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workflow_static-d145f2f78c01b9c2.d: tests/workflow_static.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow_static-d145f2f78c01b9c2.rmeta: tests/workflow_static.rs Cargo.toml
+
+tests/workflow_static.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workflow_trace-141ab8d9b69e0aa2.d: tests/workflow_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow_trace-141ab8d9b69e0aa2.rmeta: tests/workflow_trace.rs Cargo.toml
+
+tests/workflow_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_trace-8580780ed4f6041d.d: tests/workflow_trace.rs
+
+/root/repo/target/debug/deps/workflow_trace-8580780ed4f6041d: tests/workflow_trace.rs
+
+tests/workflow_trace.rs:

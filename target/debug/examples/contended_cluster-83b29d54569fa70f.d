@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contended_cluster-83b29d54569fa70f.d: examples/contended_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontended_cluster-83b29d54569fa70f.rmeta: examples/contended_cluster.rs Cargo.toml
+
+examples/contended_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

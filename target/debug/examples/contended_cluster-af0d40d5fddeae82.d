@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contended_cluster-af0d40d5fddeae82.d: examples/contended_cluster.rs
+
+/root/repo/target/debug/examples/contended_cluster-af0d40d5fddeae82: examples/contended_cluster.rs
+
+examples/contended_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_scaling-6b6c7ac14d74fe37.d: examples/dynamic_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_scaling-6b6c7ac14d74fe37.rmeta: examples/dynamic_scaling.rs Cargo.toml
+
+examples/dynamic_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_scaling-6f3bd27f3fe9ac83.d: examples/dynamic_scaling.rs
+
+/root/repo/target/debug/examples/dynamic_scaling-6f3bd27f3fe9ac83: examples/dynamic_scaling.rs
+
+examples/dynamic_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heat_stencil-5603717a25f9b970.d: examples/heat_stencil.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheat_stencil-5603717a25f9b970.rmeta: examples/heat_stencil.rs Cargo.toml
+
+examples/heat_stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_stencil-5c7a2e68abf5a740.d: examples/heat_stencil.rs
+
+/root/repo/target/debug/examples/heat_stencil-5c7a2e68abf5a740: examples/heat_stencil.rs
+
+examples/heat_stencil.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/malleable_mpi-8086b500a28b489a.d: examples/malleable_mpi.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmalleable_mpi-8086b500a28b489a.rmeta: examples/malleable_mpi.rs Cargo.toml
+
+examples/malleable_mpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/malleable_mpi-ff24bd50f8661233.d: examples/malleable_mpi.rs
+
+/root/repo/target/debug/examples/malleable_mpi-ff24bd50f8661233: examples/malleable_mpi.rs
+
+examples/malleable_mpi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_offload-5a8834da6ddc7237.d: examples/matmul_offload.rs
+
+/root/repo/target/debug/examples/matmul_offload-5a8834da6ddc7237: examples/matmul_offload.rs
+
+examples/matmul_offload.rs:

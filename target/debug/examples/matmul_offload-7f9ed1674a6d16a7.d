@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_offload-7f9ed1674a6d16a7.d: examples/matmul_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_offload-7f9ed1674a6d16a7.rmeta: examples/matmul_offload.rs Cargo.toml
+
+examples/matmul_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

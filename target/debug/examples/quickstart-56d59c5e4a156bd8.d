@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-56d59c5e4a156bd8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-56d59c5e4a156bd8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/darms-fc50da4423fe73e7.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+/root/repo/target/release/deps/libdarms-fc50da4423fe73e7.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+/root/repo/target/release/deps/libdarms-fc50da4423fe73e7.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:

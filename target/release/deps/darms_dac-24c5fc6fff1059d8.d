@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/darms_dac-24c5fc6fff1059d8.d: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+/root/repo/target/release/deps/libdarms_dac-24c5fc6fff1059d8.rlib: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+/root/repo/target/release/deps/libdarms_dac-24c5fc6fff1059d8.rmeta: crates/dac/src/lib.rs crates/dac/src/collective.rs crates/dac/src/cost.rs crates/dac/src/device.rs crates/dac/src/frontend.rs crates/dac/src/kernel.rs crates/dac/src/runtime.rs crates/dac/src/starter.rs
+
+crates/dac/src/lib.rs:
+crates/dac/src/collective.rs:
+crates/dac/src/cost.rs:
+crates/dac/src/device.rs:
+crates/dac/src/frontend.rs:
+crates/dac/src/kernel.rs:
+crates/dac/src/runtime.rs:
+crates/dac/src/starter.rs:

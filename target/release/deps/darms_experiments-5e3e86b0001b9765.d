@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/darms_experiments-5e3e86b0001b9765.d: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libdarms_experiments-5e3e86b0001b9765.rlib: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+/root/repo/target/release/deps/libdarms_experiments-5e3e86b0001b9765.rmeta: crates/experiments/src/lib.rs crates/experiments/src/extended.rs crates/experiments/src/figures.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/extended.rs:
+crates/experiments/src/figures.rs:

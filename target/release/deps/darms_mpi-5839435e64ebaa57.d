@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/darms_mpi-5839435e64ebaa57.d: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+/root/repo/target/release/deps/libdarms_mpi-5839435e64ebaa57.rlib: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+/root/repo/target/release/deps/libdarms_mpi-5839435e64ebaa57.rmeta: crates/mpi/src/lib.rs crates/mpi/src/collectives.rs crates/mpi/src/cost.rs crates/mpi/src/dpm.rs crates/mpi/src/proc.rs crates/mpi/src/runtime.rs crates/mpi/src/types.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/collectives.rs:
+crates/mpi/src/cost.rs:
+crates/mpi/src/dpm.rs:
+crates/mpi/src/proc.rs:
+crates/mpi/src/runtime.rs:
+crates/mpi/src/types.rs:

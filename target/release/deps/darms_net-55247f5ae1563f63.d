@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/darms_net-55247f5ae1563f63.d: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+/root/repo/target/release/deps/libdarms_net-55247f5ae1563f63.rlib: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+/root/repo/target/release/deps/libdarms_net-55247f5ae1563f63.rmeta: crates/net/src/lib.rs crates/net/src/host.rs crates/net/src/latency.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/host.rs:
+crates/net/src/latency.rs:
+crates/net/src/network.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/darms_repro-a5deca064a81f731.d: src/lib.rs
+
+/root/repo/target/release/deps/libdarms_repro-a5deca064a81f731.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdarms_repro-a5deca064a81f731.rmeta: src/lib.rs
+
+src/lib.rs:

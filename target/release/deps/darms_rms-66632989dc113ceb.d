@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/darms_rms-66632989dc113ceb.d: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+/root/repo/target/release/deps/libdarms_rms-66632989dc113ceb.rlib: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+/root/repo/target/release/deps/libdarms_rms-66632989dc113ceb.rmeta: crates/rms/src/lib.rs crates/rms/src/cost.rs crates/rms/src/fs.rs crates/rms/src/ifl.rs crates/rms/src/job.rs crates/rms/src/mom.rs crates/rms/src/monitor.rs crates/rms/src/nodes.rs crates/rms/src/proto.rs crates/rms/src/server.rs
+
+crates/rms/src/lib.rs:
+crates/rms/src/cost.rs:
+crates/rms/src/fs.rs:
+crates/rms/src/ifl.rs:
+crates/rms/src/job.rs:
+crates/rms/src/mom.rs:
+crates/rms/src/monitor.rs:
+crates/rms/src/nodes.rs:
+crates/rms/src/proto.rs:
+crates/rms/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/darms_sched-bb97a37ccac8785b.d: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdarms_sched-bb97a37ccac8785b.rlib: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libdarms_sched-bb97a37ccac8785b.rmeta: crates/sched/src/lib.rs crates/sched/src/alloc.rs crates/sched/src/backfill.rs crates/sched/src/fairshare.rs crates/sched/src/priority.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/alloc.rs:
+crates/sched/src/backfill.rs:
+crates/sched/src/fairshare.rs:
+crates/sched/src/priority.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/darms_sim-8ed1a42357db41ef.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdarms_sim-8ed1a42357db41ef.rlib: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdarms_sim-8ed1a42357db41ef.rmeta: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/engine.rs crates/sim/src/envelope.rs crates/sim/src/export.rs crates/sim/src/kernel.rs crates/sim/src/metrics.rs crates/sim/src/process.rs crates/sim/src/recorder.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/envelope.rs:
+crates/sim/src/export.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/process.rs:
+crates/sim/src/recorder.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

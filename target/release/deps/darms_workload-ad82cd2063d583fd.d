@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/darms_workload-ad82cd2063d583fd.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libdarms_workload-ad82cd2063d583fd.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libdarms_workload-ad82cd2063d583fd.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/metrics.rs crates/workload/src/swf.rs crates/workload/src/table.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/metrics.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/table.rs:
+crates/workload/src/trace.rs:

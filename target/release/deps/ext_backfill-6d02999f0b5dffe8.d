@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_backfill-6d02999f0b5dffe8.d: crates/experiments/src/bin/ext_backfill.rs
+
+/root/repo/target/release/deps/ext_backfill-6d02999f0b5dffe8: crates/experiments/src/bin/ext_backfill.rs
+
+crates/experiments/src/bin/ext_backfill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_collective-2df6161d042dfc25.d: crates/experiments/src/bin/ext_collective.rs
+
+/root/repo/target/release/deps/ext_collective-2df6161d042dfc25: crates/experiments/src/bin/ext_collective.rs
+
+crates/experiments/src/bin/ext_collective.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_fairness-16a3ac7ff8eacfa8.d: crates/experiments/src/bin/ext_fairness.rs
+
+/root/repo/target/release/deps/ext_fairness-16a3ac7ff8eacfa8: crates/experiments/src/bin/ext_fairness.rs
+
+crates/experiments/src/bin/ext_fairness.rs:

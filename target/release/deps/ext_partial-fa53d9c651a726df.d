@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_partial-fa53d9c651a726df.d: crates/experiments/src/bin/ext_partial.rs
+
+/root/repo/target/release/deps/ext_partial-fa53d9c651a726df: crates/experiments/src/bin/ext_partial.rs
+
+crates/experiments/src/bin/ext_partial.rs:

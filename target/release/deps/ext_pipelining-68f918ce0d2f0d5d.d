@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pipelining-68f918ce0d2f0d5d.d: crates/experiments/src/bin/ext_pipelining.rs
+
+/root/repo/target/release/deps/ext_pipelining-68f918ce0d2f0d5d: crates/experiments/src/bin/ext_pipelining.rs
+
+crates/experiments/src/bin/ext_pipelining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_queue_wait-4eae57291dd9c2dc.d: crates/experiments/src/bin/ext_queue_wait.rs
+
+/root/repo/target/release/deps/ext_queue_wait-4eae57291dd9c2dc: crates/experiments/src/bin/ext_queue_wait.rs
+
+crates/experiments/src/bin/ext_queue_wait.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_rejection-da8ac1bc189ed101.d: crates/experiments/src/bin/ext_rejection.rs
+
+/root/repo/target/release/deps/ext_rejection-da8ac1bc189ed101: crates/experiments/src/bin/ext_rejection.rs
+
+crates/experiments/src/bin/ext_rejection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_static_vs_dynamic-9abaab7c4e066aa9.d: crates/experiments/src/bin/ext_static_vs_dynamic.rs
+
+/root/repo/target/release/deps/ext_static_vs_dynamic-9abaab7c4e066aa9: crates/experiments/src/bin/ext_static_vs_dynamic.rs
+
+crates/experiments/src/bin/ext_static_vs_dynamic.rs:

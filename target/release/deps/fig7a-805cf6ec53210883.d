@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7a-805cf6ec53210883.d: crates/experiments/src/bin/fig7a.rs
+
+/root/repo/target/release/deps/fig7a-805cf6ec53210883: crates/experiments/src/bin/fig7a.rs
+
+crates/experiments/src/bin/fig7a.rs:

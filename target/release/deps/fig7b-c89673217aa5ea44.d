@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7b-c89673217aa5ea44.d: crates/experiments/src/bin/fig7b.rs
+
+/root/repo/target/release/deps/fig7b-c89673217aa5ea44: crates/experiments/src/bin/fig7b.rs
+
+crates/experiments/src/bin/fig7b.rs:

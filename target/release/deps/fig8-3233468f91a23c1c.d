@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-3233468f91a23c1c.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-3233468f91a23c1c: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-7397e0bc860cd047.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-7397e0bc860cd047: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gantt-49b12d57ca9cd145.d: crates/experiments/src/bin/gantt.rs
+
+/root/repo/target/release/deps/gantt-49b12d57ca9cd145: crates/experiments/src/bin/gantt.rs
+
+crates/experiments/src/bin/gantt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-59c1d4fd068b3082.d: crates/experiments/benches/micro.rs
+
+/root/repo/target/release/deps/micro-59c1d4fd068b3082: crates/experiments/benches/micro.rs
+
+crates/experiments/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/swf_replay-82e6625ccebb47f6.d: crates/experiments/src/bin/swf_replay.rs
+
+/root/repo/target/release/deps/swf_replay-82e6625ccebb47f6: crates/experiments/src/bin/swf_replay.rs
+
+crates/experiments/src/bin/swf_replay.rs:

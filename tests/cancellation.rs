@@ -58,8 +58,10 @@ fn qdel_of_running_synthetic_job_stops_it_early_and_frees_nodes() {
         stats.end_time
     );
     let started = follow_started.lock().unwrap();
-    assert!(started > SimTime::ZERO + secs(5) && started < SimTime::ZERO + secs(60),
-        "freed node let the next job run at {started}");
+    assert!(
+        started > SimTime::ZERO + secs(5) && started < SimTime::ZERO + secs(60),
+        "freed node let the next job run at {started}"
+    );
 }
 
 #[test]

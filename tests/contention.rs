@@ -91,10 +91,7 @@ fn too_long_jobs_do_not_backfill_past_the_reservation() {
     assert_eq!(stats.process_panics, 0);
     let v = log.lock().clone();
     let find = |n: &str| v.iter().find(|(name, _)| name == n).map(|(_, t)| *t).unwrap();
-    assert!(
-        find("long") >= find("wide"),
-        "long job must not delay the reservation: {v:?}"
-    );
+    assert!(find("long") >= find("wide"), "long job must not delay the reservation: {v:?}");
 }
 
 #[test]
@@ -144,39 +141,30 @@ fn fifo_vs_priority_ordering_under_load() {
     // one once heavy is running work.
     use darms_sched::PriorityWeights;
     let mut sched = SchedConfig::instant();
-    sched.policy = Policy::Priority(PriorityWeights {
-        queue_time: 1.0,
-        xfactor: 0.0,
-        fairshare: 1_000_000.0,
-    });
+    sched.policy =
+        Policy::Priority(PriorityWeights { queue_time: 1.0, xfactor: 0.0, fairshare: 1_000_000.0 });
     let mut cluster = Cluster::build(ClusterConfig::fast(36).with_split(1, 0).with_sched(sched));
     let log = Arc::new(Mutex::new(Vec::new()));
 
     // heavy occupies the node first.
     let l = log.clone();
-    let spec = JobSpec::synthetic("heavy-1", secs(30))
-        .owner("heavy")
-        .ppn(8)
-        .script(script(move |jc| {
+    let spec =
+        JobSpec::synthetic("heavy-1", secs(30)).owner("heavy").ppn(8).script(script(move |jc| {
             l.lock().push(("heavy-1", jc.proc.now()));
             jc.proc.sleep(secs(30));
         }));
     cluster.qsub(spec);
     // Then heavy submits another, followed by light.
     let l = log.clone();
-    let spec = JobSpec::synthetic("heavy-2", secs(5))
-        .owner("heavy")
-        .ppn(8)
-        .script(script(move |jc| {
+    let spec =
+        JobSpec::synthetic("heavy-2", secs(5)).owner("heavy").ppn(8).script(script(move |jc| {
             l.lock().push(("heavy-2", jc.proc.now()));
             jc.proc.sleep(secs(5));
         }));
     cluster.qsub_after(secs(1), spec);
     let l = log.clone();
-    let spec = JobSpec::synthetic("light-1", secs(5))
-        .owner("light")
-        .ppn(8)
-        .script(script(move |jc| {
+    let spec =
+        JobSpec::synthetic("light-1", secs(5)).owner("light").ppn(8).script(script(move |jc| {
             l.lock().push(("light-1", jc.proc.now()));
             jc.proc.sleep(secs(5));
         }));
@@ -197,15 +185,14 @@ fn full_pool_request_proves_everything_was_freed() {
     let dac = cluster.dac.clone();
     for i in 0..4 {
         let d = dac.clone();
-        let spec = JobSpec::synthetic(format!("churn{i}"), secs(3)).acpn(1).script(script(
-            move |jc| {
+        let spec =
+            JobSpec::synthetic(format!("churn{i}"), secs(3)).acpn(1).script(script(move |jc| {
                 let (mut ses, _) = AcSession::init(jc, &d, None);
                 if let Ok(set) = ses.ac_get(1) {
                     ses.ac_free(&set).unwrap();
                 }
                 ses.finalize();
-            },
-        ));
+            }));
         cluster.qsub_after(secs(i), spec);
     }
     let done = Arc::new(Mutex::new(false));

@@ -8,15 +8,15 @@ use darms::prelude::*;
 use parking_lot::Mutex;
 
 fn scenario(seed: u64) -> (Vec<(u64, String, String)>, Vec<f64>) {
-    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 4).with_trace());
+    let mut cluster =
+        Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 4).with_trace());
     let dac = cluster.dac.clone();
     let lat = Arc::new(Mutex::new(Vec::new()));
     for i in 0..2 {
         let d = dac.clone();
         let l = lat.clone();
-        let spec = JobSpec::synthetic(format!("j{i}"), SimDuration::from_secs(2))
-            .acpn(1)
-            .script(script(move |jc| {
+        let spec = JobSpec::synthetic(format!("j{i}"), SimDuration::from_secs(2)).acpn(1).script(
+            script(move |jc| {
                 let (mut ses, handles) = AcSession::init(jc, &d, None);
                 let h = handles[0];
                 let p = ses.mem_alloc(h, 64).unwrap();
@@ -27,7 +27,8 @@ fn scenario(seed: u64) -> (Vec<(u64, String, String)>, Vec<f64>) {
                 }
                 l.lock().push((jc.proc.now() - t0).as_secs_f64());
                 ses.finalize();
-            }));
+            }),
+        );
         cluster.qsub_after(SimDuration::from_millis(10 * i), spec);
     }
     let stats = cluster.run();
@@ -40,6 +41,58 @@ fn scenario(seed: u64) -> (Vec<(u64, String, String)>, Vec<f64>) {
         .collect();
     let lat = lat.lock().clone();
     (trace, lat)
+}
+
+/// Run a small traced scenario and serialize the structured event
+/// stream with both exporters.
+fn scenario_serialized(seed: u64) -> (String, String) {
+    let mut cluster =
+        Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 2).with_trace());
+    let dac = cluster.dac.clone();
+    let spec =
+        JobSpec::synthetic("traced", SimDuration::from_secs(1)).acpn(1).script(script(move |jc| {
+            let (mut ses, handles) = AcSession::init(jc, &dac, None);
+            let h = handles[0];
+            let p = ses.mem_alloc(h, 32).unwrap();
+            ses.mem_write(h, p, vec![1u8; 32]).unwrap();
+            if let Ok(set) = ses.ac_get(1) {
+                ses.ac_free(&set).unwrap();
+            }
+            ses.finalize();
+        }));
+    cluster.qsub(spec);
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let events = cluster.sim.take_events();
+    assert!(!events.is_empty(), "tracing was enabled");
+    (to_json_lines(&events), to_chrome_trace(&events))
+}
+
+#[test]
+fn same_seed_byte_identical_serialized_trace() {
+    let (jl1, ct1) = scenario_serialized(99);
+    let (jl2, ct2) = scenario_serialized(99);
+    assert_eq!(jl1, jl2, "JSON-lines export must be byte-identical");
+    assert_eq!(ct1, ct2, "Chrome trace export must be byte-identical");
+}
+
+#[test]
+fn different_seed_different_serialized_trace() {
+    let (jl1, _) = scenario_serialized(5);
+    let (jl2, _) = scenario_serialized(6);
+    assert_ne!(jl1, jl2, "seeded jitter must show up in the event stream");
+}
+
+#[test]
+fn chrome_trace_is_wellformed() {
+    let (_, ct) = scenario_serialized(42);
+    assert!(ct.starts_with("{\"traceEvents\":["));
+    assert!(ct.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    assert!(ct.contains("\"thread_name\""), "lane metadata present");
+    // Balanced span edges: every B has a matching E.
+    let begins = ct.matches("\"ph\":\"B\"").count();
+    let ends = ct.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "span begin/end balance");
 }
 
 #[test]

@@ -16,8 +16,8 @@ fn run(seed: u64, double_buffered: bool) -> f64 {
     let dac = cluster.dac.clone();
     let elapsed = Arc::new(Mutex::new(0.0));
     let out = elapsed.clone();
-    let spec = JobSpec::synthetic("db", SimDuration::from_secs(60)).acpn(1).script(script(
-        move |jc| {
+    let spec =
+        JobSpec::synthetic("db", SimDuration::from_secs(60)).acpn(1).script(script(move |jc| {
             let (mut ses, handles) = AcSession::init(jc, &dac, None);
             let h = handles[0];
             let n = (CHUNK / 8) as u64; // f64 elements per chunk
@@ -42,7 +42,11 @@ fn run(seed: u64, double_buffered: bool) -> f64 {
                     ses.kernel_run(
                         h,
                         "scale",
-                        KernelArgs::new(64, 256, vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)]),
+                        KernelArgs::new(
+                            64,
+                            256,
+                            vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
+                        ),
                     )
                     .unwrap();
                 }
@@ -52,15 +56,18 @@ fn run(seed: u64, double_buffered: bool) -> f64 {
                     ses.kernel_run(
                         h,
                         "scale",
-                        KernelArgs::new(64, 256, vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)]),
+                        KernelArgs::new(
+                            64,
+                            256,
+                            vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
+                        ),
                     )
                     .unwrap();
                 }
             }
             *out.lock() = (jc.proc.now() - t0).as_secs_f64();
             ses.finalize();
-        },
-    ));
+        }));
     cluster.qsub(spec);
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -87,8 +94,8 @@ fn interleaved_async_ops_route_replies_correctly() {
     let dac = cluster.dac.clone();
     let ok = Arc::new(Mutex::new(false));
     let out = ok.clone();
-    let spec = JobSpec::synthetic("interleave", SimDuration::from_secs(10)).acpn(2).script(
-        script(move |jc| {
+    let spec = JobSpec::synthetic("interleave", SimDuration::from_secs(10)).acpn(2).script(script(
+        move |jc| {
             let (mut ses, handles) = AcSession::init(jc, &dac, None);
             let (h0, h1) = (handles[0], handles[1]);
             let p0 = ses.mem_alloc(h0, 64).unwrap();
@@ -103,12 +110,18 @@ fn interleaved_async_ops_route_replies_correctly() {
             ses.op_wait(c).unwrap();
             ses.op_wait(b).unwrap();
             // Both devices hold the interleaved contents.
-            assert_eq!(ses.mem_read_at(h0, p0, 0, 32).unwrap(), [vec![1u8; 16], vec![2u8; 16]].concat());
-            assert_eq!(ses.mem_read_at(h1, p1, 0, 32).unwrap(), [vec![3u8; 16], vec![4u8; 16]].concat());
+            assert_eq!(
+                ses.mem_read_at(h0, p0, 0, 32).unwrap(),
+                [vec![1u8; 16], vec![2u8; 16]].concat()
+            );
+            assert_eq!(
+                ses.mem_read_at(h1, p1, 0, 32).unwrap(),
+                [vec![3u8; 16], vec![4u8; 16]].concat()
+            );
             *out.lock() = true;
             ses.finalize();
-        }),
-    );
+        },
+    ));
     cluster.qsub(spec);
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);

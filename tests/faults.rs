@@ -42,9 +42,8 @@ fn partial_grant_when_pool_is_short() {
 #[test]
 fn monitor_marks_dead_node_offline_and_scheduler_avoids_it() {
     let horizon = SimTime::ZERO + secs(300);
-    let config = ClusterConfig::fast(71)
-        .with_split(1, 2)
-        .with_monitor(MonitorConfig::default(), horizon);
+    let config =
+        ClusterConfig::fast(71).with_split(1, 2).with_monitor(MonitorConfig::default(), horizon);
     let mut cluster = Cluster::build(config);
     let net = cluster.net.clone();
     let dac = cluster.dac.clone();
@@ -62,24 +61,25 @@ fn monitor_marks_dead_node_offline_and_scheduler_avoids_it() {
     // it must receive the survivor, never the dead node.
     let got = Arc::new(Mutex::new(None));
     let out = got.clone();
-    let spec = JobSpec::synthetic("careful", secs(40)).walltime(secs(120)).script(script(move |jc| {
-        let target = SimTime::ZERO + secs(30);
-        let now = jc.proc.now();
-        if target > now {
-            jc.proc.sleep(target - now);
-        }
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        match ses.ac_get(1) {
-            Ok(set) => {
-                *out.lock() = Some("granted");
-                ses.ac_free(&set).unwrap();
+    let spec =
+        JobSpec::synthetic("careful", secs(40)).walltime(secs(120)).script(script(move |jc| {
+            let target = SimTime::ZERO + secs(30);
+            let now = jc.proc.now();
+            if target > now {
+                jc.proc.sleep(target - now);
             }
-            Err(_) => *out.lock() = Some("rejected"),
-        }
-        // Asking for two must fail: only one healthy accelerator remains.
-        assert!(matches!(ses.ac_get(2), Err(DacError::Rejected(_))));
-        ses.finalize();
-    }));
+            let (mut ses, _) = AcSession::init(jc, &dac, None);
+            match ses.ac_get(1) {
+                Ok(set) => {
+                    *out.lock() = Some("granted");
+                    ses.ac_free(&set).unwrap();
+                }
+                Err(_) => *out.lock() = Some("rejected"),
+            }
+            // Asking for two must fail: only one healthy accelerator remains.
+            assert!(matches!(ses.ac_get(2), Err(DacError::Rejected(_))));
+            ses.finalize();
+        }));
     cluster.qsub(spec);
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -138,9 +138,8 @@ fn requests_to_dead_daemon_time_out_and_release_does_not_wedge() {
 #[test]
 fn recovered_node_returns_to_service() {
     let horizon = SimTime::ZERO + secs(400);
-    let config = ClusterConfig::fast(73)
-        .with_split(1, 1)
-        .with_monitor(MonitorConfig::default(), horizon);
+    let config =
+        ClusterConfig::fast(73).with_split(1, 1).with_monitor(MonitorConfig::default(), horizon);
     let mut cluster = Cluster::build(config);
     let net = cluster.net.clone();
     let dac = cluster.dac.clone();

@@ -90,8 +90,7 @@ fn group_reduction_works_on_dynamic_set() {
         move |jc| {
             let (mut ses, statics) = AcSession::init(jc, &dac, None);
             let set = ses.ac_get(2).expect("two free");
-            let all: Vec<AcHandle> =
-                statics.iter().chain(set.handles.iter()).copied().collect();
+            let all: Vec<AcHandle> = statics.iter().chain(set.handles.iter()).copied().collect();
             let mut parts = Vec::new();
             for &h in &all {
                 let p = ses.mem_alloc(h, 16).unwrap();

@@ -42,7 +42,7 @@ fn same_job_individual_requests_serialise_but_both_succeed() {
     assert_eq!(stats.process_panics, 0);
 
     let mut v = log.lock().clone();
-    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v.sort_by_key(|e| e.0);
     assert_eq!(v.len(), 2, "both compute nodes got their accelerators");
     // Individual requests yield distinct set handles (unlike the
     // collective call's shared client-id).

@@ -45,8 +45,12 @@ fn ac_get_grants_and_new_accelerators_compute() {
         let h = statics[0];
         let x = ses.mem_alloc(h, 16).unwrap();
         ses.mem_write(h, x, f64s_to_bytes(&[2.0, 3.0])).unwrap();
-        ses.kernel_run(h, "scale", KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::U64(2), Param::F64(10.0)]))
-            .unwrap();
+        ses.kernel_run(
+            h,
+            "scale",
+            KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::U64(2), Param::F64(10.0)]),
+        )
+        .unwrap();
         out.lock().push(as_f64s(&ses.mem_read(h, x, 16).unwrap())[1]);
         ses.finalize();
     }));
@@ -204,6 +208,38 @@ fn serial_dynamic_servicing_produces_staircase() {
     assert!(lat[2] > lat[1] * 1.15, "staircase: {lat:?}");
     // And everything stays sub-second-ish as the paper reports.
     assert!(lat[2] < 3.0, "absolute scale: {lat:?}");
+
+    // The registry publishes the same Fig. 8 quantity this test derives
+    // by hand: `rms.dyn_wait` spans pbs_dynget arrival → final response.
+    // Each client latency adds a per-request constant on top (the MPI
+    // spawn/merge phase plus two network legs), so the hand-derived
+    // values must exceed the registry's by a near-constant offset and
+    // the staircase *steps* must agree.
+    let h = cluster.metrics.histogram("rms.dyn_wait").expect("server is instrumented");
+    assert_eq!(h.count, 3, "one wait sample per AC_Get");
+    let mut waits = cluster.metrics.histogram_samples("rms.dyn_wait");
+    waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(waits[0] < waits[1] && waits[1] < waits[2], "registry staircase: {waits:?}");
+    let offsets: Vec<f64> = waits.iter().zip(lat.iter()).map(|(w, l)| l - w).collect();
+    for (i, off) in offsets.iter().enumerate() {
+        assert!(*off > 0.0, "request {i}: registry wait exceeds the client latency");
+    }
+    let spread = offsets.iter().cloned().fold(f64::MIN, f64::max)
+        - offsets.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.05, "join overhead is per-request constant: {offsets:?}");
+    for i in 0..2 {
+        let step_reg = waits[i + 1] - waits[i];
+        let step_hand = lat[i + 1] - lat[i];
+        assert!(
+            (step_reg - step_hand).abs() < 0.05,
+            "step {i}: registry {step_reg} vs hand-derived {step_hand}"
+        );
+    }
+    // The scheduler-side component (`sched.dyn_wait`, the light region
+    // of Fig. 8) resolved each request exactly once as well.
+    let sched = cluster.metrics.histogram("sched.dyn_wait").expect("scheduler is instrumented");
+    assert_eq!(sched.count, 3, "one scheduler decision per request");
+    assert!(sched.max <= h.max, "scheduler wait is a component of the full wait");
 }
 
 #[test]

@@ -33,7 +33,11 @@ fn single_cn_static_allocation_runs_and_computes() {
             ses.kernel_run(
                 h,
                 "saxpy",
-                KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(scale)]),
+                KernelArgs::new(
+                    1,
+                    2,
+                    vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(scale)],
+                ),
             )
             .unwrap();
             let r = as_f64s(&ses.mem_read(h, y, 16).unwrap());
@@ -152,10 +156,11 @@ fn cpu_only_jobs_share_compute_node_cores() {
     let starts = Arc::new(Mutex::new(Vec::new()));
     for i in 0..3 {
         let s = starts.clone();
-        let spec = JobSpec::synthetic(format!("cpu{i}"), secs(5)).ppn(4).script(script(move |jc| {
-            s.lock().push(jc.proc.now());
-            jc.proc.sleep(secs(5));
-        }));
+        let spec =
+            JobSpec::synthetic(format!("cpu{i}"), secs(5)).ppn(4).script(script(move |jc| {
+                s.lock().push(jc.proc.now());
+                jc.proc.sleep(secs(5));
+            }));
         cluster.qsub(spec);
     }
     let stats = cluster.run();

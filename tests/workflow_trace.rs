@@ -5,7 +5,6 @@
 //! Fig. 6 (dynamic): AC_Get → dynqueued servicing → scheduler grant →
 //! DYNJOIN → client-id reply → spawn/merge; then release and exit.
 
-
 use darms::prelude::*;
 
 fn position(trace: &[(f64, String, String)], needle: &str) -> usize {
@@ -20,8 +19,8 @@ fn static_and_dynamic_workflow_event_order() {
     let mut cluster =
         Cluster::build(ClusterConfig::paper_testbed(99).with_split(1, 4).with_trace());
     let dac = cluster.dac.clone();
-    let spec = JobSpec::synthetic("flow", SimDuration::from_secs(5)).acpn(1).script(script(
-        move |jc| {
+    let spec =
+        JobSpec::synthetic("flow", SimDuration::from_secs(5)).acpn(1).script(script(move |jc| {
             let (mut ses, _) = AcSession::init(jc, &dac, None);
             let set = ses.ac_get(2).expect("pool has 3 free");
             ses.ac_free(&set).unwrap();
@@ -30,8 +29,7 @@ fn static_and_dynamic_workflow_event_order() {
             // (AC_Free itself returns immediately, §III-D).
             jc.proc.sleep(SimDuration::from_secs(1));
             ses.finalize();
-        },
-    ));
+        }));
     cluster.qsub(spec);
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -50,8 +48,10 @@ fn static_and_dynamic_workflow_event_order() {
     let ms = position(&trace, "job1 -> mother superior");
     let join = position(&trace, "job1: mother superior, 1 sister(s)");
     let daemons = position(&trace, "starting 1 accelerator daemon(s)");
-    assert!(queued < sched && sched < ms && ms < join && join < daemons,
-        "static workflow order violated: {queued} {sched} {ms} {join} {daemons}");
+    assert!(
+        queued < sched && sched < ms && ms < join && join < daemons,
+        "static workflow order violated: {queued} {sched} {ms} {join} {daemons}"
+    );
 
     // Fig. 6 order: servicing -> scheduler grant -> DYNJOIN -> client-id.
     let servicing = position(&trace, "servicing dynamic request of job1");
@@ -59,15 +59,19 @@ fn static_and_dynamic_workflow_event_order() {
     let dynjoin = position(&trace, "job1: DYNJOIN of 2 host(s)");
     let client_id = position(&trace, "job1 granted 2 accelerator(s) as client1");
     assert!(daemons < servicing, "dynamic phase after static start");
-    assert!(servicing < dyn_grant && dyn_grant < dynjoin && dynjoin < client_id,
-        "dynamic workflow order violated: {servicing} {dyn_grant} {dynjoin} {client_id}");
+    assert!(
+        servicing < dyn_grant && dyn_grant < dynjoin && dynjoin < client_id,
+        "dynamic workflow order violated: {servicing} {dyn_grant} {dynjoin} {client_id}"
+    );
 
     // Release and exit close the cycle.
     let released = position(&trace, "job1 released set client1");
     let done = position(&trace, "job1: all tasks done");
     let complete = position(&trace, "job1 complete");
-    assert!(client_id < released && released < done && done < complete,
-        "teardown order violated: {client_id} {released} {done} {complete}");
+    assert!(
+        client_id < released && released < done && done < complete,
+        "teardown order violated: {client_id} {released} {done} {complete}"
+    );
 
     // The trace carries wall-clock-ordered timestamps throughout.
     for w in trace.windows(2) {

@@ -1,0 +1,251 @@
+//! A minimal, dependency-free stand-in for the subset of the
+//! `criterion` benchmarking API this workspace uses, so the build is
+//! hermetic (no registry access required).
+//!
+//! Behavior:
+//!
+//! - `cargo bench` (cargo passes `--bench`): each benchmark is warmed
+//!   up once, then timed for `sample_size` samples; mean/min/max wall
+//!   time per iteration is printed in a criterion-like line format.
+//! - `cargo test` (cargo passes `--test`, or no mode flag): each
+//!   benchmark body runs exactly once as a smoke test, keeping the
+//!   test suite fast while still compiling and exercising bench code.
+//! - No plotting, no statistical regression analysis, no output files.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timing runs (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test`).
+    Smoke,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables with `--bench`; test runs of
+        // harness-less bench targets pass `--test` or nothing useful.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion { mode: if bench { Mode::Bench } else { Mode::Smoke }, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) criterion CLI configuration; the mode is
+    /// already derived from the cargo-provided `--bench`/`--test` flag.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self.mode, name, self.default_sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        run_one(self.parent.mode, &label, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labeled by `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        run_one(self.parent.mode, &label, samples, &mut f);
+        self
+    }
+
+    /// End the group (upstream emits summary reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark data point.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identify by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Identify by parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated per-sample durations (bench mode).
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once in smoke mode or
+    /// `sample_size` times (after one warmup) in bench mode.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Bench => {
+                black_box(routine()); // warmup
+                for _ in 0..self.requested {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t0.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_one(mode: Mode, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mode, samples: Vec::new(), requested: samples.max(1) };
+    f(&mut b);
+    match mode {
+        Mode::Smoke => println!("bench {label}: ok (smoke: 1 iteration)"),
+        Mode::Bench => {
+            if b.samples.is_empty() {
+                println!("bench {label}: no samples (b.iter never called)");
+                return;
+            }
+            let total: Duration = b.samples.iter().sum();
+            let mean = total / b.samples.len() as u32;
+            let min = b.samples.iter().min().copied().unwrap_or_default();
+            let max = b.samples.iter().max().copied().unwrap_or_default();
+            println!(
+                "bench {label}: time [{} {} {}] ({} samples)",
+                fmt_dur(min),
+                fmt_dur(mean),
+                fmt_dur(max),
+                b.samples.len()
+            );
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher { mode: Mode::Smoke, samples: Vec::new(), requested: 10 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut calls = 0;
+        let mut b = Bencher { mode: Mode::Bench, samples: Vec::new(), requested: 4 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5, "warmup + 4 samples");
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+        assert_eq!(BenchmarkId::new("vector_add", 1024).to_string(), "vector_add/1024");
+    }
+}

@@ -1,0 +1,362 @@
+//! A minimal, dependency-free stand-in for the subset of the
+//! `proptest` crate API this workspace uses, so the build is hermetic
+//! (no registry access required).
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - Case generation is seeded deterministically per test (stable
+//!   across runs and machines) instead of from OS entropy, so CI
+//!   results are reproducible.
+//! - No shrinking: on failure the *unshrunk* input is printed and the
+//!   panic is re-raised. The input values are echoed via `Debug`, which
+//!   upstream requires of strategy values anyway.
+//! - `prop_assert!`/`prop_assert_eq!` panic like their `assert!`
+//!   counterparts rather than returning `Err`, which is equivalent
+//!   under this runner.
+
+/// Test-runner configuration and entry points.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runner configuration. Only `cases` is interpreted; the other
+    /// fields exist so upstream-style struct literals
+    /// (`ProptestConfig { cases: N, ..ProptestConfig::default() }`)
+    /// keep compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; ignored.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Drive `body` over `cases` generated inputs. On panic, echo the
+    /// failing input (unshrunk) and re-raise.
+    pub fn run_cases<S: Strategy>(config: &ProptestConfig, strategy: &S, body: impl Fn(S::Value)) {
+        for case in 0..config.cases {
+            // Stable per-case seed: reproducible runs, distinct cases.
+            let mut rng = super::rng::Rng::new(
+                0xa076_1d64_78bd_642f ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| body(value))) {
+                eprintln!(
+                    "proptest: case {}/{} failed with input: {shown}",
+                    case + 1,
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Minimal SplitMix64 generator used for case generation.
+pub(crate) mod rng {
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Self {
+            Rng(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::rng::Rng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Box the strategy (API-compatibility helper).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    start + rng.below((end - start) as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::rng::Rng;
+    use super::strategy::Strategy;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface used by tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!({ $crate::test_runner::ProptestConfig::default() } $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ({ $config:expr }
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(&__config, &__strategy, |__values| {
+                    #[allow(unused_mut, unused_parens)]
+                    let ($($pat,)+) = __values;
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+// Keep the names referenced by the macro reachable from the crate root
+// the way upstream exposes them.
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Pair {
+        a: u32,
+        b: u32,
+    }
+
+    fn pair() -> impl Strategy<Value = Pair> {
+        (0u32..10, 5u32..=9).prop_map(|(a, b)| Pair { a, b })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 1u64..100, y in 0usize..=4) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths(mut v in prop::collection::vec(0u8..3, 1..7)) {
+            v.push(0);
+            prop_assert!((2..=7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn mapped_structs(p in prop::collection::vec(pair(), 1..4)) {
+            for q in p {
+                prop_assert!(q.a < 10);
+                prop_assert!((5..=9).contains(&q.b));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_reports_input() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                &ProptestConfig { cases: 8, ..ProptestConfig::default() },
+                &(0u32..10,),
+                |(x,)| assert!(x > 100, "forced failure"),
+            );
+        });
+        assert!(caught.is_err());
+    }
+}
