@@ -1,8 +1,11 @@
 # Developer convenience targets. `make verify` is the full pre-merge
 # gate: formatting, lints as errors, a release build, and the quiet
-# test suite — the same sequence CI runs.
+# test suite — the same sequence CI runs. `make bench` runs the
+# perf-regression macro suite and refreshes BENCH_sim.json;
+# `make bench-smoke` is the tiny-workload variant (one trial per
+# scenario) that stays fast enough to run alongside `make verify`.
 
-.PHONY: verify fmt lint build test
+.PHONY: verify fmt lint build test bench bench-smoke
 
 verify: fmt lint build test
 
@@ -17,3 +20,9 @@ build:
 
 test:
 	cargo test -q
+
+bench:
+	cargo run --release -p darms-experiments --bin perf_report
+
+bench-smoke:
+	cargo run --release -p darms-experiments --bin perf_report -- --smoke --out target/BENCH_sim.smoke.json

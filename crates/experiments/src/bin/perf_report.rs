@@ -1,0 +1,209 @@
+//! Perf-regression harness: runs a fixed macro suite and writes
+//! `BENCH_sim.json` so engine-throughput regressions show up as a diff.
+//!
+//! ```text
+//! cargo run --release -p darms-experiments --bin perf_report -- \
+//!     [--smoke] [--out PATH]
+//! ```
+//!
+//! The suite:
+//! 1. **ping-pong** — two processes bouncing a message 200k times: the
+//!    pure kernel hot path (send, deliver, park/unpark hand-off). The
+//!    pre-PR baseline measured with the same probe on the same class of
+//!    machine is embedded for comparison.
+//! 2. **fig8** — the paper's scheduler-under-load scenario (the most
+//!    actor-heavy figure), serially, events/sec and wall per simulated
+//!    second.
+//! 3. **swf_replay** — a scaled SWF replay (process-thread heavy).
+//! 4. **sweep** — the same fig8 cells serial vs parallel on the trial
+//!    runner: records the speedup and that the results are identical.
+//!
+//! `--smoke` shrinks every dimension (one trial, tiny workload) so the
+//! harness can run in CI alongside `make verify`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use darms_experiments::{figures, replay, runner, ReplayConfig};
+use darms_sim::{Engine, SimDuration};
+
+/// Ping-pong events/sec measured immediately before this PR's kernel
+/// optimizations (best of 4 runs of the identical probe on the same
+/// machine). Kept fixed so the JSON shows the cumulative effect.
+const PRE_PR_PINGPONG_EPS: f64 = 108_013.0;
+
+fn pingpong_once(round_trips: u32) -> (u64, f64) {
+    let n = round_trips;
+    let mut sim = Engine::with_seed(1);
+    let pong = sim.spawn_process("pong", move |p| {
+        for _ in 0..n {
+            let (v, src) = p.recv_as::<u32>();
+            p.send(src.unwrap(), v + 1, SimDuration::from_micros(1));
+        }
+    });
+    sim.spawn_process("ping", move |p| {
+        for i in 0..n {
+            p.send(pong.into(), i, SimDuration::from_micros(1));
+            let _ = p.recv_as::<u32>();
+        }
+    });
+    let stats = sim.run();
+    (stats.events, stats.wall_secs())
+}
+
+struct Macro {
+    events: u64,
+    virtual_secs: f64,
+    wall_secs: f64,
+}
+
+impl Macro {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+    fn wall_per_sim_second(&self) -> f64 {
+        self.wall_secs / self.virtual_secs
+    }
+    fn push_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "\"events\":{},\"virtual_secs\":{:.1},\"wall_secs\":{:.3},\
+             \"events_per_sec\":{:.0},\"wall_per_sim_second\":{:.6}",
+            self.events,
+            self.virtual_secs,
+            self.wall_secs,
+            self.events_per_sec(),
+            self.wall_per_sim_second()
+        );
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: perf_report [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = runner::default_threads();
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("perf_report: mode={mode} cores={cores} sweep_threads={threads}");
+
+    // 1. Ping-pong: best of several runs (first doubles as warm-up).
+    let round_trips: u32 = if smoke { 20_000 } else { 200_000 };
+    let runs = if smoke { 2 } else { 4 };
+    let mut pp_events = 0u64;
+    let mut pp_best_wall = f64::MAX;
+    for _ in 0..runs {
+        let (events, wall) = pingpong_once(round_trips);
+        pp_events = events;
+        if wall < pp_best_wall {
+            pp_best_wall = wall;
+        }
+    }
+    let pp_eps = pp_events as f64 / pp_best_wall;
+    println!(
+        "  pingpong: {pp_events} events in {pp_best_wall:.3}s -> {pp_eps:.0} events/sec \
+         ({:.2}x pre-PR baseline)",
+        pp_eps / PRE_PR_PINGPONG_EPS
+    );
+
+    // 2. fig8 scenario, serial (stable macro numbers).
+    let fig8_trials = if smoke { 1 } else { 5 };
+    let t0 = Instant::now();
+    let fig8_cells =
+        runner::run_indexed_with(1, fig8_trials, |t| figures::fig8_trial_full(16, 3000 + t as u64));
+    let fig8 = Macro {
+        events: fig8_cells.iter().map(|(_, _, s)| s.events).sum(),
+        virtual_secs: fig8_cells.iter().map(|(_, _, s)| s.end_time.as_secs_f64()).sum(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+    println!(
+        "  fig8 (load 16, {fig8_trials} trials): {:.0} events/sec, {:.6} wall s per sim s",
+        fig8.events_per_sec(),
+        fig8.wall_per_sim_second()
+    );
+
+    // 3. Scaled SWF replay.
+    let swf_jobs = if smoke { 10 } else { 120 };
+    let cfg = ReplayConfig { jobs: swf_jobs, seed: 4242, ..ReplayConfig::default() };
+    let t0 = Instant::now();
+    let outcome = replay(&cfg);
+    let swf = Macro {
+        events: outcome.stats.events,
+        virtual_secs: outcome.stats.end_time.as_secs_f64(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+    println!(
+        "  swf_replay ({swf_jobs} jobs): {:.0} events/sec, {:.6} wall s per sim s",
+        swf.events_per_sec(),
+        swf.wall_per_sim_second()
+    );
+
+    // 4. Serial vs parallel sweep of identical swf_replay cells (the
+    // heaviest per-cell scenario, so the speedup is not noise-bound).
+    let sweep_cells = if smoke { 2 } else { 8 };
+    let cell = |i: usize| {
+        replay(&ReplayConfig { jobs: swf_jobs, seed: 4242 + i as u64, ..ReplayConfig::default() })
+    };
+    let t0 = Instant::now();
+    let serial = runner::run_indexed_with(1, sweep_cells, cell);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = runner::run_indexed_with(threads, sweep_cells, cell);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    // Reports compared byte-for-byte (f64 Debug is round-trip exact);
+    // SimStats by its deterministic-field equality (wall time excluded).
+    let identical = serial.len() == parallel.len()
+        && serial.iter().zip(&parallel).all(|(a, b)| {
+            format!("{:?}", a.report) == format!("{:?}", b.report)
+                && a.stats == b.stats
+                && (a.jobs, a.acc_jobs, a.pool) == (b.jobs, b.acc_jobs, b.pool)
+        });
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "  sweep ({sweep_cells} cells, {threads} threads): serial {serial_secs:.2}s, \
+         parallel {parallel_secs:.2}s -> {speedup:.2}x, identical={identical}"
+    );
+    assert!(identical, "parallel sweep must reproduce the serial results exactly");
+
+    let mut json = String::with_capacity(1024);
+    let _ = writeln!(
+        json,
+        "{{\n  \"schema\": 1,\n  \"mode\": \"{mode}\",\n  \"cores\": {cores},\n  \
+         \"sweep_threads\": {threads},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pingpong\": {{\"round_trips\": {round_trips}, \"events\": {pp_events}, \
+         \"wall_secs\": {pp_best_wall:.3}, \"events_per_sec\": {pp_eps:.0}, \
+         \"pre_pr_events_per_sec\": {PRE_PR_PINGPONG_EPS:.0}, \
+         \"speedup_vs_pre_pr\": {:.2}}},",
+        pp_eps / PRE_PR_PINGPONG_EPS
+    );
+    json.push_str(&format!("  \"fig8\": {{\"trials\": {fig8_trials}, \"load\": 16, "));
+    fig8.push_json(&mut json);
+    json.push_str("},\n");
+    json.push_str(&format!("  \"swf_replay\": {{\"jobs\": {swf_jobs}, "));
+    swf.push_json(&mut json);
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"sweep\": {{\"scenario\": \"swf_replay(jobs={swf_jobs})\", \"cells\": {sweep_cells}, \
+         \"threads\": {threads}, \"serial_secs\": {serial_secs:.3}, \
+         \"parallel_secs\": {parallel_secs:.3}, \"speedup\": {speedup:.2}, \
+         \"byte_identical\": {identical}}}\n}}"
+    );
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -1,108 +1,128 @@
 //! Replay a Standard Workload Format trace through the batch system.
-//! With no argument, a bundled 30-job SWF snippet (generated, then
+//! With no trace argument, a bundled SWF snippet (generated, then
 //! round-tripped through the SWF printer/parser) is replayed with a
 //! synthetic accelerator-demand overlay — demonstrating how a real
 //! Parallel Workloads Archive trace would drive this system:
 //!
-//! `cargo run --release -p darms-experiments --bin swf_replay [trace.swf]`
+//! ```text
+//! cargo run --release -p darms-experiments --bin swf_replay -- \
+//!     [trace.swf] [--jobs N] [--seed S] [--trials T]
+//! ```
+//!
+//! `--jobs` sizes the bundled trace (default 30; ignored with a trace
+//! file), `--seed` sets the base seed (default 4242), and `--trials`
+//! replays T seeds (`S, S+1, …`) on the parallel sweep runner.
 
-use std::sync::Arc;
+use darms_experiments::{replay, replay_swf, runner, ReplayConfig, ReplayOutcome};
+use darms_workload::Table;
 
-use darms::prelude::*;
-use darms_workload::{
-    overlay_accelerator_demand, parse_swf, to_swf, Dist, JobOutcome, Table, WorkloadConfig,
-    WorkloadReport,
-};
-use parking_lot::Mutex;
+struct Args {
+    cfg: ReplayConfig,
+    trials: usize,
+    trace: Option<String>,
+}
 
-fn main() {
-    let cores_per_node = 8;
-    let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path).expect("readable SWF file"),
-        None => {
-            // Bundled demo trace: a generated workload exported to SWF.
-            let mut jobs = WorkloadConfig::cpu_only().generate(30, 4242);
-            for j in &mut jobs {
-                j.nodes = j.nodes.min(3);
-                j.ppn = j.ppn.min(cores_per_node);
+fn usage() -> ! {
+    eprintln!("usage: swf_replay [trace.swf] [--jobs N] [--seed S] [--trials T]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { cfg: ReplayConfig::default(), trials: 1, trace: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("{name} needs a numeric argument");
+                    usage();
+                }
             }
-            to_swf(&jobs, cores_per_node)
+        };
+        match a.as_str() {
+            "--jobs" => out.cfg.jobs = num("--jobs") as usize,
+            "--seed" => out.cfg.seed = num("--seed"),
+            "--trials" => out.trials = (num("--trials") as usize).max(1),
+            "--help" | "-h" => usage(),
+            _ if a.starts_with('-') => {
+                eprintln!("unknown flag {a}");
+                usage();
+            }
+            _ => out.trace = Some(a),
         }
-    };
-    let mut jobs = parse_swf(&text, cores_per_node).expect("valid SWF");
-    // SWF predates network-attached accelerators: overlay demand so the
-    // DAC path is exercised (40% of jobs, 1-2 accelerators per node).
-    overlay_accelerator_demand(&mut jobs, 0.4, &Dist::Choice(vec![(2.0, 1.0), (1.0, 2.0)]), 7);
-
-    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(4242).with_split(3, 4));
-    let dac = cluster.dac.clone();
-    let pool = cluster.accs.len();
-    let n_jobs = jobs.len();
-    println!(
-        "replaying {} SWF jobs ({} with accelerator demand) on 3 CN + {pool} AC\n",
-        n_jobs,
-        jobs.iter().filter(|j| j.acpn > 0).count()
-    );
-
-    for (i, t) in jobs.iter().enumerate() {
-        let nodes = t.nodes.min(3);
-        let acpn = t.acpn.min((pool / nodes) as u32);
-        let runtime = t.runtime;
-        let d = dac.clone();
-        let spec = JobSpec::synthetic(format!("swf{i:03}"), runtime)
-            .owner(&t.owner)
-            .nodes(nodes)
-            .ppn(t.ppn.min(cores_per_node))
-            .acpn(acpn)
-            .walltime(t.walltime_estimate)
-            .script(script(move |jc| {
-                let (ses, handles) = AcSession::init(jc, &d, None);
-                assert_eq!(handles.len(), jc.acc_hosts.len());
-                let _ = jc.sleep_interruptible(runtime);
-                ses.finalize();
-            }));
-        cluster.qsub_after(t.arrival, spec);
     }
+    out
+}
 
-    let statuses = Arc::new(Mutex::new(Vec::new()));
-    let out = statuses.clone();
-    cluster.client_after("watch", SimDuration::from_secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == n_jobs && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
-        }
-        c.proc.sleep(SimDuration::from_secs(30));
-    });
-    let stats = cluster.run();
-    assert_eq!(stats.process_panics, 0);
-
-    let statuses = statuses.lock().clone();
-    let outcomes: Vec<JobOutcome> = statuses
-        .iter()
-        .map(|s| JobOutcome {
-            submitted: s.submitted,
-            started: s.started,
-            completed: s.completed,
-            nodes: s.compute_hosts.len(),
-            accs: s.static_accs.iter().map(Vec::len).sum(),
-        })
-        .collect();
-    let report = WorkloadReport::from_outcomes(&outcomes).expect("jobs completed");
+fn print_summary(o: &ReplayOutcome) {
     let mut t = Table::new("SWF replay summary", &["metric", "value"]);
-    t.row(vec!["jobs completed".into(), report.finished.to_string()]);
-    t.row(vec!["mean wait [s]".into(), format!("{:.1}", report.mean_wait)]);
-    t.row(vec!["p95 wait [s]".into(), format!("{:.1}", report.p95_wait)]);
-    t.row(vec!["mean turnaround [s]".into(), format!("{:.1}", report.mean_turnaround)]);
-    t.row(vec!["makespan [s]".into(), format!("{:.1}", report.makespan.as_secs_f64())]);
+    t.row(vec!["jobs completed".into(), o.report.finished.to_string()]);
+    t.row(vec!["mean wait [s]".into(), format!("{:.1}", o.report.mean_wait)]);
+    t.row(vec!["p95 wait [s]".into(), format!("{:.1}", o.report.p95_wait)]);
+    t.row(vec!["mean turnaround [s]".into(), format!("{:.1}", o.report.mean_turnaround)]);
+    t.row(vec!["makespan [s]".into(), format!("{:.1}", o.report.makespan.as_secs_f64())]);
     t.row(vec![
         "acc pool utilisation".into(),
-        format!("{:.1}%", 100.0 * report.acc_utilisation(pool)),
+        format!("{:.1}%", 100.0 * o.report.acc_utilisation(o.pool)),
     ]);
     println!("{}", t.render());
     println!(
         "simulated {:.0} virtual seconds in {} events",
-        stats.end_time.as_secs_f64(),
-        stats.events
+        o.stats.end_time.as_secs_f64(),
+        o.stats.events
+    );
+}
+
+fn main() {
+    let Args { cfg, trials, trace } = parse_args();
+    let text = trace.map(|path| std::fs::read_to_string(&path).expect("readable SWF file"));
+
+    let outcomes = runner::run_indexed(trials, |t| {
+        let mut c = cfg;
+        c.seed = cfg.seed + t as u64;
+        match &text {
+            Some(s) => replay_swf(s, &c),
+            None => replay(&c),
+        }
+    });
+
+    let first = &outcomes[0];
+    println!(
+        "replaying {} SWF jobs ({} with accelerator demand) on {} CN + {} AC\n",
+        first.jobs, first.acc_jobs, cfg.compute_nodes, first.pool
+    );
+
+    if trials == 1 {
+        print_summary(first);
+        return;
+    }
+
+    let mut t = Table::new(
+        format!(
+            "SWF replay over {trials} trials (seeds {}..={})",
+            cfg.seed,
+            cfg.seed + trials as u64 - 1
+        ),
+        &["seed", "mean wait [s]", "makespan [s]", "acc util", "events"],
+    );
+    for (i, o) in outcomes.iter().enumerate() {
+        t.row(vec![
+            (cfg.seed + i as u64).to_string(),
+            format!("{:.1}", o.report.mean_wait),
+            format!("{:.1}", o.report.makespan.as_secs_f64()),
+            format!("{:.1}%", 100.0 * o.report.acc_utilisation(o.pool)),
+            o.stats.events.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let mean_wait = outcomes.iter().map(|o| o.report.mean_wait).sum::<f64>() / trials as f64;
+    let mean_makespan =
+        outcomes.iter().map(|o| o.report.makespan.as_secs_f64()).sum::<f64>() / trials as f64;
+    println!(
+        "mean over trials: wait {:.1} s, makespan {:.1} s ({} sweep threads)",
+        mean_wait,
+        mean_makespan,
+        runner::default_threads().min(trials)
     );
 }

@@ -9,6 +9,8 @@ use darms::prelude::*;
 use darms_sched::SchedConfig;
 use parking_lot::Mutex;
 
+use crate::runner;
+
 fn secs(s: u64) -> SimDuration {
     SimDuration::from_secs(s)
 }
@@ -100,7 +102,9 @@ fn provisioning_run(seed: u64, dynamic: bool) -> ProvisioningOutcome {
 /// Twelve jobs each issue `AC_Get(2)` bursts at random times; returns
 /// `(pool_size, rejection_fraction)` per configuration.
 pub fn ext2_rejection_sweep(seed: u64) -> Vec<(usize, f64)> {
-    [2usize, 3, 4, 5, 6].iter().map(|&pool| (pool, rejection_run(seed, pool))).collect()
+    const POOLS: [usize; 5] = [2, 3, 4, 5, 6];
+    let fracs = runner::run_indexed(POOLS.len(), |i| rejection_run(seed, POOLS[i]));
+    POOLS.into_iter().zip(fracs).collect()
 }
 
 fn rejection_run(seed: u64, pool: usize) -> f64 {
@@ -236,7 +240,8 @@ fn backfill_run(seed: u64, backfill: bool) -> f64 {
 /// time (seconds) to upload `mb` megabytes to one accelerator with the
 /// pipelined protocol on and off.
 pub fn ext4_pipelining(seed: u64, mb: usize) -> (f64, f64) {
-    (transfer_run(seed, mb, true), transfer_run(seed, mb, false))
+    let both = runner::run_indexed(2, |i| transfer_run(seed, mb, i == 0));
+    (both[0], both[1])
 }
 
 fn transfer_run(seed: u64, mb: usize, pipelined: bool) -> f64 {

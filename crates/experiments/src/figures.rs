@@ -10,6 +10,8 @@ use std::sync::Arc;
 use darms::prelude::*;
 use parking_lot::Mutex;
 
+use crate::runner;
+
 /// Trials averaged per data point (the paper uses 10).
 pub const TRIALS: usize = 10;
 
@@ -41,23 +43,26 @@ impl Fig7Row {
 /// allocated accelerators, split into waiting (until the daemons were
 /// ready) and connect (MPI communicator construction).
 pub fn fig7a(trials: usize) -> Vec<Fig7Row> {
-    (1..=6).map(|x| fig7a_point(x, trials)).collect()
+    let grid = runner::run_grid(6, trials, |p, t| fig7a_trial(p + 1, 1000 + t as u64));
+    grid.iter().enumerate().map(|(p, cells)| fold_fig7(p + 1, cells)).collect()
 }
 
-fn fig7a_point(x: usize, trials: usize) -> Fig7Row {
-    let mut wait_sum = 0.0;
-    let mut connect_sum = 0.0;
+/// Fold one point's trial cells (in trial order, matching the serial
+/// accumulation order exactly) into a [`Fig7Row`].
+fn fold_fig7(count: usize, cells: &[(f64, f64)]) -> Fig7Row {
+    let trials = cells.len();
+    let mut dominant_sum = 0.0;
+    let mut secondary_sum = 0.0;
     let mut totals = Vec::with_capacity(trials);
-    for t in 0..trials {
-        let (w, c) = fig7a_trial(x, 1000 + t as u64);
-        wait_sum += w;
-        connect_sum += c;
-        totals.push(w + c);
+    for &(d, s) in cells {
+        dominant_sum += d;
+        secondary_sum += s;
+        totals.push(d + s);
     }
     Fig7Row {
-        count: x,
-        dominant: wait_sum / trials as f64,
-        secondary: connect_sum / trials as f64,
+        count,
+        dominant: dominant_sum / trials as f64,
+        secondary: secondary_sum / trials as f64,
         stddev: stddev(&totals),
     }
 }
@@ -93,25 +98,8 @@ pub fn fig7a_trial(x: usize, seed: u64) -> (f64, f64) {
 /// through the grant) and the resource-management-library portion
 /// (`MPI_Comm_spawn` + communicator construction).
 pub fn fig7b(trials: usize) -> Vec<Fig7Row> {
-    (1..=6).map(|y| fig7b_point(y, trials)).collect()
-}
-
-fn fig7b_point(y: usize, trials: usize) -> Fig7Row {
-    let mut batch_sum = 0.0;
-    let mut mpi_sum = 0.0;
-    let mut totals = Vec::with_capacity(trials);
-    for t in 0..trials {
-        let (b, m) = fig7b_trial(y, 2000 + t as u64);
-        batch_sum += b;
-        mpi_sum += m;
-        totals.push(b + m);
-    }
-    Fig7Row {
-        count: y,
-        dominant: batch_sum / trials as f64,
-        secondary: mpi_sum / trials as f64,
-        stddev: stddev(&totals),
-    }
+    let grid = runner::run_grid(6, trials, |p, t| fig7b_trial(p + 1, 2000 + t as u64));
+    grid.iter().enumerate().map(|(p, cells)| fold_fig7(p + 1, cells)).collect()
 }
 
 /// One Fig. 7(b) trial: returns (batch, mpi) seconds. As in the paper,
@@ -159,18 +147,20 @@ impl Fig8Row {
 /// Fig. 8: dynamic allocation of one accelerator under scheduler load of
 /// 0, 16 and 20 other qsub requests.
 pub fn fig8(trials: usize) -> Vec<Fig8Row> {
-    [0usize, 16, 20].iter().map(|&l| fig8_point(l, trials)).collect()
-}
-
-fn fig8_point(load: usize, trials: usize) -> Fig8Row {
-    let mut others = 0.0;
-    let mut service = 0.0;
-    for t in 0..trials {
-        let (o, s) = fig8_trial(load, 3000 + t as u64);
-        others += o;
-        service += s;
-    }
-    Fig8Row { load, sched_others: others / trials as f64, service: service / trials as f64 }
+    const LOADS: [usize; 3] = [0, 16, 20];
+    let grid = runner::run_grid(LOADS.len(), trials, |p, t| fig8_trial(LOADS[p], 3000 + t as u64));
+    grid.iter()
+        .zip(LOADS)
+        .map(|(cells, load)| {
+            let mut others = 0.0;
+            let mut service = 0.0;
+            for &(o, s) in cells {
+                others += o;
+                service += s;
+            }
+            Fig8Row { load, sched_others: others / trials as f64, service: service / trials as f64 }
+        })
+        .collect()
 }
 
 /// One Fig. 8 trial: returns (scheduler-on-others, service) seconds.
@@ -181,6 +171,17 @@ fn fig8_point(load: usize, trials: usize) -> Fig8Row {
 /// background submissions lands just before the `AC_Get`, so the dynamic
 /// request finds the scheduler mid-iteration.
 pub fn fig8_trial(load: usize, seed: u64) -> (f64, f64) {
+    let (others, service, _) = fig8_trial_full(load, seed);
+    (others, service)
+}
+
+/// [`fig8_trial`] variant that also returns the run's [`SimStats`].
+///
+/// The determinism tests and the perf-regression harness use this to
+/// check that a parallel sweep reproduces not just the derived figures
+/// but the exact engine behaviour (event count, end time, context
+/// switches, …) of the serial run.
+pub fn fig8_trial_full(load: usize, seed: u64) -> (f64, f64, SimStats) {
     let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 1));
     let dac = cluster.dac.clone();
     let rec = cluster.recorder.clone();
@@ -217,7 +218,7 @@ pub fn fig8_trial(load: usize, seed: u64) -> (f64, f64) {
     // The Fig. 8 waiting quantity comes straight from the scheduler's
     // registry instrumentation (`sched.dyn_wait` histogram).
     let others = cluster.metrics.histogram("sched.dyn_wait").expect("instrumented").mean;
-    (others, (batch + mpi - others).max(0.0))
+    (others, (batch + mpi - others).max(0.0), stats)
 }
 
 /// One bar of Fig. 9: a compute node's dynamic-request completion time
@@ -235,9 +236,9 @@ pub struct Fig9Row {
 /// `AC_Get(1)` at the same instant; the server's serial processing makes
 /// the completion times a staircase.
 pub fn fig9(trials: usize) -> Vec<Fig9Row> {
+    let per_trial = runner::run_indexed(trials, |t| fig9_trial(4000 + t as u64));
     let mut sums = [0.0f64; 3];
-    for t in 0..trials {
-        let lat = fig9_trial(4000 + t as u64);
+    for lat in &per_trial {
         for (i, v) in lat.iter().enumerate() {
             sums[i] += v;
         }

@@ -10,5 +10,8 @@
 
 pub mod extended;
 pub mod figures;
+pub mod replay;
+pub mod runner;
 
 pub use figures::{fig7a, fig7b, fig8, fig9, Fig7Row, Fig8Row, Fig9Row, TRIALS};
+pub use replay::{replay, replay_swf, ReplayConfig, ReplayOutcome};

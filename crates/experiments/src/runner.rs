@@ -1,0 +1,153 @@
+//! Parallel trial-sweep runner.
+//!
+//! Every figure of the paper's evaluation and every EXT ablation is an
+//! average over independent seeded trials; the trials share nothing but
+//! their scenario function, so they parallelise perfectly. This module
+//! runs `f(0), f(1), …, f(n-1)` on a fixed pool of worker threads and
+//! returns the results **in index order**, so a consumer that folds the
+//! results sequentially produces output byte-identical to the serial
+//! path — parallelism changes wall-clock time, never numbers.
+//!
+//! Thread-count resolution, in precedence order:
+//! 1. a process-wide override installed with [`set_threads`] (used by
+//!    the determinism tests to pin both sides of a comparison),
+//! 2. the `DARMS_SWEEP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A value of 1 selects the serial path (no pool, no extra threads),
+//! which is also taken whenever the sweep has at most one cell.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use parking_lot::Mutex;
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the worker count for every subsequent sweep in this process
+/// (tests use this to compare serial and parallel runs); `0` clears the
+/// override.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count sweeps run with right now (see module docs for the
+/// resolution order).
+pub fn default_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("DARMS_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` over `0..n` on the default worker pool; results in index
+/// order.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(default_threads(), n, f)
+}
+
+/// Run `f` over `0..n` on `threads` workers; results in index order.
+///
+/// Work is handed out through a shared atomic cursor, so a slow cell
+/// never stalls the others; each worker writes its result into the slot
+/// for that index. A panic inside `f` (e.g. a trial's shape assertion)
+/// propagates out of the sweep once the remaining workers drain.
+pub fn run_indexed_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i));
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().expect("worker filled every slot")).collect()
+}
+
+/// Sweep a `points × trials` grid on one shared pool and regroup the
+/// cells per point (trials stay in order within each point). Flattening
+/// the grid keeps all workers busy even when `trials` is smaller than
+/// the pool.
+pub fn run_grid<T, F>(points: usize, trials: usize, f: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let flat = run_indexed(points * trials, |i| f(i / trials, i % trials));
+    let mut it = flat.into_iter();
+    (0..points).map(|_| it.by_ref().take(trials).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_are_index_ordered_under_reversed_finish_order() {
+        // Later indices finish first: cell i sleeps (n - i) ms, so with
+        // more workers than cells every thread races to write its slot
+        // in reverse order. Collection must still be by index.
+        let n = 8;
+        let out = run_indexed_with(n, n, |i| {
+            thread::sleep(Duration::from_millis((n - i) as u64 * 3));
+            i * 10
+        });
+        assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed_with(1, 16, |i| i * i + 1);
+        let parallel = run_indexed_with(4, 16, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_groups_by_point_in_trial_order() {
+        let grid = run_grid(3, 4, |p, t| (p, t));
+        assert_eq!(grid.len(), 3);
+        for (p, cells) in grid.iter().enumerate() {
+            assert_eq!(cells, &(0..4).map(|t| (p, t)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cell_sweeps() {
+        assert_eq!(run_indexed_with(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed_with(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn override_wins_over_environment() {
+        set_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_threads(0);
+        assert!(default_threads() >= 1);
+    }
+}

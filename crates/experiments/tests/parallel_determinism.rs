@@ -1,0 +1,40 @@
+//! The parallel trial sweep must be invisible in the numbers: running
+//! the same cells on a worker pool has to reproduce the serial path
+//! byte-for-byte, down to the engine statistics of every trial.
+
+use darms_experiments::{figures, runner};
+
+/// Every fig8 trial run on a 4-thread pool matches its serial twin
+/// exactly: the derived (sched-others, service) pair compares equal as
+/// formatted bytes (f64 Debug is round-trip exact), and the engine's
+/// deterministic statistics (event count, end time, context switches,
+/// queue profile) are identical.
+#[test]
+fn fig8_parallel_sweep_matches_serial_per_trial() {
+    let trials = 3;
+    let cell = |t: usize| figures::fig8_trial_full(16, 3000 + t as u64);
+    let serial = runner::run_indexed_with(1, trials, cell);
+    let parallel = runner::run_indexed_with(4, trials, cell);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            format!("{:?} {:?}", a.0, a.1),
+            format!("{:?} {:?}", b.0, b.1),
+            "trial {i}: derived figures must be byte-identical"
+        );
+        assert_eq!(a.2, b.2, "trial {i}: SimStats must be identical");
+    }
+}
+
+/// The folded figure rows (means over trials) are byte-identical too:
+/// the runner returns results in index order, so the serial fold order
+/// — and with it every float-summation rounding — is preserved.
+#[test]
+fn fig8_rows_from_parallel_sweep_match_serial_fold() {
+    runner::set_threads(1);
+    let serial_rows = figures::fig8(2);
+    runner::set_threads(4);
+    let parallel_rows = figures::fig8(2);
+    runner::set_threads(0);
+    assert_eq!(format!("{serial_rows:?}"), format!("{parallel_rows:?}"));
+}

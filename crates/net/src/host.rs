@@ -1,6 +1,7 @@
 //! Host and address types for the simulated cluster.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a host in the cluster.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -50,8 +51,9 @@ impl fmt::Display for HostKind {
 /// Metadata for one host.
 #[derive(Clone, Debug)]
 pub struct Host {
-    /// Unique hostname, e.g. `node03`.
-    pub name: String,
+    /// Unique hostname, e.g. `node03`. Interned: cloning the entry (or
+    /// asking the network for the name) is a refcount bump.
+    pub name: Arc<str>,
     /// Cluster role.
     pub kind: HostKind,
     /// True if the host has been failed by fault injection.

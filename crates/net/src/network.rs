@@ -105,7 +105,7 @@ impl Network {
     pub fn add_host(&self, name: impl Into<String>, kind: HostKind) -> HostId {
         let mut s = self.state.lock();
         let id = HostId(s.hosts.len());
-        s.hosts.push(Host { name: name.into(), kind, down: false });
+        s.hosts.push(Host { name: name.into().into(), kind, down: false });
         id
     }
 
@@ -114,9 +114,25 @@ impl Network {
         self.state.lock().hosts.len()
     }
 
-    /// Metadata of a host.
+    /// Metadata of a host (cheap: the name is interned). Prefer the
+    /// field-specific accessors below when only one attribute is needed.
     pub fn host(&self, id: HostId) -> Host {
         self.state.lock().hosts[id.0].clone()
+    }
+
+    /// Interned name of a host — a refcount bump, no `String` clone.
+    pub fn host_name(&self, id: HostId) -> Arc<str> {
+        self.state.lock().hosts[id.0].name.clone()
+    }
+
+    /// Role of a host, without cloning the entry.
+    pub fn host_kind(&self, id: HostId) -> HostKind {
+        self.state.lock().hosts[id.0].kind
+    }
+
+    /// Liveness of a host, without cloning the entry.
+    pub fn host_is_down(&self, id: HostId) -> bool {
+        self.state.lock().hosts[id.0].down
     }
 
     /// All hosts of a given kind.
@@ -213,14 +229,16 @@ impl Network {
             }
         }
         let local = from == to.host;
-        let latency = s.latency.clone();
-        let delay = latency.delay(local, bytes, &mut s.rng);
-        s.stats.messages += 1;
-        s.stats.bytes += bytes;
-        let link = s.links.entry((from, to.host)).or_default();
+        // Split-borrow the state so the latency model is consulted in
+        // place — no per-message clone of the model.
+        let NetState { latency, rng, stats, links, metrics, .. } = &mut *s;
+        let delay = latency.delay(local, bytes, rng);
+        stats.messages += 1;
+        stats.bytes += bytes;
+        let link = links.entry((from, to.host)).or_default();
         link.messages += 1;
         link.bytes += bytes;
-        if let Some(m) = &s.metrics {
+        if let Some(m) = metrics {
             m.counter_inc("net.messages");
             m.counter_add("net.bytes", bytes);
         }
@@ -300,7 +318,10 @@ mod tests {
         let c = n.add_host("cn01", HostKind::Compute);
         let a = n.add_host("ac01", HostKind::Accelerator);
         assert_eq!(n.host_count(), 3);
-        assert_eq!(n.host(h).name, "head");
+        assert_eq!(&*n.host(h).name, "head");
+        assert_eq!(&*n.host_name(h), "head");
+        assert_eq!(n.host_kind(c), HostKind::Compute);
+        assert!(!n.host_is_down(a));
         assert_eq!(n.hosts_of_kind(HostKind::Compute), vec![c]);
         assert_eq!(n.hosts_of_kind(HostKind::Accelerator), vec![a]);
     }

@@ -34,7 +34,7 @@ pub trait Actor: Send {
 /// Capability handle passed to actor callbacks.
 pub struct Ctx<'a> {
     pub(crate) k: &'a mut Kernel,
-    pub(crate) arc: Arc<Mutex<Kernel>>,
+    pub(crate) arc: &'a Arc<Mutex<Kernel>>,
     pub(crate) me: ActorId,
 }
 
@@ -65,22 +65,24 @@ impl Ctx<'_> {
         self.k.send(dst, env, delay);
     }
 
-    /// Schedule `on_timer(token)` after `delay`.
+    /// Schedule `on_timer(token)` after `delay`. The event is stamped
+    /// with the token's current generation; re-arming after a cancel
+    /// picks up the bumped generation, which revives the token.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.k.now() + delay;
         let me = self.me;
-        // Re-arming a token revives it if it was previously cancelled.
-        self.k.cancelled_timers.remove(&(me.index(), token));
-        self.k.schedule(at, EventKind::Timer { actor: me, token });
+        let gen = self.k.timer_gen(me.index(), token);
+        self.k.schedule(at, EventKind::Timer { actor: me, token, gen });
     }
 
     /// Cancel a pending timer: when its event fires it is discarded
     /// without advancing the virtual clock (so abandoned deadlines, e.g.
     /// a walltime kill for a job that finished, cannot inflate the
-    /// simulation's end time).
+    /// simulation's end time). Implemented as a generation bump — no
+    /// per-event bookkeeping survives to the fire path.
     pub fn cancel_timer(&mut self, token: u64) {
         let me = self.me;
-        self.k.cancelled_timers.insert((me.index(), token));
+        self.k.bump_timer_gen(me.index(), token);
     }
 
     /// Spawn a threaded process whose entry runs after `delay`.
@@ -90,7 +92,7 @@ impl Ctx<'_> {
         delay: SimDuration,
         entry: impl FnOnce(crate::process::Proc) + Send + 'static,
     ) -> ProcessId {
-        spawn_process(self.k, &self.arc, name.into(), delay, entry)
+        spawn_process(self.k, self.arc, name.into(), delay, entry)
     }
 
     /// Spawn a threaded process starting now.
@@ -107,14 +109,15 @@ impl Ctx<'_> {
         self.trace_detail(event, String::new());
     }
 
-    /// Record an instant trace event with a detail payload.
+    /// Record an instant trace event with a detail payload. The interned
+    /// actor name makes this a refcount bump, not a `String` clone.
     pub fn trace_detail(&mut self, event: impl Into<String>, detail: impl Into<String>) {
-        let name = self
+        let name: Arc<str> = self
             .k
             .actor_names
             .get(self.me.0)
             .cloned()
-            .unwrap_or_else(|| format!("actor#{}", self.me.0));
+            .unwrap_or_else(|| format!("actor#{}", self.me.0).into());
         self.k.emit(crate::trace::TraceSource::Actor(self.me), &name, event, detail);
     }
 
@@ -134,7 +137,7 @@ impl Ctx<'_> {
     }
 
     /// Resolve an endpoint to its registered name (for diagnostics).
-    pub fn endpoint_name(&self, ep: Endpoint) -> String {
+    pub fn endpoint_name(&self, ep: Endpoint) -> Arc<str> {
         self.k.endpoint_name(ep)
     }
 }

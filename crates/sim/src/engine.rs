@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use crate::actor::{Actor, Ctx};
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
 use crate::kernel::{EventKind, Kernel, ProcState, SimConfig, SimStats, TraceRecord};
-use crate::process::{install_shutdown_hook, spawn_process};
+use crate::process::{install_shutdown_hook, spawn_process, ProcCtl};
 use crate::time::{SimDuration, SimTime};
 
 /// A complete simulation: kernel + registered actors + event loop.
@@ -43,7 +43,7 @@ impl Engine {
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
         assert!(!self.started, "actors must be registered before run()");
         let id = ActorId(self.actors.len());
-        self.kernel.lock().actor_names.push(actor.name().to_string());
+        self.kernel.lock().actor_names.push(Arc::from(actor.name()));
         self.actors.push(actor);
         id
     }
@@ -98,7 +98,9 @@ impl Engine {
             enum Step {
                 Done,
                 Deliver(Endpoint, Envelope),
-                WakeProc(ProcessId),
+                // The ctl handle is resolved while the kernel lock is
+                // still held so the resume path needs no extra lock.
+                WakeProc(ProcessId, Arc<ProcCtl>),
                 Timer(ActorId, u64),
             }
             let step = {
@@ -137,8 +139,8 @@ impl Engine {
                                     continue;
                                 }
                             }
-                            if let EventKind::Timer { actor, token } = &ev.kind {
-                                if k.cancelled_timers.remove(&(actor.index(), *token)) {
+                            if let EventKind::Timer { actor, token, gen } = &ev.kind {
+                                if *gen != k.timer_gen(actor.index(), *token) {
                                     continue; // cancelled before firing
                                 }
                             }
@@ -154,7 +156,11 @@ impl Engine {
                                     Endpoint::Actor(_) => Step::Deliver(dst, env),
                                     Endpoint::Process(pid) => {
                                         match self.deliver_to_process(&mut k, pid, env) {
-                                            Some(p) => Step::WakeProc(p),
+                                            Some(p) => {
+                                                let ctl = k.procs[p.0].ctl.clone();
+                                                k.stats.context_switches += 1;
+                                                Step::WakeProc(p, ctl)
+                                            }
                                             None => continue,
                                         }
                                     }
@@ -170,12 +176,14 @@ impl Engine {
                                     if parked && slot.epoch == epoch {
                                         slot.state = ProcState::Active;
                                         slot.epoch += 1;
-                                        Step::WakeProc(pid)
+                                        let ctl = slot.ctl.clone();
+                                        k.stats.context_switches += 1;
+                                        Step::WakeProc(pid, ctl)
                                     } else {
                                         continue; // stale wake
                                     }
                                 }
-                                EventKind::Timer { actor, token } => Step::Timer(actor, token),
+                                EventKind::Timer { actor, token, .. } => Step::Timer(actor, token),
                             }
                         }
                     }
@@ -185,7 +193,7 @@ impl Engine {
                 Step::Done => break,
                 Step::Deliver(Endpoint::Actor(aid), env) => self.dispatch_actor(aid, env),
                 Step::Deliver(_, _) => unreachable!("process deliveries resolved above"),
-                Step::WakeProc(pid) => self.resume(pid),
+                Step::WakeProc(pid, ctl) => self.resume(pid, &ctl),
                 Step::Timer(aid, token) => self.dispatch_timer(aid, token),
             }
         }
@@ -218,16 +226,14 @@ impl Engine {
     fn dispatch_actor(&mut self, aid: ActorId, env: Envelope) {
         let actor = &mut self.actors[aid.0];
         let mut k = self.kernel.lock();
-        let arc = self.kernel.clone();
-        let mut ctx = Ctx { k: &mut k, arc, me: aid };
+        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
         actor.on_message(&mut ctx, env);
     }
 
     fn dispatch_timer(&mut self, aid: ActorId, token: u64) {
         let actor = &mut self.actors[aid.0];
         let mut k = self.kernel.lock();
-        let arc = self.kernel.clone();
-        let mut ctx = Ctx { k: &mut k, arc, me: aid };
+        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
         actor.on_timer(&mut ctx, token);
     }
 
@@ -235,19 +241,15 @@ impl Engine {
         for i in 0..self.actors.len() {
             let actor = &mut self.actors[i];
             let mut k = self.kernel.lock();
-            let arc = self.kernel.clone();
-            let mut ctx = Ctx { k: &mut k, arc, me: ActorId(i) };
+            let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: ActorId(i) };
             actor.on_start(&mut ctx);
         }
     }
 
     /// Give the execution token to a process and wait for it to yield.
-    fn resume(&self, pid: ProcessId) {
-        let ctl = {
-            let mut k = self.kernel.lock();
-            k.stats.context_switches += 1;
-            k.procs[pid.0].ctl.clone()
-        };
+    /// The caller has already counted the context switch and must not
+    /// hold the kernel lock.
+    fn resume(&self, pid: ProcessId, ctl: &ProcCtl) {
         let done = ctl.resume_and_wait();
         if done {
             let mut k = self.kernel.lock();
@@ -270,15 +272,17 @@ impl Engine {
                 k.shutdown = true;
             }
             // Resume every unfinished process so its thread unwinds.
-            let pids: Vec<ProcessId> = {
-                let k = self.kernel.lock();
-                (0..k.procs.len())
+            let pids: Vec<(ProcessId, Arc<ProcCtl>)> = {
+                let mut k = self.kernel.lock();
+                let unfinished: Vec<_> = (0..k.procs.len())
                     .filter(|&i| k.procs[i].state != ProcState::Finished)
-                    .map(ProcessId)
-                    .collect()
+                    .map(|i| (ProcessId(i), k.procs[i].ctl.clone()))
+                    .collect();
+                k.stats.context_switches += unfinished.len() as u64;
+                unfinished
             };
-            for pid in pids {
-                self.resume(pid);
+            for (pid, ctl) in pids {
+                self.resume(pid, &ctl);
             }
             let threads = {
                 let mut k = self.kernel.lock();

@@ -111,7 +111,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     for ev in events {
         let lane = ev.source.lane();
         if !seen.iter().any(|&(l, _)| l == lane) {
-            seen.push((lane, &ev.source_name));
+            seen.push((lane, &*ev.source_name));
         }
     }
     for (lane, name) in seen {

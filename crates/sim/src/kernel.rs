@@ -26,8 +26,10 @@ pub(crate) enum EventKind {
     /// Wake a parked process. Stale wakes (epoch mismatch) are ignored,
     /// which is how sleep timeouts and message arrivals coexist safely.
     Wake { pid: ProcessId, epoch: u64 },
-    /// Fire a timer registered by a reactive actor.
-    Timer { actor: ActorId, token: u64 },
+    /// Fire a timer registered by a reactive actor. Stale generations
+    /// (the token was cancelled after scheduling) are discarded without
+    /// advancing the clock.
+    Timer { actor: ActorId, token: u64, gen: u64 },
 }
 
 /// An entry in the event heap, ordered by `(time, seq)` so that
@@ -72,7 +74,9 @@ pub(crate) enum ProcState {
 
 /// Bookkeeping for one threaded process.
 pub(crate) struct ProcSlot {
-    pub name: String,
+    /// Interned once at spawn; trace emission and `endpoint_name` hand
+    /// out refcount bumps instead of fresh `String`s.
+    pub name: Arc<str>,
     pub ctl: Arc<ProcCtl>,
     pub mailbox: VecDeque<Envelope>,
     pub state: ProcState,
@@ -102,7 +106,7 @@ impl From<TraceEvent> for TraceRecord {
             (_, true) => ev.name,
             (_, false) => format!("{}: {}", ev.name, ev.detail),
         };
-        TraceRecord { time: ev.time, source: ev.source_name, event }
+        TraceRecord { time: ev.time, source: ev.source_name.to_string(), event }
     }
 }
 
@@ -238,11 +242,13 @@ pub struct Kernel {
     pub(crate) tracer: Tracer,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) stats: SimStats,
-    pub(crate) actor_names: Vec<String>,
+    pub(crate) actor_names: Vec<Arc<str>>,
     pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
-    /// Actor timers cancelled before firing; the engine discards them
-    /// without advancing the clock.
-    pub(crate) cancelled_timers: std::collections::HashSet<(usize, u64)>,
+    /// Per-actor timer generations, keyed by token. A timer event fires
+    /// only if its generation still matches; `cancel_timer` bumps the
+    /// generation, so cancellation is a counter increment instead of
+    /// `HashSet` insert/remove churn on every fire.
+    pub(crate) timer_gens: Vec<Vec<(u64, u64)>>,
 }
 
 impl Kernel {
@@ -253,7 +259,9 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            // Pre-sized: cluster scenarios keep hundreds of in-flight
+            // events; growing the heap mid-run is avoidable churn.
+            queue: BinaryHeap::with_capacity(256),
             procs: Vec::new(),
             shutdown: false,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -263,7 +271,30 @@ impl Kernel {
             stats: SimStats::default(),
             actor_names: Vec::new(),
             threads: Vec::new(),
-            cancelled_timers: std::collections::HashSet::new(),
+            timer_gens: Vec::new(),
+        }
+    }
+
+    /// Current timer generation for `(actor, token)`; zero if never set
+    /// or cancelled. The per-actor token lists are tiny (daemons use a
+    /// handful of tokens), so a linear scan beats hashing.
+    pub(crate) fn timer_gen(&self, actor: usize, token: u64) -> u64 {
+        self.timer_gens
+            .get(actor)
+            .and_then(|v| v.iter().find(|&&(t, _)| t == token))
+            .map_or(0, |&(_, g)| g)
+    }
+
+    /// Bump the generation of `(actor, token)`, invalidating every
+    /// pending timer event scheduled under the old generation.
+    pub(crate) fn bump_timer_gen(&mut self, actor: usize, token: u64) {
+        if self.timer_gens.len() <= actor {
+            self.timer_gens.resize_with(actor + 1, Vec::new);
+        }
+        let v = &mut self.timer_gens[actor];
+        match v.iter_mut().find(|(t, _)| *t == token) {
+            Some((_, g)) => *g += 1,
+            None => v.push((token, 1)),
         }
     }
 
@@ -301,15 +332,24 @@ impl Kernel {
     /// Record an instant trace event attributed to the kernel itself
     /// (no-op unless tracing is enabled).
     pub fn trace(&mut self, source: &str, event: impl Into<String>) {
-        self.emit(TraceSource::Kernel, source, event, String::new());
+        let now = self.now;
+        self.tracer.emit_with(|| TraceEvent {
+            time: now,
+            source: TraceSource::Kernel,
+            source_name: Arc::from(source),
+            name: event.into(),
+            detail: String::new(),
+            kind: TraceEventKind::Instant,
+        });
     }
 
     /// Record an instant trace event with a typed source (no-op unless
-    /// tracing is enabled; the strings are only built when it is).
+    /// tracing is enabled; the strings are only built when it is). The
+    /// source name is an interned handle, so emission never copies it.
     pub fn emit(
         &self,
         source: TraceSource,
-        source_name: &str,
+        source_name: &Arc<str>,
         name: impl Into<String>,
         detail: impl Into<String>,
     ) {
@@ -317,7 +357,7 @@ impl Kernel {
         self.tracer.emit_with(|| TraceEvent {
             time: now,
             source,
-            source_name: source_name.to_string(),
+            source_name: source_name.clone(),
             name: name.into(),
             detail: detail.into(),
             kind: TraceEventKind::Instant,
@@ -340,17 +380,21 @@ impl Kernel {
         f(&mut self.rng)
     }
 
-    /// Human-readable name of an endpoint (for traces and errors).
-    pub fn endpoint_name(&self, ep: Endpoint) -> String {
+    /// Human-readable name of an endpoint (for traces and errors). A
+    /// refcount bump for registered endpoints; allocates only for the
+    /// unknown-id fallback.
+    pub fn endpoint_name(&self, ep: Endpoint) -> Arc<str> {
         match ep {
-            Endpoint::Actor(a) => {
-                self.actor_names.get(a.0).cloned().unwrap_or_else(|| format!("actor#{}", a.0))
-            }
+            Endpoint::Actor(a) => self
+                .actor_names
+                .get(a.0)
+                .cloned()
+                .unwrap_or_else(|| format!("actor#{}", a.0).into()),
             Endpoint::Process(p) => self
                 .procs
                 .get(p.0)
                 .map(|s| s.name.clone())
-                .unwrap_or_else(|| format!("proc#{}", p.0)),
+                .unwrap_or_else(|| format!("proc#{}", p.0).into()),
         }
     }
 }
@@ -378,7 +422,10 @@ mod tests {
     fn schedule_clamps_to_now() {
         let mut k = Kernel::new(SimConfig::default());
         k.now = SimTime::from_nanos(100);
-        k.schedule(SimTime::from_nanos(5), EventKind::Timer { actor: ActorId(0), token: 0 });
+        k.schedule(
+            SimTime::from_nanos(5),
+            EventKind::Timer { actor: ActorId(0), token: 0, gen: 0 },
+        );
         let Reverse(s) = k.queue.pop().unwrap();
         assert_eq!(s.time, SimTime::from_nanos(100));
     }
@@ -393,7 +440,7 @@ mod tests {
         assert_eq!(k.tracer.len(), 1);
         let evs = k.tracer.take();
         assert_eq!(evs[0].name, "hello");
-        assert_eq!(evs[0].source_name, "x");
+        assert_eq!(&*evs[0].source_name, "x");
         assert_eq!(evs[0].source, TraceSource::Kernel);
     }
 

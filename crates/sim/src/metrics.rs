@@ -65,11 +65,16 @@ impl MetricsRegistry {
 
     // ----- counters ------------------------------------------------------
 
-    /// Add `n` to counter `name` (creating it at zero).
+    /// Add `n` to counter `name` (creating it at zero). The key string
+    /// is only allocated on a counter's first write; steady-state
+    /// increments are a map lookup.
     pub fn counter_add(&self, name: &str, n: u64) {
         let mut s = self.inner.lock();
-        let c = s.counters.entry(name.to_string()).or_insert(0);
-        *c = c.saturating_add(n);
+        if let Some(c) = s.counters.get_mut(name) {
+            *c = c.saturating_add(n);
+        } else {
+            s.counters.insert(name.to_string(), n);
+        }
     }
 
     /// Increment counter `name` by one.
@@ -86,7 +91,12 @@ impl MetricsRegistry {
 
     /// Set gauge `name` to `value` as of virtual time `now`.
     pub fn gauge_set(&self, name: &str, now: SimTime, value: f64) {
-        self.inner.lock().gauges.insert(name.to_string(), (now, value));
+        let mut s = self.inner.lock();
+        if let Some(g) = s.gauges.get_mut(name) {
+            *g = (now, value);
+        } else {
+            s.gauges.insert(name.to_string(), (now, value));
+        }
     }
 
     /// Last value of gauge `name`.
@@ -101,17 +111,24 @@ impl MetricsRegistry {
     /// order per registry (the simulator's clock guarantees this);
     /// out-of-order updates are re-sorted on read.
     pub fn twg_set(&self, name: &str, now: SimTime, value: f64) {
-        let mut s = self.inner.lock();
-        let series = s.time_weighted.entry(name.to_string()).or_default();
-        match series.last() {
-            Some(&(t, _)) if t > now => {
-                // Rare out-of-order write: insert at the right position
-                // to keep the timeline sorted.
-                let ix = series.partition_point(|&(t, _)| t <= now);
-                series.insert(ix, (now, value));
+        fn push(series: &mut Vec<(SimTime, f64)>, now: SimTime, value: f64) {
+            match series.last() {
+                Some(&(t, _)) if t > now => {
+                    // Rare out-of-order write: insert at the right
+                    // position to keep the timeline sorted.
+                    let ix = series.partition_point(|&(t, _)| t <= now);
+                    series.insert(ix, (now, value));
+                }
+                _ => series.push((now, value)),
             }
-            _ => series.push((now, value)),
         }
+        let mut s = self.inner.lock();
+        // Key allocation only on the series' first update.
+        if let Some(series) = s.time_weighted.get_mut(name) {
+            push(series, now, value);
+            return;
+        }
+        push(s.time_weighted.entry(name.to_string()).or_default(), now, value);
     }
 
     /// Last value of time-weighted gauge `name`.
@@ -148,9 +165,15 @@ impl MetricsRegistry {
 
     // ----- histograms ----------------------------------------------------
 
-    /// Record one sample into histogram `name`.
+    /// Record one sample into histogram `name`. The key string is only
+    /// allocated on the histogram's first sample.
     pub fn observe(&self, name: &str, value: f64) {
-        self.inner.lock().histograms.entry(name.to_string()).or_default().push(value);
+        let mut s = self.inner.lock();
+        if let Some(samples) = s.histograms.get_mut(name) {
+            samples.push(value);
+            return;
+        }
+        s.histograms.entry(name.to_string()).or_default().push(value);
     }
 
     /// Record a virtual duration (in seconds) into histogram `name`.

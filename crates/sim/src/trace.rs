@@ -65,8 +65,9 @@ pub struct TraceEvent {
     pub time: SimTime,
     /// Typed source id.
     pub source: TraceSource,
-    /// Registered name of the source at emission time.
-    pub source_name: String,
+    /// Registered name of the source at emission time. Interned: clones
+    /// of one source's events share a single allocation.
+    pub source_name: Arc<str>,
     /// Event name (the taxonomy key, e.g. `rms.qsub`, `sched.iteration`).
     pub name: String,
     /// Free-form payload.
@@ -151,7 +152,7 @@ impl Tracer {
         self.emit_with(|| TraceEvent {
             time,
             source,
-            source_name: source_name.to_string(),
+            source_name: Arc::from(source_name),
             name: name.to_string(),
             detail: detail(),
             kind: TraceEventKind::Instant,
@@ -163,7 +164,7 @@ impl Tracer {
         self.emit_with(|| TraceEvent {
             time,
             source,
-            source_name: source_name.to_string(),
+            source_name: Arc::from(source_name),
             name: name.to_string(),
             detail: String::new(),
             kind: TraceEventKind::SpanBegin,
@@ -175,7 +176,7 @@ impl Tracer {
         self.emit_with(|| TraceEvent {
             time,
             source,
-            source_name: source_name.to_string(),
+            source_name: Arc::from(source_name),
             name: name.to_string(),
             detail: String::new(),
             kind: TraceEventKind::SpanEnd,
@@ -194,7 +195,7 @@ impl Tracer {
         self.emit_with(|| TraceEvent {
             time,
             source,
-            source_name: source_name.to_string(),
+            source_name: Arc::from(source_name),
             name: name.to_string(),
             detail: String::new(),
             kind: TraceEventKind::Counter(value),
