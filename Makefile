@@ -1,13 +1,15 @@
 # Developer convenience targets. `make verify` is the full pre-merge
-# gate: formatting, lints as errors, a release build, and the quiet
-# test suite — the same sequence CI runs. `make bench` runs the
-# perf-regression macro suite and refreshes BENCH_sim.json;
-# `make bench-smoke` is the tiny-workload variant (one trial per
-# scenario) that stays fast enough to run alongside `make verify`.
+# gate: formatting, lints as errors, a release build, the quiet test
+# suite, and the bench regression check — the same sequence CI runs.
+# `make bench` runs the perf-regression macro suite and refreshes
+# BENCH_sim.json; `make bench-smoke` is the tiny-workload variant (one
+# trial per scenario); `make bench-check` runs the smoke suite and
+# fails if ping-pong throughput drops more than 20% below the
+# committed BENCH_sim.json.
 
-.PHONY: verify fmt lint build test bench bench-smoke
+.PHONY: verify fmt lint build test bench bench-smoke bench-check
 
-verify: fmt lint build test
+verify: fmt lint build test bench-check
 
 fmt:
 	cargo fmt --all --check
@@ -26,3 +28,6 @@ bench:
 
 bench-smoke:
 	cargo run --release -p darms-experiments --bin perf_report -- --smoke --out target/BENCH_sim.smoke.json
+
+bench-check:
+	cargo run --release -p darms-experiments --bin perf_report -- --smoke --out target/BENCH_sim.smoke.json --check BENCH_sim.json

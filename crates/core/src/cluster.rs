@@ -125,25 +125,28 @@ impl Cluster {
     }
 
     /// Spawn a front-end client process on the head node after `delay`.
-    /// The closure receives a [`ClientCtx`] with blocking `qsub`/`qstat`/
-    /// `qdel` calls.
-    pub fn client_after(
-        &mut self,
-        name: impl Into<String>,
-        delay: SimDuration,
-        f: impl FnOnce(ClientCtx) + Send + 'static,
-    ) {
+    /// The async closure receives a [`ClientCtx`] with awaitable
+    /// `qsub`/`qstat`/`qdel` calls: `|c| async move { … }`.
+    pub fn client_after<F, Fut>(&mut self, name: impl Into<String>, delay: SimDuration, f: F)
+    where
+        F: FnOnce(ClientCtx) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
         let ctx_net = self.net.clone();
         let ctx_fs = self.fs.clone();
         let head = self.head;
         let server = self.server();
         self.sim.spawn_process_after(name, delay, move |p| {
-            f(ClientCtx { proc: p, net: ctx_net, fs: ctx_fs, head, server });
+            f(ClientCtx { proc: p, net: ctx_net, fs: ctx_fs, head, server })
         });
     }
 
     /// Spawn a front-end client process starting at time zero.
-    pub fn client(&mut self, name: impl Into<String>, f: impl FnOnce(ClientCtx) + Send + 'static) {
+    pub fn client<F, Fut>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnOnce(ClientCtx) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
         self.client_after(name, SimDuration::ZERO, f);
     }
 
@@ -154,8 +157,8 @@ impl Cluster {
         let slot = Arc::new(Mutex::new(None));
         let out = slot.clone();
         let name = format!("qsub:{}", spec.name);
-        self.client_after(name, delay, move |c| {
-            let id = c.qsub(spec);
+        self.client_after(name, delay, move |c| async move {
+            let id = c.qsub(spec).await;
             *out.lock() = Some(id);
         });
         slot
@@ -189,46 +192,51 @@ pub struct ClientCtx {
 
 impl ClientCtx {
     /// Submit a job (blocking until the server acknowledges).
-    pub fn qsub(&self, spec: JobSpec) -> JobId {
-        ifl::qsub(&self.proc, &self.net, self.head, self.server, spec)
+    pub async fn qsub(&self, spec: JobSpec) -> JobId {
+        ifl::qsub(&self.proc, &self.net, self.head, self.server, spec).await
     }
 
     /// Query all job statuses.
-    pub fn qstat(&self) -> Vec<JobStatus> {
-        ifl::qstat(&self.proc, &self.net, self.head, self.server)
+    pub async fn qstat(&self) -> Vec<JobStatus> {
+        ifl::qstat(&self.proc, &self.net, self.head, self.server).await
     }
 
     /// Cancel a job.
-    pub fn qdel(&self, job: JobId) -> bool {
-        ifl::qdel(&self.proc, &self.net, self.head, self.server, job)
+    pub async fn qdel(&self, job: JobId) -> bool {
+        ifl::qdel(&self.proc, &self.net, self.head, self.server, job).await
     }
 
     /// Hold a queued job (`qhold`).
-    pub fn qhold(&self, job: JobId) -> bool {
-        ifl::qhold(&self.proc, &self.net, self.head, self.server, job)
+    pub async fn qhold(&self, job: JobId) -> bool {
+        ifl::qhold(&self.proc, &self.net, self.head, self.server, job).await
     }
 
     /// Release a held job (`qrls`).
-    pub fn qrls(&self, job: JobId) -> bool {
-        ifl::qrls(&self.proc, &self.net, self.head, self.server, job)
+    pub async fn qrls(&self, job: JobId) -> bool {
+        ifl::qrls(&self.proc, &self.net, self.head, self.server, job).await
     }
 
     /// Poll `qstat` until the job reaches `state` (or a terminal state);
     /// returns its final status. Polls every `poll`.
-    pub fn wait_for_state(&self, job: JobId, state: JobState, poll: SimDuration) -> JobStatus {
+    pub async fn wait_for_state(
+        &self,
+        job: JobId,
+        state: JobState,
+        poll: SimDuration,
+    ) -> JobStatus {
         loop {
-            let statuses = self.qstat();
+            let statuses = self.qstat().await;
             if let Some(s) = statuses.into_iter().find(|s| s.id == job) {
                 if s.state == state || s.state.is_terminal() {
                     return s;
                 }
             }
-            self.proc.sleep(poll);
+            self.proc.sleep(poll).await;
         }
     }
 
     /// Wait until the job completes; returns its final status.
-    pub fn wait_complete(&self, job: JobId, poll: SimDuration) -> JobStatus {
-        self.wait_for_state(job, JobState::Complete, poll)
+    pub async fn wait_complete(&self, job: JobId, poll: SimDuration) -> JobStatus {
+        self.wait_for_state(job, JobState::Complete, poll).await
     }
 }

@@ -34,20 +34,24 @@
 //! let spec = JobSpec::synthetic("demo", SimDuration::from_secs(1))
 //!     .acpn(2)
 //!     .script(script(move |jc| {
-//!         // AC_Init: connect to the two statically allocated accelerators.
-//!         let (mut ses, handles) = AcSession::init(jc, &dac, None);
-//!         let h = handles[0];
-//!         let a = ses.mem_alloc(h, 16).unwrap();
-//!         let b = ses.mem_alloc(h, 16).unwrap();
-//!         let c = ses.mem_alloc(h, 16).unwrap();
-//!         ses.mem_write(h, a, f64s_to_bytes(&[1.0, 2.0])).unwrap();
-//!         ses.mem_write(h, b, f64s_to_bytes(&[10.0, 20.0])).unwrap();
-//!         ses.kernel_run(h, "vector_add", KernelArgs::new(1, 2, vec![
-//!             Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(2),
-//!         ])).unwrap();
-//!         let r = as_f64s(&ses.mem_read(h, c, 16).unwrap());
-//!         *out.lock() = r.iter().sum();
-//!         ses.finalize();
+//!         let dac = dac.clone();
+//!         let out = out.clone();
+//!         async move {
+//!             // AC_Init: connect to the two statically allocated accelerators.
+//!             let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+//!             let h = handles[0];
+//!             let a = ses.mem_alloc(h, 16).await.unwrap();
+//!             let b = ses.mem_alloc(h, 16).await.unwrap();
+//!             let c = ses.mem_alloc(h, 16).await.unwrap();
+//!             ses.mem_write(h, a, f64s_to_bytes(&[1.0, 2.0])).await.unwrap();
+//!             ses.mem_write(h, b, f64s_to_bytes(&[10.0, 20.0])).await.unwrap();
+//!             ses.kernel_run(h, "vector_add", KernelArgs::new(1, 2, vec![
+//!                 Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(2),
+//!             ])).await.unwrap();
+//!             let r = as_f64s(&ses.mem_read(h, c, 16).await.unwrap());
+//!             *out.lock() = r.iter().sum();
+//!             ses.finalize();
+//!         }
 //!     }));
 //! cluster.qsub(spec);
 //! cluster.run();

@@ -60,7 +60,7 @@ impl TaskComm {
 
     /// Establish the channel from within a job task. Blocks until every
     /// compute node of the job has published its address.
-    pub fn establish(jc: &JobCtx) -> TaskComm {
+    pub async fn establish(jc: &JobCtx) -> TaskComm {
         let n = jc.compute.len();
         let my_addr = jc.net.bind_auto(jc.host, jc.proc.endpoint());
         jc.fs.write(jc.job, Self::addr_file(jc.node_index), encode_addr(my_addr));
@@ -72,7 +72,7 @@ impl TaskComm {
                     peers.push(decode_addr(&s));
                     break;
                 }
-                jc.proc.sleep(poll);
+                jc.proc.sleep(poll).await;
             }
         }
         TaskComm { me: jc.node_index, peers }
@@ -94,13 +94,13 @@ impl TaskComm {
         assert!(out.is_sent(), "task channel send failed");
     }
 
-    fn recv_from(&self, jc: &JobCtx, from: usize) -> CollBody {
-        let env = jc.proc.recv_where(|e| e.peek::<CollMsg>().is_some_and(|m| m.from == from));
+    async fn recv_from(&self, jc: &JobCtx, from: usize) -> CollBody {
+        let env = jc.proc.recv_where(|e| e.peek::<CollMsg>().is_some_and(|m| m.from == from)).await;
         env.downcast::<CollMsg>().expect("matched").body
     }
 
-    fn recv_any(&self, jc: &JobCtx) -> (usize, CollBody) {
-        let env = jc.proc.recv_where(|e| e.peek::<CollMsg>().is_some());
+    async fn recv_any(&self, jc: &JobCtx) -> (usize, CollBody) {
+        let env = jc.proc.recv_where(|e| e.peek::<CollMsg>().is_some()).await;
         let m = env.downcast::<CollMsg>().expect("matched");
         (m.from, m.body)
     }
@@ -113,7 +113,7 @@ impl AcSession {
     /// daemons on its share and receives a set carrying the **shared**
     /// client-id. All-or-nothing: if the total cannot be satisfied,
     /// every participant gets `Err(Rejected)`.
-    pub fn ac_get_collective(
+    pub async fn ac_get_collective(
         &mut self,
         jc: &JobCtx,
         tc: &TaskComm,
@@ -122,14 +122,14 @@ impl AcSession {
         let n = tc.size();
         if n == 1 {
             // Degenerate collective: identical to the individual call.
-            return self.ac_get(count);
+            return self.ac_get(count).await;
         }
         if tc.me() == 0 {
             // Collect everyone's count (participants indexed 1..n).
             let mut counts = vec![0u32; n];
             counts[0] = count;
             for _ in 1..n {
-                match tc.recv_any(jc) {
+                match tc.recv_any(jc).await {
                     (from, CollBody::Count(c)) => counts[from] = c,
                     _ => unreachable!("participants send counts first"),
                 }
@@ -138,7 +138,8 @@ impl AcSession {
             // One request for the grand total (the paper's single-request
             // semantics).
             let grant =
-                ifl::pbs_dynget(&jc.proc, &jc.net, jc.host, jc.server, jc.job, jc.host, total);
+                ifl::pbs_dynget(&jc.proc, &jc.net, jc.host, jc.server, jc.job, jc.host, total)
+                    .await;
             match grant {
                 Ok(g) => {
                     // Slice the grant per participant, in node order.
@@ -149,7 +150,7 @@ impl AcSession {
                         tc.send(jc, i, CollBody::Grant { client_id: g.client_id, accs: share });
                     }
                     let mine = g.accs[..counts[0] as usize].to_vec();
-                    self.adopt_grant(g.client_id, mine)
+                    self.adopt_grant(g.client_id, mine).await
                 }
                 Err(r) => {
                     for i in 1..n {
@@ -160,8 +161,8 @@ impl AcSession {
             }
         } else {
             tc.send(jc, 0, CollBody::Count(count));
-            match tc.recv_from(jc, 0) {
-                CollBody::Grant { client_id, accs } => self.adopt_grant(client_id, accs),
+            match tc.recv_from(jc, 0).await {
+                CollBody::Grant { client_id, accs } => self.adopt_grant(client_id, accs).await,
                 CollBody::Rejected(r) => Err(DacError::Rejected(r)),
                 _ => unreachable!("collector replies with Grant or Rejected"),
             }
@@ -173,7 +174,7 @@ impl AcSession {
     /// local daemons, then the collector issues the single `pbs_dynfree`
     /// for the shared client-id (the paper: same client-id ⇒ released
     /// only collectively).
-    pub fn ac_free_collective(
+    pub async fn ac_free_collective(
         &mut self,
         jc: &JobCtx,
         tc: &TaskComm,
@@ -181,20 +182,21 @@ impl AcSession {
     ) -> Result<(), DacError> {
         let n = tc.size();
         if n == 1 {
-            return self.ac_free(set);
+            return self.ac_free(set).await;
         }
         // Tear down local daemons; the server is notified once, below.
         if !set.handles.is_empty() {
-            self.release_local(set)?;
+            self.release_local(set).await?;
         }
         if tc.me() == 0 {
             for _ in 1..n {
-                match tc.recv_any(jc) {
+                match tc.recv_any(jc).await {
                     (_, CollBody::Released) => {}
                     _ => unreachable!("participants send Released"),
                 }
             }
-            let ok = ifl::pbs_dynfree(&jc.proc, &jc.net, jc.host, jc.server, jc.job, set.client_id);
+            let ok = ifl::pbs_dynfree(&jc.proc, &jc.net, jc.host, jc.server, jc.job, set.client_id)
+                .await;
             debug_assert!(ok, "server lost track of the collective set");
             Ok(())
         } else {

@@ -123,7 +123,7 @@ impl AcSession {
     /// With a [`Recorder`] attached, records `acinit.wait` (time until the
     /// daemons were ready — the dark region of the paper's Fig. 7(a)) and
     /// `acinit.connect` (communicator construction — the light region).
-    pub fn init(
+    pub async fn init(
         jc: &JobCtx,
         dac: &DacRuntime,
         recorder: Option<Recorder>,
@@ -131,7 +131,7 @@ impl AcSession {
         let x = jc.acc_hosts.len();
         let t0 = jc.proc.now();
         let mut session = AcSession {
-            mpi: dac.mpi.attach(jc.proc.clone(), jc.host),
+            mpi: dac.mpi.attach(jc.proc.clone(), jc.host).await,
             dac: dac.clone(),
             job: jc.job,
             cn_index: jc.node_index,
@@ -154,12 +154,12 @@ impl AcSession {
             if let Some(p) = dac.fs.read(jc.job, &port_file) {
                 break p;
             }
-            jc.proc.sleep(dac.cost.port_poll);
+            jc.proc.sleep(dac.cost.port_poll).await;
         };
         let t1 = jc.proc.now();
         let self_comm = session.mpi.self_comm();
-        let inter = session.mpi.comm_connect(&port, self_comm).expect("AC_Init connect");
-        let merged = session.mpi.intercomm_merge(inter, false).expect("AC_Init merge");
+        let inter = session.mpi.comm_connect(&port, self_comm).await.expect("AC_Init connect");
+        let merged = session.mpi.intercomm_merge(inter, false).await.expect("AC_Init merge");
         session.mpi.comm_disconnect(inter);
         session.mpi.comm_disconnect(self_comm);
         debug_assert_eq!(merged.rank(), 0, "compute node holds rank 0 (§III-C)");
@@ -198,13 +198,14 @@ impl AcSession {
         self.comm.ok_or(DacError::BadHandle(AcHandle(usize::MAX)))
     }
 
-    fn send_req(&mut self, h: AcHandle, body: ReqBody, bytes: u64) -> Result<u64, DacError> {
+    async fn send_req(&mut self, h: AcHandle, body: ReqBody, bytes: u64) -> Result<u64, DacError> {
         let rank = self.rank_of(h)?;
         let comm = self.comm()?;
         let req = self.next_req;
         self.next_req += 1;
         if !self.dac.cost.frontend_overhead.is_zero() {
-            self.mpi.proc().sleep(self.dac.cost.frontend_overhead);
+            let overhead = self.dac.cost.frontend_overhead;
+            self.mpi.proc().sleep(overhead).await;
         }
         match self.mpi.send(comm, rank, TAG_REQ, data(DacRequest { req, body }), bytes) {
             Ok(()) => Ok(req),
@@ -221,7 +222,7 @@ impl AcSession {
         }
     }
 
-    fn wait_reply(&mut self, h: AcHandle, req: u64) -> Result<RepBodyOwned, DacError> {
+    async fn wait_reply(&mut self, h: AcHandle, req: u64) -> Result<RepBodyOwned, DacError> {
         let rank = self.rank_of(h)?;
         let comm = self.comm()?;
         let timeout = self.dac.cost.request_timeout;
@@ -229,7 +230,7 @@ impl AcSession {
             return Ok(body);
         }
         loop {
-            let msg = match self.mpi.recv_timeout(comm, Some(rank), Some(TAG_REP), timeout) {
+            let msg = match self.mpi.recv_timeout(comm, Some(rank), Some(TAG_REP), timeout).await {
                 Some(m) => m,
                 None => {
                     // A dead accelerator (failed host): mark the handle
@@ -259,18 +260,18 @@ impl AcSession {
     // ----- computation API (acMemAlloc / acMemCpy / acKernel*) ----------
 
     /// `acMemAlloc`: allocate `size` bytes on the accelerator.
-    pub fn mem_alloc(&mut self, h: AcHandle, size: u64) -> Result<DevPtr, DacError> {
-        let req = self.send_req(h, ReqBody::MemAlloc { size }, self.dac.cost.ctl_bytes)?;
-        match self.wait_reply(h, req)? {
+    pub async fn mem_alloc(&mut self, h: AcHandle, size: u64) -> Result<DevPtr, DacError> {
+        let req = self.send_req(h, ReqBody::MemAlloc { size }, self.dac.cost.ctl_bytes).await?;
+        match self.wait_reply(h, req).await? {
             RepBodyOwned::Ptr(r) => r.map_err(DacError::Device),
             _ => unreachable!("MemAlloc replies with Ptr"),
         }
     }
 
     /// `acMemFree`: free device memory.
-    pub fn mem_free(&mut self, h: AcHandle, ptr: DevPtr) -> Result<(), DacError> {
-        let req = self.send_req(h, ReqBody::MemFree { ptr }, self.dac.cost.ctl_bytes)?;
-        match self.wait_reply(h, req)? {
+    pub async fn mem_free(&mut self, h: AcHandle, ptr: DevPtr) -> Result<(), DacError> {
+        let req = self.send_req(h, ReqBody::MemFree { ptr }, self.dac.cost.ctl_bytes).await?;
+        match self.wait_reply(h, req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
             _ => unreachable!("MemFree replies with Ack"),
         }
@@ -280,59 +281,70 @@ impl AcSession {
     /// `ptr`. Uses the pipelined protocol: the device-side copy overlaps
     /// the wire transfer, so the added device time is only the excess
     /// over the wire time (\[7\]).
-    pub fn mem_write(&mut self, h: AcHandle, ptr: DevPtr, bytes: Vec<u8>) -> Result<(), DacError> {
-        let l = self.mem_write_async(h, ptr, bytes)?;
-        self.op_wait(l)
+    pub async fn mem_write(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        bytes: Vec<u8>,
+    ) -> Result<(), DacError> {
+        let l = self.mem_write_async(h, ptr, bytes).await?;
+        self.op_wait(l).await
     }
 
     /// `acMemCpy` device→host: read `len` bytes from device memory.
-    pub fn mem_read(&mut self, h: AcHandle, ptr: DevPtr, len: u64) -> Result<Vec<u8>, DacError> {
-        self.mem_read_at(h, ptr, 0, len)
+    pub async fn mem_read(
+        &mut self,
+        h: AcHandle,
+        ptr: DevPtr,
+        len: u64,
+    ) -> Result<Vec<u8>, DacError> {
+        self.mem_read_at(h, ptr, 0, len).await
     }
 
     /// `acMemCpy` device→host at an offset within the allocation.
-    pub fn mem_read_at(
+    pub async fn mem_read_at(
         &mut self,
         h: AcHandle,
         ptr: DevPtr,
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>, DacError> {
-        let req =
-            self.send_req(h, ReqBody::CopyD2H { ptr, offset, len }, self.dac.cost.ctl_bytes)?;
-        match self.wait_reply(h, req)? {
+        let req = self
+            .send_req(h, ReqBody::CopyD2H { ptr, offset, len }, self.dac.cost.ctl_bytes)
+            .await?;
+        match self.wait_reply(h, req).await? {
             RepBodyOwned::Data(r) => r.map_err(DacError::Device),
             _ => unreachable!("CopyD2H replies with Data"),
         }
     }
 
     /// `acMemCpy` host→device at an offset within the allocation.
-    pub fn mem_write_at(
+    pub async fn mem_write_at(
         &mut self,
         h: AcHandle,
         ptr: DevPtr,
         offset: u64,
         bytes: Vec<u8>,
     ) -> Result<(), DacError> {
-        let l = self.mem_write_async_at(h, ptr, offset, bytes)?;
-        self.op_wait(l)
+        let l = self.mem_write_async_at(h, ptr, offset, bytes).await?;
+        self.op_wait(l).await
     }
 
     /// Asynchronous host→device transfer (the double-buffering building
     /// block from the paper's §I: hide the interconnect penalty by
     /// overlapping transfers with compute). Redeem with
     /// [`AcSession::op_wait`].
-    pub fn mem_write_async(
+    pub async fn mem_write_async(
         &mut self,
         h: AcHandle,
         ptr: DevPtr,
         bytes: Vec<u8>,
     ) -> Result<Launch, DacError> {
-        self.mem_write_async_at(h, ptr, 0, bytes)
+        self.mem_write_async_at(h, ptr, 0, bytes).await
     }
 
     /// Asynchronous host→device transfer at an offset.
-    pub fn mem_write_async_at(
+    pub async fn mem_write_async_at(
         &mut self,
         h: AcHandle,
         ptr: DevPtr,
@@ -352,13 +364,13 @@ impl AcSession {
             payload: std::sync::Arc::new(bytes),
             overlap_credit: credit,
         };
-        let req = self.send_req(h, body, self.dac.cost.ctl_bytes + len)?;
+        let req = self.send_req(h, body, self.dac.cost.ctl_bytes + len).await?;
         Ok(Launch { handle: h, req })
     }
 
     /// Wait for an asynchronous memory operation (acknowledgement only).
-    pub fn op_wait(&mut self, launch: Launch) -> Result<(), DacError> {
-        match self.wait_reply(launch.handle, launch.req)? {
+    pub async fn op_wait(&mut self, launch: Launch) -> Result<(), DacError> {
+        match self.wait_reply(launch.handle, launch.req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
             _ => unreachable!("memory operations reply with Ack"),
         }
@@ -366,34 +378,34 @@ impl AcSession {
 
     /// `acKernelRun` (asynchronous): launch a registered kernel; redeem
     /// the [`Launch`] with [`AcSession::kernel_wait`].
-    pub fn kernel_launch(
+    pub async fn kernel_launch(
         &mut self,
         h: AcHandle,
         name: &str,
         args: KernelArgs,
     ) -> Result<Launch, DacError> {
         let body = ReqBody::KernelRun { name: name.to_string(), args };
-        let req = self.send_req(h, body, self.dac.cost.ctl_bytes)?;
+        let req = self.send_req(h, body, self.dac.cost.ctl_bytes).await?;
         Ok(Launch { handle: h, req })
     }
 
     /// Wait for an asynchronous kernel launch to complete.
-    pub fn kernel_wait(&mut self, launch: Launch) -> Result<(), DacError> {
-        match self.wait_reply(launch.handle, launch.req)? {
+    pub async fn kernel_wait(&mut self, launch: Launch) -> Result<(), DacError> {
+        match self.wait_reply(launch.handle, launch.req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
             _ => unreachable!("KernelRun replies with Ack"),
         }
     }
 
     /// Synchronous kernel execution: launch and wait.
-    pub fn kernel_run(
+    pub async fn kernel_run(
         &mut self,
         h: AcHandle,
         name: &str,
         args: KernelArgs,
     ) -> Result<(), DacError> {
-        let l = self.kernel_launch(h, name, args)?;
-        self.kernel_wait(l)
+        let l = self.kernel_launch(h, name, args).await?;
+        self.kernel_wait(l).await
     }
 
     /// Host-free group reduction across a set of accelerators: each
@@ -403,7 +415,7 @@ impl AcSession {
     /// accelerators communicating via MPI without the host) and the group
     /// root stores the total at `out` on the first handle's device. The
     /// host only dispatches the operation and collects completion.
-    pub fn group_reduce_sum(
+    pub async fn group_reduce_sum(
         &mut self,
         parts: &[(AcHandle, DevPtr)],
         elems: u64,
@@ -427,17 +439,17 @@ impl AcSession {
         let mut pending = Vec::with_capacity(parts.len());
         for &(h, ptr) in parts {
             let body = ReqBody::GroupReduceSum { ptr, elems, out, peers: peers.clone() };
-            let req = self.send_req(h, body, self.dac.cost.ctl_bytes)?;
+            let req = self.send_req(h, body, self.dac.cost.ctl_bytes).await?;
             pending.push((h, req));
         }
         for (h, req) in pending {
-            match self.wait_reply(h, req)? {
+            match self.wait_reply(h, req).await? {
                 RepBodyOwned::Ack(r) => r.map_err(DacError::Device)?,
                 _ => unreachable!("GroupReduceSum replies with Ack"),
             }
         }
         // Fetch the total from the group root's device.
-        let bytes = self.mem_read(root_handle, out, 8)?;
+        let bytes = self.mem_read(root_handle, out, 8).await?;
         Ok(crate::device::as_f64s(&bytes)[0])
     }
 
@@ -452,8 +464,8 @@ impl AcSession {
     /// system portion — the dark region of the paper's Fig. 7(b)) and
     /// `acget.mpi` (spawn + communicator construction — the light
     /// region); rejections record `acget.rejected`.
-    pub fn ac_get(&mut self, count: u32) -> Result<AcSet, DacError> {
-        self.ac_get_range(count, count)
+    pub async fn ac_get(&mut self, count: u32) -> Result<AcSet, DacError> {
+        self.ac_get_range(count, count).await
     }
 
     /// `AC_Get()` accepting a *partial* grant: at least `min_count`, at
@@ -461,7 +473,7 @@ impl AcSession {
     /// work, §VI: "allocating less number of accelerators in the case
     /// where enough accelerators were not available"). The returned set
     /// reports how many were actually granted.
-    pub fn ac_get_range(&mut self, count: u32, min_count: u32) -> Result<AcSet, DacError> {
+    pub async fn ac_get_range(&mut self, count: u32, min_count: u32) -> Result<AcSet, DacError> {
         let t0 = self.mpi.proc().now();
         let grant: Result<DynGrant, DynReject> = ifl::pbs_dynget_range(
             self.mpi.proc(),
@@ -472,7 +484,8 @@ impl AcSession {
             self.host,
             count,
             min_count,
-        );
+        )
+        .await;
         let t1 = self.mpi.proc().now();
         let metrics = self.mpi.proc().metrics();
         let grant = match grant {
@@ -486,7 +499,7 @@ impl AcSession {
                 return Err(DacError::Rejected(r));
             }
         };
-        let set = self.adopt_grant(grant.client_id, grant.accs)?;
+        let set = self.adopt_grant(grant.client_id, grant.accs).await?;
         let t2 = self.mpi.proc().now();
         if let Some(rec) = &self.recorder {
             rec.record_duration("acget.batch", t2, t1 - t0);
@@ -502,7 +515,7 @@ impl AcSession {
     /// everyone merges with the new daemons high) and mint handles. Used
     /// by [`AcSession::ac_get`] and by the collective variant, where the
     /// grant was obtained by the collector node.
-    pub(crate) fn adopt_grant(
+    pub(crate) async fn adopt_grant(
         &mut self,
         client_id: ClientId,
         accs: Vec<darms_net::HostId>,
@@ -528,8 +541,8 @@ impl AcSession {
             None => self.mpi.self_comm(),
         };
         let args = vec![self.job.0.to_string(), self.cn_index.to_string(), "dyn".to_string()];
-        let inter = self.mpi.comm_spawn(local, DAEMON_EXE, &args, &accs)?;
-        let merged = self.mpi.intercomm_merge(inter, false)?;
+        let inter = self.mpi.comm_spawn(local, DAEMON_EXE, &args, &accs).await?;
+        let merged = self.mpi.intercomm_merge(inter, false).await?;
         self.mpi.comm_disconnect(inter);
         self.mpi.comm_disconnect(local); // superseded session (or self) comm
         debug_assert_eq!(merged.rank(), 0);
@@ -548,9 +561,9 @@ impl AcSession {
     /// compute node disconnects from the released daemons (shrinking the
     /// session communicator) and then notifies the batch system via
     /// `pbs_dynfree`; the application continues immediately (§III-D).
-    pub fn ac_free(&mut self, set: &AcSet) -> Result<(), DacError> {
+    pub async fn ac_free(&mut self, set: &AcSet) -> Result<(), DacError> {
         let t0 = self.mpi.proc().now();
-        self.release_local(set)?;
+        self.release_local(set).await?;
         // Tell the batch system; the reply is positive immediately.
         let ok = ifl::pbs_dynfree(
             self.mpi.proc(),
@@ -559,7 +572,8 @@ impl AcSession {
             self.server,
             self.job,
             set.client_id,
-        );
+        )
+        .await;
         debug_assert!(ok, "server lost track of {:?}", set.client_id);
         let t1 = self.mpi.proc().now();
         self.mpi.proc().metrics().observe_duration("dac.acfree_latency", t1 - t0);
@@ -570,7 +584,7 @@ impl AcSession {
     /// communicator, remap handles) **without** notifying the server.
     /// `ac_free` adds the `pbs_dynfree`; the collective release lets the
     /// collector node send the single notification for the shared set.
-    pub(crate) fn release_local(&mut self, set: &AcSet) -> Result<(), DacError> {
+    pub(crate) async fn release_local(&mut self, set: &AcSet) -> Result<(), DacError> {
         let comm = self.comm()?;
         // The set is released as a unit identified by its client-id; every
         // handle must belong to it and still be live.
@@ -616,7 +630,7 @@ impl AcSession {
                     .map_err(DacError::Mpi)?;
             }
         }
-        let new_comm = self.mpi.comm_shrink(comm, &removed)?;
+        let new_comm = self.mpi.comm_shrink(comm, &removed).await?;
         self.mpi.comm_disconnect(comm); // superseded session comm
         self.comm = Some(new_comm);
         // Remap surviving handle ranks: rank 0 stays the compute node;

@@ -117,7 +117,7 @@ impl DacRuntime {
         };
         let rt2 = rt.clone();
         rt.mpi.register_exe(DAEMON_EXE, move |mpi_proc, args| {
-            daemon_main(mpi_proc, rt2.clone(), args);
+            daemon_main(mpi_proc, rt2.clone(), args)
         });
         rt
     }
@@ -158,7 +158,7 @@ impl DacRuntime {
 /// Args: `[job_id, cn_index, mode]` where mode is `static` (started by the
 /// mother superior; rendezvous through a port file) or `dyn` (spawned by
 /// the front-end via `MPI_Comm_spawn`).
-fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
+async fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
     let job = JobId(args[0].parse().expect("daemon arg 0: job id"));
     let cn_index: usize = args[1].parse().expect("daemon arg 1: cn index");
     let mode = args.get(2).map(String::as_str).unwrap_or("static");
@@ -168,18 +168,18 @@ fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
             let world = mpi.world().expect("static daemons are launched as a world");
             // All daemons of the set synchronise, then the root opens the
             // port and publishes it for AC_Init (§III-C).
-            mpi.barrier(world).expect("daemon world barrier");
+            mpi.barrier(world).await.expect("daemon world barrier");
             let merged = if world.rank() == 0 {
                 let port = mpi.open_port();
                 dac.fs.write(job, PseudoFs::ac_port_file(cn_index), port.clone());
-                let inter = mpi.comm_accept(&port, world).expect("daemon accept");
+                let inter = mpi.comm_accept(&port, world).await.expect("daemon accept");
                 mpi.close_port(&port);
-                let merged = mpi.intercomm_merge(inter, true).expect("daemon merge");
+                let merged = mpi.intercomm_merge(inter, true).await.expect("daemon merge");
                 mpi.comm_disconnect(inter);
                 merged
             } else {
-                let inter = mpi.comm_accept("", world).expect("daemon accept (non-root)");
-                let merged = mpi.intercomm_merge(inter, true).expect("daemon merge");
+                let inter = mpi.comm_accept("", world).await.expect("daemon accept (non-root)");
+                let merged = mpi.intercomm_merge(inter, true).await.expect("daemon merge");
                 mpi.comm_disconnect(inter);
                 merged
             };
@@ -190,7 +190,7 @@ fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
         }
         "dyn" => {
             let parent = mpi.parent().expect("dynamic daemons are spawned");
-            let merged = mpi.intercomm_merge(parent, true).expect("daemon merge");
+            let merged = mpi.intercomm_merge(parent, true).await.expect("daemon merge");
             if let Some(world) = mpi.world() {
                 mpi.comm_disconnect(world);
             }
@@ -199,17 +199,17 @@ fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
         }
         other => panic!("unknown daemon mode {other}"),
     };
-    serve(mpi, dac, comm);
+    serve(mpi, dac, comm).await;
 }
 
 /// The daemon service loop: execute computation requests from the compute
 /// node (rank 0 of the merged communicator) until released.
-fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
+async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
     let device = dac.device_for(mpi.host());
     let mut my_ptrs: HashSet<DevPtr> = HashSet::new();
     let overhead = dac.cost.request_overhead;
     loop {
-        let msg = mpi.recv(comm, Some(0), Some(TAG_REQ));
+        let msg = mpi.recv(comm, Some(0), Some(TAG_REQ)).await;
         let request =
             msg.data.downcast_ref::<DacRequest>().expect("TAG_REQ messages carry DacRequest");
         let req = request.req;
@@ -217,14 +217,15 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
             ReqBody::Grow => {
                 let inter = mpi
                     .comm_spawn(comm, DAEMON_EXE, &[], &[])
+                    .await
                     .expect("daemon joins collective spawn");
-                let merged = mpi.intercomm_merge(inter, false).expect("daemon joins merge");
+                let merged = mpi.intercomm_merge(inter, false).await.expect("daemon joins merge");
                 mpi.comm_disconnect(inter);
                 mpi.comm_disconnect(comm); // superseded session comm
                 comm = merged;
             }
             ReqBody::Shrink { removed } => {
-                let shrunk = mpi.comm_shrink(comm, removed).expect("daemon joins shrink");
+                let shrunk = mpi.comm_shrink(comm, removed).await.expect("daemon joins shrink");
                 mpi.comm_disconnect(comm); // superseded session comm
                 comm = shrunk;
             }
@@ -237,7 +238,7 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
             }
             ReqBody::MemAlloc { size } => {
                 if !overhead.is_zero() {
-                    mpi.proc().sleep(overhead);
+                    mpi.proc().sleep(overhead).await;
                 }
                 let r = device.lock().malloc(*size);
                 if let Ok(p) = &r {
@@ -247,7 +248,7 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
             }
             ReqBody::MemFree { ptr } => {
                 if !overhead.is_zero() {
-                    mpi.proc().sleep(overhead);
+                    mpi.proc().sleep(overhead).await;
                 }
                 let r = device.lock().mem_free(*ptr);
                 my_ptrs.remove(ptr);
@@ -258,7 +259,7 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 let effective = dev_time.saturating_sub(*overlap_credit);
                 let d = overhead + effective;
                 if !d.is_zero() {
-                    mpi.proc().sleep(d);
+                    mpi.proc().sleep(d).await;
                 }
                 let r = device.lock().write(*ptr, *offset, payload);
                 reply(&mpi, comm, req, RepBody::Ack(r.map_err(|e| e.to_string())), &dac);
@@ -266,7 +267,7 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
             ReqBody::CopyD2H { ptr, offset, len } => {
                 let d = overhead + device.lock().props().d2h_time(*len);
                 if !d.is_zero() {
-                    mpi.proc().sleep(d);
+                    mpi.proc().sleep(d).await;
                 }
                 let r = device.lock().read(*ptr, *offset, *len);
                 let bytes = r.as_ref().map(|v| v.len() as u64).unwrap_or(0);
@@ -275,7 +276,8 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
             }
             ReqBody::GroupReduceSum { ptr, elems, out, peers } => {
                 let result =
-                    group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers);
+                    group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers)
+                        .await;
                 reply(&mpi, comm, req, RepBody::Ack(result), &dac);
             }
             ReqBody::KernelRun { name, args } => {
@@ -285,7 +287,7 @@ fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                         let cost = (k.cost)(args, &props);
                         let d = overhead + cost;
                         if !d.is_zero() {
-                            mpi.proc().sleep(d);
+                            mpi.proc().sleep(d).await;
                         }
                         (k.body)(&mut device.lock(), args)
                     }
@@ -306,7 +308,7 @@ fn reply(mpi: &MpiProc, comm: Comm, req: u64, body: RepBody, dac: &DacRuntime) {
 /// session communicator (a star on the group root), never through the
 /// compute node — the extended host-free kernel pattern of §I.
 #[allow(clippy::too_many_arguments)]
-fn group_reduce_sum(
+async fn group_reduce_sum(
     mpi: &mut MpiProc,
     dac: &DacRuntime,
     comm: Comm,
@@ -324,14 +326,14 @@ fn group_reduce_sum(
     let cost = dac.cost.request_overhead
         + darms_sim::SimDuration::from_secs_f64(elems as f64 / (props.flops * 0.3).max(1.0));
     if !cost.is_zero() {
-        mpi.proc().sleep(cost);
+        mpi.proc().sleep(cost).await;
     }
     let bytes = device.lock().read(ptr, 0, elems * 8).map_err(|e| e.to_string())?;
     let partial: f64 = as_f64s(&bytes).iter().sum();
     if me == root {
         let mut total = partial;
         for _ in 1..peers.len() {
-            let msg = mpi.recv(comm, None, Some(TAG_PEER));
+            let msg = mpi.recv(comm, None, Some(TAG_PEER)).await;
             total += *msg.data.downcast_ref::<f64>().ok_or("peer partial must be f64")?;
         }
         device.lock().write(out, 0, &f64s_to_bytes(&[total])).map_err(|e| e.to_string())?;

@@ -14,16 +14,16 @@ fn bench_engine_pingpong(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut sim = Engine::with_seed(1);
-                let pong = sim.spawn_process("pong", move |p| {
+                let pong = sim.spawn_process("pong", move |p| async move {
                     for _ in 0..n {
-                        let (v, src) = p.recv_as::<u32>();
+                        let (v, src) = p.recv_as::<u32>().await;
                         p.send(src.unwrap(), v + 1, SimDuration::from_micros(1));
                     }
                 });
-                sim.spawn_process("ping", move |p| {
+                sim.spawn_process("ping", move |p| async move {
                     for i in 0..n {
                         p.send(pong.into(), i, SimDuration::from_micros(1));
-                        let _ = p.recv_as::<u32>();
+                        let _ = p.recv_as::<u32>().await;
                     }
                 });
                 sim.run()
@@ -42,12 +42,12 @@ fn bench_mpi_collectives(c: &mut Criterion) {
             let hosts: Vec<_> =
                 (0..6).map(|i| net.add_host(format!("h{i}"), HostKind::Generic)).collect();
             let rt = MpiRuntime::new(net, MpiCostModel::instant());
-            rt.register_exe("work", |mut mpi, _| {
+            rt.register_exe("work", |mut mpi, _| async move {
                 let world = mpi.world().unwrap();
                 for _ in 0..10 {
-                    mpi.barrier(world).unwrap();
+                    mpi.barrier(world).await.unwrap();
                     let me = world.rank() as u64;
-                    let _ = mpi.gather(world, 0, data(me), 8).unwrap();
+                    let _ = mpi.gather(world, 0, data(me), 8).await.unwrap();
                 }
             });
             let specs = hosts

@@ -25,42 +25,47 @@ fn run(seed: u64, collective: bool, pool: usize) -> (Vec<f64>, usize) {
     let l = lat.clone();
     let g = granted.clone();
     let spec = JobSpec::synthetic("multi", secs(30)).nodes(nodes).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let tc = TaskComm::establish(jc);
-        // Align all nodes at the same instant.
-        let target = SimTime::ZERO + secs(5);
-        let now = jc.proc.now();
-        if target > now {
-            jc.proc.sleep(target - now);
-        }
-        let t0 = jc.proc.now();
-        if collective {
-            match ses.ac_get_collective(jc, &tc, 2) {
-                Ok(set) => {
-                    *g.lock() += 1;
-                    l.lock().push((jc.proc.now() - t0).as_secs_f64());
-                    jc.proc.sleep(secs(10)); // hold the grant through the phase
-                    ses.ac_free_collective(jc, &tc, &set).unwrap();
+        let dac = dac.clone();
+        let l = l.clone();
+        let g = g.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let tc = TaskComm::establish(&jc).await;
+            // Align all nodes at the same instant.
+            let target = SimTime::ZERO + secs(5);
+            let now = jc.proc.now();
+            if target > now {
+                jc.proc.sleep(target - now).await;
+            }
+            let t0 = jc.proc.now();
+            if collective {
+                match ses.ac_get_collective(&jc, &tc, 2).await {
+                    Ok(set) => {
+                        *g.lock() += 1;
+                        l.lock().push((jc.proc.now() - t0).as_secs_f64());
+                        jc.proc.sleep(secs(10)).await; // hold the grant through the phase
+                        ses.ac_free_collective(&jc, &tc, &set).await.unwrap();
+                    }
+                    Err(_) => {
+                        l.lock().push((jc.proc.now() - t0).as_secs_f64());
+                        // still must participate in nothing further
+                    }
                 }
-                Err(_) => {
-                    l.lock().push((jc.proc.now() - t0).as_secs_f64());
-                    // still must participate in nothing further
+            } else {
+                match ses.ac_get(2).await {
+                    Ok(set) => {
+                        *g.lock() += 1;
+                        l.lock().push((jc.proc.now() - t0).as_secs_f64());
+                        jc.proc.sleep(secs(10)).await; // hold the grant through the phase
+                        ses.ac_free(&set).await.unwrap();
+                    }
+                    Err(_) => {
+                        l.lock().push((jc.proc.now() - t0).as_secs_f64());
+                    }
                 }
             }
-        } else {
-            match ses.ac_get(2) {
-                Ok(set) => {
-                    *g.lock() += 1;
-                    l.lock().push((jc.proc.now() - t0).as_secs_f64());
-                    jc.proc.sleep(secs(10)); // hold the grant through the phase
-                    ses.ac_free(&set).unwrap();
-                }
-                Err(_) => {
-                    l.lock().push((jc.proc.now() - t0).as_secs_f64());
-                }
-            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

@@ -31,21 +31,26 @@ fn run(seed: u64, partial: bool) -> Outcome {
         let d = dac.clone();
         let (g, r, sv) = (granted.clone(), rejected.clone(), served.clone());
         let spec = JobSpec::synthetic(format!("j{i}"), secs(80)).ppn(2).script(script(move |jc| {
-            let (mut ses, _) = AcSession::init(jc, &d, None);
-            for b in 0..2u64 {
-                jc.proc.sleep(secs(4 + 3 * b));
-                let res = if partial { ses.ac_get_range(4, 1) } else { ses.ac_get(4) };
-                match res {
-                    Ok(set) => {
-                        *g.lock() += 1;
-                        *sv.lock() += set.handles.len();
-                        jc.proc.sleep(secs(8));
-                        ses.ac_free(&set).unwrap();
+            let d = d.clone();
+            let (g, r, sv) = (g.clone(), r.clone(), sv.clone());
+            async move {
+                let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                for b in 0..2u64 {
+                    jc.proc.sleep(secs(4 + 3 * b)).await;
+                    let res =
+                        if partial { ses.ac_get_range(4, 1).await } else { ses.ac_get(4).await };
+                    match res {
+                        Ok(set) => {
+                            *g.lock() += 1;
+                            *sv.lock() += set.handles.len();
+                            jc.proc.sleep(secs(8)).await;
+                            ses.ac_free(&set).await.unwrap();
+                        }
+                        Err(_) => *r.lock() += 1,
                     }
-                    Err(_) => *r.lock() += 1,
                 }
+                ses.finalize();
             }
-            ses.finalize();
         }));
         cluster.qsub_after(secs(2 * i as u64), spec);
     }

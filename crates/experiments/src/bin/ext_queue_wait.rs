@@ -37,25 +37,29 @@ fn run(seed: u64, queue_wait: Option<SimDuration>) -> Outcome {
         let (g, r, w) = (granted.clone(), rejected.clone(), waits.clone());
         let spec =
             JobSpec::synthetic(format!("j{i}"), secs(120)).ppn(2).script(script(move |jc| {
-                let (mut ses, _) = AcSession::init(jc, &d, None);
-                for b in 0..4u64 {
-                    jc.proc.sleep(secs(2 + b));
-                    let t0 = jc.proc.now();
-                    match ses.ac_get(2) {
-                        Ok(set) => {
-                            w.lock().push((jc.proc.now() - t0).as_secs_f64());
-                            *g.lock() += 1;
-                            jc.proc.sleep(secs(6));
-                            ses.ac_free(&set).unwrap();
-                        }
-                        Err(_) => {
-                            w.lock().push((jc.proc.now() - t0).as_secs_f64());
-                            *r.lock() += 1;
-                            jc.proc.sleep(secs(2));
+                let d = d.clone();
+                let (g, r, w) = (g.clone(), r.clone(), w.clone());
+                async move {
+                    let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                    for b in 0..4u64 {
+                        jc.proc.sleep(secs(2 + b)).await;
+                        let t0 = jc.proc.now();
+                        match ses.ac_get(2).await {
+                            Ok(set) => {
+                                w.lock().push((jc.proc.now() - t0).as_secs_f64());
+                                *g.lock() += 1;
+                                jc.proc.sleep(secs(6)).await;
+                                ses.ac_free(&set).await.unwrap();
+                            }
+                            Err(_) => {
+                                w.lock().push((jc.proc.now() - t0).as_secs_f64());
+                                *r.lock() += 1;
+                                jc.proc.sleep(secs(2)).await;
+                            }
                         }
                     }
+                    ses.finalize();
                 }
-                ses.finalize();
             }));
         cluster.qsub_after(secs(i as u64), spec);
     }

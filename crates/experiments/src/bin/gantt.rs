@@ -41,26 +41,30 @@ fn main() {
             .acpn(acpn)
             .walltime(t.walltime_estimate)
             .script(script(move |jc| {
-                if jc.node_index == 0 && statics > 0 {
-                    ev.lock().push((jc.proc.now(), statics));
-                }
-                let (mut ses, _) = AcSession::init(jc, &d, None);
-                jc.proc.sleep(runtime / 2);
-                if jc.node_index == 0 && i % 3 == 0 {
-                    if let Ok(set) = ses.ac_get(1) {
-                        ev.lock().push((jc.proc.now(), 1));
-                        jc.proc.sleep(runtime / 2);
-                        ses.ac_free(&set).unwrap();
-                        ev.lock().push((jc.proc.now(), -1));
-                    } else {
-                        jc.proc.sleep(runtime / 2);
+                let d = d.clone();
+                let ev = ev.clone();
+                async move {
+                    if jc.node_index == 0 && statics > 0 {
+                        ev.lock().push((jc.proc.now(), statics));
                     }
-                } else {
-                    jc.proc.sleep(runtime / 2);
-                }
-                ses.finalize();
-                if jc.node_index == 0 && statics > 0 {
-                    ev.lock().push((jc.proc.now(), -statics));
+                    let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                    jc.proc.sleep(runtime / 2).await;
+                    if jc.node_index == 0 && i % 3 == 0 {
+                        if let Ok(set) = ses.ac_get(1).await {
+                            ev.lock().push((jc.proc.now(), 1));
+                            jc.proc.sleep(runtime / 2).await;
+                            ses.ac_free(&set).await.unwrap();
+                            ev.lock().push((jc.proc.now(), -1));
+                        } else {
+                            jc.proc.sleep(runtime / 2).await;
+                        }
+                    } else {
+                        jc.proc.sleep(runtime / 2).await;
+                    }
+                    ses.finalize();
+                    if jc.node_index == 0 && statics > 0 {
+                        ev.lock().push((jc.proc.now(), -statics));
+                    }
                 }
             }));
         cluster.qsub_after(t.arrival, spec);
@@ -68,13 +72,15 @@ fn main() {
 
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watch", SimDuration::from_secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == 14 && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
+    cluster.client_after("watch", SimDuration::from_secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            if st.len() == 14 && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(SimDuration::from_secs(10)).await;
         }
-        c.proc.sleep(SimDuration::from_secs(10));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);

@@ -3,23 +3,31 @@
 //!
 //! ```text
 //! cargo run --release -p darms-experiments --bin perf_report -- \
-//!     [--smoke] [--out PATH]
+//!     [--smoke] [--out PATH] [--check BASELINE]
 //! ```
 //!
 //! The suite:
 //! 1. **ping-pong** — two processes bouncing a message 200k times: the
-//!    pure kernel hot path (send, deliver, park/unpark hand-off). The
+//!    pure kernel hot path (send, deliver, future-poll hand-off). The
 //!    pre-PR baseline measured with the same probe on the same class of
 //!    machine is embedded for comparison.
-//! 2. **fig8** — the paper's scheduler-under-load scenario (the most
+//! 2. **spawn-churn** — 10k short-lived processes spawned, slept and
+//!    retired: process-lifecycle throughput. Impossible at this scale
+//!    with an OS thread per process; trivial for stackless futures.
+//! 3. **fig8** — the paper's scheduler-under-load scenario (the most
 //!    actor-heavy figure), serially, events/sec and wall per simulated
 //!    second.
-//! 3. **swf_replay** — a scaled SWF replay (process-thread heavy).
-//! 4. **sweep** — the same fig8 cells serial vs parallel on the trial
-//!    runner: records the speedup and that the results are identical.
+//! 4. **swf_replay** — a scaled SWF replay (process heavy).
+//! 5. **sweep** — the same swf_replay cells serial vs parallel on the
+//!    trial runner with `available_parallelism()` workers: records both
+//!    rows (serial and parallel) and that the results are identical.
 //!
 //! `--smoke` shrinks every dimension (one trial, tiny workload) so the
-//! harness can run in CI alongside `make verify`.
+//! harness can run in CI alongside `make verify`. `--check BASELINE`
+//! compares the measured ping-pong throughput against the
+//! `pingpong.events_per_sec` recorded in a committed `BENCH_sim.json`
+//! and exits non-zero on a regression of more than 20% — this is what
+//! `make bench-check` (part of `make verify`) runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,20 +43,39 @@ const PRE_PR_PINGPONG_EPS: f64 = 108_013.0;
 fn pingpong_once(round_trips: u32) -> (u64, f64) {
     let n = round_trips;
     let mut sim = Engine::with_seed(1);
-    let pong = sim.spawn_process("pong", move |p| {
+    let pong = sim.spawn_process("pong", move |p| async move {
         for _ in 0..n {
-            let (v, src) = p.recv_as::<u32>();
+            let (v, src) = p.recv_as::<u32>().await;
             p.send(src.unwrap(), v + 1, SimDuration::from_micros(1));
         }
     });
-    sim.spawn_process("ping", move |p| {
+    sim.spawn_process("ping", move |p| async move {
         for i in 0..n {
             p.send(pong.into(), i, SimDuration::from_micros(1));
-            let _ = p.recv_as::<u32>();
+            let _ = p.recv_as::<u32>().await;
         }
     });
     let stats = sim.run();
     (stats.events, stats.wall_secs())
+}
+
+/// Spawn-churn probe: `procs` short-lived processes, each sleeping a few
+/// microseconds and exiting, plus a final full-population wave that is
+/// alive at once. Exercises spawn, first-poll, park and retirement — the
+/// paths that used to cost an OS thread each.
+fn spawn_churn_once(procs: u32) -> (u64, f64, u32) {
+    let mut sim = Engine::with_seed(1);
+    for i in 0..procs {
+        sim.spawn_process_after(
+            format!("churn{i}"),
+            SimDuration::from_micros((i % 97) as u64),
+            move |p| async move {
+                p.sleep(SimDuration::from_micros(5)).await;
+            },
+        );
+    }
+    let stats = sim.run();
+    (stats.events, stats.wall_secs(), procs)
 }
 
 struct Macro {
@@ -78,23 +105,51 @@ impl Macro {
     }
 }
 
+/// Pull `pingpong.events_per_sec` out of a committed `BENCH_sim.json`
+/// without a JSON dependency: the harness writes the `"pingpong"` object
+/// on a single line, so a substring scan is exact.
+fn baseline_pingpong_eps(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check: cannot read baseline {path}: {e}"));
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"pingpong\""))
+        .unwrap_or_else(|| panic!("--check: no \"pingpong\" entry in {path}"));
+    let key = "\"events_per_sec\": ";
+    let at = line.find(key).unwrap_or_else(|| panic!("--check: no events_per_sec in {path}"));
+    let rest = &line[at + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("--check: bad events_per_sec in {path}: {e}"))
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_sim.json");
+    let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a baseline path")),
             other => {
-                eprintln!("unknown argument {other}; usage: perf_report [--smoke] [--out PATH]");
+                eprintln!(
+                    "unknown argument {other}; \
+                     usage: perf_report [--smoke] [--out PATH] [--check BASELINE]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = runner::default_threads();
+    // The sweep's parallel row always uses the machine's full
+    // parallelism so the recorded speedup is comparable across runs
+    // (DARMS_SWEEP_THREADS and set_threads() still govern other sweeps).
+    let threads = cores;
     let mode = if smoke { "smoke" } else { "full" };
     println!("perf_report: mode={mode} cores={cores} sweep_threads={threads}");
 
@@ -117,7 +172,17 @@ fn main() {
         pp_eps / PRE_PR_PINGPONG_EPS
     );
 
-    // 2. fig8 scenario, serial (stable macro numbers).
+    // 2. Spawn churn: thousands of short-lived processes.
+    let churn_procs: u32 = if smoke { 1_000 } else { 10_000 };
+    let (churn_events, churn_wall, _) = spawn_churn_once(churn_procs);
+    let churn_pps = churn_procs as f64 / churn_wall;
+    let churn_eps = churn_events as f64 / churn_wall;
+    println!(
+        "  spawn_churn: {churn_procs} processes, {churn_events} events in {churn_wall:.3}s \
+         -> {churn_pps:.0} procs/sec, {churn_eps:.0} events/sec"
+    );
+
+    // 3. fig8 scenario, serial (stable macro numbers).
     let fig8_trials = if smoke { 1 } else { 5 };
     let t0 = Instant::now();
     let fig8_cells =
@@ -133,7 +198,7 @@ fn main() {
         fig8.wall_per_sim_second()
     );
 
-    // 3. Scaled SWF replay.
+    // 4. Scaled SWF replay.
     let swf_jobs = if smoke { 10 } else { 120 };
     let cfg = ReplayConfig { jobs: swf_jobs, seed: 4242, ..ReplayConfig::default() };
     let t0 = Instant::now();
@@ -149,7 +214,7 @@ fn main() {
         swf.wall_per_sim_second()
     );
 
-    // 4. Serial vs parallel sweep of identical swf_replay cells (the
+    // 5. Serial vs parallel sweep of identical swf_replay cells (the
     // heaviest per-cell scenario, so the speedup is not noise-bound).
     let sweep_cells = if smoke { 2 } else { 8 };
     let cell = |i: usize| {
@@ -190,6 +255,12 @@ fn main() {
          \"speedup_vs_pre_pr\": {:.2}}},",
         pp_eps / PRE_PR_PINGPONG_EPS
     );
+    let _ = writeln!(
+        json,
+        "  \"spawn_churn\": {{\"processes\": {churn_procs}, \"events\": {churn_events}, \
+         \"wall_secs\": {churn_wall:.3}, \"procs_per_sec\": {churn_pps:.0}, \
+         \"events_per_sec\": {churn_eps:.0}}},"
+    );
     json.push_str(&format!("  \"fig8\": {{\"trials\": {fig8_trials}, \"load\": 16, "));
     fig8.push_json(&mut json);
     json.push_str("},\n");
@@ -206,4 +277,19 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("wrote {out_path}");
+
+    if let Some(baseline) = check_path {
+        let base_eps = baseline_pingpong_eps(&baseline);
+        let floor = base_eps * 0.8;
+        if pp_eps < floor {
+            eprintln!(
+                "bench-check FAILED: pingpong {pp_eps:.0} events/sec is more than 20% below \
+                 the committed baseline {base_eps:.0} ({baseline})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench-check ok: pingpong {pp_eps:.0} events/sec >= 80% of baseline {base_eps:.0}"
+        );
+    }
 }

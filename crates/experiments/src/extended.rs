@@ -54,37 +54,43 @@ fn provisioning_run(seed: u64, dynamic: bool) -> ProvisioningOutcome {
             .ppn(4)
             .walltime((base + burst) * 2)
             .script(script(move |jc| {
-                let (mut ses, _) = AcSession::init(jc, &d, None);
-                jc.proc.sleep(base);
-                if dynamic {
-                    match ses.ac_get(2) {
-                        Ok(set) => {
-                            jc.proc.sleep(burst);
-                            ses.ac_free(&set).unwrap();
+                let d = d.clone();
+                let rj = rj.clone();
+                async move {
+                    let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                    jc.proc.sleep(base).await;
+                    if dynamic {
+                        match ses.ac_get(2).await {
+                            Ok(set) => {
+                                jc.proc.sleep(burst).await;
+                                ses.ac_free(&set).await.unwrap();
+                            }
+                            Err(_) => {
+                                *rj.lock() += 1;
+                                // degrade: run the burst on the single static
+                                // accelerator, three times slower
+                                jc.proc.sleep(burst * 3).await;
+                            }
                         }
-                        Err(_) => {
-                            *rj.lock() += 1;
-                            // degrade: run the burst on the single static
-                            // accelerator, three times slower
-                            jc.proc.sleep(burst * 3);
-                        }
+                    } else {
+                        jc.proc.sleep(burst).await;
                     }
-                } else {
-                    jc.proc.sleep(burst);
+                    ses.finalize();
                 }
-                ses.finalize();
             }));
         cluster.qsub_after(secs(2 * i as u64), spec);
     }
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watch", secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == n_jobs as usize && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
+    cluster.client_after("watch", secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            if st.len() == n_jobs as usize && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(secs(5)).await;
         }
-        c.proc.sleep(secs(5));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -118,20 +124,25 @@ fn rejection_run(seed: u64, pool: usize) -> f64 {
         let g = granted.clone();
         let r = rejected.clone();
         let spec = JobSpec::synthetic(format!("j{i}"), secs(60)).ppn(2).script(script(move |jc| {
-            let (mut ses, _) = AcSession::init(jc, &d, None);
-            // Three bursts per job at staggered offsets.
-            for b in 0..3u64 {
-                jc.proc.sleep(secs(5 + 3 * b));
-                match ses.ac_get(2) {
-                    Ok(set) => {
-                        *g.lock() += 1;
-                        jc.proc.sleep(secs(6));
-                        ses.ac_free(&set).unwrap();
+            let d = d.clone();
+            let g = g.clone();
+            let r = r.clone();
+            async move {
+                let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                // Three bursts per job at staggered offsets.
+                for b in 0..3u64 {
+                    jc.proc.sleep(secs(5 + 3 * b)).await;
+                    match ses.ac_get(2).await {
+                        Ok(set) => {
+                            *g.lock() += 1;
+                            jc.proc.sleep(secs(6)).await;
+                            ses.ac_free(&set).await.unwrap();
+                        }
+                        Err(_) => *r.lock() += 1,
                     }
-                    Err(_) => *r.lock() += 1,
                 }
+                ses.finalize();
             }
-            ses.finalize();
         }));
         cluster.qsub_after(secs(i as u64), spec);
     }
@@ -160,18 +171,21 @@ fn fairness_run(seed: u64, dyn_top: bool) -> f64 {
     // The greedy running job grabs and releases both accelerators in a
     // tight loop for 200 s.
     let spec = JobSpec::synthetic("greedy", secs(200)).ppn(8).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let end = SimTime::ZERO + secs(200);
-        while jc.proc.now() < end {
-            if let Ok(set) = ses.ac_get(2) {
-                jc.proc.sleep(secs(8));
-                ses.ac_free(&set).unwrap();
-                jc.proc.sleep(secs(2));
-            } else {
-                jc.proc.sleep(secs(2));
+        let dac = dac.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let end = SimTime::ZERO + secs(200);
+            while jc.proc.now() < end {
+                if let Ok(set) = ses.ac_get(2).await {
+                    jc.proc.sleep(secs(8)).await;
+                    ses.ac_free(&set).await.unwrap();
+                    jc.proc.sleep(secs(2)).await;
+                } else {
+                    jc.proc.sleep(secs(2)).await;
+                }
             }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub(spec);
 
@@ -183,14 +197,16 @@ fn fairness_run(seed: u64, dyn_top: bool) -> f64 {
     }
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watch", secs(1), move |c| loop {
-        let st = c.qstat();
-        let comps: Vec<_> = st.iter().filter(|s| s.name.starts_with("comp")).cloned().collect();
-        if comps.len() == n_comp as usize && comps.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = comps;
-            break;
+    cluster.client_after("watch", secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            let comps: Vec<_> = st.iter().filter(|s| s.name.starts_with("comp")).cloned().collect();
+            if comps.len() == n_comp as usize && comps.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = comps;
+                break;
+            }
+            c.proc.sleep(secs(5)).await;
         }
-        c.proc.sleep(secs(5));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -220,13 +236,15 @@ fn backfill_run(seed: u64, backfill: bool) -> f64 {
     }
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watch", secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == 8 && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
+    cluster.client_after("watch", secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            if st.len() == 8 && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(secs(5)).await;
         }
-        c.proc.sleep(secs(5));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -252,15 +270,19 @@ fn transfer_run(seed: u64, mb: usize, pipelined: bool) -> f64 {
     let elapsed = Arc::new(Mutex::new(0.0f64));
     let out = elapsed.clone();
     let spec = JobSpec::synthetic("xfer", secs(10)).acpn(1).script(script(move |jc| {
-        let (mut ses, handles) = AcSession::init(jc, &dac, None);
-        let h = handles[0];
-        let bytes = (mb * (1 << 20)) as u64;
-        let p = ses.mem_alloc(h, bytes).unwrap();
-        let payload = vec![0xabu8; bytes as usize];
-        let t0 = jc.proc.now();
-        ses.mem_write(h, p, payload).unwrap();
-        *out.lock() = (jc.proc.now() - t0).as_secs_f64();
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+            let h = handles[0];
+            let bytes = (mb * (1 << 20)) as u64;
+            let p = ses.mem_alloc(h, bytes).await.unwrap();
+            let payload = vec![0xabu8; bytes as usize];
+            let t0 = jc.proc.now();
+            ses.mem_write(h, p, payload).await.unwrap();
+            *out.lock() = (jc.proc.now() - t0).as_secs_f64();
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

@@ -82,8 +82,12 @@ pub fn fig7a_trial(x: usize, seed: u64) -> (f64, f64) {
     let dac = cluster.dac.clone();
     let rec = cluster.recorder.clone();
     let spec = JobSpec::synthetic("acinit", secs(1)).acpn(x as u32).script(script(move |jc| {
-        let (ses, _) = AcSession::init(jc, &dac, Some(rec.clone()));
-        ses.finalize();
+        let dac = dac.clone();
+        let rec = rec.clone();
+        async move {
+            let (ses, _) = AcSession::init(&jc, &dac, Some(rec)).await;
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -110,10 +114,14 @@ pub fn fig7b_trial(y: usize, seed: u64) -> (f64, f64) {
     let dac = cluster.dac.clone();
     let rec = cluster.recorder.clone();
     let spec = JobSpec::synthetic("acget", secs(5)).acpn(1).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, Some(rec.clone()));
-        let set = ses.ac_get(y as u32).expect("idle pool satisfies the request");
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
+        let dac = dac.clone();
+        let rec = rec.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, Some(rec)).await;
+            let set = ses.ac_get(y as u32).await.expect("idle pool satisfies the request");
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -182,7 +190,25 @@ pub fn fig8_trial(load: usize, seed: u64) -> (f64, f64) {
 /// but the exact engine behaviour (event count, end time, context
 /// switches, …) of the serial run.
 pub fn fig8_trial_full(load: usize, seed: u64) -> (f64, f64, SimStats) {
-    let mut cluster = Cluster::build(ClusterConfig::paper_testbed(seed).with_split(2, 1));
+    let (others, service, stats, _) = fig8_trial_run(load, seed, false);
+    (others, service, stats)
+}
+
+/// [`fig8_trial_full`] with structured tracing enabled; returns the
+/// drained event stream alongside the stats. The golden-trace
+/// determinism test serializes this to prove the async runtime
+/// reproduces the pre-refactor threaded runtime byte-for-byte.
+pub fn fig8_trial_traced(load: usize, seed: u64) -> (Vec<TraceEvent>, SimStats) {
+    let (_, _, stats, events) = fig8_trial_run(load, seed, true);
+    (events, stats)
+}
+
+fn fig8_trial_run(load: usize, seed: u64, trace: bool) -> (f64, f64, SimStats, Vec<TraceEvent>) {
+    let mut cfg = ClusterConfig::paper_testbed(seed).with_split(2, 1);
+    if trace {
+        cfg = cfg.with_trace();
+    }
+    let mut cluster = Cluster::build(cfg);
     let dac = cluster.dac.clone();
     let rec = cluster.recorder.clone();
 
@@ -199,26 +225,31 @@ pub fn fig8_trial_full(load: usize, seed: u64) -> (f64, f64, SimStats) {
 
     // The DAC job issues AC_Get(1) right after the burst.
     let spec = JobSpec::synthetic("dac", secs(60)).ppn(8).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, Some(rec.clone()));
-        let now = jc.proc.now();
-        let target = SimTime::ZERO + secs(10) + SimDuration::from_millis(5);
-        if target > now {
-            jc.proc.sleep(target - now);
+        let dac = dac.clone();
+        let rec = rec.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, Some(rec)).await;
+            let now = jc.proc.now();
+            let target = SimTime::ZERO + secs(10) + SimDuration::from_millis(5);
+            if target > now {
+                jc.proc.sleep(target - now).await;
+            }
+            let set = ses.ac_get(1).await.expect("one accelerator free");
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
         }
-        let set = ses.ac_get(1).expect("one accelerator free");
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
     }));
     cluster.qsub(spec);
 
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0, "fig8 trial must run cleanly");
+    let events = cluster.sim.take_events();
     let batch = cluster.recorder.summary("acget.batch").expect("recorded").mean;
     let mpi = cluster.recorder.summary("acget.mpi").expect("recorded").mean;
     // The Fig. 8 waiting quantity comes straight from the scheduler's
     // registry instrumentation (`sched.dyn_wait` histogram).
     let others = cluster.metrics.histogram("sched.dyn_wait").expect("instrumented").mean;
-    (others, (batch + mpi - others).max(0.0), stats)
+    (others, (batch + mpi - others).max(0.0), stats, events)
 }
 
 /// One bar of Fig. 9: a compute node's dynamic-request completion time
@@ -260,15 +291,19 @@ pub fn fig9_trial(seed: u64) -> [f64; 3] {
         let d = dac.clone();
         let r = rec.clone();
         let spec = JobSpec::synthetic(format!("job{i}"), secs(30)).script(script(move |jc| {
-            let (mut ses, _) = AcSession::init(jc, &d, Some(r.clone()));
-            let now = jc.proc.now();
-            let target = SimTime::ZERO + secs(5);
-            if target > now {
-                jc.proc.sleep(target - now);
+            let d = d.clone();
+            let r = r.clone();
+            async move {
+                let (mut ses, _) = AcSession::init(&jc, &d, Some(r)).await;
+                let now = jc.proc.now();
+                let target = SimTime::ZERO + secs(5);
+                if target > now {
+                    jc.proc.sleep(target - now).await;
+                }
+                let set = ses.ac_get(1).await.expect("pool of 4 covers 3 requests");
+                ses.ac_free(&set).await.unwrap();
+                ses.finalize();
             }
-            let set = ses.ac_get(1).expect("pool of 4 covers 3 requests");
-            ses.ac_free(&set).unwrap();
-            ses.finalize();
         }));
         cluster.qsub(spec);
     }

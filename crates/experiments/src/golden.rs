@@ -1,0 +1,50 @@
+//! Golden-trace capture: serialize a scenario's full structured event
+//! stream plus the deterministic engine statistics into one string.
+//!
+//! The checked-in golden files under `tests/golden/` were generated
+//! with the **pre-refactor threaded runtime** (one OS thread per
+//! process). The stackless async runtime must reproduce them
+//! byte-for-byte — same events, same order, same virtual timestamps,
+//! same engine counters — which pins down the exact `(time, seq)`
+//! scheduling behaviour across the rewrite.
+
+use darms::prelude::*;
+
+use crate::{figures, replay, ReplayConfig};
+
+/// Serialize an event stream + deterministic stats as JSON lines: one
+/// object per trace event (via [`to_json_lines`]) followed by one
+/// `{"stats":…}` line. `wall_nanos` is deliberately excluded (real
+/// time, varies run to run).
+pub fn serialize(events: &[TraceEvent], stats: &SimStats) -> String {
+    let mut out = to_json_lines(events);
+    out.push_str(&format!(
+        "{{\"stats\":{{\"events\":{},\"end_time_ns\":{},\"processes_spawned\":{},\
+         \"processes_finished\":{},\"process_panics\":{},\"peak_queue_depth\":{},\
+         \"queue_depth_sum\":{},\"context_switches\":{}}}}}\n",
+        stats.events,
+        stats.end_time.as_nanos(),
+        stats.processes_spawned,
+        stats.processes_finished,
+        stats.process_panics,
+        stats.peak_queue_depth,
+        stats.queue_depth_sum,
+        stats.context_switches,
+    ));
+    out
+}
+
+/// The fig8 golden scenario: load 16, seed 3000 (the same cell the
+/// perf harness runs), traced and serialized.
+pub fn fig8_golden() -> String {
+    let (events, stats) = figures::fig8_trial_traced(16, 3000);
+    serialize(&events, &stats)
+}
+
+/// The swf_replay golden scenario: 8 jobs, seed 4242, traced and
+/// serialized.
+pub fn swf_replay_golden() -> String {
+    let cfg = ReplayConfig { jobs: 8, seed: 4242, ..ReplayConfig::default() };
+    let (outcome, events) = replay::replay_traced(&cfg);
+    serialize(&events, &outcome.stats)
+}

@@ -10,6 +10,7 @@
 
 pub mod extended;
 pub mod figures;
+pub mod golden;
 pub mod replay;
 pub mod runner;
 

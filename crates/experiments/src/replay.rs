@@ -68,18 +68,32 @@ pub fn replay(cfg: &ReplayConfig) -> ReplayOutcome {
     replay_swf(&bundled_trace(cfg), cfg)
 }
 
+/// [`replay`] with structured tracing enabled; returns the drained
+/// event stream alongside the outcome (for the golden-trace
+/// determinism test).
+pub fn replay_traced(cfg: &ReplayConfig) -> (ReplayOutcome, Vec<TraceEvent>) {
+    replay_swf_run(&bundled_trace(cfg), cfg, true)
+}
+
 /// Replay an SWF `text` through the batch system under `cfg`.
 ///
 /// SWF predates network-attached accelerators, so 40% of the jobs get a
 /// synthetic accelerator-demand overlay (1–2 accelerators per node,
 /// fixed overlay seed) to exercise the DAC path.
 pub fn replay_swf(text: &str, cfg: &ReplayConfig) -> ReplayOutcome {
+    replay_swf_run(text, cfg, false).0
+}
+
+fn replay_swf_run(text: &str, cfg: &ReplayConfig, trace: bool) -> (ReplayOutcome, Vec<TraceEvent>) {
     let mut jobs = parse_swf(text, cfg.cores_per_node).expect("valid SWF");
     overlay_accelerator_demand(&mut jobs, 0.4, &Dist::Choice(vec![(2.0, 1.0), (1.0, 2.0)]), 7);
 
-    let mut cluster = Cluster::build(
-        ClusterConfig::paper_testbed(cfg.seed).with_split(cfg.compute_nodes, cfg.pool),
-    );
+    let mut cluster_cfg =
+        ClusterConfig::paper_testbed(cfg.seed).with_split(cfg.compute_nodes, cfg.pool);
+    if trace {
+        cluster_cfg = cluster_cfg.with_trace();
+    }
+    let mut cluster = Cluster::build(cluster_cfg);
     let dac = cluster.dac.clone();
     let pool = cluster.accs.len();
     let n_jobs = jobs.len();
@@ -96,27 +110,33 @@ pub fn replay_swf(text: &str, cfg: &ReplayConfig) -> ReplayOutcome {
             .ppn(t.ppn.min(cfg.cores_per_node))
             .acpn(acpn)
             .walltime(t.walltime_estimate)
-            .script(script(move |jc| {
-                let (ses, handles) = AcSession::init(jc, &d, None);
-                assert_eq!(handles.len(), jc.acc_hosts.len());
-                let _ = jc.sleep_interruptible(runtime);
-                ses.finalize();
+            .script(script(move |mut jc| {
+                let d = d.clone();
+                async move {
+                    let (ses, handles) = AcSession::init(&jc, &d, None).await;
+                    assert_eq!(handles.len(), jc.acc_hosts.len());
+                    let _ = jc.sleep_interruptible(runtime).await;
+                    ses.finalize();
+                }
             }));
         cluster.qsub_after(t.arrival, spec);
     }
 
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watch", SimDuration::from_secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == n_jobs && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
+    cluster.client_after("watch", SimDuration::from_secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            if st.len() == n_jobs && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(SimDuration::from_secs(30)).await;
         }
-        c.proc.sleep(SimDuration::from_secs(30));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0, "replay must run cleanly");
+    let events = cluster.sim.take_events();
 
     let statuses = statuses.lock().clone();
     let outcomes: Vec<JobOutcome> = statuses
@@ -130,7 +150,7 @@ pub fn replay_swf(text: &str, cfg: &ReplayConfig) -> ReplayOutcome {
         })
         .collect();
     let report = WorkloadReport::from_outcomes(&outcomes).expect("jobs completed");
-    ReplayOutcome { report, stats, jobs: n_jobs, acc_jobs, pool }
+    (ReplayOutcome { report, stats, jobs: n_jobs, acc_jobs, pool }, events)
 }
 
 #[cfg(test)]

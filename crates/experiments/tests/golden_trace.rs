@@ -1,0 +1,68 @@
+//! Golden-trace determinism guard for the stackless-runtime refactor.
+//!
+//! The files under `tests/golden/` were captured with the pre-refactor
+//! threaded runtime (one OS thread per process, `ProcCtl` park/unpark
+//! hand-off). These tests assert the current runtime reproduces them
+//! **byte-for-byte**: every structured trace event (virtual time,
+//! source, name, detail) in the same order, plus identical
+//! deterministic engine counters (events, context switches, queue-depth
+//! profile, process counts).
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! DARMS_REGEN_GOLDEN=1 cargo test -p darms-experiments --test golden_trace
+//! ```
+
+use std::path::PathBuf;
+
+use darms_experiments::golden;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the
+/// file when `DARMS_REGEN_GOLDEN` is set. On mismatch, report the first
+/// differing line so the divergence is actionable.
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DARMS_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with DARMS_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mut exp_lines = expected.lines();
+        let mut act_lines = actual.lines();
+        let mut line_no = 1usize;
+        loop {
+            match (exp_lines.next(), act_lines.next()) {
+                (Some(e), Some(a)) if e == a => line_no += 1,
+                (e, a) => panic!(
+                    "{name} diverged from the pre-refactor golden trace at line {line_no}:\n  \
+                     expected: {}\n  actual:   {}",
+                    e.unwrap_or("<end of golden file>"),
+                    a.unwrap_or("<end of actual output>"),
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn fig8_trace_is_byte_identical_to_pre_refactor_runtime() {
+    check("fig8_load16_seed3000.jsonl", &golden::fig8_golden());
+}
+
+#[test]
+fn swf_replay_trace_is_byte_identical_to_pre_refactor_runtime() {
+    check("swf_replay_jobs8_seed4242.jsonl", &golden::swf_replay_golden());
+}

@@ -47,7 +47,7 @@ impl MpiProc {
     }
 
     /// Block until every member of the intra-communicator has arrived.
-    pub fn barrier(&mut self, comm: Comm) -> Result<(), MpiError> {
+    pub async fn barrier(&mut self, comm: Comm) -> Result<(), MpiError> {
         let seq = self.next_seq(comm.id);
         let n = self.rt.group_size(comm);
         if n <= 1 {
@@ -56,12 +56,15 @@ impl MpiProc {
         if comm.rank == 0 {
             let mut seen = 0usize;
             while seen < n - 1 {
-                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                    Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
-                        *c == comm.id && *s == seq
-                    }
-                    _ => false,
-                });
+                let env = self
+                    .p
+                    .recv_where(|e| match e.peek::<Ctl>() {
+                        Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
+                            *c == comm.id && *s == seq
+                        }
+                        _ => false,
+                    })
+                    .await;
                 drop(env);
                 seen += 1;
             }
@@ -82,12 +85,14 @@ impl MpiProc {
                     high: false,
                 },
             )?;
-            self.p.recv_where(|e| match e.peek::<Ctl>() {
-                Some(Ctl { body: CtlBody::Release { comm: c, seq: s }, .. }) => {
-                    *c == comm.id && *s == seq
-                }
-                _ => false,
-            });
+            self.p
+                .recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Release { comm: c, seq: s }, .. }) => {
+                        *c == comm.id && *s == seq
+                    }
+                    _ => false,
+                })
+                .await;
         }
         Ok(())
     }
@@ -95,7 +100,7 @@ impl MpiProc {
     /// Broadcast from `root` to all members of the intra-communicator.
     /// `data` is the payload at the root (ignored elsewhere); every caller
     /// receives the broadcast value.
-    pub fn bcast(
+    pub async fn bcast(
         &mut self,
         comm: Comm,
         root: Rank,
@@ -119,12 +124,15 @@ impl MpiProc {
             }
             Ok(data)
         } else {
-            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                Some(Ctl { body: CtlBody::Bcast { comm: c, seq: s, .. }, .. }) => {
-                    *c == comm.id && *s == seq
-                }
-                _ => false,
-            });
+            let env = self
+                .p
+                .recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::Bcast { comm: c, seq: s, .. }, .. }) => {
+                        *c == comm.id && *s == seq
+                    }
+                    _ => false,
+                })
+                .await;
             match env.downcast::<Ctl>().expect("matched").body {
                 CtlBody::Bcast { data, .. } => Ok(data),
                 _ => unreachable!("predicate matched Bcast"),
@@ -134,7 +142,7 @@ impl MpiProc {
 
     /// Gather every member's contribution at `root`. Returns
     /// `Some(values ordered by rank)` at the root, `None` elsewhere.
-    pub fn gather(
+    pub async fn gather(
         &mut self,
         comm: Comm,
         root: Rank,
@@ -148,12 +156,15 @@ impl MpiProc {
             slots[root as usize] = Some(data);
             let mut seen = 1usize;
             while seen < n {
-                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                    Some(Ctl { body: CtlBody::Gather { comm: c, seq: s, .. }, .. }) => {
-                        *c == comm.id && *s == seq
-                    }
-                    _ => false,
-                });
+                let env = self
+                    .p
+                    .recv_where(|e| match e.peek::<Ctl>() {
+                        Some(Ctl { body: CtlBody::Gather { comm: c, seq: s, .. }, .. }) => {
+                            *c == comm.id && *s == seq
+                        }
+                        _ => false,
+                    })
+                    .await;
                 match env.downcast::<Ctl>().expect("matched").body {
                     CtlBody::Gather { rank, data, .. } => {
                         slots[rank as usize] = Some(data);

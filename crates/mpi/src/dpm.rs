@@ -10,7 +10,7 @@
 //! and the newly spawned daemons.
 
 use darms_net::HostId;
-use darms_sim::{Proc, ProcessId, SimDuration};
+use darms_sim::{Proc, ProcFuture, ProcessId, SimDuration};
 
 use crate::proc::MpiProc;
 use crate::runtime::wire::{Ctl, CtlBody};
@@ -20,12 +20,12 @@ use crate::types::{Comm, Member, MpiError, Rank, GROUP_A, GROUP_B};
 /// Anything that can start a simulation process: the engine (setup code),
 /// an actor context (daemons starting daemons), or a process (MPI spawn).
 pub trait Spawner {
-    /// Start a process whose entry runs after `delay`.
+    /// Start a process whose entry builds its body future after `delay`.
     fn spawn_boxed(
         &mut self,
         name: String,
         delay: SimDuration,
-        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+        entry: Box<dyn FnOnce(Proc) -> ProcFuture + 'static>,
     ) -> ProcessId;
 }
 
@@ -34,7 +34,7 @@ impl Spawner for darms_sim::Engine {
         &mut self,
         name: String,
         delay: SimDuration,
-        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+        entry: Box<dyn FnOnce(Proc) -> ProcFuture + 'static>,
     ) -> ProcessId {
         self.spawn_process_after(name, delay, entry)
     }
@@ -45,7 +45,7 @@ impl Spawner for darms_sim::Ctx<'_> {
         &mut self,
         name: String,
         delay: SimDuration,
-        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+        entry: Box<dyn FnOnce(Proc) -> ProcFuture + 'static>,
     ) -> ProcessId {
         self.spawn_process_after(name, delay, entry)
     }
@@ -56,7 +56,7 @@ impl Spawner for Proc {
         &mut self,
         name: String,
         delay: SimDuration,
-        entry: Box<dyn FnOnce(Proc) + Send + 'static>,
+        entry: Box<dyn FnOnce(Proc) -> ProcFuture + 'static>,
     ) -> ProcessId {
         self.spawn_after(name, delay, entry)
     }
@@ -111,18 +111,22 @@ pub fn launch_world(
         let pid = spawner.spawn_boxed(
             name,
             spec.start_delay,
-            Box::new(move |p: Proc| {
-                let (member, world) = rx_member.recv().expect("launcher sends membership");
-                let mpi = MpiProc {
-                    p,
-                    rt: rt2.clone(),
-                    host,
-                    addr: member.addr,
-                    coll_seq: Default::default(),
-                    world: Some(world),
-                    parent: None,
-                };
-                exe(mpi, args);
+            Box::new(move |p: Proc| -> ProcFuture {
+                Box::pin(async move {
+                    // The launcher sends membership before the entry's
+                    // first poll, so this never blocks.
+                    let (member, world) = rx_member.recv().expect("launcher sends membership");
+                    let mpi = MpiProc {
+                        p,
+                        rt: rt2.clone(),
+                        host,
+                        addr: member.addr,
+                        coll_seq: Default::default(),
+                        world: Some(world),
+                        parent: None,
+                    };
+                    exe(mpi, args).await;
+                })
             }),
         );
         let addr = rt.net.bind_auto(host, pid.into());
@@ -150,16 +154,19 @@ impl MpiProc {
     /// Accept a connection on `port` (`MPI_Comm_accept`), collective over
     /// `local`. Blocks until a connector arrives. Returns the
     /// inter-communicator (this side is group A).
-    pub fn comm_accept(&mut self, port: &str, local: Comm) -> Result<Comm, MpiError> {
+    pub async fn comm_accept(&mut self, port: &str, local: Comm) -> Result<Comm, MpiError> {
         let seq = self.next_seq(local.id);
         let n = self.rt.group_size(local);
         if local.rank == 0 {
             // Wait for a connector on this port.
             let port_name = port.to_string();
-            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                Some(Ctl { body: CtlBody::ConnectReq { port, .. }, .. }) => *port == port_name,
-                _ => false,
-            });
+            let env = self
+                .p
+                .recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { body: CtlBody::ConnectReq { port, .. }, .. }) => *port == port_name,
+                    _ => false,
+                })
+                .await;
             let (token, connector, reply) = match env.downcast::<Ctl>().expect("matched") {
                 Ctl { token, body: CtlBody::ConnectReq { connector, reply, .. } } => {
                     (token, connector, reply)
@@ -167,7 +174,7 @@ impl MpiProc {
                 _ => unreachable!(),
             };
             if !self.rt.cost.connect.is_zero() {
-                self.p.sleep(self.rt.cost.connect);
+                self.p.sleep(self.rt.cost.connect).await;
             }
             let inter = self.rt.fresh_comm_id();
             let locals = self.rt.group_members(local.id, local.group)?;
@@ -187,13 +194,13 @@ impl MpiProc {
             }
             Ok(Comm { id: inter, group: GROUP_A, rank: 0 })
         } else {
-            self.wait_announce(local, seq)
+            self.wait_announce(local, seq).await
         }
     }
 
     /// Connect to the port `name` (`MPI_Comm_connect`), collective over
     /// `local`. Returns the inter-communicator (this side is group B).
-    pub fn comm_connect(&mut self, name: &str, local: Comm) -> Result<Comm, MpiError> {
+    pub async fn comm_connect(&mut self, name: &str, local: Comm) -> Result<Comm, MpiError> {
         let seq = self.next_seq(local.id);
         let n = self.rt.group_size(local);
         if local.rank == 0 {
@@ -205,10 +212,13 @@ impl MpiProc {
                 token,
                 CtlBody::ConnectReq { port: name.to_string(), connector, reply: self.addr },
             )?;
-            let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                Some(Ctl { token: t, body: CtlBody::ConnectAck { .. } }) => *t == token,
-                _ => false,
-            });
+            let env = self
+                .p
+                .recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { token: t, body: CtlBody::ConnectAck { .. } }) => *t == token,
+                    _ => false,
+                })
+                .await;
             let inter = match env.downcast::<Ctl>().expect("matched").body {
                 CtlBody::ConnectAck { comm } => comm,
                 _ => unreachable!(),
@@ -227,7 +237,7 @@ impl MpiProc {
             }
             Ok(Comm { id: inter, group: GROUP_B, rank: 0 })
         } else {
-            self.wait_announce(local, seq)
+            self.wait_announce(local, seq).await
         }
     }
 
@@ -235,7 +245,7 @@ impl MpiProc {
     /// (`MPI_Intercomm_merge`). The group whose members pass
     /// `high = false` receives the low ranks; on a tie, group A does.
     /// Collective over *both* groups.
-    pub fn intercomm_merge(&mut self, inter: Comm, high: bool) -> Result<Comm, MpiError> {
+    pub async fn intercomm_merge(&mut self, inter: Comm, high: bool) -> Result<Comm, MpiError> {
         let seq = self.next_seq(inter.id);
         let a = self.rt.group_members(inter.id, GROUP_A)?;
         let b = self.rt.group_members(inter.id, GROUP_B)?;
@@ -246,12 +256,15 @@ impl MpiProc {
             let mut b_high = None;
             let mut seen = 1usize; // me
             while seen < total {
-                let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-                    Some(Ctl { body: CtlBody::Arrive { comm, seq: s, .. }, .. }) => {
-                        *comm == inter.id && *s == seq
-                    }
-                    _ => false,
-                });
+                let env = self
+                    .p
+                    .recv_where(|e| match e.peek::<Ctl>() {
+                        Some(Ctl { body: CtlBody::Arrive { comm, seq: s, .. }, .. }) => {
+                            *comm == inter.id && *s == seq
+                        }
+                        _ => false,
+                    })
+                    .await;
                 match env.downcast::<Ctl>().expect("matched").body {
                     CtlBody::Arrive { group, high: h, .. } => {
                         if group == GROUP_B {
@@ -265,7 +278,7 @@ impl MpiProc {
                 }
             }
             if !self.rt.cost.merge.is_zero() {
-                self.p.sleep(self.rt.cost.merge);
+                self.p.sleep(self.rt.cost.merge).await;
             }
             // Decide ordering from the two groups' flags.
             let a_first = match (my_high, b_high.unwrap_or(true)) {
@@ -309,7 +322,7 @@ impl MpiProc {
             let body =
                 CtlBody::Arrive { comm: inter.id, seq, rank: inter.rank, group: inter.group, high };
             self.send_ctl_addr(coord.addr, seq, body)?;
-            self.wait_merge_announce(inter, seq)
+            self.wait_merge_announce(inter, seq).await
         }
     }
 
@@ -319,7 +332,7 @@ impl MpiProc {
     /// members' `exe`/`args`/`hosts` are ignored. Returns the
     /// inter-communicator whose group A is `local` and group B the
     /// children. The call returns once every child has initialised.
-    pub fn comm_spawn(
+    pub async fn comm_spawn(
         &mut self,
         local: Comm,
         exe: &str,
@@ -328,11 +341,11 @@ impl MpiProc {
     ) -> Result<Comm, MpiError> {
         let seq = self.next_seq(local.id);
         if local.rank != 0 {
-            return self.wait_announce(local, seq);
+            return self.wait_announce(local, seq).await;
         }
         let exe_fn = self.rt.exe(exe)?;
         if !self.rt.cost.spawn_setup.is_zero() {
-            self.p.sleep(self.rt.cost.spawn_setup);
+            self.p.sleep(self.rt.cost.spawn_setup).await;
         }
         let world_id = self.rt.fresh_comm_id();
         let inter_id = self.rt.fresh_comm_id();
@@ -355,7 +368,7 @@ impl MpiProc {
             };
             let (tx, rx) = std::sync::mpsc::channel::<Member>();
             let name = format!("{exe}@host{}#w{}r{}", host.index(), world_id.0, i);
-            let pid = self.p.spawn_after(name, delay, move |p: Proc| {
+            let pid = self.p.spawn_after(name, delay, move |p: Proc| async move {
                 let member = rx.recv().expect("spawner sends membership");
                 let mpi = MpiProc {
                     p,
@@ -368,7 +381,7 @@ impl MpiProc {
                 };
                 // Report MPI_Init completion to the spawning root.
                 let _ = mpi.send_ctl_addr(my_addr, spawn_token, CtlBody::Ready);
-                exe_fn(mpi, args);
+                exe_fn(mpi, args).await;
             });
             let addr = self.rt.net.bind_auto(host, pid.into());
             let member = Member { pid, host, addr };
@@ -382,10 +395,12 @@ impl MpiProc {
         // MPI_Comm_spawn returns after the children have called MPI_Init.
         let mut ready = 0usize;
         while ready < hosts.len() {
-            self.p.recv_where(|e| match e.peek::<Ctl>() {
-                Some(Ctl { token, body: CtlBody::Ready }) => *token == spawn_token,
-                _ => false,
-            });
+            self.p
+                .recv_where(|e| match e.peek::<Ctl>() {
+                    Some(Ctl { token, body: CtlBody::Ready }) => *token == spawn_token,
+                    _ => false,
+                })
+                .await;
             ready += 1;
         }
         for r in 1..locals.len() as Rank {
@@ -410,7 +425,7 @@ impl MpiProc {
     /// the disconnect-and-re-merge sequence the paper's release protocol
     /// performs, with the same message pattern (survivor arrivals at the
     /// lowest surviving rank, then announcements).
-    pub fn comm_shrink(&mut self, comm: Comm, removed: &[Rank]) -> Result<Comm, MpiError> {
+    pub async fn comm_shrink(&mut self, comm: Comm, removed: &[Rank]) -> Result<Comm, MpiError> {
         let seq = self.next_seq(comm.id);
         let members = self.rt.group_members(comm.id, GROUP_A)?;
         let survivors: Vec<(Rank, Member)> = members
@@ -423,12 +438,14 @@ impl MpiProc {
         if comm.rank == coord_rank {
             let mut seen = 1usize;
             while seen < survivors.len() {
-                self.p.recv_where(|e| match e.peek::<Ctl>() {
-                    Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
-                        *c == comm.id && *s == seq
-                    }
-                    _ => false,
-                });
+                self.p
+                    .recv_where(|e| match e.peek::<Ctl>() {
+                        Some(Ctl { body: CtlBody::Arrive { comm: c, seq: s, .. }, .. }) => {
+                            *c == comm.id && *s == seq
+                        }
+                        _ => false,
+                    })
+                    .await;
                 seen += 1;
             }
             let new_id = self.rt.fresh_comm_id();
@@ -470,7 +487,7 @@ impl MpiProc {
                     high: false,
                 },
             )?;
-            self.wait_merge_announce(comm, seq)
+            self.wait_merge_announce(comm, seq).await
         }
     }
 
@@ -485,13 +502,16 @@ impl MpiProc {
 
     /// Wait for an `Announce` carrying my handle for a collective that
     /// ran over `local` with sequence number `seq`.
-    fn wait_announce(&mut self, local: Comm, seq: u64) -> Result<Comm, MpiError> {
-        let env = self.p.recv_where(|e| match e.peek::<Ctl>() {
-            Some(Ctl { token, body: CtlBody::Announce { ctx, .. } }) => {
-                *token == seq && *ctx == local.id
-            }
-            _ => false,
-        });
+    async fn wait_announce(&mut self, local: Comm, seq: u64) -> Result<Comm, MpiError> {
+        let env = self
+            .p
+            .recv_where(|e| match e.peek::<Ctl>() {
+                Some(Ctl { token, body: CtlBody::Announce { ctx, .. } }) => {
+                    *token == seq && *ctx == local.id
+                }
+                _ => false,
+            })
+            .await;
         match env.downcast::<Ctl>().expect("matched").body {
             CtlBody::Announce { comm, .. } => Ok(comm),
             _ => unreachable!(),
@@ -500,7 +520,7 @@ impl MpiProc {
 
     /// Same as [`wait_announce`] but used where the announcement token is
     /// the collective sequence of the communicator being merged/shrunk.
-    fn wait_merge_announce(&mut self, over: Comm, seq: u64) -> Result<Comm, MpiError> {
-        self.wait_announce(over, seq)
+    async fn wait_merge_announce(&mut self, over: Comm, seq: u64) -> Result<Comm, MpiError> {
+        self.wait_announce(over, seq).await
     }
 }

@@ -35,20 +35,20 @@
 //! let h0 = net.add_host("h0", HostKind::Generic);
 //! let h1 = net.add_host("h1", HostKind::Generic);
 //! let rt = MpiRuntime::new(net, MpiCostModel::instant());
-//! rt.register_exe("worker", |mut mpi, _args| {
+//! rt.register_exe("worker", |mut mpi, _args| async move {
 //!     let parent = mpi.parent().unwrap();
-//!     let merged = mpi.intercomm_merge(parent, true).unwrap();
+//!     let merged = mpi.intercomm_merge(parent, true).await.unwrap();
 //!     mpi.send(merged, 0, 0, data(21u64), 8).unwrap();
 //! });
 //! let out = Arc::new(Mutex::new(0u64));
 //! let o = out.clone();
 //! let rt2 = rt.clone();
-//! sim.spawn_process("root", move |p| {
-//!     let mut mpi = rt2.attach(p, h0);
+//! sim.spawn_process("root", move |p| async move {
+//!     let mut mpi = rt2.attach(p, h0).await;
 //!     let self_comm = mpi.self_comm();
-//!     let inter = mpi.comm_spawn(self_comm, "worker", &[], &[h1]).unwrap();
-//!     let merged = mpi.intercomm_merge(inter, false).unwrap();
-//!     let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+//!     let inter = mpi.comm_spawn(self_comm, "worker", &[], &[h1]).await.unwrap();
+//!     let merged = mpi.intercomm_merge(inter, false).await.unwrap();
+//!     let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG).await;
 //!     *o.lock() = msg.expect::<u64>() * 2;
 //! });
 //! sim.run();

@@ -29,10 +29,10 @@ impl MpiRuntime {
     /// Attach an already-running simulation process to the MPI runtime
     /// (the equivalent of a singleton `MPI_Init`). Binds an ephemeral
     /// network endpoint for the process.
-    pub fn attach(&self, p: Proc, host: HostId) -> MpiProc {
+    pub async fn attach(&self, p: Proc, host: HostId) -> MpiProc {
         let addr = self.net.bind_auto(host, p.endpoint());
         if !self.cost.attach.is_zero() {
-            p.sleep(self.cost.attach);
+            p.sleep(self.cost.attach).await;
         }
         MpiProc {
             p,
@@ -150,38 +150,44 @@ impl MpiProc {
 
     /// Blocking receive on `comm`, optionally filtered by source rank
     /// and/or tag (``None`` = wildcard).
-    pub fn recv(&self, comm: Comm, src: Option<Rank>, tag: Option<Tag>) -> RecvMsg {
-        let env = self.p.recv_where(|e| match e.peek::<P2p>() {
-            Some(m) => {
-                m.comm == comm.id
-                    && src.is_none_or(|s| s == m.src_rank)
-                    && tag.is_none_or(|t| t == m.tag)
-            }
-            None => false,
-        });
-        let m = env.downcast::<P2p>().expect("matched by predicate");
-        RecvMsg { src: m.src_rank, tag: m.tag, bytes: m.bytes, data: m.data }
-    }
-
-    /// Like [`MpiProc::recv`] but gives up after `timeout`.
-    pub fn recv_timeout(
-        &self,
-        comm: Comm,
-        src: Option<Rank>,
-        tag: Option<Tag>,
-        timeout: SimDuration,
-    ) -> Option<RecvMsg> {
-        let env = self.p.recv_where_timeout(
-            |e| match e.peek::<P2p>() {
+    pub async fn recv(&self, comm: Comm, src: Option<Rank>, tag: Option<Tag>) -> RecvMsg {
+        let env = self
+            .p
+            .recv_where(|e| match e.peek::<P2p>() {
                 Some(m) => {
                     m.comm == comm.id
                         && src.is_none_or(|s| s == m.src_rank)
                         && tag.is_none_or(|t| t == m.tag)
                 }
                 None => false,
-            },
-            timeout,
-        )?;
+            })
+            .await;
+        let m = env.downcast::<P2p>().expect("matched by predicate");
+        RecvMsg { src: m.src_rank, tag: m.tag, bytes: m.bytes, data: m.data }
+    }
+
+    /// Like [`MpiProc::recv`] but gives up after `timeout`.
+    pub async fn recv_timeout(
+        &self,
+        comm: Comm,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: SimDuration,
+    ) -> Option<RecvMsg> {
+        let env = self
+            .p
+            .recv_where_timeout(
+                |e| match e.peek::<P2p>() {
+                    Some(m) => {
+                        m.comm == comm.id
+                            && src.is_none_or(|s| s == m.src_rank)
+                            && tag.is_none_or(|t| t == m.tag)
+                    }
+                    None => false,
+                },
+                timeout,
+            )
+            .await?;
         let m = env.downcast::<P2p>().expect("matched by predicate");
         Some(RecvMsg { src: m.src_rank, tag: m.tag, bytes: m.bytes, data: m.data })
     }

@@ -16,8 +16,11 @@ use crate::cost::MpiCostModel;
 use crate::proc::MpiProc;
 use crate::types::{Comm, CommId, Data, Member, MpiError, Rank, Tag, GROUP_A, GROUP_B};
 
-/// Registered executable: entry point for spawned MPI processes.
-pub type Exe = Arc<dyn Fn(MpiProc, Vec<String>) + Send + Sync>;
+/// Registered executable: entry point for spawned MPI processes. The
+/// entry builds the process body future; the factory itself is `Send +
+/// Sync` (it lives in the shared registry) but the future it returns
+/// runs on the engine's single-threaded executor and need not be.
+pub type Exe = Arc<dyn Fn(MpiProc, Vec<String>) -> darms_sim::ProcFuture + Send + Sync>;
 
 /// A communicator's membership.
 #[derive(Clone, Debug)]
@@ -76,13 +79,14 @@ impl MpiRuntime {
     }
 
     /// Register an executable for [`comm_spawn`](crate::MpiProc::comm_spawn)
-    /// and [`launch_world`](crate::launch_world).
-    pub fn register_exe(
-        &self,
-        name: impl Into<String>,
-        f: impl Fn(MpiProc, Vec<String>) + Send + Sync + 'static,
-    ) {
-        self.state.lock().exes.insert(name.into(), Arc::new(f));
+    /// and [`launch_world`](crate::launch_world). The body is an async
+    /// closure: `|mpi, args| async move { … }`.
+    pub fn register_exe<F, Fut>(&self, name: impl Into<String>, f: F)
+    where
+        F: Fn(MpiProc, Vec<String>) -> Fut + Send + Sync + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        self.state.lock().exes.insert(name.into(), Arc::new(move |p, args| Box::pin(f(p, args))));
     }
 
     /// Look up a registered executable.

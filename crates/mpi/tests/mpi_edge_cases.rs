@@ -38,27 +38,30 @@ fn wildcard_source_and_tag_matching() {
     let out = Arc::new(Mutex::new(Vec::new()));
     let o = out.clone();
     rt.register_exe("wild", move |mut mpi, _| {
-        let world = mpi.world().unwrap();
-        match world.rank() {
-            0 => {
-                // Receive three messages with various filters.
-                let any = mpi.recv(world, ANY_SOURCE, ANY_TAG);
-                let from2 = mpi.recv(world, Some(2), ANY_TAG);
-                let tag9 = mpi.recv(world, ANY_SOURCE, Some(9));
-                o.lock().push((any.src, from2.src, tag9.tag));
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            match world.rank() {
+                0 => {
+                    // Receive three messages with various filters.
+                    let any = mpi.recv(world, ANY_SOURCE, ANY_TAG).await;
+                    let from2 = mpi.recv(world, Some(2), ANY_TAG).await;
+                    let tag9 = mpi.recv(world, ANY_SOURCE, Some(9)).await;
+                    o.lock().push((any.src, from2.src, tag9.tag));
+                }
+                1 => {
+                    // Two tag-9 messages: the wildcard recv may consume one.
+                    mpi.send(world, 0, 9, data(1u8), 1).unwrap();
+                    mpi.send(world, 0, 9, data(4u8), 1).unwrap();
+                }
+                2 => {
+                    mpi.send(world, 0, 5, data(2u8), 1).unwrap();
+                    mpi.send(world, 0, 5, data(3u8), 1).unwrap();
+                }
+                _ => unreachable!(),
             }
-            1 => {
-                // Two tag-9 messages: the wildcard recv may consume one.
-                mpi.send(world, 0, 9, data(1u8), 1).unwrap();
-                mpi.send(world, 0, 9, data(4u8), 1).unwrap();
-            }
-            2 => {
-                mpi.send(world, 0, 5, data(2u8), 1).unwrap();
-                mpi.send(world, 0, 5, data(3u8), 1).unwrap();
-            }
-            _ => unreachable!(),
+            let _ = mpi.barrier(world).await;
         }
-        let _ = mpi.barrier(world);
     });
     launch_world(&mut sim, &rt, world_specs(&hosts, "wild")).unwrap();
     let stats = sim.run();
@@ -76,9 +79,13 @@ fn recv_timeout_expires_without_sender() {
     let out = Arc::new(Mutex::new(None));
     let o = out.clone();
     rt.register_exe("lonely", move |mpi, _| {
-        let world = mpi.world().unwrap();
-        let r = mpi.recv_timeout(world, ANY_SOURCE, ANY_TAG, SimDuration::from_millis(50));
-        *o.lock() = Some((r.is_none(), mpi.proc().now()));
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            let r =
+                mpi.recv_timeout(world, ANY_SOURCE, ANY_TAG, SimDuration::from_millis(50)).await;
+            *o.lock() = Some((r.is_none(), mpi.proc().now()));
+        }
     });
     launch_world(&mut sim, &rt, world_specs(&hosts, "lonely")).unwrap();
     sim.run();
@@ -95,10 +102,10 @@ fn spawn_of_unregistered_exe_fails_cleanly() {
     let out = Arc::new(Mutex::new(None));
     let o = out.clone();
     let h0 = hosts[0];
-    sim.spawn_process("root", move |p| {
-        let mut mpi = rt2.attach(p, h0);
+    sim.spawn_process("root", move |p| async move {
+        let mut mpi = rt2.attach(p, h0).await;
         let self_comm = mpi.self_comm();
-        let r = mpi.comm_spawn(self_comm, "ghost", &[], &[h1]);
+        let r = mpi.comm_spawn(self_comm, "ghost", &[], &[h1]).await;
         *o.lock() = Some(matches!(r, Err(MpiError::NoSuchExecutable(_))));
     });
     let stats = sim.run();
@@ -112,10 +119,13 @@ fn send_to_nonexistent_rank_fails() {
     let out = Arc::new(Mutex::new(None));
     let o = out.clone();
     rt.register_exe("pair", move |mpi, _| {
-        let world = mpi.world().unwrap();
-        if world.rank() == 0 {
-            let r = mpi.send(world, 7, 0, data(()), 1);
-            *o.lock() = Some(matches!(r, Err(MpiError::NoSuchRank(7))));
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            if world.rank() == 0 {
+                let r = mpi.send(world, 7, 0, data(()), 1);
+                *o.lock() = Some(matches!(r, Err(MpiError::NoSuchRank(7))));
+            }
         }
     });
     launch_world(&mut sim, &rt, world_specs(&hosts, "pair")).unwrap();
@@ -130,10 +140,10 @@ fn connect_to_closed_port_fails() {
     let h0 = hosts[0];
     let out = Arc::new(Mutex::new(None));
     let o = out.clone();
-    sim.spawn_process("c", move |p| {
-        let mut mpi = rt2.attach(p, h0);
+    sim.spawn_process("c", move |p| async move {
+        let mut mpi = rt2.attach(p, h0).await;
         let self_comm = mpi.self_comm();
-        let r = mpi.comm_connect("no-such-port", self_comm);
+        let r = mpi.comm_connect("no-such-port", self_comm).await;
         *o.lock() = Some(matches!(r, Err(MpiError::NoSuchPort(_))));
     });
     sim.run();
@@ -152,12 +162,12 @@ fn two_ports_serve_independent_connectors() {
         let rtc = rt.clone();
         let pshare = ports.clone();
         let host = hosts[which];
-        sim.spawn_process(format!("server{which}"), move |p| {
-            let mut mpi = rtc.attach(p, host);
+        sim.spawn_process(format!("server{which}"), move |p| async move {
+            let mut mpi = rtc.attach(p, host).await;
             let self_comm = mpi.self_comm();
             let port = mpi.open_port();
             pshare.lock().push((which, port.clone()));
-            let inter = mpi.comm_accept(&port, self_comm).unwrap();
+            let inter = mpi.comm_accept(&port, self_comm).await.unwrap();
             // Tell the connector which server it reached.
             mpi.send(inter, 0, 0, data(which as u64), 8).unwrap();
         });
@@ -167,17 +177,17 @@ fn two_ports_serve_independent_connectors() {
         let pshare = ports.clone();
         let res = results.clone();
         let host = hosts[2];
-        sim.spawn_process(format!("client{which}"), move |p| {
-            let mut mpi = rtc.attach(p, host);
+        sim.spawn_process(format!("client{which}"), move |p| async move {
+            let mut mpi = rtc.attach(p, host).await;
             let port = loop {
                 if let Some((_, port)) = pshare.lock().iter().find(|(w, _)| *w == which).cloned() {
                     break port;
                 }
-                mpi.proc().sleep(SimDuration::from_millis(1));
+                mpi.proc().sleep(SimDuration::from_millis(1)).await;
             };
             let self_comm = mpi.self_comm();
-            let inter = mpi.comm_connect(&port, self_comm).unwrap();
-            let msg = mpi.recv(inter, ANY_SOURCE, ANY_TAG);
+            let inter = mpi.comm_connect(&port, self_comm).await.unwrap();
+            let msg = mpi.recv(inter, ANY_SOURCE, ANY_TAG).await;
             res.lock().push((which, msg.expect::<u64>()));
         });
     }
@@ -201,27 +211,33 @@ proptest! {
         let o = results.clone();
         let ops2 = ops.clone();
         rt.register_exe("mix", move |mut mpi, _| {
-            let world = mpi.world().unwrap();
-            let me = world.rank() as u64;
-            let mut log = Vec::new();
-            for (round, op) in ops2.iter().enumerate() {
-                match op % 3 {
-                    0 => mpi.barrier(world).unwrap(),
-                    1 => {
-                        let payload = if me == 0 { Some((data(round as u64), 8)) } else { None };
-                        let v = mpi.bcast(world, 0, payload).unwrap();
-                        log.push(*v.downcast_ref::<u64>().unwrap());
-                    }
-                    _ => {
-                        if let Some(all) = mpi.gather(world, 0, data(me * 10 + round as u64), 8).unwrap() {
-                            let nums: Vec<u64> =
-                                all.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
-                            log.push(nums.iter().sum());
+            let o = o.clone();
+            let ops2 = ops2.clone();
+            async move {
+                let world = mpi.world().unwrap();
+                let me = world.rank() as u64;
+                let mut log = Vec::new();
+                for (round, op) in ops2.iter().enumerate() {
+                    match op % 3 {
+                        0 => mpi.barrier(world).await.unwrap(),
+                        1 => {
+                            let payload = if me == 0 { Some((data(round as u64), 8)) } else { None };
+                            let v = mpi.bcast(world, 0, payload).await.unwrap();
+                            log.push(*v.downcast_ref::<u64>().unwrap());
+                        }
+                        _ => {
+                            if let Some(all) =
+                                mpi.gather(world, 0, data(me * 10 + round as u64), 8).await.unwrap()
+                            {
+                                let nums: Vec<u64> =
+                                    all.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
+                                log.push(nums.iter().sum());
+                            }
                         }
                     }
                 }
+                o.lock().push((me, log));
             }
-            o.lock().push((me, log));
         });
         launch_world(&mut sim, &rt, world_specs(&hosts, "mix")).unwrap();
         let stats = sim.run();

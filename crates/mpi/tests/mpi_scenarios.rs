@@ -35,19 +35,22 @@ fn launched_world_p2p_ring() {
     let out = Arc::new(Mutex::new(Vec::new()));
     let o = out.clone();
     w.rt.register_exe("ring", move |mut mpi, _args| {
-        let world = mpi.world().unwrap();
-        let n = mpi.size(world) as u32;
-        let me = world.rank();
-        if me == 0 {
-            mpi.send(world, 1, 0, data(0u32), 8).unwrap();
-            let msg = mpi.recv(world, Some(n - 1), Some(0));
-            o.lock().push(msg.expect::<u32>());
-        } else {
-            let msg = mpi.recv(world, Some(me - 1), Some(0));
-            let v = msg.expect::<u32>() + 1;
-            mpi.send(world, (me + 1) % n, 0, data(v), 8).unwrap();
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            let n = mpi.size(world) as u32;
+            let me = world.rank();
+            if me == 0 {
+                mpi.send(world, 1, 0, data(0u32), 8).unwrap();
+                let msg = mpi.recv(world, Some(n - 1), Some(0)).await;
+                o.lock().push(msg.expect::<u32>());
+            } else {
+                let msg = mpi.recv(world, Some(me - 1), Some(0)).await;
+                let v = msg.expect::<u32>() + 1;
+                mpi.send(world, (me + 1) % n, 0, data(v), 8).unwrap();
+            }
+            let _ = mpi.barrier(world).await; // everyone syncs at the end
         }
-        let _ = mpi.barrier(world); // everyone syncs at the end
     });
     let specs = w
         .hosts
@@ -71,18 +74,22 @@ fn bcast_and_gather() {
     let out = Arc::new(Mutex::new(Vec::new()));
     let o = out.clone();
     w.rt.register_exe("coll", move |mut mpi, _| {
-        let world = mpi.world().unwrap();
-        let me = world.rank();
-        // Broadcast a vector from rank 0.
-        let payload = if me == 0 { Some((data(vec![5u64, 6, 7]), 24)) } else { None };
-        let got = mpi.bcast(world, 0, payload).unwrap();
-        let v = got.downcast_ref::<Vec<u64>>().unwrap().clone();
-        // Gather each rank's contribution (rank * first broadcast value).
-        let contribution = v[0] * me as u64;
-        let gathered = mpi.gather(world, 0, data(contribution), 8).unwrap();
-        if let Some(values) = gathered {
-            let nums: Vec<u64> = values.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
-            o.lock().push(nums);
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            let me = world.rank();
+            // Broadcast a vector from rank 0.
+            let payload = if me == 0 { Some((data(vec![5u64, 6, 7]), 24)) } else { None };
+            let got = mpi.bcast(world, 0, payload).await.unwrap();
+            let v = got.downcast_ref::<Vec<u64>>().unwrap().clone();
+            // Gather each rank's contribution (rank * first broadcast value).
+            let contribution = v[0] * me as u64;
+            let gathered = mpi.gather(world, 0, data(contribution), 8).await.unwrap();
+            if let Some(values) = gathered {
+                let nums: Vec<u64> =
+                    values.iter().map(|d| *d.downcast_ref::<u64>().unwrap()).collect();
+                o.lock().push(nums);
+            }
         }
     });
     let specs = w
@@ -114,17 +121,21 @@ fn port_connect_accept_then_merge() {
     let pb = port_box.clone();
     let o = out.clone();
     w.rt.register_exe("daemon", move |mut mpi, _| {
-        let world = mpi.world().unwrap();
-        if world.rank() == 0 {
-            let port = mpi.open_port();
-            *pb.lock() = Some(port.clone());
-            let inter = mpi.comm_accept(&port, world).unwrap();
-            let merged = mpi.intercomm_merge(inter, true).unwrap();
-            o.lock().push(("daemon0", merged.rank()));
-        } else {
-            let inter = mpi.comm_accept("", world).unwrap(); // non-root: announced
-            let merged = mpi.intercomm_merge(inter, true).unwrap();
-            o.lock().push(("daemon1", merged.rank()));
+        let pb = pb.clone();
+        let o = o.clone();
+        async move {
+            let world = mpi.world().unwrap();
+            if world.rank() == 0 {
+                let port = mpi.open_port();
+                *pb.lock() = Some(port.clone());
+                let inter = mpi.comm_accept(&port, world).await.unwrap();
+                let merged = mpi.intercomm_merge(inter, true).await.unwrap();
+                o.lock().push(("daemon0", merged.rank()));
+            } else {
+                let inter = mpi.comm_accept("", world).await.unwrap(); // non-root: announced
+                let merged = mpi.intercomm_merge(inter, true).await.unwrap();
+                o.lock().push(("daemon1", merged.rank()));
+            }
         }
     });
     // Daemons on hosts 1 and 2.
@@ -138,19 +149,19 @@ fn port_connect_accept_then_merge() {
     let cn_host = w.hosts[0];
     let o2 = out.clone();
     let pb2 = port_box.clone();
-    w.sim.spawn_process("cn", move |p| {
-        let mut mpi = rt.attach(p, cn_host);
+    w.sim.spawn_process("cn", move |p| async move {
+        let mut mpi = rt.attach(p, cn_host).await;
         // Poll for the port file (the RM library reads it from a file in
         // the paper; here the test polls the shared box).
         let port = loop {
             if let Some(port) = pb2.lock().clone() {
                 break port;
             }
-            mpi.proc().sleep(ms(1));
+            mpi.proc().sleep(ms(1)).await;
         };
         let self_comm = mpi.self_comm();
-        let inter = mpi.comm_connect(&port, self_comm).unwrap();
-        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        let inter = mpi.comm_connect(&port, self_comm).await.unwrap();
+        let merged = mpi.intercomm_merge(inter, false).await.unwrap();
         o2.lock().push(("cn", merged.rank()));
         // Address the daemons by their merged ranks 1 and 2.
         for r in 1..=2 {
@@ -180,22 +191,25 @@ fn spawn_merge_then_shrink() {
 
     let o = out.clone();
     w.rt.register_exe("dyn-daemon", move |mut mpi, _| {
-        let parent = mpi.parent().expect("spawned daemon has a parent intercomm");
-        let mut merged = mpi.intercomm_merge(parent, true).unwrap();
-        o.lock().push(("daemon-merged", merged.rank()));
-        loop {
-            let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
-            match msg.tag {
-                99 => {
-                    mpi.comm_disconnect(merged);
-                    break;
+        let o = o.clone();
+        async move {
+            let parent = mpi.parent().expect("spawned daemon has a parent intercomm");
+            let mut merged = mpi.intercomm_merge(parent, true).await.unwrap();
+            o.lock().push(("daemon-merged", merged.rank()));
+            loop {
+                let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG).await;
+                match msg.tag {
+                    99 => {
+                        mpi.comm_disconnect(merged);
+                        break;
+                    }
+                    98 => {
+                        let removed = msg.expect::<Vec<u32>>();
+                        merged = mpi.comm_shrink(merged, &removed).await.unwrap();
+                        o.lock().push(("daemon-shrunk", merged.rank()));
+                    }
+                    _ => {}
                 }
-                98 => {
-                    let removed = msg.expect::<Vec<u32>>();
-                    merged = mpi.comm_shrink(merged, &removed).unwrap();
-                    o.lock().push(("daemon-shrunk", merged.rank()));
-                }
-                _ => {}
             }
         }
     });
@@ -203,12 +217,12 @@ fn spawn_merge_then_shrink() {
     let cn_host = w.hosts[0];
     let spawn_hosts = vec![w.hosts[1], w.hosts[2], w.hosts[3]];
     let o2 = out.clone();
-    w.sim.spawn_process("cn", move |p| {
-        let mut mpi = rt.attach(p, cn_host);
+    w.sim.spawn_process("cn", move |p| async move {
+        let mut mpi = rt.attach(p, cn_host).await;
         let self_comm = mpi.self_comm();
-        let inter = mpi.comm_spawn(self_comm, "dyn-daemon", &[], &spawn_hosts).unwrap();
+        let inter = mpi.comm_spawn(self_comm, "dyn-daemon", &[], &spawn_hosts).await.unwrap();
         assert_eq!(mpi.remote_size(inter), 3);
-        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        let merged = mpi.intercomm_merge(inter, false).await.unwrap();
         assert_eq!(merged.rank(), 0);
         assert_eq!(mpi.size(merged), 4);
         o2.lock().push(("cn-merged", merged.rank()));
@@ -219,7 +233,7 @@ fn spawn_merge_then_shrink() {
         for r in removed.iter() {
             mpi.send(merged, *r, 99, data(()), 8).unwrap();
         }
-        let shrunk = mpi.comm_shrink(merged, &removed).unwrap();
+        let shrunk = mpi.comm_shrink(merged, &removed).await.unwrap();
         assert_eq!(mpi.size(shrunk), 2);
         assert_eq!(shrunk.rank(), 0);
         o2.lock().push(("cn-shrunk", shrunk.rank()));
@@ -253,21 +267,21 @@ fn spawn_timing_includes_setup_and_launch() {
     let cost = MpiCostModel::paper_testbed();
     let min_expected = cost.spawn_setup + cost.child_launch;
     let rt = MpiRuntime::new(net, cost);
-    rt.register_exe("noop", |mut mpi, _| {
+    rt.register_exe("noop", |mut mpi, _| async move {
         if let Some(parent) = mpi.parent() {
-            let _ = mpi.intercomm_merge(parent, true);
+            let _ = mpi.intercomm_merge(parent, true).await;
         }
     });
     let out = Arc::new(Mutex::new(None));
     let o = out.clone();
     let rt2 = rt.clone();
     let mut sim = sim;
-    sim.spawn_process("cn", move |p| {
-        let mut mpi = rt2.attach(p, h0);
+    sim.spawn_process("cn", move |p| async move {
+        let mut mpi = rt2.attach(p, h0).await;
         let self_comm = mpi.self_comm();
         let t0 = mpi.proc().now();
-        let inter = mpi.comm_spawn(self_comm, "noop", &[], &[h1]).unwrap();
-        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        let inter = mpi.comm_spawn(self_comm, "noop", &[], &[h1]).await.unwrap();
+        let merged = mpi.intercomm_merge(inter, false).await.unwrap();
         assert_eq!(merged.rank(), 0);
         *o.lock() = Some(mpi.proc().now() - t0);
     });
@@ -286,10 +300,10 @@ fn spawn_timing_includes_setup_and_launch() {
 fn comm_leak_free_after_disconnects() {
     let mut w = setup(2);
     let rt = w.rt.clone();
-    w.rt.register_exe("peer", |mut mpi, _| {
+    w.rt.register_exe("peer", |mut mpi, _| async move {
         let parent = mpi.parent().unwrap();
-        let merged = mpi.intercomm_merge(parent, true).unwrap();
-        let _ = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
+        let merged = mpi.intercomm_merge(parent, true).await.unwrap();
+        let _ = mpi.recv(merged, ANY_SOURCE, ANY_TAG).await;
         mpi.comm_disconnect(merged);
         // also detach from world and parent
         let world = mpi.world().unwrap();
@@ -299,11 +313,11 @@ fn comm_leak_free_after_disconnects() {
     let h0 = w.hosts[0];
     let h1 = w.hosts[1];
     let rt_probe = w.rt.clone();
-    w.sim.spawn_process("cn", move |p| {
-        let mut mpi = rt.attach(p, h0);
+    w.sim.spawn_process("cn", move |p| async move {
+        let mut mpi = rt.attach(p, h0).await;
         let self_comm = mpi.self_comm();
-        let inter = mpi.comm_spawn(self_comm, "peer", &[], &[h1]).unwrap();
-        let merged = mpi.intercomm_merge(inter, false).unwrap();
+        let inter = mpi.comm_spawn(self_comm, "peer", &[], &[h1]).await.unwrap();
+        let merged = mpi.intercomm_merge(inter, false).await.unwrap();
         mpi.send(merged, 1, 0, data(()), 8).unwrap();
         mpi.comm_disconnect(merged);
         mpi.comm_disconnect(inter);

@@ -19,14 +19,14 @@
 //! let net = Network::new(LatencyModel::ideal(), 1);
 //! let h1 = net.add_host("cn01", HostKind::Compute);
 //! let h2 = net.add_host("ac01", HostKind::Accelerator);
-//! let rx = sim.spawn_process("service", |p| {
-//!     let (n, _) = p.recv_as::<u32>();
+//! let rx = sim.spawn_process("service", |p| async move {
+//!     let (n, _) = p.recv_as::<u32>().await;
 //!     assert_eq!(n, 7);
 //! });
 //! let addr = Address::new(h2, Port(9000));
 //! net.bind(addr, rx.into());
 //! let n2 = net.clone();
-//! sim.spawn_process("client", move |p| {
+//! sim.spawn_process("client", move |p| async move {
 //!     assert!(n2.send_from_proc(&p, h1, addr, 7u32, 64).is_sent());
 //! });
 //! let stats = sim.run();

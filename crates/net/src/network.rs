@@ -331,7 +331,7 @@ mod tests {
         let n = net();
         let h = n.add_host("h", HostKind::Generic);
         let mut sim = Engine::with_seed(1);
-        let pid = sim.spawn_process("x", |_| {});
+        let pid = sim.spawn_process("x", |_| async {});
         let a1 = n.bind_auto(h, pid.into());
         let a2 = n.bind_auto(h, pid.into());
         assert_ne!(a1, a2);
@@ -349,14 +349,14 @@ mod tests {
         let mut sim = Engine::with_seed(1);
         let out = Arc::new(Mutex::new(None));
         let o = out.clone();
-        let rx = sim.spawn_process("rx", move |p| {
-            let (v, _) = p.recv_as::<u64>();
+        let rx = sim.spawn_process("rx", move |p| async move {
+            let (v, _) = p.recv_as::<u64>().await;
             *o.lock() = Some((v, p.now()));
         });
         let addr = Address::new(h2, Port(9));
         n.bind(addr, rx.into());
         let n2 = n.clone();
-        sim.spawn_process("tx", move |p| {
+        sim.spawn_process("tx", move |p| async move {
             let outcome = n2.send_from_proc(&p, h1, addr, 123u64, 1_000_000);
             assert!(outcome.is_sent());
         });
@@ -375,14 +375,14 @@ mod tests {
         let h1 = n.add_host("h1", HostKind::Compute);
         let h2 = n.add_host("h2", HostKind::Compute);
         let mut sim = Engine::with_seed(1);
-        let rx = sim.spawn_process("rx", |p| {
-            assert!(p.recv_timeout(SimDuration::from_secs(1)).is_none());
+        let rx = sim.spawn_process("rx", |p| async move {
+            assert!(p.recv_timeout(SimDuration::from_secs(1)).await.is_none());
         });
         let addr = Address::new(h2, Port(1));
         n.bind(addr, rx.into());
         n.set_host_down(h2, true);
         let n2 = n.clone();
-        sim.spawn_process("tx", move |p| {
+        sim.spawn_process("tx", move |p| async move {
             assert_eq!(n2.send_from_proc(&p, h1, addr, 1u8, 8), SendOutcome::HostDown);
         });
         sim.run();
@@ -396,7 +396,7 @@ mod tests {
         let h1 = n.add_host("h1", HostKind::Compute);
         let mut sim = Engine::with_seed(1);
         let n2 = n.clone();
-        sim.spawn_process("tx", move |p| {
+        sim.spawn_process("tx", move |p| async move {
             let out = n2.send_from_proc(&p, h1, Address::new(h1, Port(404)), 1u8, 8);
             assert_eq!(out, SendOutcome::NoBinding);
         });
@@ -410,13 +410,15 @@ mod tests {
         let h2 = n.add_host("h2", HostKind::Compute);
         n.set_drop_probability(0.5);
         let mut sim = Engine::with_seed(1);
-        let rx = sim.spawn_process("rx", |p| loop {
-            let _ = p.recv();
+        let rx = sim.spawn_process("rx", |p| async move {
+            loop {
+                let _ = p.recv().await;
+            }
         });
         let addr = Address::new(h2, Port(1));
         n.bind(addr, rx.into());
         let n2 = n.clone();
-        sim.spawn_process("tx", move |p| {
+        sim.spawn_process("tx", move |p| async move {
             for _ in 0..400 {
                 let _ = n2.send_from_proc(&p, h1, addr, 0u8, 8);
             }

@@ -29,13 +29,15 @@ proptest! {
             let h2 = net.add_host("b", HostKind::Generic);
             net.set_drop_probability(p);
             let mut sim = Engine::with_seed(1);
-            let rx = sim.spawn_process("rx", |p| loop {
-                let _ = p.recv();
+            let rx = sim.spawn_process("rx", |p| async move {
+                loop {
+                    let _ = p.recv().await;
+                }
             });
             let addr = Address::new(h2, Port(1));
             net.bind(addr, rx.into());
             let n2 = net.clone();
-            sim.spawn_process("tx", move |proc| {
+            sim.spawn_process("tx", move |proc| async move {
                 for _ in 0..n {
                     let _ = n2.send_from_proc(&proc, h1, addr, 0u8, 8);
                 }
@@ -58,7 +60,7 @@ proptest! {
         let net = Network::new(LatencyModel::ideal(), 5);
         let hs: Vec<_> = (0..hosts).map(|i| net.add_host(format!("h{i}"), HostKind::Generic)).collect();
         let mut sim = Engine::with_seed(1);
-        let pid = sim.spawn_process("x", |_| {});
+        let pid = sim.spawn_process("x", |_| async {});
         let mut seen = std::collections::HashSet::new();
         for i in 0..binds {
             let h = hs[i % hs.len()];

@@ -22,7 +22,7 @@ fn fresh_token() -> u64 {
 }
 
 /// Generic blocking request/response exchange with the server.
-fn call<Req, Resp>(
+async fn call<Req, Resp>(
     p: &Proc,
     net: &Network,
     from: HostId,
@@ -39,13 +39,13 @@ where
     let req = build(token, reply);
     let outcome = net.send_from_proc(p, from, server, req, IFL_BYTES);
     assert!(outcome.is_sent(), "IFL request could not reach the server: {outcome:?}");
-    let env = p.recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token));
+    let env = p.recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token)).await;
     net.unbind(reply);
     env.downcast::<Resp>().expect("matched by predicate")
 }
 
 /// Submit a job; returns its id once the server has enqueued it.
-pub fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpec) -> JobId {
+pub async fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpec) -> JobId {
     let resp: QsubResp = call(
         p,
         net,
@@ -53,12 +53,13 @@ pub fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpe
         server,
         |token, reply| QsubReq { token, spec, reply },
         |r: &QsubResp| r.token,
-    );
+    )
+    .await;
     resp.job
 }
 
 /// Query the status of all jobs.
-pub fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobStatus> {
+pub async fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobStatus> {
     let resp: QstatResp = call(
         p,
         net,
@@ -66,12 +67,13 @@ pub fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobS
         server,
         |token, reply| QstatReq { token, reply },
         |r: &QstatResp| r.token,
-    );
+    )
+    .await;
     resp.jobs
 }
 
 /// Cancel a job; true if the server knew it and acted.
-pub fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+pub async fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
     let resp: QdelResp = call(
         p,
         net,
@@ -79,12 +81,13 @@ pub fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) 
         server,
         |token, reply| QdelReq { token, job, reply },
         |r: &QdelResp| r.token,
-    );
+    )
+    .await;
     resp.ok
 }
 
 /// Hold a queued job (`qhold`): the scheduler skips it until released.
-pub fn qhold(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+pub async fn qhold(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
     let resp: QholdResp = call(
         p,
         net,
@@ -92,12 +95,13 @@ pub fn qhold(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId)
         server,
         |token, reply| QholdReq { token, job, hold: true, reply },
         |r: &QholdResp| r.token,
-    );
+    )
+    .await;
     resp.ok
 }
 
 /// Release a held job back into the queue (`qrls`).
-pub fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
+pub async fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) -> bool {
     let resp: QholdResp = call(
         p,
         net,
@@ -105,7 +109,8 @@ pub fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) 
         server,
         |token, reply| QholdReq { token, job, hold: false, reply },
         |r: &QholdResp| r.token,
-    );
+    )
+    .await;
     resp.ok
 }
 
@@ -113,7 +118,7 @@ pub fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: JobId) 
 /// job. Blocks until the batch system grants or rejects (the paper's
 /// `pbs_dynget`). On rejection the application simply continues with its
 /// current allocation.
-pub fn pbs_dynget(
+pub async fn pbs_dynget(
     p: &Proc,
     net: &Network,
     from: HostId,
@@ -122,7 +127,7 @@ pub fn pbs_dynget(
     cn: HostId,
     count: u32,
 ) -> Result<DynGrant, DynReject> {
-    pbs_dynget_range(p, net, from, server, job, cn, count, count)
+    pbs_dynget_range(p, net, from, server, job, cn, count, count).await
 }
 
 /// Dynamically request `count` additional **compute nodes** with `ppn`
@@ -130,7 +135,7 @@ pub fn pbs_dynget(
 /// §V (Cera et al.'s dynamic MPI). Same serial servicing and scheduling
 /// path as accelerator requests.
 #[allow(clippy::too_many_arguments)]
-pub fn pbs_dynget_nodes(
+pub async fn pbs_dynget_nodes(
     p: &Proc,
     net: &Network,
     from: HostId,
@@ -155,7 +160,8 @@ pub fn pbs_dynget_nodes(
             reply,
         },
         |r: &DynGetResp| r.token,
-    );
+    )
+    .await;
     resp.result
 }
 
@@ -164,7 +170,7 @@ pub fn pbs_dynget_nodes(
 /// work, §VI). The scheduler grants `min(count, free)` when at least
 /// `min_count` are free, and rejects otherwise.
 #[allow(clippy::too_many_arguments)]
-pub fn pbs_dynget_range(
+pub async fn pbs_dynget_range(
     p: &Proc,
     net: &Network,
     from: HostId,
@@ -189,14 +195,15 @@ pub fn pbs_dynget_range(
             reply,
         },
         |r: &DynGetResp| r.token,
-    );
+    )
+    .await;
     resp.result
 }
 
 /// Release a dynamically allocated accelerator set (the paper's
 /// `pbs_dynfree`). Returns as soon as the server accepts; the
 /// disassociation continues in the background.
-pub fn pbs_dynfree(
+pub async fn pbs_dynfree(
     p: &Proc,
     net: &Network,
     from: HostId,
@@ -211,6 +218,7 @@ pub fn pbs_dynfree(
         server,
         |token, reply| DynFreeReq { token, job, client_id, reply },
         |r: &DynFreeResp| r.token,
-    );
+    )
+    .await;
     resp.ok
 }

@@ -59,14 +59,19 @@ impl JobState {
     }
 }
 
-/// The application: one closure instance runs per allocated compute node,
-/// borrowing that node's execution context ([`crate::mom::JobCtx`]). The
-/// task epilogue (completion reporting) runs after the closure returns.
-pub type JobScript = Arc<dyn Fn(&mut crate::mom::JobCtx) + Send + Sync>;
+/// The application: one async closure instance runs per allocated compute
+/// node, owning that node's execution context ([`crate::mom::JobCtx`]).
+/// The task epilogue (completion reporting) runs after the body returns.
+pub type JobScript = Arc<dyn Fn(crate::mom::JobCtx) -> darms_sim::ProcFuture + Send + Sync>;
 
-/// Convenience constructor for a [`JobScript`].
-pub fn script(f: impl Fn(&mut crate::mom::JobCtx) + Send + Sync + 'static) -> JobScript {
-    Arc::new(f)
+/// Convenience constructor for a [`JobScript`]:
+/// `script(|mut jc| async move { … })`.
+pub fn script<F, Fut>(f: F) -> JobScript
+where
+    F: Fn(crate::mom::JobCtx) -> Fut + Send + Sync + 'static,
+    Fut: std::future::Future<Output = ()> + 'static,
+{
+    Arc::new(move |jc| Box::pin(f(jc)))
 }
 
 /// What a user submits with `qsub`.

@@ -72,15 +72,16 @@ pub struct JobCtx {
 
 impl JobCtx {
     /// `pbs_dynget`: blockingly request `count` additional accelerators.
-    pub fn dynget(&self, count: u32) -> Result<DynGrant, DynReject> {
+    pub async fn dynget(&self, count: u32) -> Result<DynGrant, DynReject> {
         ifl::pbs_dynget(&self.proc, &self.net, self.host, self.server, self.job, self.host, count)
+            .await
     }
 
     /// Request `count` additional compute nodes with `ppn` cores each for
     /// a malleable application (§V generalisation). Returns the granted
     /// hosts; spawn work there via the MPI runtime, and release with
     /// [`JobCtx::dynfree`].
-    pub fn dynget_nodes(&self, count: u32, ppn: u32) -> Result<DynGrant, DynReject> {
+    pub async fn dynget_nodes(&self, count: u32, ppn: u32) -> Result<DynGrant, DynReject> {
         ifl::pbs_dynget_nodes(
             &self.proc,
             &self.net,
@@ -91,16 +92,17 @@ impl JobCtx {
             count,
             ppn,
         )
+        .await
     }
 
     /// `pbs_dynfree`: release a dynamically allocated set.
-    pub fn dynfree(&self, client_id: ClientId) -> bool {
-        ifl::pbs_dynfree(&self.proc, &self.net, self.host, self.server, self.job, client_id)
+    pub async fn dynfree(&self, client_id: ClientId) -> bool {
+        ifl::pbs_dynfree(&self.proc, &self.net, self.host, self.server, self.job, client_id).await
     }
 
     /// `qstat` as seen from inside the job.
-    pub fn qstat(&self) -> Vec<crate::job::JobStatus> {
-        ifl::qstat(&self.proc, &self.net, self.host, self.server)
+    pub async fn qstat(&self) -> Vec<crate::job::JobStatus> {
+        ifl::qstat(&self.proc, &self.net, self.host, self.server).await
     }
 
     /// True once the job has been cancelled (`qdel`). Cancellation is
@@ -115,11 +117,11 @@ impl JobCtx {
 
     /// Sleep for `d`, waking early if the job is cancelled. Returns true
     /// if the sleep was interrupted by cancellation.
-    pub fn sleep_interruptible(&mut self, d: darms_sim::SimDuration) -> bool {
+    pub async fn sleep_interruptible(&mut self, d: darms_sim::SimDuration) -> bool {
         if self.killed {
             return true;
         }
-        if self.proc.recv_where_timeout(|e| e.is::<TaskKill>(), d).is_some() {
+        if self.proc.recv_where_timeout(|e| e.is::<TaskKill>(), d).await.is_some() {
             self.killed = true;
         }
         self.killed
@@ -372,7 +374,8 @@ impl PbsMom {
             let cn_host = *cn;
             let bytes = self.cost.ctl_bytes;
             let name = format!("{job}-task{i}@host{}", cn.index());
-            let pid = ctx.spawn_process(name, move |p: Proc| {
+            let pid = ctx.spawn_process(name, move |p: Proc| async move {
+                let proc = p.clone();
                 let mut jc = JobCtx {
                     proc: p,
                     job,
@@ -388,16 +391,16 @@ impl PbsMom {
                     killed: false,
                 };
                 match &script {
-                    Some(s) => s(&mut jc),
+                    Some(s) => s(jc).await,
                     None => {
                         // Synthetic jobs honour qdel: the sleep breaks
                         // early when the mom delivers a TaskKill.
-                        let _ = jc.sleep_interruptible(runtime);
+                        let _ = jc.sleep_interruptible(runtime).await;
                     }
                 }
                 // Task epilogue: report completion to the mother superior.
                 let done = TaskDone { job, node_index: i };
-                net.send_from_proc(&jc.proc, cn_host, ms_mom, done, bytes);
+                net.send_from_proc(&proc, cn_host, ms_mom, done, bytes);
             });
             if let Some(rec) = self.jobs.get_mut(&job) {
                 rec.task_pids.push(pid);

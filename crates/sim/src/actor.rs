@@ -1,8 +1,9 @@
 //! Reactive actors: daemon-style state machines dispatched inline by the
-//! engine (no thread, no stack to park). The `pbs_server`, `pbs_mom`s and
-//! the Maui scheduler are actors; sequential application logic uses
-//! threaded [processes](crate::process::Proc) instead.
+//! engine. The `pbs_server`, `pbs_mom`s and the Maui scheduler are
+//! actors; sequential application logic uses stackless async
+//! [processes](crate::process::Proc) instead.
 
+use std::rc::Rc;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,7 +35,7 @@ pub trait Actor: Send {
 /// Capability handle passed to actor callbacks.
 pub struct Ctx<'a> {
     pub(crate) k: &'a mut Kernel,
-    pub(crate) arc: &'a Arc<Mutex<Kernel>>,
+    pub(crate) arc: &'a Rc<Mutex<Kernel>>,
     pub(crate) me: ActorId,
 }
 
@@ -85,22 +86,26 @@ impl Ctx<'_> {
         self.k.bump_timer_gen(me.index(), token);
     }
 
-    /// Spawn a threaded process whose entry runs after `delay`.
-    pub fn spawn_process_after(
+    /// Spawn a process whose `async` entry runs after `delay`.
+    pub fn spawn_process_after<F, Fut>(
         &mut self,
         name: impl Into<String>,
         delay: SimDuration,
-        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
-    ) -> ProcessId {
+        entry: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(crate::process::Proc) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
         spawn_process(self.k, self.arc, name.into(), delay, entry)
     }
 
-    /// Spawn a threaded process starting now.
-    pub fn spawn_process(
-        &mut self,
-        name: impl Into<String>,
-        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
-    ) -> ProcessId {
+    /// Spawn a process starting now.
+    pub fn spawn_process<F, Fut>(&mut self, name: impl Into<String>, entry: F) -> ProcessId
+    where
+        F: FnOnce(crate::process::Proc) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
         self.spawn_process_after(name, SimDuration::ZERO, entry)
     }
 

@@ -1,21 +1,25 @@
-//! The event loop: pops `(time, seq)`-ordered events, advances the virtual
-//! clock, dispatches to actors, and hands the single execution token to
-//! process threads one at a time.
+//! The event loop and process executor: pops `(time, seq)`-ordered
+//! events, advances the virtual clock, dispatches to actors, and polls
+//! stackless process bodies one at a time.
 
 use std::cmp::Reverse;
+use std::future::Future;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
 
 use crate::actor::{Actor, Ctx};
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
 use crate::kernel::{EventKind, Kernel, ProcState, SimConfig, SimStats, TraceRecord};
-use crate::process::{install_shutdown_hook, spawn_process, ProcCtl};
+use crate::process::{spawn_process, ProcBody};
 use crate::time::{SimDuration, SimTime};
 
 /// A complete simulation: kernel + registered actors + event loop.
 pub struct Engine {
-    kernel: Arc<Mutex<Kernel>>,
+    kernel: Rc<Mutex<Kernel>>,
     actors: Vec<Box<dyn Actor>>,
     started: bool,
     finished: bool,
@@ -24,9 +28,8 @@ pub struct Engine {
 impl Engine {
     /// Create an engine with the given configuration.
     pub fn new(config: SimConfig) -> Self {
-        install_shutdown_hook();
         Engine {
-            kernel: Arc::new(Mutex::new(Kernel::new(config))),
+            kernel: Rc::new(Mutex::new(Kernel::new(config))),
             actors: Vec::new(),
             started: false,
             finished: false,
@@ -48,29 +51,33 @@ impl Engine {
         id
     }
 
-    /// Spawn a threaded process whose entry runs at the given virtual-time
+    /// Spawn a process whose `async` entry runs at the given virtual-time
     /// offset from now.
-    pub fn spawn_process_after(
+    pub fn spawn_process_after<F, Fut>(
         &mut self,
         name: impl Into<String>,
         delay: SimDuration,
-        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
-    ) -> ProcessId {
+        entry: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(crate::process::Proc) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
         let mut k = self.kernel.lock();
         spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
     }
 
-    /// Spawn a threaded process starting at the current virtual time.
-    pub fn spawn_process(
-        &mut self,
-        name: impl Into<String>,
-        entry: impl FnOnce(crate::process::Proc) + Send + 'static,
-    ) -> ProcessId {
+    /// Spawn a process starting at the current virtual time.
+    pub fn spawn_process<F, Fut>(&mut self, name: impl Into<String>, entry: F) -> ProcessId
+    where
+        F: FnOnce(crate::process::Proc) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
         self.spawn_process_after(name, SimDuration::ZERO, entry)
     }
 
     /// Shared handle to the kernel (for composing subsystems at setup time).
-    pub fn kernel(&self) -> Arc<Mutex<Kernel>> {
+    pub fn kernel(&self) -> Rc<Mutex<Kernel>> {
         self.kernel.clone()
     }
 
@@ -94,13 +101,11 @@ impl Engine {
         let wall_start = std::time::Instant::now();
         loop {
             // Decide what to do while holding the lock, then act on it
-            // with the lock released (resuming a process must not hold it).
+            // with the lock released (polling a process must not hold it).
             enum Step {
                 Done,
                 Deliver(Endpoint, Envelope),
-                // The ctl handle is resolved while the kernel lock is
-                // still held so the resume path needs no extra lock.
-                WakeProc(ProcessId, Arc<ProcCtl>),
+                WakeProc(ProcessId),
                 Timer(ActorId, u64),
             }
             let step = {
@@ -157,9 +162,8 @@ impl Engine {
                                     Endpoint::Process(pid) => {
                                         match self.deliver_to_process(&mut k, pid, env) {
                                             Some(p) => {
-                                                let ctl = k.procs[p.0].ctl.clone();
                                                 k.stats.context_switches += 1;
-                                                Step::WakeProc(p, ctl)
+                                                Step::WakeProc(p)
                                             }
                                             None => continue,
                                         }
@@ -176,9 +180,8 @@ impl Engine {
                                     if parked && slot.epoch == epoch {
                                         slot.state = ProcState::Active;
                                         slot.epoch += 1;
-                                        let ctl = slot.ctl.clone();
                                         k.stats.context_switches += 1;
-                                        Step::WakeProc(pid, ctl)
+                                        Step::WakeProc(pid)
                                     } else {
                                         continue; // stale wake
                                     }
@@ -193,7 +196,7 @@ impl Engine {
                 Step::Done => break,
                 Step::Deliver(Endpoint::Actor(aid), env) => self.dispatch_actor(aid, env),
                 Step::Deliver(_, _) => unreachable!("process deliveries resolved above"),
-                Step::WakeProc(pid, ctl) => self.resume(pid, &ctl),
+                Step::WakeProc(pid) => self.resume(pid),
                 Step::Timer(aid, token) => self.dispatch_timer(aid, token),
             }
         }
@@ -246,51 +249,74 @@ impl Engine {
         }
     }
 
-    /// Give the execution token to a process and wait for it to yield.
-    /// The caller has already counted the context switch and must not
-    /// hold the kernel lock.
-    fn resume(&self, pid: ProcessId, ctl: &ProcCtl) {
-        let done = ctl.resume_and_wait();
-        if done {
+    /// Poll a process body once. The caller has already counted the
+    /// context switch and must not hold the kernel lock: the body is
+    /// taken out of the slot, polled lock-free (its await points re-lock
+    /// the kernel themselves), and put back if it suspended.
+    fn resume(&self, pid: ProcessId) {
+        let body = {
             let mut k = self.kernel.lock();
-            let slot = &mut k.procs[pid.0];
-            if slot.state != ProcState::Finished {
-                slot.state = ProcState::Finished;
-                slot.epoch += 1;
-                k.stats.processes_finished += 1;
+            std::mem::replace(&mut k.procs[pid.0].body, ProcBody::Done)
+        };
+        let mut fut = match body {
+            ProcBody::Entry(make) => make(),
+            ProcBody::Future(f) => f,
+            ProcBody::Done => return, // already finished; nothing to poll
+        };
+        // Readiness is tracked by kernel state (park states + Wake
+        // events), so the executor needs no real waker.
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let polled = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        let mut k = self.kernel.lock();
+        match polled {
+            Ok(Poll::Pending) => k.procs[pid.0].body = ProcBody::Future(fut),
+            Ok(Poll::Ready(())) | Err(_) => {
+                if polled.is_err() {
+                    // A genuine panic inside a process body; the unwind
+                    // already dropped the body's locals.
+                    k.stats.process_panics += 1;
+                }
+                let slot = &mut k.procs[pid.0];
+                if slot.state != ProcState::Finished {
+                    slot.state = ProcState::Finished;
+                    slot.epoch += 1;
+                    k.stats.processes_finished += 1;
+                }
+                drop(k);
+                // Completed futures hold no locals, but drop outside the
+                // lock anyway: a Drop impl is free to lock the kernel.
+                drop(fut);
             }
         }
     }
 
-    /// Unwind every still-parked process thread and join all threads.
-    /// Returns final statistics. Idempotent.
+    /// Drop every unfinished process body (their locals' destructors run,
+    /// like the unwind of a cancelled thread) and seal the run. Returns
+    /// final statistics. Idempotent.
     pub fn finish(&mut self) -> SimStats {
         if !self.finished {
             self.finished = true;
-            {
+            let bodies: Vec<ProcBody> = {
                 let mut k = self.kernel.lock();
                 k.shutdown = true;
-            }
-            // Resume every unfinished process so its thread unwinds.
-            let pids: Vec<(ProcessId, Arc<ProcCtl>)> = {
-                let mut k = self.kernel.lock();
-                let unfinished: Vec<_> = (0..k.procs.len())
-                    .filter(|&i| k.procs[i].state != ProcState::Finished)
-                    .map(|i| (ProcessId(i), k.procs[i].ctl.clone()))
-                    .collect();
-                k.stats.context_switches += unfinished.len() as u64;
-                unfinished
+                let mut unfinished = 0u64;
+                let mut bodies = Vec::with_capacity(k.procs.len());
+                for slot in k.procs.iter_mut() {
+                    if slot.state != ProcState::Finished {
+                        unfinished += 1;
+                        slot.state = ProcState::Finished;
+                        slot.epoch += 1;
+                    }
+                    bodies.push(std::mem::replace(&mut slot.body, ProcBody::Done));
+                }
+                k.stats.context_switches += unfinished;
+                k.stats.processes_finished += unfinished;
+                bodies
             };
-            for (pid, ctl) in pids {
-                self.resume(pid, &ctl);
-            }
-            let threads = {
-                let mut k = self.kernel.lock();
-                std::mem::take(&mut k.threads)
-            };
-            for t in threads {
-                let _ = t.join();
-            }
+            // Dropped outside the lock, in pid order (matching the old
+            // runtime's unwind order): destructors may lock the kernel.
+            drop(bodies);
         }
         let mut k = self.kernel.lock();
         k.stats.end_time = k.now;
@@ -361,10 +387,10 @@ mod tests {
         let mut e = Engine::with_seed(1);
         let out = Arc::new(Mutex::new(Vec::new()));
         let o = out.clone();
-        e.spawn_process("sleeper", move |p| {
-            p.sleep(ms(5));
+        e.spawn_process("sleeper", move |p| async move {
+            p.sleep(ms(5)).await;
             o.lock().push(p.now());
-            p.sleep(ms(7));
+            p.sleep(ms(7)).await;
             o.lock().push(p.now());
         });
         let stats = e.run();
@@ -379,14 +405,14 @@ mod tests {
         let mut e = Engine::with_seed(1);
         let out = Arc::new(Mutex::new(Vec::new()));
         let o = out.clone();
-        let ponger = e.spawn_process("ponger", move |p| {
-            let (n, src) = p.recv_as::<u32>();
+        let ponger = e.spawn_process("ponger", move |p| async move {
+            let (n, src) = p.recv_as::<u32>().await;
             p.send(src.unwrap(), n + 1, ms(3));
         });
         let o2 = out.clone();
-        e.spawn_process("pinger", move |p| {
+        e.spawn_process("pinger", move |p| async move {
             p.send(ponger.into(), 41u32, ms(2));
-            let (n, _) = p.recv_as::<u32>();
+            let (n, _) = p.recv_as::<u32>().await;
             o2.lock().push((p.now(), n));
         });
         e.run();
@@ -401,8 +427,8 @@ mod tests {
         let mut e = Engine::with_seed(1);
         let out = Arc::new(Mutex::new(None));
         let o = out.clone();
-        e.spawn_process("waiter", move |p| {
-            let r = p.recv_timeout(ms(10));
+        e.spawn_process("waiter", move |p| async move {
+            let r = p.recv_timeout(ms(10)).await;
             *o.lock() = Some((r.is_none(), p.now()));
         });
         e.run();
@@ -416,14 +442,14 @@ mod tests {
         let mut e = Engine::with_seed(1);
         let out = Arc::new(Mutex::new(Vec::new()));
         let o = out.clone();
-        let rx = e.spawn_process("rx", move |p| {
-            let env = p.recv_where(|e| e.peek::<u32>().is_some_and(|v| *v == 7));
+        let rx = e.spawn_process("rx", move |p| async move {
+            let env = p.recv_where(|e| e.peek::<u32>().is_some_and(|v| *v == 7)).await;
             o.lock().push(env.downcast::<u32>().unwrap());
             // earlier non-matching message still queued
-            let env = p.recv();
+            let env = p.recv().await;
             o.lock().push(env.downcast::<u32>().unwrap());
         });
-        e.spawn_process("tx", move |p| {
+        e.spawn_process("tx", move |p| async move {
             p.send(rx.into(), 3u32, ms(1));
             p.send(rx.into(), 7u32, ms(2));
         });
@@ -458,9 +484,9 @@ mod tests {
         let echo = e.add_actor(Box::new(Echo { fired: fired.clone() }));
         let out = Arc::new(Mutex::new(0u32));
         let o = out.clone();
-        e.spawn_process("client", move |p| {
+        e.spawn_process("client", move |p| async move {
             p.send(echo.into(), 21u32, ms(1));
-            let (n, _) = p.recv_as::<u32>();
+            let (n, _) = p.recv_as::<u32>().await;
             *o.lock() = n;
         });
         e.run();
@@ -473,11 +499,11 @@ mod tests {
         let mut e = Engine::with_seed(1);
         let count = Arc::new(AtomicU64::new(0));
         let c = count.clone();
-        e.spawn_process("parent", move |p| {
+        e.spawn_process("parent", move |p| async move {
             for i in 0..4 {
                 let c2 = c.clone();
-                p.spawn_after(format!("child{i}"), ms(i), move |cp| {
-                    cp.sleep(ms(1));
+                p.spawn_after(format!("child{i}"), ms(i), move |cp| async move {
+                    cp.sleep(ms(1)).await;
                     c2.fetch_add(1, Ordering::SeqCst);
                 });
             }
@@ -493,8 +519,10 @@ mod tests {
             horizon: SimTime::from_nanos(5_000_000),
             ..Default::default()
         });
-        e.spawn_process("forever", move |p| loop {
-            p.sleep(ms(1));
+        e.spawn_process("forever", move |p| async move {
+            loop {
+                p.sleep(ms(1)).await;
+            }
         });
         let stats = e.run();
         assert!(stats.hit_horizon);
@@ -504,8 +532,10 @@ mod tests {
     #[test]
     fn event_cap_stops_livelock() {
         let mut e = Engine::new(SimConfig { max_events: 100, ..Default::default() });
-        e.spawn_process("spin", move |p| loop {
-            p.sleep(SimDuration::ZERO);
+        e.spawn_process("spin", move |p| async move {
+            loop {
+                p.sleep(SimDuration::ZERO).await;
+            }
         });
         let stats = e.run();
         assert!(stats.hit_event_cap);
@@ -514,9 +544,9 @@ mod tests {
     #[test]
     fn message_to_finished_process_is_dropped() {
         let mut e = Engine::with_seed(1);
-        let dead = e.spawn_process("dead", |_p| {});
-        e.spawn_process("tx", move |p| {
-            p.sleep(ms(5));
+        let dead = e.spawn_process("dead", |_p| async move {});
+        e.spawn_process("tx", move |p| async move {
+            p.sleep(ms(5)).await;
             p.send(dead.into(), 1u32, ms(1));
         });
         let stats = e.run(); // must not hang or panic
@@ -527,16 +557,16 @@ mod tests {
     fn deterministic_trace_across_runs() {
         fn run_once(seed: u64) -> Vec<(u64, String)> {
             let mut e = Engine::new(SimConfig { seed, trace: true, ..Default::default() });
-            let a = e.spawn_process("a", move |p| {
+            let a = e.spawn_process("a", move |p| async move {
                 let jitter = p.with_rng(|r| rand::Rng::gen_range(r, 0..1000u64));
-                p.sleep(SimDuration::from_micros(jitter));
+                p.sleep(SimDuration::from_micros(jitter)).await;
                 p.trace(format!("slept {jitter}"));
-                let (v, src) = p.recv_as::<u32>();
+                let (v, src) = p.recv_as::<u32>().await;
                 p.send(src.unwrap(), v + 1, ms(1));
             });
-            e.spawn_process("b", move |p| {
+            e.spawn_process("b", move |p| async move {
                 p.send(a.into(), 10u32, ms(2));
-                let (v, _) = p.recv_as::<u32>();
+                let (v, _) = p.recv_as::<u32>().await;
                 p.trace(format!("got {v}"));
             });
             e.run();
@@ -551,11 +581,11 @@ mod tests {
     #[test]
     fn process_panic_is_counted_and_run_continues() {
         let mut e = Engine::with_seed(1);
-        e.spawn_process("bad", |_p| panic!("intentional test panic"));
+        e.spawn_process("bad", |_p| async { panic!("intentional test panic") });
         let ok = Arc::new(AtomicU64::new(0));
         let o = ok.clone();
-        e.spawn_process("good", move |p| {
-            p.sleep(ms(1));
+        e.spawn_process("good", move |p| async move {
+            p.sleep(ms(1)).await;
             o.fetch_add(1, Ordering::SeqCst);
         });
         let stats = e.run();

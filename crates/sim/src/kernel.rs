@@ -1,10 +1,11 @@
 //! The simulation kernel: virtual clock, event heap, process table, RNG,
 //! structured tracer, and metrics registry.
 //!
-//! The kernel is shared between the engine thread and the (at most one)
-//! currently-active process thread behind a `Mutex`. Because the engine
-//! resumes exactly one process at a time and waits for it to yield, the
-//! lock is never contended; it exists to make the hand-off sound.
+//! The kernel lives behind a `Mutex` shared by the engine and every
+//! [`Proc`](crate::Proc) handle. Everything runs on the engine thread —
+//! process bodies are stackless futures the engine polls one at a time —
+//! so the lock is never contended; it exists so handles can be owned by
+//! the bodies themselves without borrowing the engine.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -15,7 +16,7 @@ use rand::SeedableRng;
 
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
 use crate::metrics::MetricsRegistry;
-use crate::process::ProcCtl;
+use crate::process::ProcBody;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};
 
@@ -60,29 +61,31 @@ impl Ord for Scheduled {
 /// Why a process is not currently running.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum ProcState {
-    /// Thread created, entry not yet invoked.
+    /// Spawned; the body future has not been constructed yet.
     NotStarted,
-    /// Currently executing (it is the active thread).
+    /// Currently being polled by the engine.
     Active,
-    /// Blocked in `recv`; a message delivery wakes it.
+    /// Suspended in `recv`; a message delivery wakes it.
     ParkedRecv,
-    /// Blocked in `sleep`; only the matching `Wake` event resumes it.
+    /// Suspended in `sleep`; only the matching `Wake` event resumes it.
     ParkedSleep,
-    /// Entry function returned (or unwound on shutdown).
+    /// Body ran to completion (or was dropped at shutdown).
     Finished,
 }
 
-/// Bookkeeping for one threaded process.
+/// Bookkeeping for one stackless process.
 pub(crate) struct ProcSlot {
     /// Interned once at spawn; trace emission and `endpoint_name` hand
     /// out refcount bumps instead of fresh `String`s.
     pub name: Arc<str>,
-    pub ctl: Arc<ProcCtl>,
     pub mailbox: VecDeque<Envelope>,
     pub state: ProcState,
     /// Park epoch; bumped every time the process parks or is woken so
     /// stale `Wake` events can be discarded.
     pub epoch: u64,
+    /// The body state machine. Taken out (and put back) by the engine
+    /// around each poll so polling happens without the kernel lock.
+    pub body: ProcBody,
 }
 
 /// One line of the simulation trace, in the legacy flat form. The
@@ -164,7 +167,9 @@ pub struct SimStats {
     /// Sum of the queue depth sampled at every dispatch; divide by
     /// `events` for the mean (see [`SimStats::mean_queue_depth`]).
     pub queue_depth_sum: u64,
-    /// Engine↔process thread hand-offs (one per process resume).
+    /// Process resumes (one per poll of a process body). The name is
+    /// historical: the threaded runtime paid an engine↔thread hand-off
+    /// here, the stackless runtime a future poll.
     pub context_switches: u64,
     /// Real (wall-clock) nanoseconds spent inside the event loop.
     /// **Non-deterministic**; excluded from equality.
@@ -243,7 +248,6 @@ pub struct Kernel {
     pub(crate) metrics: MetricsRegistry,
     pub(crate) stats: SimStats,
     pub(crate) actor_names: Vec<Arc<str>>,
-    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
     /// Per-actor timer generations, keyed by token. A timer event fires
     /// only if its generation still matches; `cancel_timer` bumps the
     /// generation, so cancellation is a counter increment instead of
@@ -270,7 +274,6 @@ impl Kernel {
             metrics: MetricsRegistry::new(),
             stats: SimStats::default(),
             actor_names: Vec::new(),
-            threads: Vec::new(),
             timer_gens: Vec::new(),
         }
     }
@@ -296,11 +299,6 @@ impl Kernel {
             Some((_, g)) => *g += 1,
             None => v.push((token, 1)),
         }
-    }
-
-    /// Mutable access to run statistics (engine and process internals).
-    pub(crate) fn stats_mut(&mut self) -> &mut SimStats {
-        &mut self.stats
     }
 
     /// Current virtual time.

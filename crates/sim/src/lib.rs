@@ -7,11 +7,12 @@
 //!   simultaneous-event handling;
 //! - **reactive actors** ([`Actor`]) — state machines dispatched inline,
 //!   used for daemons such as `pbs_server`, `pbs_mom` and the scheduler;
-//! - **threaded processes** ([`Proc`]) — ordinary Rust closures with
-//!   blocking `sleep`/`recv`, used for sequential logic such as user
-//!   applications and MPI ranks. The engine resumes at most one process
-//!   thread at a time and waits for it to yield, so runs are bit-for-bit
-//!   reproducible for a given seed;
+//! - **stackless processes** ([`Proc`]) — `async` bodies with awaitable
+//!   `sleep`/`recv`, used for sequential logic such as user applications
+//!   and MPI ranks. The bodies are futures polled one at a time by a
+//!   purpose-built single-threaded executor inside the engine (no OS
+//!   threads, no `Send` bounds), so runs are bit-for-bit reproducible
+//!   for a given seed;
 //! - a seeded RNG, an optional event trace, and a [`Recorder`] for
 //!   collecting experiment measurements;
 //! - an observability layer: a structured event stream ([`Tracer`],
@@ -29,13 +30,13 @@
 //! let mut sim = Engine::with_seed(7);
 //! let out = Arc::new(Mutex::new(0u32));
 //! let o = out.clone();
-//! let server = sim.spawn_process("server", |p| {
-//!     let (n, src) = p.recv_as::<u32>();
+//! let server = sim.spawn_process("server", |p| async move {
+//!     let (n, src) = p.recv_as::<u32>().await;
 //!     p.send(src.unwrap(), n + 1, SimDuration::from_millis(1));
 //! });
-//! sim.spawn_process("client", move |p| {
+//! sim.spawn_process("client", move |p| async move {
 //!     p.send(server.into(), 41u32, SimDuration::from_millis(1));
-//!     let (n, _) = p.recv_as::<u32>();
+//!     let (n, _) = p.recv_as::<u32>().await;
 //!     *o.lock() = n;
 //! });
 //! sim.run();
@@ -63,7 +64,7 @@ pub use export::{
 };
 pub use kernel::{Kernel, SimConfig, SimStats, TraceRecord};
 pub use metrics::{HistogramSummary, MetricsRegistry};
-pub use process::Proc;
+pub use process::{Proc, ProcFuture};
 pub use recorder::{percentile, Recorder, Sample, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};

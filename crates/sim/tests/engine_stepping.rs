@@ -15,9 +15,9 @@ fn run_until_stops_at_the_boundary_and_resumes() {
     let mut sim = Engine::with_seed(5);
     let log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
-    sim.spawn_process("ticker", move |p| {
+    sim.spawn_process("ticker", move |p| async move {
         for i in 0..10 {
-            p.sleep(ms(10));
+            p.sleep(ms(10)).await;
             l.lock().push((i, p.now()));
         }
     });
@@ -39,9 +39,11 @@ fn state_between_steps_is_observable() {
     let mut sim = Engine::with_seed(6);
     let counter = Arc::new(Mutex::new(0u32));
     let c = counter.clone();
-    sim.spawn_process("worker", move |p| loop {
-        p.sleep(ms(100));
-        *c.lock() += 1;
+    sim.spawn_process("worker", move |p| async move {
+        loop {
+            p.sleep(ms(100)).await;
+            *c.lock() += 1;
+        }
     });
     for expected in 1..=5u32 {
         sim.run_until(SimTime::ZERO + ms(100 * expected as u64));
@@ -53,10 +55,10 @@ fn state_between_steps_is_observable() {
 #[test]
 fn trace_survives_incremental_runs() {
     let mut sim = Engine::new(SimConfig { seed: 7, trace: true, ..Default::default() });
-    sim.spawn_process("a", |p| {
-        p.sleep(ms(5));
+    sim.spawn_process("a", |p| async move {
+        p.sleep(ms(5)).await;
         p.trace("early");
-        p.sleep(ms(50));
+        p.sleep(ms(50)).await;
         p.trace("late");
     });
     sim.run_until(SimTime::ZERO + ms(10));

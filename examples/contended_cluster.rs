@@ -37,25 +37,30 @@ fn main() {
             .acpn(acpn)
             .walltime(t.walltime_estimate)
             .script(script(move |jc| {
-                let (mut ses, _) = AcSession::init(jc, &d, None);
-                jc.proc.sleep(runtime / 2);
-                if wants_dynamic && jc.node_index == 0 {
-                    match ses.ac_get(1) {
-                        Ok(set) => {
-                            *g.lock() += 1;
-                            jc.proc.sleep(runtime / 4);
-                            ses.ac_free(&set).unwrap();
-                            jc.proc.sleep(runtime / 4);
+                let d = d.clone();
+                let g = g.clone();
+                let r = r.clone();
+                async move {
+                    let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                    jc.proc.sleep(runtime / 2).await;
+                    if wants_dynamic && jc.node_index == 0 {
+                        match ses.ac_get(1).await {
+                            Ok(set) => {
+                                *g.lock() += 1;
+                                jc.proc.sleep(runtime / 4).await;
+                                ses.ac_free(&set).await.unwrap();
+                                jc.proc.sleep(runtime / 4).await;
+                            }
+                            Err(_) => {
+                                *r.lock() += 1;
+                                jc.proc.sleep(runtime / 2).await;
+                            }
                         }
-                        Err(_) => {
-                            *r.lock() += 1;
-                            jc.proc.sleep(runtime / 2);
-                        }
+                    } else {
+                        jc.proc.sleep(runtime / 2).await;
                     }
-                } else {
-                    jc.proc.sleep(runtime / 2);
+                    ses.finalize();
                 }
-                ses.finalize();
             }));
         cluster.qsub_after(t.arrival, spec);
     }
@@ -63,13 +68,15 @@ fn main() {
     // A watcher collects the final statuses.
     let statuses = Arc::new(Mutex::new(Vec::new()));
     let out = statuses.clone();
-    cluster.client_after("watcher", SimDuration::from_secs(1), move |c| loop {
-        let st = c.qstat();
-        if st.len() == 20 && st.iter().all(|s| s.state.is_terminal()) {
-            *out.lock() = st;
-            break;
+    cluster.client_after("watcher", SimDuration::from_secs(1), move |c| async move {
+        loop {
+            let st = c.qstat().await;
+            if st.len() == 20 && st.iter().all(|s| s.state.is_terminal()) {
+                *out.lock() = st;
+                break;
+            }
+            c.proc.sleep(SimDuration::from_secs(10)).await;
         }
-        c.proc.sleep(SimDuration::from_secs(10));
     });
 
     let stats = cluster.run();

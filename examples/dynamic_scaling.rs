@@ -23,43 +23,47 @@ fn main() {
         .owner("bob")
         .acpn(1) // start small: one static accelerator
         .script(script(move |jc| {
-            let say = |jc: &JobCtx, s: String| {
-                jc.proc.now();
-                out.lock().push(format!("[t={:>7.3}s] {s}", jc.proc.now().as_secs_f64()));
-            };
-            let (mut ses, statics) = AcSession::init(jc, &dac, Some(rec.clone()));
-            say(jc, format!("phase 1: warm-up on {} static accelerator", statics.len()));
-            let hs = ses_handles(&ses);
-            run_phase(&mut ses, &hs, jc, 1 << 14);
+            let dac = dac.clone();
+            let rec = rec.clone();
+            let out = out.clone();
+            async move {
+                let say = |jc: &JobCtx, s: String| {
+                    out.lock().push(format!("[t={:>7.3}s] {s}", jc.proc.now().as_secs_f64()));
+                };
+                let (mut ses, statics) = AcSession::init(&jc, &dac, Some(rec.clone())).await;
+                say(&jc, format!("phase 1: warm-up on {} static accelerator", statics.len()));
+                let hs = ses_handles(&ses);
+                run_phase(&mut ses, &hs, &jc, 1 << 14).await;
 
-            // Phase 2 needs much more parallelism: grow by 4.
-            say(jc, "phase 2: AC_Get(4) — demanding phase begins".into());
-            let set = ses.ac_get(4).expect("pool of 6 has 5 free");
-            say(
-                jc,
-                format!("  granted {} ({} accelerators live)", set.client_id, ses.live_count()),
-            );
-            let hs = ses_handles(&ses);
-            run_phase(&mut ses, &hs, jc, 1 << 15);
+                // Phase 2 needs much more parallelism: grow by 4.
+                say(&jc, "phase 2: AC_Get(4) — demanding phase begins".into());
+                let set = ses.ac_get(4).await.expect("pool of 6 has 5 free");
+                say(
+                    &jc,
+                    format!("  granted {} ({} accelerators live)", set.client_id, ses.live_count()),
+                );
+                let hs = ses_handles(&ses);
+                run_phase(&mut ses, &hs, &jc, 1 << 15).await;
 
-            // An oversized request: only 1 accelerator remains free.
-            say(jc, "phase 2b: AC_Get(3) — expected to be rejected".into());
-            match ses.ac_get(3) {
-                Err(DacError::Rejected(r)) => {
-                    say(jc, format!("  rejected ({r:?}); continuing with current set"))
+                // An oversized request: only 1 accelerator remains free.
+                say(&jc, "phase 2b: AC_Get(3) — expected to be rejected".into());
+                match ses.ac_get(3).await {
+                    Err(DacError::Rejected(r)) => {
+                        say(&jc, format!("  rejected ({r:?}); continuing with current set"))
+                    }
+                    other => panic!("expected rejection, got {other:?}"),
                 }
-                other => panic!("expected rejection, got {other:?}"),
+
+                // Phase 3 is light again: release the dynamic set.
+                say(&jc, "phase 3: AC_Free — shrinking back".into());
+                ses.ac_free(&set).await.unwrap();
+                say(&jc, format!("  released; {} accelerator(s) live", ses.live_count()));
+                let hs = ses_handles(&ses);
+                run_phase(&mut ses, &hs, &jc, 1 << 13).await;
+
+                ses.finalize();
+                say(&jc, "AC_Finalize".into());
             }
-
-            // Phase 3 is light again: release the dynamic set.
-            say(jc, "phase 3: AC_Free — shrinking back".into());
-            ses.ac_free(&set).unwrap();
-            say(jc, format!("  released; {} accelerator(s) live", ses.live_count()));
-            let hs = ses_handles(&ses);
-            run_phase(&mut ses, &hs, jc, 1 << 13);
-
-            ses.finalize();
-            say(jc, "AC_Finalize".into());
         }));
 
     cluster.qsub(spec);
@@ -93,13 +97,13 @@ fn ses_handles(ses: &AcSession) -> Vec<AcHandle> {
 /// One compute phase: scale a vector on every live accelerator, kernels
 /// launched asynchronously across the set and then drained (the
 /// latency-hiding pattern from the paper's introduction).
-fn run_phase(ses: &mut AcSession, handles: &[AcHandle], jc: &JobCtx, n: usize) {
+async fn run_phase(ses: &mut AcSession, handles: &[AcHandle], jc: &JobCtx, n: usize) {
     let bytes = (n * 8) as u64;
     let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
     let mut allocated = Vec::new();
     for &h in handles {
-        let p = ses.mem_alloc(h, bytes).unwrap();
-        ses.mem_write(h, p, f64s_to_bytes(&xs)).unwrap();
+        let p = ses.mem_alloc(h, bytes).await.unwrap();
+        ses.mem_write(h, p, f64s_to_bytes(&xs)).await.unwrap();
         allocated.push((h, p));
     }
     // Launch everywhere, then wait everywhere: kernels overlap.
@@ -115,16 +119,17 @@ fn run_phase(ses: &mut AcSession, handles: &[AcHandle], jc: &JobCtx, n: usize) {
                     vec![Param::Ptr(p), Param::U64(n as u64), Param::F64(2.0)],
                 ),
             )
+            .await
             .unwrap();
         pending.push(l);
     }
     for l in pending {
-        ses.kernel_wait(l).unwrap();
+        ses.kernel_wait(l).await.unwrap();
     }
     for (h, p) in allocated {
-        let r = as_f64s(&ses.mem_read(h, p, 64).unwrap());
+        let r = as_f64s(&ses.mem_read(h, p, 64).await.unwrap());
         assert_eq!(r[1], 2.0, "scaled by 2");
-        ses.mem_free(h, p).unwrap();
+        ses.mem_free(h, p).await.unwrap();
     }
     let _ = jc;
 }

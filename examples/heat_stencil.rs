@@ -43,7 +43,7 @@ fn partition(n_parts: usize) -> Vec<(usize, usize)> {
 
 /// One distributed Jacobi step over the current accelerator set.
 /// Each device holds its slice plus one halo cell on each side.
-fn distributed_step(
+async fn distributed_step(
     ses: &mut AcSession,
     parts: &[(AcHandle, DevPtr, DevPtr, usize, usize)],
     field: &mut [f64],
@@ -54,10 +54,10 @@ fn distributed_step(
         let halo_lo = lo.saturating_sub(1);
         let halo_hi = (hi + 1).min(N);
         let slice = f64s_to_bytes(&field[halo_lo..halo_hi]);
-        pending.push(ses.mem_write_async(h, src, slice).unwrap());
+        pending.push(ses.mem_write_async(h, src, slice).await.unwrap());
     }
     for l in pending {
-        ses.op_wait(l).unwrap();
+        ses.op_wait(l).await.unwrap();
     }
     // Launch the stencil everywhere, then drain (kernels overlap).
     let mut launches = Vec::new();
@@ -75,37 +75,36 @@ fn distributed_step(
                     vec![Param::Ptr(src), Param::Ptr(dst), Param::U64(m), Param::F64(ALPHA)],
                 ),
             )
+            .await
             .unwrap();
         launches.push(l);
     }
     for l in launches {
-        ses.kernel_wait(l).unwrap();
+        ses.kernel_wait(l).await.unwrap();
     }
     // Gather interiors back (the halo cells come from the neighbours'
     // interiors on the next upload — host-mediated halo exchange).
     for &(h, _src, dst, lo, hi) in parts {
         let halo_lo = lo.saturating_sub(1);
         let off = (lo - halo_lo) as u64 * 8;
-        let bytes = ses.mem_read_at(h, dst, off, ((hi - lo) * 8) as u64).unwrap();
+        let bytes = ses.mem_read_at(h, dst, off, ((hi - lo) * 8) as u64).await.unwrap();
         field[lo..hi].copy_from_slice(&as_f64s(&bytes));
     }
 }
 
-fn setup_parts(
+async fn setup_parts(
     ses: &mut AcSession,
     handles: &[AcHandle],
 ) -> Vec<(AcHandle, DevPtr, DevPtr, usize, usize)> {
     let ranges = partition(handles.len());
-    handles
-        .iter()
-        .zip(ranges)
-        .map(|(&h, (lo, hi))| {
-            let m = (hi - lo + 2) * 8; // slice + halos
-            let src = ses.mem_alloc(h, m as u64).unwrap();
-            let dst = ses.mem_alloc(h, m as u64).unwrap();
-            (h, src, dst, lo, hi)
-        })
-        .collect()
+    let mut parts = Vec::new();
+    for (&h, (lo, hi)) in handles.iter().zip(ranges) {
+        let m = (hi - lo + 2) * 8; // slice + halos
+        let src = ses.mem_alloc(h, m as u64).await.unwrap();
+        let dst = ses.mem_alloc(h, m as u64).await.unwrap();
+        parts.push((h, src, dst, lo, hi));
+    }
+    parts
 }
 
 fn main() {
@@ -118,48 +117,54 @@ fn main() {
     let res = result.clone();
     let spec =
         JobSpec::synthetic("heat", SimDuration::from_secs(120)).acpn(2).script(script(move |jc| {
-            let say = |jc: &JobCtx, s: String| {
-                out.lock().push(format!("[t={:>7.3}s] {s}", jc.proc.now().as_secs_f64()));
-            };
-            // Initial condition: a heat spike in the middle.
-            let mut field = vec![0.0f64; N];
-            field[N / 2] = 1000.0;
-            let mut reference = field.clone();
+            let dac = dac.clone();
+            let out = out.clone();
+            let res = res.clone();
+            async move {
+                let say = |jc: &JobCtx, s: String| {
+                    out.lock().push(format!("[t={:>7.3}s] {s}", jc.proc.now().as_secs_f64()));
+                };
+                // Initial condition: a heat spike in the middle.
+                let mut field = vec![0.0f64; N];
+                field[N / 2] = 1000.0;
+                let mut reference = field.clone();
 
-            let (mut ses, statics) = AcSession::init(jc, &dac, None);
-            say(
-                jc,
-                format!(
-                    "phase 1: {} accelerators, {} points, {} steps",
-                    statics.len(),
-                    N,
-                    PHASE1_STEPS
-                ),
-            );
-            let parts = setup_parts(&mut ses, &statics);
-            for _ in 0..PHASE1_STEPS {
-                distributed_step(&mut ses, &parts, &mut field);
-                reference = reference_step(&reference);
-            }
-            for &(h, src, dst, ..) in &parts {
-                ses.mem_free(h, src).unwrap();
-                ses.mem_free(h, dst).unwrap();
-            }
+                let (mut ses, statics) = AcSession::init(&jc, &dac, None).await;
+                say(
+                    &jc,
+                    format!(
+                        "phase 1: {} accelerators, {} points, {} steps",
+                        statics.len(),
+                        N,
+                        PHASE1_STEPS
+                    ),
+                );
+                let parts = setup_parts(&mut ses, &statics).await;
+                for _ in 0..PHASE1_STEPS {
+                    distributed_step(&mut ses, &parts, &mut field).await;
+                    reference = reference_step(&reference);
+                }
+                for &(h, src, dst, ..) in &parts {
+                    ses.mem_free(h, src).await.unwrap();
+                    ses.mem_free(h, dst).await.unwrap();
+                }
 
-            // Phase 2: the interesting region has grown — double the
-            // parallelism by acquiring two more accelerators.
-            let set = ses.ac_get(2).expect("pool of 6 has 4 free");
-            let all: Vec<AcHandle> = statics.iter().chain(set.handles.iter()).copied().collect();
-            say(jc, format!("phase 2: grown to {} accelerators, re-partitioned", all.len()));
-            let parts = setup_parts(&mut ses, &all);
-            for _ in 0..PHASE2_STEPS {
-                distributed_step(&mut ses, &parts, &mut field);
-                reference = reference_step(&reference);
+                // Phase 2: the interesting region has grown — double the
+                // parallelism by acquiring two more accelerators.
+                let set = ses.ac_get(2).await.expect("pool of 6 has 4 free");
+                let all: Vec<AcHandle> =
+                    statics.iter().chain(set.handles.iter()).copied().collect();
+                say(&jc, format!("phase 2: grown to {} accelerators, re-partitioned", all.len()));
+                let parts = setup_parts(&mut ses, &all).await;
+                for _ in 0..PHASE2_STEPS {
+                    distributed_step(&mut ses, &parts, &mut field).await;
+                    reference = reference_step(&reference);
+                }
+                ses.ac_free(&set).await.unwrap();
+                say(&jc, "released the dynamic set".into());
+                ses.finalize();
+                *res.lock() = Some((field, reference));
             }
-            ses.ac_free(&set).unwrap();
-            say(jc, "released the dynamic set".into());
-            ses.finalize();
-            *res.lock() = Some((field, reference));
         }));
     cluster.qsub(spec);
     let stats = cluster.run();

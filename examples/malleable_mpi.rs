@@ -22,13 +22,13 @@ fn main() {
 
     // The worker executable spawned on dynamically acquired nodes: sums a
     // slice of work and reports to the parent.
-    mpi_rt.register_exe("worker", |mut mpi, args| {
+    mpi_rt.register_exe("worker", |mut mpi, args| async move {
         let lo: u64 = args[0].parse().unwrap();
         let hi: u64 = args[1].parse().unwrap();
         let parent = mpi.parent().expect("spawned worker");
-        let merged = mpi.intercomm_merge(parent, true).unwrap();
+        let merged = mpi.intercomm_merge(parent, true).await.unwrap();
         // Model some compute time, then do the real sum.
-        mpi.proc().sleep(SimDuration::from_millis(200));
+        mpi.proc().sleep(SimDuration::from_millis(200)).await;
         let me = merged.rank() as u64;
         let base = lo + (hi - lo) * (me - 1) / 2;
         let end = lo + (hi - lo) * me / 2;
@@ -41,39 +41,43 @@ fn main() {
     let rt = mpi_rt.clone();
     let spec = JobSpec::synthetic("malleable", SimDuration::from_secs(30)).ppn(8).script(script(
         move |jc| {
-            let say = |jc: &JobCtx, s: String| {
-                out.lock().push(format!("[t={:>6.3}s] {s}", jc.proc.now().as_secs_f64()));
-            };
-            say(jc, format!("started on 1 node (host{})", jc.host.index()));
+            let out = out.clone();
+            let rt = rt.clone();
+            async move {
+                let say = |jc: &JobCtx, s: String| {
+                    out.lock().push(format!("[t={:>6.3}s] {s}", jc.proc.now().as_secs_f64()));
+                };
+                say(&jc, format!("started on 1 node (host{})", jc.host.index()));
 
-            // Grow: two more compute nodes with 8 cores each.
-            let grant = jc.dynget_nodes(2, 8).expect("two nodes free");
-            let hosts: Vec<HostId> = grant.accs.clone();
-            say(jc, format!("granted {} extra node(s) as {}", hosts.len(), grant.client_id));
+                // Grow: two more compute nodes with 8 cores each.
+                let grant = jc.dynget_nodes(2, 8).await.expect("two nodes free");
+                let hosts: Vec<HostId> = grant.accs.clone();
+                say(&jc, format!("granted {} extra node(s) as {}", hosts.len(), grant.client_id));
 
-            // Spawn MPI workers on the new nodes and merge.
-            let mut mpi = rt.attach(jc.proc.clone(), jc.host);
-            let self_comm = mpi.self_comm();
-            let (lo, hi) = (0u64, 1000u64);
-            let args = vec![lo.to_string(), hi.to_string()];
-            let inter = mpi.comm_spawn(self_comm, "worker", &args, &hosts).unwrap();
-            let merged = mpi.intercomm_merge(inter, false).unwrap();
-            say(jc, format!("workers joined; communicator size {}", rt.group_size(merged)));
+                // Spawn MPI workers on the new nodes and merge.
+                let mut mpi = rt.attach(jc.proc.clone(), jc.host).await;
+                let self_comm = mpi.self_comm();
+                let (lo, hi) = (0u64, 1000u64);
+                let args = vec![lo.to_string(), hi.to_string()];
+                let inter = mpi.comm_spawn(self_comm, "worker", &args, &hosts).await.unwrap();
+                let merged = mpi.intercomm_merge(inter, false).await.unwrap();
+                say(&jc, format!("workers joined; communicator size {}", rt.group_size(merged)));
 
-            // Reduce the partial sums.
-            let mut total = 0u64;
-            for _ in 0..hosts.len() {
-                let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG);
-                total += msg.expect::<u64>();
+                // Reduce the partial sums.
+                let mut total = 0u64;
+                for _ in 0..hosts.len() {
+                    let msg = mpi.recv(merged, ANY_SOURCE, ANY_TAG).await;
+                    total += msg.expect::<u64>();
+                }
+                let expect: u64 = (lo..hi).sum();
+                assert_eq!(total, expect, "distributed sum must match");
+                say(&jc, format!("distributed sum over [{lo}, {hi}) = {total} — verified"));
+
+                // Shrink: release the nodes.
+                mpi.comm_disconnect(merged);
+                assert!(jc.dynfree(grant.client_id).await);
+                say(&jc, "released the extra nodes".into());
             }
-            let expect: u64 = (lo..hi).sum();
-            assert_eq!(total, expect, "distributed sum must match");
-            say(jc, format!("distributed sum over [{lo}, {hi}) = {total} — verified"));
-
-            // Shrink: release the nodes.
-            mpi.comm_disconnect(merged);
-            assert!(jc.dynfree(grant.client_id));
-            say(jc, "released the extra nodes".into());
         },
     ));
 
@@ -84,13 +88,16 @@ fn main() {
         .nodes(2)
         .ppn(8)
         .script(script(move |jc| {
-            if jc.node_index == 0 {
-                out2.lock().push(format!(
-                    "[t={:>6.3}s] competitor started on the released nodes",
-                    jc.proc.now().as_secs_f64()
-                ));
+            let out2 = out2.clone();
+            async move {
+                if jc.node_index == 0 {
+                    out2.lock().push(format!(
+                        "[t={:>6.3}s] competitor started on the released nodes",
+                        jc.proc.now().as_secs_f64()
+                    ));
+                }
+                jc.proc.sleep(SimDuration::from_secs(2)).await;
             }
-            jc.proc.sleep(SimDuration::from_secs(2));
         }));
 
     cluster.qsub(spec);

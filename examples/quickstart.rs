@@ -24,49 +24,59 @@ fn main() {
         .owner("alice")
         .acpn(3)
         .script(script(move |jc| {
-            let t = |jc: &JobCtx| format!("[t={:>8.3}s]", jc.proc.now().as_secs_f64());
-            out.lock().push(format!(
-                "{} job {} started on host{} with {} static accelerators",
-                t(jc),
-                jc.job,
-                jc.host.index(),
-                jc.acc_hosts.len()
-            ));
+            let dac = dac.clone();
+            let rec = rec.clone();
+            let out = out.clone();
+            async move {
+                let t = |jc: &JobCtx| format!("[t={:>8.3}s]", jc.proc.now().as_secs_f64());
+                out.lock().push(format!(
+                    "{} job {} started on host{} with {} static accelerators",
+                    t(&jc),
+                    jc.job,
+                    jc.host.index(),
+                    jc.acc_hosts.len()
+                ));
 
-            // AC_Init: wait for the daemons, connect, merge (Fig. 5).
-            let (mut ses, handles) = AcSession::init(jc, &dac, Some(rec.clone()));
-            out.lock().push(format!("{} AC_Init complete: handles {:?}", t(jc), handles));
+                // AC_Init: wait for the daemons, connect, merge (Fig. 5).
+                let (mut ses, handles) = AcSession::init(&jc, &dac, Some(rec.clone())).await;
+                out.lock().push(format!("{} AC_Init complete: handles {:?}", t(&jc), handles));
 
-            // Offload c = a + b to every accelerator (Listing 1).
-            let n = 1 << 16;
-            let a_host: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            let b_host: Vec<f64> = (0..n).map(|i| (2 * i) as f64).collect();
-            for &h in &handles {
-                let bytes = (n * 8) as u64;
-                let a = ses.mem_alloc(h, bytes).unwrap();
-                let b = ses.mem_alloc(h, bytes).unwrap();
-                let c = ses.mem_alloc(h, bytes).unwrap();
-                ses.mem_write(h, a, f64s_to_bytes(&a_host)).unwrap();
-                ses.mem_write(h, b, f64s_to_bytes(&b_host)).unwrap();
-                ses.kernel_run(
-                    h,
-                    "vector_add",
-                    KernelArgs::new(
-                        256,
-                        256,
-                        vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(n as u64)],
-                    ),
-                )
-                .unwrap();
-                let result = as_f64s(&ses.mem_read(h, c, bytes).unwrap());
-                assert!(result.iter().enumerate().all(|(i, v)| *v == (3 * i) as f64));
-                ses.mem_free(h, a).unwrap();
-                ses.mem_free(h, b).unwrap();
-                ses.mem_free(h, c).unwrap();
-                out.lock().push(format!("{} {}: vector_add of {n} elements verified", t(jc), h));
+                // Offload c = a + b to every accelerator (Listing 1).
+                let n = 1 << 16;
+                let a_host: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let b_host: Vec<f64> = (0..n).map(|i| (2 * i) as f64).collect();
+                for &h in &handles {
+                    let bytes = (n * 8) as u64;
+                    let a = ses.mem_alloc(h, bytes).await.unwrap();
+                    let b = ses.mem_alloc(h, bytes).await.unwrap();
+                    let c = ses.mem_alloc(h, bytes).await.unwrap();
+                    ses.mem_write(h, a, f64s_to_bytes(&a_host)).await.unwrap();
+                    ses.mem_write(h, b, f64s_to_bytes(&b_host)).await.unwrap();
+                    ses.kernel_run(
+                        h,
+                        "vector_add",
+                        KernelArgs::new(
+                            256,
+                            256,
+                            vec![Param::Ptr(a), Param::Ptr(b), Param::Ptr(c), Param::U64(n as u64)],
+                        ),
+                    )
+                    .await
+                    .unwrap();
+                    let result = as_f64s(&ses.mem_read(h, c, bytes).await.unwrap());
+                    assert!(result.iter().enumerate().all(|(i, v)| *v == (3 * i) as f64));
+                    ses.mem_free(h, a).await.unwrap();
+                    ses.mem_free(h, b).await.unwrap();
+                    ses.mem_free(h, c).await.unwrap();
+                    out.lock().push(format!(
+                        "{} {}: vector_add of {n} elements verified",
+                        t(&jc),
+                        h
+                    ));
+                }
+                ses.finalize();
+                out.lock().push(format!("{} AC_Finalize done", t(&jc)));
             }
-            ses.finalize();
-            out.lock().push(format!("{} AC_Finalize done", t(jc)));
         }));
 
     cluster.qsub(spec);

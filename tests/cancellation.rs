@@ -19,10 +19,10 @@ fn qdel_of_queued_job_removes_it() {
     let victim = cluster.qsub_after(secs(1), JobSpec::synthetic("victim", secs(5)).ppn(8));
     let outcome = Arc::new(Mutex::new(None));
     let out = outcome.clone();
-    cluster.client_after("killer", secs(3), move |c| {
+    cluster.client_after("killer", secs(3), move |c| async move {
         let job = victim.lock().expect("submitted");
-        let ok = c.qdel(job);
-        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(50));
+        let ok = c.qdel(job).await;
+        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(50)).await;
         *out.lock() = Some((ok, st.state, st.started));
     });
     let stats = cluster.run();
@@ -42,12 +42,15 @@ fn qdel_of_running_synthetic_job_stops_it_early_and_frees_nodes() {
     let follow_started = Arc::new(Mutex::new(None));
     let out = follow_started.clone();
     let spec = JobSpec::synthetic("next", secs(1)).ppn(8).script(script(move |jc| {
-        *out.lock() = Some(jc.proc.now());
+        let out = out.clone();
+        async move {
+            *out.lock() = Some(jc.proc.now());
+        }
     }));
     cluster.qsub_after(secs(2), spec);
-    cluster.client_after("killer", secs(5), move |c| {
+    cluster.client_after("killer", secs(5), move |c| async move {
         let job = victim.lock().expect("submitted");
-        assert!(c.qdel(job));
+        assert!(c.qdel(job).await);
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -69,19 +72,22 @@ fn custom_scripts_observe_cancellation() {
     let mut cluster = Cluster::build(ClusterConfig::fast(62).with_split(1, 0));
     let phases = Arc::new(Mutex::new(Vec::new()));
     let out = phases.clone();
-    let spec = JobSpec::synthetic("loop", secs(300)).ppn(8).script(script(move |jc| {
-        for i in 0.. {
-            if jc.sleep_interruptible(secs(2)) {
-                out.lock().push(format!("cancelled-at-iter-{i}"));
-                return;
+    let spec = JobSpec::synthetic("loop", secs(300)).ppn(8).script(script(move |mut jc| {
+        let out = out.clone();
+        async move {
+            for i in 0.. {
+                if jc.sleep_interruptible(secs(2)).await {
+                    out.lock().push(format!("cancelled-at-iter-{i}"));
+                    return;
+                }
+                out.lock().push(format!("iter-{i}"));
             }
-            out.lock().push(format!("iter-{i}"));
         }
     }));
     let victim = cluster.qsub(spec);
-    cluster.client_after("killer", secs(7), move |c| {
+    cluster.client_after("killer", secs(7), move |c| async move {
         let job = victim.lock().expect("submitted");
-        assert!(c.qdel(job));
+        assert!(c.qdel(job).await);
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -95,8 +101,8 @@ fn qdel_unknown_job_returns_false() {
     let mut cluster = Cluster::build(ClusterConfig::fast(63).with_split(1, 0));
     let outcome = Arc::new(Mutex::new(None));
     let out = outcome.clone();
-    cluster.client("c", move |c| {
-        *out.lock() = Some(c.qdel(JobId(999)));
+    cluster.client("c", move |c| async move {
+        *out.lock() = Some(c.qdel(JobId(999)).await);
     });
     cluster.run();
     assert_eq!(*outcome.lock(), Some(false));

@@ -21,21 +21,25 @@ fn collective_acget_grants_each_node_its_share() {
 
     let out = log.clone();
     let spec = JobSpec::synthetic("coll", secs(10)).nodes(3).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let tc = TaskComm::establish(jc);
-        let count = match jc.node_index {
-            0 => 2,
-            _ => 1,
-        };
-        let set = ses.ac_get_collective(jc, &tc, count).expect("pool of 4 covers 2+1+1");
-        out.lock().push((jc.node_index, set.client_id, set.handles.len()));
-        // Each node can actually use its share.
-        for &h in &set.handles {
-            let p = ses.mem_alloc(h, 64).unwrap();
-            ses.mem_write(h, p, vec![1u8; 64]).unwrap();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let tc = TaskComm::establish(&jc).await;
+            let count = match jc.node_index {
+                0 => 2,
+                _ => 1,
+            };
+            let set = ses.ac_get_collective(&jc, &tc, count).await.expect("pool of 4 covers 2+1+1");
+            out.lock().push((jc.node_index, set.client_id, set.handles.len()));
+            // Each node can actually use its share.
+            for &h in &set.handles {
+                let p = ses.mem_alloc(h, 64).await.unwrap();
+                ses.mem_write(h, p, vec![1u8; 64]).await.unwrap();
+            }
+            ses.ac_free_collective(&jc, &tc, &set).await.expect("collective release");
+            ses.finalize();
         }
-        ses.ac_free_collective(jc, &tc, &set).expect("collective release");
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -63,12 +67,16 @@ fn collective_acget_is_all_or_nothing() {
 
     let out = outcomes.clone();
     let spec = JobSpec::synthetic("aon", secs(5)).nodes(2).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let tc = TaskComm::establish(jc);
-        let r = ses.ac_get_collective(jc, &tc, 2);
-        out.lock().push((jc.node_index, r.is_ok()));
-        assert!(matches!(r, Err(DacError::Rejected(_))));
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let tc = TaskComm::establish(&jc).await;
+            let r = ses.ac_get_collective(&jc, &tc, 2).await;
+            out.lock().push((jc.node_index, r.is_ok()));
+            assert!(matches!(r, Err(DacError::Rejected(_))));
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -88,30 +96,38 @@ fn collective_release_returns_whole_set_to_pool() {
     let d = dac.clone();
     let o = order.clone();
     let spec_a = JobSpec::synthetic("a", secs(20)).nodes(2).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &d, None);
-        let tc = TaskComm::establish(jc);
-        let set = ses.ac_get_collective(jc, &tc, 2).expect("4 free");
-        jc.proc.sleep(secs(5));
-        ses.ac_free_collective(jc, &tc, &set).unwrap();
-        if jc.node_index == 0 {
-            o.lock().push(("a-freed", jc.proc.now()));
+        let d = d.clone();
+        let o = o.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+            let tc = TaskComm::establish(&jc).await;
+            let set = ses.ac_get_collective(&jc, &tc, 2).await.expect("4 free");
+            jc.proc.sleep(secs(5)).await;
+            ses.ac_free_collective(&jc, &tc, &set).await.unwrap();
+            if jc.node_index == 0 {
+                o.lock().push(("a-freed", jc.proc.now()));
+            }
+            jc.proc.sleep(secs(5)).await;
+            ses.finalize();
         }
-        jc.proc.sleep(secs(5));
-        ses.finalize();
     }));
     cluster.qsub(spec_a);
 
     let o = order.clone();
     let spec_b = JobSpec::synthetic("b", secs(20)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        jc.proc.sleep(secs(2));
-        // While A holds all 4 dynamically, B is rejected.
-        assert!(matches!(ses.ac_get(4), Err(DacError::Rejected(_))));
-        jc.proc.sleep(secs(6)); // past A's release
-        let set = ses.ac_get(4).expect("whole pool back");
-        o.lock().push(("b-got-4", jc.proc.now()));
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
+        let dac = dac.clone();
+        let o = o.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            jc.proc.sleep(secs(2)).await;
+            // While A holds all 4 dynamically, B is rejected.
+            assert!(matches!(ses.ac_get(4).await, Err(DacError::Rejected(_))));
+            jc.proc.sleep(secs(6)).await; // past A's release
+            let set = ses.ac_get(4).await.expect("whole pool back");
+            o.lock().push(("b-got-4", jc.proc.now()));
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec_b);
 
@@ -132,13 +148,17 @@ fn zero_count_participants_join_the_collective() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let out = log.clone();
     let spec = JobSpec::synthetic("zero", secs(5)).nodes(2).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let tc = TaskComm::establish(jc);
-        let count = if jc.node_index == 0 { 2 } else { 0 };
-        let set = ses.ac_get_collective(jc, &tc, count).expect("2 free");
-        out.lock().push((jc.node_index, set.handles.len()));
-        ses.ac_free_collective(jc, &tc, &set).unwrap();
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let tc = TaskComm::establish(&jc).await;
+            let count = if jc.node_index == 0 { 2 } else { 0 };
+            let set = ses.ac_get_collective(&jc, &tc, count).await.expect("2 free");
+            out.lock().push((jc.node_index, set.handles.len()));
+            ses.ac_free_collective(&jc, &tc, &set).await.unwrap();
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

@@ -27,10 +27,14 @@ fn starts_recorder(
         .ppn(ppn)
         .walltime(secs(walltime))
         .script(script(move |jc| {
-            if jc.node_index == 0 {
-                log.lock().push((tag.clone(), jc.proc.now()));
+            let log = log.clone();
+            let tag = tag.clone();
+            async move {
+                if jc.node_index == 0 {
+                    log.lock().push((tag, jc.proc.now()));
+                }
+                jc.proc.sleep(secs(runtime)).await;
             }
-            jc.proc.sleep(secs(runtime));
         }));
     cluster.qsub(spec);
 }
@@ -105,15 +109,19 @@ fn dynamic_request_beats_queued_jobs_to_accelerators() {
 
     let l1 = log.clone();
     let runner = JobSpec::synthetic("runner", secs(60)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        jc.proc.sleep(secs(5));
-        let set = ses.ac_get(1);
-        l1.lock().push(("dyn-result", set.is_ok(), jc.proc.now()));
-        if let Ok(s) = set {
-            jc.proc.sleep(secs(10));
-            ses.ac_free(&s).unwrap();
+        let dac = dac.clone();
+        let l1 = l1.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            jc.proc.sleep(secs(5)).await;
+            let set = ses.ac_get(1).await;
+            l1.lock().push(("dyn-result", set.is_ok(), jc.proc.now()));
+            if let Ok(s) = set {
+                jc.proc.sleep(secs(10)).await;
+                ses.ac_free(&s).await.unwrap();
+            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub(runner);
     // The static competitor arrives just after the dynamic grant; the
@@ -121,7 +129,10 @@ fn dynamic_request_beats_queued_jobs_to_accelerators() {
     // the runner's AC_Free.
     let l2 = log.clone();
     let competitor = JobSpec::synthetic("competitor", secs(1)).acpn(1).script(script(move |jc| {
-        l2.lock().push(("competitor-start", true, jc.proc.now()));
+        let l2 = l2.clone();
+        async move {
+            l2.lock().push(("competitor-start", true, jc.proc.now()));
+        }
     }));
     cluster.qsub_after(secs(6), competitor);
 
@@ -150,23 +161,32 @@ fn fifo_vs_priority_ordering_under_load() {
     let l = log.clone();
     let spec =
         JobSpec::synthetic("heavy-1", secs(30)).owner("heavy").ppn(8).script(script(move |jc| {
-            l.lock().push(("heavy-1", jc.proc.now()));
-            jc.proc.sleep(secs(30));
+            let l = l.clone();
+            async move {
+                l.lock().push(("heavy-1", jc.proc.now()));
+                jc.proc.sleep(secs(30)).await;
+            }
         }));
     cluster.qsub(spec);
     // Then heavy submits another, followed by light.
     let l = log.clone();
     let spec =
         JobSpec::synthetic("heavy-2", secs(5)).owner("heavy").ppn(8).script(script(move |jc| {
-            l.lock().push(("heavy-2", jc.proc.now()));
-            jc.proc.sleep(secs(5));
+            let l = l.clone();
+            async move {
+                l.lock().push(("heavy-2", jc.proc.now()));
+                jc.proc.sleep(secs(5)).await;
+            }
         }));
     cluster.qsub_after(secs(1), spec);
     let l = log.clone();
     let spec =
         JobSpec::synthetic("light-1", secs(5)).owner("light").ppn(8).script(script(move |jc| {
-            l.lock().push(("light-1", jc.proc.now()));
-            jc.proc.sleep(secs(5));
+            let l = l.clone();
+            async move {
+                l.lock().push(("light-1", jc.proc.now()));
+                jc.proc.sleep(secs(5)).await;
+            }
         }));
     cluster.qsub_after(secs(2), spec);
 
@@ -187,11 +207,14 @@ fn full_pool_request_proves_everything_was_freed() {
         let d = dac.clone();
         let spec =
             JobSpec::synthetic(format!("churn{i}"), secs(3)).acpn(1).script(script(move |jc| {
-                let (mut ses, _) = AcSession::init(jc, &d, None);
-                if let Ok(set) = ses.ac_get(1) {
-                    ses.ac_free(&set).unwrap();
+                let d = d.clone();
+                async move {
+                    let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                    if let Ok(set) = ses.ac_get(1).await {
+                        ses.ac_free(&set).await.unwrap();
+                    }
+                    ses.finalize();
                 }
-                ses.finalize();
             }));
         cluster.qsub_after(secs(i), spec);
     }
@@ -199,12 +222,16 @@ fn full_pool_request_proves_everything_was_freed() {
     let out = done.clone();
     let d = dac.clone();
     let spec = JobSpec::synthetic("sweeper", secs(1)).nodes(2).acpn(2).script(script(move |jc| {
-        let (ses, handles) = AcSession::init(jc, &d, None);
-        assert_eq!(handles.len(), 2);
-        if jc.node_index == 0 {
-            *out.lock() = true;
+        let d = d.clone();
+        let out = out.clone();
+        async move {
+            let (ses, handles) = AcSession::init(&jc, &d, None).await;
+            assert_eq!(handles.len(), 2);
+            if jc.node_index == 0 {
+                *out.lock() = true;
+            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub_after(secs(30), spec);
     let stats = cluster.run();

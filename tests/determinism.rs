@@ -17,16 +17,20 @@ fn scenario(seed: u64) -> (Vec<(u64, String, String)>, Vec<f64>) {
         let l = lat.clone();
         let spec = JobSpec::synthetic(format!("j{i}"), SimDuration::from_secs(2)).acpn(1).script(
             script(move |jc| {
-                let (mut ses, handles) = AcSession::init(jc, &d, None);
-                let h = handles[0];
-                let p = ses.mem_alloc(h, 64).unwrap();
-                ses.mem_write(h, p, vec![7u8; 64]).unwrap();
-                let t0 = jc.proc.now();
-                if let Ok(set) = ses.ac_get(1) {
-                    ses.ac_free(&set).unwrap();
+                let d = d.clone();
+                let l = l.clone();
+                async move {
+                    let (mut ses, handles) = AcSession::init(&jc, &d, None).await;
+                    let h = handles[0];
+                    let p = ses.mem_alloc(h, 64).await.unwrap();
+                    ses.mem_write(h, p, vec![7u8; 64]).await.unwrap();
+                    let t0 = jc.proc.now();
+                    if let Ok(set) = ses.ac_get(1).await {
+                        ses.ac_free(&set).await.unwrap();
+                    }
+                    l.lock().push((jc.proc.now() - t0).as_secs_f64());
+                    ses.finalize();
                 }
-                l.lock().push((jc.proc.now() - t0).as_secs_f64());
-                ses.finalize();
             }),
         );
         cluster.qsub_after(SimDuration::from_millis(10 * i), spec);
@@ -51,14 +55,17 @@ fn scenario_serialized(seed: u64) -> (String, String) {
     let dac = cluster.dac.clone();
     let spec =
         JobSpec::synthetic("traced", SimDuration::from_secs(1)).acpn(1).script(script(move |jc| {
-            let (mut ses, handles) = AcSession::init(jc, &dac, None);
-            let h = handles[0];
-            let p = ses.mem_alloc(h, 32).unwrap();
-            ses.mem_write(h, p, vec![1u8; 32]).unwrap();
-            if let Ok(set) = ses.ac_get(1) {
-                ses.ac_free(&set).unwrap();
+            let dac = dac.clone();
+            async move {
+                let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+                let h = handles[0];
+                let p = ses.mem_alloc(h, 32).await.unwrap();
+                ses.mem_write(h, p, vec![1u8; 32]).await.unwrap();
+                if let Ok(set) = ses.ac_get(1).await {
+                    ses.ac_free(&set).await.unwrap();
+                }
+                ses.finalize();
             }
-            ses.finalize();
         }));
     cluster.qsub(spec);
     let stats = cluster.run();

@@ -18,55 +18,65 @@ fn run(seed: u64, double_buffered: bool) -> f64 {
     let out = elapsed.clone();
     let spec =
         JobSpec::synthetic("db", SimDuration::from_secs(60)).acpn(1).script(script(move |jc| {
-            let (mut ses, handles) = AcSession::init(jc, &dac, None);
-            let h = handles[0];
-            let n = (CHUNK / 8) as u64; // f64 elements per chunk
-            let a = ses.mem_alloc(h, 2 * CHUNK as u64).unwrap(); // two slots
-            let data0 = vec![1u8; CHUNK];
-            let t0 = jc.proc.now();
-            if double_buffered {
-                // Upload chunk k+1 while the kernel crunches chunk k.
-                let mut upload = Some(ses.mem_write_async_at(h, a, 0, data0.clone()).unwrap());
-                for k in 0..CHUNKS {
-                    let slot = (k % 2) as u64 * CHUNK as u64;
-                    ses.op_wait(upload.take().expect("pending upload")).unwrap();
-                    // Prefetch the next chunk into the other slot.
-                    if k + 1 < CHUNKS {
-                        let next_slot = ((k + 1) % 2) as u64 * CHUNK as u64;
-                        upload =
-                            Some(ses.mem_write_async_at(h, a, next_slot, data0.clone()).unwrap());
+            let dac = dac.clone();
+            let out = out.clone();
+            async move {
+                let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+                let h = handles[0];
+                let n = (CHUNK / 8) as u64; // f64 elements per chunk
+                let a = ses.mem_alloc(h, 2 * CHUNK as u64).await.unwrap(); // two slots
+                let data0 = vec![1u8; CHUNK];
+                let t0 = jc.proc.now();
+                if double_buffered {
+                    // Upload chunk k+1 while the kernel crunches chunk k.
+                    let mut upload =
+                        Some(ses.mem_write_async_at(h, a, 0, data0.clone()).await.unwrap());
+                    for k in 0..CHUNKS {
+                        let slot = (k % 2) as u64 * CHUNK as u64;
+                        ses.op_wait(upload.take().expect("pending upload")).await.unwrap();
+                        // Prefetch the next chunk into the other slot.
+                        if k + 1 < CHUNKS {
+                            let next_slot = ((k + 1) % 2) as u64 * CHUNK as u64;
+                            upload = Some(
+                                ses.mem_write_async_at(h, a, next_slot, data0.clone())
+                                    .await
+                                    .unwrap(),
+                            );
+                        }
+                        // Kernel over the chunk that just landed. DevPtr is an
+                        // allocation handle; the slot offset selects the half.
+                        let _ = slot;
+                        ses.kernel_run(
+                            h,
+                            "scale",
+                            KernelArgs::new(
+                                64,
+                                256,
+                                vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
+                            ),
+                        )
+                        .await
+                        .unwrap();
                     }
-                    // Kernel over the chunk that just landed. DevPtr is an
-                    // allocation handle; the slot offset selects the half.
-                    let _ = slot;
-                    ses.kernel_run(
-                        h,
-                        "scale",
-                        KernelArgs::new(
-                            64,
-                            256,
-                            vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
-                        ),
-                    )
-                    .unwrap();
+                } else {
+                    for _ in 0..CHUNKS {
+                        ses.mem_write_at(h, a, 0, data0.clone()).await.unwrap();
+                        ses.kernel_run(
+                            h,
+                            "scale",
+                            KernelArgs::new(
+                                64,
+                                256,
+                                vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
+                            ),
+                        )
+                        .await
+                        .unwrap();
+                    }
                 }
-            } else {
-                for _ in 0..CHUNKS {
-                    ses.mem_write_at(h, a, 0, data0.clone()).unwrap();
-                    ses.kernel_run(
-                        h,
-                        "scale",
-                        KernelArgs::new(
-                            64,
-                            256,
-                            vec![Param::Ptr(a), Param::U64(n), Param::F64(1.5)],
-                        ),
-                    )
-                    .unwrap();
-                }
+                *out.lock() = (jc.proc.now() - t0).as_secs_f64();
+                ses.finalize();
             }
-            *out.lock() = (jc.proc.now() - t0).as_secs_f64();
-            ses.finalize();
         }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -96,30 +106,34 @@ fn interleaved_async_ops_route_replies_correctly() {
     let out = ok.clone();
     let spec = JobSpec::synthetic("interleave", SimDuration::from_secs(10)).acpn(2).script(script(
         move |jc| {
-            let (mut ses, handles) = AcSession::init(jc, &dac, None);
-            let (h0, h1) = (handles[0], handles[1]);
-            let p0 = ses.mem_alloc(h0, 64).unwrap();
-            let p1 = ses.mem_alloc(h1, 64).unwrap();
-            // Fire four async writes, wait in scrambled order.
-            let a = ses.mem_write_async_at(h0, p0, 0, vec![1; 16]).unwrap();
-            let b = ses.mem_write_async_at(h0, p0, 16, vec![2; 16]).unwrap();
-            let c = ses.mem_write_async_at(h1, p1, 0, vec![3; 16]).unwrap();
-            let d = ses.mem_write_async_at(h1, p1, 16, vec![4; 16]).unwrap();
-            ses.op_wait(d).unwrap();
-            ses.op_wait(a).unwrap();
-            ses.op_wait(c).unwrap();
-            ses.op_wait(b).unwrap();
-            // Both devices hold the interleaved contents.
-            assert_eq!(
-                ses.mem_read_at(h0, p0, 0, 32).unwrap(),
-                [vec![1u8; 16], vec![2u8; 16]].concat()
-            );
-            assert_eq!(
-                ses.mem_read_at(h1, p1, 0, 32).unwrap(),
-                [vec![3u8; 16], vec![4u8; 16]].concat()
-            );
-            *out.lock() = true;
-            ses.finalize();
+            let dac = dac.clone();
+            let out = out.clone();
+            async move {
+                let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+                let (h0, h1) = (handles[0], handles[1]);
+                let p0 = ses.mem_alloc(h0, 64).await.unwrap();
+                let p1 = ses.mem_alloc(h1, 64).await.unwrap();
+                // Fire four async writes, wait in scrambled order.
+                let a = ses.mem_write_async_at(h0, p0, 0, vec![1; 16]).await.unwrap();
+                let b = ses.mem_write_async_at(h0, p0, 16, vec![2; 16]).await.unwrap();
+                let c = ses.mem_write_async_at(h1, p1, 0, vec![3; 16]).await.unwrap();
+                let d = ses.mem_write_async_at(h1, p1, 16, vec![4; 16]).await.unwrap();
+                ses.op_wait(d).await.unwrap();
+                ses.op_wait(a).await.unwrap();
+                ses.op_wait(c).await.unwrap();
+                ses.op_wait(b).await.unwrap();
+                // Both devices hold the interleaved contents.
+                assert_eq!(
+                    ses.mem_read_at(h0, p0, 0, 32).await.unwrap(),
+                    [vec![1u8; 16], vec![2u8; 16]].concat()
+                );
+                assert_eq!(
+                    ses.mem_read_at(h1, p1, 0, 32).await.unwrap(),
+                    [vec![3u8; 16], vec![4u8; 16]].concat()
+                );
+                *out.lock() = true;
+                ses.finalize();
+            }
         },
     ));
     cluster.qsub(spec);

@@ -21,17 +21,21 @@ fn partial_grant_when_pool_is_short() {
     let got = Arc::new(Mutex::new(Vec::new()));
     let out = got.clone();
     let spec = JobSpec::synthetic("partial", secs(5)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        // Want 5, accept >= 2: only 3 are free => grant of 3.
-        let set = ses.ac_get_range(5, 2).expect("partial grant of 3");
-        out.lock().push(set.handles.len());
-        // Strict request for 5 still rejects.
-        assert!(matches!(ses.ac_get(5), Err(DacError::Rejected(_))));
-        ses.ac_free(&set).unwrap();
-        // Min greater than the free pool rejects too.
-        let r = ses.ac_get_range(5, 4);
-        assert!(matches!(r, Err(DacError::Rejected(_))));
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            // Want 5, accept >= 2: only 3 are free => grant of 3.
+            let set = ses.ac_get_range(5, 2).await.expect("partial grant of 3");
+            out.lock().push(set.handles.len());
+            // Strict request for 5 still rejects.
+            assert!(matches!(ses.ac_get(5).await, Err(DacError::Rejected(_))));
+            ses.ac_free(&set).await.unwrap();
+            // Min greater than the free pool rejects too.
+            let r = ses.ac_get_range(5, 4).await;
+            assert!(matches!(r, Err(DacError::Rejected(_))));
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -52,9 +56,9 @@ fn monitor_marks_dead_node_offline_and_scheduler_avoids_it() {
 
     // Fail the victim accelerator host at t = 10 s.
     let n2 = net.clone();
-    cluster.client_after("chaos", secs(10), move |c| {
+    cluster.client_after("chaos", secs(10), move |c| async move {
         n2.set_host_down(victim, true);
-        c.proc.sleep(secs(1));
+        c.proc.sleep(secs(1)).await;
     });
 
     // At t = 30 s (well past detection) a job asks for one accelerator:
@@ -63,22 +67,26 @@ fn monitor_marks_dead_node_offline_and_scheduler_avoids_it() {
     let out = got.clone();
     let spec =
         JobSpec::synthetic("careful", secs(40)).walltime(secs(120)).script(script(move |jc| {
-            let target = SimTime::ZERO + secs(30);
-            let now = jc.proc.now();
-            if target > now {
-                jc.proc.sleep(target - now);
-            }
-            let (mut ses, _) = AcSession::init(jc, &dac, None);
-            match ses.ac_get(1) {
-                Ok(set) => {
-                    *out.lock() = Some("granted");
-                    ses.ac_free(&set).unwrap();
+            let dac = dac.clone();
+            let out = out.clone();
+            async move {
+                let target = SimTime::ZERO + secs(30);
+                let now = jc.proc.now();
+                if target > now {
+                    jc.proc.sleep(target - now).await;
                 }
-                Err(_) => *out.lock() = Some("rejected"),
+                let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+                match ses.ac_get(1).await {
+                    Ok(set) => {
+                        *out.lock() = Some("granted");
+                        ses.ac_free(&set).await.unwrap();
+                    }
+                    Err(_) => *out.lock() = Some("rejected"),
+                }
+                // Asking for two must fail: only one healthy accelerator remains.
+                assert!(matches!(ses.ac_get(2).await, Err(DacError::Rejected(_))));
+                ses.finalize();
             }
-            // Asking for two must fail: only one healthy accelerator remains.
-            assert!(matches!(ses.ac_get(2), Err(DacError::Rejected(_))));
-            ses.finalize();
         }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -99,33 +107,38 @@ fn requests_to_dead_daemon_time_out_and_release_does_not_wedge() {
 
     let out = log.clone();
     let spec = JobSpec::synthetic("unlucky", secs(60)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let set = ses.ac_get(2).expect("both free");
-        // Find the handle living on the victim: try an op on each.
-        jc.proc.sleep(secs(1));
-        net.set_host_down(victim, true);
-        let mut lost = None;
-        for &h in &set.handles {
-            match ses.mem_alloc(h, 64) {
-                Ok(_) => {}
-                Err(DacError::Timeout(th)) => {
-                    out.lock().push("timeout");
-                    lost = Some(th);
+        let dac = dac.clone();
+        let net = net.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let set = ses.ac_get(2).await.expect("both free");
+            // Find the handle living on the victim: try an op on each.
+            jc.proc.sleep(secs(1)).await;
+            net.set_host_down(victim, true);
+            let mut lost = None;
+            for &h in &set.handles {
+                match ses.mem_alloc(h, 64).await {
+                    Ok(_) => {}
+                    Err(DacError::Timeout(th)) => {
+                        out.lock().push("timeout");
+                        lost = Some(th);
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
                 }
-                Err(e) => panic!("unexpected error {e}"),
             }
+            assert!(lost.is_some(), "one handle must have timed out");
+            // The dead handle is marked lost; further use fails fast.
+            let h = lost.unwrap();
+            assert!(matches!(ses.mem_alloc(h, 1).await, Err(DacError::BadHandle(_))));
+            out.lock().push("fail-fast");
+            // Releasing the whole set must not hang even though one member
+            // is dead (the mom short-circuits the DISJOIN to the dead host).
+            // NOTE: the dead daemon cannot participate in the shrink; only
+            // the live one is asked to. The release still completes.
+            ses.finalize();
+            out.lock().push("finalized");
         }
-        assert!(lost.is_some(), "one handle must have timed out");
-        // The dead handle is marked lost; further use fails fast.
-        let h = lost.unwrap();
-        assert!(matches!(ses.mem_alloc(h, 1), Err(DacError::BadHandle(_))));
-        out.lock().push("fail-fast");
-        // Releasing the whole set must not hang even though one member
-        // is dead (the mom short-circuits the DISJOIN to the dead host).
-        // NOTE: the dead daemon cannot participate in the shrink; only
-        // the live one is asked to. The release still completes.
-        ses.finalize();
-        out.lock().push("finalized");
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -147,33 +160,37 @@ fn recovered_node_returns_to_service() {
 
     // Down from t=10 to t=40.
     let n2 = net.clone();
-    cluster.client_after("chaos", secs(10), move |c| {
+    cluster.client_after("chaos", secs(10), move |c| async move {
         n2.set_host_down(acc, true);
-        c.proc.sleep(secs(30));
+        c.proc.sleep(secs(30)).await;
         n2.set_host_down(acc, false);
     });
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let out = results.clone();
     let spec = JobSpec::synthetic("patient", secs(120)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        // While the node is down (and detected): rejected.
-        let target = SimTime::ZERO + secs(25);
-        let now = jc.proc.now();
-        if target > now {
-            jc.proc.sleep(target - now);
-        }
-        out.lock().push(("down", ses.ac_get(1).is_ok()));
-        // After recovery (and detection): granted.
-        jc.proc.sleep(secs(40));
-        match ses.ac_get(1) {
-            Ok(set) => {
-                out.lock().push(("up", true));
-                ses.ac_free(&set).unwrap();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            // While the node is down (and detected): rejected.
+            let target = SimTime::ZERO + secs(25);
+            let now = jc.proc.now();
+            if target > now {
+                jc.proc.sleep(target - now).await;
             }
-            Err(_) => out.lock().push(("up", false)),
+            out.lock().push(("down", ses.ac_get(1).await.is_ok()));
+            // After recovery (and detection): granted.
+            jc.proc.sleep(secs(40)).await;
+            match ses.ac_get(1).await {
+                Ok(set) => {
+                    out.lock().push(("up", true));
+                    ses.ac_free(&set).await.unwrap();
+                }
+                Err(_) => out.lock().push(("up", false)),
+            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

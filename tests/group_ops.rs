@@ -16,23 +16,27 @@ fn host_free_group_reduction_across_accelerators() {
 
     let spec = JobSpec::synthetic("groupred", SimDuration::from_secs(10)).acpn(4).script(script(
         move |jc| {
-            let (mut ses, handles) = AcSession::init(jc, &dac, None);
-            assert_eq!(handles.len(), 4);
-            // Distribute 4 slices of data, one per accelerator.
-            let n = 1000usize;
-            let mut parts = Vec::new();
-            let mut expected = 0.0;
-            for (i, &h) in handles.iter().enumerate() {
-                let vals: Vec<f64> = (0..n).map(|k| (i * n + k) as f64).collect();
-                expected += vals.iter().sum::<f64>();
-                let p = ses.mem_alloc(h, (n * 8) as u64).unwrap();
-                ses.mem_write(h, p, f64s_to_bytes(&vals)).unwrap();
-                parts.push((h, p));
+            let dac = dac.clone();
+            let out_slot = out_slot.clone();
+            async move {
+                let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+                assert_eq!(handles.len(), 4);
+                // Distribute 4 slices of data, one per accelerator.
+                let n = 1000usize;
+                let mut parts = Vec::new();
+                let mut expected = 0.0;
+                for (i, &h) in handles.iter().enumerate() {
+                    let vals: Vec<f64> = (0..n).map(|k| (i * n + k) as f64).collect();
+                    expected += vals.iter().sum::<f64>();
+                    let p = ses.mem_alloc(h, (n * 8) as u64).await.unwrap();
+                    ses.mem_write(h, p, f64s_to_bytes(&vals)).await.unwrap();
+                    parts.push((h, p));
+                }
+                let out = ses.mem_alloc(handles[0], 8).await.unwrap();
+                let total = ses.group_reduce_sum(&parts, n as u64, out).await.unwrap();
+                *out_slot.lock() = Some((total, expected));
+                ses.finalize();
             }
-            let out = ses.mem_alloc(handles[0], 8).unwrap();
-            let total = ses.group_reduce_sum(&parts, n as u64, out).unwrap();
-            *out_slot.lock() = Some((total, expected));
-            ses.finalize();
         },
     ));
     cluster.qsub(spec);
@@ -50,27 +54,31 @@ fn group_reduction_over_subset_and_repeated() {
     let out_slot = ok.clone();
     let spec = JobSpec::synthetic("subset", SimDuration::from_secs(10)).acpn(3).script(script(
         move |jc| {
-            let (mut ses, handles) = AcSession::init(jc, &dac, None);
-            // Only two of the three accelerators participate.
-            let mut parts = Vec::new();
-            for &h in &handles[1..] {
-                let p = ses.mem_alloc(h, 24).unwrap();
-                ses.mem_write(h, p, f64s_to_bytes(&[1.0, 2.0, 3.0])).unwrap();
-                parts.push((h, p));
+            let dac = dac.clone();
+            let out_slot = out_slot.clone();
+            async move {
+                let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+                // Only two of the three accelerators participate.
+                let mut parts = Vec::new();
+                for &h in &handles[1..] {
+                    let p = ses.mem_alloc(h, 24).await.unwrap();
+                    ses.mem_write(h, p, f64s_to_bytes(&[1.0, 2.0, 3.0])).await.unwrap();
+                    parts.push((h, p));
+                }
+                let out = ses.mem_alloc(handles[1], 8).await.unwrap();
+                // Run the group op twice: state must not leak between ops.
+                let first = ses.group_reduce_sum(&parts, 3, out).await.unwrap();
+                let second = ses.group_reduce_sum(&parts, 3, out).await.unwrap();
+                assert_eq!(first, 12.0);
+                assert_eq!(second, 12.0);
+                // The uninvolved accelerator still works normally.
+                let h0 = handles[0];
+                let p0 = ses.mem_alloc(h0, 8).await.unwrap();
+                ses.mem_write(h0, p0, f64s_to_bytes(&[9.0])).await.unwrap();
+                assert_eq!(as_f64s(&ses.mem_read(h0, p0, 8).await.unwrap()), vec![9.0]);
+                *out_slot.lock() = true;
+                ses.finalize();
             }
-            let out = ses.mem_alloc(handles[1], 8).unwrap();
-            // Run the group op twice: state must not leak between ops.
-            let first = ses.group_reduce_sum(&parts, 3, out).unwrap();
-            let second = ses.group_reduce_sum(&parts, 3, out).unwrap();
-            assert_eq!(first, 12.0);
-            assert_eq!(second, 12.0);
-            // The uninvolved accelerator still works normally.
-            let h0 = handles[0];
-            let p0 = ses.mem_alloc(h0, 8).unwrap();
-            ses.mem_write(h0, p0, f64s_to_bytes(&[9.0])).unwrap();
-            assert_eq!(as_f64s(&ses.mem_read(h0, p0, 8).unwrap()), vec![9.0]);
-            *out_slot.lock() = true;
-            ses.finalize();
         },
     ));
     cluster.qsub(spec);
@@ -88,21 +96,26 @@ fn group_reduction_works_on_dynamic_set() {
     let out_slot = ok.clone();
     let spec = JobSpec::synthetic("dyngroup", SimDuration::from_secs(10)).acpn(1).script(script(
         move |jc| {
-            let (mut ses, statics) = AcSession::init(jc, &dac, None);
-            let set = ses.ac_get(2).expect("two free");
-            let all: Vec<AcHandle> = statics.iter().chain(set.handles.iter()).copied().collect();
-            let mut parts = Vec::new();
-            for &h in &all {
-                let p = ses.mem_alloc(h, 16).unwrap();
-                ses.mem_write(h, p, f64s_to_bytes(&[5.0, 5.0])).unwrap();
-                parts.push((h, p));
+            let dac = dac.clone();
+            let out_slot = out_slot.clone();
+            async move {
+                let (mut ses, statics) = AcSession::init(&jc, &dac, None).await;
+                let set = ses.ac_get(2).await.expect("two free");
+                let all: Vec<AcHandle> =
+                    statics.iter().chain(set.handles.iter()).copied().collect();
+                let mut parts = Vec::new();
+                for &h in &all {
+                    let p = ses.mem_alloc(h, 16).await.unwrap();
+                    ses.mem_write(h, p, f64s_to_bytes(&[5.0, 5.0])).await.unwrap();
+                    parts.push((h, p));
+                }
+                let out = ses.mem_alloc(all[0], 8).await.unwrap();
+                let total = ses.group_reduce_sum(&parts, 2, out).await.unwrap();
+                assert_eq!(total, 30.0);
+                ses.ac_free(&set).await.unwrap();
+                ses.finalize();
+                *out_slot.lock() = true;
             }
-            let out = ses.mem_alloc(all[0], 8).unwrap();
-            let total = ses.group_reduce_sum(&parts, 2, out).unwrap();
-            assert_eq!(total, 30.0);
-            ses.ac_free(&set).unwrap();
-            ses.finalize();
-            *out_slot.lock() = true;
         },
     ));
     cluster.qsub(spec);

@@ -19,27 +19,33 @@ fn held_job_is_skipped_until_released() {
     cluster.qsub(JobSpec::synthetic("warmup", secs(5)).ppn(8));
     let s1 = started.clone();
     let spec_a = JobSpec::synthetic("a", secs(2)).ppn(8).script(script(move |jc| {
-        s1.lock().push(("a", jc.proc.now()));
-        jc.proc.sleep(secs(2));
+        let s1 = s1.clone();
+        async move {
+            s1.lock().push(("a", jc.proc.now()));
+            jc.proc.sleep(secs(2)).await;
+        }
     }));
     let a = cluster.qsub_after(secs(1), spec_a);
     let s2 = started.clone();
     let spec_b = JobSpec::synthetic("b", secs(2)).ppn(8).script(script(move |jc| {
-        s2.lock().push(("b", jc.proc.now()));
-        jc.proc.sleep(secs(2));
+        let s2 = s2.clone();
+        async move {
+            s2.lock().push(("b", jc.proc.now()));
+            jc.proc.sleep(secs(2)).await;
+        }
     }));
     cluster.qsub_after(secs(1), spec_b);
 
     // Hold A while everything is still queued; release it at t = 20.
     let a2 = a.clone();
-    cluster.client_after("holder", secs(2), move |c| {
+    cluster.client_after("holder", secs(2), move |c| async move {
         let job = a2.lock().expect("submitted");
-        assert!(c.qhold(job), "queued job can be held");
-        let st = c.qstat();
+        assert!(c.qhold(job).await, "queued job can be held");
+        let st = c.qstat().await;
         let a_state = st.iter().find(|s| s.name == "a").unwrap().state;
         assert_eq!(a_state, JobState::Held);
-        c.proc.sleep(secs(18));
-        assert!(c.qrls(job), "held job can be released");
+        c.proc.sleep(secs(18)).await;
+        assert!(c.qrls(job).await, "held job can be released");
     });
 
     let stats = cluster.run();
@@ -58,14 +64,17 @@ fn invalid_hold_transitions_are_rejected() {
     let running = cluster.qsub(JobSpec::synthetic("running", secs(30)).ppn(8));
     let outcome = Arc::new(Mutex::new(Vec::new()));
     let out = outcome.clone();
-    cluster.client_after("admin", secs(2), move |c| {
+    cluster.client_after("admin", secs(2), move |c| async move {
         let job = running.lock().expect("submitted");
         // Running jobs cannot be held.
-        out.lock().push(("hold-running", c.qhold(job)));
+        let hold_running = c.qhold(job).await;
+        out.lock().push(("hold-running", hold_running));
         // Releasing a job that is not held fails.
-        out.lock().push(("rls-running", c.qrls(job)));
+        let rls_running = c.qrls(job).await;
+        out.lock().push(("rls-running", rls_running));
         // Unknown job ids fail.
-        out.lock().push(("hold-unknown", c.qhold(JobId(999))));
+        let hold_unknown = c.qhold(JobId(999)).await;
+        out.lock().push(("hold-unknown", hold_unknown));
     });
     let stats = cluster.run();
     assert_eq!(stats.process_panics, 0);
@@ -82,11 +91,11 @@ fn held_job_can_be_deleted() {
     let victim = cluster.qsub_after(secs(1), JobSpec::synthetic("victim", secs(2)).ppn(8));
     let outcome = Arc::new(Mutex::new(None));
     let out = outcome.clone();
-    cluster.client_after("admin", secs(2), move |c| {
+    cluster.client_after("admin", secs(2), move |c| async move {
         let job = victim.lock().expect("submitted");
-        assert!(c.qhold(job));
-        assert!(c.qdel(job), "held jobs are deletable");
-        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(100));
+        assert!(c.qhold(job).await);
+        assert!(c.qdel(job).await, "held jobs are deletable");
+        let st = c.wait_for_state(job, JobState::Cancelled, SimDuration::from_millis(100)).await;
         *out.lock() = Some(st.state);
     });
     let stats = cluster.run();

@@ -19,19 +19,22 @@ fn compute_node_grant_and_release() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let out = log.clone();
     let spec = JobSpec::synthetic("malleable", secs(20)).ppn(8).script(script(move |jc| {
-        let grant = jc.dynget_nodes(2, 8).expect("two free nodes");
-        assert_eq!(grant.accs.len(), 2);
-        assert!(!grant.accs.contains(&jc.host), "granted nodes are new ones");
-        out.lock().push("granted");
-        // While held, an identical request must fail (no free nodes).
-        assert!(jc.dynget_nodes(1, 8).is_err());
-        out.lock().push("exhausted");
-        assert!(jc.dynfree(grant.client_id));
-        jc.proc.sleep(secs(1));
-        // After release the nodes are available again.
-        let again = jc.dynget_nodes(2, 8).expect("released nodes are back");
-        assert!(jc.dynfree(again.client_id));
-        out.lock().push("reacquired");
+        let out = out.clone();
+        async move {
+            let grant = jc.dynget_nodes(2, 8).await.expect("two free nodes");
+            assert_eq!(grant.accs.len(), 2);
+            assert!(!grant.accs.contains(&jc.host), "granted nodes are new ones");
+            out.lock().push("granted");
+            // While held, an identical request must fail (no free nodes).
+            assert!(jc.dynget_nodes(1, 8).await.is_err());
+            out.lock().push("exhausted");
+            assert!(jc.dynfree(grant.client_id).await);
+            jc.proc.sleep(secs(1)).await;
+            // After release the nodes are available again.
+            let again = jc.dynget_nodes(2, 8).await.expect("released nodes are back");
+            assert!(jc.dynfree(again.client_id).await);
+            out.lock().push("reacquired");
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -47,14 +50,17 @@ fn node_grants_respect_core_accounting() {
     let ok = Arc::new(Mutex::new(false));
     let out = ok.clone();
     let spec = JobSpec::synthetic("cores", secs(10)).ppn(2).script(script(move |jc| {
-        let a = jc.dynget_nodes(1, 4).expect("4 cores free somewhere");
-        let b = jc.dynget_nodes(1, 4).expect("4 more cores free");
-        // Remaining: node0 has 8-2(job)-? ... the pool is nearly full; an
-        // 8-core node grant cannot fit anywhere now.
-        assert!(jc.dynget_nodes(1, 8).is_err());
-        assert!(jc.dynfree(a.client_id));
-        assert!(jc.dynfree(b.client_id));
-        *out.lock() = true;
+        let out = out.clone();
+        async move {
+            let a = jc.dynget_nodes(1, 4).await.expect("4 cores free somewhere");
+            let b = jc.dynget_nodes(1, 4).await.expect("4 more cores free");
+            // Remaining: node0 has 8-2(job)-? ... the pool is nearly full; an
+            // 8-core node grant cannot fit anywhere now.
+            assert!(jc.dynget_nodes(1, 8).await.is_err());
+            assert!(jc.dynfree(a.client_id).await);
+            assert!(jc.dynfree(b.client_id).await);
+            *out.lock() = true;
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -78,13 +84,17 @@ fn queued_dynamic_requests_wait_for_release() {
     let d1 = dac.clone();
     let l1 = log.clone();
     let holder = JobSpec::synthetic("holder", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &d1, None);
-        let set = ses.ac_get(1).expect("free at start");
-        jc.proc.sleep(secs(10));
-        ses.ac_free(&set).unwrap();
-        l1.lock().push(("freed", jc.proc.now()));
-        jc.proc.sleep(secs(5));
-        ses.finalize();
+        let d1 = d1.clone();
+        let l1 = l1.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &d1, None).await;
+            let set = ses.ac_get(1).await.expect("free at start");
+            jc.proc.sleep(secs(10)).await;
+            ses.ac_free(&set).await.unwrap();
+            l1.lock().push(("freed", jc.proc.now()));
+            jc.proc.sleep(secs(5)).await;
+            ses.finalize();
+        }
     }));
     cluster.qsub(holder);
 
@@ -92,14 +102,18 @@ fn queued_dynamic_requests_wait_for_release() {
     // instant rejection, here it blocks ~8 s until the holder frees.
     let l2 = log.clone();
     let waiter = JobSpec::synthetic("waiter", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        jc.proc.sleep(secs(2));
-        let t0 = jc.proc.now();
-        let set = ses.ac_get(1).expect("queued request eventually granted");
-        l2.lock().push(("granted", jc.proc.now()));
-        assert!(jc.proc.now() - t0 > secs(5), "had to wait for the holder");
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
+        let dac = dac.clone();
+        let l2 = l2.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            jc.proc.sleep(secs(2)).await;
+            let t0 = jc.proc.now();
+            let set = ses.ac_get(1).await.expect("queued request eventually granted");
+            l2.lock().push(("granted", jc.proc.now()));
+            assert!(jc.proc.now() - t0 > secs(5), "had to wait for the holder");
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
+        }
     }));
     cluster.qsub(waiter);
 
@@ -122,22 +136,29 @@ fn queued_dynamic_request_times_out_to_rejection() {
 
     let d1 = dac.clone();
     let holder = JobSpec::synthetic("holder", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &d1, None);
-        let set = ses.ac_get(1).expect("free at start");
-        jc.proc.sleep(secs(20)); // holds far past the waiter's patience
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
+        let d1 = d1.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &d1, None).await;
+            let set = ses.ac_get(1).await.expect("free at start");
+            jc.proc.sleep(secs(20)).await; // holds far past the waiter's patience
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
+        }
     }));
     cluster.qsub(holder);
 
     let out = outcome.clone();
     let waiter = JobSpec::synthetic("waiter", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        jc.proc.sleep(secs(2));
-        let t0 = jc.proc.now();
-        let r = ses.ac_get(1);
-        *out.lock() = Some((r.is_err(), (jc.proc.now() - t0).as_secs_f64()));
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            jc.proc.sleep(secs(2)).await;
+            let t0 = jc.proc.now();
+            let r = ses.ac_get(1).await;
+            *out.lock() = Some((r.is_err(), (jc.proc.now() - t0).as_secs_f64()));
+            ses.finalize();
+        }
     }));
     cluster.qsub(waiter);
 

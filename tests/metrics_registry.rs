@@ -113,13 +113,13 @@ fn twg_integrates_over_engine_virtual_time() {
     let mut sim = Engine::with_seed(3);
     let m = sim.metrics();
     let reg = m.clone();
-    sim.spawn_process("driver", move |p| {
+    sim.spawn_process("driver", move |p| async move {
         reg.twg_set("load", p.now(), 0.0);
-        p.sleep(SimDuration::from_secs(10));
+        p.sleep(SimDuration::from_secs(10)).await;
         reg.twg_set("load", p.now(), 6.0);
-        p.sleep(SimDuration::from_secs(30));
+        p.sleep(SimDuration::from_secs(30)).await;
         reg.twg_set("load", p.now(), 2.0);
-        p.sleep(SimDuration::from_secs(10));
+        p.sleep(SimDuration::from_secs(10)).await;
     });
     let stats = sim.run();
     assert_eq!(stats.end_time, SimTime::ZERO + SimDuration::from_secs(50));
@@ -147,12 +147,12 @@ fn histogram_summary_quantiles_on_known_data() {
 #[test]
 fn engine_profiling_counters_populate() {
     let mut sim = Engine::with_seed(7);
-    sim.spawn_process("a", |p| {
+    sim.spawn_process("a", |p| async move {
         for _ in 0..10 {
-            p.sleep(SimDuration::from_millis(1));
+            p.sleep(SimDuration::from_millis(1)).await;
         }
     });
-    sim.spawn_process("b", |p| p.sleep(SimDuration::from_millis(5)));
+    sim.spawn_process("b", |p| async move { p.sleep(SimDuration::from_millis(5)).await });
     let stats = sim.run();
     assert!(stats.events > 0);
     assert!(stats.peak_queue_depth >= 1);
@@ -162,12 +162,12 @@ fn engine_profiling_counters_populate() {
     assert!(stats.wall_nanos > 0, "wall clock must be measured");
     // Determinism: equality ignores wall_nanos.
     let mut sim2 = Engine::with_seed(7);
-    sim2.spawn_process("a", |p| {
+    sim2.spawn_process("a", |p| async move {
         for _ in 0..10 {
-            p.sleep(SimDuration::from_millis(1));
+            p.sleep(SimDuration::from_millis(1)).await;
         }
     });
-    sim2.spawn_process("b", |p| p.sleep(SimDuration::from_millis(5)));
+    sim2.spawn_process("b", |p| async move { p.sleep(SimDuration::from_millis(5)).await });
     let stats2 = sim2.run();
     assert_eq!(stats, stats2, "profiling fields (minus wall time) are deterministic");
 }

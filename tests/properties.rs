@@ -55,21 +55,25 @@ proptest! {
                 .ppn(j.ppn)
                 .acpn(acpn)
                 .script(script(move |jc| {
-                    let (mut ses, handles) = AcSession::init(jc, &d, None);
-                    prop_assert_eq_soft(handles.len(), jc.acc_hosts.len());
-                    jc.proc.sleep(runtime / 2);
-                    if jc.node_index == 0 && dynget > 0 {
-                        // Dynamic requests may be granted or rejected;
-                        // either way the run must stay consistent.
-                        if let Ok(set) = ses.ac_get(dynget) {
-                            jc.proc.sleep(runtime / 4);
-                            ses.ac_free(&set).unwrap();
+                    let d = d.clone();
+                    let done = done.clone();
+                    async move {
+                        let (mut ses, handles) = AcSession::init(&jc, &d, None).await;
+                        prop_assert_eq_soft(handles.len(), jc.acc_hosts.len());
+                        jc.proc.sleep(runtime / 2).await;
+                        if jc.node_index == 0 && dynget > 0 {
+                            // Dynamic requests may be granted or rejected;
+                            // either way the run must stay consistent.
+                            if let Ok(set) = ses.ac_get(dynget).await {
+                                jc.proc.sleep(runtime / 4).await;
+                                ses.ac_free(&set).await.unwrap();
+                            }
                         }
-                    }
-                    jc.proc.sleep(runtime / 2);
-                    ses.finalize();
-                    if jc.node_index == 0 {
-                        *done.lock() += 1;
+                        jc.proc.sleep(runtime / 2).await;
+                        ses.finalize();
+                        if jc.node_index == 0 {
+                            *done.lock() += 1;
+                        }
                     }
                 }));
             cluster.qsub_after(SimDuration::from_millis(j.arrival_ms), spec);
@@ -85,8 +89,8 @@ proptest! {
 }
 
 /// proptest's `prop_assert!` cannot be used inside the job script (which
-/// runs on another thread); a plain assert propagates through the panic
-/// counter instead.
+/// runs as a simulated process, outside the proptest closure); a plain
+/// assert propagates through the panic counter instead.
 fn prop_assert_eq_soft(a: usize, b: usize) {
     assert_eq!(a, b);
 }

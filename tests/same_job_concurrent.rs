@@ -22,20 +22,24 @@ fn same_job_individual_requests_serialise_but_both_succeed() {
 
     let out = log.clone();
     let spec = JobSpec::synthetic("twin", secs(30)).nodes(2).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        // Align both compute nodes at the same virtual instant.
-        let target = SimTime::ZERO + secs(5);
-        let now = jc.proc.now();
-        if target > now {
-            jc.proc.sleep(target - now);
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            // Align both compute nodes at the same virtual instant.
+            let target = SimTime::ZERO + secs(5);
+            let now = jc.proc.now();
+            if target > now {
+                jc.proc.sleep(target - now).await;
+            }
+            let t0 = jc.proc.now();
+            let set = ses.ac_get(2).await.expect("pool of 4 covers 2+2");
+            let latency = (jc.proc.now() - t0).as_secs_f64();
+            out.lock().push((jc.node_index, set.client_id, latency));
+            jc.proc.sleep(secs(2)).await;
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
         }
-        let t0 = jc.proc.now();
-        let set = ses.ac_get(2).expect("pool of 4 covers 2+2");
-        let latency = (jc.proc.now() - t0).as_secs_f64();
-        out.lock().push((jc.node_index, set.client_id, latency));
-        jc.proc.sleep(secs(2));
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -64,23 +68,27 @@ fn same_job_sets_release_independently() {
 
     let out = log.clone();
     let spec = JobSpec::synthetic("indep", secs(20)).nodes(2).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let set = ses.ac_get(2).expect("4 free, 2 each");
-        if jc.node_index == 0 {
-            // Node 0 releases early; node 1 keeps its set and can still
-            // use it afterwards.
-            ses.ac_free(&set).unwrap();
-            out.lock().push(("released-early", jc.proc.now()));
-        } else {
-            jc.proc.sleep(secs(5));
-            let h = set.handles[0];
-            let p = ses.mem_alloc(h, 64).unwrap();
-            ses.mem_write(h, p, vec![9u8; 64]).unwrap();
-            assert_eq!(ses.mem_read(h, p, 64).unwrap(), vec![9u8; 64]);
-            out.lock().push(("used-after-sibling-release", jc.proc.now()));
-            ses.ac_free(&set).unwrap();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let set = ses.ac_get(2).await.expect("4 free, 2 each");
+            if jc.node_index == 0 {
+                // Node 0 releases early; node 1 keeps its set and can still
+                // use it afterwards.
+                ses.ac_free(&set).await.unwrap();
+                out.lock().push(("released-early", jc.proc.now()));
+            } else {
+                jc.proc.sleep(secs(5)).await;
+                let h = set.handles[0];
+                let p = ses.mem_alloc(h, 64).await.unwrap();
+                ses.mem_write(h, p, vec![9u8; 64]).await.unwrap();
+                assert_eq!(ses.mem_read(h, p, 64).await.unwrap(), vec![9u8; 64]);
+                out.lock().push(("used-after-sibling-release", jc.proc.now()));
+                ses.ac_free(&set).await.unwrap();
+            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

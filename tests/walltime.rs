@@ -19,9 +19,9 @@ fn overrunning_job_is_killed_at_walltime() {
     let job_slot = cluster.qsub(spec);
     let outcome = Arc::new(Mutex::new(None));
     let out = outcome.clone();
-    cluster.client_after("watch", secs(1), move |c| {
+    cluster.client_after("watch", secs(1), move |c| async move {
         let job = job_slot.lock().expect("submitted");
-        let st = c.wait_for_state(job, JobState::TimedOut, SimDuration::from_millis(250));
+        let st = c.wait_for_state(job, JobState::TimedOut, SimDuration::from_millis(250)).await;
         *out.lock() = Some((st.state, st.completed));
     });
     let stats = cluster.run();
@@ -47,9 +47,13 @@ fn killed_job_frees_resources_for_successor() {
     let got = Arc::new(Mutex::new(None));
     let out = got.clone();
     let succ = JobSpec::synthetic("succ", secs(1)).ppn(4).acpn(2).script(script(move |jc| {
-        let (ses, handles) = AcSession::init(jc, &dac, None);
-        *out.lock() = Some((handles.len(), jc.proc.now()));
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (ses, handles) = AcSession::init(&jc, &dac, None).await;
+            *out.lock() = Some((handles.len(), jc.proc.now()));
+            ses.finalize();
+        }
     }));
     cluster.qsub_after(secs(2), succ);
     let stats = cluster.run();
@@ -67,9 +71,9 @@ fn honest_jobs_are_not_killed() {
     let job_slot = cluster.qsub(spec);
     let outcome = Arc::new(Mutex::new(None));
     let out = outcome.clone();
-    cluster.client_after("watch", secs(1), move |c| {
+    cluster.client_after("watch", secs(1), move |c| async move {
         let job = job_slot.lock().expect("submitted");
-        let st = c.wait_complete(job, SimDuration::from_millis(500));
+        let st = c.wait_complete(job, SimDuration::from_millis(500)).await;
         *out.lock() = Some(st.state);
     });
     let stats = cluster.run();

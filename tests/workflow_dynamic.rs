@@ -21,38 +21,44 @@ fn ac_get_grants_and_new_accelerators_compute() {
     let out = results.clone();
 
     let spec = JobSpec::synthetic("dyn", secs(1)).acpn(1).script(script(move |jc| {
-        let (mut ses, statics) = AcSession::init(jc, &dac, None);
-        assert_eq!(statics.len(), 1);
-        let set = ses.ac_get(2).expect("pool has 2 free accelerators");
-        assert_eq!(set.handles.len(), 2);
-        assert_eq!(ses.live_count(), 3);
-        // Old handle still works, new handles work too.
-        for &h in statics.iter().chain(set.handles.iter()) {
-            let x = ses.mem_alloc(h, 24).unwrap();
-            let o = ses.mem_alloc(h, 8).unwrap();
-            ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0, 4.0])).unwrap();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, statics) = AcSession::init(&jc, &dac, None).await;
+            assert_eq!(statics.len(), 1);
+            let set = ses.ac_get(2).await.expect("pool has 2 free accelerators");
+            assert_eq!(set.handles.len(), 2);
+            assert_eq!(ses.live_count(), 3);
+            // Old handle still works, new handles work too.
+            for &h in statics.iter().chain(set.handles.iter()) {
+                let x = ses.mem_alloc(h, 24).await.unwrap();
+                let o = ses.mem_alloc(h, 8).await.unwrap();
+                ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0, 4.0])).await.unwrap();
+                ses.kernel_run(
+                    h,
+                    "reduce_sum",
+                    KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(o), Param::U64(3)]),
+                )
+                .await
+                .unwrap();
+                out.lock().push(as_f64s(&ses.mem_read(h, o, 8).await.unwrap())[0]);
+            }
+            ses.ac_free(&set).await.unwrap();
+            assert_eq!(ses.live_count(), 1);
+            // Static accelerator still reachable after the shrink.
+            let h = statics[0];
+            let x = ses.mem_alloc(h, 16).await.unwrap();
+            ses.mem_write(h, x, f64s_to_bytes(&[2.0, 3.0])).await.unwrap();
             ses.kernel_run(
                 h,
-                "reduce_sum",
-                KernelArgs::new(1, 3, vec![Param::Ptr(x), Param::Ptr(o), Param::U64(3)]),
+                "scale",
+                KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::U64(2), Param::F64(10.0)]),
             )
+            .await
             .unwrap();
-            out.lock().push(as_f64s(&ses.mem_read(h, o, 8).unwrap())[0]);
+            out.lock().push(as_f64s(&ses.mem_read(h, x, 16).await.unwrap())[1]);
+            ses.finalize();
         }
-        ses.ac_free(&set).unwrap();
-        assert_eq!(ses.live_count(), 1);
-        // Static accelerator still reachable after the shrink.
-        let h = statics[0];
-        let x = ses.mem_alloc(h, 16).unwrap();
-        ses.mem_write(h, x, f64s_to_bytes(&[2.0, 3.0])).unwrap();
-        ses.kernel_run(
-            h,
-            "scale",
-            KernelArgs::new(1, 2, vec![Param::Ptr(x), Param::U64(2), Param::F64(10.0)]),
-        )
-        .unwrap();
-        out.lock().push(as_f64s(&ses.mem_read(h, x, 16).unwrap())[1]);
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -70,18 +76,22 @@ fn ac_get_rejected_when_pool_exhausted_and_app_continues() {
     // Job takes both accelerators statically; the dynamic request must be
     // rejected immediately (no reservation, §III-E).
     let spec = JobSpec::synthetic("greedy", secs(1)).acpn(2).script(script(move |jc| {
-        let (mut ses, statics) = AcSession::init(jc, &dac, None);
-        match ses.ac_get(1) {
-            Err(DacError::Rejected(_)) => out.lock().push("rejected"),
-            other => panic!("expected rejection, got {other:?}"),
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, statics) = AcSession::init(&jc, &dac, None).await;
+            match ses.ac_get(1).await {
+                Err(DacError::Rejected(_)) => out.lock().push("rejected"),
+                other => panic!("expected rejection, got {other:?}"),
+            }
+            // Application continues with its existing accelerators.
+            assert_eq!(ses.live_count(), 2);
+            let h = statics[0];
+            let p = ses.mem_alloc(h, 8).await.unwrap();
+            ses.mem_write(h, p, f64s_to_bytes(&[1.0])).await.unwrap();
+            out.lock().push("continued");
+            ses.finalize();
         }
-        // Application continues with its existing accelerators.
-        assert_eq!(ses.live_count(), 2);
-        let h = statics[0];
-        let p = ses.mem_alloc(h, 8).unwrap();
-        ses.mem_write(h, p, f64s_to_bytes(&[1.0])).unwrap();
-        out.lock().push("continued");
-        ses.finalize();
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -101,27 +111,35 @@ fn released_set_becomes_available_to_other_jobs() {
     let l1 = log.clone();
     let d1 = dac.clone();
     let spec_a = JobSpec::synthetic("a", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &d1, None);
-        let set = ses.ac_get(2).expect("both accelerators free");
-        l1.lock().push(("a-got", jc.proc.now()));
-        jc.proc.sleep(secs(10));
-        ses.ac_free(&set).unwrap();
-        l1.lock().push(("a-freed", jc.proc.now()));
-        jc.proc.sleep(secs(5));
-        ses.finalize();
+        let d1 = d1.clone();
+        let l1 = l1.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &d1, None).await;
+            let set = ses.ac_get(2).await.expect("both accelerators free");
+            l1.lock().push(("a-got", jc.proc.now()));
+            jc.proc.sleep(secs(10)).await;
+            ses.ac_free(&set).await.unwrap();
+            l1.lock().push(("a-freed", jc.proc.now()));
+            jc.proc.sleep(secs(5)).await;
+            ses.finalize();
+        }
     }));
 
     let l2 = log.clone();
     let spec_b = JobSpec::synthetic("b", secs(30)).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        jc.proc.sleep(secs(5)); // A holds both
-        assert!(matches!(ses.ac_get(1), Err(DacError::Rejected(_))));
-        l2.lock().push(("b-rejected", jc.proc.now()));
-        jc.proc.sleep(secs(10)); // past A's release
-        let set = ses.ac_get(1).expect("freed by A");
-        l2.lock().push(("b-got", jc.proc.now()));
-        ses.ac_free(&set).unwrap();
-        ses.finalize();
+        let dac = dac.clone();
+        let l2 = l2.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            jc.proc.sleep(secs(5)).await; // A holds both
+            assert!(matches!(ses.ac_get(1).await, Err(DacError::Rejected(_))));
+            l2.lock().push(("b-rejected", jc.proc.now()));
+            jc.proc.sleep(secs(10)).await; // past A's release
+            let set = ses.ac_get(1).await.expect("freed by A");
+            l2.lock().push(("b-got", jc.proc.now()));
+            ses.ac_free(&set).await.unwrap();
+            ses.finalize();
+        }
     }));
 
     cluster.qsub(spec_a);
@@ -148,13 +166,17 @@ fn dynfree_reply_is_immediate_while_disassociation_continues() {
     let out = timing.clone();
 
     let spec = JobSpec::synthetic("freefast", secs(5)).acpn(1).script(script(move |jc| {
-        let (mut ses, _) = AcSession::init(jc, &dac, None);
-        let set = ses.ac_get(2).expect("two free");
-        let t0 = jc.proc.now();
-        ses.ac_free(&set).unwrap();
-        let t1 = jc.proc.now();
-        *out.lock() = Some(t1 - t0);
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+            let set = ses.ac_get(2).await.expect("two free");
+            let t0 = jc.proc.now();
+            ses.ac_free(&set).await.unwrap();
+            let t1 = jc.proc.now();
+            *out.lock() = Some(t1 - t0);
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -181,19 +203,23 @@ fn serial_dynamic_servicing_produces_staircase() {
         let d = dac.clone();
         let l = latencies.clone();
         let spec = JobSpec::synthetic(format!("cn{i}"), secs(20)).script(script(move |jc| {
-            let (mut ses, _) = AcSession::init(jc, &d, None);
-            // Align the three requests at the same virtual instant.
-            let now = jc.proc.now();
-            let target = SimTime::ZERO + secs(5);
-            if target > now {
-                jc.proc.sleep(target - now);
+            let d = d.clone();
+            let l = l.clone();
+            async move {
+                let (mut ses, _) = AcSession::init(&jc, &d, None).await;
+                // Align the three requests at the same virtual instant.
+                let now = jc.proc.now();
+                let target = SimTime::ZERO + secs(5);
+                if target > now {
+                    jc.proc.sleep(target - now).await;
+                }
+                let t0 = jc.proc.now();
+                let set = ses.ac_get(1).await.expect("pool of 4 covers 3 requests");
+                let t1 = jc.proc.now();
+                l.lock().push((t1 - t0).as_secs_f64());
+                ses.ac_free(&set).await.unwrap();
+                ses.finalize();
             }
-            let t0 = jc.proc.now();
-            let set = ses.ac_get(1).expect("pool of 4 covers 3 requests");
-            let t1 = jc.proc.now();
-            l.lock().push((t1 - t0).as_secs_f64());
-            ses.ac_free(&set).unwrap();
-            ses.finalize();
         }));
         cluster.qsub(spec);
     }
@@ -248,9 +274,12 @@ fn finalize_releases_all_daemons() {
     let dac = cluster.dac.clone();
     let mpi = cluster.mpi.clone();
     let spec = JobSpec::synthetic("fin", secs(1)).acpn(2).script(script(move |jc| {
-        let (ses, handles) = AcSession::init(jc, &dac, None);
-        assert_eq!(handles.len(), 2);
-        ses.finalize();
+        let dac = dac.clone();
+        async move {
+            let (ses, handles) = AcSession::init(&jc, &dac, None).await;
+            assert_eq!(handles.len(), 2);
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();

@@ -19,45 +19,50 @@ fn single_cn_static_allocation_runs_and_computes() {
     let out = results.clone();
 
     let spec = JobSpec::synthetic("static3", secs(1)).acpn(3).script(script(move |jc| {
-        assert_eq!(jc.acc_hosts.len(), 3, "three accelerators per the acpn request");
-        let (mut ses, handles) = AcSession::init(jc, &dac, None);
-        assert_eq!(handles.len(), 3);
-        assert_eq!(ses.live_count(), 3);
-        // Offload a saxpy to every accelerator, each with its own data.
-        for (i, &h) in handles.iter().enumerate() {
-            let scale = (i + 1) as f64;
-            let x = ses.mem_alloc(h, 16).unwrap();
-            let y = ses.mem_alloc(h, 16).unwrap();
-            ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0])).unwrap();
-            ses.mem_write(h, y, f64s_to_bytes(&[0.5, 0.5])).unwrap();
-            ses.kernel_run(
-                h,
-                "saxpy",
-                KernelArgs::new(
-                    1,
-                    2,
-                    vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(scale)],
-                ),
-            )
-            .unwrap();
-            let r = as_f64s(&ses.mem_read(h, y, 16).unwrap());
-            out.lock().push(r);
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            assert_eq!(jc.acc_hosts.len(), 3, "three accelerators per the acpn request");
+            let (mut ses, handles) = AcSession::init(&jc, &dac, None).await;
+            assert_eq!(handles.len(), 3);
+            assert_eq!(ses.live_count(), 3);
+            // Offload a saxpy to every accelerator, each with its own data.
+            for (i, &h) in handles.iter().enumerate() {
+                let scale = (i + 1) as f64;
+                let x = ses.mem_alloc(h, 16).await.unwrap();
+                let y = ses.mem_alloc(h, 16).await.unwrap();
+                ses.mem_write(h, x, f64s_to_bytes(&[1.0, 2.0])).await.unwrap();
+                ses.mem_write(h, y, f64s_to_bytes(&[0.5, 0.5])).await.unwrap();
+                ses.kernel_run(
+                    h,
+                    "saxpy",
+                    KernelArgs::new(
+                        1,
+                        2,
+                        vec![Param::Ptr(x), Param::Ptr(y), Param::U64(2), Param::F64(scale)],
+                    ),
+                )
+                .await
+                .unwrap();
+                let r = as_f64s(&ses.mem_read(h, y, 16).await.unwrap());
+                out.lock().push(r);
+            }
+            ses.finalize();
         }
-        ses.finalize();
     }));
 
     let job_slot = cluster.qsub(spec);
     let done = Arc::new(Mutex::new(None));
     let d2 = done.clone();
-    cluster.client_after("watcher", SimDuration::from_millis(1), move |c| {
+    cluster.client_after("watcher", SimDuration::from_millis(1), move |c| async move {
         // Wait for the job to appear, then to complete.
         let job = loop {
-            if let Some(j) = c.qstat().first().map(|s| s.id) {
+            if let Some(j) = c.qstat().await.first().map(|s| s.id) {
                 break j;
             }
-            c.proc.sleep(SimDuration::from_millis(5));
+            c.proc.sleep(SimDuration::from_millis(5)).await;
         };
-        let st = c.wait_complete(job, SimDuration::from_millis(20));
+        let st = c.wait_complete(job, SimDuration::from_millis(20)).await;
         *d2.lock() = Some(st);
     });
 
@@ -83,10 +88,14 @@ fn multi_cn_job_gets_distinct_accelerator_sets() {
     let out = seen.clone();
 
     let spec = JobSpec::synthetic("multi", secs(1)).nodes(2).acpn(2).script(script(move |jc| {
-        let (ses, handles) = AcSession::init(jc, &dac, None);
-        assert_eq!(handles.len(), 2);
-        out.lock().push((jc.node_index, jc.acc_hosts.clone()));
-        ses.finalize();
+        let dac = dac.clone();
+        let out = out.clone();
+        async move {
+            let (ses, handles) = AcSession::init(&jc, &dac, None).await;
+            assert_eq!(handles.len(), 2);
+            out.lock().push((jc.node_index, jc.acc_hosts.clone()));
+            ses.finalize();
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -111,12 +120,18 @@ fn job_waits_until_accelerators_available() {
 
     let o1 = order.clone();
     let spec1 = JobSpec::synthetic("first", secs(10)).acpn(2).script(script(move |jc| {
-        o1.lock().push(("first-start", jc.proc.now()));
-        jc.proc.sleep(secs(10));
+        let o1 = o1.clone();
+        async move {
+            o1.lock().push(("first-start", jc.proc.now()));
+            jc.proc.sleep(secs(10)).await;
+        }
     }));
     let o2 = order.clone();
     let spec2 = JobSpec::synthetic("second", secs(1)).acpn(2).script(script(move |jc| {
-        o2.lock().push(("second-start", jc.proc.now()));
+        let o2 = o2.clone();
+        async move {
+            o2.lock().push(("second-start", jc.proc.now()));
+        }
     }));
     cluster.qsub(spec1);
     cluster.qsub_after(SimDuration::from_millis(50), spec2);
@@ -138,7 +153,10 @@ fn nodefile_is_published_and_cleaned_up() {
     let observed = Arc::new(Mutex::new(None));
     let out = observed.clone();
     let spec = JobSpec::synthetic("nf", secs(1)).nodes(2).script(script(move |jc| {
-        *out.lock() = jc.fs.read(jc.job, "PBS_NODEFILE");
+        let out = out.clone();
+        async move {
+            *out.lock() = jc.fs.read(jc.job, "PBS_NODEFILE");
+        }
     }));
     cluster.qsub(spec);
     let stats = cluster.run();
@@ -158,8 +176,11 @@ fn cpu_only_jobs_share_compute_node_cores() {
         let s = starts.clone();
         let spec =
             JobSpec::synthetic(format!("cpu{i}"), secs(5)).ppn(4).script(script(move |jc| {
-                s.lock().push(jc.proc.now());
-                jc.proc.sleep(secs(5));
+                let s = s.clone();
+                async move {
+                    s.lock().push(jc.proc.now());
+                    jc.proc.sleep(secs(5)).await;
+                }
             }));
         cluster.qsub(spec);
     }

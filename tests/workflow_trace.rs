@@ -21,14 +21,17 @@ fn static_and_dynamic_workflow_event_order() {
     let dac = cluster.dac.clone();
     let spec =
         JobSpec::synthetic("flow", SimDuration::from_secs(5)).acpn(1).script(script(move |jc| {
-            let (mut ses, _) = AcSession::init(jc, &dac, None);
-            let set = ses.ac_get(2).expect("pool has 3 free");
-            ses.ac_free(&set).unwrap();
-            // Keep the job alive past the asynchronous disassociation so
-            // the DISJOIN round-trip completes while the job still runs
-            // (AC_Free itself returns immediately, §III-D).
-            jc.proc.sleep(SimDuration::from_secs(1));
-            ses.finalize();
+            let dac = dac.clone();
+            async move {
+                let (mut ses, _) = AcSession::init(&jc, &dac, None).await;
+                let set = ses.ac_get(2).await.expect("pool has 3 free");
+                ses.ac_free(&set).await.unwrap();
+                // Keep the job alive past the asynchronous disassociation so
+                // the DISJOIN round-trip completes while the job still runs
+                // (AC_Free itself returns immediately, §III-D).
+                jc.proc.sleep(SimDuration::from_secs(1)).await;
+                ses.finalize();
+            }
         }));
     cluster.qsub(spec);
     let stats = cluster.run();
