@@ -5,11 +5,14 @@
 # BENCH_sim.json; `make bench-smoke` is the tiny-workload variant (one
 # trial per scenario); `make bench-check` runs the smoke suite and
 # fails if ping-pong throughput drops more than 20% below the
-# committed BENCH_sim.json.
+# committed BENCH_sim.json. `make chaos-smoke` runs the seeded
+# fault-injection sweep over the default 50 seeds (each run twice to
+# prove byte-identical reproduction); for longer soaks run e.g.
+# `cargo run --release -p darms-experiments --bin chaos_sweep -- --seeds 0..5000`.
 
-.PHONY: verify fmt lint build test bench bench-smoke bench-check
+.PHONY: verify fmt lint build test bench bench-smoke bench-check chaos-smoke
 
-verify: fmt lint build test bench-check
+verify: fmt lint build test chaos-smoke bench-check
 
 fmt:
 	cargo fmt --all --check
@@ -31,3 +34,6 @@ bench-smoke:
 
 bench-check:
 	cargo run --release -p darms-experiments --bin perf_report -- --smoke --out target/BENCH_sim.smoke.json --check BENCH_sim.json
+
+chaos-smoke:
+	cargo run --release -p darms-experiments --bin chaos_sweep -- --smoke

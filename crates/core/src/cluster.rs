@@ -42,6 +42,10 @@ pub struct Cluster {
     pub metrics: MetricsRegistry,
     /// The engine's structured event tracer.
     pub tracer: Tracer,
+    /// Shared handle to the server's node database. Read-only use is
+    /// intended (invariant auditing); never hold the guard across an
+    /// `await`.
+    pub node_db: Arc<Mutex<NodeDb>>,
     config: ClusterConfig,
 }
 
@@ -55,6 +59,13 @@ impl Cluster {
         let metrics = sim.metrics();
         let tracer = sim.tracer();
         net.attach_metrics(metrics.clone());
+        net.set_retry_policy(config.retry);
+        if let Some(plan) = config.fault.clone() {
+            net.install_fault_plan(plan);
+        }
+        if config.sim.trace {
+            net.attach_tracer(tracer.clone());
+        }
 
         let head = net.add_host("head", HostKind::Head);
         let compute: Vec<HostId> = (0..config.compute_nodes)
@@ -82,6 +93,7 @@ impl Cluster {
         }
 
         let server = PbsServer::new(net.clone(), fs.clone(), head, config.rms_cost.clone(), db);
+        let node_db = server.db_handle();
         let server_id = sim.add_actor(Box::new(server));
         net.bind(server_addr(head), Endpoint::Actor(server_id));
 
@@ -111,7 +123,21 @@ impl Cluster {
             net.bind(mom_addr(h), Endpoint::Actor(mom_id));
         }
 
-        Cluster { sim, net, fs, mpi, dac, head, compute, accs, recorder, metrics, tracer, config }
+        Cluster {
+            sim,
+            net,
+            fs,
+            mpi,
+            dac,
+            head,
+            compute,
+            accs,
+            recorder,
+            metrics,
+            tracer,
+            node_db,
+            config,
+        }
     }
 
     /// The server's address (for custom front-end processes).

@@ -2,7 +2,7 @@
 
 use darms_dac::{DacCostModel, DeviceProps};
 use darms_mpi::MpiCostModel;
-use darms_net::LatencyModel;
+use darms_net::{FaultPlan, LatencyModel, RetryPolicy};
 use darms_rms::{MonitorConfig, RmsCostModel};
 use darms_sched::SchedConfig;
 use darms_sim::SimConfig;
@@ -35,6 +35,15 @@ pub struct ClusterConfig {
     /// idle simulations quiesce; enable it for failure scenarios together
     /// with a finite simulation horizon.
     pub monitor: Option<MonitorConfig>,
+    /// Control-plane retry policy. `None` (the default) keeps every
+    /// protocol exchange single-shot and unbounded — byte-identical to
+    /// the pre-chaos system. Set it to harden the cluster against an
+    /// installed [`FaultPlan`].
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault-injection plan installed on the network at
+    /// build time. Combine with [`ClusterConfig::retry`]; faults without
+    /// retries will wedge the control plane.
+    pub fault: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -55,6 +64,8 @@ impl ClusterConfig {
             sched: SchedConfig::paper_testbed(),
             device: DeviceProps::gpu_2013(),
             monitor: None,
+            retry: None,
+            fault: None,
         }
     }
 
@@ -73,6 +84,8 @@ impl ClusterConfig {
             sched: SchedConfig::instant(),
             device: DeviceProps::gpu_2013(),
             monitor: None,
+            retry: None,
+            fault: None,
         }
     }
 
@@ -92,6 +105,18 @@ impl ClusterConfig {
     /// Builder: enable event tracing.
     pub fn with_trace(mut self) -> Self {
         self.sim.trace = true;
+        self
+    }
+
+    /// Builder: harden the control plane with a retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Builder: install a deterministic fault plan on the interconnect.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 

@@ -73,6 +73,7 @@ pub mod prelude {
         as_f64s, f64s_to_bytes, AcHandle, AcSession, AcSet, DacError, DevPtr, KernelArgs, Param,
         TaskComm,
     };
+    pub use darms_net::{FaultPlan, LinkFaults, Outage, Partition, RetryPolicy};
     pub use darms_rms::{script, ClientId, JobCtx, JobId, JobSpec, JobState, JobStatus};
     pub use darms_sim::{
         metrics_to_json, to_chrome_trace, to_json_lines, write_chrome_trace, write_json_lines,

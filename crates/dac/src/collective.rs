@@ -26,11 +26,13 @@ use darms_sim::SimDuration;
 use crate::frontend::{AcSession, AcSet, DacError};
 
 /// Wire messages of the per-job task channel.
+#[derive(Clone)]
 struct CollMsg {
     from: usize,
     body: CollBody,
 }
 
+#[derive(Clone)]
 enum CollBody {
     /// Participant -> collector: my accelerator count for this call.
     Count(u32),

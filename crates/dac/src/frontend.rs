@@ -109,8 +109,34 @@ pub struct AcSession {
     next_req: u64,
     /// Replies that arrived while waiting for a different request id
     /// (multiple asynchronous operations may be in flight per handle).
-    stashed: std::collections::HashMap<(Rank, u64), RepBodyOwned>,
+    /// Keyed by request id alone: ids are unique per session, while ranks
+    /// are remapped by shrinks and may alias old traffic.
+    stashed: std::collections::HashMap<u64, RepBodyOwned>,
+    /// Request ids whose wait timed out: their reply may still be in
+    /// flight (or duplicated by a faulty network) and must be discarded
+    /// on arrival instead of being stashed against a future request.
+    tombstones: std::collections::HashSet<u64>,
     recorder: Option<Recorder>,
+}
+
+/// File a reply received while waiting for `want`. `Some` means the wait
+/// is answered; otherwise the body is stashed for its own wait — unless
+/// its id was tombstoned by an earlier timeout, in which case the late
+/// (possibly duplicate) reply is dropped on the floor.
+fn file_reply(
+    want: u64,
+    rep_req: u64,
+    body: RepBodyOwned,
+    tombstones: &mut std::collections::HashSet<u64>,
+    stashed: &mut std::collections::HashMap<u64, RepBodyOwned>,
+) -> Option<RepBodyOwned> {
+    if rep_req == want {
+        return Some(body);
+    }
+    if !tombstones.remove(&rep_req) {
+        stashed.insert(rep_req, body);
+    }
+    None
 }
 
 impl AcSession {
@@ -142,6 +168,7 @@ impl AcSession {
             handles: Vec::new(),
             next_req: 1,
             stashed: std::collections::HashMap::new(),
+            tombstones: std::collections::HashSet::new(),
             recorder,
         };
         if x == 0 {
@@ -226,7 +253,7 @@ impl AcSession {
         let rank = self.rank_of(h)?;
         let comm = self.comm()?;
         let timeout = self.dac.cost.request_timeout;
-        if let Some(body) = self.stashed.remove(&(rank, req)) {
+        if let Some(body) = self.stashed.remove(&req) {
             return Ok(body);
         }
         loop {
@@ -234,10 +261,13 @@ impl AcSession {
                 Some(m) => m,
                 None => {
                     // A dead accelerator (failed host): mark the handle
-                    // lost so later calls fail fast.
+                    // lost so later calls fail fast, and tombstone the
+                    // request id so a late reply cannot be mistaken for
+                    // the answer to a future request.
                     if let Some(rec) = self.handles.get_mut(h.0) {
                         rec.live = false;
                     }
+                    self.tombstones.insert(req);
                     return Err(DacError::Timeout(h));
                 }
             };
@@ -247,14 +277,18 @@ impl AcSession {
                 RepBody::Ack(r) => RepBodyOwned::Ack(r.clone()),
                 RepBody::Data(r) => RepBodyOwned::Data(r.clone()),
             };
-            if rep.req != req {
-                // A different in-flight operation's reply: keep it for
-                // its own wait call.
-                self.stashed.insert((rank, rep.req), body);
-                continue;
+            if let Some(body) =
+                file_reply(req, rep.req, body, &mut self.tombstones, &mut self.stashed)
+            {
+                return Ok(body);
             }
-            return Ok(body);
         }
+    }
+
+    /// Number of replies parked for not-yet-redeemed request ids
+    /// (diagnostic; the chaos harness checks this stays bounded).
+    pub fn stashed_replies(&self) -> usize {
+        self.stashed.len()
     }
 
     // ----- computation API (acMemAlloc / acMemCpy / acKernel*) ----------
@@ -681,4 +715,44 @@ enum RepBodyOwned {
     Ptr(Result<DevPtr, String>),
     Ack(Result<(), String>),
     Data(Result<Vec<u8>, String>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn ack() -> RepBodyOwned {
+        RepBodyOwned::Ack(Ok(()))
+    }
+
+    #[test]
+    fn file_reply_answers_the_awaited_request() {
+        let (mut tombs, mut stash) = (HashSet::new(), HashMap::new());
+        assert!(file_reply(7, 7, ack(), &mut tombs, &mut stash).is_some());
+        assert!(stash.is_empty());
+    }
+
+    #[test]
+    fn file_reply_stashes_other_requests_by_id() {
+        let (mut tombs, mut stash) = (HashSet::new(), HashMap::new());
+        assert!(file_reply(7, 9, ack(), &mut tombs, &mut stash).is_none());
+        assert!(stash.contains_key(&9));
+    }
+
+    #[test]
+    fn file_reply_discards_tombstoned_replies() {
+        let mut tombs: HashSet<u64> = [9].into_iter().collect();
+        let mut stash = HashMap::new();
+        assert!(file_reply(7, 9, ack(), &mut tombs, &mut stash).is_none());
+        assert!(stash.is_empty(), "late reply must be dropped, not stashed");
+        assert!(tombs.is_empty(), "tombstone is consumed by the discard");
+        // A fresh reply with the same id (duplicate delivered twice after
+        // the tombstone was spent) is stashed again — ids are unique per
+        // request, so this only happens for duplicates, which the next
+        // wait for a different id simply leaves parked; the stash stays
+        // bounded because each id is stashed at most once more.
+        assert!(file_reply(7, 9, ack(), &mut tombs, &mut stash).is_none());
+        assert!(stash.contains_key(&9));
+    }
 }

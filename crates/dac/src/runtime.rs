@@ -78,6 +78,7 @@ pub(crate) struct DacReply {
     pub body: RepBody,
 }
 
+#[derive(Clone)]
 pub(crate) enum RepBody {
     Ptr(Result<DevPtr, String>),
     Ack(Result<(), String>),
@@ -208,11 +209,31 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
     let device = dac.device_for(mpi.host());
     let mut my_ptrs: HashSet<DevPtr> = HashSet::new();
     let overhead = dac.cost.request_overhead;
+    // Idempotency: request ids already executed, with the reply (if any)
+    // for replay, so a duplicated request never runs its side effects
+    // twice. Bounded FIFO eviction.
+    let mut seen: std::collections::HashMap<u64, Option<RepBody>> =
+        std::collections::HashMap::new();
+    let mut seen_order: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    const SEEN_CAP: usize = 256;
     loop {
         let msg = mpi.recv(comm, Some(0), Some(TAG_REQ)).await;
         let request =
             msg.data.downcast_ref::<DacRequest>().expect("TAG_REQ messages carry DacRequest");
         let req = request.req;
+        if let Some(cached) = seen.get(&req) {
+            if let Some(body) = cached.clone() {
+                reply(&mpi, comm, req, body, &dac);
+            }
+            continue;
+        }
+        seen.insert(req, None);
+        seen_order.push_back(req);
+        if seen_order.len() > SEEN_CAP {
+            if let Some(old) = seen_order.pop_front() {
+                seen.remove(&old);
+            }
+        }
         match &request.body {
             ReqBody::Grow => {
                 let inter = mpi
@@ -244,7 +265,9 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 if let Ok(p) = &r {
                     my_ptrs.insert(*p);
                 }
-                reply(&mpi, comm, req, RepBody::Ptr(r.map_err(|e| e.to_string())), &dac);
+                let body = RepBody::Ptr(r.map_err(|e| e.to_string()));
+                seen.insert(req, Some(body.clone()));
+                reply(&mpi, comm, req, body, &dac);
             }
             ReqBody::MemFree { ptr } => {
                 if !overhead.is_zero() {
@@ -252,7 +275,9 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 }
                 let r = device.lock().mem_free(*ptr);
                 my_ptrs.remove(ptr);
-                reply(&mpi, comm, req, RepBody::Ack(r.map_err(|e| e.to_string())), &dac);
+                let body = RepBody::Ack(r.map_err(|e| e.to_string()));
+                seen.insert(req, Some(body.clone()));
+                reply(&mpi, comm, req, body, &dac);
             }
             ReqBody::CopyH2D { ptr, offset, payload, overlap_credit } => {
                 let dev_time = device.lock().props().h2d_time(payload.len() as u64);
@@ -262,7 +287,9 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                     mpi.proc().sleep(d).await;
                 }
                 let r = device.lock().write(*ptr, *offset, payload);
-                reply(&mpi, comm, req, RepBody::Ack(r.map_err(|e| e.to_string())), &dac);
+                let body = RepBody::Ack(r.map_err(|e| e.to_string()));
+                seen.insert(req, Some(body.clone()));
+                reply(&mpi, comm, req, body, &dac);
             }
             ReqBody::CopyD2H { ptr, offset, len } => {
                 let d = overhead + device.lock().props().d2h_time(*len);
@@ -271,14 +298,18 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 }
                 let r = device.lock().read(*ptr, *offset, *len);
                 let bytes = r.as_ref().map(|v| v.len() as u64).unwrap_or(0);
-                let rep = DacReply { req, body: RepBody::Data(r.map_err(|e| e.to_string())) };
+                let body = RepBody::Data(r.map_err(|e| e.to_string()));
+                seen.insert(req, Some(body.clone()));
+                let rep = DacReply { req, body };
                 let _ = mpi.send(comm, 0, TAG_REP, data(rep), dac.cost.ctl_bytes + bytes);
             }
             ReqBody::GroupReduceSum { ptr, elems, out, peers } => {
                 let result =
                     group_reduce_sum(&mut mpi, &dac, comm, &device, *ptr, *elems, *out, peers)
                         .await;
-                reply(&mpi, comm, req, RepBody::Ack(result), &dac);
+                let body = RepBody::Ack(result);
+                seen.insert(req, Some(body.clone()));
+                reply(&mpi, comm, req, body, &dac);
             }
             ReqBody::KernelRun { name, args } => {
                 let result = match dac.kernels.get(name) {
@@ -293,7 +324,9 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                     }
                     None => Err(format!("unknown kernel '{name}'")),
                 };
-                reply(&mpi, comm, req, RepBody::Ack(result), &dac);
+                let body = RepBody::Ack(result);
+                seen.insert(req, Some(body.clone()));
+                reply(&mpi, comm, req, body, &dac);
             }
         }
     }

@@ -1,0 +1,70 @@
+//! Seeded chaos sweep: run N deterministic fault-injection scenarios and
+//! audit the safety invariants (see `darms_experiments::chaos`). Every
+//! seed is run **twice** and the serialized traces compared, so the
+//! sweep also proves byte-for-byte reproducibility.
+//!
+//! Usage:
+//!   chaos_sweep                  # smoke: seeds 0..50
+//!   chaos_sweep --seeds 100..600 # soak: any half-open seed range
+//!
+//! Exits non-zero if any seed violates an invariant.
+
+use darms_experiments::chaos::run_chaos_checked;
+
+fn parse_range(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once("..")?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut range = (0u64, 50u64);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let spec = args.next().unwrap_or_default();
+                range = parse_range(&spec).unwrap_or_else(|| {
+                    eprintln!("chaos_sweep: bad --seeds '{spec}' (expected A..B)");
+                    std::process::exit(2);
+                });
+            }
+            "--smoke" => range = (0, 50),
+            other => {
+                eprintln!("chaos_sweep: unknown argument '{other}'");
+                eprintln!("usage: chaos_sweep [--seeds A..B | --smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (from, to) = range;
+    if from >= to {
+        eprintln!("chaos_sweep: empty seed range {from}..{to}");
+        std::process::exit(2);
+    }
+
+    let mut dirty = 0usize;
+    let (mut jobs, mut completed, mut cancelled, mut reclaims) = (0usize, 0usize, 0usize, 0u64);
+    for seed in from..to {
+        let o = run_chaos_checked(seed);
+        jobs += o.jobs;
+        completed += o.completed;
+        cancelled += o.cancelled;
+        reclaims += o.reclaims;
+        if !o.clean() {
+            dirty += 1;
+            println!("seed {seed}: VIOLATIONS");
+            for v in &o.violations {
+                println!("  - {v}");
+            }
+        }
+    }
+    let n = to - from;
+    println!(
+        "chaos_sweep: {n} seeds ({from}..{to}), each run twice for byte-identity: \
+         {jobs} jobs ({completed} completed, {cancelled} cancelled), \
+         {reclaims} host reclamations, {dirty} seed(s) with violations"
+    );
+    if dirty > 0 {
+        std::process::exit(1);
+    }
+}

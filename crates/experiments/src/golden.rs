@@ -41,6 +41,14 @@ pub fn fig8_golden() -> String {
     serialize(&events, &stats)
 }
 
+/// The chaos golden scenario: one fixed fault-injection seed, traced
+/// and serialized — pins the complete failure schedule (drops,
+/// duplicates, jitter, partitions, outages) and the hardened control
+/// plane's recovery behaviour byte-for-byte.
+pub fn chaos_golden() -> String {
+    crate::chaos::run_chaos(7).trace
+}
+
 /// The swf_replay golden scenario: 8 jobs, seed 4242, traced and
 /// serialized.
 pub fn swf_replay_golden() -> String {

@@ -66,3 +66,10 @@ fn fig8_trace_is_byte_identical_to_pre_refactor_runtime() {
 fn swf_replay_trace_is_byte_identical_to_pre_refactor_runtime() {
     check("swf_replay_jobs8_seed4242.jsonl", &golden::swf_replay_golden());
 }
+
+#[test]
+fn chaos_seed7_trace_is_byte_identical() {
+    // Captured when the fault-injection layer landed: pins the seeded
+    // failure schedule and the retry/reclaim recovery behaviour.
+    check("chaos_seed7.jsonl", &golden::chaos_golden());
+}

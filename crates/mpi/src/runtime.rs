@@ -217,6 +217,7 @@ pub(crate) mod wire {
     use super::*;
 
     /// Point-to-point payload.
+    #[derive(Clone)]
     pub(crate) struct P2p {
         pub comm: CommId,
         pub src_rank: Rank,
@@ -226,6 +227,7 @@ pub(crate) mod wire {
     }
 
     /// Control traffic for collectives and dynamic process management.
+    #[derive(Clone)]
     pub(crate) struct Ctl {
         pub token: u64,
         pub body: CtlBody,
@@ -234,6 +236,7 @@ pub(crate) mod wire {
     // Some fields (arrival ranks, modelled byte counts) exist to mirror
     // the real wire format and for trace debugging, not for control flow.
     #[allow(dead_code)]
+    #[derive(Clone)]
     pub(crate) enum CtlBody {
         /// Collective arrival at the coordinator (barrier/merge/shrink).
         Arrive { comm: CommId, seq: u64, rank: Rank, group: u8, high: bool },

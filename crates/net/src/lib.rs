@@ -35,10 +35,12 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod host;
 mod latency;
 mod network;
 
+pub use fault::{FaultPlan, LinkFaults, Outage, Partition, RetryPolicy};
 pub use host::{ports, Address, Host, HostId, HostKind, Port};
 pub use latency::LatencyModel;
 pub use network::{NetStats, Network, SendOutcome};

@@ -5,11 +5,12 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use darms_sim::{Ctx, Endpoint, Envelope, MetricsRegistry, Proc, SimDuration};
+use darms_sim::{Ctx, Endpoint, Envelope, MetricsRegistry, Proc, SimDuration, SimTime, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fault::{FaultPlan, FaultState, RetryPolicy, Verdict};
 use crate::host::{ports, Address, Host, HostId, HostKind, Port};
 use crate::latency::LatencyModel;
 
@@ -37,6 +38,14 @@ struct NetState {
     /// Optional shared registry mirror of the traffic counters
     /// (`net.messages`, `net.bytes`, `net.dropped`).
     metrics: Option<MetricsRegistry>,
+    /// Installed chaos plan; `None` keeps the send path byte-identical
+    /// to a fault-free network.
+    fault: Option<FaultState>,
+    /// Shared retry budget advertised to the control-plane layers
+    /// (IFL, server/mom retransmit ticks, DAC front-end).
+    control_retry: Option<RetryPolicy>,
+    /// Structured tracer for fault decisions (`net.fault` instants).
+    tracer: Option<Tracer>,
 }
 
 impl NetState {
@@ -91,8 +100,43 @@ impl Network {
                 stats: NetStats::default(),
                 links: HashMap::new(),
                 metrics: None,
+                fault: None,
+                control_retry: None,
+                tracer: None,
             })),
         }
+    }
+
+    /// Install a deterministic chaos plan; replaces any previous plan
+    /// (resetting the fault RNG to the plan's seed). Callable mid-run
+    /// for targeted tests.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().fault = Some(FaultState::new(plan));
+    }
+
+    /// Remove the installed chaos plan, restoring the fault-free path.
+    pub fn clear_fault_plan(&self) {
+        self.state.lock().fault = None;
+    }
+
+    /// The installed chaos plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.lock().fault.as_ref().map(|f| f.plan().clone())
+    }
+
+    /// Set (or clear) the shared control-plane retry budget.
+    pub fn set_retry_policy(&self, policy: Option<RetryPolicy>) {
+        self.state.lock().control_retry = policy;
+    }
+
+    /// The shared control-plane retry budget, if one is set.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.state.lock().control_retry
+    }
+
+    /// Emit `net.fault` instants for every fault-layer decision into `t`.
+    pub fn attach_tracer(&self, t: Tracer) {
+        self.state.lock().tracer = Some(t);
     }
 
     /// Mirror traffic counters into `m` (`net.messages`, `net.bytes`,
@@ -203,51 +247,101 @@ impl Network {
     }
 
     /// Compute the delay for a message and update counters, or decide to
-    /// drop it. Returns the resolved endpoint on success.
+    /// drop it.
+    ///
+    /// `now` is consulted lazily: only when a [`FaultPlan`] is installed
+    /// and the message crosses hosts does the fault layer need the
+    /// virtual clock, so the fault-free path never touches the kernel.
+    /// `can_dup` says whether the caller is able to deliver a duplicate
+    /// copy (the envelope path cannot clone its payload).
     fn route(
         &self,
         from: HostId,
         to: Address,
         bytes: u64,
-    ) -> Result<(Endpoint, SimDuration), SendOutcome> {
+        now: impl FnOnce() -> SimTime,
+        can_dup: bool,
+    ) -> Route {
         let mut s = self.state.lock();
         if s.hosts.get(from.0).is_none_or(|h| h.down)
             || s.hosts.get(to.host.0).is_none_or(|h| h.down)
         {
             s.note_dropped(from, to.host);
-            return Err(SendOutcome::HostDown);
+            return Route::Fail(SendOutcome::HostDown);
         }
         let Some(ep) = s.bindings.get(&to).copied() else {
             s.note_dropped(from, to.host);
-            return Err(SendOutcome::NoBinding);
+            return Route::Fail(SendOutcome::NoBinding);
         };
         if s.drop_prob > 0.0 {
             let roll: f64 = rand::Rng::gen(&mut s.rng);
             if roll < s.drop_prob {
                 s.note_dropped(from, to.host);
-                return Err(SendOutcome::Lost);
+                return Route::Fail(SendOutcome::Lost);
             }
         }
         let local = from == to.host;
+        // The chaos layer judges cross-host messages only: loopback IPC
+        // never touches the interconnect, so head-local control traffic
+        // (scheduler, monitor reports) stays reliable by construction.
+        let verdict = if !local && s.fault.is_some() {
+            let t = now();
+            let NetState { fault, tracer, .. } = &mut *s;
+            let mut v = fault.as_mut().expect("checked above").judge(from, to.host, t);
+            if let Verdict::Deliver { duplicate: d @ Some(_), .. } = &mut v {
+                if !can_dup {
+                    *d = None;
+                }
+            }
+            if let Some(tr) = tracer {
+                let kind = match v {
+                    Verdict::Drop(reason) => Some(reason),
+                    Verdict::Deliver { duplicate: Some(_), .. } => Some("duplicate"),
+                    Verdict::Deliver { .. } => None,
+                };
+                if let Some(kind) = kind {
+                    tr.instant(t, darms_sim::TraceSource::Kernel, "net", "net.fault", || {
+                        format!("{{\"kind\":\"{kind}\",\"from\":{},\"to\":{}}}", from.0, to.host.0)
+                    });
+                }
+            }
+            v
+        } else {
+            Verdict::Deliver { extra: SimDuration::ZERO, duplicate: None }
+        };
+        let (extra, duplicate) = match verdict {
+            Verdict::Drop(_) => {
+                s.note_dropped(from, to.host);
+                return Route::SilentDrop;
+            }
+            Verdict::Deliver { extra, duplicate } => (extra, duplicate),
+        };
         // Split-borrow the state so the latency model is consulted in
         // place — no per-message clone of the model.
         let NetState { latency, rng, stats, links, metrics, .. } = &mut *s;
-        let delay = latency.delay(local, bytes, rng);
-        stats.messages += 1;
-        stats.bytes += bytes;
+        let base = latency.delay(local, bytes, rng);
+        let delay = base + extra;
+        let copies = 1 + duplicate.is_some() as u64;
+        stats.messages += copies;
+        stats.bytes += bytes * copies;
         let link = links.entry((from, to.host)).or_default();
-        link.messages += 1;
-        link.bytes += bytes;
+        link.messages += copies;
+        link.bytes += bytes * copies;
         if let Some(m) = metrics {
-            m.counter_inc("net.messages");
-            m.counter_add("net.bytes", bytes);
+            m.counter_add("net.messages", copies);
+            m.counter_add("net.bytes", bytes * copies);
         }
-        Ok((ep, delay))
+        Route::Deliver { ep, delay, dup: duplicate.map(|e| base + e) }
     }
 
     /// Send `payload` from a process residing on `from` to the service at
     /// `to`, modelling a wire size of `bytes`.
-    pub fn send_from_proc<T: Any + Send>(
+    ///
+    /// `Clone` lets the fault layer deliver duplicate copies; with no
+    /// [`FaultPlan`] installed the payload is never cloned. Fault-layer
+    /// drops are *silent* — the outcome still reads `Sent`, like a UDP
+    /// sender that cannot observe loss on the wire.
+    pub fn send_from_proc<T: Any + Send + Clone>(
         &self,
         p: &Proc,
         from: HostId,
@@ -255,18 +349,23 @@ impl Network {
         payload: T,
         bytes: u64,
     ) -> SendOutcome {
-        match self.route(from, to, bytes) {
-            Ok((ep, delay)) => {
+        match self.route(from, to, bytes, || p.now(), true) {
+            Route::Deliver { ep, delay, dup } => {
+                if let Some(d) = dup {
+                    p.send(ep, payload.clone(), d);
+                }
                 p.send(ep, payload, delay);
                 SendOutcome::Sent(delay)
             }
-            Err(o) => o,
+            Route::SilentDrop => SendOutcome::Sent(SimDuration::ZERO),
+            Route::Fail(o) => o,
         }
     }
 
     /// Send `payload` from an actor residing on `from` to the service at
-    /// `to`, modelling a wire size of `bytes`.
-    pub fn send_from_ctx<T: Any + Send>(
+    /// `to`, modelling a wire size of `bytes`. Same fault semantics as
+    /// [`Network::send_from_proc`].
+    pub fn send_from_ctx<T: Any + Send + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
         from: HostId,
@@ -274,16 +373,22 @@ impl Network {
         payload: T,
         bytes: u64,
     ) -> SendOutcome {
-        match self.route(from, to, bytes) {
-            Ok((ep, delay)) => {
+        match self.route(from, to, bytes, || ctx.now(), true) {
+            Route::Deliver { ep, delay, dup } => {
+                if let Some(d) = dup {
+                    ctx.send(ep, payload.clone(), d);
+                }
                 ctx.send(ep, payload, delay);
                 SendOutcome::Sent(delay)
             }
-            Err(o) => o,
+            Route::SilentDrop => SendOutcome::Sent(SimDuration::ZERO),
+            Route::Fail(o) => o,
         }
     }
 
-    /// Send a pre-built envelope (keeps an existing `src`).
+    /// Send a pre-built envelope (keeps an existing `src`). An envelope
+    /// payload cannot be cloned, so the fault layer never duplicates on
+    /// this path (drops and delays still apply).
     pub fn send_env_from_proc(
         &self,
         p: &Proc,
@@ -292,19 +397,33 @@ impl Network {
         env: Envelope,
         bytes: u64,
     ) -> SendOutcome {
-        match self.route(from, to, bytes) {
-            Ok((ep, delay)) => {
+        match self.route(from, to, bytes, || p.now(), false) {
+            Route::Deliver { ep, delay, .. } => {
                 p.send_env(ep, env, delay);
                 SendOutcome::Sent(delay)
             }
-            Err(o) => o,
+            Route::SilentDrop => SendOutcome::Sent(SimDuration::ZERO),
+            Route::Fail(o) => o,
         }
     }
+}
+
+/// How a send resolves internally.
+enum Route {
+    /// Deliver to `ep` after `delay`; when `dup` is set, deliver a
+    /// second copy after that delay.
+    Deliver { ep: Endpoint, delay: SimDuration, dup: Option<SimDuration> },
+    /// The fault layer swallowed the message; the sender still observes
+    /// a successful send.
+    SilentDrop,
+    /// Visible failure (down host, no binding, legacy injected loss).
+    Fail(SendOutcome),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkFaults;
     use darms_sim::{Engine, SimTime};
 
     fn net() -> Network {
@@ -427,6 +546,81 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.messages + s.dropped, 400);
         assert!(s.dropped > 120 && s.dropped < 280, "dropped={}", s.dropped);
+    }
+
+    #[test]
+    fn fault_plan_drop_is_silent_to_the_sender() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let h2 = n.add_host("h2", HostKind::Compute);
+        n.install_fault_plan(
+            FaultPlan::new(9).with_default_link(LinkFaults { drop: 1.0, ..Default::default() }),
+        );
+        let mut sim = Engine::with_seed(1);
+        let rx = sim.spawn_process("rx", |p| async move {
+            assert!(p.recv_timeout(SimDuration::from_secs(1)).await.is_none());
+        });
+        let addr = Address::new(h2, Port(1));
+        n.bind(addr, rx.into());
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| async move {
+            // The sender cannot observe the loss.
+            assert!(n2.send_from_proc(&p, h1, addr, 7u8, 8).is_sent());
+        });
+        let stats = sim.run();
+        assert_eq!(stats.process_panics, 0);
+        assert_eq!(n.stats().dropped, 1);
+        assert_eq!(n.stats().messages, 0);
+    }
+
+    #[test]
+    fn fault_plan_duplicate_delivers_twice_and_loopback_is_exempt() {
+        let n = net();
+        let h1 = n.add_host("h1", HostKind::Compute);
+        let h2 = n.add_host("h2", HostKind::Compute);
+        n.install_fault_plan(
+            FaultPlan::new(9)
+                .with_default_link(LinkFaults { duplicate: 1.0, ..Default::default() }),
+        );
+        let mut sim = Engine::with_seed(1);
+        let got = Arc::new(Mutex::new(0u32));
+        let g = got.clone();
+        let rx = sim.spawn_process("rx", move |p| async move {
+            while p.recv_timeout(SimDuration::from_secs(1)).await.is_some() {
+                *g.lock() += 1;
+            }
+        });
+        let addr = Address::new(h2, Port(1));
+        n.bind(addr, rx.into());
+        let local = Address::new(h1, Port(2));
+        let n2 = n.clone();
+        sim.spawn_process("tx", move |p| async move {
+            n2.bind(local, p.endpoint());
+            assert!(n2.send_from_proc(&p, h1, addr, 7u8, 8).is_sent());
+            // Loopback traffic is exempt from the plan: one delivery.
+            assert!(n2.send_from_proc(&p, h1, local, 7u8, 8).is_sent());
+            assert!(p.recv_timeout(SimDuration::from_secs(1)).await.is_some());
+            assert!(p.recv_timeout(SimDuration::from_secs(1)).await.is_none());
+        });
+        let stats = sim.run();
+        assert_eq!(stats.process_panics, 0);
+        assert_eq!(*got.lock(), 2, "cross-host message must be duplicated");
+        assert_eq!(n.stats().messages, 3);
+        assert_eq!(n.stats().dropped, 0);
+    }
+
+    #[test]
+    fn retry_policy_round_trips_and_clears() {
+        let n = net();
+        assert_eq!(n.retry_policy(), None);
+        n.set_retry_policy(Some(RetryPolicy::standard()));
+        assert_eq!(n.retry_policy(), Some(RetryPolicy::standard()));
+        n.set_retry_policy(None);
+        assert_eq!(n.retry_policy(), None);
+        n.install_fault_plan(FaultPlan::new(5));
+        assert_eq!(n.fault_plan().expect("installed").seed, 5);
+        n.clear_fault_plan();
+        assert!(n.fault_plan().is_none());
     }
 
     #[test]

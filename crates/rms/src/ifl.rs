@@ -21,45 +21,113 @@ fn fresh_token() -> u64 {
     NEXT_TOKEN.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Why an IFL exchange failed (only possible when the network carries a
+/// [`darms_net::RetryPolicy`]; without one every call blocks until the
+/// reply arrives, as classic TORQUE clients do).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IflError {
+    /// The retry budget was exhausted without a reply. The server may or
+    /// may not have acted on the request.
+    Timeout,
+}
+
 /// Generic blocking request/response exchange with the server.
+///
+/// With no retry policy on the network this is a single send plus an
+/// unbounded wait — byte-identical to the pre-chaos protocol. With a
+/// policy, the request is retransmitted under capped exponential backoff;
+/// the correlation token doubles as an idempotency key (the server caches
+/// the reply to every completed token and re-answers duplicates without
+/// re-executing), so retransmits are safe even for mutating verbs.
 async fn call<Req, Resp>(
     p: &Proc,
     net: &Network,
     from: HostId,
     server: Address,
-    build: impl FnOnce(u64, Address) -> Req,
+    build: impl Fn(u64, Address) -> Req,
     token_of: impl Fn(&Resp) -> u64,
-) -> Resp
+) -> Result<Resp, IflError>
 where
-    Req: std::any::Any + Send,
+    Req: std::any::Any + Send + Clone,
     Resp: std::any::Any + Send,
 {
     let token = fresh_token();
     let reply = net.bind_auto(from, p.endpoint());
-    let req = build(token, reply);
-    let outcome = net.send_from_proc(p, from, server, req, IFL_BYTES);
-    assert!(outcome.is_sent(), "IFL request could not reach the server: {outcome:?}");
-    let env = p.recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token)).await;
+    let result = match net.retry_policy() {
+        None => {
+            let req = build(token, reply);
+            let outcome = net.send_from_proc(p, from, server, req, IFL_BYTES);
+            assert!(outcome.is_sent(), "IFL request could not reach the server: {outcome:?}");
+            let env =
+                p.recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token)).await;
+            Ok(env.downcast::<Resp>().expect("matched by predicate"))
+        }
+        Some(policy) => {
+            // Evict replies from earlier timed-out calls of this process
+            // so mailboxes stay bounded under duplication.
+            while p.try_recv_where(|e| e.peek::<Resp>().is_some()).is_some() {}
+            let mut got = None;
+            for attempt in 0..policy.max_attempts.max(1) {
+                let req = build(token, reply);
+                let _ = net.send_from_proc(p, from, server, req, IFL_BYTES);
+                let pred = |e: &darms_sim::Envelope| {
+                    e.peek::<Resp>().is_some_and(|r| token_of(r) == token)
+                };
+                if let Some(env) = p.recv_where_timeout(pred, policy.timeout_for(attempt)).await {
+                    got = Some(env.downcast::<Resp>().expect("matched by predicate"));
+                    break;
+                }
+            }
+            // Drop duplicate replies the fault layer may have delivered.
+            while p
+                .try_recv_where(|e| e.peek::<Resp>().is_some_and(|r| token_of(r) == token))
+                .is_some()
+            {}
+            got.ok_or(IflError::Timeout)
+        }
+    };
     net.unbind(reply);
-    env.downcast::<Resp>().expect("matched by predicate")
+    result
 }
 
 /// Submit a job; returns its id once the server has enqueued it.
 pub async fn qsub(p: &Proc, net: &Network, from: HostId, server: Address, spec: JobSpec) -> JobId {
+    try_qsub(p, net, from, server, spec).await.expect("qsub: IFL retry budget exhausted")
+}
+
+/// Fallible [`qsub`]: surfaces retry-budget exhaustion instead of
+/// panicking (for clients living on faulty links).
+pub async fn try_qsub(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+    spec: JobSpec,
+) -> Result<JobId, IflError> {
     let resp: QsubResp = call(
         p,
         net,
         from,
         server,
-        |token, reply| QsubReq { token, spec, reply },
+        |token, reply| QsubReq { token, spec: spec.clone(), reply },
         |r: &QsubResp| r.token,
     )
-    .await;
-    resp.job
+    .await?;
+    Ok(resp.job)
 }
 
 /// Query the status of all jobs.
 pub async fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Vec<JobStatus> {
+    try_qstat(p, net, from, server).await.expect("qstat: IFL retry budget exhausted")
+}
+
+/// Fallible [`qstat`].
+pub async fn try_qstat(
+    p: &Proc,
+    net: &Network,
+    from: HostId,
+    server: Address,
+) -> Result<Vec<JobStatus>, IflError> {
     let resp: QstatResp = call(
         p,
         net,
@@ -68,8 +136,8 @@ pub async fn qstat(p: &Proc, net: &Network, from: HostId, server: Address) -> Ve
         |token, reply| QstatReq { token, reply },
         |r: &QstatResp| r.token,
     )
-    .await;
-    resp.jobs
+    .await?;
+    Ok(resp.jobs)
 }
 
 /// Cancel a job; true if the server knew it and acted.
@@ -82,7 +150,8 @@ pub async fn qdel(p: &Proc, net: &Network, from: HostId, server: Address, job: J
         |token, reply| QdelReq { token, job, reply },
         |r: &QdelResp| r.token,
     )
-    .await;
+    .await
+    .expect("qdel: IFL retry budget exhausted");
     resp.ok
 }
 
@@ -96,7 +165,8 @@ pub async fn qhold(p: &Proc, net: &Network, from: HostId, server: Address, job: 
         |token, reply| QholdReq { token, job, hold: true, reply },
         |r: &QholdResp| r.token,
     )
-    .await;
+    .await
+    .expect("qhold: IFL retry budget exhausted");
     resp.ok
 }
 
@@ -110,7 +180,8 @@ pub async fn qrls(p: &Proc, net: &Network, from: HostId, server: Address, job: J
         |token, reply| QholdReq { token, job, hold: false, reply },
         |r: &QholdResp| r.token,
     )
-    .await;
+    .await
+    .expect("qrls: IFL retry budget exhausted");
     resp.ok
 }
 
@@ -145,7 +216,7 @@ pub async fn pbs_dynget_nodes(
     count: u32,
     ppn: u32,
 ) -> Result<DynGrant, DynReject> {
-    let resp: DynGetResp = call(
+    let resp: Result<DynGetResp, IflError> = call(
         p,
         net,
         from,
@@ -162,7 +233,10 @@ pub async fn pbs_dynget_nodes(
         |r: &DynGetResp| r.token,
     )
     .await;
-    resp.result
+    match resp {
+        Ok(r) => r.result,
+        Err(IflError::Timeout) => Err(DynReject::Timeout),
+    }
 }
 
 /// Like [`pbs_dynget`] but accepting any grant of at least `min_count`
@@ -180,7 +254,7 @@ pub async fn pbs_dynget_range(
     count: u32,
     min_count: u32,
 ) -> Result<DynGrant, DynReject> {
-    let resp: DynGetResp = call(
+    let resp: Result<DynGetResp, IflError> = call(
         p,
         net,
         from,
@@ -197,7 +271,10 @@ pub async fn pbs_dynget_range(
         |r: &DynGetResp| r.token,
     )
     .await;
-    resp.result
+    match resp {
+        Ok(r) => r.result,
+        Err(IflError::Timeout) => Err(DynReject::Timeout),
+    }
 }
 
 /// Release a dynamically allocated accelerator set (the paper's
@@ -211,7 +288,7 @@ pub async fn pbs_dynfree(
     job: JobId,
     client_id: ClientId,
 ) -> bool {
-    let resp: DynFreeResp = call(
+    let resp: Result<DynFreeResp, IflError> = call(
         p,
         net,
         from,
@@ -220,5 +297,7 @@ pub async fn pbs_dynfree(
         |r: &DynFreeResp| r.token,
     )
     .await;
-    resp.ok
+    // Exhaustion maps to `false`: the release may or may not have been
+    // applied; server-side reclamation on job exit covers the difference.
+    resp.map(|r| r.ok).unwrap_or(false)
 }

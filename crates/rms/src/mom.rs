@@ -10,7 +10,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use darms_net::{Address, HostId, Network};
-use darms_sim::{Actor, Ctx, Envelope, Proc, ProcessId, SimDuration};
+use darms_sim::{Actor, Ctx, Endpoint, Envelope, Proc, ProcessId, SimDuration};
 
 use crate::cost::RmsCostModel;
 use crate::fs::{files, PseudoFs};
@@ -144,6 +144,9 @@ struct DisjoinState {
 struct MomJob {
     launch: JobLaunch,
     is_ms: bool,
+    /// True once `JobStarted` has been sent (duplicate `SendJob`s are
+    /// answered by re-sending it).
+    announced: bool,
     join_pending: HashSet<HostId>,
     dynjoin: Option<DynJoinState>,
     disjoin: HashMap<ClientId, DisjoinState>,
@@ -197,7 +200,25 @@ pub struct PbsMom {
     deferred: HashMap<u64, Deferred>,
     next_timer: u64,
     name: String,
+    /// Highest incarnation per job this mom has finished (or cleaned up);
+    /// duplicate launches at or below it are ignored.
+    done_jobs: HashMap<JobId, u32>,
+    /// `JobExit`s awaiting the server's ack, with remaining resend
+    /// attempts (only populated when a retry policy is active).
+    exit_pending: HashMap<JobId, (JobExit, u32)>,
+    /// Tokens of completed dynamic joins: a duplicate `DynJoinCmd` is
+    /// answered by re-sending `DynReady`.
+    completed_dynjoins: HashSet<u64>,
+    /// Completed releases: a duplicate `DisjoinCmd` is answered by
+    /// re-sending `FreeDone`.
+    completed_frees: HashMap<ClientId, (JobId, DynSet)>,
 }
+
+/// Reserved timer token for the mom's retransmit tick.
+const TOKEN_RETRY: u64 = 0;
+
+/// Resend budget for an unacknowledged `JobExit`.
+const EXIT_ATTEMPTS: u32 = 20;
 
 impl PbsMom {
     /// Create the mom for `host`; `head` locates the server.
@@ -220,6 +241,10 @@ impl PbsMom {
             deferred: HashMap::new(),
             next_timer: 1,
             name: format!("pbs_mom@host{}", host.index()),
+            done_jobs: HashMap::new(),
+            exit_pending: HashMap::new(),
+            completed_dynjoins: HashSet::new(),
+            completed_frees: HashMap::new(),
         }
     }
 
@@ -231,7 +256,7 @@ impl PbsMom {
         token
     }
 
-    fn send_to<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
+    fn send_to<T: std::any::Any + Send + Clone>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
         let bytes = self.cost.ctl_bytes;
         self.net.send_from_ctx(ctx, self.host, to, msg, bytes);
     }
@@ -259,6 +284,29 @@ impl PbsMom {
     fn handle_send_job(&mut self, ctx: &mut Ctx<'_>, msg: SendJob) {
         let launch = msg.launch;
         let job = launch.job;
+        if self.done_jobs.get(&job).is_some_and(|done| launch.incarnation <= *done) {
+            // Stale duplicate of an incarnation this mom already finished
+            // (or was told to clean up); the exit-retry path informs the
+            // server, nothing to restart here.
+            return;
+        }
+        if let Some(rec) = self.jobs.get(&job) {
+            if launch.incarnation < rec.launch.incarnation {
+                return;
+            }
+            if launch.incarnation == rec.launch.incarnation {
+                if rec.is_ms && rec.announced {
+                    // The server missed our JobStarted: repeat it.
+                    let m = JobStarted { job, from: self.host, incarnation: launch.incarnation };
+                    self.send_to(ctx, server_addr(self.head), m);
+                }
+                return; // launch already in progress
+            }
+            // A newer incarnation (the job was reclaimed and rescheduled
+            // here): kill the lingering old one before starting fresh.
+            let old = rec.launch.incarnation;
+            self.handle_cleanup(ctx, CleanupJob { job, incarnation: old });
+        }
         let sisters = Self::sisters(&launch);
         ctx.trace(format!("{job}: mother superior, {} sister(s)", sisters.len()));
         self.jobs.insert(
@@ -266,6 +314,7 @@ impl PbsMom {
             MomJob {
                 launch: launch.clone(),
                 is_ms: true,
+                announced: false,
                 join_pending: sisters.iter().copied().collect(),
                 dynjoin: None,
                 disjoin: HashMap::new(),
@@ -306,6 +355,7 @@ impl PbsMom {
         self.jobs.entry(job).or_insert(MomJob {
             launch,
             is_ms: false,
+            announced: false,
             join_pending: HashSet::new(),
             dynjoin: None,
             disjoin: HashMap::new(),
@@ -398,16 +448,45 @@ impl PbsMom {
                         let _ = jc.sleep_interruptible(runtime).await;
                     }
                 }
-                // Task epilogue: report completion to the mother superior.
+                // Task epilogue: report completion to the mother
+                // superior. Under a retry policy the report is repeated
+                // until the mom acknowledges it (the ack travels directly
+                // to this process, so only the lossy report direction is
+                // retried).
                 let done = TaskDone { job, node_index: i };
-                net.send_from_proc(&proc, cn_host, ms_mom, done, bytes);
+                match net.retry_policy() {
+                    None => {
+                        net.send_from_proc(&proc, cn_host, ms_mom, done, bytes);
+                    }
+                    Some(pol) => {
+                        for attempt in 0..pol.max_attempts.max(1) {
+                            net.send_from_proc(&proc, cn_host, ms_mom, done.clone(), bytes);
+                            let acked = proc
+                                .recv_where_timeout(
+                                    |e| {
+                                        e.peek::<TaskDoneAck>()
+                                            .is_some_and(|a| a.job == job && a.node_index == i)
+                                    },
+                                    pol.timeout_for(attempt),
+                                )
+                                .await
+                                .is_some();
+                            if acked {
+                                break;
+                            }
+                        }
+                    }
+                }
             });
             if let Some(rec) = self.jobs.get_mut(&job) {
                 rec.task_pids.push(pid);
             }
         }
-        let msg = JobStarted { job };
+        let msg = JobStarted { job, from: self.host, incarnation: launch.incarnation };
         self.send_to(ctx, server_addr(self.head), msg);
+        if let Some(rec) = self.jobs.get_mut(&job) {
+            rec.announced = true;
+        }
         // TORQUE enforces the user's walltime estimate: arm the kill
         // timer with a small grace allowance.
         let walltime = launch.spec.walltime_estimate;
@@ -428,14 +507,25 @@ impl PbsMom {
             return;
         }
         ctx.trace(format!("{job}: walltime exceeded; killing"));
-        self.send_to(ctx, server_addr(self.head), JobExit { job, timed_out: true });
-        self.handle_cleanup(ctx, CleanupJob { job });
+        let incarnation = rec.launch.incarnation;
+        self.send_exit(ctx, JobExit { job, from: self.host, incarnation, timed_out: true });
+        self.handle_cleanup(ctx, CleanupJob { job, incarnation });
     }
 
     // -- mother superior: dynamic join ------------------------------------
 
     fn handle_dynjoin_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: DynJoinCmd) {
+        if self.completed_dynjoins.contains(&cmd.token) {
+            // Duplicate of a join already finished: the server missed our
+            // DynReady; repeat it.
+            let ready = DynReady { job: cmd.job, token: cmd.token };
+            self.send_to(ctx, server_addr(self.head), ready);
+            return;
+        }
         let Some(rec) = self.jobs.get_mut(&cmd.job) else { return };
+        if rec.dynjoin.as_ref().is_some_and(|st| st.token == cmd.token) {
+            return; // join already in progress
+        }
         rec.dynjoin = Some(DynJoinState {
             token: cmd.token,
             client_id: cmd.client_id,
@@ -480,6 +570,7 @@ impl PbsMom {
         self.jobs.entry(job).or_insert(MomJob {
             launch,
             is_ms: false,
+            announced: false,
             join_pending: HashSet::new(),
             dynjoin: None,
             disjoin: HashMap::new(),
@@ -500,6 +591,7 @@ impl PbsMom {
             let state = rec.dynjoin.take().expect("checked");
             rec.dyn_hosts.extend(state.accs.iter().copied());
             let _ = (state.client_id, state.cn);
+            self.completed_dynjoins.insert(state.token);
             let ready = DynReady { job: msg.job, token: state.token };
             self.send_to(ctx, server_addr(self.head), ready);
         }
@@ -508,8 +600,18 @@ impl PbsMom {
     // -- mother superior: release -----------------------------------------
 
     fn handle_disjoin_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: DisjoinCmd) {
+        if let Some((job, set)) = self.completed_frees.get(&cmd.client_id) {
+            // Duplicate of a finished release: the server missed our
+            // FreeDone; repeat it.
+            let free_done = FreeDone { job: *job, set: set.clone() };
+            self.send_to(ctx, server_addr(self.head), free_done);
+            return;
+        }
         ctx.trace(format!("{}: DISJOIN of {} host(s)", cmd.job, cmd.accs.len()));
         let Some(rec) = self.jobs.get_mut(&cmd.job) else { return };
+        if rec.disjoin.contains_key(&cmd.client_id) {
+            return; // release already in progress
+        }
         let set = DynSet {
             client_id: cmd.client_id,
             cn: self.host,
@@ -569,6 +671,9 @@ impl PbsMom {
                 .chain(rec.dyn_hosts.iter().copied())
                 .collect();
             let removed = st.set.accs.clone();
+            if self.net.retry_policy().is_some() {
+                self.completed_frees.insert(cid, (msg.job, st.set.clone()));
+            }
             let free_done = FreeDone { job: msg.job, set: st.set };
             self.send_to(ctx, server_addr(self.head), free_done);
             for h in remaining {
@@ -580,7 +685,15 @@ impl PbsMom {
 
     // -- job completion -----------------------------------------------------
 
-    fn handle_task_done(&mut self, ctx: &mut Ctx<'_>, msg: TaskDone) {
+    fn handle_task_done(&mut self, ctx: &mut Ctx<'_>, msg: TaskDone, src: Option<Endpoint>) {
+        if self.net.retry_policy().is_some() {
+            if let Some(src) = src {
+                // Quench the task's retry loop (even for duplicates of a
+                // job already finished and forgotten).
+                let ack = TaskDoneAck { job: msg.job, node_index: msg.node_index };
+                ctx.send(src, ack, SimDuration::from_micros(5));
+            }
+        }
         let Some(rec) = self.jobs.get_mut(&msg.job) else { return };
         if !rec.is_ms {
             return;
@@ -597,16 +710,100 @@ impl PbsMom {
                 .into_iter()
                 .chain(rec.dyn_hosts.iter().copied())
                 .collect();
+            let incarnation = rec.launch.incarnation;
             for h in sisters {
-                self.send_to(ctx, mom_addr(h), CleanupJob { job: msg.job });
+                self.send_to(ctx, mom_addr(h), CleanupJob { job: msg.job, incarnation });
             }
-            self.send_to(ctx, server_addr(self.head), JobExit { job: msg.job, timed_out: false });
+            let exit = JobExit { job: msg.job, from: self.host, incarnation, timed_out: false };
+            self.send_exit(ctx, exit);
             self.jobs.remove(&msg.job);
         }
     }
 
+    /// Send a `JobExit`, registering it for resend-until-ack when a retry
+    /// policy is active, and remember the finished incarnation so late
+    /// duplicate launches are ignored.
+    fn send_exit(&mut self, ctx: &mut Ctx<'_>, exit: JobExit) {
+        let done = self.done_jobs.entry(exit.job).or_insert(0);
+        *done = (*done).max(exit.incarnation);
+        if self.net.retry_policy().is_some() {
+            self.exit_pending.insert(exit.job, (exit.clone(), EXIT_ATTEMPTS));
+        }
+        self.send_to(ctx, server_addr(self.head), exit);
+    }
+
+    /// Periodic re-drive of every exchange still awaiting its response;
+    /// armed (timer token 0) only when a retry policy is set.
+    fn retransmit_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(pol) = self.net.retry_policy() else { return };
+        let mut joins: Vec<(JobId, HostId)> = Vec::new();
+        let mut dynjoins: Vec<(JobId, HostId)> = Vec::new();
+        let mut disjoins: Vec<(JobId, HostId)> = Vec::new();
+        for (job, rec) in &self.jobs {
+            if !rec.is_ms {
+                continue;
+            }
+            for h in &rec.join_pending {
+                joins.push((*job, *h));
+            }
+            if let Some(st) = &rec.dynjoin {
+                for h in &st.pending {
+                    dynjoins.push((*job, *h));
+                }
+            }
+            for st in rec.disjoin.values() {
+                for h in &st.pending {
+                    disjoins.push((*job, *h));
+                }
+            }
+        }
+        // HashMap/HashSet iteration above is unordered; sort so the
+        // retransmit schedule (and thus the trace) is deterministic.
+        joins.sort_unstable();
+        dynjoins.sort_unstable();
+        disjoins.sort_unstable();
+        for (job, h) in joins {
+            self.issue_join(ctx, job, h);
+        }
+        for (job, h) in dynjoins {
+            self.issue_dynjoin(ctx, job, h);
+        }
+        for (job, h) in disjoins {
+            let msg = DisjoinJob { job, reply: self.my_addr() };
+            let bytes = self.cost.ctl_bytes;
+            let outcome = self.net.send_from_ctx(ctx, self.host, mom_addr(h), msg, bytes);
+            if !outcome.is_sent() {
+                let ack = DisjoinAck { job, host: h };
+                self.handle_disjoin_ack(ctx, ack);
+            }
+        }
+        let mut exits: Vec<JobExit> = Vec::new();
+        self.exit_pending.retain(|_, (exit, attempts)| {
+            if *attempts == 0 {
+                return false; // give up; server-side reclamation covers it
+            }
+            *attempts -= 1;
+            exits.push(exit.clone());
+            true
+        });
+        exits.sort_unstable_by_key(|e| e.job);
+        for exit in exits {
+            self.send_to(ctx, server_addr(self.head), exit);
+        }
+        ctx.set_timer(pol.retransmit, TOKEN_RETRY);
+    }
+
     fn handle_cleanup(&mut self, ctx: &mut Ctx<'_>, msg: CleanupJob) {
+        // Record the cleaned incarnation even with no local record: a
+        // late duplicate SendJob for it must not resurrect the job.
+        let done = self.done_jobs.entry(msg.job).or_insert(0);
+        *done = (*done).max(msg.incarnation);
+        if self.jobs.get(&msg.job).is_some_and(|r| r.launch.incarnation > msg.incarnation) {
+            return; // stale cleanup for a dead predecessor incarnation
+        }
         if let Some(rec) = self.jobs.remove(&msg.job) {
+            let done = self.done_jobs.entry(msg.job).or_insert(0);
+            *done = (*done).max(rec.launch.incarnation);
             if let Some(token) = rec.walltime_timer {
                 ctx.cancel_timer(token);
                 self.deferred.remove(&token);
@@ -624,7 +821,8 @@ impl PbsMom {
             if rec.is_ms {
                 // qdel path: tell the sisters too.
                 for h in Self::sisters(&rec.launch).into_iter().chain(rec.dyn_hosts) {
-                    self.send_to(ctx, mom_addr(h), CleanupJob { job: msg.job });
+                    let incarnation = rec.launch.incarnation;
+                    self.send_to(ctx, mom_addr(h), CleanupJob { job: msg.job, incarnation });
                 }
             }
         }
@@ -637,6 +835,7 @@ impl Actor for PbsMom {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
+        let src = env.src;
         let env = match env.downcast::<SendJob>() {
             Ok(m) => return self.handle_send_job(ctx, m),
             Err(e) => e,
@@ -677,7 +876,14 @@ impl Actor for PbsMom {
             Err(e) => e,
         };
         let env = match env.downcast::<TaskDone>() {
-            Ok(m) => return self.handle_task_done(ctx, m),
+            Ok(m) => return self.handle_task_done(ctx, m, src),
+            Err(e) => e,
+        };
+        let env = match env.downcast::<JobExitAck>() {
+            Ok(m) => {
+                self.exit_pending.remove(&m.job);
+                return;
+            }
             Err(e) => e,
         };
         let env = match env.downcast::<UpdateJobRes>() {
@@ -709,7 +915,16 @@ impl Actor for PbsMom {
         ctx.trace(format!("{}: unhandled message {env:?}", self.name));
     }
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(pol) = self.net.retry_policy() {
+            ctx.set_timer(pol.retransmit, TOKEN_RETRY);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_RETRY {
+            return self.retransmit_tick(ctx);
+        }
         match self.deferred.remove(&token) {
             Some(Deferred::IssueJoin { job, host }) => self.issue_join(ctx, job, host),
             Some(Deferred::FinishJoin { launch, reply }) => self.finish_join(ctx, launch, reply),

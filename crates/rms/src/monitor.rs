@@ -111,6 +111,11 @@ impl HealthMonitor {
     fn report(&mut self, ctx: &mut Ctx<'_>, host: HostId, offline: bool) {
         let bytes = self.config.ctl_bytes;
         let to = server_addr(self.head);
+        ctx.metrics().counter_inc(if offline {
+            "monitor.offline_reports"
+        } else {
+            "monitor.online_reports"
+        });
         self.net.send_from_ctx(ctx, self.head, to, SetNodeOffline { host, offline }, bytes);
     }
 }

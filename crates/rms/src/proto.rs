@@ -13,6 +13,7 @@ use crate::nodes::NodeRole;
 // ---------------------------------------------------------------------
 
 /// `qsub`: submit a job.
+#[derive(Clone)]
 pub struct QsubReq {
     /// Correlation token chosen by the client.
     pub token: u64,
@@ -23,6 +24,7 @@ pub struct QsubReq {
 }
 
 /// Response to [`QsubReq`].
+#[derive(Clone)]
 pub struct QsubResp {
     /// Echoed token.
     pub token: u64,
@@ -31,6 +33,7 @@ pub struct QsubResp {
 }
 
 /// `qstat`: query all job statuses.
+#[derive(Clone)]
 pub struct QstatReq {
     /// Correlation token.
     pub token: u64,
@@ -39,6 +42,7 @@ pub struct QstatReq {
 }
 
 /// Response to [`QstatReq`].
+#[derive(Clone)]
 pub struct QstatResp {
     /// Echoed token.
     pub token: u64,
@@ -48,6 +52,7 @@ pub struct QstatResp {
 
 /// `qhold` / `qrls`: hold a queued job (hide it from the scheduler) or
 /// release a held one back into the queue.
+#[derive(Clone)]
 pub struct QholdReq {
     /// Correlation token.
     pub token: u64,
@@ -60,6 +65,7 @@ pub struct QholdReq {
 }
 
 /// Response to [`QholdReq`].
+#[derive(Clone)]
 pub struct QholdResp {
     /// Echoed token.
     pub token: u64,
@@ -68,6 +74,7 @@ pub struct QholdResp {
 }
 
 /// `qdel`: cancel a job.
+#[derive(Clone)]
 pub struct QdelReq {
     /// Correlation token.
     pub token: u64,
@@ -78,6 +85,7 @@ pub struct QdelReq {
 }
 
 /// Response to [`QdelReq`].
+#[derive(Clone)]
 pub struct QdelResp {
     /// Echoed token.
     pub token: u64,
@@ -103,6 +111,7 @@ pub enum DynResource {
 /// `pbs_dynget`: request `count` additional accelerators for a running
 /// job (the paper's IFL extension, §III-B). Blocks the caller until the
 /// server responds.
+#[derive(Clone)]
 pub struct DynGetReq {
     /// Correlation token.
     pub token: u64,
@@ -130,6 +139,11 @@ pub enum DynReject {
     Unavailable,
     /// The job is unknown or not running.
     BadJob,
+    /// The retry budget was exhausted without a definitive answer from
+    /// the server (only produced when a [`darms_net::RetryPolicy`] is
+    /// active). The request may still be serviced server-side; the
+    /// server's per-job purge on termination reclaims it.
+    Timeout,
 }
 
 /// Successful dynamic allocation.
@@ -142,6 +156,7 @@ pub struct DynGrant {
 }
 
 /// Response to [`DynGetReq`].
+#[derive(Clone)]
 pub struct DynGetResp {
     /// Echoed token.
     pub token: u64,
@@ -150,6 +165,7 @@ pub struct DynGetResp {
 }
 
 /// `pbs_dynfree`: release a dynamically allocated set.
+#[derive(Clone)]
 pub struct DynFreeReq {
     /// Correlation token.
     pub token: u64,
@@ -163,6 +179,7 @@ pub struct DynFreeReq {
 
 /// Response to [`DynFreeReq`]. Positive as soon as the server accepts the
 /// release; disassociation continues in the background (§III-D).
+#[derive(Clone)]
 pub struct DynFreeResp {
     /// Echoed token.
     pub token: u64,
@@ -175,9 +192,11 @@ pub struct DynFreeResp {
 // ---------------------------------------------------------------------
 
 /// Server -> scheduler: the queue or resource state changed.
+#[derive(Clone)]
 pub struct SchedWake;
 
 /// Scheduler -> server: request a cluster snapshot.
+#[derive(Clone)]
 pub struct ClusterQueryReq {
     /// Correlation token.
     pub token: u64,
@@ -281,6 +300,7 @@ impl ClusterSnapshot {
 }
 
 /// Response to [`ClusterQueryReq`].
+#[derive(Clone)]
 pub struct ClusterQueryResp {
     /// Echoed token.
     pub token: u64,
@@ -289,6 +309,7 @@ pub struct ClusterQueryResp {
 }
 
 /// Scheduler -> server: start a queued job on these resources.
+#[derive(Clone)]
 pub struct RunJobCmd {
     /// The job to start.
     pub job: JobId,
@@ -300,6 +321,7 @@ pub struct RunJobCmd {
 }
 
 /// Scheduler -> server: satisfy the exposed dynamic request.
+#[derive(Clone)]
 pub struct RunDynCmd {
     /// Echo of [`DynPendingSnap::token`].
     pub token: u64,
@@ -308,6 +330,7 @@ pub struct RunDynCmd {
 }
 
 /// Scheduler -> server: reject the exposed dynamic request.
+#[derive(Clone)]
 pub struct RejectDynCmd {
     /// Echo of [`DynPendingSnap::token`].
     pub token: u64,
@@ -322,6 +345,10 @@ pub struct RejectDynCmd {
 pub struct JobLaunch {
     /// Job id.
     pub job: JobId,
+    /// Server-side incarnation of the job: bumped every time the job is
+    /// (re)started, so moms of a previous incarnation (e.g. a requeued
+    /// job after a node outage) cannot complete the current one.
+    pub incarnation: u32,
     /// The spec (script, runtime, owner...).
     pub spec: JobSpec,
     /// Compute hosts; index 0 is the mother superior.
@@ -331,12 +358,14 @@ pub struct JobLaunch {
 }
 
 /// Server -> mother superior: run this job.
+#[derive(Clone)]
 pub struct SendJob {
     /// Launch information.
     pub launch: JobLaunch,
 }
 
 /// Mother superior -> sister mom: `JOIN_JOB`.
+#[derive(Clone)]
 pub struct JoinJob {
     /// Launch information (sisters keep the full picture, as in TORQUE).
     pub launch: JobLaunch,
@@ -345,6 +374,7 @@ pub struct JoinJob {
 }
 
 /// Sister -> mother superior: join complete.
+#[derive(Clone)]
 pub struct JoinAck {
     /// The joined job.
     pub job: JobId,
@@ -353,13 +383,19 @@ pub struct JoinAck {
 }
 
 /// Mother superior -> server: job script started.
+#[derive(Clone)]
 pub struct JobStarted {
     /// The job.
     pub job: JobId,
+    /// The reporting mother superior.
+    pub from: HostId,
+    /// Echo of [`JobLaunch::incarnation`]; stale incarnations are ignored.
+    pub incarnation: u32,
 }
 
 /// Server -> mother superior: associate dynamically allocated
 /// accelerators with the job (triggers `DYNJOIN_JOB`s).
+#[derive(Clone)]
 pub struct DynJoinCmd {
     /// The job.
     pub job: JobId,
@@ -374,6 +410,7 @@ pub struct DynJoinCmd {
 }
 
 /// Mother superior -> new accelerator mom: `DYNJOIN_JOB`.
+#[derive(Clone)]
 pub struct DynJoinJob {
     /// The job.
     pub job: JobId,
@@ -384,6 +421,7 @@ pub struct DynJoinJob {
 }
 
 /// New mom -> mother superior: dynamic join complete.
+#[derive(Clone)]
 pub struct DynJoinAck {
     /// The job.
     pub job: JobId,
@@ -393,6 +431,7 @@ pub struct DynJoinAck {
 
 /// Mother superior -> existing sisters: the job's resource set changed
 /// (additions or removals); keep your database current (§III-D).
+#[derive(Clone)]
 pub struct UpdateJobRes {
     /// The job.
     pub job: JobId,
@@ -404,6 +443,7 @@ pub struct UpdateJobRes {
 
 /// Mother superior -> server: the dynamic set has joined; the client can
 /// be answered.
+#[derive(Clone)]
 pub struct DynReady {
     /// The job.
     pub job: JobId,
@@ -413,6 +453,7 @@ pub struct DynReady {
 
 /// Server -> mother superior: disassociate a dynamic set
 /// (triggers `DISJOIN_JOB`s).
+#[derive(Clone)]
 pub struct DisjoinCmd {
     /// The job.
     pub job: JobId,
@@ -425,6 +466,7 @@ pub struct DisjoinCmd {
 }
 
 /// Mother superior -> released mom: `DISJOIN_JOB`.
+#[derive(Clone)]
 pub struct DisjoinJob {
     /// The job.
     pub job: JobId,
@@ -434,6 +476,7 @@ pub struct DisjoinJob {
 
 /// Released mom -> mother superior: disassociation complete (local tasks
 /// killed, resources free).
+#[derive(Clone)]
 pub struct DisjoinAck {
     /// The job.
     pub job: JobId,
@@ -442,6 +485,7 @@ pub struct DisjoinAck {
 }
 
 /// Mother superior -> server: a dynamic set has been fully released.
+#[derive(Clone)]
 pub struct FreeDone {
     /// The job.
     pub job: JobId,
@@ -451,6 +495,7 @@ pub struct FreeDone {
 
 /// Application task -> mother superior: this compute node's part of the
 /// script finished.
+#[derive(Clone)]
 pub struct TaskDone {
     /// The job.
     pub job: JobId,
@@ -458,25 +503,56 @@ pub struct TaskDone {
     pub node_index: usize,
 }
 
+/// Mother superior -> application task: [`TaskDone`] received — stop
+/// retransmitting. Only sent when a retry policy is active.
+#[derive(Clone)]
+pub struct TaskDoneAck {
+    /// The job.
+    pub job: JobId,
+    /// Echo of [`TaskDone::node_index`].
+    pub node_index: usize,
+}
+
 /// Mother superior -> server: the whole job script finished.
+#[derive(Clone)]
 pub struct JobExit {
     /// The job.
     pub job: JobId,
+    /// The reporting mother superior (the server acks back to it when a
+    /// retry policy is active).
+    pub from: HostId,
+    /// Echo of [`JobLaunch::incarnation`]; stale incarnations are ignored.
+    pub incarnation: u32,
     /// True if the batch system killed the job for exceeding its
     /// walltime estimate (TORQUE's walltime enforcement).
     pub timed_out: bool,
 }
 
+/// Server -> mother superior: [`JobExit`] received — stop retransmitting.
+/// Only sent when a retry policy is active.
+#[derive(Clone)]
+pub struct JobExitAck {
+    /// The job.
+    pub job: JobId,
+}
+
 /// Server/mother superior -> mom: tear the job down (job end or qdel).
+#[derive(Clone)]
 pub struct CleanupJob {
     /// The job.
     pub job: JobId,
+    /// The incarnation being torn down. A mom running a **newer**
+    /// incarnation ignores the cleanup: under reordering, a reclaim-time
+    /// cleanup for a dead incarnation must not kill its relaunched
+    /// successor.
+    pub incarnation: u32,
 }
 
 /// Mom -> application task process: the job was cancelled; finish up.
 /// Delivery is cooperative — tasks observe it via
 /// [`JobCtx::killed`](crate::mom::JobCtx::killed) or
 /// [`JobCtx::sleep_interruptible`](crate::mom::JobCtx::sleep_interruptible).
+#[derive(Clone)]
 pub struct TaskKill {
     /// The cancelled job.
     pub job: JobId,
@@ -484,6 +560,7 @@ pub struct TaskKill {
 
 /// Admin / health monitor -> server: mark a node offline (failed or
 /// drained) or back online. Offline nodes are hidden from the scheduler.
+#[derive(Clone)]
 pub struct SetNodeOffline {
     /// The node.
     pub host: HostId,
@@ -492,6 +569,7 @@ pub struct SetNodeOffline {
 }
 
 /// Health monitor -> mom: liveness probe.
+#[derive(Clone)]
 pub struct MomPing {
     /// Probe sequence number.
     pub seq: u64,
@@ -500,6 +578,7 @@ pub struct MomPing {
 }
 
 /// Mom -> health monitor: liveness reply.
+#[derive(Clone)]
 pub struct MomPong {
     /// Echoed sequence number.
     pub seq: u64,

@@ -2,9 +2,11 @@
 //! liaison, and the paper's serial dynamic-request servicing.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use darms_net::{Address, HostId, Network};
 use darms_sim::{Actor, Ctx, Envelope, SimTime};
+use parking_lot::Mutex;
 
 use crate::cost::RmsCostModel;
 use crate::fs::PseudoFs;
@@ -24,6 +26,12 @@ struct JobRecord {
     compute: Vec<HostId>,
     accs: Vec<Vec<HostId>>,
     dyn_sets: Vec<DynSet>,
+    /// Bumped on every (re)start; moms echo it so a stale mother
+    /// superior of a requeued job cannot complete the new incarnation.
+    incarnation: u32,
+    /// How often the job has been requeued after losing a node; one
+    /// requeue is free, a second failure cancels the job.
+    requeues: u32,
 }
 
 impl JobRecord {
@@ -66,6 +74,24 @@ struct PendingDyn {
     client_id: Option<ClientId>,
 }
 
+/// Replies to completed mutating IFL exchanges, cached per correlation
+/// token so retransmitted requests are answered without re-executing.
+#[derive(Clone)]
+enum CachedResp {
+    Qsub(QsubResp),
+    Qdel(QdelResp),
+    Qhold(QholdResp),
+    DynGet(DynGetResp),
+    DynFree(DynFreeResp),
+}
+
+/// Bound on the idempotency cache (tokens evicted FIFO).
+const IFL_CACHE_CAP: usize = 4096;
+
+/// Reserved timer token for the retransmit tick (deferred actions use
+/// tokens from 1 upward).
+const TOKEN_RETRY: u64 = 0;
+
 /// Deferred actions driven by processing-cost timers.
 enum Deferred {
     QsubDone { token: u64, spec: JobSpec, reply: Address },
@@ -83,7 +109,7 @@ pub struct PbsServer {
     cost: RmsCostModel,
     jobs: BTreeMap<JobId, JobRecord>,
     queue_order: Vec<JobId>,
-    db: NodeDb,
+    db: Arc<Mutex<NodeDb>>,
     next_job: u64,
     next_client: u64,
     next_dyn_token: u64,
@@ -94,6 +120,14 @@ pub struct PbsServer {
     dyn_active: Option<PendingDyn>,
     deferred: HashMap<u64, Deferred>,
     next_timer: u64,
+    /// Idempotency cache: correlation token -> in-flight (`None`) or the
+    /// reply already sent (`Some`), so duplicate requests caused by
+    /// client retransmits never re-execute.
+    ifl_seen: HashMap<u64, Option<(Address, CachedResp)>>,
+    ifl_order: VecDeque<u64>,
+    /// Released dynamic sets whose `FreeDone` has not arrived yet; the
+    /// retransmit tick re-drives the `DisjoinCmd`.
+    pending_frees: HashMap<ClientId, (JobId, DynSet)>,
 }
 
 impl PbsServer {
@@ -106,7 +140,7 @@ impl PbsServer {
             cost,
             jobs: BTreeMap::new(),
             queue_order: Vec::new(),
-            db,
+            db: Arc::new(Mutex::new(db)),
             next_job: 1,
             next_client: 1,
             next_dyn_token: 1,
@@ -114,6 +148,58 @@ impl PbsServer {
             dyn_active: None,
             deferred: HashMap::new(),
             next_timer: 1,
+            ifl_seen: HashMap::new(),
+            ifl_order: VecDeque::new(),
+            pending_frees: HashMap::new(),
+        }
+    }
+
+    /// Shared handle to the node database (e.g. for invariant auditors:
+    /// the chaos harness checks pool conservation through it). The engine
+    /// is single-threaded, so lock contention cannot occur; never hold
+    /// the guard across an await point.
+    pub fn db_handle(&self) -> Arc<Mutex<NodeDb>> {
+        self.db.clone()
+    }
+
+    /// True if a duplicate of an already-accepted request was handled
+    /// (cached reply re-sent, or silence while the original is still in
+    /// flight). False admits the request and marks its token in flight.
+    fn dedup_hit(&mut self, ctx: &mut Ctx<'_>, token: u64) -> bool {
+        match self.ifl_seen.get(&token) {
+            Some(Some((to, resp))) => {
+                let (to, resp) = (*to, resp.clone());
+                self.resend_cached(ctx, to, resp);
+                true
+            }
+            Some(None) => true,
+            None => {
+                self.ifl_seen.insert(token, None);
+                self.ifl_order.push_back(token);
+                if self.ifl_order.len() > IFL_CACHE_CAP {
+                    if let Some(old) = self.ifl_order.pop_front() {
+                        self.ifl_seen.remove(&old);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Record the reply sent for `token` so duplicates can be re-answered.
+    fn dedup_store(&mut self, token: u64, to: Address, resp: CachedResp) {
+        if let Some(slot) = self.ifl_seen.get_mut(&token) {
+            *slot = Some((to, resp));
+        }
+    }
+
+    fn resend_cached(&mut self, ctx: &mut Ctx<'_>, to: Address, resp: CachedResp) {
+        match resp {
+            CachedResp::Qsub(r) => self.reply(ctx, to, r),
+            CachedResp::Qdel(r) => self.reply(ctx, to, r),
+            CachedResp::Qhold(r) => self.reply(ctx, to, r),
+            CachedResp::DynGet(r) => self.reply(ctx, to, r),
+            CachedResp::DynFree(r) => self.reply(ctx, to, r),
         }
     }
 
@@ -130,12 +216,17 @@ impl PbsServer {
         self.net.send_from_ctx(ctx, self.host, to, SchedWake, bytes);
     }
 
-    fn send_mom<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, host: HostId, msg: T) {
+    fn send_mom<T: std::any::Any + Send + Clone>(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        host: HostId,
+        msg: T,
+    ) {
         let bytes = self.cost.ctl_bytes;
         self.net.send_from_ctx(ctx, self.host, mom_addr(host), msg, bytes);
     }
 
-    fn reply<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
+    fn reply<T: std::any::Any + Send + Clone>(&mut self, ctx: &mut Ctx<'_>, to: Address, msg: T) {
         let bytes = self.cost.ctl_bytes;
         self.net.send_from_ctx(ctx, self.host, to, msg, bytes);
     }
@@ -144,8 +235,8 @@ impl PbsServer {
     /// `rms.acc_pool_util` time-weighted gauge. Called after every node
     /// (de)allocation that can touch the pool.
     fn record_pool_util(&self, ctx: &mut Ctx<'_>) {
-        let (total, busy) = self
-            .db
+        let db = self.db.lock();
+        let (total, busy) = db
             .nodes()
             .iter()
             .filter(|n| n.role == NodeRole::Accelerator)
@@ -159,6 +250,9 @@ impl PbsServer {
     // -- qsub ----------------------------------------------------------
 
     fn handle_qsub(&mut self, ctx: &mut Ctx<'_>, req: QsubReq) {
+        if self.dedup_hit(ctx, req.token) {
+            return;
+        }
         self.defer(
             ctx,
             self.cost.qsub_handling,
@@ -179,11 +273,15 @@ impl PbsServer {
             compute: Vec::new(),
             accs: Vec::new(),
             dyn_sets: Vec::new(),
+            incarnation: 0,
+            requeues: 0,
         };
         ctx.trace(format!("{id} queued ({})", rec.spec.name));
         self.jobs.insert(id, rec);
         self.queue_order.push(id);
-        self.reply(ctx, reply, QsubResp { token, job: id });
+        let resp = QsubResp { token, job: id };
+        self.dedup_store(token, reply, CachedResp::Qsub(resp.clone()));
+        self.reply(ctx, reply, resp);
         self.wake_scheduler(ctx);
     }
 
@@ -192,6 +290,7 @@ impl PbsServer {
     fn snapshot(&self) -> ClusterSnapshot {
         let nodes = self
             .db
+            .lock()
             .nodes()
             .iter()
             .map(|n| NodeSnap {
@@ -256,12 +355,15 @@ impl PbsServer {
         // qdel. Infeasible commands are dropped and the scheduler re-woken.
         let feasible = match self.jobs.get(&cmd.job) {
             Some(j) if j.state == JobState::Queued => {
+                let db = self.db.lock();
                 cmd.compute.iter().all(|h| {
-                    self.db
-                        .get(*h)
-                        .is_some_and(|n| n.role == NodeRole::Compute && n.cores_free >= j.spec.ppn)
+                    db.get(*h).is_some_and(|n| {
+                        n.role == NodeRole::Compute && !n.offline && n.cores_free >= j.spec.ppn
+                    })
                 }) && cmd.accs.iter().flatten().all(|h| {
-                    self.db.get(*h).is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free())
+                    db.get(*h).is_some_and(|n| {
+                        n.role == NodeRole::Accelerator && !n.offline && n.is_free()
+                    })
                 })
             }
             _ => false,
@@ -283,12 +385,17 @@ impl PbsServer {
         job.state = JobState::Running;
         job.compute = cmd.compute.clone();
         job.accs = cmd.accs.clone();
+        job.incarnation += 1;
+        let incarnation = job.incarnation;
         let id = job.id;
-        for h in &cmd.compute {
-            self.db.allocate_compute(*h, id, ppn);
-        }
-        for h in cmd.accs.iter().flatten() {
-            self.db.allocate_accelerator(*h, id);
+        {
+            let mut db = self.db.lock();
+            for h in &cmd.compute {
+                db.allocate_compute(*h, id, ppn);
+            }
+            for h in cmd.accs.iter().flatten() {
+                db.allocate_accelerator(*h, id);
+            }
         }
         self.record_pool_util(ctx);
         self.queue_order.retain(|j| *j != id);
@@ -296,6 +403,7 @@ impl PbsServer {
         ctx.trace(format!("{id} -> mother superior on host{}", ms.index()));
         let launch = JobLaunch {
             job: id,
+            incarnation,
             spec: self.jobs[&id].spec.clone(),
             compute: cmd.compute,
             accs: cmd.accs,
@@ -306,12 +414,16 @@ impl PbsServer {
     // -- dynamic requests (the paper's extension) ------------------------
 
     fn handle_dynget(&mut self, ctx: &mut Ctx<'_>, req: DynGetReq) {
+        if self.dedup_hit(ctx, req.token) {
+            return;
+        }
         let valid = self
             .jobs
             .get(&req.job)
             .is_some_and(|j| matches!(j.state, JobState::Running | JobState::DynQueued));
         if !valid || req.count == 0 {
             let resp = DynGetResp { token: req.token, result: Err(DynReject::BadJob) };
+            self.dedup_store(req.token, req.reply, CachedResp::DynGet(resp.clone()));
             self.reply(ctx, req.reply, resp);
             return;
         }
@@ -364,15 +476,17 @@ impl PbsServer {
         }
         // Validate the grant against the live node state.
         let kind = self.dyn_active.as_ref().expect("checked above").kind;
-        let ok = cmd.accs.iter().all(|h| match kind {
-            DynResource::Accelerators => {
-                self.db.get(*h).is_some_and(|n| n.role == NodeRole::Accelerator && n.is_free())
-            }
-            DynResource::ComputeNodes { ppn } => self
-                .db
-                .get(*h)
-                .is_some_and(|n| n.role == NodeRole::Compute && !n.offline && n.cores_free >= ppn),
-        });
+        let ok = {
+            let db = self.db.lock();
+            cmd.accs.iter().all(|h| match kind {
+                DynResource::Accelerators => db
+                    .get(*h)
+                    .is_some_and(|n| n.role == NodeRole::Accelerator && !n.offline && n.is_free()),
+                DynResource::ComputeNodes { ppn } => db.get(*h).is_some_and(|n| {
+                    n.role == NodeRole::Compute && !n.offline && n.cores_free >= ppn
+                }),
+            })
+        };
         let p = self.dyn_active.as_mut().expect("checked above");
         let n = cmd.accs.len();
         if !ok || n < p.min_count as usize || n > p.count as usize {
@@ -389,10 +503,13 @@ impl PbsServer {
         let job = p.job;
         let kind = p.kind;
         let granted = p.granted.clone();
-        for h in &granted {
-            match kind {
-                DynResource::Accelerators => self.db.allocate_accelerator(*h, job),
-                DynResource::ComputeNodes { ppn } => self.db.allocate_compute(*h, job, ppn),
+        {
+            let mut db = self.db.lock();
+            for h in &granted {
+                match kind {
+                    DynResource::Accelerators => db.allocate_accelerator(*h, job),
+                    DynResource::ComputeNodes { ppn } => db.allocate_compute(*h, job, ppn),
+                }
             }
         }
         self.record_pool_util(ctx);
@@ -415,8 +532,11 @@ impl PbsServer {
             None => {
                 // Job lost its nodes (qdel race): abort the grant.
                 let p = self.dyn_active.take().expect("active");
-                for h in &p.granted {
-                    self.db.release(*h, p.job);
+                {
+                    let mut db = self.db.lock();
+                    for h in &p.granted {
+                        db.release(*h, p.job);
+                    }
                 }
                 self.finish_dyn_reject(ctx, p);
             }
@@ -458,6 +578,7 @@ impl PbsServer {
                 accs: p.granted.clone(),
             }),
         };
+        self.dedup_store(p.client_token, p.reply, CachedResp::DynGet(resp.clone()));
         self.reply(ctx, p.reply, resp);
         self.maybe_start_dyn(ctx);
     }
@@ -482,6 +603,7 @@ impl PbsServer {
         metrics.observe_duration("rms.dyn_wait", ctx.now().since(p.arrived));
         ctx.trace(format!("{} dynamic request rejected", p.job));
         let resp = DynGetResp { token: p.client_token, result: Err(DynReject::Unavailable) };
+        self.dedup_store(p.client_token, p.reply, CachedResp::DynGet(resp.clone()));
         self.reply(ctx, p.reply, resp);
         self.maybe_start_dyn(ctx);
     }
@@ -489,12 +611,17 @@ impl PbsServer {
     // -- release ---------------------------------------------------------
 
     fn handle_dynfree(&mut self, ctx: &mut Ctx<'_>, req: DynFreeReq) {
+        if self.dedup_hit(ctx, req.token) {
+            return;
+        }
         let known = self
             .jobs
             .get(&req.job)
             .is_some_and(|j| j.dyn_sets.iter().any(|s| s.client_id == req.client_id));
         if !known {
-            self.reply(ctx, req.reply, DynFreeResp { token: req.token, ok: false });
+            let resp = DynFreeResp { token: req.token, ok: false };
+            self.dedup_store(req.token, req.reply, CachedResp::DynFree(resp.clone()));
+            self.reply(ctx, req.reply, resp);
             return;
         }
         self.defer(
@@ -519,7 +646,9 @@ impl PbsServer {
     ) {
         // Positive reply immediately; disassociation continues behind the
         // application's back (§III-D).
-        self.reply(ctx, reply, DynFreeResp { token, ok: true });
+        let resp = DynFreeResp { token, ok: true };
+        self.dedup_store(token, reply, CachedResp::DynFree(resp.clone()));
+        self.reply(ctx, reply, resp);
         let Some(rec) = self.jobs.get(&job) else { return };
         let Some(set) = rec.dyn_sets.iter().find(|s| s.client_id == client_id).cloned() else {
             return;
@@ -527,16 +656,29 @@ impl PbsServer {
         let ms = rec.compute.first().copied();
         ctx.trace(format!("{job} dynfree of {client_id}: instructing mother superior"));
         if let Some(ms) = ms {
+            self.pending_frees.insert(client_id, (job, set.clone()));
             self.send_mom(ctx, ms, DisjoinCmd { job, client_id, accs: set.accs, ppn: set.ppn });
         }
     }
 
     fn handle_free_done(&mut self, ctx: &mut Ctx<'_>, msg: FreeDone) {
+        let known = self
+            .jobs
+            .get(&msg.job)
+            .is_some_and(|j| j.dyn_sets.iter().any(|s| s.client_id == msg.set.client_id));
+        let pending = self.pending_frees.remove(&msg.set.client_id).is_some();
+        if !known && !pending {
+            // Duplicate FreeDone (mom retransmit): already accounted for.
+            return;
+        }
         if let Some(rec) = self.jobs.get_mut(&msg.job) {
             rec.dyn_sets.retain(|s| s.client_id != msg.set.client_id);
         }
-        for h in &msg.set.accs {
-            self.db.release(*h, msg.job);
+        {
+            let mut db = self.db.lock();
+            for h in &msg.set.accs {
+                db.release(*h, msg.job);
+            }
         }
         self.record_pool_util(ctx);
         ctx.metrics().counter_inc("rms.disjoin");
@@ -547,13 +689,32 @@ impl PbsServer {
     // -- job end ----------------------------------------------------------
 
     fn handle_job_exit(&mut self, ctx: &mut Ctx<'_>, msg: JobExit) {
-        let Some(rec) = self.jobs.get_mut(&msg.job) else { return };
-        if matches!(rec.state, JobState::Complete | JobState::Cancelled | JobState::TimedOut) {
+        // Hardened mode: acknowledge so the mom stops retransmitting, and
+        // aggressively purge dynamic state the job can no longer resolve.
+        let hardened = self.net.retry_policy().is_some();
+        let Some(rec) = self.jobs.get_mut(&msg.job) else {
+            if hardened {
+                self.send_mom(ctx, msg.from, JobExitAck { job: msg.job });
+            }
+            return;
+        };
+        let stale = rec.incarnation != msg.incarnation;
+        let terminal =
+            matches!(rec.state, JobState::Complete | JobState::Cancelled | JobState::TimedOut);
+        if stale || terminal {
+            // A stale mom of a requeued incarnation, or a duplicate of an
+            // exit already applied: quench the sender, change nothing.
+            if hardened {
+                self.send_mom(ctx, msg.from, JobExitAck { job: msg.job });
+            }
             return;
         }
         rec.state = if msg.timed_out { JobState::TimedOut } else { JobState::Complete };
         rec.completed = Some(ctx.now());
-        self.db.release_job(msg.job);
+        if hardened {
+            rec.dyn_sets.clear();
+        }
+        self.db.lock().release_job(msg.job);
         self.fs.remove_job(msg.job);
         self.record_pool_util(ctx);
         ctx.trace(format!(
@@ -561,13 +722,183 @@ impl PbsServer {
             msg.job,
             if msg.timed_out { "killed: walltime exceeded" } else { "complete" }
         ));
+        if hardened {
+            self.purge_dyns_for(ctx, msg.job);
+            self.purge_frees_for(msg.job);
+            self.send_mom(ctx, msg.from, JobExitAck { job: msg.job });
+        }
         self.wake_scheduler(ctx);
+    }
+
+    /// Reject every queued or in-service dynamic request of `job` (it is
+    /// terminating or losing its nodes) and release accelerators that were
+    /// granted but never acknowledged as ready.
+    fn purge_dyns_for(&mut self, ctx: &mut Ctx<'_>, job: JobId) {
+        let mut victims: Vec<PendingDyn> = Vec::new();
+        let mut keep = VecDeque::new();
+        while let Some(p) = self.dyn_fifo.pop_front() {
+            if p.job == job {
+                victims.push(p);
+            } else {
+                keep.push_back(p);
+            }
+        }
+        self.dyn_fifo = keep;
+        if self.dyn_active.as_ref().is_some_and(|p| p.job == job) {
+            let p = self.dyn_active.take().expect("checked");
+            if p.client_id.is_some() {
+                let mut db = self.db.lock();
+                for h in &p.granted {
+                    db.release(*h, p.job);
+                }
+            }
+            victims.push(p);
+        }
+        if victims.is_empty() {
+            return;
+        }
+        for p in victims {
+            self.finish_dyn_reject(ctx, p);
+        }
+        self.record_pool_util(ctx);
+    }
+
+    /// Forget pending disjoins of a job that no longer exists; its node
+    /// registrations were already dropped wholesale by `release_job`.
+    fn purge_frees_for(&mut self, job: JobId) {
+        self.pending_frees.retain(|_, (j, _)| *j != job);
+    }
+
+    /// A node went offline: strip it from every non-terminal job. The
+    /// first failure requeues the job (fresh incarnation when the
+    /// scheduler restarts it); a repeat failure cancels it. This is the
+    /// server-side reclamation that keeps the accelerator pool conserved
+    /// when moms or jobs die mid-flight.
+    fn reclaim_host(&mut self, ctx: &mut Ctx<'_>, host: HostId) {
+        let victims: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running | JobState::DynQueued))
+            .filter(|j| {
+                j.compute.contains(&host)
+                    || j.accs.iter().flatten().any(|h| *h == host)
+                    || j.dyn_sets.iter().any(|s| s.accs.contains(&host))
+            })
+            .map(|j| j.id)
+            .collect();
+        for job in victims {
+            self.purge_dyns_for(ctx, job);
+            self.purge_frees_for(job);
+            let Some(rec) = self.jobs.get_mut(&job) else { continue };
+            let ms = rec.compute.first().copied();
+            let incarnation = rec.incarnation;
+            let requeue = rec.requeues == 0;
+            rec.compute.clear();
+            rec.accs.clear();
+            rec.dyn_sets.clear();
+            rec.started = None;
+            if requeue {
+                rec.requeues += 1;
+                rec.state = JobState::Queued;
+            } else {
+                rec.state = JobState::Cancelled;
+                rec.completed = Some(ctx.now());
+            }
+            self.db.lock().release_job(job);
+            self.fs.remove_job(job);
+            if requeue {
+                self.queue_order.push(job);
+            }
+            if let Some(ms) = ms {
+                if ms != host {
+                    self.send_mom(ctx, ms, CleanupJob { job, incarnation });
+                }
+            }
+            ctx.metrics().counter_inc("rms.reclaims");
+            ctx.trace(format!(
+                "{job} reclaimed from offline host{}: {}",
+                host.index(),
+                if requeue { "requeued" } else { "cancelled" }
+            ));
+        }
+        self.record_pool_util(ctx);
+    }
+
+    /// Periodic re-drive of server->mom commands still awaiting their
+    /// response; armed (timer token 0) only when a retry policy is set.
+    fn retransmit_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(pol) = self.net.retry_policy() else { return };
+        let launches: Vec<(HostId, JobLaunch)> = self
+            .jobs
+            .values()
+            .filter(|j| {
+                matches!(j.state, JobState::Running | JobState::DynQueued)
+                    && j.started.is_none()
+                    && !j.compute.is_empty()
+            })
+            .map(|j| {
+                (
+                    j.compute[0],
+                    JobLaunch {
+                        job: j.id,
+                        incarnation: j.incarnation,
+                        spec: j.spec.clone(),
+                        compute: j.compute.clone(),
+                        accs: j.accs.clone(),
+                    },
+                )
+            })
+            .collect();
+        for (ms, launch) in launches {
+            self.send_mom(ctx, ms, SendJob { launch });
+        }
+        if let Some(p) = &self.dyn_active {
+            if let (Some(client_id), false) = (p.client_id, p.granted.is_empty()) {
+                if let Some(ms) = self.jobs.get(&p.job).and_then(|j| j.compute.first().copied()) {
+                    let cmd = DynJoinCmd {
+                        job: p.job,
+                        token: p.token,
+                        client_id,
+                        cn: p.cn,
+                        accs: p.granted.clone(),
+                    };
+                    self.send_mom(ctx, ms, cmd);
+                }
+            }
+        }
+        let mut frees: Vec<(HostId, DisjoinCmd)> = self
+            .pending_frees
+            .iter()
+            .filter_map(|(cid, (job, set))| {
+                self.jobs.get(job).and_then(|j| j.compute.first().copied()).map(|ms| {
+                    (
+                        ms,
+                        DisjoinCmd {
+                            job: *job,
+                            client_id: *cid,
+                            accs: set.accs.clone(),
+                            ppn: set.ppn,
+                        },
+                    )
+                })
+            })
+            .collect();
+        // `pending_frees` is a HashMap; order the resends for
+        // deterministic traces.
+        frees.sort_unstable_by_key(|(_, cmd)| cmd.client_id);
+        for (ms, cmd) in frees {
+            self.send_mom(ctx, ms, cmd);
+        }
+        ctx.set_timer(pol.retransmit, TOKEN_RETRY);
     }
 
     /// `qhold`/`qrls`: only queued jobs can be held (TORQUE holds running
     /// jobs only via checkpointing, which the DAC architecture does not
     /// model); only held jobs can be released.
     fn handle_qhold(&mut self, ctx: &mut Ctx<'_>, req: QholdReq) {
+        if self.dedup_hit(ctx, req.token) {
+            return;
+        }
         let ok = match self.jobs.get_mut(&req.job) {
             Some(rec) if req.hold && rec.state == JobState::Queued => {
                 rec.state = JobState::Held;
@@ -581,13 +912,20 @@ impl PbsServer {
             }
             _ => false,
         };
-        self.reply(ctx, req.reply, QholdResp { token: req.token, ok });
+        let resp = QholdResp { token: req.token, ok };
+        self.dedup_store(req.token, req.reply, CachedResp::Qhold(resp.clone()));
+        self.reply(ctx, req.reply, resp);
         if ok && !req.hold {
             self.wake_scheduler(ctx);
         }
     }
 
     fn handle_qdel(&mut self, ctx: &mut Ctx<'_>, req: QdelReq) {
+        if self.dedup_hit(ctx, req.token) {
+            return;
+        }
+        let hardened = self.net.retry_policy().is_some();
+        let mut was_active = false;
         let ok = match self.jobs.get_mut(&req.job) {
             Some(rec) if matches!(rec.state, JobState::Queued | JobState::Held) => {
                 rec.state = JobState::Cancelled;
@@ -598,17 +936,28 @@ impl PbsServer {
             Some(rec) if matches!(rec.state, JobState::Running | JobState::DynQueued) => {
                 rec.state = JobState::Cancelled;
                 rec.completed = Some(ctx.now());
+                was_active = true;
+                if hardened {
+                    rec.dyn_sets.clear();
+                }
                 let ms = rec.compute.first().copied();
-                self.db.release_job(req.job);
+                let incarnation = rec.incarnation;
+                self.db.lock().release_job(req.job);
                 self.fs.remove_job(req.job);
                 if let Some(ms) = ms {
-                    self.send_mom(ctx, ms, CleanupJob { job: req.job });
+                    self.send_mom(ctx, ms, CleanupJob { job: req.job, incarnation });
                 }
                 true
             }
             _ => false,
         };
-        self.reply(ctx, req.reply, QdelResp { token: req.token, ok });
+        let resp = QdelResp { token: req.token, ok };
+        self.dedup_store(req.token, req.reply, CachedResp::Qdel(resp.clone()));
+        self.reply(ctx, req.reply, resp);
+        if ok && was_active && hardened {
+            self.purge_dyns_for(ctx, req.job);
+            self.purge_frees_for(req.job);
+        }
         if ok {
             self.record_pool_util(ctx);
             self.wake_scheduler(ctx);
@@ -680,7 +1029,10 @@ impl Actor for PbsServer {
         let env = match env.downcast::<JobStarted>() {
             Ok(m) => {
                 if let Some(rec) = self.jobs.get_mut(&m.job) {
-                    if rec.started.is_none() {
+                    if rec.incarnation == m.incarnation
+                        && rec.started.is_none()
+                        && matches!(rec.state, JobState::Running | JobState::DynQueued)
+                    {
                         let now = ctx.now();
                         rec.started = Some(now);
                         let latency = now.since(rec.submitted);
@@ -697,12 +1049,15 @@ impl Actor for PbsServer {
         };
         let env = match env.downcast::<SetNodeOffline>() {
             Ok(m) => {
-                self.db.set_offline(m.host, m.offline);
+                self.db.lock().set_offline(m.host, m.offline);
                 ctx.trace(format!(
                     "node host{} marked {}",
                     m.host.index(),
                     if m.offline { "offline" } else { "online" }
                 ));
+                if m.offline {
+                    self.reclaim_host(ctx, m.host);
+                }
                 self.wake_scheduler(ctx);
                 return;
             }
@@ -711,7 +1066,16 @@ impl Actor for PbsServer {
         ctx.trace(format!("pbs_server: unhandled message {env:?}"));
     }
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(pol) = self.net.retry_policy() {
+            ctx.set_timer(pol.retransmit, TOKEN_RETRY);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_RETRY {
+            return self.retransmit_tick(ctx);
+        }
         match self.deferred.remove(&token) {
             Some(Deferred::QsubDone { token, spec, reply }) => {
                 self.finish_qsub(ctx, token, spec, reply)

@@ -187,7 +187,7 @@ impl MauiScheduler {
         self
     }
 
-    fn send_server<T: std::any::Any + Send>(&mut self, ctx: &mut Ctx<'_>, msg: T) {
+    fn send_server<T: std::any::Any + Send + Clone>(&mut self, ctx: &mut Ctx<'_>, msg: T) {
         let to = server_addr(self.head);
         let bytes = self.config.ctl_bytes;
         self.net.send_from_ctx(ctx, self.head, to, msg, bytes);

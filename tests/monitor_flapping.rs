@@ -1,0 +1,54 @@
+//! Health-monitor flapping semantics: an outage shorter than the miss
+//! threshold is never reported; a sustained outage is reported offline
+//! exactly once (no re-reports while it lasts) and online exactly once
+//! on recovery, with every transition counted in the metrics registry.
+
+use darms::prelude::*;
+use darms_rms::MonitorConfig;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn sustained_outages_are_reported_exactly_once_each() {
+    let horizon = SimTime::ZERO + secs(90);
+    let mc = MonitorConfig { interval: secs(2), miss_threshold: 3, ctl_bytes: 64 };
+    let config = ClusterConfig::fast(91).with_split(1, 2).with_monitor(mc, horizon);
+    let mut cluster = Cluster::build(config);
+    let net = cluster.net.clone();
+    let victim = cluster.accs[0];
+
+    // Timeline (pings every 2 s, 3 consecutive misses to declare down):
+    //  9–13   near-miss flap: two missed pings, then recovery — below
+    //         the threshold, must not be reported at all;
+    // 20–40   sustained outage #1: offline once, online once at ~42;
+    // 50–70   sustained outage #2: offline once, online once at ~72.
+    cluster.client_after("chaos", secs(9), move |c| async move {
+        net.set_host_down(victim, true);
+        c.proc.sleep(secs(4)).await;
+        net.set_host_down(victim, false);
+        c.proc.sleep(secs(7)).await;
+        net.set_host_down(victim, true);
+        c.proc.sleep(secs(20)).await;
+        net.set_host_down(victim, false);
+        c.proc.sleep(secs(10)).await;
+        net.set_host_down(victim, true);
+        c.proc.sleep(secs(20)).await;
+        net.set_host_down(victim, false);
+    });
+
+    let stats = cluster.run();
+    assert_eq!(stats.process_panics, 0);
+    let metrics = cluster.metrics.clone();
+    assert_eq!(
+        metrics.counter("monitor.offline_reports"),
+        2,
+        "each sustained outage is reported offline exactly once; the short flap never"
+    );
+    assert_eq!(
+        metrics.counter("monitor.online_reports"),
+        2,
+        "each recovery from a sustained outage is reported online exactly once"
+    );
+}
