@@ -9,16 +9,25 @@
 # fault-injection sweep over the default 50 seeds (each run twice to
 # prove byte-identical reproduction); for longer soaks run e.g.
 # `cargo run --release -p darms-experiments --bin chaos_sweep -- --seeds 0..5000`.
+# `make lint-darms` runs the workspace determinism & protocol lint
+# (DESIGN.md §12) in deny mode; `make deny` audits Cargo.lock and the
+# crate licenses against deny.toml.
 
-.PHONY: verify fmt lint build test bench bench-smoke bench-check chaos-smoke
+.PHONY: verify fmt lint lint-darms deny build test bench bench-smoke bench-check chaos-smoke
 
-verify: fmt lint build test chaos-smoke bench-check
+verify: fmt lint lint-darms deny build test chaos-smoke bench-check
 
 fmt:
 	cargo fmt --all --check
 
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+lint-darms:
+	cargo run --release -q -p darms-lint -- --deny
+
+deny:
+	cargo run --release -q -p darms-lint -- deny
 
 build:
 	cargo build --release

@@ -133,7 +133,9 @@ impl AcSession {
             for _ in 1..n {
                 match tc.recv_any(jc).await {
                     (from, CollBody::Count(c)) => counts[from] = c,
-                    _ => unreachable!("participants send counts first"),
+                    (_, CollBody::Grant { .. } | CollBody::Rejected(_) | CollBody::Released) => {
+                        unreachable!("participants send counts first")
+                    }
                 }
             }
             let total: u32 = counts.iter().sum();
@@ -166,7 +168,9 @@ impl AcSession {
             match tc.recv_from(jc, 0).await {
                 CollBody::Grant { client_id, accs } => self.adopt_grant(client_id, accs).await,
                 CollBody::Rejected(r) => Err(DacError::Rejected(r)),
-                _ => unreachable!("collector replies with Grant or Rejected"),
+                CollBody::Count(_) | CollBody::Released => {
+                    unreachable!("collector replies with Grant or Rejected")
+                }
             }
         }
     }
@@ -194,7 +198,9 @@ impl AcSession {
             for _ in 1..n {
                 match tc.recv_any(jc).await {
                     (_, CollBody::Released) => {}
-                    _ => unreachable!("participants send Released"),
+                    (_, CollBody::Count(_) | CollBody::Grant { .. } | CollBody::Rejected(_)) => {
+                        unreachable!("participants send Released")
+                    }
                 }
             }
             let ok = ifl::pbs_dynfree(&jc.proc, &jc.net, jc.host, jc.server, jc.job, set.client_id)

@@ -61,7 +61,7 @@ impl fmt::Display for DacError {
             DacError::Device(e) => write!(f, "device error: {e}"),
             DacError::BadHandle(h) => write!(f, "handle {h} is not live"),
             DacError::Mpi(e) => write!(f, "mpi error: {e}"),
-            DacError::Rejected(r) => write!(f, "dynamic request rejected: {r:?}"),
+            DacError::Rejected(r) => write!(f, "dynamic request rejected: {r}"),
             DacError::Timeout(h) => write!(f, "accelerator {h} did not respond (timed out)"),
         }
     }
@@ -111,11 +111,11 @@ pub struct AcSession {
     /// (multiple asynchronous operations may be in flight per handle).
     /// Keyed by request id alone: ids are unique per session, while ranks
     /// are remapped by shrinks and may alias old traffic.
-    stashed: std::collections::HashMap<u64, RepBodyOwned>,
+    stashed: std::collections::BTreeMap<u64, RepBodyOwned>,
     /// Request ids whose wait timed out: their reply may still be in
     /// flight (or duplicated by a faulty network) and must be discarded
     /// on arrival instead of being stashed against a future request.
-    tombstones: std::collections::HashSet<u64>,
+    tombstones: std::collections::BTreeSet<u64>,
     recorder: Option<Recorder>,
 }
 
@@ -127,8 +127,8 @@ fn file_reply(
     want: u64,
     rep_req: u64,
     body: RepBodyOwned,
-    tombstones: &mut std::collections::HashSet<u64>,
-    stashed: &mut std::collections::HashMap<u64, RepBodyOwned>,
+    tombstones: &mut std::collections::BTreeSet<u64>,
+    stashed: &mut std::collections::BTreeMap<u64, RepBodyOwned>,
 ) -> Option<RepBodyOwned> {
     if rep_req == want {
         return Some(body);
@@ -167,8 +167,8 @@ impl AcSession {
             comm: None,
             handles: Vec::new(),
             next_req: 1,
-            stashed: std::collections::HashMap::new(),
-            tombstones: std::collections::HashSet::new(),
+            stashed: std::collections::BTreeMap::new(),
+            tombstones: std::collections::BTreeSet::new(),
             recorder,
         };
         if x == 0 {
@@ -298,7 +298,9 @@ impl AcSession {
         let req = self.send_req(h, ReqBody::MemAlloc { size }, self.dac.cost.ctl_bytes).await?;
         match self.wait_reply(h, req).await? {
             RepBodyOwned::Ptr(r) => r.map_err(DacError::Device),
-            _ => unreachable!("MemAlloc replies with Ptr"),
+            RepBodyOwned::Ack(_) | RepBodyOwned::Data(_) => {
+                unreachable!("MemAlloc replies with Ptr")
+            }
         }
     }
 
@@ -307,7 +309,9 @@ impl AcSession {
         let req = self.send_req(h, ReqBody::MemFree { ptr }, self.dac.cost.ctl_bytes).await?;
         match self.wait_reply(h, req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
-            _ => unreachable!("MemFree replies with Ack"),
+            RepBodyOwned::Ptr(_) | RepBodyOwned::Data(_) => {
+                unreachable!("MemFree replies with Ack")
+            }
         }
     }
 
@@ -348,7 +352,9 @@ impl AcSession {
             .await?;
         match self.wait_reply(h, req).await? {
             RepBodyOwned::Data(r) => r.map_err(DacError::Device),
-            _ => unreachable!("CopyD2H replies with Data"),
+            RepBodyOwned::Ptr(_) | RepBodyOwned::Ack(_) => {
+                unreachable!("CopyD2H replies with Data")
+            }
         }
     }
 
@@ -406,7 +412,9 @@ impl AcSession {
     pub async fn op_wait(&mut self, launch: Launch) -> Result<(), DacError> {
         match self.wait_reply(launch.handle, launch.req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
-            _ => unreachable!("memory operations reply with Ack"),
+            RepBodyOwned::Ptr(_) | RepBodyOwned::Data(_) => {
+                unreachable!("memory operations reply with Ack")
+            }
         }
     }
 
@@ -427,7 +435,9 @@ impl AcSession {
     pub async fn kernel_wait(&mut self, launch: Launch) -> Result<(), DacError> {
         match self.wait_reply(launch.handle, launch.req).await? {
             RepBodyOwned::Ack(r) => r.map_err(DacError::Device),
-            _ => unreachable!("KernelRun replies with Ack"),
+            RepBodyOwned::Ptr(_) | RepBodyOwned::Data(_) => {
+                unreachable!("KernelRun replies with Ack")
+            }
         }
     }
 
@@ -479,7 +489,9 @@ impl AcSession {
         for (h, req) in pending {
             match self.wait_reply(h, req).await? {
                 RepBodyOwned::Ack(r) => r.map_err(DacError::Device)?,
-                _ => unreachable!("GroupReduceSum replies with Ack"),
+                RepBodyOwned::Ptr(_) | RepBodyOwned::Data(_) => {
+                    unreachable!("GroupReduceSum replies with Ack")
+                }
             }
         }
         // Fetch the total from the group root's device.
@@ -720,7 +732,7 @@ enum RepBodyOwned {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::{HashMap, HashSet};
+    use std::collections::{BTreeMap, BTreeSet};
 
     fn ack() -> RepBodyOwned {
         RepBodyOwned::Ack(Ok(()))
@@ -728,22 +740,22 @@ mod tests {
 
     #[test]
     fn file_reply_answers_the_awaited_request() {
-        let (mut tombs, mut stash) = (HashSet::new(), HashMap::new());
+        let (mut tombs, mut stash) = (BTreeSet::new(), BTreeMap::new());
         assert!(file_reply(7, 7, ack(), &mut tombs, &mut stash).is_some());
         assert!(stash.is_empty());
     }
 
     #[test]
     fn file_reply_stashes_other_requests_by_id() {
-        let (mut tombs, mut stash) = (HashSet::new(), HashMap::new());
+        let (mut tombs, mut stash) = (BTreeSet::new(), BTreeMap::new());
         assert!(file_reply(7, 9, ack(), &mut tombs, &mut stash).is_none());
         assert!(stash.contains_key(&9));
     }
 
     #[test]
     fn file_reply_discards_tombstoned_replies() {
-        let mut tombs: HashSet<u64> = [9].into_iter().collect();
-        let mut stash = HashMap::new();
+        let mut tombs: BTreeSet<u64> = [9].into_iter().collect();
+        let mut stash = BTreeMap::new();
         assert!(file_reply(7, 9, ack(), &mut tombs, &mut stash).is_none());
         assert!(stash.is_empty(), "late reply must be dropped, not stashed");
         assert!(tombs.is_empty(), "tombstone is consumed by the discard");

@@ -2,7 +2,7 @@
 //! *functional* effect on device memory, so offloaded computations return
 //! real results (the examples verify them numerically).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use darms_sim::SimDuration;
@@ -85,7 +85,7 @@ pub struct Kernel {
 /// Thread-safe kernel registry shared by all daemons.
 #[derive(Clone, Default)]
 pub struct KernelRegistry {
-    inner: Arc<RwLock<HashMap<String, Kernel>>>,
+    inner: Arc<RwLock<BTreeMap<String, Kernel>>>,
 }
 
 impl KernelRegistry {
@@ -118,11 +118,9 @@ impl KernelRegistry {
         self.inner.read().get(name).cloned()
     }
 
-    /// Registered kernel names, sorted.
+    /// Registered kernel names, sorted (the `BTreeMap` key order).
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.inner.read().keys().cloned().collect()
     }
 }
 

@@ -3,7 +3,7 @@
 //! process of the paper's Fig. 3 that receives computation requests over
 //! MPI and executes them on the device through the driver API.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use darms_mpi::{data, Comm, MpiProc, MpiRuntime, Rank};
@@ -95,7 +95,7 @@ pub struct DacRuntime {
     pub(crate) cost: DacCostModel,
     pub(crate) kernels: KernelRegistry,
     pub(crate) device_props: DeviceProps,
-    devices: Arc<Mutex<std::collections::HashMap<usize, Arc<Mutex<AccDevice>>>>>,
+    devices: Arc<Mutex<std::collections::BTreeMap<usize, Arc<Mutex<AccDevice>>>>>,
 }
 
 impl DacRuntime {
@@ -207,13 +207,13 @@ async fn daemon_main(mut mpi: MpiProc, dac: DacRuntime, args: Vec<String>) {
 /// node (rank 0 of the merged communicator) until released.
 async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
     let device = dac.device_for(mpi.host());
-    let mut my_ptrs: HashSet<DevPtr> = HashSet::new();
+    let mut my_ptrs: BTreeSet<DevPtr> = BTreeSet::new();
     let overhead = dac.cost.request_overhead;
     // Idempotency: request ids already executed, with the reply (if any)
     // for replay, so a duplicated request never runs its side effects
     // twice. Bounded FIFO eviction.
-    let mut seen: std::collections::HashMap<u64, Option<RepBody>> =
-        std::collections::HashMap::new();
+    let mut seen: std::collections::BTreeMap<u64, Option<RepBody>> =
+        std::collections::BTreeMap::new();
     let mut seen_order: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
     const SEEN_CAP: usize = 256;
     loop {
@@ -251,7 +251,7 @@ async fn serve(mut mpi: MpiProc, dac: DacRuntime, mut comm: Comm) {
                 comm = shrunk;
             }
             ReqBody::Release => {
-                for p in my_ptrs.drain() {
+                for p in std::mem::take(&mut my_ptrs) {
                     let _ = device.lock().mem_free(p);
                 }
                 mpi.comm_disconnect(comm);

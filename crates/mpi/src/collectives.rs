@@ -135,6 +135,7 @@ impl MpiProc {
                 .await;
             match env.downcast::<Ctl>().expect("matched").body {
                 CtlBody::Bcast { data, .. } => Ok(data),
+                // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
                 _ => unreachable!("predicate matched Bcast"),
             }
         }
@@ -170,6 +171,7 @@ impl MpiProc {
                         slots[rank as usize] = Some(data);
                         seen += 1;
                     }
+                    // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
                     _ => unreachable!(),
                 }
             }

@@ -171,6 +171,7 @@ impl MpiProc {
                 Ctl { token, body: CtlBody::ConnectReq { connector, reply, .. } } => {
                     (token, connector, reply)
                 }
+                // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
                 _ => unreachable!(),
             };
             if !self.rt.cost.connect.is_zero() {
@@ -221,6 +222,7 @@ impl MpiProc {
                 .await;
             let inter = match env.downcast::<Ctl>().expect("matched").body {
                 CtlBody::ConnectAck { comm } => comm,
+                // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
                 _ => unreachable!(),
             };
             for r in 1..n as Rank {
@@ -274,6 +276,7 @@ impl MpiProc {
                         }
                         seen += 1;
                     }
+                    // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
                     _ => unreachable!(),
                 }
             }
@@ -514,6 +517,7 @@ impl MpiProc {
             .await;
         match env.downcast::<Ctl>().expect("matched").body {
             CtlBody::Announce { comm, .. } => Ok(comm),
+            // darms-lint: allow(proto-wildcard, reason = "variant pinned by the recv_where predicate above")
             _ => unreachable!(),
         }
     }

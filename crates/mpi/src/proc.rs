@@ -1,6 +1,6 @@
 //! Per-process MPI state and point-to-point operations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use darms_net::{Address, HostId};
 use darms_sim::{Proc, SimDuration};
@@ -20,7 +20,7 @@ pub struct MpiProc {
     pub(crate) rt: MpiRuntime,
     pub(crate) host: HostId,
     pub(crate) addr: Address,
-    pub(crate) coll_seq: HashMap<CommId, u64>,
+    pub(crate) coll_seq: BTreeMap<CommId, u64>,
     pub(crate) world: Option<Comm>,
     pub(crate) parent: Option<Comm>,
 }
@@ -39,7 +39,7 @@ impl MpiRuntime {
             rt: self.clone(),
             host,
             addr,
-            coll_seq: HashMap::new(),
+            coll_seq: BTreeMap::new(),
             world: None,
             parent: None,
         }

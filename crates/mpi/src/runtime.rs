@@ -6,7 +6,7 @@
 //! over the simulated network so that the timing the paper measures is
 //! modelled faithfully.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use darms_net::{Address, Network};
@@ -35,11 +35,11 @@ pub(crate) struct RtState {
     next_comm: u64,
     next_token: u64,
     next_port: u64,
-    pub(crate) comms: HashMap<CommId, CommKind>,
+    pub(crate) comms: BTreeMap<CommId, CommKind>,
     /// Live member count per comm (drops to zero => comm removed).
-    pub(crate) attached: HashMap<CommId, usize>,
-    pub(crate) ports: HashMap<String, Address>,
-    pub(crate) exes: HashMap<String, Exe>,
+    pub(crate) attached: BTreeMap<CommId, usize>,
+    pub(crate) ports: BTreeMap<String, Address>,
+    pub(crate) exes: BTreeMap<String, Exe>,
 }
 
 /// Cloneable handle to the MPI-like runtime.
@@ -60,10 +60,10 @@ impl MpiRuntime {
                 next_comm: 1,
                 next_token: 1,
                 next_port: 1,
-                comms: HashMap::new(),
-                attached: HashMap::new(),
-                ports: HashMap::new(),
-                exes: HashMap::new(),
+                comms: BTreeMap::new(),
+                attached: BTreeMap::new(),
+                ports: BTreeMap::new(),
+                exes: BTreeMap::new(),
             })),
         }
     }

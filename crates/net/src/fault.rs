@@ -22,7 +22,7 @@
 use darms_sim::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::host::HostId;
 
@@ -203,7 +203,7 @@ pub(crate) enum Verdict {
 pub(crate) struct FaultState {
     plan: FaultPlan,
     rng: SmallRng,
-    link_ix: HashMap<(HostId, HostId), usize>,
+    link_ix: BTreeMap<(HostId, HostId), usize>,
 }
 
 impl FaultState {

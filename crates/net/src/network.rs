@@ -2,7 +2,7 @@
 //! with the latency model, fault injection, and traffic statistics.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use darms_sim::{Ctx, Endpoint, Envelope, MetricsRegistry, Proc, SimDuration, SimTime, Tracer};
@@ -27,14 +27,14 @@ pub struct NetStats {
 
 struct NetState {
     hosts: Vec<Host>,
-    bindings: HashMap<Address, Endpoint>,
-    next_ephemeral: HashMap<HostId, u32>,
+    bindings: BTreeMap<Address, Endpoint>,
+    next_ephemeral: BTreeMap<HostId, u32>,
     latency: LatencyModel,
     rng: SmallRng,
     drop_prob: f64,
     stats: NetStats,
     /// Per-link `(from, to)` traffic counters.
-    links: HashMap<(HostId, HostId), NetStats>,
+    links: BTreeMap<(HostId, HostId), NetStats>,
     /// Optional shared registry mirror of the traffic counters
     /// (`net.messages`, `net.bytes`, `net.dropped`).
     metrics: Option<MetricsRegistry>,
@@ -92,13 +92,13 @@ impl Network {
         Network {
             state: Arc::new(Mutex::new(NetState {
                 hosts: Vec::new(),
-                bindings: HashMap::new(),
-                next_ephemeral: HashMap::new(),
+                bindings: BTreeMap::new(),
+                next_ephemeral: BTreeMap::new(),
                 latency,
                 rng: SmallRng::seed_from_u64(seed),
                 drop_prob: 0.0,
                 stats: NetStats::default(),
-                links: HashMap::new(),
+                links: BTreeMap::new(),
                 metrics: None,
                 fault: None,
                 control_retry: None,
@@ -232,12 +232,11 @@ impl Network {
         self.state.lock().links.get(&(from, to)).copied().unwrap_or_default()
     }
 
-    /// All directed links with traffic, sorted by `(from, to)`.
+    /// All directed links with traffic, sorted by `(from, to)` (the
+    /// `BTreeMap` key order).
     pub fn links(&self) -> Vec<((HostId, HostId), NetStats)> {
         let s = self.state.lock();
-        let mut v: Vec<_> = s.links.iter().map(|(&k, &st)| (k, st)).collect();
-        v.sort_by_key(|&((f, t), _)| (f.0, t.0));
-        v
+        s.links.iter().map(|(&k, &st)| (k, st)).collect()
     }
 
     /// The latency model in effect (read-only copy; layers above use it

@@ -6,7 +6,7 @@
 //! `AC_Init()` (§III-C). This store models that shared medium; readers
 //! poll it exactly like the real library polls the file system.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -25,7 +25,7 @@ pub mod files {
 /// Cloneable handle to the shared pseudo-filesystem.
 #[derive(Clone, Default)]
 pub struct PseudoFs {
-    inner: Arc<Mutex<HashMap<(JobId, String), String>>>,
+    inner: Arc<Mutex<BTreeMap<(JobId, String), String>>>,
 }
 
 impl PseudoFs {

@@ -6,7 +6,7 @@
 //! dynamically allocated accelerators, `DISJOIN_JOB` on release, and the
 //! exit protocol.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use darms_net::{Address, HostId, Network};
@@ -133,12 +133,12 @@ struct DynJoinState {
     client_id: ClientId,
     cn: HostId,
     accs: Vec<HostId>,
-    pending: HashSet<HostId>,
+    pending: BTreeSet<HostId>,
 }
 
 struct DisjoinState {
     set: DynSet,
-    pending: HashSet<HostId>,
+    pending: BTreeSet<HostId>,
 }
 
 struct MomJob {
@@ -147,12 +147,12 @@ struct MomJob {
     /// True once `JobStarted` has been sent (duplicate `SendJob`s are
     /// answered by re-sending it).
     announced: bool,
-    join_pending: HashSet<HostId>,
+    join_pending: BTreeSet<HostId>,
     dynjoin: Option<DynJoinState>,
-    disjoin: HashMap<ClientId, DisjoinState>,
+    disjoin: BTreeMap<ClientId, DisjoinState>,
     /// Hosts of currently associated dynamic sets (mother superior view).
     dyn_hosts: Vec<HostId>,
-    tasks_done: HashSet<usize>,
+    tasks_done: BTreeSet<usize>,
     task_pids: Vec<ProcessId>,
     /// Timer token of the armed walltime kill, if any.
     walltime_timer: Option<u64>,
@@ -196,22 +196,22 @@ pub struct PbsMom {
     head: HostId,
     cost: RmsCostModel,
     starter: Option<Arc<dyn AcDaemonStarter>>,
-    jobs: HashMap<JobId, MomJob>,
-    deferred: HashMap<u64, Deferred>,
+    jobs: BTreeMap<JobId, MomJob>,
+    deferred: BTreeMap<u64, Deferred>,
     next_timer: u64,
     name: String,
     /// Highest incarnation per job this mom has finished (or cleaned up);
     /// duplicate launches at or below it are ignored.
-    done_jobs: HashMap<JobId, u32>,
+    done_jobs: BTreeMap<JobId, u32>,
     /// `JobExit`s awaiting the server's ack, with remaining resend
     /// attempts (only populated when a retry policy is active).
-    exit_pending: HashMap<JobId, (JobExit, u32)>,
+    exit_pending: BTreeMap<JobId, (JobExit, u32)>,
     /// Tokens of completed dynamic joins: a duplicate `DynJoinCmd` is
     /// answered by re-sending `DynReady`.
-    completed_dynjoins: HashSet<u64>,
+    completed_dynjoins: BTreeSet<u64>,
     /// Completed releases: a duplicate `DisjoinCmd` is answered by
     /// re-sending `FreeDone`.
-    completed_frees: HashMap<ClientId, (JobId, DynSet)>,
+    completed_frees: BTreeMap<ClientId, (JobId, DynSet)>,
 }
 
 /// Reserved timer token for the mom's retransmit tick.
@@ -237,14 +237,14 @@ impl PbsMom {
             head,
             cost,
             starter,
-            jobs: HashMap::new(),
-            deferred: HashMap::new(),
+            jobs: BTreeMap::new(),
+            deferred: BTreeMap::new(),
             next_timer: 1,
             name: format!("pbs_mom@host{}", host.index()),
-            done_jobs: HashMap::new(),
-            exit_pending: HashMap::new(),
-            completed_dynjoins: HashSet::new(),
-            completed_frees: HashMap::new(),
+            done_jobs: BTreeMap::new(),
+            exit_pending: BTreeMap::new(),
+            completed_dynjoins: BTreeSet::new(),
+            completed_frees: BTreeMap::new(),
         }
     }
 
@@ -317,9 +317,9 @@ impl PbsMom {
                 announced: false,
                 join_pending: sisters.iter().copied().collect(),
                 dynjoin: None,
-                disjoin: HashMap::new(),
+                disjoin: BTreeMap::new(),
                 dyn_hosts: Vec::new(),
-                tasks_done: HashSet::new(),
+                tasks_done: BTreeSet::new(),
                 task_pids: Vec::new(),
                 walltime_timer: None,
             },
@@ -356,11 +356,11 @@ impl PbsMom {
             launch,
             is_ms: false,
             announced: false,
-            join_pending: HashSet::new(),
+            join_pending: BTreeSet::new(),
             dynjoin: None,
-            disjoin: HashMap::new(),
+            disjoin: BTreeMap::new(),
             dyn_hosts: Vec::new(),
-            tasks_done: HashSet::new(),
+            tasks_done: BTreeSet::new(),
             task_pids: Vec::new(),
             walltime_timer: None,
         });
@@ -571,11 +571,11 @@ impl PbsMom {
             launch,
             is_ms: false,
             announced: false,
-            join_pending: HashSet::new(),
+            join_pending: BTreeSet::new(),
             dynjoin: None,
-            disjoin: HashMap::new(),
+            disjoin: BTreeMap::new(),
             dyn_hosts: Vec::new(),
-            tasks_done: HashSet::new(),
+            tasks_done: BTreeSet::new(),
             task_pids: Vec::new(),
             walltime_timer: None,
         });
@@ -757,11 +757,9 @@ impl PbsMom {
                 }
             }
         }
-        // HashMap/HashSet iteration above is unordered; sort so the
-        // retransmit schedule (and thus the trace) is deterministic.
-        joins.sort_unstable();
-        dynjoins.sort_unstable();
-        disjoins.sort_unstable();
+        // The BTree containers iterate in key order, so every batch is
+        // already deterministic: joins and dynjoins in (job, host) order,
+        // disjoins in (job, client, host) order.
         for (job, h) in joins {
             self.issue_join(ctx, job, h);
         }
@@ -786,7 +784,6 @@ impl PbsMom {
             exits.push(exit.clone());
             true
         });
-        exits.sort_unstable_by_key(|e| e.job);
         for exit in exits {
             self.send_to(ctx, server_addr(self.head), exit);
         }

@@ -4,7 +4,7 @@
 //! node is reported offline to the server (hidden from the scheduler),
 //! and reported back online when it responds again.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use darms_net::{Address, HostId, Network};
 use darms_sim::{Actor, Ctx, Envelope, SimDuration};
@@ -42,7 +42,7 @@ pub struct HealthMonitor {
     head: HostId,
     my_addr: Address,
     config: MonitorConfig,
-    nodes: HashMap<HostId, NodeHealth>,
+    nodes: BTreeMap<HostId, NodeHealth>,
     watched: Vec<HostId>,
     seq: u64,
 }

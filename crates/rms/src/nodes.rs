@@ -1,7 +1,7 @@
 //! The server's node database: compute nodes with core counts and
 //! exclusively-allocated accelerator nodes, with allocation bookkeeping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use darms_net::HostId;
 
@@ -30,7 +30,7 @@ pub struct NodeRecord {
     /// Currently unallocated cores.
     pub cores_free: u32,
     /// Jobs holding cores here, with counts.
-    pub jobs: HashMap<JobId, u32>,
+    pub jobs: BTreeMap<JobId, u32>,
     /// Administratively offline (fault injection / maintenance).
     pub offline: bool,
 }
@@ -46,7 +46,7 @@ impl NodeRecord {
 #[derive(Clone, Debug, Default)]
 pub struct NodeDb {
     nodes: Vec<NodeRecord>,
-    by_host: HashMap<HostId, usize>,
+    by_host: BTreeMap<HostId, usize>,
 }
 
 impl NodeDb {
@@ -76,7 +76,7 @@ impl NodeDb {
             role,
             cores_total: cores,
             cores_free: cores,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             offline: false,
         });
     }

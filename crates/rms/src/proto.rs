@@ -146,6 +146,16 @@ pub enum DynReject {
     Timeout,
 }
 
+impl std::fmt::Display for DynReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynReject::Unavailable => write!(f, "not enough free accelerators"),
+            DynReject::BadJob => write!(f, "job unknown or not running"),
+            DynReject::Timeout => write!(f, "retry budget exhausted without an answer"),
+        }
+    }
+}
+
 /// Successful dynamic allocation.
 #[derive(Clone, Debug)]
 pub struct DynGrant {

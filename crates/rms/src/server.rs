@@ -1,7 +1,7 @@
 //! The `pbs_server` actor: job intake, node accounting, scheduler
 //! liaison, and the paper's serial dynamic-request servicing.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use darms_net::{Address, HostId, Network};
@@ -118,16 +118,16 @@ pub struct PbsServer {
     dyn_fifo: VecDeque<PendingDyn>,
     /// The request currently being serviced, if any.
     dyn_active: Option<PendingDyn>,
-    deferred: HashMap<u64, Deferred>,
+    deferred: BTreeMap<u64, Deferred>,
     next_timer: u64,
     /// Idempotency cache: correlation token -> in-flight (`None`) or the
     /// reply already sent (`Some`), so duplicate requests caused by
     /// client retransmits never re-execute.
-    ifl_seen: HashMap<u64, Option<(Address, CachedResp)>>,
+    ifl_seen: BTreeMap<u64, Option<(Address, CachedResp)>>,
     ifl_order: VecDeque<u64>,
     /// Released dynamic sets whose `FreeDone` has not arrived yet; the
     /// retransmit tick re-drives the `DisjoinCmd`.
-    pending_frees: HashMap<ClientId, (JobId, DynSet)>,
+    pending_frees: BTreeMap<ClientId, (JobId, DynSet)>,
 }
 
 impl PbsServer {
@@ -146,11 +146,11 @@ impl PbsServer {
             next_dyn_token: 1,
             dyn_fifo: VecDeque::new(),
             dyn_active: None,
-            deferred: HashMap::new(),
+            deferred: BTreeMap::new(),
             next_timer: 1,
-            ifl_seen: HashMap::new(),
+            ifl_seen: BTreeMap::new(),
             ifl_order: VecDeque::new(),
-            pending_frees: HashMap::new(),
+            pending_frees: BTreeMap::new(),
         }
     }
 
@@ -866,7 +866,7 @@ impl PbsServer {
                 }
             }
         }
-        let mut frees: Vec<(HostId, DisjoinCmd)> = self
+        let frees: Vec<(HostId, DisjoinCmd)> = self
             .pending_frees
             .iter()
             .filter_map(|(cid, (job, set))| {
@@ -883,9 +883,6 @@ impl PbsServer {
                 })
             })
             .collect();
-        // `pending_frees` is a HashMap; order the resends for
-        // deterministic traces.
-        frees.sort_unstable_by_key(|(_, cmd)| cmd.client_id);
         for (ms, cmd) in frees {
             self.send_mom(ctx, ms, cmd);
         }

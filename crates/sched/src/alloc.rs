@@ -1,7 +1,7 @@
 //! Node selection: tracking free resources during an iteration and
 //! picking compute/accelerator nodes for a job.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use darms_net::HostId;
 use darms_rms::proto::{ClusterSnapshot, QueuedJobSnap};
@@ -26,7 +26,7 @@ pub struct FreeTracker {
     compute: Vec<(HostId, u32, u32)>,
     /// Free accelerator hosts, in registration order.
     accs: Vec<HostId>,
-    index: HashMap<HostId, usize>,
+    index: BTreeMap<HostId, usize>,
 }
 
 impl FreeTracker {
@@ -34,7 +34,7 @@ impl FreeTracker {
     pub fn from_snapshot(snap: &ClusterSnapshot) -> Self {
         let mut compute = Vec::new();
         let mut accs = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         for n in &snap.nodes {
             if n.offline {
                 continue;

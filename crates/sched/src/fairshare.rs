@@ -1,7 +1,7 @@
 //! Fairshare accounting: exponentially decayed per-user core-seconds,
 //! in the spirit of Maui's fairshare component.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use darms_rms::proto::RunningJobSnap;
 use darms_sim::{SimDuration, SimTime};
@@ -9,7 +9,7 @@ use darms_sim::{SimDuration, SimTime};
 /// Decayed usage per owner.
 #[derive(Clone, Debug)]
 pub struct Fairshare {
-    usage: HashMap<String, f64>,
+    usage: BTreeMap<String, f64>,
     last_update: SimTime,
     half_life: SimDuration,
 }
@@ -17,7 +17,7 @@ pub struct Fairshare {
 impl Fairshare {
     /// Create with the given decay half-life.
     pub fn new(half_life: SimDuration) -> Self {
-        Fairshare { usage: HashMap::new(), last_update: SimTime::ZERO, half_life }
+        Fairshare { usage: BTreeMap::new(), last_update: SimTime::ZERO, half_life }
     }
 
     /// Decay all usage to `now` and accrue `cores × Δt` for every running

@@ -98,7 +98,14 @@ impl Engine {
             self.started = true;
             self.start_actors();
         }
+        // darms-lint: allow(nondet, reason = "wall-clock profiling only; SimStats equality excludes wall_ns")
         let wall_start = std::time::Instant::now();
+        // Debug-build heap-order check: the `(time, seq)` key of every
+        // pop must strictly exceed the previous one. An equal key would
+        // mean two events share a tie-break seq, leaving their relative
+        // dispatch order unspecified.
+        #[cfg(debug_assertions)]
+        let mut last_key: Option<(SimTime, u64)> = None;
         loop {
             // Decide what to do while holding the lock, then act on it
             // with the lock released (polling a process must not hold it).
@@ -125,6 +132,15 @@ impl Engine {
                             Step::Done
                         } else {
                             let Reverse(ev) = k.queue.pop().expect("peeked");
+                            #[cfg(debug_assertions)]
+                            {
+                                let key = (ev.time, ev.seq);
+                                debug_assert!(
+                                    last_key.is_none_or(|prev| prev < key),
+                                    "event heap popped non-increasing key {key:?} after {last_key:?}"
+                                );
+                                last_key = Some(key);
+                            }
                             // Stale wakes (e.g. the deadline of a timed
                             // recv that was satisfied by a message) are
                             // discarded without advancing the clock, so

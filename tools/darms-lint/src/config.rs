@@ -1,0 +1,82 @@
+//! Lint configuration: what to scan, what is exempt, and where the
+//! protocol enums live.
+
+use std::path::PathBuf;
+
+/// A protocol message enum to check for exhaustive handling.
+#[derive(Debug, Clone)]
+pub struct ProtoEnum {
+    /// Workspace-relative file declaring the enum.
+    pub file: String,
+    /// Enum name.
+    pub name: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Directories (or files), relative to `root`, to scan for `.rs` sources.
+    pub scan_dirs: Vec<String>,
+    /// Relative path prefixes excluded from the scan. `vendor/` is outside
+    /// the determinism boundary (std-backed shims, not simulation logic)
+    /// and the lint's own test fixtures are known-bad on purpose.
+    pub exclude: Vec<String>,
+    /// Files allowed to use wall-clock / threads / entropy: the sweep
+    /// runner (real OS thread pool whose *output order* is made
+    /// deterministic by index-ordered collection) and the perf-report
+    /// harness (its entire job is measuring wall time).
+    pub nondet_allow_files: Vec<String>,
+    /// Path prefixes of trace-affecting crates: iteration order of
+    /// unordered containers here can leak into traces. Each prefix is
+    /// also the binding-collection scope for the unordered-iter rule.
+    pub trace_affecting: Vec<String>,
+    /// Protocol message enums whose variants must each have a
+    /// non-wildcard match arm somewhere in the workspace.
+    pub proto_enums: Vec<ProtoEnum>,
+}
+
+impl Config {
+    /// The standard configuration for this workspace.
+    pub fn workspace(root: PathBuf) -> Config {
+        let pe = |file: &str, name: &str| ProtoEnum { file: file.into(), name: name.into() };
+        Config {
+            root,
+            scan_dirs: ["crates", "src", "tests", "examples", "tools"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            exclude: ["vendor", "target", "tools/darms-lint/tests/fixtures"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            nondet_allow_files: [
+                "crates/experiments/src/runner.rs",
+                "crates/experiments/src/bin/perf_report.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            trace_affecting: [
+                "crates/sim/src",
+                "crates/net/src",
+                "crates/rms/src",
+                "crates/sched/src",
+                "crates/dac/src",
+                "crates/mpi/src",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            proto_enums: vec![
+                pe("crates/rms/src/proto.rs", "DynResource"),
+                pe("crates/rms/src/proto.rs", "DynReject"),
+                pe("crates/dac/src/runtime.rs", "ReqBody"),
+                pe("crates/dac/src/runtime.rs", "RepBody"),
+                pe("crates/dac/src/frontend.rs", "RepBodyOwned"),
+                pe("crates/dac/src/collective.rs", "CollBody"),
+                pe("crates/mpi/src/runtime.rs", "CtlBody"),
+            ],
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! `darms-lint deny`: dependency audit (licenses + duplicate versions).
+//!
+//! The environment has no crates.io access, so the usual `cargo deny`
+//! binary is unavailable; this subcommand implements the two audits the
+//! workspace needs, driven by the same `deny.toml` schema subset:
+//!
+//! - `[licenses] allow = [...]` — every workspace member (and vendored
+//!   shim) must carry an allowed license expression;
+//! - `[bans] multiple-versions = "deny"` — no package name may resolve
+//!   to two versions in `Cargo.lock` (with `skip = [...]` escapes);
+//! - additionally, every `Cargo.lock` package must be path-local
+//!   (no `source =` registry line): the build must stay hermetic.
+
+use std::fs;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+
+#[derive(Debug, Default)]
+pub struct DenyConfig {
+    pub allow_licenses: Vec<String>,
+    pub deny_duplicates: bool,
+    pub skip_duplicates: Vec<String>,
+}
+
+/// Parse the subset of `deny.toml` we honour.
+pub fn parse_deny_toml(text: &str) -> DenyConfig {
+    let mut cfg = DenyConfig::default();
+    let mut section = String::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, mut val)) =
+            line.split_once('=').map(|(k, v)| (k.trim(), v.trim().to_string()))
+        else {
+            continue;
+        };
+        // Multi-line arrays: accumulate until the closing bracket.
+        if val.starts_with('[') && !val.ends_with(']') {
+            for cont in lines.by_ref() {
+                let cont = cont.split('#').next().unwrap_or("").trim();
+                val.push_str(cont);
+                if cont.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        match (section.as_str(), key) {
+            ("licenses", "allow") => cfg.allow_licenses = parse_string_array(&val),
+            ("bans", "multiple-versions") => cfg.deny_duplicates = val.contains("deny"),
+            ("bans", "skip") => cfg.skip_duplicates = parse_string_array(&val),
+            _ => {}
+        }
+    }
+    cfg
+}
+
+fn parse_string_array(val: &str) -> Vec<String> {
+    val.trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.trim().strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next().map(|s| s.to_string())
+}
+
+/// A license expression is allowed if it matches an allow entry
+/// verbatim, or if any alternative of an `A OR B` expression does.
+fn license_allowed(expr: &str, allow: &[String]) -> bool {
+    if allow.iter().any(|a| a == expr) {
+        return true;
+    }
+    expr.split(" OR ").any(|alt| allow.iter().any(|a| a == alt.trim()))
+}
+
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cfg = match fs::read_to_string(root.join("deny.toml")) {
+        Ok(t) => parse_deny_toml(&t),
+        Err(_) => {
+            out.push(Diagnostic::new("deny.toml", 0, "deny-config", "deny.toml not found"));
+            return out;
+        }
+    };
+
+    // --- Cargo.lock: duplicates and non-path sources. ---
+    if let Ok(lock) = fs::read_to_string(root.join("Cargo.lock")) {
+        let mut pkgs: Vec<(String, String, Option<String>)> = Vec::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
+        for line in lock.lines().chain(std::iter::once("[[package]]")) {
+            if line.trim() == "[[package]]" {
+                if let Some((Some(n), Some(v), s)) = cur.take() {
+                    pkgs.push((n, v, s));
+                }
+                cur = Some((None, None, None));
+                continue;
+            }
+            if let Some(c) = cur.as_mut() {
+                if let Some(v) = toml_str_value(line, "name") {
+                    c.0 = Some(v);
+                } else if let Some(v) = toml_str_value(line, "version") {
+                    c.1 = Some(v);
+                } else if let Some(v) = toml_str_value(line, "source") {
+                    c.2 = Some(v);
+                }
+            }
+        }
+        pkgs.sort();
+        for (name, _version, source) in &pkgs {
+            if let Some(src) = source {
+                out.push(Diagnostic::new(
+                    "Cargo.lock",
+                    0,
+                    "deny-source",
+                    format!("package `{name}` resolves from non-path source `{src}`; the build must stay hermetic"),
+                ));
+            }
+        }
+        if cfg.deny_duplicates {
+            for w in pkgs.windows(2) {
+                if w[0].0 == w[1].0 && w[0].1 != w[1].1 && !cfg.skip_duplicates.contains(&w[0].0) {
+                    out.push(Diagnostic::new(
+                        "Cargo.lock",
+                        0,
+                        "deny-duplicate",
+                        format!(
+                            "package `{}` appears at versions {} and {}",
+                            w[0].0, w[0].1, w[1].1
+                        ),
+                    ));
+                }
+            }
+        }
+    } else {
+        out.push(Diagnostic::new("Cargo.lock", 0, "deny-config", "Cargo.lock not found"));
+    }
+
+    // --- Licenses: root + every member manifest. ---
+    let workspace_license = fs::read_to_string(root.join("Cargo.toml"))
+        .ok()
+        .and_then(|t| t.lines().find_map(|l| toml_str_value(l, "license")));
+    let mut manifests: Vec<std::path::PathBuf> = vec![root.join("Cargo.toml")];
+    for dir in ["crates", "vendor", "tools"] {
+        let Ok(rd) = fs::read_dir(root.join(dir)) else { continue };
+        let mut subdirs: Vec<_> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        subdirs.sort();
+        for sub in subdirs {
+            let m = sub.join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    for m in manifests {
+        let rel = m.strip_prefix(root).unwrap_or(&m).to_string_lossy().replace('\\', "/");
+        let Ok(text) = fs::read_to_string(&m) else { continue };
+        // Only read the [package]/[workspace.package] license key, not
+        // dependency tables.
+        let mut license: Option<String> = None;
+        let mut in_pkg = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_pkg = t == "[package]" || t == "[workspace.package]";
+                continue;
+            }
+            if !in_pkg {
+                continue;
+            }
+            if let Some(v) = toml_str_value(t, "license") {
+                license = Some(v);
+                break;
+            }
+            if t.replace(' ', "") == "license.workspace=true" {
+                license.clone_from(&workspace_license);
+                break;
+            }
+        }
+        match license {
+            Some(l) if license_allowed(&l, &cfg.allow_licenses) => {}
+            Some(l) => out.push(Diagnostic::new(
+                rel,
+                0,
+                "deny-license",
+                format!("license `{l}` is not in the deny.toml allow list"),
+            )),
+            None => out.push(Diagnostic::new(
+                rel,
+                0,
+                "deny-license",
+                "manifest declares no license".to_string(),
+            )),
+        }
+    }
+
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_config() {
+        let cfg = parse_deny_toml(
+            "[licenses]\nallow = [\n  \"MIT\", # ok\n  \"Apache-2.0\",\n]\n[bans]\nmultiple-versions = \"deny\"\nskip = []\n",
+        );
+        assert_eq!(cfg.allow_licenses, ["MIT", "Apache-2.0"]);
+        assert!(cfg.deny_duplicates);
+        assert!(cfg.skip_duplicates.is_empty());
+    }
+
+    #[test]
+    fn or_expressions() {
+        let allow = vec!["MIT".to_string()];
+        assert!(license_allowed("MIT", &allow));
+        assert!(license_allowed("MIT OR Apache-2.0", &allow));
+        assert!(!license_allowed("GPL-3.0", &allow));
+    }
+}

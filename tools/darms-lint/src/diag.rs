@@ -1,0 +1,81 @@
+//! Diagnostics and their JSON rendering.
+//!
+//! The JSON form is hand-rolled (no serde in the hermetic build): one
+//! finding per line, keys in a fixed order, findings sorted by
+//! (file, line, rule, message) so output is stable for snapshotting.
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier, e.g. `nondet`, `unordered-iter`.
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { file: file.into(), line, rule: rule.into(), message: message.into() }
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a stable JSON array (sorted, one object per line).
+pub fn findings_to_json(findings: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::from("[\n");
+    for (i, d) in sorted.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{}\n",
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.rule),
+            json_escape(&d.message),
+            if i + 1 < sorted.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_json() {
+        let d = vec![
+            Diagnostic::new("b.rs", 2, "nondet", "x"),
+            Diagnostic::new("a.rs", 9, "nondet", "quote \" here"),
+        ];
+        let j = findings_to_json(&d);
+        assert!(j.starts_with("[\n  {\"file\":\"a.rs\""));
+        assert!(j.contains("quote \\\" here"));
+        assert!(j.ends_with(']'));
+    }
+}

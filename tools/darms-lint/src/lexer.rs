@@ -1,0 +1,335 @@
+//! A minimal Rust lexer: just enough fidelity for token-level lint rules.
+//!
+//! The build environment is hermetic (no crates.io), so `syn` is not
+//! available; instead we tokenise source text by hand. The lexer
+//! understands comments (kept separately — waivers live there), string
+//! and raw-string literals, char vs. lifetime disambiguation, numbers,
+//! identifiers and punctuation. The multi-character operators `::`,
+//! `=>` and `->` are fused into single tokens because the rules match
+//! on paths and match arms; everything else stays single-character.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Literal,
+    Lifetime,
+}
+
+/// A source token with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment (line or block) with the line it starts on. Waiver
+/// annotations are parsed out of these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenise `src`, returning the token stream and the comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let push = |toks: &mut Vec<Token>, kind, text: String, line| {
+        toks.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            comments.push(Comment { line, text: chars[start..i].iter().collect() });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            comments.push(Comment { line: start_line, text: chars[start..i].iter().collect() });
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#", br", b", rb is not a thing.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i;
+            let mut saw_r = false;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if j < n && chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while saw_r && j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' && (saw_r || chars[i] == 'b') {
+                // Raw or byte string literal.
+                let start_line = line;
+                j += 1;
+                if saw_r {
+                    // Scan for `"` followed by `hashes` hash marks.
+                    loop {
+                        if j >= n {
+                            break;
+                        }
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        if chars[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"..." with escapes.
+                    while j < n {
+                        match chars[j] {
+                            '\\' => j += 2,
+                            '"' => {
+                                j += 1;
+                                break;
+                            }
+                            ch => {
+                                if ch == '\n' {
+                                    line += 1;
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                push(&mut toks, TokKind::Literal, String::from("\"raw\""), start_line);
+                i = j;
+                continue;
+            }
+            if chars[i] == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                // Byte char literal b'x'.
+                let start_line = line;
+                let mut j = i + 2;
+                while j < n {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                push(&mut toks, TokKind::Literal, String::from("b'?'"), start_line);
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            push(&mut toks, TokKind::Literal, String::from("\"str\""), start_line);
+            i = j;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(ch) if is_ident_start(ch) => chars.get(i + 2) == Some(&'\''),
+                Some(_) => true,
+                None => true,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < n {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                push(&mut toks, TokKind::Literal, String::from("'?'"), line);
+                i = j;
+                continue;
+            }
+            // Lifetime: 'ident
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            push(&mut toks, TokKind::Lifetime, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+        // Identifier or keyword (incl. raw idents r#name, caught above
+        // only when followed by a quote).
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            push(&mut toks, TokKind::Ident, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let ch = chars[j];
+                if ch.is_alphanumeric() || ch == '_' {
+                    j += 1;
+                } else if ch == '.'
+                    && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                    && chars.get(j.wrapping_sub(1)).is_some_and(|d| d.is_ascii_digit())
+                {
+                    // Decimal point, not a range (`0..n`) or method call.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            push(&mut toks, TokKind::Literal, chars[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+        // Punctuation; fuse `::`, `=>`, `->`.
+        let two: String = chars[i..n.min(i + 2)].iter().collect();
+        if two == "::" || two == "=>" || two == "->" {
+            push(&mut toks, TokKind::Punct, two, line);
+            i += 2;
+            continue;
+        }
+        push(&mut toks, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+
+    (toks, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let (t, c) = lex("let x = a::b.now(); // hi");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", "::", "b", ".", "now", "(", ")", ";"]);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].text.contains("hi"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (t, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes: Vec<&str> =
+            t.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let lits = t.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lines() {
+        let (t, _) = lex("let s = r#\"a \" b\"#;\nlet u = 1;");
+        let one = t.iter().find(|t| t.text == "u").unwrap();
+        assert_eq!(one.line, 2);
+    }
+
+    #[test]
+    fn block_comment_lines() {
+        let (t, c) = lex("/* a\nb */ fn g() {}");
+        assert_eq!(c.len(), 1);
+        assert_eq!(t[0].text, "fn");
+        assert_eq!(t[0].line, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! darms-lint: workspace determinism & protocol static analysis.
+//!
+//! Four rule families (see DESIGN.md §12):
+//!
+//! - `nondet` — wall-clock, ambient RNG, OS threads, parallelism
+//!   probes outside the explicit allowlist;
+//! - `unordered-iter` — iteration over `HashMap`/`HashSet` bindings in
+//!   trace-affecting crates;
+//! - `guard-across-await` — `Mutex` guards / `RefCell` borrows held
+//!   across `.await`;
+//! - `proto-unhandled` / `proto-wildcard` — protocol message enums
+//!   with unhandled variants, and wildcard arms in protocol dispatches.
+//!
+//! Sites can be waived with
+//! `// darms-lint: allow(<rule>, reason = "...")`; a waiver without a
+//! non-empty reason is itself a finding (rule `waiver`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod config;
+pub mod deny;
+pub mod diag;
+pub mod lexer;
+pub mod waiver;
+pub mod rules {
+    pub mod guard;
+    pub mod nondet;
+    pub mod protocol;
+    pub mod unordered;
+}
+
+pub use config::{Config, ProtoEnum};
+pub use diag::{findings_to_json, Diagnostic};
+pub use waiver::Waiver;
+
+/// A lexed source file.
+pub struct FileData {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub tokens: Vec<lexer::Token>,
+    pub comments: Vec<lexer::Comment>,
+}
+
+/// The result of a lint run.
+pub struct LintReport {
+    pub findings: Vec<Diagnostic>,
+    /// All well-formed waivers seen (applied or not).
+    pub waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn collect_files(cfg: &Config) -> std::io::Result<Vec<FileData>> {
+    let mut paths = Vec::new();
+    for d in &cfg.scan_dirs {
+        let p = cfg.root.join(d);
+        if p.is_file() {
+            paths.push(p);
+        } else {
+            walk(&p, &mut paths);
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    let mut files = Vec::new();
+    for p in paths {
+        let rel = p.strip_prefix(&cfg.root).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+        if cfg.exclude.iter().any(|e| rel.starts_with(e.as_str())) {
+            continue;
+        }
+        let src = fs::read_to_string(&p)?;
+        let (tokens, comments) = lexer::lex(&src);
+        files.push(FileData { rel, tokens, comments });
+    }
+    Ok(files)
+}
+
+/// Run the full lint over `cfg`.
+pub fn run(cfg: &Config) -> std::io::Result<LintReport> {
+    let files = collect_files(cfg)?;
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    for f in &files {
+        let (ws, diags) = waiver::parse(f);
+        waivers.extend(ws);
+        findings.extend(diags);
+    }
+    findings.extend(rules::nondet::check(cfg, &files));
+    findings.extend(rules::unordered::check(cfg, &files));
+    findings.extend(rules::guard::check(&files));
+    findings.extend(rules::protocol::check(cfg, &files));
+    let mut findings = waiver::apply(findings, &waivers, &files);
+    findings.sort();
+    findings.dedup();
+    Ok(LintReport { findings, waivers, files_scanned: files.len() })
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        cur = dir.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

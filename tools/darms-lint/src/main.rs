@@ -1,0 +1,71 @@
+//! CLI for darms-lint.
+//!
+//! ```text
+//! darms-lint [--deny] [--json] [--root <path>]   # the four lint rules
+//! darms-lint deny [--json] [--root <path>]       # license/duplicate audit
+//! ```
+//!
+//! Exit code 2 when `--deny` is set (or for the `deny` subcommand) and
+//! findings exist; 0 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use darms_lint::{deny, diag, Config};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let audit = args.first().is_some_and(|a| a == "deny");
+    let rest = if audit { &args[1..] } else { &args[..] };
+
+    let mut json = false;
+    let mut strict = audit; // the audit subcommand always gates
+    let mut root: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny" => strict = true,
+            "--root" => root = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: darms-lint [deny] [--deny] [--json] [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("darms-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = root
+        .or_else(|| darms_lint::find_workspace_root(&cwd))
+        .expect("could not locate workspace root (no Cargo.toml with [workspace])");
+
+    let (findings, scanned) = if audit {
+        (deny::check(&root), 0)
+    } else {
+        let report = darms_lint::run(&Config::workspace(root)).expect("lint run failed");
+        (report.findings, report.files_scanned)
+    };
+
+    if json {
+        println!("{}", diag::findings_to_json(&findings));
+    } else {
+        for d in &findings {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+        }
+        if audit {
+            println!("darms-lint deny: {} finding(s)", findings.len());
+        } else {
+            println!("darms-lint: {} finding(s) across {scanned} files", findings.len());
+        }
+    }
+
+    if strict && !findings.is_empty() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

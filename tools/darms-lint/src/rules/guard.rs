@@ -1,0 +1,209 @@
+//! Rule `guard-across-await`: `Mutex` guards / `RefCell` borrows held
+//! live across an `.await`.
+//!
+//! The runtime is a single-threaded cooperative executor over
+//! `Rc<Mutex<Kernel>>`; a guard held across an await point deadlocks
+//! the kernel (or panics a `RefCell`) the moment the executor re-enters
+//! it. Two shapes are detected:
+//!
+//! 1. `let g = x.lock(); ... .await` — a named guard live (not
+//!    dropped, block not closed) when an `.await` runs;
+//! 2. `x.lock().f().await` — a guard temporary kept alive to the end
+//!    of the await expression by the method chain itself.
+//!
+//! Heuristic, not type-driven: it keys on the method names `lock`,
+//! `borrow`, `borrow_mut`. Closures that take and release a guard
+//! before the enclosing future is awaited (the `poll_fn` idiom) are
+//! not flagged, because the chain walk does not descend into call
+//! arguments.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::FileData;
+
+const GUARD_METHODS: &[&str] = &["lock", "borrow", "borrow_mut"];
+
+struct Guard {
+    name: String,
+    depth: i32,
+    line: u32,
+}
+
+pub fn check(files: &[FileData]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        check_named_guards(f, &mut out);
+        check_chains(f, &mut out);
+    }
+    out
+}
+
+/// Shape 1: named guards.
+fn check_named_guards(f: &FileData, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("let") {
+            if let Some((name, end)) = parse_guard_let(f, i) {
+                guards.push(Guard { name, depth, line: toks[i].line });
+                i = end;
+                continue;
+            }
+        } else if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            if let Some(name) = toks.get(i + 2) {
+                guards.retain(|g| g.name != name.text);
+            }
+        } else if t.is_punct(".") && toks.get(i + 1).is_some_and(|t| t.is_ident("await")) {
+            for g in &guards {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    toks[i + 1].line,
+                    "guard-across-await",
+                    format!(
+                        "guard `{}` (taken on line {}) is held across this `.await`",
+                        g.name, g.line
+                    ),
+                ));
+            }
+            guards.clear();
+        }
+        i += 1;
+    }
+}
+
+/// If the `let` at `i` binds a guard (initialiser ends in
+/// `.lock()`/`.borrow()`/`.borrow_mut()`), return the bound name and
+/// the index of the terminating `;`.
+fn parse_guard_let(f: &FileData, i: usize) -> Option<(String, usize)> {
+    let toks = &f.tokens;
+    let mut p = i + 1;
+    if toks.get(p)?.is_ident("mut") {
+        p += 1;
+    }
+    if toks.get(p)?.kind != TokKind::Ident {
+        return None; // tuple / struct patterns: out of scope
+    }
+    let name = toks[p].text.clone();
+    // `let name = ...` only (no `let name: T = ...` guards in practice,
+    // but accept an annotation by scanning to `=`).
+    let mut q = p + 1;
+    let mut nest = 0i32;
+    while q < toks.len() {
+        let t = &toks[q];
+        if nest == 0 && t.is_punct("=") {
+            break;
+        }
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            nest += 1;
+        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            nest -= 1;
+        }
+        if t.is_punct(";") || t.is_punct("{") {
+            return None;
+        }
+        q += 1;
+    }
+    // Initialiser: scan to the `;` that closes the statement.
+    let mut nest = 0i32;
+    let mut r = q + 1;
+    while r < toks.len() {
+        let t = &toks[r];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            nest += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            nest -= 1;
+        } else if nest == 0 && t.is_punct(";") {
+            break;
+        }
+        r += 1;
+    }
+    if r >= toks.len() {
+        return None;
+    }
+    // Guard iff the initialiser ends `. <guard-method> ( )`.
+    let is_guard = r >= 4
+        && toks[r - 1].is_punct(")")
+        && toks[r - 2].is_punct("(")
+        && GUARD_METHODS.contains(&toks[r - 3].text.as_str())
+        && toks[r - 4].is_punct(".");
+    is_guard.then_some((name, r))
+}
+
+/// Shape 2: guard temporaries kept alive by the awaited method chain.
+/// Walk the chain backwards from `.await`; a call segment whose method
+/// is `lock`/`borrow`/`borrow_mut` means the guard lives until the
+/// whole chain (including the await) finishes.
+fn check_chains(f: &FileData, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct(".") && toks.get(i + 1).is_some_and(|t| t.is_ident("await"))) {
+            continue;
+        }
+        let mut k = i as i64 - 1;
+        loop {
+            if k < 0 {
+                break;
+            }
+            let t = &toks[k as usize];
+            if t.is_punct(")") {
+                // Skip the balanced argument list.
+                let mut nest = 0i64;
+                while k >= 0 {
+                    let u = &toks[k as usize];
+                    if u.is_punct(")") {
+                        nest += 1;
+                    } else if u.is_punct("(") {
+                        nest -= 1;
+                        if nest == 0 {
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+                k -= 1; // token before `(`
+                if k < 0 || toks[k as usize].kind != TokKind::Ident {
+                    break;
+                }
+                let method = &toks[k as usize];
+                if GUARD_METHODS.contains(&method.text.as_str()) {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        toks[i + 1].line,
+                        "guard-across-await",
+                        format!(
+                            "`.{}()` guard temporary is held across this `.await`",
+                            method.text
+                        ),
+                    ));
+                    break;
+                }
+                // Continue only if this was a method call (`.m(...)`),
+                // not a plain function call.
+                k -= 1;
+                if k < 0 || !toks[k as usize].is_punct(".") {
+                    break;
+                }
+                k -= 1;
+            } else if t.kind == TokKind::Ident {
+                k -= 1;
+                if k < 0 || !toks[k as usize].is_punct(".") {
+                    break;
+                }
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Rule `nondet`: sources of nondeterminism.
+//!
+//! The simulation must be a pure function of its seed; wall-clock
+//! reads, ambient RNGs, OS threads and host-dependent parallelism
+//! probes all break that. Explicitly seeded RNGs (`SmallRng::seed_from_u64`)
+//! are fine and not flagged.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::FileData;
+
+/// Token-path patterns that constitute a nondeterminism source.
+const PATTERNS: &[(&[&str], &str)] = &[
+    (&["Instant", "::", "now"], "wall-clock read `Instant::now`"),
+    (&["SystemTime", "::", "now"], "wall-clock read `SystemTime::now`"),
+    (&["thread_rng"], "ambient thread-local RNG `thread_rng`"),
+    (&["rand", "::", "random"], "ambient RNG `rand::random`"),
+    (&["thread", "::", "spawn"], "OS thread `thread::spawn`"),
+    (&["thread", "::", "Builder"], "OS thread `thread::Builder`"),
+    (&["thread", "::", "scope"], "OS threads `thread::scope`"),
+    (&["available_parallelism"], "host-dependent probe `available_parallelism`"),
+    (&["from_entropy"], "OS-entropy-seeded RNG `from_entropy`"),
+    (&["OsRng"], "OS RNG `OsRng`"),
+];
+
+pub fn check(cfg: &Config, files: &[FileData]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if cfg.nondet_allow_files.contains(&f.rel) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            for (pat, what) in PATTERNS {
+                if pat.len() > toks.len() - i {
+                    continue;
+                }
+                let hit = pat.iter().zip(&toks[i..]).all(|(p, t)| t.text == **p);
+                if !hit {
+                    continue;
+                }
+                // Require the first element to start the path: the
+                // previous token must not be `::` (e.g. `time::Instant`
+                // is fine to match, but `my::thread_rng` still counts —
+                // only suppress when the pattern's head is itself a
+                // path *segment* of something longer we already match).
+                if toks[i].kind != TokKind::Ident {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    toks[i].line,
+                    "nondet",
+                    format!("{what} outside the nondeterminism allowlist"),
+                ));
+            }
+            // Argless `Default` RNG construction: `XyzRng::default()`.
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text.ends_with("Rng")
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct("::")
+                && toks[i + 2].is_ident("default")
+            {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    toks[i].line,
+                    "nondet",
+                    format!("argless default RNG `{}::default()`", toks[i].text),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,252 @@
+//! Rule `unordered-iter`: iteration over `HashMap`/`HashSet` bindings
+//! in trace-affecting crates.
+//!
+//! `std` hash containers iterate in a per-instance random order
+//! (`RandomState`), so any iteration whose effects can reach the event
+//! stream makes the trace a function of the hasher seed instead of the
+//! simulation seed. Within each trace-affecting scope we collect every
+//! binding (struct field, `let`, parameter) whose type or initialiser
+//! names `HashMap`/`HashSet`, then flag `for` loops and ordering-
+//! sensitive method calls (`iter`, `keys`, `values`, `drain`, `retain`,
+//! ...) on those bindings.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::FileData;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that observe or mutate in iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Tokens we walk back over between a binding name and the `HashMap`
+/// ident in its type (e.g. `x: Arc<Mutex<HashMap<..>>>`).
+fn is_type_filler(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Ident => t.text != "use",
+        TokKind::Lifetime => true,
+        TokKind::Punct => matches!(t.text.as_str(), "<" | "&" | "::"),
+        _ => false,
+    }
+}
+
+/// Collect the names of hash-container bindings in `files`.
+fn collect_bindings(files: &[&FileData]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for f in files {
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident || !HASH_TYPES.contains(&toks[i].text.as_str()) {
+                continue;
+            }
+            // Route 1: type position — `name: ... HashMap ...`.
+            let mut j = i;
+            while j > 0 && is_type_filler(&toks[j - 1]) {
+                j -= 1;
+            }
+            if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+                names.insert(toks[j - 2].text.clone());
+                continue;
+            }
+            // Route 2: initialiser — `let [mut] name [...] = HashMap::new()`.
+            let ctor = i + 2 < toks.len()
+                && toks[i + 1].is_punct("::")
+                && matches!(toks[i + 2].text.as_str(), "new" | "with_capacity" | "default");
+            if !ctor {
+                continue;
+            }
+            let mut k = i;
+            let mut found_let = None;
+            while k > 0 {
+                k -= 1;
+                let t = &toks[k];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.is_ident("let") {
+                    found_let = Some(k);
+                    break;
+                }
+            }
+            let Some(l) = found_let else { continue };
+            let mut p = l + 1;
+            if toks[p].is_ident("mut") {
+                p += 1;
+            }
+            if toks[p].kind == TokKind::Ident {
+                names.insert(toks[p].text.clone());
+            } else if toks[p].is_punct("(") {
+                // Tuple pattern: `let (a, mut b) = (...)`.
+                let mut q = p + 1;
+                while q < toks.len() && !toks[q].is_punct(")") {
+                    if toks[q].kind == TokKind::Ident && toks[q].text != "mut" {
+                        names.insert(toks[q].text.clone());
+                    }
+                    q += 1;
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier at the base of the method-call chain ending just
+/// before the `.` at `dot`: for `self.inner.lock().retain(..)` with
+/// `dot` on the `.retain` dot, that is `inner` (walking back over the
+/// `.lock()` call segment).
+fn chain_receiver(toks: &[Token], dot: usize) -> Option<usize> {
+    let mut k = dot as i64 - 1;
+    while k >= 0 {
+        let t = &toks[k as usize];
+        if t.kind == TokKind::Ident {
+            return Some(k as usize);
+        }
+        if !t.is_punct(")") {
+            return None;
+        }
+        // Skip the balanced argument list, then expect `.method`.
+        let mut nest = 0i64;
+        while k >= 0 {
+            let u = &toks[k as usize];
+            if u.is_punct(")") {
+                nest += 1;
+            } else if u.is_punct("(") {
+                nest -= 1;
+                if nest == 0 {
+                    break;
+                }
+            }
+            k -= 1;
+        }
+        k -= 1;
+        if k < 0 || toks[k as usize].kind != TokKind::Ident {
+            return None;
+        }
+        k -= 1;
+        if k < 0 || !toks[k as usize].is_punct(".") {
+            return None;
+        }
+        k -= 1;
+    }
+    None
+}
+
+/// Flag iteration sites over `names` in one file.
+fn flag_file(f: &FileData, names: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    // Ordering-sensitive method calls.
+    for i in 0..toks.len() {
+        if !toks[i].is_punct(".") {
+            continue;
+        }
+        let (Some(m), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) else { continue };
+        if m.kind != TokKind::Ident
+            || !ITER_METHODS.contains(&m.text.as_str())
+            || !paren.is_punct("(")
+        {
+            continue;
+        }
+        if let Some(recv) = chain_receiver(toks, i) {
+            if names.contains(&toks[recv].text) {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    toks[recv].line,
+                    "unordered-iter",
+                    format!(
+                        "`{}.{}()` iterates a hash container in unspecified order",
+                        toks[recv].text, m.text
+                    ),
+                ));
+            }
+        }
+    }
+    // `for <pat> in <expr> {` loops.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        // Skip `for<'a>` (HRTB); `impl X for Y` has no `in` before `{`.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            continue;
+        }
+        // Find `in` at nesting depth 0, then the body `{` at depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_ix = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") && in_ix.is_none() {
+                in_ix = Some(j);
+            } else if depth == 0 && t.is_punct("{") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = in_ix else { continue };
+        for k in start + 1..j {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || !names.contains(&t.text) {
+                continue;
+            }
+            // `map.len()`-style uses inside the expression are not
+            // iterations of the map itself; direct uses and
+            // `.iter()`-family chains are.
+            let flagged = match toks.get(k + 1) {
+                Some(dot) if dot.is_punct(".") => {
+                    toks.get(k + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+                }
+                _ => true,
+            };
+            if flagged {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    t.line,
+                    "unordered-iter",
+                    format!("`for` loop over hash container `{}`", t.text),
+                ));
+            }
+        }
+    }
+}
+
+pub fn check(cfg: &Config, files: &[FileData]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for scope in &cfg.trace_affecting {
+        let in_scope: Vec<&FileData> =
+            files.iter().filter(|f| f.rel.starts_with(scope.as_str())).collect();
+        if in_scope.is_empty() {
+            continue;
+        }
+        let names = collect_bindings(&in_scope);
+        if names.is_empty() {
+            continue;
+        }
+        for f in &in_scope {
+            flag_file(f, &names, &mut out);
+        }
+    }
+    // A file can fall under several scopes (or be flagged twice by the
+    // `for`-loop and method scans); dedup by (file, line, rule).
+    out.sort();
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    out
+}

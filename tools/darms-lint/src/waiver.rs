@@ -1,0 +1,105 @@
+//! Waiver annotations: `// darms-lint: allow(<rule>, reason = "...")`.
+//!
+//! A waiver suppresses findings of the named rule on the waiver's own
+//! line (trailing comment) or on the next line that holds any source
+//! token. The `reason` is mandatory and must be non-empty; a malformed
+//! waiver is itself a finding (rule `waiver`) and suppresses nothing.
+
+use crate::diag::Diagnostic;
+use crate::FileData;
+
+/// Rules that may be waived.
+pub const KNOWN_RULES: &[&str] =
+    &["nondet", "unordered-iter", "guard-across-await", "proto-unhandled", "proto-wildcard"];
+
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Parse the waivers in one file. Malformed waivers come back as
+/// diagnostics instead.
+pub fn parse(file: &FileData) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    let mut waivers = Vec::new();
+    let mut diags = Vec::new();
+    for c in &file.comments {
+        // Waivers live in plain comments only; doc comments (`///`,
+        // `//!`, `/**`, `/*!`) merely *talk about* the syntax.
+        let body = c.text.trim_start_matches('/').trim_start_matches('*');
+        if body.starts_with('!') || c.text.starts_with("///") || c.text.starts_with("/**") {
+            continue;
+        }
+        let Some(pos) = c.text.find("darms-lint:") else { continue };
+        let rest = c.text[pos + "darms-lint:".len()..].trim();
+        let bad = |msg: &str| Diagnostic::new(&file.rel, c.line, "waiver", msg.to_string());
+        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        else {
+            diags.push(bad("malformed waiver: expected `allow(<rule>, reason = \"...\")`"));
+            continue;
+        };
+        let (rule, reason_part) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), Some(rest.trim())),
+            None => (inner.trim(), None),
+        };
+        if !KNOWN_RULES.contains(&rule) {
+            diags.push(bad(&format!(
+                "waiver names unknown rule `{rule}` (known: {})",
+                KNOWN_RULES.join(", ")
+            )));
+            continue;
+        }
+        let reason = reason_part
+            .and_then(|r| r.strip_prefix("reason"))
+            .map(|r| r.trim_start())
+            .and_then(|r| r.strip_prefix('='))
+            .map(|r| r.trim())
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.strip_suffix('"'))
+            .map(|r| r.trim().to_string());
+        match reason {
+            Some(r) if !r.is_empty() => {
+                waivers.push(Waiver {
+                    file: file.rel.clone(),
+                    line: c.line,
+                    rule: rule.to_string(),
+                    reason: r,
+                });
+            }
+            _ => diags.push(bad(&format!(
+                "waiver for `{rule}` is missing a non-empty `reason = \"...\"`"
+            ))),
+        }
+    }
+    (waivers, diags)
+}
+
+/// The lines a waiver at `line` covers: its own line plus the next line
+/// holding any source token.
+fn covered_lines(file: &FileData, line: u32) -> (u32, u32) {
+    let next = file.tokens.iter().map(|t| t.line).filter(|&l| l > line).min().unwrap_or(line);
+    (line, next)
+}
+
+/// Drop findings covered by a waiver. `waiver`-rule findings are never
+/// suppressed.
+pub fn apply(findings: Vec<Diagnostic>, waivers: &[Waiver], files: &[FileData]) -> Vec<Diagnostic> {
+    findings
+        .into_iter()
+        .filter(|d| {
+            if d.rule == "waiver" {
+                return true;
+            }
+            !waivers.iter().any(|w| {
+                if w.file != d.file || w.rule != d.rule {
+                    return false;
+                }
+                let Some(f) = files.iter().find(|f| f.rel == w.file) else { return false };
+                let (a, b) = covered_lines(f, w.line);
+                d.line == a || d.line == b
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,16 @@
+// Fixture: guards held live across await points.
+
+pub struct State;
+
+async fn step() {}
+async fn refresh() {}
+
+pub async fn named_guard(m: &std::sync::Mutex<u32>) {
+    let g = m.lock();
+    step().await;
+    drop(g);
+}
+
+pub async fn chained_guard(st: &std::sync::Mutex<State>) {
+    st.lock().refresh().await;
+}

@@ -1,0 +1,10 @@
+// Fixture: nondeterminism sources outside the allowlist.
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn width() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

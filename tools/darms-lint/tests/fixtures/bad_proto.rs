@@ -1,0 +1,14 @@
+// Fixture: protocol enum with unhandled variants and a wildcard dispatch.
+
+pub enum WireMsg {
+    Ping,
+    Pong,
+    Data(u32),
+}
+
+pub fn handle(m: WireMsg) -> u32 {
+    match m {
+        WireMsg::Ping => 1,
+        _ => 0,
+    }
+}

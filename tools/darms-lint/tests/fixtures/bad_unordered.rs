@@ -1,0 +1,21 @@
+// Fixture: iteration over hash containers in a trace-affecting scope.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    entries: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (_, name) in self.entries.iter() {
+            out.push(name.clone());
+        }
+        out
+    }
+
+    pub fn drop_even(&mut self) {
+        self.entries.retain(|k, _| k % 2 == 1);
+    }
+}

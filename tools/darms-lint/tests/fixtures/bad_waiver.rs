@@ -1,0 +1,9 @@
+// Fixture: a waiver without a reason is itself a finding, and it
+// suppresses nothing.
+
+use std::collections::HashMap;
+
+pub fn keys_of(m: &HashMap<u32, u64>) -> Vec<u32> {
+    // darms-lint: allow(unordered-iter)
+    m.keys().copied().collect()
+}

@@ -1,0 +1,18 @@
+// Fixture: the deterministic shape of the same code — BTree containers
+// iterate in key order, so nothing here depends on a hasher seed.
+
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    entries: BTreeMap<u64, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        self.entries.values().cloned().collect()
+    }
+
+    pub fn drop_even(&mut self) {
+        self.entries.retain(|k, _| k % 2 == 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: an order-independent reduction over a hash container,
+// waived with a reason.
+
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<u32, u64>) -> u64 {
+    // darms-lint: allow(unordered-iter, reason = "sum is order-independent")
+    counts.values().sum()
+}

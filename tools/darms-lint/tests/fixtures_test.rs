@@ -1,0 +1,91 @@
+//! Snapshot tests for the lint rules: each known-bad fixture must
+//! produce exactly the findings pinned in its `.expected.json`, and the
+//! known-good fixtures must come back clean.
+
+use std::fs;
+use std::path::PathBuf;
+
+use darms_lint::{findings_to_json, Config, ProtoEnum};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// Lint one fixture file in isolation. The fixture directory is the
+/// config root, every file is trace-affecting, and nothing is on the
+/// nondet allowlist; `proto` registers the fixture's `WireMsg` enum.
+fn lint_fixture(file: &str, proto: bool) -> String {
+    let cfg = Config {
+        root: fixtures_root(),
+        scan_dirs: vec![file.to_string()],
+        exclude: Vec::new(),
+        nondet_allow_files: Vec::new(),
+        trace_affecting: vec![String::new()],
+        proto_enums: if proto {
+            vec![ProtoEnum { file: file.to_string(), name: "WireMsg".to_string() }]
+        } else {
+            Vec::new()
+        },
+    };
+    let report = darms_lint::run(&cfg).expect("fixture lint run");
+    assert_eq!(report.files_scanned, 1, "fixture {file} not found");
+    findings_to_json(&report.findings)
+}
+
+fn assert_snapshot(file: &str, proto: bool) {
+    let actual = lint_fixture(file, proto);
+    let expected_path =
+        fixtures_root().join(format!("{}.expected.json", file.trim_end_matches(".rs")));
+    let expected = fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+    assert_eq!(actual.trim(), expected.trim(), "findings for {file} diverged from its snapshot");
+}
+
+#[test]
+fn bad_nondet_matches_snapshot() {
+    assert_snapshot("bad_nondet.rs", false);
+}
+
+#[test]
+fn bad_unordered_matches_snapshot() {
+    assert_snapshot("bad_unordered.rs", false);
+}
+
+#[test]
+fn bad_guard_await_matches_snapshot() {
+    assert_snapshot("bad_guard_await.rs", false);
+}
+
+#[test]
+fn bad_proto_matches_snapshot() {
+    assert_snapshot("bad_proto.rs", true);
+}
+
+#[test]
+fn bad_waiver_matches_snapshot() {
+    assert_snapshot("bad_waiver.rs", false);
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for file in ["good_clean.rs", "good_waiver.rs"] {
+        let json = lint_fixture(file, false);
+        assert_eq!(json, "[\n]", "{file} should lint clean, got: {json}");
+    }
+}
+
+#[test]
+fn good_waiver_is_recorded() {
+    let cfg = Config {
+        root: fixtures_root(),
+        scan_dirs: vec!["good_waiver.rs".to_string()],
+        exclude: Vec::new(),
+        nondet_allow_files: Vec::new(),
+        trace_affecting: vec![String::new()],
+        proto_enums: Vec::new(),
+    };
+    let report = darms_lint::run(&cfg).expect("fixture lint run");
+    assert_eq!(report.waivers.len(), 1);
+    assert_eq!(report.waivers[0].rule, "unordered-iter");
+    assert!(!report.waivers[0].reason.is_empty());
+}

@@ -1,0 +1,50 @@
+//! Workspace regression gate: the repository must lint clean.
+//!
+//! Runs the full `darms-lint` pass programmatically over the workspace
+//! and asserts (a) zero findings, and (b) every waiver in the tree
+//! carries a non-empty reason. A finding here means a nondeterminism
+//! source, an unordered-container iteration, a guard held across an
+//! `.await`, or a protocol-dispatch hole slipped in — fix the site or
+//! waive it with a reason, per DESIGN.md §12.
+
+use std::path::Path;
+
+use darms_lint::Config;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "bad workspace root {}", root.display());
+    let report = darms_lint::run(&Config::workspace(root)).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — scan dirs misconfigured?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean, found {} finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+    for w in &report.waivers {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "waiver at {}:{} for `{}` has an empty reason",
+            w.file,
+            w.line,
+            w.rule
+        );
+    }
+    // The waivers this PR introduced must still be visible to the scan.
+    assert!(!report.waivers.is_empty(), "expected at least one recorded waiver in the tree");
+}
