@@ -9,13 +9,17 @@
 # fault-injection sweep over the default 50 seeds (each run twice to
 # prove byte-identical reproduction); for longer soaks run e.g.
 # `cargo run --release -p darms-experiments --bin chaos_sweep -- --seeds 0..5000`.
+# `make soak-smoke` runs the darms-soak cell matrix (seed x fault-plan
+# x workload, every cell run twice for byte-identity, invariants
+# audited, SLO quantiles reported; DESIGN.md §13); for a long soak run
+# e.g. `cargo run --release -p darms-experiments --bin darms_soak -- --seeds 0..100 --budget-secs 600`.
 # `make lint-darms` runs the workspace determinism & protocol lint
 # (DESIGN.md §12) in deny mode; `make deny` audits Cargo.lock and the
 # crate licenses against deny.toml.
 
-.PHONY: verify fmt lint lint-darms deny build test bench bench-smoke bench-check chaos-smoke
+.PHONY: verify fmt lint lint-darms deny build test bench bench-smoke bench-check chaos-smoke soak-smoke
 
-verify: fmt lint lint-darms deny build test chaos-smoke bench-check
+verify: fmt lint lint-darms deny build test chaos-smoke soak-smoke bench-check
 
 fmt:
 	cargo fmt --all --check
@@ -46,3 +50,6 @@ bench-check:
 
 chaos-smoke:
 	cargo run --release -p darms-experiments --bin chaos_sweep -- --smoke
+
+soak-smoke:
+	cargo run --release -p darms-experiments --bin darms_soak -- --smoke

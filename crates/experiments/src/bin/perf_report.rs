@@ -21,19 +21,25 @@
 //! 5. **sweep** — the same swf_replay cells serial vs parallel on the
 //!    trial runner with `available_parallelism()` workers: records both
 //!    rows (serial and parallel) and that the results are identical.
+//! 6. **soak** — a small `(seed × fault-plan × workload)` soak matrix
+//!    (every cell run twice for byte-identity, invariants audited):
+//!    cells run, violations, events/sec, and the exact p50/p99/p999
+//!    latency SLOs (qsub→run and dynget→grant, split faulty vs
+//!    fault-free) — "production readiness" as a number.
 //!
 //! `--smoke` shrinks every dimension (one trial, tiny workload) so the
 //! harness can run in CI alongside `make verify`. `--check BASELINE`
 //! compares the measured ping-pong throughput against the
 //! `pingpong.events_per_sec` recorded in a committed `BENCH_sim.json`
-//! and exits non-zero on a regression of more than 20% — this is what
-//! `make bench-check` (part of `make verify`) runs.
+//! and exits non-zero on a regression of more than 20%, and fails on
+//! **any** soak invariant violation — this is what `make bench-check`
+//! (part of `make verify`) runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use darms_experiments::{figures, replay, runner, ReplayConfig};
-use darms_sim::{Engine, SimDuration};
+use darms_experiments::{figures, replay, runner, soak, ReplayConfig};
+use darms_sim::{Engine, QuantileEstimator, SimDuration};
 
 /// Ping-pong events/sec measured immediately before this PR's kernel
 /// optimizations (best of 4 runs of the identical probe on the same
@@ -241,6 +247,47 @@ fn main() {
     );
     assert!(identical, "parallel sweep must reproduce the serial results exactly");
 
+    // 6. Soak matrix: chaos + scale with invariant auditing and SLO
+    // quantiles (see darms_experiments::soak and the darms_soak bin).
+    let soak_seeds = if smoke { 1 } else { 3 };
+    let soak_cells = soak::matrix(0..soak_seeds);
+    let t0 = Instant::now();
+    let soak_outcomes =
+        runner::run_indexed(soak_cells.len(), |i| soak::run_cell_checked(&soak_cells[i]));
+    let soak_wall = t0.elapsed().as_secs_f64();
+    let soak_violations: usize = soak_outcomes.iter().map(|o| o.violations.len()).sum();
+    // Each cell runs twice (byte-identity), so both runs' events count.
+    let soak_events: u64 = soak_outcomes.iter().map(|o| o.events * 2).sum();
+    let soak_eps = soak_events as f64 / soak_wall;
+    let mut q_free = QuantileEstimator::new();
+    let mut q_faulty = QuantileEstimator::new();
+    let mut g_free = QuantileEstimator::new();
+    let mut g_faulty = QuantileEstimator::new();
+    for o in &soak_outcomes {
+        let (q, g) = if o.cell.faults.faulty() {
+            (&mut q_faulty, &mut g_faulty)
+        } else {
+            (&mut q_free, &mut g_free)
+        };
+        q.observe_all(&o.qsub_to_run);
+        g.observe_all(&o.dynget_to_grant);
+    }
+    let slo_json = |est: &QuantileEstimator| match est.summary() {
+        Some(s) => format!(
+            "{{\"count\": {}, \"p50\": {:.6}, \"p99\": {:.6}, \"p999\": {:.6}}}",
+            s.count, s.p50, s.p99, s.p999
+        ),
+        None => "null".to_string(),
+    };
+    println!(
+        "  soak ({} cells, {soak_violations} violations): {soak_events} events in \
+         {soak_wall:.2}s -> {soak_eps:.0} events/sec",
+        soak_cells.len()
+    );
+    for o in soak_outcomes.iter().filter(|o| !o.clean()) {
+        println!("    cell {}: {:?}", o.cell.id(), o.violations);
+    }
+
     let mut json = String::with_capacity(1024);
     let _ = writeln!(
         json,
@@ -272,13 +319,33 @@ fn main() {
         "  \"sweep\": {{\"scenario\": \"swf_replay(jobs={swf_jobs})\", \"cells\": {sweep_cells}, \
          \"threads\": {threads}, \"serial_secs\": {serial_secs:.3}, \
          \"parallel_secs\": {parallel_secs:.3}, \"speedup\": {speedup:.2}, \
-         \"byte_identical\": {identical}}}\n}}"
+         \"byte_identical\": {identical}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"soak\": {{\"cells\": {}, \"violations\": {soak_violations}, \
+         \"events\": {soak_events}, \"wall_secs\": {soak_wall:.3}, \
+         \"events_per_sec\": {soak_eps:.0}, \
+         \"qsub_to_run\": {{\"fault_free\": {}, \"faulty\": {}}}, \
+         \"dynget_to_grant\": {{\"fault_free\": {}, \"faulty\": {}}}}}\n}}",
+        soak_cells.len(),
+        slo_json(&q_free),
+        slo_json(&q_faulty),
+        slo_json(&g_free),
+        slo_json(&g_faulty),
     );
 
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("wrote {out_path}");
 
     if let Some(baseline) = check_path {
+        if soak_violations > 0 {
+            eprintln!(
+                "bench-check FAILED: the soak matrix reported {soak_violations} invariant \
+                 violation(s) — see the cell lines above"
+            );
+            std::process::exit(1);
+        }
         let base_eps = baseline_pingpong_eps(&baseline);
         let floor = base_eps * 0.8;
         if pp_eps < floor {
@@ -289,7 +356,8 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "bench-check ok: pingpong {pp_eps:.0} events/sec >= 80% of baseline {base_eps:.0}"
+            "bench-check ok: pingpong {pp_eps:.0} events/sec >= 80% of baseline {base_eps:.0}, \
+             soak matrix clean"
         );
     }
 }

@@ -2,10 +2,11 @@
 //! scenarios over the full batch system, with invariant auditing.
 //!
 //! Each seed deterministically derives a cluster shape, a job mix, and a
-//! [`FaultPlan`] (lossy/duplicating/reordering links, transient
-//! partitions, host outages), installs the plan together with the
-//! standard [`RetryPolicy`], runs the scenario, and audits the safety
-//! invariants the hardened control plane must uphold:
+//! [`FaultPlan`](darms_net::FaultPlan) (lossy/duplicating/reordering
+//! links, transient partitions, host outages), installs the plan
+//! together with the standard retry policy, runs the scenario, and
+//! audits the safety invariants the hardened control plane must uphold
+//! (see [`crate::invariants`] for the shared checker):
 //!
 //! 1. no simulated process panics and the engine's event cap is not hit;
 //! 2. every submitted job reaches a terminal state before the horizon
@@ -14,45 +15,23 @@
 //! 3. pool accounting is conserved per node (`free + allocated ==
 //!    capacity`) and at the end every node is fully free: no leaked
 //!    cores, no leaked dynamically granted accelerator set;
-//! 4. the run is byte-for-byte reproducible from its seed (the
+//! 4. the virtual clock of the serialized trace never goes backwards;
+//! 5. the run is byte-for-byte reproducible from its seed (the
 //!    serialized trace is the witness; [`run_chaos_checked`] reruns the
 //!    scenario and compares).
+//!
+//! Since the soak refactor the harness is a thin wrapper over
+//! [`crate::soak`]: `run_chaos(seed)` runs exactly the soak cell
+//! `(seed, WorkloadClass::Classic, FaultClass::Chaotic)` — pinned
+//! byte-for-byte by the chaos golden trace — and the soak matrix
+//! generalises the same scenario across workload and fault classes.
 //!
 //! Scope: the chaos plan exercises the **RMS control plane** (IFL,
 //! server ↔ mom, monitor) — the layers hardened with retries and
 //! idempotent request ids. The MPI data plane intentionally stays on
 //! reliable links; see DESIGN.md §11 for the fault-model boundary.
 
-use std::sync::Arc;
-
-use darms::prelude::*;
-use darms_net::HostId;
-use darms_rms::{ifl, MonitorConfig};
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use crate::golden;
-
-fn secs(s: u64) -> SimDuration {
-    SimDuration::from_secs(s)
-}
-
-/// Virtual-time horizon of every chaos scenario.
-const HORIZON_SECS: u64 = 400;
-
-/// One generated job of the chaos workload.
-#[derive(Clone, Debug)]
-struct ChaosJob {
-    arrival: SimDuration,
-    nodes: usize,
-    ppn: u32,
-    runtime: SimDuration,
-    /// Number of `pbs_dynget(1)` → hold → `pbs_dynfree` rounds the
-    /// mother-superior task performs before its compute phase.
-    dyn_rounds: u32,
-    dyn_hold: SimDuration,
-}
+use crate::soak::{run_cell, run_cell_checked, CellOutcome, SoakCell};
 
 /// What one audited chaos run produced.
 #[derive(Clone, Debug)]
@@ -82,203 +61,29 @@ impl ChaosOutcome {
     }
 }
 
-/// Deterministically derive the workload and fault schedule for `seed`.
-fn generate(seed: u64, rng: &mut SmallRng) -> (usize, usize, Vec<ChaosJob>) {
-    let _ = seed;
-    let compute = rng.gen_range(2usize..=3);
-    let accs = rng.gen_range(3usize..=4);
-    let n_jobs = rng.gen_range(4usize..=8);
-    let jobs = (0..n_jobs)
-        .map(|_| ChaosJob {
-            arrival: SimDuration::from_millis(rng.gen_range(0u64..60_000)),
-            nodes: rng.gen_range(1usize..=2.min(compute)),
-            ppn: rng.gen_range(1u32..=2),
-            runtime: SimDuration::from_millis(rng.gen_range(2_000u64..=8_000)),
-            dyn_rounds: rng.gen_range(0u32..=3),
-            dyn_hold: SimDuration::from_millis(rng.gen_range(1_000u64..=3_000)),
-        })
-        .collect();
-    (compute, accs, jobs)
-}
-
-/// Derive the fault plan. Hosts must already exist (plan windows name
-/// [`HostId`]s), so this runs after [`Cluster::build`].
-fn generate_plan(rng: &mut SmallRng, cluster: &Cluster) -> FaultPlan {
-    let lf = LinkFaults {
-        drop: rng.gen_range(0.05..0.25),
-        duplicate: rng.gen_range(0.0..0.15),
-        jitter: SimDuration::from_millis(rng.gen_range(0u64..=20)),
-        reorder: rng.gen_range(0.0..0.2),
-        reorder_window: SimDuration::from_millis(50),
-    };
-    let mut plan = FaultPlan::new(rng.gen_range(0u64..=u64::MAX)).with_default_link(lf);
-    let others: Vec<HostId> = cluster.compute.iter().chain(cluster.accs.iter()).copied().collect();
-    for _ in 0..rng.gen_range(0u32..=2) {
-        let from = SimTime::ZERO + secs(rng.gen_range(20u64..=90));
-        let len = secs(rng.gen_range(5u64..=15));
-        let host = others[rng.gen_range(0usize..others.len())];
-        plan = plan.with_partition(vec![host], from, from + len);
+impl From<CellOutcome> for ChaosOutcome {
+    fn from(o: CellOutcome) -> ChaosOutcome {
+        ChaosOutcome {
+            seed: o.cell.seed,
+            violations: o.violations,
+            jobs: o.jobs,
+            completed: o.completed,
+            cancelled: o.cancelled,
+            reclaims: o.reclaims,
+            trace: o.trace,
+        }
     }
-    for _ in 0..rng.gen_range(0u32..=2) {
-        let from = SimTime::ZERO + secs(rng.gen_range(20u64..=90));
-        let len = secs(rng.gen_range(5u64..=15));
-        let host = others[rng.gen_range(0usize..others.len())];
-        plan = plan.with_outage(host, from, from + len);
-    }
-    plan
 }
 
 /// Run one seeded chaos scenario and audit it.
 pub fn run_chaos(seed: u64) -> ChaosOutcome {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5EED);
-    let (compute, accs, jobs) = generate(seed, &mut rng);
-    let horizon = SimTime::ZERO + secs(HORIZON_SECS);
-    // A higher miss threshold than the default keeps purely probabilistic
-    // ping loss from constantly flapping nodes offline; sustained outages
-    // are still detected within ~12 s.
-    let mc = MonitorConfig { interval: secs(2), miss_threshold: 5, ctl_bytes: 64 };
-    let config = ClusterConfig::fast(seed)
-        .with_split(compute, accs)
-        .with_monitor(mc, horizon)
-        .with_retry(RetryPolicy::standard())
-        .with_trace();
-    let mut cluster = Cluster::build(config);
-    cluster.net.install_fault_plan(generate_plan(&mut rng, &cluster));
-
-    let n_jobs = jobs.len();
-    for (i, j) in jobs.iter().enumerate() {
-        let jc_cfg = j.clone();
-        let spec = JobSpec::synthetic(format!("chaos{i}"), j.runtime)
-            .nodes(j.nodes)
-            .ppn(j.ppn)
-            .walltime(secs(120))
-            .script(script(move |mut jc| {
-                let jc_cfg = jc_cfg.clone();
-                async move {
-                    if jc.node_index == 0 {
-                        for _ in 0..jc_cfg.dyn_rounds {
-                            if let Ok(grant) = jc.dynget(1).await {
-                                jc.proc.sleep(jc_cfg.dyn_hold).await;
-                                let _ = jc.dynfree(grant.client_id).await;
-                            }
-                        }
-                    }
-                    let _ = jc.sleep_interruptible(jc_cfg.runtime).await;
-                }
-            }));
-        cluster.qsub_after(j.arrival, spec);
-    }
-
-    // The auditor: a head-node client polling qstat until every job is
-    // terminal (or the horizon closes in), then sampling pool accounting
-    // under load.
-    #[derive(Default)]
-    struct Audit {
-        all_terminal: bool,
-        completed: usize,
-        cancelled: usize,
-        mid_run_violations: Vec<String>,
-    }
-    let audit = Arc::new(Mutex::new(Audit::default()));
-    let out = audit.clone();
-    let node_db = cluster.node_db.clone();
-    cluster.client_after("auditor", secs(5), move |c| async move {
-        loop {
-            c.proc.sleep(secs(10)).await;
-            // Mid-run pool-conservation sample (scoped lock; the server
-            // shares this database).
-            {
-                let db = node_db.lock();
-                for n in db.nodes() {
-                    let allocated: u32 = n.jobs.values().sum();
-                    if n.cores_free + allocated != n.cores_total {
-                        out.lock().mid_run_violations.push(format!(
-                            "pool accounting broken on host{}: {} free + {} allocated != {} total",
-                            n.host.index(),
-                            n.cores_free,
-                            allocated,
-                            n.cores_total
-                        ));
-                    }
-                }
-            }
-            let now = c.proc.now();
-            if let Ok(statuses) = ifl::try_qstat(&c.proc, &c.net, c.head, c.server).await {
-                if statuses.len() == n_jobs && statuses.iter().all(|s| s.state.is_terminal()) {
-                    let mut a = out.lock();
-                    a.all_terminal = true;
-                    a.completed = statuses.iter().filter(|s| s.state == JobState::Complete).count();
-                    a.cancelled = statuses.len() - a.completed;
-                    return;
-                }
-            }
-            if now >= SimTime::ZERO + secs(HORIZON_SECS - 30) {
-                return; // Ran out of time: all_terminal stays false.
-            }
-        }
-    });
-
-    let stats = cluster.run();
-    let events = cluster.tracer.snapshot();
-    let trace = golden::serialize(&events, &stats);
-
-    let mut violations = Vec::new();
-    if stats.process_panics != 0 {
-        violations.push(format!("{} process panic(s)", stats.process_panics));
-    }
-    if stats.hit_event_cap {
-        violations.push("engine event cap hit".to_string());
-    }
-    let a = audit.lock();
-    if !a.all_terminal {
-        violations.push("jobs still not terminal near the horizon".to_string());
-    }
-    violations.extend(a.mid_run_violations.iter().cloned());
-    {
-        let db = cluster.node_db.lock();
-        for n in db.nodes() {
-            let allocated: u32 = n.jobs.values().sum();
-            if n.cores_free + allocated != n.cores_total {
-                violations.push(format!(
-                    "final pool accounting broken on host{}: {} free + {} allocated != {} total",
-                    n.host.index(),
-                    n.cores_free,
-                    allocated,
-                    n.cores_total
-                ));
-            }
-            if a.all_terminal && !n.jobs.is_empty() {
-                violations.push(format!(
-                    "leaked allocation on host{}: jobs {:?} still hold cores/sets",
-                    n.host.index(),
-                    n.jobs.keys().collect::<Vec<_>>()
-                ));
-            }
-        }
-    }
-
-    ChaosOutcome {
-        seed,
-        violations,
-        jobs: n_jobs,
-        completed: a.completed,
-        cancelled: a.cancelled,
-        reclaims: cluster.metrics.counter("rms.reclaims"),
-        trace,
-    }
+    run_cell(&SoakCell::classic(seed)).into()
 }
 
 /// Run `seed` twice and additionally check byte-identical reproduction;
 /// a mismatch is reported as a violation on the returned outcome.
 pub fn run_chaos_checked(seed: u64) -> ChaosOutcome {
-    let mut first = run_chaos(seed);
-    let second = run_chaos(seed);
-    if first.trace != second.trace {
-        first
-            .violations
-            .push("rerun of the same seed diverged (trace not byte-identical)".to_string());
-    }
-    first
+    run_cell_checked(&SoakCell::classic(seed)).into()
 }
 
 #[cfg(test)]

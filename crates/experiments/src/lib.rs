@@ -12,9 +12,15 @@ pub mod chaos;
 pub mod extended;
 pub mod figures;
 pub mod golden;
+pub mod invariants;
 pub mod replay;
 pub mod runner;
+pub mod soak;
 
 pub use chaos::{run_chaos, run_chaos_checked, ChaosOutcome};
 pub use figures::{fig7a, fig7b, fig8, fig9, Fig7Row, Fig8Row, Fig9Row, TRIALS};
 pub use replay::{replay, replay_swf, ReplayConfig, ReplayOutcome};
+pub use soak::{
+    matrix, replay_bundle, run_cell, run_cell_checked, write_triage_bundle, BundleReplay,
+    CellOutcome, FaultClass, SoakCell, WorkloadClass,
+};

@@ -565,6 +565,9 @@ impl PbsServer {
         let metrics = ctx.metrics();
         metrics.counter_inc("rms.dynjoin");
         metrics.observe_duration("rms.dyn_wait", ctx.now().since(p.arrived));
+        // Grant-only latency: the dynget→grant SLO tracked by the soak
+        // harness (rms.dyn_wait above also counts rejections).
+        metrics.observe_duration("rms.dynget_to_grant", ctx.now().since(p.arrived));
         ctx.trace(format!(
             "{} granted {} accelerator(s) as {}",
             p.job,

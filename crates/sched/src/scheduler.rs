@@ -292,13 +292,19 @@ impl MauiScheduler {
                 // a defer) and deduplicated by token: a resolved request
                 // whose reply is still in flight can reappear in the
                 // next snapshot and be processed again.
-                let record_wait = |me: &mut Self, ctx: &mut Ctx<'_>| {
+                let record_wait = |me: &mut Self, ctx: &mut Ctx<'_>, granted: bool| {
                     if me.last_dyn_recorded != Some(d.token) {
                         me.last_dyn_recorded = Some(d.token);
                         if let Some(rec) = &me.recorder {
                             rec.record_duration("sched.dyn_wait", now, wait);
                         }
-                        ctx.metrics().observe_duration("sched.dyn_wait", wait);
+                        let metrics = ctx.metrics();
+                        metrics.observe_duration("sched.dyn_wait", wait);
+                        if granted {
+                            // Grant-only wait: the scheduler-side half of
+                            // the dynget→grant SLO the soak tracks.
+                            metrics.observe_duration("sched.dyn_grant_wait", wait);
+                        }
                     }
                 };
                 // Grant up to `count`, at least `min_count` (partial
@@ -320,7 +326,7 @@ impl MauiScheduler {
                 };
                 match granted {
                     Some(accs) => {
-                        record_wait(self, ctx);
+                        record_wait(self, ctx, true);
                         ctx.trace(format!(
                             "dyn request of {} granted {} of {} node(s)",
                             d.job,
@@ -344,7 +350,7 @@ impl MauiScheduler {
                             _ => {
                                 // The paper's policy: no reservations for
                                 // dynamic requests; reject immediately.
-                                record_wait(self, ctx);
+                                record_wait(self, ctx, false);
                                 ctx.trace(format!("dyn request of {} rejected", d.job));
                                 self.send_server(ctx, RejectDynCmd { token: d.token });
                             }

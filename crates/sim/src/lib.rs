@@ -63,7 +63,9 @@ pub use export::{
     metrics_to_json, to_chrome_trace, to_json_lines, write_chrome_trace, write_json_lines,
 };
 pub use kernel::{Kernel, SimConfig, SimStats, TraceRecord};
-pub use metrics::{HistogramSummary, MetricsRegistry};
+pub use metrics::{
+    exact_quantile, HistogramSummary, MetricsRegistry, QuantileEstimator, SloSummary,
+};
 pub use process::{Proc, ProcFuture};
 pub use recorder::{percentile, Recorder, Sample, Summary};
 pub use time::{SimDuration, SimTime};

@@ -20,6 +20,100 @@ use parking_lot::Mutex;
 use crate::recorder::percentile;
 use crate::time::{SimDuration, SimTime};
 
+/// Exact nearest-rank quantile of a **sorted** sample slice: the
+/// smallest sample `x` such that at least `q · n` samples are `<= x`
+/// (`sorted[ceil(q·n) - 1]`, clamped to the valid range). Unlike
+/// [`crate::percentile`] this never interpolates — the result is always
+/// an observed sample, which is the right definition for latency SLOs
+/// ("p999 = the slowest request among the fastest 99.9%"). Returns
+/// `None` on an empty slice.
+pub fn exact_quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1).min(sorted.len()) - 1])
+}
+
+/// Exact SLO quantiles of a latency stream: count and nearest-rank
+/// p50/p99/p999 (see [`exact_quantile`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// 99.9th percentile (nearest rank).
+    pub p999: f64,
+}
+
+/// Accumulates a latency stream and answers exact quantile queries.
+///
+/// The estimator is *exact*: it keeps every sample (the soak workloads
+/// produce at most a few hundred thousand latency points, so the memory
+/// cost is trivial next to the event heap) and sorts lazily per query.
+/// Mergeable: [`QuantileEstimator::absorb`] pools two streams such that
+/// the result equals one estimator having observed both.
+#[derive(Clone, Debug, Default)]
+pub struct QuantileEstimator {
+    samples: Vec<f64>,
+}
+
+impl QuantileEstimator {
+    /// A new, empty estimator.
+    pub fn new() -> Self {
+        QuantileEstimator::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Record every sample of `values`.
+    pub fn observe_all(&mut self, values: &[f64]) {
+        self.samples.extend_from_slice(values);
+    }
+
+    /// Pool another estimator's samples into this one.
+    pub fn absorb(&mut self, other: &QuantileEstimator) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// True when no sample has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact nearest-rank `q`-quantile of the stream so far; `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile samples must be ordered"));
+        exact_quantile(&sorted, q)
+    }
+
+    /// Exact p50/p99/p999 summary; `None` when empty.
+    pub fn summary(&self) -> Option<SloSummary> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile samples must be ordered"));
+        Some(SloSummary {
+            count: sorted.len() as u64,
+            p50: exact_quantile(&sorted, 0.50)?,
+            p99: exact_quantile(&sorted, 0.99)?,
+            p999: exact_quantile(&sorted, 0.999)?,
+        })
+    }
+}
+
 /// Quantile summary of a histogram.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HistogramSummary {
@@ -209,6 +303,19 @@ impl MetricsRegistry {
         self.inner.lock().histograms.get(name).cloned().unwrap_or_default()
     }
 
+    /// Exact nearest-rank SLO quantiles (p50/p99/p999) of histogram
+    /// `name`; `None` when the histogram is missing or empty. Unlike
+    /// [`MetricsRegistry::histogram`] the quantiles are observed
+    /// samples, never interpolations (see [`exact_quantile`]).
+    pub fn slo_summary(&self, name: &str) -> Option<SloSummary> {
+        let mut est = QuantileEstimator::new();
+        {
+            let s = self.inner.lock();
+            est.observe_all(s.histograms.get(name)?);
+        }
+        est.summary()
+    }
+
     // ----- introspection & merge -----------------------------------------
 
     /// Names of all metrics, grouped as (counters, gauges,
@@ -340,6 +447,53 @@ mod tests {
         let s3 = m3.histogram("h").unwrap();
         assert_eq!(s3.p50, 3.0);
         assert_eq!((s3.min, s3.max), (1.0, 5.0));
+    }
+
+    #[test]
+    fn exact_quantiles_are_nearest_rank() {
+        // Empty stream: no quantiles.
+        assert_eq!(exact_quantile(&[], 0.5), None);
+        let e = QuantileEstimator::new();
+        assert!(e.is_empty());
+        assert_eq!(e.summary(), None);
+        // Single sample: every quantile is that sample.
+        let mut e = QuantileEstimator::new();
+        e.observe(7.0);
+        let s = e.summary().unwrap();
+        assert_eq!((s.count, s.p50, s.p99, s.p999), (1, 7.0, 7.0, 7.0));
+        // 1..=1000: nearest-rank p50 = 500, p99 = 990, p999 = 999 — all
+        // observed samples, no interpolation.
+        let mut e = QuantileEstimator::new();
+        for v in (1..=1000).rev() {
+            e.observe(v as f64);
+        }
+        let s = e.summary().unwrap();
+        assert_eq!((s.p50, s.p99, s.p999), (500.0, 990.0, 999.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn estimator_absorb_pools_streams() {
+        let mut a = QuantileEstimator::new();
+        let mut b = QuantileEstimator::new();
+        a.observe_all(&[1.0, 2.0]);
+        b.observe_all(&[3.0, 4.0]);
+        a.absorb(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.quantile(1.0), Some(4.0));
+        assert_eq!(b.count(), 2, "absorb leaves the source untouched");
+    }
+
+    #[test]
+    fn registry_slo_summary_matches_estimator() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.slo_summary("h"), None);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            m.observe("h", v);
+        }
+        let s = m.slo_summary("h").unwrap();
+        assert_eq!((s.count, s.p50, s.p99, s.p999), (5, 3.0, 5.0, 5.0));
     }
 
     #[test]

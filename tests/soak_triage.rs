@@ -1,0 +1,106 @@
+//! Round-trip test for soak triage bundles (DESIGN.md §13): a bundle
+//! written for a violating (forced-failure) cell must be self-contained
+//! — replaying it from the on-disk `cell.json` alone reproduces the
+//! recorded trace byte-for-byte, and a tampered trace is detected.
+
+use std::path::PathBuf;
+
+use darms_experiments::soak::{self, FaultClass, SoakCell, WorkloadClass};
+
+/// A unique scratch directory under the target dir (kept out of the
+/// repo tree so a failing test cannot dirty the checkout).
+fn scratch_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("darms_soak_triage_{}_{tag}", std::process::id()));
+    // A previous failed run may have left the directory behind.
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create scratch dir");
+    root
+}
+
+#[test]
+fn forced_failure_bundle_replays_byte_for_byte() {
+    let mut cell = SoakCell::new(11, WorkloadClass::DynHeavy, FaultClass::Chaotic);
+    cell.force_failure = true;
+
+    let outcome = soak::run_cell_checked(&cell);
+    assert!(!outcome.clean(), "force_failure must make the cell dirty");
+    assert!(
+        outcome.violations.iter().any(|v| v.contains("forced failure")),
+        "violations should name the forced failure: {:?}",
+        outcome.violations
+    );
+
+    let root = scratch_root("roundtrip");
+    let bundle = soak::write_triage_bundle(&root, &outcome).expect("write bundle");
+    assert_eq!(bundle, root.join(cell.id()), "bundle dir is named after the cell id");
+
+    // The bundle is self-contained: config, violations, full trace, and
+    // a context slice are all present; the rerun trace only appears on
+    // divergence (a forced failure is deterministic, so no divergence).
+    for file in ["cell.json", "violations.txt", "trace.jsonl", "slice.jsonl"] {
+        assert!(bundle.join(file).is_file(), "bundle is missing {file}");
+    }
+    assert!(
+        !bundle.join("rerun_trace.jsonl").exists(),
+        "no rerun trace expected without divergence"
+    );
+    let bundled_trace = std::fs::read_to_string(bundle.join("trace.jsonl")).unwrap();
+    assert_eq!(bundled_trace, outcome.trace, "bundled trace must be the run's trace, verbatim");
+    let slice = std::fs::read_to_string(bundle.join("slice.jsonl")).unwrap();
+    assert!(!slice.is_empty(), "context slice must not be empty");
+    assert!(
+        bundled_trace.contains(slice.trim_end_matches('\n').lines().next().unwrap()),
+        "slice lines come from the bundled trace"
+    );
+
+    // Round trip: replay from the on-disk bundle alone.
+    let replay = soak::replay_bundle(&bundle).expect("replay bundle");
+    assert_eq!(replay.cell, cell, "cell.json reconstructs the exact cell");
+    assert!(replay.byte_identical, "replay must reproduce the violating trace byte-for-byte");
+    assert!(
+        replay.violations.iter().any(|v| v.contains("forced failure")),
+        "replay re-detects the recorded violation: {:?}",
+        replay.violations
+    );
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn tampered_bundle_trace_is_detected() {
+    let mut cell = SoakCell::new(5, WorkloadClass::Churn, FaultClass::Lossy);
+    cell.force_failure = true;
+    let outcome = soak::run_cell_checked(&cell);
+
+    let root = scratch_root("tamper");
+    let bundle = soak::write_triage_bundle(&root, &outcome).expect("write bundle");
+    let trace_path = bundle.join("trace.jsonl");
+    let mut trace = std::fs::read_to_string(&trace_path).unwrap();
+    trace.push_str("{\"tampered\": true}\n");
+    std::fs::write(&trace_path, trace).unwrap();
+
+    let replay = soak::replay_bundle(&bundle).expect("replay bundle");
+    assert!(!replay.byte_identical, "a tampered trace must not replay byte-identical");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn malformed_bundle_is_rejected_with_a_reason() {
+    let root = scratch_root("malformed");
+    // Empty dir: no cell.json at all.
+    let err = soak::replay_bundle(&root).unwrap_err();
+    assert!(err.contains("cell.json"), "error should name the missing file: {err}");
+
+    // Unknown workload class.
+    std::fs::write(
+        root.join("cell.json"),
+        "{\n  \"schema\": 1,\n  \"seed\": 0,\n  \"workload\": \"warp\",\n  \
+         \"faults\": \"none\",\n  \"force_failure\": false,\n  \"divergence_line\": null\n}\n",
+    )
+    .unwrap();
+    let err = soak::replay_bundle(&root).unwrap_err();
+    assert!(err.contains("unknown workload"), "error should flag the bad class: {err}");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

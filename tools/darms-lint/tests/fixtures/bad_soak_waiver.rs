@@ -1,0 +1,10 @@
+// Fixture: the darms-soak wall-clock budget read, but with a waiver
+// that gives no reason — the reasonless waiver is itself a finding and
+// suppresses nothing, so the nondet finding fires too.
+
+pub fn budget_spent(started_secs: u64, budget_secs: u64) -> bool {
+    // darms-lint: allow(nondet)
+    let now = std::time::Instant::now();
+    let _ = (now, started_secs);
+    budget_secs == 0
+}

@@ -66,6 +66,14 @@ fn bad_waiver_matches_snapshot() {
     assert_snapshot("bad_waiver.rs", false);
 }
 
+/// The soak binary's wall-clock budget read is only acceptable behind a
+/// waiver *with a reason*; stripped of the reason, both the waiver and
+/// the underlying nondet read must be flagged.
+#[test]
+fn bad_soak_waiver_matches_snapshot() {
+    assert_snapshot("bad_soak_waiver.rs", false);
+}
+
 #[test]
 fn good_fixtures_are_clean() {
     for file in ["good_clean.rs", "good_waiver.rs"] {
