@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p darms-experiments --bin perf_report -- \
-//!     [--smoke] [--out PATH] [--check BASELINE]
+//!     [--smoke] [--out PATH] [--check BASELINE] [--swf-jobs N] [--fig8-load N]
 //! ```
 //!
 //! The suite:
@@ -26,29 +26,38 @@
 //!    cells run, violations, events/sec, and the exact p50/p99/p999
 //!    latency SLOs (qsub→run and dynget→grant, split faulty vs
 //!    fault-free) — "production readiness" as a number.
+//! 7. **datacenter** — the diurnal front-door scenario at 1k hosts
+//!    (and 10k in full mode): events/sec and peak RSS (`VmHWM`) per
+//!    scale, plus the 10k-vs-1k per-event wall ratio that proves no
+//!    O(hosts) work is left on a per-event path.
 //!
-//! `--smoke` shrinks every dimension (one trial, tiny workload) so the
-//! harness can run in CI alongside `make verify`. `--check BASELINE`
-//! compares the measured ping-pong throughput against the
-//! `pingpong.events_per_sec` recorded in a committed `BENCH_sim.json`
-//! and exits non-zero on a regression of more than 20%, and fails on
-//! **any** soak invariant violation — this is what `make bench-check`
-//! (part of `make verify`) runs.
+//! `--swf-jobs` / `--fig8-load` override the historical 120-job and
+//! load-16 defaults — they are defaults, not ceilings. `--smoke`
+//! shrinks every dimension (one trial, tiny workload) so the harness
+//! can run in CI alongside `make verify` (the datacenter 1k cell runs
+//! at full scale in both modes; only the 10k cell is full-only).
+//! `--check BASELINE` compares the measured ping-pong throughput and
+//! datacenter@1k events/sec against a committed `BENCH_sim.json` and
+//! exits non-zero on a regression of more than 20% in either, and
+//! fails on **any** soak invariant violation — this is what
+//! `make bench-check` (part of `make verify`) runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use darms_experiments::{figures, replay, runner, soak, ReplayConfig};
-use darms_sim::{Engine, QuantileEstimator, SimDuration};
+use darms_experiments::{
+    datacenter, figures, hostmem, replay, runner, soak, DatacenterConfig, ReplayConfig,
+};
+use darms_sim::{Engine, QuantileEstimator, QueueKind, SimConfig, SimDuration};
 
 /// Ping-pong events/sec measured immediately before this PR's kernel
 /// optimizations (best of 4 runs of the identical probe on the same
 /// machine). Kept fixed so the JSON shows the cumulative effect.
 const PRE_PR_PINGPONG_EPS: f64 = 108_013.0;
 
-fn pingpong_once(round_trips: u32) -> (u64, f64) {
+fn pingpong_once(round_trips: u32, queue: QueueKind) -> (u64, f64) {
     let n = round_trips;
-    let mut sim = Engine::with_seed(1);
+    let mut sim = Engine::new(SimConfig { seed: 1, queue_kind: queue, ..Default::default() });
     let pong = sim.spawn_process("pong", move |p| async move {
         for _ in 0..n {
             let (v, src) = p.recv_as::<u32>().await;
@@ -111,41 +120,50 @@ impl Macro {
     }
 }
 
-/// Pull `pingpong.events_per_sec` out of a committed `BENCH_sim.json`
-/// without a JSON dependency: the harness writes the `"pingpong"` object
-/// on a single line, so a substring scan is exact.
-fn baseline_pingpong_eps(path: &str) -> f64 {
+/// Pull one numeric field out of a committed `BENCH_sim.json` without a
+/// JSON dependency: the harness writes each top-level object on a
+/// single line, so a (row, key) substring scan is exact.
+fn baseline_field(path: &str, row: &str, key: &str) -> f64 {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("--check: cannot read baseline {path}: {e}"));
+    let row_tag = format!("\"{row}\"");
     let line = text
         .lines()
-        .find(|l| l.contains("\"pingpong\""))
-        .unwrap_or_else(|| panic!("--check: no \"pingpong\" entry in {path}"));
-    let key = "\"events_per_sec\": ";
-    let at = line.find(key).unwrap_or_else(|| panic!("--check: no events_per_sec in {path}"));
-    let rest = &line[at + key.len()..];
+        .find(|l| l.contains(&row_tag))
+        .unwrap_or_else(|| panic!("--check: no {row_tag} entry in {path}"));
+    let key_tag = format!("\"{key}\": ");
+    let at = line.find(&key_tag).unwrap_or_else(|| panic!("--check: no {key} in {path}"));
+    let rest = &line[at + key_tag.len()..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end]
-        .trim()
-        .parse()
-        .unwrap_or_else(|e| panic!("--check: bad events_per_sec in {path}: {e}"))
+    rest[..end].trim().parse().unwrap_or_else(|e| panic!("--check: bad {key} in {path}: {e}"))
 }
 
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_sim.json");
     let mut check_path: Option<String> = None;
+    // The historical constants (120 SWF jobs, fig8 load 16) are
+    // defaults, not ceilings: both macros take their scale from the
+    // command line.
+    let mut swf_jobs_arg: Option<usize> = None;
+    let mut fig8_load_arg: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let usage = "usage: perf_report [--smoke] [--out PATH] [--check BASELINE] \
+                     [--swf-jobs N] [--fig8-load N]";
+        let num = |v: Option<String>, flag: &str| -> usize {
+            v.unwrap_or_else(|| panic!("{flag} needs a number; {usage}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("{flag} needs a number: {e}"))
+        };
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a baseline path")),
+            "--swf-jobs" => swf_jobs_arg = Some(num(args.next(), "--swf-jobs")),
+            "--fig8-load" => fig8_load_arg = Some(num(args.next(), "--fig8-load")),
             other => {
-                eprintln!(
-                    "unknown argument {other}; \
-                     usage: perf_report [--smoke] [--out PATH] [--check BASELINE]"
-                );
+                eprintln!("unknown argument {other}; {usage}");
                 std::process::exit(2);
             }
         }
@@ -159,22 +177,32 @@ fn main() {
     let mode = if smoke { "smoke" } else { "full" };
     println!("perf_report: mode={mode} cores={cores} sweep_threads={threads}");
 
-    // 1. Ping-pong: best of several runs (first doubles as warm-up).
+    // 1. Ping-pong: best of several runs (first doubles as warm-up),
+    // once per queue kind. The default (heap) row is the gated number;
+    // the calendar row records what the alternative backend costs on
+    // the same probe.
     let round_trips: u32 = if smoke { 20_000 } else { 200_000 };
     let runs = if smoke { 2 } else { 4 };
-    let mut pp_events = 0u64;
-    let mut pp_best_wall = f64::MAX;
-    for _ in 0..runs {
-        let (events, wall) = pingpong_once(round_trips);
-        pp_events = events;
-        if wall < pp_best_wall {
-            pp_best_wall = wall;
+    let best = |queue: QueueKind| {
+        let mut events = 0u64;
+        let mut best_wall = f64::MAX;
+        for _ in 0..runs {
+            let (ev, wall) = pingpong_once(round_trips, queue);
+            events = ev;
+            if wall < best_wall {
+                best_wall = wall;
+            }
         }
-    }
+        (events, best_wall)
+    };
+    let (pp_events, pp_best_wall) = best(QueueKind::Heap);
+    let (cal_events, cal_best_wall) = best(QueueKind::Calendar);
+    assert_eq!(pp_events, cal_events, "queue kinds must agree on the event count");
     let pp_eps = pp_events as f64 / pp_best_wall;
+    let cal_eps = cal_events as f64 / cal_best_wall;
     println!(
         "  pingpong: {pp_events} events in {pp_best_wall:.3}s -> {pp_eps:.0} events/sec \
-         ({:.2}x pre-PR baseline)",
+         ({:.2}x pre-PR baseline); calendar queue {cal_eps:.0} events/sec",
         pp_eps / PRE_PR_PINGPONG_EPS
     );
 
@@ -190,22 +218,25 @@ fn main() {
 
     // 3. fig8 scenario, serial (stable macro numbers).
     let fig8_trials = if smoke { 1 } else { 5 };
+    let fig8_load = fig8_load_arg.unwrap_or(16);
     let t0 = Instant::now();
-    let fig8_cells =
-        runner::run_indexed_with(1, fig8_trials, |t| figures::fig8_trial_full(16, 3000 + t as u64));
+    let fig8_cells = runner::run_indexed_with(1, fig8_trials, |t| {
+        figures::fig8_trial_full(fig8_load, 3000 + t as u64)
+    });
     let fig8 = Macro {
         events: fig8_cells.iter().map(|(_, _, s)| s.events).sum(),
         virtual_secs: fig8_cells.iter().map(|(_, _, s)| s.end_time.as_secs_f64()).sum(),
         wall_secs: t0.elapsed().as_secs_f64(),
     };
     println!(
-        "  fig8 (load 16, {fig8_trials} trials): {:.0} events/sec, {:.6} wall s per sim s",
+        "  fig8 (load {fig8_load}, {fig8_trials} trials): {:.0} events/sec, \
+         {:.6} wall s per sim s",
         fig8.events_per_sec(),
         fig8.wall_per_sim_second()
     );
 
     // 4. Scaled SWF replay.
-    let swf_jobs = if smoke { 10 } else { 120 };
+    let swf_jobs = swf_jobs_arg.unwrap_or(if smoke { 10 } else { 120 });
     let cfg = ReplayConfig { jobs: swf_jobs, seed: 4242, ..ReplayConfig::default() };
     let t0 = Instant::now();
     let outcome = replay(&cfg);
@@ -288,6 +319,52 @@ fn main() {
         println!("    cell {}: {:?}", o.cell.id(), o.violations);
     }
 
+    // 7. Datacenter scale: the whole stack — kernel hot path, server
+    // indexes, scheduler free-pools, incremental snapshots — under a
+    // diurnal front door at 1k hosts and (full mode) 10k hosts. Scales
+    // run ascending because `VmHWM` is a process-lifetime high-water
+    // mark: the value sampled after the 1k run cannot have been
+    // inflated by the 10k run. The 1k row is what `--check` gates.
+    let dc_run = |hosts: usize, runs: usize| {
+        let cfg = DatacenterConfig::at_scale(hosts, 42);
+        let mut best_wall = f64::MAX;
+        let mut out = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let o = datacenter::run_datacenter(&cfg);
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            out = Some(o);
+        }
+        (out.expect("runs >= 1"), best_wall, hostmem::peak_rss_mib())
+    };
+    let (dc1, dc1_wall, dc1_rss) = dc_run(1_000, 2);
+    let dc1_eps = dc1.stats.events as f64 / dc1_wall;
+    let rss = |r: Option<f64>| r.map_or_else(|| "null".into(), |m| format!("{m:.1}"));
+    println!(
+        "  datacenter (1k hosts, {} jobs): {} events in {dc1_wall:.3}s -> {dc1_eps:.0} \
+         events/sec, peak RSS {} MiB",
+        dc1.jobs,
+        dc1.stats.events,
+        rss(dc1_rss)
+    );
+    let dc10 = if smoke {
+        None
+    } else {
+        let (o, wall, rss10) = dc_run(10_000, 1);
+        let eps = o.stats.events as f64 / wall;
+        // The scale gate: per-event wall cost at 10k within 2x of 1k
+        // (i.e. nothing O(hosts) is left on a per-event path).
+        let per_event_ratio = dc1_eps / eps;
+        println!(
+            "  datacenter (10k hosts, {} jobs): {} events in {wall:.3}s -> {eps:.0} \
+             events/sec, peak RSS {} MiB, per-event {per_event_ratio:.2}x of 1k",
+            o.jobs,
+            o.stats.events,
+            rss(rss10)
+        );
+        Some((o, wall, rss10, eps, per_event_ratio))
+    };
+
     let mut json = String::with_capacity(1024);
     let _ = writeln!(
         json,
@@ -304,11 +381,17 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"queue_compare\": {{\"probe\": \"pingpong\", \"heap_events_per_sec\": {pp_eps:.0}, \
+         \"calendar_events_per_sec\": {cal_eps:.0}, \"calendar_vs_heap\": {:.2}}},",
+        cal_eps / pp_eps
+    );
+    let _ = writeln!(
+        json,
         "  \"spawn_churn\": {{\"processes\": {churn_procs}, \"events\": {churn_events}, \
          \"wall_secs\": {churn_wall:.3}, \"procs_per_sec\": {churn_pps:.0}, \
          \"events_per_sec\": {churn_eps:.0}}},"
     );
-    json.push_str(&format!("  \"fig8\": {{\"trials\": {fig8_trials}, \"load\": 16, "));
+    json.push_str(&format!("  \"fig8\": {{\"trials\": {fig8_trials}, \"load\": {fig8_load}, "));
     fig8.push_json(&mut json);
     json.push_str("},\n");
     json.push_str(&format!("  \"swf_replay\": {{\"jobs\": {swf_jobs}, "));
@@ -327,13 +410,35 @@ fn main() {
          \"events\": {soak_events}, \"wall_secs\": {soak_wall:.3}, \
          \"events_per_sec\": {soak_eps:.0}, \
          \"qsub_to_run\": {{\"fault_free\": {}, \"faulty\": {}}}, \
-         \"dynget_to_grant\": {{\"fault_free\": {}, \"faulty\": {}}}}}\n}}",
+         \"dynget_to_grant\": {{\"fault_free\": {}, \"faulty\": {}}}}},",
         soak_cells.len(),
         slo_json(&q_free),
         slo_json(&q_faulty),
         slo_json(&g_free),
         slo_json(&g_faulty),
     );
+    let mut dc_row = format!(
+        "  \"datacenter\": {{\"hosts_1k\": 1000, \"jobs_1k\": {}, \"events_1k\": {}, \
+         \"wall_secs_1k\": {dc1_wall:.3}, \"events_per_sec_1k\": {dc1_eps:.0}, \
+         \"peak_rss_mib_1k\": {}",
+        dc1.jobs,
+        dc1.stats.events,
+        rss(dc1_rss)
+    );
+    if let Some((o, wall, rss10, eps, ratio)) = &dc10 {
+        let _ = write!(
+            dc_row,
+            ", \"hosts_10k\": 10000, \"jobs_10k\": {}, \"events_10k\": {}, \
+             \"wall_secs_10k\": {wall:.3}, \"events_per_sec_10k\": {eps:.0}, \
+             \"peak_rss_mib_10k\": {}, \"per_event_ratio_10k_vs_1k\": {ratio:.2}",
+            o.jobs,
+            o.stats.events,
+            rss(*rss10)
+        );
+    }
+    dc_row.push_str("}\n}");
+    json.push_str(&dc_row);
+    json.push('\n');
 
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("wrote {out_path}");
@@ -346,18 +451,28 @@ fn main() {
             );
             std::process::exit(1);
         }
-        let base_eps = baseline_pingpong_eps(&baseline);
-        let floor = base_eps * 0.8;
-        if pp_eps < floor {
+        let base_eps = baseline_field(&baseline, "pingpong", "events_per_sec");
+        if pp_eps < base_eps * 0.8 {
             eprintln!(
                 "bench-check FAILED: pingpong {pp_eps:.0} events/sec is more than 20% below \
                  the committed baseline {base_eps:.0} ({baseline})"
             );
             std::process::exit(1);
         }
+        // The datacenter 1k cell is identical in smoke and full mode,
+        // so its events/sec is directly comparable to the committed
+        // full-mode baseline.
+        let base_dc = baseline_field(&baseline, "datacenter", "events_per_sec_1k");
+        if dc1_eps < base_dc * 0.8 {
+            eprintln!(
+                "bench-check FAILED: datacenter@1k {dc1_eps:.0} events/sec is more than 20% \
+                 below the committed baseline {base_dc:.0} ({baseline})"
+            );
+            std::process::exit(1);
+        }
         println!(
             "bench-check ok: pingpong {pp_eps:.0} events/sec >= 80% of baseline {base_eps:.0}, \
-             soak matrix clean"
+             datacenter@1k {dc1_eps:.0} >= 80% of {base_dc:.0}, soak matrix clean"
         );
     }
 }

@@ -9,15 +9,18 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod datacenter;
 pub mod extended;
 pub mod figures;
 pub mod golden;
+pub mod hostmem;
 pub mod invariants;
 pub mod replay;
 pub mod runner;
 pub mod soak;
 
 pub use chaos::{run_chaos, run_chaos_checked, ChaosOutcome};
+pub use datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome};
 pub use figures::{fig7a, fig7b, fig8, fig9, Fig7Row, Fig8Row, Fig9Row, TRIALS};
 pub use replay::{replay, replay_swf, ReplayConfig, ReplayOutcome};
 pub use soak::{

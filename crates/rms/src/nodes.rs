@@ -1,7 +1,28 @@
 //! The server's node database: compute nodes with core counts and
 //! exclusively-allocated accelerator nodes, with allocation bookkeeping.
+//!
+//! ## Indexed free-pools
+//!
+//! Every query the scheduler path issues per decision used to be a
+//! linear scan over all nodes, which is O(hosts) per job at datacenter
+//! scale. The database therefore maintains incremental indexes next to
+//! the flat records:
+//!
+//! - `compute_by_free`: online compute nodes bucketed by free-core
+//!   count, so "hosts with ≥ ppn free" enumerates only matching
+//!   buckets;
+//! - `free_accs`: the set of online, fully-free accelerator nodes;
+//! - `job_hosts`: every host a job holds resources on, so releasing a
+//!   finished job touches its own hosts instead of scanning the world;
+//! - running sums for the usage counters, so utilisation metrics are
+//!   O(1) per sample.
+//!
+//! The pre-index linear scans are retained as `*_linear` methods and
+//! cross-checked against the indexed paths by a property test over
+//! randomized allocate/release/offline sequences (`darms-rms`
+//! `tests/nodedb_props.rs`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use darms_net::HostId;
 
@@ -47,6 +68,23 @@ impl NodeRecord {
 pub struct NodeDb {
     nodes: Vec<NodeRecord>,
     by_host: BTreeMap<HostId, usize>,
+    /// Online compute nodes bucketed by free-core count. Bucket members
+    /// are node indices, i.e. registration order.
+    compute_by_free: BTreeMap<u32, BTreeSet<usize>>,
+    /// Online, fully-free accelerator nodes (indices).
+    free_accs: BTreeSet<usize>,
+    /// Hosts each live job holds resources on (insertion order).
+    job_hosts: BTreeMap<JobId, Vec<HostId>>,
+    /// Running totals for `compute_core_usage` (include offline nodes,
+    /// matching the linear sum).
+    compute_free_sum: u32,
+    compute_total_sum: u32,
+    /// Total accelerator count for `accelerator_usage`.
+    acc_total: usize,
+    /// Nodes whose scheduler-visible state (`cores_free`/`offline`)
+    /// changed since the last [`NodeDb::take_dirty`] — the changelog
+    /// behind incremental cluster snapshots.
+    dirty: BTreeSet<usize>,
 }
 
 impl NodeDb {
@@ -70,7 +108,20 @@ impl NodeDb {
             !self.by_host.contains_key(&host),
             "host {host:?} registered twice in the node database"
         );
-        self.by_host.insert(host, self.nodes.len());
+        let idx = self.nodes.len();
+        self.by_host.insert(host, idx);
+        self.dirty.insert(idx);
+        match role {
+            NodeRole::Compute => {
+                self.compute_by_free.entry(cores).or_default().insert(idx);
+                self.compute_free_sum += cores;
+                self.compute_total_sum += cores;
+            }
+            NodeRole::Accelerator => {
+                self.free_accs.insert(idx);
+                self.acc_total += 1;
+            }
+        }
         self.nodes.push(NodeRecord {
             host,
             role,
@@ -81,9 +132,32 @@ impl NodeDb {
         });
     }
 
+    /// Move a compute node between free-count buckets (no-op while the
+    /// node is offline — offline nodes are not indexed).
+    fn rebucket_compute(&mut self, idx: usize, old_free: u32, new_free: u32) {
+        if self.nodes[idx].offline || old_free == new_free {
+            return;
+        }
+        if let Some(b) = self.compute_by_free.get_mut(&old_free) {
+            b.remove(&idx);
+            if b.is_empty() {
+                self.compute_by_free.remove(&old_free);
+            }
+        }
+        self.compute_by_free.entry(new_free).or_default().insert(idx);
+    }
+
     /// All node records.
     pub fn nodes(&self) -> &[NodeRecord] {
         &self.nodes
+    }
+
+    /// Drain the set of node indices whose scheduler-visible state
+    /// changed since the previous drain. A full snapshot also counts as
+    /// a drain: after serving one, the recipient is current, so only
+    /// changes from that point on matter.
+    pub fn take_dirty(&mut self) -> BTreeSet<usize> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Record for one host.
@@ -91,20 +165,69 @@ impl NodeDb {
         self.by_host.get(&host).map(|&i| &self.nodes[i])
     }
 
-    fn get_mut(&mut self, host: HostId) -> Option<&mut NodeRecord> {
-        let i = *self.by_host.get(&host)?;
-        Some(&mut self.nodes[i])
+    /// Registration index of a host (its position in [`NodeDb::nodes`]).
+    pub fn index_of(&self, host: HostId) -> Option<usize> {
+        self.by_host.get(&host).copied()
     }
 
     /// Take or release a node administratively.
     pub fn set_offline(&mut self, host: HostId, offline: bool) {
-        if let Some(n) = self.get_mut(host) {
-            n.offline = offline;
+        let Some(&idx) = self.by_host.get(&host) else { return };
+        if self.nodes[idx].offline == offline {
+            return;
+        }
+        self.dirty.insert(idx);
+        // De-index before the flip (rebucket skips offline nodes), then
+        // flip, then re-index with the node's current occupancy.
+        if offline {
+            match self.nodes[idx].role {
+                NodeRole::Compute => {
+                    let free = self.nodes[idx].cores_free;
+                    if let Some(b) = self.compute_by_free.get_mut(&free) {
+                        b.remove(&idx);
+                        if b.is_empty() {
+                            self.compute_by_free.remove(&free);
+                        }
+                    }
+                }
+                NodeRole::Accelerator => {
+                    self.free_accs.remove(&idx);
+                }
+            }
+            self.nodes[idx].offline = true;
+        } else {
+            self.nodes[idx].offline = false;
+            match self.nodes[idx].role {
+                NodeRole::Compute => {
+                    let free = self.nodes[idx].cores_free;
+                    self.compute_by_free.entry(free).or_default().insert(idx);
+                }
+                NodeRole::Accelerator => {
+                    if self.nodes[idx].is_free() {
+                        self.free_accs.insert(idx);
+                    }
+                }
+            }
         }
     }
 
     /// Compute hosts with at least `ppn` free cores, in registration order.
     pub fn free_compute(&self, ppn: u32) -> Vec<HostId> {
+        let mut idxs: Vec<usize> =
+            self.compute_by_free.range(ppn..).flat_map(|(_, b)| b.iter().copied()).collect();
+        idxs.sort_unstable();
+        idxs.into_iter().map(|i| self.nodes[i].host).collect()
+    }
+
+    /// Fully free accelerator hosts, in registration order.
+    pub fn free_accelerators(&self) -> Vec<HostId> {
+        self.free_accs.iter().map(|&i| self.nodes[i].host).collect()
+    }
+
+    /// Linear-scan reference for [`NodeDb::free_compute`] (retained for
+    /// the index-consistency property tests).
+    #[doc(hidden)]
+    pub fn free_compute_linear(&self, ppn: u32) -> Vec<HostId> {
         self.nodes
             .iter()
             .filter(|n| n.role == NodeRole::Compute && !n.offline && n.cores_free >= ppn)
@@ -112,8 +235,9 @@ impl NodeDb {
             .collect()
     }
 
-    /// Fully free accelerator hosts, in registration order.
-    pub fn free_accelerators(&self) -> Vec<HostId> {
+    /// Linear-scan reference for [`NodeDb::free_accelerators`].
+    #[doc(hidden)]
+    pub fn free_accelerators_linear(&self) -> Vec<HostId> {
         self.nodes
             .iter()
             .filter(|n| n.role == NodeRole::Accelerator && n.is_free())
@@ -125,46 +249,102 @@ impl NodeDb {
     /// node cannot satisfy it — the scheduler must only hand out feasible
     /// allocations (this invariant is property-tested).
     pub fn allocate_compute(&mut self, host: HostId, job: JobId, ppn: u32) {
-        let n = self.get_mut(host).expect("allocating unknown host");
+        let idx = *self.by_host.get(&host).expect("allocating unknown host");
+        let n = &mut self.nodes[idx];
         assert_eq!(n.role, NodeRole::Compute, "allocate_compute on an accelerator");
         assert!(!n.offline, "allocate on offline node");
         assert!(n.cores_free >= ppn, "over-allocation of {host:?}");
+        let old_free = n.cores_free;
         n.cores_free -= ppn;
-        *n.jobs.entry(job).or_insert(0) += ppn;
+        let first_on_host = n.jobs.insert(job, n.jobs.get(&job).copied().unwrap_or(0) + ppn);
+        let new_free = old_free - ppn;
+        self.compute_free_sum -= ppn;
+        self.dirty.insert(idx);
+        self.rebucket_compute(idx, old_free, new_free);
+        if first_on_host.is_none() {
+            self.job_hosts.entry(job).or_default().push(host);
+        }
     }
 
     /// Allocate an accelerator node exclusively to a job.
     pub fn allocate_accelerator(&mut self, host: HostId, job: JobId) {
-        let n = self.get_mut(host).expect("allocating unknown host");
+        let idx = *self.by_host.get(&host).expect("allocating unknown host");
+        let n = &mut self.nodes[idx];
         assert_eq!(n.role, NodeRole::Accelerator, "allocate_accelerator on a compute node");
         assert!(n.is_free(), "accelerator {host:?} double-allocated");
         n.cores_free = 0;
         n.jobs.insert(job, 1);
+        self.dirty.insert(idx);
+        self.free_accs.remove(&idx);
+        self.job_hosts.entry(job).or_default().push(host);
     }
 
     /// Release everything `job` holds on `host`.
     pub fn release(&mut self, host: HostId, job: JobId) {
-        let n = self.get_mut(host).expect("releasing unknown host");
-        if let Some(held) = n.jobs.remove(&job) {
-            match n.role {
-                NodeRole::Compute => n.cores_free += held,
-                NodeRole::Accelerator => n.cores_free = n.cores_total,
+        if self.release_on(host, job) {
+            // Keep the job->hosts index consistent for per-host releases
+            // (grant-abort paths); wholesale `release_job` bypasses this.
+            if let Some(hosts) = self.job_hosts.get_mut(&job) {
+                hosts.retain(|h| *h != host);
+                if hosts.is_empty() {
+                    self.job_hosts.remove(&job);
+                }
             }
-            debug_assert!(n.cores_free <= n.cores_total, "release overflow on {host:?}");
         }
     }
 
-    /// Release everything `job` holds anywhere.
+    /// Release bookkeeping on one host, without touching `job_hosts`.
+    /// Returns whether the job actually held anything there.
+    fn release_on(&mut self, host: HostId, job: JobId) -> bool {
+        let Some(&idx) = self.by_host.get(&host) else {
+            panic!("releasing unknown host");
+        };
+        let n = &mut self.nodes[idx];
+        let Some(held) = n.jobs.remove(&job) else { return false };
+        let old_free = n.cores_free;
+        match n.role {
+            NodeRole::Compute => {
+                n.cores_free += held;
+                let new_free = n.cores_free;
+                debug_assert!(new_free <= n.cores_total, "release overflow on {host:?}");
+                self.compute_free_sum += held;
+                self.rebucket_compute(idx, old_free, new_free);
+            }
+            NodeRole::Accelerator => {
+                n.cores_free = n.cores_total;
+                if n.is_free() {
+                    self.free_accs.insert(idx);
+                }
+            }
+        }
+        self.dirty.insert(idx);
+        true
+    }
+
+    /// Release everything `job` holds anywhere: O(hosts the job holds),
+    /// via the job->hosts index.
     pub fn release_job(&mut self, job: JobId) {
-        let hosts: Vec<HostId> =
-            self.nodes.iter().filter(|n| n.jobs.contains_key(&job)).map(|n| n.host).collect();
-        for h in hosts {
-            self.release(h, job);
+        if let Some(hosts) = self.job_hosts.remove(&job) {
+            for h in hosts {
+                self.release_on(h, job);
+            }
         }
     }
 
     /// Total free / total cores over compute nodes (utilisation metrics).
     pub fn compute_core_usage(&self) -> (u32, u32) {
+        (self.compute_free_sum, self.compute_total_sum)
+    }
+
+    /// (free, total) accelerator node counts.
+    pub fn accelerator_usage(&self) -> (usize, usize) {
+        (self.free_accs.len(), self.acc_total)
+    }
+
+    /// Linear recomputation of [`NodeDb::compute_core_usage`] (property
+    /// tests cross-check the running sums against it).
+    #[doc(hidden)]
+    pub fn compute_core_usage_linear(&self) -> (u32, u32) {
         let mut free = 0;
         let mut total = 0;
         for n in &self.nodes {
@@ -176,8 +356,9 @@ impl NodeDb {
         (free, total)
     }
 
-    /// (free, total) accelerator node counts.
-    pub fn accelerator_usage(&self) -> (usize, usize) {
+    /// Linear recomputation of [`NodeDb::accelerator_usage`].
+    #[doc(hidden)]
+    pub fn accelerator_usage_linear(&self) -> (usize, usize) {
         let mut free = 0;
         let mut total = 0;
         for n in &self.nodes {
@@ -282,5 +463,50 @@ mod tests {
         db.allocate_accelerator(h(2), JobId(1));
         assert_eq!(db.compute_core_usage(), (13, 16));
         assert_eq!(db.accelerator_usage(), (1, 2));
+    }
+
+    #[test]
+    fn repeat_allocation_on_same_host_releases_wholesale() {
+        // A job growing on a host it already occupies (dyn compute
+        // grant) must not duplicate the job->hosts index entry.
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 2);
+        db.allocate_compute(h(0), JobId(1), 3);
+        assert_eq!(db.free_compute(4), vec![h(1)]);
+        db.release_job(JobId(1));
+        assert_eq!(db.compute_core_usage(), (16, 16));
+        assert_eq!(db.free_compute(8), vec![h(0), h(1)]);
+    }
+
+    #[test]
+    fn offline_release_reindexes_on_return() {
+        // Reclaim pattern: node goes offline while allocated, the job
+        // is released while it is offline, then the node comes back.
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 8);
+        db.allocate_accelerator(h(2), JobId(1));
+        db.set_offline(h(0), true);
+        db.set_offline(h(2), true);
+        db.release_job(JobId(1));
+        assert_eq!(db.free_compute(1), vec![h(1)]);
+        assert_eq!(db.free_accelerators(), vec![h(3)]);
+        db.set_offline(h(0), false);
+        db.set_offline(h(2), false);
+        assert_eq!(db.free_compute(8), vec![h(0), h(1)]);
+        assert_eq!(db.free_accelerators(), vec![h(2), h(3)]);
+    }
+
+    #[test]
+    fn indexed_paths_match_linear_references() {
+        let mut db = db();
+        db.allocate_compute(h(0), JobId(1), 6);
+        db.allocate_accelerator(h(3), JobId(1));
+        db.set_offline(h(1), true);
+        for ppn in 0..=8 {
+            assert_eq!(db.free_compute(ppn), db.free_compute_linear(ppn));
+        }
+        assert_eq!(db.free_accelerators(), db.free_accelerators_linear());
+        assert_eq!(db.compute_core_usage(), db.compute_core_usage_linear());
+        assert_eq!(db.accelerator_usage(), db.accelerator_usage_linear());
     }
 }

@@ -212,6 +212,17 @@ pub struct ClusterQueryReq {
     pub token: u64,
     /// Where to deliver the snapshot.
     pub reply: Address,
+    /// Token of the last response this client applied, if it holds a
+    /// node-state cache. When it matches the last response the server
+    /// actually served, the server may answer with a node *delta*
+    /// (changed nodes only) instead of the full list; any mismatch
+    /// (lost response, restarted client) falls back to a full snapshot.
+    pub cached_token: Option<u64>,
+    /// Hosts the client wants restated verbatim in a delta response
+    /// even if the server did not change them — the scheduler lists
+    /// nodes it mutated speculatively since the last snapshot, so a
+    /// grant the server rejected cannot leave its cache stale.
+    pub refresh: Vec<HostId>,
 }
 
 /// One node as seen by the scheduler.
@@ -316,6 +327,11 @@ pub struct ClusterQueryResp {
     pub token: u64,
     /// The snapshot.
     pub snapshot: ClusterSnapshot,
+    /// When `true`, `snapshot.nodes` holds only the nodes that changed
+    /// since the response named by the request's `cached_token` (plus
+    /// any requested refreshes) — the client patches its cache instead
+    /// of rebuilding. `queued`/`running`/`dyn_pending` are always full.
+    pub nodes_delta: bool,
 }
 
 /// Scheduler -> server: start a queued job on these resources.

@@ -1,7 +1,7 @@
 //! The `pbs_server` actor: job intake, node accounting, scheduler
 //! liaison, and the paper's serial dynamic-request servicing.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use darms_net::{Address, HostId, Network};
@@ -108,7 +108,18 @@ pub struct PbsServer {
     host: HostId,
     cost: RmsCostModel,
     jobs: BTreeMap<JobId, JobRecord>,
+    /// Jobs currently `Running` or `DynQueued`. `jobs` accumulates every
+    /// job ever submitted (qstat reports history), so the hot paths that
+    /// only care about live jobs — scheduler snapshots, host
+    /// reclamation, the retransmit tick — iterate this index instead of
+    /// scanning the full map.
+    active: BTreeSet<JobId>,
+    /// Submission order of queued jobs. Entries are removed lazily: a
+    /// started or cancelled job's entry goes stale (its state filters it
+    /// out everywhere) and `queue_dead` triggers a periodic compaction,
+    /// so dequeuing is O(1) instead of O(queue).
     queue_order: Vec<JobId>,
+    queue_dead: usize,
     db: Arc<Mutex<NodeDb>>,
     next_job: u64,
     next_client: u64,
@@ -128,6 +139,12 @@ pub struct PbsServer {
     /// Released dynamic sets whose `FreeDone` has not arrived yet; the
     /// retransmit tick re-drives the `DisjoinCmd`.
     pending_frees: BTreeMap<ClientId, (JobId, DynSet)>,
+    /// Token of the last `ClusterQueryResp` served. A query whose
+    /// `cached_token` matches proves the client applied that exact
+    /// response, so the node list can be answered as a delta of the
+    /// database's dirty set; any mismatch (lost response, fresh client)
+    /// falls back to a full snapshot.
+    snap_last_token: Option<u64>,
 }
 
 impl PbsServer {
@@ -139,7 +156,9 @@ impl PbsServer {
             host,
             cost,
             jobs: BTreeMap::new(),
+            active: BTreeSet::new(),
             queue_order: Vec::new(),
+            queue_dead: 0,
             db: Arc::new(Mutex::new(db)),
             next_job: 1,
             next_client: 1,
@@ -151,6 +170,7 @@ impl PbsServer {
             ifl_seen: BTreeMap::new(),
             ifl_order: VecDeque::new(),
             pending_frees: BTreeMap::new(),
+            snap_last_token: None,
         }
     }
 
@@ -235,15 +255,24 @@ impl PbsServer {
     /// `rms.acc_pool_util` time-weighted gauge. Called after every node
     /// (de)allocation that can touch the pool.
     fn record_pool_util(&self, ctx: &mut Ctx<'_>) {
-        let db = self.db.lock();
-        let (total, busy) = db
-            .nodes()
-            .iter()
-            .filter(|n| n.role == NodeRole::Accelerator)
-            .fold((0u64, 0u64), |(t, b), n| (t + 1, b + u64::from(!n.is_free())));
+        // O(1): the node database keeps running usage counters.
+        let (free, total) = self.db.lock().accelerator_usage();
         if total > 0 {
+            let busy = total - free;
             let now = ctx.now();
             ctx.metrics().twg_set("rms.acc_pool_util", now, busy as f64 / total as f64);
+        }
+    }
+
+    /// Drop stale `queue_order` entries (jobs no longer queued or held)
+    /// once they outnumber the live ones. Amortized O(1) per dequeue.
+    fn maybe_compact_queue(&mut self) {
+        if self.queue_dead >= 64 && self.queue_dead * 2 > self.queue_order.len() {
+            let jobs = &self.jobs;
+            self.queue_order.retain(|id| {
+                jobs.get(id).is_some_and(|j| matches!(j.state, JobState::Queued | JobState::Held))
+            });
+            self.queue_dead = 0;
         }
     }
 
@@ -287,20 +316,39 @@ impl PbsServer {
 
     // -- scheduler liaison ----------------------------------------------
 
-    fn snapshot(&self) -> ClusterSnapshot {
-        let nodes = self
-            .db
-            .lock()
-            .nodes()
-            .iter()
-            .map(|n| NodeSnap {
-                host: n.host,
-                role: n.role,
-                cores_total: n.cores_total,
-                cores_free: n.cores_free,
-                offline: n.offline,
-            })
-            .collect();
+    /// Build the response to one cluster query. When the client proves
+    /// (via `cached_token`) that it applied the previous response, the
+    /// node list is a delta: only nodes the database dirtied since that
+    /// response, plus any the client asked to have restated. Queued,
+    /// running and dyn-pending lists are always full — they are sized
+    /// by activity, not cluster size.
+    fn snapshot_for(&mut self, req: &ClusterQueryReq) -> (ClusterSnapshot, bool) {
+        let snap_of = |n: &crate::nodes::NodeRecord| NodeSnap {
+            host: n.host,
+            role: n.role,
+            cores_total: n.cores_total,
+            cores_free: n.cores_free,
+            offline: n.offline,
+        };
+        let delta_ok = req.cached_token.is_some() && req.cached_token == self.snap_last_token;
+        self.snap_last_token = Some(req.token);
+        let (nodes, nodes_delta) = {
+            let mut db = self.db.lock();
+            // Drain in either mode: after this response the client is
+            // current, so only later changes matter.
+            let mut changed = db.take_dirty();
+            if delta_ok {
+                for h in &req.refresh {
+                    if let Some(i) = db.index_of(*h) {
+                        changed.insert(i);
+                    }
+                }
+                let all = db.nodes();
+                (changed.iter().map(|&i| snap_of(&all[i])).collect::<Vec<_>>(), true)
+            } else {
+                (db.nodes().iter().map(snap_of).collect(), false)
+            }
+        };
         let queued = self
             .queue_order
             .iter()
@@ -317,9 +365,9 @@ impl PbsServer {
             })
             .collect();
         let running = self
-            .jobs
-            .values()
-            .filter(|j| matches!(j.state, JobState::Running | JobState::DynQueued))
+            .active
+            .iter()
+            .filter_map(|id| self.jobs.get(id))
             .map(|j| RunningJobSnap {
                 job: j.id,
                 owner: j.spec.owner.clone(),
@@ -347,7 +395,7 @@ impl PbsServer {
                 queued_at: t,
             })
         });
-        ClusterSnapshot { nodes, queued, running, dyn_pending }
+        (ClusterSnapshot { nodes, queued, running, dyn_pending }, nodes_delta)
     }
 
     fn handle_run_job(&mut self, ctx: &mut Ctx<'_>, cmd: RunJobCmd) {
@@ -398,7 +446,9 @@ impl PbsServer {
             }
         }
         self.record_pool_util(ctx);
-        self.queue_order.retain(|j| *j != id);
+        self.active.insert(id);
+        self.queue_dead += 1;
+        self.maybe_compact_queue();
         let ms = cmd.compute[0];
         ctx.trace(format!("{id} -> mother superior on host{}", ms.index()));
         let launch = JobLaunch {
@@ -714,6 +764,7 @@ impl PbsServer {
         }
         rec.state = if msg.timed_out { JobState::TimedOut } else { JobState::Complete };
         rec.completed = Some(ctx.now());
+        self.active.remove(&msg.job);
         if hardened {
             rec.dyn_sets.clear();
         }
@@ -779,9 +830,9 @@ impl PbsServer {
     /// when moms or jobs die mid-flight.
     fn reclaim_host(&mut self, ctx: &mut Ctx<'_>, host: HostId) {
         let victims: Vec<JobId> = self
-            .jobs
-            .values()
-            .filter(|j| matches!(j.state, JobState::Running | JobState::DynQueued))
+            .active
+            .iter()
+            .filter_map(|id| self.jobs.get(id))
             .filter(|j| {
                 j.compute.contains(&host)
                     || j.accs.iter().flatten().any(|h| *h == host)
@@ -807,9 +858,14 @@ impl PbsServer {
                 rec.state = JobState::Cancelled;
                 rec.completed = Some(ctx.now());
             }
+            self.active.remove(&job);
             self.db.lock().release_job(job);
             self.fs.remove_job(job);
             if requeue {
+                // Reclaim is rare (fault path), so an exact O(queue)
+                // de-dup beats tracking staleness: the job's entry from
+                // its first queueing may still be lazily present.
+                self.queue_order.retain(|j| *j != job);
                 self.queue_order.push(job);
             }
             if let Some(ms) = ms {
@@ -832,13 +888,10 @@ impl PbsServer {
     fn retransmit_tick(&mut self, ctx: &mut Ctx<'_>) {
         let Some(pol) = self.net.retry_policy() else { return };
         let launches: Vec<(HostId, JobLaunch)> = self
-            .jobs
-            .values()
-            .filter(|j| {
-                matches!(j.state, JobState::Running | JobState::DynQueued)
-                    && j.started.is_none()
-                    && !j.compute.is_empty()
-            })
+            .active
+            .iter()
+            .filter_map(|id| self.jobs.get(id))
+            .filter(|j| j.started.is_none() && !j.compute.is_empty())
             .map(|j| {
                 (
                     j.compute[0],
@@ -930,12 +983,14 @@ impl PbsServer {
             Some(rec) if matches!(rec.state, JobState::Queued | JobState::Held) => {
                 rec.state = JobState::Cancelled;
                 rec.completed = Some(ctx.now());
-                self.queue_order.retain(|j| *j != req.job);
+                self.queue_dead += 1;
+                self.maybe_compact_queue();
                 true
             }
             Some(rec) if matches!(rec.state, JobState::Running | JobState::DynQueued) => {
                 rec.state = JobState::Cancelled;
                 rec.completed = Some(ctx.now());
+                self.active.remove(&req.job);
                 was_active = true;
                 if hardened {
                     rec.dyn_sets.clear();
@@ -1001,7 +1056,8 @@ impl Actor for PbsServer {
         };
         let env = match env.downcast::<ClusterQueryReq>() {
             Ok(m) => {
-                let resp = ClusterQueryResp { token: m.token, snapshot: self.snapshot() };
+                let (snapshot, nodes_delta) = self.snapshot_for(&m);
+                let resp = ClusterQueryResp { token: m.token, snapshot, nodes_delta };
                 return self.reply(ctx, m.reply, resp);
             }
             Err(e) => e,

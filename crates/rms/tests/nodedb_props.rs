@@ -1,0 +1,86 @@
+//! NodeDb index property test: the free-pool buckets, job->hosts index
+//! and running usage counters must agree with linear recomputation over
+//! the flat records after every mutation, across randomized
+//! allocate/release/offline sequences (including releases while a host
+//! is offline — the reclaim pattern).
+
+use darms_net::HostId;
+use darms_rms::{JobId, NodeDb};
+use proptest::prelude::*;
+
+fn h(i: usize) -> HostId {
+    HostId::from_raw(i)
+}
+
+const CORE_PALETTE: [u32; 4] = [4, 8, 16, 1];
+
+/// Every indexed query must equal its linear twin.
+fn assert_consistent(db: &NodeDb) {
+    for ppn in [0u32, 1, 2, 4, 8, 16] {
+        assert_eq!(db.free_compute(ppn), db.free_compute_linear(ppn), "free_compute({ppn})");
+    }
+    assert_eq!(db.free_accelerators(), db.free_accelerators_linear());
+    assert_eq!(db.compute_core_usage(), db.compute_core_usage_linear());
+    assert_eq!(db.accelerator_usage(), db.accelerator_usage_linear());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn nodedb_indexes_match_linear_scans(
+        computes in prop::collection::vec(0usize..CORE_PALETTE.len(), 1..16),
+        n_accs in 0usize..8,
+        ops in prop::collection::vec((0u8..6, 0usize..64, 0u64..6, 0u32..5), 1..60),
+    ) {
+        let mut db = NodeDb::new();
+        for (i, &c) in computes.iter().enumerate() {
+            db.add_compute(h(i), CORE_PALETTE[c]);
+        }
+        let n_hosts = computes.len() + n_accs;
+        for j in computes.len()..n_hosts {
+            db.add_accelerator(h(j));
+        }
+        assert_consistent(&db);
+        for (op, pick, job, ppn) in ops {
+            let job = JobId(job);
+            match op {
+                0 => {
+                    // Allocate ppn cores on some currently-fitting host
+                    // (free_compute excludes offline, so no panics).
+                    let ppn = ppn.max(1);
+                    let free = db.free_compute(ppn);
+                    if !free.is_empty() {
+                        db.allocate_compute(free[pick % free.len()], job, ppn);
+                    }
+                }
+                1 => {
+                    let free = db.free_accelerators();
+                    if !free.is_empty() {
+                        db.allocate_accelerator(free[pick % free.len()], job);
+                    }
+                }
+                2 => {
+                    // Per-host release: a no-op when the job holds
+                    // nothing there, which the index must also survive.
+                    db.release(h(pick % n_hosts), job);
+                }
+                3 => db.release_job(job),
+                4 => db.set_offline(h(pick % n_hosts), true),
+                _ => db.set_offline(h(pick % n_hosts), false),
+            }
+            assert_consistent(&db);
+        }
+        // Drain everything: the pools must return to the initial state.
+        for j in 0..6 {
+            db.release_job(JobId(j));
+        }
+        for i in 0..n_hosts {
+            db.set_offline(h(i), false);
+        }
+        assert_consistent(&db);
+        prop_assert_eq!(db.free_accelerators().len(), n_accs);
+        let (free, total) = db.compute_core_usage();
+        prop_assert_eq!(free, total);
+    }
+}

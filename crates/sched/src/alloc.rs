@@ -1,7 +1,23 @@
 //! Node selection: tracking free resources during an iteration and
 //! picking compute/accelerator nodes for a job.
+//!
+//! ## Indexed free-pools
+//!
+//! The tracker answers "k hosts with ≥ ppn free cores" for every job in
+//! every scheduler pass; a linear scan makes each pass O(jobs × hosts),
+//! which dominates at datacenter scale. Hosts are therefore bucketed by
+//! free-core count (`by_free`): feasibility checks sum a handful of
+//! bucket sizes, BestFit walks buckets ascending (exactly the linear
+//! version's `(free, index)` sort order), and FirstFit merges the k
+//! lowest registration indices out of the matching buckets —
+//! O(buckets + k) instead of O(hosts) per decision, since distinct
+//! free-core values are bounded by the largest node's core count, not
+//! the cluster size. The pre-index implementation is retained as
+//! [`reference::LinearFreeTracker`] and a property test
+//! (`tests/alloc_props.rs`) checks both agree on randomized
+//! take/give-back sequences.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use darms_net::HostId;
 use darms_rms::proto::{ClusterSnapshot, QueuedJobSnap};
@@ -22,36 +38,90 @@ pub enum AllocPolicy {
 /// same iteration never double-book (the server re-validates anyway).
 #[derive(Clone, Debug)]
 pub struct FreeTracker {
-    /// (host, free cores, total cores) per compute host, registration order.
+    /// (host, free cores, total cores) per compute host, registration
+    /// order. Offline hosts keep their slot (so delta patches preserve
+    /// FirstFit's registration order) but are absent from every bucket.
     compute: Vec<(HostId, u32, u32)>,
-    /// Free accelerator hosts, in registration order.
-    accs: Vec<HostId>,
+    /// Offline flag per compute slot.
+    offline: Vec<bool>,
+    /// Compute indices bucketed by current free-core count.
+    by_free: BTreeMap<u32, BTreeSet<usize>>,
+    /// Free accelerator hosts, in registration (= FIFO grant) order.
+    accs: VecDeque<HostId>,
+    /// Membership mirror of `accs` for O(log n) duplicate checks.
+    acc_set: BTreeSet<HostId>,
     index: BTreeMap<HostId, usize>,
 }
 
 impl FreeTracker {
-    /// Build from a snapshot, skipping offline nodes.
+    /// Build from a full snapshot.
     pub fn from_snapshot(snap: &ClusterSnapshot) -> Self {
         let mut compute = Vec::new();
-        let mut accs = Vec::new();
+        let mut offline = Vec::new();
+        let mut by_free: BTreeMap<u32, BTreeSet<usize>> = BTreeMap::new();
+        let mut accs = VecDeque::new();
+        let mut acc_set = BTreeSet::new();
         let mut index = BTreeMap::new();
         for n in &snap.nodes {
-            if n.offline {
-                continue;
-            }
             match n.role {
                 NodeRole::Compute => {
-                    index.insert(n.host, compute.len());
+                    let i = compute.len();
+                    index.insert(n.host, i);
+                    if !n.offline {
+                        by_free.entry(n.cores_free).or_default().insert(i);
+                    }
                     compute.push((n.host, n.cores_free, n.cores_total));
+                    offline.push(n.offline);
                 }
                 NodeRole::Accelerator => {
-                    if n.cores_free == n.cores_total {
-                        accs.push(n.host);
+                    if !n.offline && n.cores_free == n.cores_total {
+                        accs.push_back(n.host);
+                        acc_set.insert(n.host);
                     }
                 }
             }
         }
-        FreeTracker { compute, accs, index }
+        FreeTracker { compute, offline, by_free, accs, acc_set, index }
+    }
+
+    /// Patch one node's state from a delta snapshot: overwrite with the
+    /// server's authoritative view, moving the node in or out of the
+    /// free pools as needed. Returns `false` for a compute host this
+    /// tracker has never seen — the caller should drop its cache and
+    /// request a full snapshot.
+    pub fn apply(&mut self, n: &darms_rms::proto::NodeSnap) -> bool {
+        match n.role {
+            NodeRole::Compute => {
+                let Some(&i) = self.index.get(&n.host) else { return false };
+                let was_offline = self.offline[i];
+                let old_free = self.compute[i].1;
+                self.compute[i].1 = n.cores_free;
+                self.compute[i].2 = n.cores_total;
+                self.offline[i] = n.offline;
+                match (was_offline, n.offline) {
+                    (false, false) => self.rebucket(i, old_free, n.cores_free),
+                    (false, true) => self.unbucket(i, old_free),
+                    (true, false) => {
+                        self.by_free.entry(n.cores_free).or_default().insert(i);
+                    }
+                    (true, true) => {}
+                }
+                true
+            }
+            NodeRole::Accelerator => {
+                let free = !n.offline && n.cores_free == n.cores_total;
+                if free {
+                    if self.acc_set.insert(n.host) {
+                        self.accs.push_back(n.host);
+                    }
+                } else if self.acc_set.remove(&n.host) {
+                    // Rare: the server took (or offlined) an accelerator
+                    // the scheduler did not hand out itself.
+                    self.accs.retain(|h| *h != n.host);
+                }
+                true
+            }
+        }
     }
 
     /// Number of currently free accelerator nodes.
@@ -61,24 +131,69 @@ impl FreeTracker {
 
     /// Free cores on one compute host.
     pub fn free_cores(&self, host: HostId) -> u32 {
-        self.index.get(&host).map_or(0, |&i| self.compute[i].1)
+        self.index.get(&host).map_or(0, |&i| if self.offline[i] { 0 } else { self.compute[i].1 })
+    }
+
+    /// Remove one compute host from its free-count bucket.
+    fn unbucket(&mut self, i: usize, free: u32) {
+        if let Some(b) = self.by_free.get_mut(&free) {
+            b.remove(&i);
+            if b.is_empty() {
+                self.by_free.remove(&free);
+            }
+        }
+    }
+
+    /// Move one compute host between free-count buckets.
+    fn rebucket(&mut self, i: usize, old_free: u32, new_free: u32) {
+        if old_free == new_free {
+            return;
+        }
+        self.unbucket(i, old_free);
+        self.by_free.entry(new_free).or_default().insert(i);
+    }
+
+    /// Number of compute hosts with at least `ppn` free cores: a sum of
+    /// bucket sizes, O(distinct free-core values).
+    fn fitting_count(&self, ppn: u32) -> usize {
+        self.by_free.range(ppn..).map(|(_, b)| b.len()).sum()
     }
 
     /// Pick `k` compute hosts with at least `ppn` free cores each.
     /// Returns `None` (and changes nothing) if impossible.
+    ///
+    /// FirstFit picks the k lowest registration indices among fitting
+    /// hosts; BestFit picks in ascending `(free, index)` order (the
+    /// fullest node that still fits, ties by registration). Both match
+    /// the linear reference exactly — the property test insists on it.
     pub fn take_compute(&mut self, k: usize, ppn: u32, policy: AllocPolicy) -> Option<Vec<HostId>> {
-        let mut fitting: Vec<usize> =
-            (0..self.compute.len()).filter(|&i| self.compute[i].1 >= ppn).collect();
-        if fitting.len() < k {
+        if self.fitting_count(ppn) < k {
             return None;
         }
-        if policy == AllocPolicy::BestFit {
-            fitting.sort_by_key(|&i| (self.compute[i].1, i));
-        }
-        let chosen: Vec<usize> = fitting.into_iter().take(k).collect();
+        let chosen: Vec<usize> = match policy {
+            AllocPolicy::BestFit => {
+                // Buckets ascend by free count and each set ascends by
+                // index, so in-order traversal IS the (free, index) sort.
+                self.by_free.range(ppn..).flat_map(|(_, b)| b.iter().copied()).take(k).collect()
+            }
+            AllocPolicy::FirstFit => {
+                // k smallest indices across the fitting buckets: take at
+                // most k from each (they are sorted), then merge.
+                let mut cand: Vec<usize> = self
+                    .by_free
+                    .range(ppn..)
+                    .flat_map(|(_, b)| b.iter().copied().take(k))
+                    .collect();
+                cand.sort_unstable();
+                cand.truncate(k);
+                cand
+            }
+        };
         let hosts = chosen.iter().map(|&i| self.compute[i].0).collect();
         for i in chosen {
-            self.compute[i].1 -= ppn;
+            let old = self.compute[i].1;
+            self.compute[i].1 = old - ppn;
+            self.rebucket(i, old, old - ppn);
         }
         Some(hosts)
     }
@@ -88,13 +203,18 @@ impl FreeTracker {
     pub fn give_back(&mut self, compute_hosts: &[HostId], ppn: u32, accs: &[HostId]) {
         for h in compute_hosts {
             if let Some(&i) = self.index.get(h) {
-                let (_, free, total) = &mut self.compute[i];
-                *free = (*free + ppn).min(*total);
+                if self.offline[i] {
+                    continue;
+                }
+                let (_, free, total) = self.compute[i];
+                let new = (free + ppn).min(total);
+                self.compute[i].1 = new;
+                self.rebucket(i, free, new);
             }
         }
         for h in accs {
-            if !self.accs.contains(h) {
-                self.accs.push(*h);
+            if self.acc_set.insert(*h) {
+                self.accs.push_back(*h);
             }
         }
     }
@@ -106,13 +226,119 @@ impl FreeTracker {
         if self.accs.len() < n {
             return None;
         }
-        Some(self.accs.drain(..n).collect())
+        let taken: Vec<HostId> = self.accs.drain(..n).collect();
+        for h in &taken {
+            self.acc_set.remove(h);
+        }
+        Some(taken)
     }
 
     /// Whether `job` could start right now (without taking anything).
     pub fn fits(&self, job: &QueuedJobSnap) -> bool {
-        let fitting = self.compute.iter().filter(|(_, free, _)| *free >= job.ppn).count();
-        fitting >= job.nodes && self.accs.len() >= job.nodes * job.acpn as usize
+        self.fitting_count(job.ppn) >= job.nodes && self.accs.len() >= job.nodes * job.acpn as usize
+    }
+}
+
+/// The pre-index linear-scan tracker, kept verbatim as the behavioral
+/// reference for the free-pool property tests.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Linear-scan twin of [`FreeTracker`]: same API, O(hosts) queries.
+    #[derive(Clone, Debug)]
+    pub struct LinearFreeTracker {
+        compute: Vec<(HostId, u32, u32)>,
+        accs: Vec<HostId>,
+        index: BTreeMap<HostId, usize>,
+    }
+
+    impl LinearFreeTracker {
+        /// Build from a snapshot, skipping offline nodes.
+        pub fn from_snapshot(snap: &ClusterSnapshot) -> Self {
+            let mut compute = Vec::new();
+            let mut accs = Vec::new();
+            let mut index = BTreeMap::new();
+            for n in &snap.nodes {
+                if n.offline {
+                    continue;
+                }
+                match n.role {
+                    NodeRole::Compute => {
+                        index.insert(n.host, compute.len());
+                        compute.push((n.host, n.cores_free, n.cores_total));
+                    }
+                    NodeRole::Accelerator => {
+                        if n.cores_free == n.cores_total {
+                            accs.push(n.host);
+                        }
+                    }
+                }
+            }
+            LinearFreeTracker { compute, accs, index }
+        }
+
+        /// See [`FreeTracker::free_acc_count`].
+        pub fn free_acc_count(&self) -> usize {
+            self.accs.len()
+        }
+
+        /// See [`FreeTracker::free_cores`].
+        pub fn free_cores(&self, host: HostId) -> u32 {
+            self.index.get(&host).map_or(0, |&i| self.compute[i].1)
+        }
+
+        /// See [`FreeTracker::take_compute`].
+        pub fn take_compute(
+            &mut self,
+            k: usize,
+            ppn: u32,
+            policy: AllocPolicy,
+        ) -> Option<Vec<HostId>> {
+            let mut fitting: Vec<usize> =
+                (0..self.compute.len()).filter(|&i| self.compute[i].1 >= ppn).collect();
+            if fitting.len() < k {
+                return None;
+            }
+            if policy == AllocPolicy::BestFit {
+                fitting.sort_by_key(|&i| (self.compute[i].1, i));
+            }
+            let chosen: Vec<usize> = fitting.into_iter().take(k).collect();
+            let hosts = chosen.iter().map(|&i| self.compute[i].0).collect();
+            for i in chosen {
+                self.compute[i].1 -= ppn;
+            }
+            Some(hosts)
+        }
+
+        /// See [`FreeTracker::give_back`].
+        pub fn give_back(&mut self, compute_hosts: &[HostId], ppn: u32, accs: &[HostId]) {
+            for h in compute_hosts {
+                if let Some(&i) = self.index.get(h) {
+                    let (_, free, total) = &mut self.compute[i];
+                    *free = (*free + ppn).min(*total);
+                }
+            }
+            for h in accs {
+                if !self.accs.contains(h) {
+                    self.accs.push(*h);
+                }
+            }
+        }
+
+        /// See [`FreeTracker::take_accelerators`].
+        pub fn take_accelerators(&mut self, n: usize) -> Option<Vec<HostId>> {
+            if self.accs.len() < n {
+                return None;
+            }
+            Some(self.accs.drain(..n).collect())
+        }
+
+        /// See [`FreeTracker::fits`].
+        pub fn fits(&self, job: &QueuedJobSnap) -> bool {
+            let fitting = self.compute.iter().filter(|(_, free, _)| *free >= job.ppn).count();
+            fitting >= job.nodes && self.accs.len() >= job.nodes * job.acpn as usize
+        }
     }
 }
 

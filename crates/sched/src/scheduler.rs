@@ -8,7 +8,7 @@
 //! therefore serviced only after the iteration completes — exactly the
 //! waiting the paper measures in Fig. 8.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use darms_net::{HostId, Network};
 use darms_rms::proto::*;
@@ -50,6 +50,25 @@ pub struct SchedConfig {
     /// Optional periodic iteration (Maui's RMPOLLINTERVAL); event-driven
     /// wake-ups happen regardless.
     pub poll_interval: Option<SimDuration>,
+    /// Keep at most one poll timer in flight. The historic behaviour
+    /// (`false`) arms a fresh timer at the end of every active iteration
+    /// without cancelling the previous one, so each event-driven wake-up
+    /// spawns another poll chain; at datacenter scale thousands of
+    /// concurrent chains degenerate into a busy loop of O(hosts)
+    /// snapshot iterations. The legacy default stays `false` only
+    /// because the checked-in golden traces pin that timer schedule
+    /// byte-for-byte; large-scale scenarios opt in.
+    pub poll_coalesce: bool,
+    /// Keep the free-resource tracker across iterations and ask the
+    /// server for node *deltas* instead of full snapshots. Turns the
+    /// per-iteration cost from O(hosts) into O(nodes that changed),
+    /// which is what keeps the per-event wall cost flat from 1k to 10k
+    /// hosts. Off by default for the same golden-trace reason as
+    /// `poll_coalesce` (the wire exchanges differ); large-scale
+    /// scenarios opt in. Loss-safe: a delta is only served when the
+    /// scheduler proves it applied the server's previous response, so
+    /// a lost response degrades to a full snapshot.
+    pub incremental_snapshots: bool,
     /// Fairshare decay half-life.
     pub fairshare_half_life: SimDuration,
     /// Wire size of scheduler control messages.
@@ -71,6 +90,8 @@ impl SchedConfig {
             dyn_retry: SimDuration::from_millis(500),
             iteration_overhead: SimDuration::from_millis(6),
             poll_interval: Some(SimDuration::from_secs(10)),
+            poll_coalesce: false,
+            incremental_snapshots: false,
             fairshare_half_life: SimDuration::from_secs(3600),
             ctl_bytes: 512,
         }
@@ -90,6 +111,8 @@ impl SchedConfig {
             dyn_retry: SimDuration::from_millis(100),
             iteration_overhead: SimDuration::ZERO,
             poll_interval: None,
+            poll_coalesce: false,
+            incremental_snapshots: false,
             fairshare_half_life: SimDuration::from_secs(3600),
             ctl_bytes: 0,
         }
@@ -140,6 +163,17 @@ pub struct MauiScheduler {
     /// re-armed — event-driven wake-ups restart iterations — so an idle
     /// simulation can quiesce.
     last_snapshot_active: bool,
+    /// A `TOKEN_POLL` timer is in flight (only consulted when
+    /// [`SchedConfig::poll_coalesce`] is on).
+    poll_armed: bool,
+    /// Token of the last snapshot response applied to `tracker`. Sent as
+    /// `ClusterQueryReq::cached_token` so the server can prove the cache
+    /// is in sync before serving a delta. `None` forces a full snapshot.
+    cached_token: Option<u64>,
+    /// Hosts this scheduler speculatively mutated (grants sent to the
+    /// server) since the last snapshot. Listed in the next query's
+    /// `refresh` set so a server-side rejection cannot strand the cache.
+    touched: BTreeSet<HostId>,
     recorder: Option<Recorder>,
     /// Virtual time the current iteration's snapshot arrived (for the
     /// `sched.iteration_cost` histogram).
@@ -172,6 +206,9 @@ impl MauiScheduler {
             shadow: None,
             blocked_no_backfill: false,
             last_snapshot_active: false,
+            poll_armed: false,
+            cached_token: None,
+            touched: BTreeSet::new(),
             recorder: None,
             iter_began: None,
             last_dyn_recorded: None,
@@ -193,10 +230,33 @@ impl MauiScheduler {
         self.net.send_from_ctx(ctx, self.head, to, msg, bytes);
     }
 
+    /// Arm the periodic poll. Under `poll_coalesce` this is a no-op
+    /// while a poll timer is already pending, so the number of chains
+    /// stays at one regardless of how many event-driven wake-ups occur.
+    fn arm_poll(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(poll) = self.config.poll_interval {
+            if !(self.config.poll_coalesce && self.poll_armed) {
+                self.poll_armed = true;
+                ctx.set_timer(poll, TOKEN_POLL);
+            }
+        }
+    }
+
     fn start_iteration(&mut self, ctx: &mut Ctx<'_>) {
         self.phase = Phase::AwaitSnapshot;
         self.query_token += 1;
-        let req = ClusterQueryReq { token: self.query_token, reply: sched_addr(self.head) };
+        let (cached_token, refresh) = if self.config.incremental_snapshots && self.tracker.is_some()
+        {
+            (self.cached_token, self.touched.iter().copied().collect())
+        } else {
+            (None, Vec::new())
+        };
+        let req = ClusterQueryReq {
+            token: self.query_token,
+            reply: sched_addr(self.head),
+            cached_token,
+            refresh,
+        };
         self.send_server(ctx, req);
     }
 
@@ -213,6 +273,7 @@ impl MauiScheduler {
         if self.phase != Phase::AwaitSnapshot || resp.token != self.query_token {
             return; // stale snapshot
         }
+        let nodes_delta = resp.nodes_delta;
         let mut snap = resp.snapshot;
         let now = ctx.now();
         self.fairshare.update(now, &snap.running);
@@ -230,7 +291,27 @@ impl MauiScheduler {
         } else {
             worklist.extend(ordered.into_iter().map(WorkItem::Job));
         }
-        self.tracker = Some(FreeTracker::from_snapshot(&snap));
+        if nodes_delta {
+            // The server only serves a delta when our `cached_token`
+            // matched, so a retained tracker must exist; fall back to a
+            // fresh full query if an unknown host appears (defensive —
+            // nodes are never added mid-run today).
+            let ok = match self.tracker.as_mut() {
+                Some(t) => snap.nodes.iter().all(|n| t.apply(n)),
+                None => false,
+            };
+            if !ok {
+                self.tracker = None;
+                self.cached_token = None;
+                self.phase = Phase::Idle;
+                self.start_iteration(ctx);
+                return;
+            }
+        } else {
+            self.tracker = Some(FreeTracker::from_snapshot(&snap));
+        }
+        self.cached_token = Some(resp.token);
+        self.touched.clear();
         self.last_snapshot_active =
             !snap.running.is_empty() || !worklist.is_empty() || snap.dyn_pending.is_some();
         self.running = std::mem::take(&mut snap.running);
@@ -326,6 +407,9 @@ impl MauiScheduler {
                 };
                 match granted {
                     Some(accs) => {
+                        if self.config.incremental_snapshots {
+                            self.touched.extend(accs.iter().copied());
+                        }
                         record_wait(self, ctx, true);
                         ctx.trace(format!(
                             "dyn request of {} granted {} of {} node(s)",
@@ -378,6 +462,10 @@ impl MauiScheduler {
                         .take_compute(j.nodes, j.ppn, self.config.allocation)
                         .expect("fits() checked");
                     let flat = tracker.take_accelerators(total_accs).expect("fits() checked");
+                    if self.config.incremental_snapshots {
+                        self.touched.extend(compute.iter().copied());
+                        self.touched.extend(flat.iter().copied());
+                    }
                     let accs = split_accs(&flat, j.nodes, j.acpn);
                     ctx.trace(format!("starting {} on {} node(s)", j.job, compute.len()));
                     self.iter_started.push(RunningJobSnap {
@@ -405,7 +493,9 @@ impl MauiScheduler {
 
     fn finish_iteration(&mut self, ctx: &mut Ctx<'_>) {
         self.phase = Phase::Idle;
-        self.tracker = None;
+        if !self.config.incremental_snapshots {
+            self.tracker = None;
+        }
         self.iterations += 1;
         let now = ctx.now();
         let metrics = ctx.metrics();
@@ -419,9 +509,7 @@ impl MauiScheduler {
             self.dirty = false;
             self.start_iteration(ctx);
         } else if self.last_snapshot_active {
-            if let Some(poll) = self.config.poll_interval {
-                ctx.set_timer(poll, TOKEN_POLL);
-            }
+            self.arm_poll(ctx);
         }
     }
 }
@@ -432,9 +520,7 @@ impl Actor for MauiScheduler {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(poll) = self.config.poll_interval {
-            ctx.set_timer(poll, TOKEN_POLL);
-        }
+        self.arm_poll(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) {
@@ -458,8 +544,11 @@ impl Actor for MauiScheduler {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_STEP => self.step(ctx),
-            TOKEN_POLL if self.phase == Phase::Idle => {
-                self.start_iteration(ctx);
+            TOKEN_POLL => {
+                self.poll_armed = false;
+                if self.phase == Phase::Idle {
+                    self.start_iteration(ctx);
+                }
             }
             _ => {}
         }

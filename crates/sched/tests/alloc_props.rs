@@ -1,0 +1,116 @@
+//! Free-pool index property test: the bucketed [`FreeTracker`] must
+//! return exactly the host sets the retained linear-scan reference
+//! returns, for both policies, across randomized take/give-back
+//! sequences. Any divergence would silently change every scheduling
+//! decision downstream, so this is the load-bearing gate on the index.
+
+use darms_net::HostId;
+use darms_rms::proto::{ClusterSnapshot, NodeSnap, QueuedJobSnap};
+use darms_rms::{JobId, NodeRole};
+use darms_sched::alloc::reference::LinearFreeTracker;
+use darms_sched::alloc::{AllocPolicy, FreeTracker};
+use darms_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn h(i: usize) -> HostId {
+    HostId::from_raw(i)
+}
+
+/// Node palette: (total cores, free cores) — mixes full, partial, empty.
+const CORES: [(u32, u32); 6] = [(8, 8), (8, 4), (8, 0), (16, 16), (16, 3), (4, 4)];
+
+/// Build a snapshot from per-node recipe bytes: low bits pick the core
+/// palette / busy flag, one bit marks the node offline.
+fn snapshot(computes: &[u8], accs: &[u8]) -> ClusterSnapshot {
+    let mut nodes = Vec::new();
+    for (i, &r) in computes.iter().enumerate() {
+        let (total, free) = CORES[r as usize % CORES.len()];
+        nodes.push(NodeSnap {
+            host: h(i),
+            role: NodeRole::Compute,
+            cores_total: total,
+            cores_free: free,
+            offline: r & 0x40 != 0,
+        });
+    }
+    for (j, &r) in accs.iter().enumerate() {
+        let busy = r & 1 != 0;
+        nodes.push(NodeSnap {
+            host: h(computes.len() + j),
+            role: NodeRole::Accelerator,
+            cores_total: 1,
+            cores_free: u32::from(!busy),
+            offline: r & 0x40 != 0,
+        });
+    }
+    ClusterSnapshot { nodes, queued: vec![], running: vec![], dyn_pending: None }
+}
+
+fn job(nodes: usize, ppn: u32, acpn: u32) -> QueuedJobSnap {
+    QueuedJobSnap {
+        job: JobId(1),
+        owner: "prop".into(),
+        submitted: SimTime::ZERO,
+        nodes,
+        ppn,
+        acpn,
+        walltime_estimate: SimDuration::from_secs(60),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Apply the same randomized op sequence to the indexed tracker and
+    /// the linear reference; every return value must be identical.
+    #[test]
+    fn indexed_tracker_matches_linear_reference(
+        computes in prop::collection::vec(0u8..=0x7f, 1..24),
+        accs in prop::collection::vec(0u8..=0x7f, 0..12),
+        ops in prop::collection::vec((0u8..4, 1usize..5, 0u32..18, 0u8..2), 1..40),
+    ) {
+        let snap = snapshot(&computes, &accs);
+        let mut fast = FreeTracker::from_snapshot(&snap);
+        let mut slow = LinearFreeTracker::from_snapshot(&snap);
+        prop_assert_eq!(fast.free_acc_count(), slow.free_acc_count());
+        // History of grants, so give-back ops return plausible sets.
+        let mut grants: Vec<(Vec<HostId>, u32, Vec<HostId>)> = Vec::new();
+        for (op, k, ppn, pol) in ops {
+            let policy = if pol == 0 { AllocPolicy::FirstFit } else { AllocPolicy::BestFit };
+            match op {
+                0 => {
+                    let a = fast.take_compute(k, ppn, policy);
+                    let b = slow.take_compute(k, ppn, policy);
+                    prop_assert_eq!(&a, &b, "take_compute(k={}, ppn={}, {:?})", k, ppn, policy);
+                    if let Some(hosts) = a {
+                        grants.push((hosts, ppn, Vec::new()));
+                    }
+                }
+                1 => {
+                    let a = fast.take_accelerators(k);
+                    let b = slow.take_accelerators(k);
+                    prop_assert_eq!(&a, &b, "take_accelerators({})", k);
+                    if let Some(hosts) = a {
+                        grants.push((Vec::new(), 0, hosts));
+                    }
+                }
+                2 => {
+                    if !grants.is_empty() {
+                        let (ch, gppn, ah) = grants.remove(k % grants.len());
+                        fast.give_back(&ch, gppn, &ah);
+                        slow.give_back(&ch, gppn, &ah);
+                    }
+                }
+                _ => {
+                    let q = job(k, ppn, u32::from(pol));
+                    prop_assert_eq!(fast.fits(&q), slow.fits(&q));
+                }
+            }
+            // Full-state agreement after every op.
+            prop_assert_eq!(fast.free_acc_count(), slow.free_acc_count());
+            for i in 0..computes.len() + accs.len() {
+                prop_assert_eq!(fast.free_cores(h(i)), slow.free_cores(h(i)));
+            }
+        }
+    }
+}

@@ -3,10 +3,10 @@
 //! actors; sequential application logic uses stackless async
 //! [processes](crate::process::Proc) instead.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
@@ -35,7 +35,7 @@ pub trait Actor: Send {
 /// Capability handle passed to actor callbacks.
 pub struct Ctx<'a> {
     pub(crate) k: &'a mut Kernel,
-    pub(crate) arc: &'a Rc<Mutex<Kernel>>,
+    pub(crate) arc: &'a Rc<RefCell<Kernel>>,
     pub(crate) me: ActorId,
 }
 

@@ -2,24 +2,23 @@
 //! events, advances the virtual clock, dispatches to actors, and polls
 //! stackless process bodies one at a time.
 
-use std::cmp::Reverse;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
-
 use crate::actor::{Actor, Ctx};
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
-use crate::kernel::{EventKind, Kernel, ProcState, SimConfig, SimStats, TraceRecord};
+use crate::kernel::{EventKind, Kernel, ProcState, Scheduled, SimConfig, SimStats, TraceRecord};
 use crate::process::{spawn_process, ProcBody};
 use crate::time::{SimDuration, SimTime};
 
 /// A complete simulation: kernel + registered actors + event loop.
 pub struct Engine {
-    kernel: Rc<Mutex<Kernel>>,
+    kernel: Rc<RefCell<Kernel>>,
     actors: Vec<Box<dyn Actor>>,
     started: bool,
     finished: bool,
@@ -29,7 +28,7 @@ impl Engine {
     /// Create an engine with the given configuration.
     pub fn new(config: SimConfig) -> Self {
         Engine {
-            kernel: Rc::new(Mutex::new(Kernel::new(config))),
+            kernel: Rc::new(RefCell::new(Kernel::new(config))),
             actors: Vec::new(),
             started: false,
             finished: false,
@@ -46,7 +45,7 @@ impl Engine {
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
         assert!(!self.started, "actors must be registered before run()");
         let id = ActorId(self.actors.len());
-        self.kernel.lock().actor_names.push(Arc::from(actor.name()));
+        self.kernel.borrow_mut().actor_names.push(Arc::from(actor.name()));
         self.actors.push(actor);
         id
     }
@@ -63,7 +62,7 @@ impl Engine {
         F: FnOnce(crate::process::Proc) -> Fut + 'static,
         Fut: Future<Output = ()> + 'static,
     {
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
     }
 
@@ -77,7 +76,7 @@ impl Engine {
     }
 
     /// Shared handle to the kernel (for composing subsystems at setup time).
-    pub fn kernel(&self) -> Rc<Mutex<Kernel>> {
+    pub fn kernel(&self) -> Rc<RefCell<Kernel>> {
         self.kernel.clone()
     }
 
@@ -92,6 +91,17 @@ impl Engine {
     /// Process events up to and including virtual time `until` (bounded
     /// also by the configured horizon and event cap). The engine can be
     /// resumed with further `run_until` calls.
+    ///
+    /// Events are pulled off the queue in *batches*: every event sharing
+    /// the earliest pending timestamp is popped under one kernel borrow
+    /// and dispatched back-to-back. New events scheduled by batch
+    /// handlers always carry a later `(time, seq)` key than the
+    /// remaining batch members (time is clamped to `now`, seq is
+    /// monotone), so dispatching the prefetched run before re-consulting
+    /// the queue preserves the exact `(time, seq)` order. Staleness
+    /// (wake epochs, timer generations) is re-checked per event at
+    /// dispatch time because an earlier batch member may invalidate a
+    /// later one.
     pub fn run_until(&mut self, until: SimTime) {
         assert!(!self.finished, "engine already finished");
         if !self.started {
@@ -100,134 +110,165 @@ impl Engine {
         }
         // darms-lint: allow(nondet, reason = "wall-clock profiling only; SimStats equality excludes wall_ns")
         let wall_start = std::time::Instant::now();
-        // Debug-build heap-order check: the `(time, seq)` key of every
+        // Debug-build queue-order check: the `(time, seq)` key of every
         // pop must strictly exceed the previous one. An equal key would
         // mean two events share a tie-break seq, leaving their relative
         // dispatch order unspecified.
         #[cfg(debug_assertions)]
         let mut last_key: Option<(SimTime, u64)> = None;
+        // Prefetched remainder of the current same-timestamp run,
+        // reused across iterations; untouched (and cost-free) when runs
+        // are singletons, which is the common case.
+        let mut batch: VecDeque<Scheduled> = VecDeque::new();
+        // A body that suspended on the previous iteration, not yet put
+        // back in its slot: the put-back is deferred to the next borrow
+        // (here or the post-loop flush) to save a borrow cycle per
+        // resume. Restoring before any dispatch keeps the invariant
+        // that a dispatched-to process always has its body in place.
+        let mut parked: Option<(ProcessId, crate::process::ProcFuture)> = None;
         loop {
-            // Decide what to do while holding the lock, then act on it
-            // with the lock released (polling a process must not hold it).
-            enum Step {
-                Done,
-                Deliver(Endpoint, Envelope),
-                WakeProc(ProcessId),
-                Timer(ActorId, u64),
+            let mut k = self.kernel.borrow_mut();
+            if let Some((pid, fut)) = parked.take() {
+                k.procs[pid.0].body = ProcBody::Future(fut);
             }
-            let step = {
-                let mut k = self.kernel.lock();
-                let horizon = k.config.horizon.min(until);
-                match k.queue.peek() {
-                    None => Step::Done,
-                    Some(Reverse(ev)) if ev.time > horizon => {
-                        if ev.time > k.config.horizon {
-                            k.stats.hit_horizon = true;
+            let ev = match batch.pop_front() {
+                Some(ev) => ev,
+                None => {
+                    // Start a new run: peek, check the horizon, then pull
+                    // every event sharing the earliest timestamp under
+                    // this same borrow.
+                    let horizon = k.config.horizon.min(until);
+                    let t0 = match k.queue.peek_key() {
+                        None => break,
+                        Some((t, _)) if t > horizon => {
+                            if t > k.config.horizon {
+                                k.stats.hit_horizon = true;
+                            }
+                            break;
                         }
-                        Step::Done
-                    }
-                    Some(_) => {
-                        if k.stats.events >= k.config.max_events {
-                            k.stats.hit_event_cap = true;
-                            Step::Done
-                        } else {
-                            let Reverse(ev) = k.queue.pop().expect("peeked");
-                            #[cfg(debug_assertions)]
-                            {
-                                let key = (ev.time, ev.seq);
-                                debug_assert!(
-                                    last_key.is_none_or(|prev| prev < key),
-                                    "event heap popped non-increasing key {key:?} after {last_key:?}"
-                                );
-                                last_key = Some(key);
+                        Some((t, _)) => t,
+                    };
+                    let ev = k.queue.pop().expect("peeked");
+                    // Cap the prefetch at the event budget so a same-time
+                    // storm is not popped past the cap just to be pushed
+                    // back (the per-event check below still decides).
+                    let budget =
+                        k.config.max_events.saturating_sub(k.stats.events).saturating_add(1);
+                    while (batch.len() as u64) < budget.saturating_sub(1) {
+                        match k.queue.peek_key() {
+                            Some((t, _)) if t == t0 => {
+                                batch.push_back(k.queue.pop().expect("peeked"));
                             }
-                            // Stale wakes (e.g. the deadline of a timed
-                            // recv that was satisfied by a message) are
-                            // discarded without advancing the clock, so
-                            // abandoned timeouts cannot inflate the
-                            // simulation's end time.
-                            if let EventKind::Wake { pid, epoch } = &ev.kind {
-                                let stale = k.procs.get(pid.0).is_none_or(|slot| {
-                                    slot.epoch != *epoch
-                                        || !matches!(
-                                            slot.state,
-                                            ProcState::ParkedRecv
-                                                | ProcState::ParkedSleep
-                                                | ProcState::NotStarted
-                                        )
-                                });
-                                if stale {
-                                    continue;
-                                }
-                            }
-                            if let EventKind::Timer { actor, token, gen } = &ev.kind {
-                                if *gen != k.timer_gen(actor.index(), *token) {
-                                    continue; // cancelled before firing
-                                }
-                            }
-                            k.now = ev.time;
-                            k.stats.events += 1;
-                            // Queue-depth profile, counting the event
-                            // being dispatched itself.
-                            let depth = k.queue.len() as u64 + 1;
-                            k.stats.peak_queue_depth = k.stats.peak_queue_depth.max(depth);
-                            k.stats.queue_depth_sum += depth;
-                            match ev.kind {
-                                EventKind::Deliver { dst, env } => match dst {
-                                    Endpoint::Actor(_) => Step::Deliver(dst, env),
-                                    Endpoint::Process(pid) => {
-                                        match self.deliver_to_process(&mut k, pid, env) {
-                                            Some(p) => {
-                                                k.stats.context_switches += 1;
-                                                Step::WakeProc(p)
-                                            }
-                                            None => continue,
-                                        }
-                                    }
-                                },
-                                EventKind::Wake { pid, epoch } => {
-                                    let slot = &mut k.procs[pid.0];
-                                    let parked = matches!(
-                                        slot.state,
-                                        ProcState::ParkedRecv
-                                            | ProcState::ParkedSleep
-                                            | ProcState::NotStarted
-                                    );
-                                    if parked && slot.epoch == epoch {
-                                        slot.state = ProcState::Active;
-                                        slot.epoch += 1;
-                                        k.stats.context_switches += 1;
-                                        Step::WakeProc(pid)
-                                    } else {
-                                        continue; // stale wake
-                                    }
-                                }
-                                EventKind::Timer { actor, token, .. } => Step::Timer(actor, token),
-                            }
+                            _ => break,
                         }
                     }
+                    ev
                 }
             };
-            match step {
-                Step::Done => break,
-                Step::Deliver(Endpoint::Actor(aid), env) => self.dispatch_actor(aid, env),
-                Step::Deliver(_, _) => unreachable!("process deliveries resolved above"),
-                Step::WakeProc(pid) => self.resume(pid),
-                Step::Timer(aid, token) => self.dispatch_timer(aid, token),
+            {
+                if k.stats.events >= k.config.max_events {
+                    k.stats.hit_event_cap = true;
+                    // Undispatched prefetched events go back on the
+                    // queue (seqs are preserved, so a resumed run pops
+                    // them in the same order).
+                    k.queue.push(ev);
+                    while let Some(rest) = batch.pop_front() {
+                        k.queue.push(rest);
+                    }
+                    break;
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let key = (ev.time, ev.seq);
+                    debug_assert!(
+                        last_key.is_none_or(|prev| prev < key),
+                        "event queue popped non-increasing key {key:?} after {last_key:?}"
+                    );
+                    last_key = Some(key);
+                }
+                // Stale wakes (e.g. the deadline of a timed recv that
+                // was satisfied by a message) are discarded without
+                // advancing the clock, so abandoned timeouts cannot
+                // inflate the simulation's end time.
+                if let EventKind::Wake { pid, epoch } = &ev.kind {
+                    let stale = k.procs.get(pid.0).is_none_or(|slot| {
+                        slot.epoch != *epoch
+                            || !matches!(
+                                slot.state,
+                                ProcState::ParkedRecv
+                                    | ProcState::ParkedSleep
+                                    | ProcState::NotStarted
+                            )
+                    });
+                    if stale {
+                        continue;
+                    }
+                }
+                if let EventKind::Timer { actor, token, gen } = &ev.kind {
+                    if *gen != k.timer_gen(actor.index(), *token) {
+                        continue; // cancelled before firing
+                    }
+                }
+                k.now = ev.time;
+                k.stats.events += 1;
+                // Queue-depth profile, counting the event being
+                // dispatched itself plus the prefetched remainder of
+                // its batch (still logically queued).
+                let depth = k.queue.len() as u64 + batch.len() as u64 + 1;
+                k.stats.peak_queue_depth = k.stats.peak_queue_depth.max(depth);
+                k.stats.queue_depth_sum += depth;
+                match ev.kind {
+                    EventKind::Deliver { dst: Endpoint::Actor(aid), env } => {
+                        // Actors are dispatched inline under the borrow:
+                        // `self.actors` and `self.kernel` are disjoint
+                        // fields, and handlers only see the kernel via
+                        // the `Ctx` re-borrow.
+                        let actor = &mut self.actors[aid.0];
+                        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
+                        actor.on_message(&mut ctx, env);
+                    }
+                    EventKind::Deliver { dst: Endpoint::Process(pid), env } => {
+                        if let Some(p) = Self::deliver_to_process(&mut k, pid, env) {
+                            k.stats.context_switches += 1;
+                            parked = self.resume(k, p);
+                        }
+                    }
+                    EventKind::Wake { pid, epoch } => {
+                        let slot = &mut k.procs[pid.0];
+                        let is_parked = matches!(
+                            slot.state,
+                            ProcState::ParkedRecv | ProcState::ParkedSleep | ProcState::NotStarted
+                        );
+                        if is_parked && slot.epoch == epoch {
+                            slot.state = ProcState::Active;
+                            slot.epoch += 1;
+                            k.stats.context_switches += 1;
+                            parked = self.resume(k, pid);
+                        }
+                        // else: stale wake, skip
+                    }
+                    EventKind::Timer { actor: aid, token, .. } => {
+                        let actor = &mut self.actors[aid.0];
+                        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
+                        actor.on_timer(&mut ctx, token);
+                    }
+                }
             }
         }
         let wall = wall_start.elapsed().as_nanos() as u64;
-        self.kernel.lock().stats.wall_nanos += wall;
+        let mut k = self.kernel.borrow_mut();
+        // Flush a still-deferred body (unreachable today — every loop
+        // exit passes the top-of-loop restore first — but cheap and
+        // keeps the invariant local).
+        if let Some((pid, fut)) = parked.take() {
+            k.procs[pid.0].body = ProcBody::Future(fut);
+        }
+        k.stats.wall_nanos += wall;
     }
 
     /// Deliver to a process mailbox; returns `Some(pid)` if the process
     /// must be resumed (it was parked in `recv`).
-    fn deliver_to_process(
-        &self,
-        k: &mut Kernel,
-        pid: ProcessId,
-        env: Envelope,
-    ) -> Option<ProcessId> {
+    fn deliver_to_process(k: &mut Kernel, pid: ProcessId, env: Envelope) -> Option<ProcessId> {
         let slot = k.procs.get_mut(pid.0)?;
         if slot.state == ProcState::Finished {
             return None; // message to a dead process is dropped
@@ -242,52 +283,43 @@ impl Engine {
         }
     }
 
-    fn dispatch_actor(&mut self, aid: ActorId, env: Envelope) {
-        let actor = &mut self.actors[aid.0];
-        let mut k = self.kernel.lock();
-        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
-        actor.on_message(&mut ctx, env);
-    }
-
-    fn dispatch_timer(&mut self, aid: ActorId, token: u64) {
-        let actor = &mut self.actors[aid.0];
-        let mut k = self.kernel.lock();
-        let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: aid };
-        actor.on_timer(&mut ctx, token);
-    }
-
     fn start_actors(&mut self) {
         for i in 0..self.actors.len() {
+            let mut k = self.kernel.borrow_mut();
             let actor = &mut self.actors[i];
-            let mut k = self.kernel.lock();
             let mut ctx = Ctx { k: &mut k, arc: &self.kernel, me: ActorId(i) };
             actor.on_start(&mut ctx);
         }
     }
 
     /// Poll a process body once. The caller has already counted the
-    /// context switch and must not hold the kernel lock: the body is
-    /// taken out of the slot, polled lock-free (its await points re-lock
-    /// the kernel themselves), and put back if it suspended.
-    fn resume(&self, pid: ProcessId) {
-        let body = {
-            let mut k = self.kernel.lock();
-            std::mem::replace(&mut k.procs[pid.0].body, ProcBody::Done)
-        };
+    /// context switch and hands over its kernel borrow: the body is
+    /// taken out of the slot under it, the borrow is released, and the
+    /// body is polled borrow-free (its await points re-borrow the
+    /// kernel themselves). A suspended body is *returned* rather than
+    /// stored — the caller puts it back under its next borrow.
+    #[must_use]
+    fn resume(
+        &self,
+        mut k: std::cell::RefMut<'_, Kernel>,
+        pid: ProcessId,
+    ) -> Option<(ProcessId, crate::process::ProcFuture)> {
+        let body = std::mem::replace(&mut k.procs[pid.0].body, ProcBody::Done);
+        drop(k);
         let mut fut = match body {
             ProcBody::Entry(make) => make(),
             ProcBody::Future(f) => f,
-            ProcBody::Done => return, // already finished; nothing to poll
+            ProcBody::Done => return None, // already finished; nothing to poll
         };
         // Readiness is tracked by kernel state (park states + Wake
         // events), so the executor needs no real waker.
         let waker = Waker::noop();
         let mut cx = Context::from_waker(waker);
         let polled = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
-        let mut k = self.kernel.lock();
         match polled {
-            Ok(Poll::Pending) => k.procs[pid.0].body = ProcBody::Future(fut),
+            Ok(Poll::Pending) => return Some((pid, fut)),
             Ok(Poll::Ready(())) | Err(_) => {
+                let mut k = self.kernel.borrow_mut();
                 if polled.is_err() {
                     // A genuine panic inside a process body; the unwind
                     // already dropped the body's locals.
@@ -299,12 +331,16 @@ impl Engine {
                     slot.epoch += 1;
                     k.stats.processes_finished += 1;
                 }
+                // Retire the slot: undelivered mail is dropped and the
+                // mailbox buffer recycled for future spawns.
+                k.retire_slot(pid);
                 drop(k);
                 // Completed futures hold no locals, but drop outside the
-                // lock anyway: a Drop impl is free to lock the kernel.
+                // borrow anyway: a Drop impl is free to borrow the kernel.
                 drop(fut);
             }
         }
+        None
     }
 
     /// Drop every unfinished process body (their locals' destructors run,
@@ -314,7 +350,7 @@ impl Engine {
         if !self.finished {
             self.finished = true;
             let bodies: Vec<ProcBody> = {
-                let mut k = self.kernel.lock();
+                let mut k = self.kernel.borrow_mut();
                 k.shutdown = true;
                 let mut unfinished = 0u64;
                 let mut bodies = Vec::with_capacity(k.procs.len());
@@ -334,19 +370,19 @@ impl Engine {
             // runtime's unwind order): destructors may lock the kernel.
             drop(bodies);
         }
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         k.stats.end_time = k.now;
         k.stats
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.kernel.lock().now()
+        self.kernel.borrow().now()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> SimStats {
-        self.kernel.lock().stats
+        self.kernel.borrow().stats
     }
 
     /// Take the accumulated trace as legacy flat records (empty unless
@@ -359,18 +395,18 @@ impl Engine {
     /// Drain the structured event stream (empty unless tracing was
     /// enabled).
     pub fn take_events(&self) -> Vec<crate::trace::TraceEvent> {
-        self.kernel.lock().tracer.take()
+        self.kernel.borrow().tracer.take()
     }
 
     /// Cloneable handle to the structured tracer. Collection can be
     /// toggled at any point, including mid-run.
     pub fn tracer(&self) -> crate::trace::Tracer {
-        self.kernel.lock().tracer()
+        self.kernel.borrow().tracer()
     }
 
     /// Cloneable handle to the shared metrics registry.
     pub fn metrics(&self) -> crate::metrics::MetricsRegistry {
-        self.kernel.lock().metrics()
+        self.kernel.borrow().metrics()
     }
 }
 
@@ -384,6 +420,7 @@ impl Drop for Engine {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn ms(n: u64) -> SimDuration {

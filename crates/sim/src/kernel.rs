@@ -1,14 +1,20 @@
-//! The simulation kernel: virtual clock, event heap, process table, RNG,
+//! The simulation kernel: virtual clock, event queue, process table, RNG,
 //! structured tracer, and metrics registry.
 //!
-//! The kernel lives behind a `Mutex` shared by the engine and every
-//! [`Proc`](crate::Proc) handle. Everything runs on the engine thread —
-//! process bodies are stackless futures the engine polls one at a time —
-//! so the lock is never contended; it exists so handles can be owned by
-//! the bodies themselves without borrowing the engine.
+//! The kernel lives behind an `Rc<RefCell<..>>` shared by the engine and
+//! every [`Proc`](crate::Proc) handle. Everything runs on the engine
+//! thread — process bodies are stackless futures the engine polls one at
+//! a time — so borrows are never contended; the cell exists so handles
+//! can be owned by the bodies themselves without borrowing the engine,
+//! and a `RefCell` borrow is an integer flag check instead of the mutex
+//! acquisition the previous runtime paid 4–6 times per event. The
+//! process table is a slab: slots are indexed by `ProcessId` (wakeups
+//! and handle lookups are integer ops), never reused (a recycled id
+//! could mis-deliver a late message), and retired on completion — the
+//! body is dropped and the mailbox buffer recycled into a pool for
+//! future spawns.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -17,6 +23,7 @@ use rand::SeedableRng;
 use crate::envelope::{ActorId, Endpoint, Envelope, ProcessId};
 use crate::metrics::MetricsRegistry;
 use crate::process::ProcBody;
+use crate::queue::{EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};
 
@@ -33,7 +40,7 @@ pub(crate) enum EventKind {
     Timer { actor: ActorId, token: u64, gen: u64 },
 }
 
-/// An entry in the event heap, ordered by `(time, seq)` so that
+/// An entry in the event queue, ordered by `(time, seq)` so that
 /// simultaneous events fire in scheduling order (deterministic).
 pub(crate) struct Scheduled {
     pub time: SimTime,
@@ -126,6 +133,9 @@ pub struct SimConfig {
     pub trace: bool,
     /// Echo trace lines to stderr as they happen (debugging aid).
     pub trace_echo: bool,
+    /// Which data structure backs the event queue. Both kinds yield the
+    /// exact same `(time, seq)` order; this is a performance knob.
+    pub queue_kind: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -136,6 +146,7 @@ impl Default for SimConfig {
             horizon: SimTime::MAX,
             trace: false,
             trace_echo: false,
+            queue_kind: QueueKind::Heap,
         }
     }
 }
@@ -239,7 +250,7 @@ impl SimStats {
 pub struct Kernel {
     pub(crate) now: SimTime,
     pub(crate) seq: u64,
-    pub(crate) queue: BinaryHeap<Reverse<Scheduled>>,
+    pub(crate) queue: EventQueue,
     pub(crate) procs: Vec<ProcSlot>,
     pub(crate) shutdown: bool,
     pub(crate) rng: SmallRng,
@@ -253,6 +264,10 @@ pub struct Kernel {
     /// generation, so cancellation is a counter increment instead of
     /// `HashSet` insert/remove churn on every fire.
     pub(crate) timer_gens: Vec<Vec<(u64, u64)>>,
+    /// Mailbox buffers reclaimed from retired process slots, handed
+    /// back out to new spawns. Spawn-churn workloads recycle the same
+    /// few buffers instead of allocating one per process.
+    pub(crate) mailbox_pool: Vec<VecDeque<Envelope>>,
 }
 
 impl Kernel {
@@ -263,9 +278,7 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            // Pre-sized: cluster scenarios keep hundreds of in-flight
-            // events; growing the heap mid-run is avoidable churn.
-            queue: BinaryHeap::with_capacity(256),
+            queue: EventQueue::new(config.queue_kind),
             procs: Vec::new(),
             shutdown: false,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -275,6 +288,26 @@ impl Kernel {
             stats: SimStats::default(),
             actor_names: Vec::new(),
             timer_gens: Vec::new(),
+            mailbox_pool: Vec::new(),
+        }
+    }
+
+    /// Hand out a mailbox buffer: a recycled one when available,
+    /// otherwise a fresh allocation (most daemons hold only a few
+    /// undelivered messages at a time).
+    pub(crate) fn alloc_mailbox(&mut self) -> VecDeque<Envelope> {
+        self.mailbox_pool.pop().unwrap_or_else(|| VecDeque::with_capacity(4))
+    }
+
+    /// Retire a finished process slot: drop any undelivered mail and
+    /// recycle the mailbox buffer. The slot itself stays (ids are never
+    /// reused), but its heap footprint shrinks to the name handle.
+    pub(crate) fn retire_slot(&mut self, pid: ProcessId) {
+        let slot = &mut self.procs[pid.0];
+        let mut mailbox = std::mem::take(&mut slot.mailbox);
+        mailbox.clear();
+        if self.mailbox_pool.len() < 256 {
+            self.mailbox_pool.push(mailbox);
         }
     }
 
@@ -302,25 +335,29 @@ impl Kernel {
     }
 
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Push an event onto the heap at absolute time `at` (clamped to now).
+    /// Push an event onto the queue at absolute time `at` (clamped to now).
+    #[inline]
     pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time: at, seq, kind }));
+        self.queue.push(Scheduled { time: at, seq, kind });
     }
 
     /// Schedule delivery of `env` to `dst` after `delay`.
+    #[inline]
     pub fn send(&mut self, dst: Endpoint, env: Envelope, delay: SimDuration) {
         let at = self.now + delay;
         self.schedule(at, EventKind::Deliver { dst, env });
     }
 
     /// Bump a process's park epoch and return the new value.
+    #[inline]
     pub(crate) fn bump_epoch(&mut self, pid: ProcessId) -> u64 {
         let slot = &mut self.procs[pid.0];
         slot.epoch += 1;
@@ -408,7 +445,7 @@ mod tests {
         k.schedule(SimTime::from_nanos(10), EventKind::Wake { pid: ProcessId(1), epoch: 0 });
         k.schedule(SimTime::from_nanos(10), EventKind::Wake { pid: ProcessId(2), epoch: 0 });
         let order: Vec<usize> = std::iter::from_fn(|| k.queue.pop())
-            .map(|Reverse(s)| match s.kind {
+            .map(|s| match s.kind {
                 EventKind::Wake { pid, .. } => pid.0,
                 _ => unreachable!(),
             })
@@ -424,7 +461,7 @@ mod tests {
             SimTime::from_nanos(5),
             EventKind::Timer { actor: ActorId(0), token: 0, gen: 0 },
         );
-        let Reverse(s) = k.queue.pop().unwrap();
+        let s = k.queue.pop().unwrap();
         assert_eq!(s.time, SimTime::from_nanos(100));
     }
 

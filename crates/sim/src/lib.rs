@@ -52,6 +52,7 @@ pub mod export;
 mod kernel;
 pub mod metrics;
 mod process;
+mod queue;
 mod recorder;
 mod time;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use metrics::{
     exact_quantile, HistogramSummary, MetricsRegistry, QuantileEstimator, SloSummary,
 };
 pub use process::{Proc, ProcFuture};
+pub use queue::QueueKind;
 pub use recorder::{percentile, Recorder, Sample, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceEventKind, TraceSource, Tracer};

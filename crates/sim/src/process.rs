@@ -40,14 +40,13 @@
 //! scenarios with tens of thousands of short-lived processes (the
 //! `spawn_churn` benchmark) are practical.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::Arc;
 use std::task::Poll;
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
 use crate::envelope::{Endpoint, Envelope, ProcessId};
@@ -83,7 +82,7 @@ pub(crate) enum ProcBody {
 #[derive(Clone)]
 pub struct Proc {
     pub(crate) pid: ProcessId,
-    pub(crate) kernel: Rc<Mutex<Kernel>>,
+    pub(crate) kernel: Rc<RefCell<Kernel>>,
     pub(crate) name: Arc<str>,
 }
 
@@ -105,7 +104,7 @@ impl Proc {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.kernel.lock().now()
+        self.kernel.borrow().now()
     }
 
     /// Record an instant trace event attributed to this process.
@@ -115,23 +114,23 @@ impl Proc {
 
     /// Record an instant trace event with a detail payload.
     pub fn trace_detail(&self, event: impl Into<String>, detail: impl Into<String>) {
-        let k = self.kernel.lock();
+        let k = self.kernel.borrow();
         k.emit(crate::trace::TraceSource::Process(self.pid), &self.name, event, detail);
     }
 
     /// Cloneable handle to the structured tracer.
     pub fn tracer(&self) -> crate::trace::Tracer {
-        self.kernel.lock().tracer()
+        self.kernel.borrow().tracer()
     }
 
     /// Cloneable handle to the shared metrics registry.
     pub fn metrics(&self) -> crate::metrics::MetricsRegistry {
-        self.kernel.lock().metrics()
+        self.kernel.borrow().metrics()
     }
 
     /// Draw from the deterministic RNG.
     pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
-        self.kernel.lock().with_rng(f)
+        self.kernel.borrow_mut().with_rng(f)
     }
 
     /// Advance virtual time by `d` (models compute or I/O work).
@@ -144,7 +143,7 @@ impl Proc {
                 return Poll::Ready(());
             }
             parked = true;
-            let mut k = self.kernel.lock();
+            let mut k = self.kernel.borrow_mut();
             let at = k.now() + d;
             let epoch = k.bump_epoch(self.pid);
             k.procs[self.pid.0].state = ProcState::ParkedSleep;
@@ -160,20 +159,20 @@ impl Proc {
 
     /// Send a pre-built envelope.
     pub fn send_env(&self, dst: Endpoint, env: Envelope, delay: SimDuration) {
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         k.send(dst, env, delay);
     }
 
     /// Pop the next mailbox message without blocking.
     pub fn try_recv(&self) -> Option<Envelope> {
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         k.procs[self.pid.0].mailbox.pop_front()
     }
 
     /// Pop the first mailbox message satisfying `pred` without blocking;
     /// earlier non-matching messages stay queued in order.
     pub fn try_recv_where(&self, mut pred: impl FnMut(&Envelope) -> bool) -> Option<Envelope> {
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         let slot = &mut k.procs[self.pid.0];
         let ix = slot.mailbox.iter().position(&mut pred)?;
         slot.mailbox.remove(ix)
@@ -229,7 +228,7 @@ impl Proc {
         deadline: Option<SimTime>,
     ) -> impl Future<Output = Option<Envelope>> + 'a {
         std::future::poll_fn(move |_cx| {
-            let mut k = self.kernel.lock();
+            let mut k = self.kernel.borrow_mut();
             let slot = &mut k.procs[self.pid.0];
             if let Some(ix) = slot.mailbox.iter().position(&mut pred) {
                 return Poll::Ready(slot.mailbox.remove(ix));
@@ -259,7 +258,7 @@ impl Proc {
         F: FnOnce(Proc) -> Fut + 'static,
         Fut: Future<Output = ()> + 'static,
     {
-        let mut k = self.kernel.lock();
+        let mut k = self.kernel.borrow_mut();
         spawn_process(&mut k, &self.kernel, name.into(), delay, entry)
     }
 
@@ -277,7 +276,7 @@ impl Proc {
 /// schedule its first wake. Also used by actor contexts.
 pub(crate) fn spawn_process<F, Fut>(
     k: &mut Kernel,
-    arc: &Rc<Mutex<Kernel>>,
+    arc: &Rc<RefCell<Kernel>>,
     name: String,
     delay: SimDuration,
     entry: F,
@@ -289,10 +288,10 @@ where
     let name: Arc<str> = name.into();
     let pid = ProcessId(k.procs.len());
     let proc = Proc { pid, kernel: arc.clone(), name: name.clone() };
+    let mailbox = k.alloc_mailbox();
     k.procs.push(ProcSlot {
         name,
-        // Most daemons hold only a few undelivered messages at a time.
-        mailbox: VecDeque::with_capacity(4),
+        mailbox,
         state: ProcState::NotStarted,
         epoch: 0,
         body: ProcBody::Entry(Box::new(move || Box::pin(entry(proc)))),

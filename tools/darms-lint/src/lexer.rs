@@ -192,17 +192,17 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
             }
             // Fall through: plain identifier starting with r/b.
         }
-        // String literal.
+        // String literal. Content is collapsed to `"str"` — except
+        // host-state paths (`/proc/...`), which the nondet rule needs
+        // to see verbatim.
         if c == '"' {
             let start_line = line;
-            let mut j = i + 1;
+            let start = i + 1;
+            let mut j = start;
             while j < n {
                 match chars[j] {
                     '\\' => j += 2,
-                    '"' => {
-                        j += 1;
-                        break;
-                    }
+                    '"' => break,
                     ch => {
                         if ch == '\n' {
                             line += 1;
@@ -211,8 +211,15 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                     }
                 }
             }
-            push(&mut toks, TokKind::Literal, String::from("\"str\""), start_line);
-            i = j;
+            let content: String = chars[start..j.min(n)].iter().collect();
+            // darms-lint: allow(nondet, reason = "the detector's own pattern string, not a host read")
+            let text = if content.contains("/proc/") {
+                format!("\"{content}\"")
+            } else {
+                String::from("\"str\"")
+            };
+            push(&mut toks, TokKind::Literal, text, start_line);
+            i = (j + 1).min(n);
             continue;
         }
         // Char literal or lifetime.

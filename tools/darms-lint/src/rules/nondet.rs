@@ -55,6 +55,22 @@ pub fn check(cfg: &Config, files: &[FileData]) -> Vec<Diagnostic> {
                     format!("{what} outside the nondeterminism allowlist"),
                 ));
             }
+            // Host-state reads through `/proc`: peak RSS, CPU counts
+            // and the like are host facts, not functions of the seed.
+            // (The lexer preserves `/proc/...` string literals verbatim
+            // for exactly this check.)
+            // darms-lint: allow(nondet, reason = "the detector's own pattern string, not a host read")
+            if toks[i].kind == TokKind::Literal && toks[i].text.contains("/proc/") {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    toks[i].line,
+                    "nondet",
+                    format!(
+                        "host-state read of {} outside the nondeterminism allowlist",
+                        toks[i].text
+                    ),
+                ));
+            }
             // Argless `Default` RNG construction: `XyzRng::default()`.
             if toks[i].kind == TokKind::Ident
                 && toks[i].text.ends_with("Rng")

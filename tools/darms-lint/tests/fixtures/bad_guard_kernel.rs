@@ -1,0 +1,38 @@
+// Fixture: `RefCell` borrows of the shared kernel held across await
+// points — the exact hazard of the kernel fast path, where processes
+// and the executor share one `Rc<RefCell<Kernel>>` and any borrow
+// still live when a future parks panics on re-entry.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct Kernel {
+    pub now: u64,
+}
+
+async fn park() {}
+
+pub async fn named_borrow_across_park(kernel: Rc<RefCell<Kernel>>) -> u64 {
+    let k = kernel.borrow_mut();
+    park().await;
+    k.now
+}
+
+pub async fn shared_read_across_park(kernel: Rc<RefCell<Kernel>>) -> u64 {
+    let k = kernel.borrow();
+    park().await;
+    k.now
+}
+
+pub async fn chained_borrow_temporary(timers: Rc<RefCell<Vec<u64>>>) {
+    timers.borrow_mut().sort_future().await;
+}
+
+pub async fn released_before_park_is_fine(kernel: Rc<RefCell<Kernel>>) -> u64 {
+    let now = {
+        let k = kernel.borrow();
+        k.now
+    };
+    park().await;
+    now
+}

@@ -8,3 +8,9 @@ pub fn elapsed_ms() -> u128 {
 pub fn width() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
+
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

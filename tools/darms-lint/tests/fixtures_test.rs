@@ -56,6 +56,13 @@ fn bad_guard_await_matches_snapshot() {
     assert_snapshot("bad_guard_await.rs", false);
 }
 
+/// Pins detection in the kernel-fast-path shape: `RefCell` borrows of
+/// the shared kernel (`Rc<RefCell<Kernel>>`) live across a park point.
+#[test]
+fn bad_guard_kernel_matches_snapshot() {
+    assert_snapshot("bad_guard_kernel.rs", false);
+}
+
 #[test]
 fn bad_proto_matches_snapshot() {
     assert_snapshot("bad_proto.rs", true);
